@@ -1,0 +1,154 @@
+package speed
+
+import (
+	"fmt"
+
+	"speed/internal/dedup"
+	"speed/internal/enclave"
+	"speed/internal/mle"
+	"speed/internal/wire"
+)
+
+// AppConfig tunes one SGX-enabled application.
+type AppConfig struct {
+	// AsyncPut moves the PUT pipeline (key generation, result
+	// encryption, store update) to a background worker, the
+	// optimization suggested in Section V-B of the paper. Off by
+	// default, matching the measured "Init. Comp." cost which includes
+	// secure result storing.
+	AsyncPut bool
+	// SingleKey switches the result encryption to the basic design of
+	// Section III-B: one system-wide key shared by all applications.
+	// Provided for comparison; the default cross-application RCE
+	// scheme needs no shared key.
+	SingleKey *[16]byte
+	// RemoteStoreAddr, when set, connects the application to a
+	// networked ResultStore (created with System.Serve on another
+	// System) instead of this System's local store.
+	// RemoteStoreMeasurement pins the expected store identity.
+	RemoteStoreAddr        string
+	RemoteStoreMeasurement Measurement
+	// TrustedStorePlatforms lists platform attestation keys (from
+	// System.AttestationKey on the store's machine) accepted for a
+	// remote store on a DIFFERENT machine. Without it, the remote
+	// store must live on this application's own platform.
+	TrustedStorePlatforms [][]byte
+	// Adaptive enables the automatic deduplication strategy of the
+	// paper's future-work section: the runtime profiles each marked
+	// function (compute cost, dedup overhead, hit rate) and bypasses
+	// the store for functions where deduplication does not pay.
+	Adaptive bool
+	// AdaptiveMinSamples, AdaptiveBenefitThreshold and
+	// AdaptiveProbation tune the adaptive policy; zero values take the
+	// defaults.
+	AdaptiveMinSamples       int
+	AdaptiveBenefitThreshold float64
+	AdaptiveProbation        int
+}
+
+// App is one SGX-enabled application: its enclave plus the secure
+// deduplication runtime linked into it.
+type App struct {
+	enclave *enclave.Enclave
+	runtime *dedup.Runtime
+	advisor *dedup.Advisor // non-nil when adaptive
+}
+
+// NewApp creates an application enclave on the deployment's platform
+// whose measurement derives from code, and links a deduplication
+// runtime connected to the deployment's local ResultStore.
+func (s *System) NewApp(name string, code []byte) (*App, error) {
+	return s.NewAppWithConfig(name, code, AppConfig{})
+}
+
+// NewAppWithConfig is NewApp with explicit configuration.
+func (s *System) NewAppWithConfig(name string, code []byte, cfg AppConfig) (*App, error) {
+	enc, err := s.platform.Create(name, code)
+	if err != nil {
+		return nil, fmt.Errorf("speed: create app enclave: %w", err)
+	}
+
+	var client dedup.StoreClient
+	if cfg.RemoteStoreAddr != "" {
+		var trust *wire.Trust
+		if len(cfg.TrustedStorePlatforms) > 0 {
+			trust = &wire.Trust{PlatformKeys: cfg.TrustedStorePlatforms}
+		}
+		client, err = dedup.DialTrust(cfg.RemoteStoreAddr, enc, cfg.RemoteStoreMeasurement, trust)
+		if err != nil {
+			enc.Destroy()
+			return nil, fmt.Errorf("speed: connect remote store: %w", err)
+		}
+	} else {
+		client = dedup.NewLocalClient(s.store, enc.Measurement())
+	}
+
+	var scheme mle.Scheme
+	if cfg.SingleKey != nil {
+		scheme = mle.NewSingleKey(*cfg.SingleKey, nil)
+	}
+
+	rt, err := dedup.NewRuntime(dedup.Config{
+		Enclave:  enc,
+		Client:   client,
+		Scheme:   scheme,
+		AsyncPut: cfg.AsyncPut,
+	})
+	if err != nil {
+		enc.Destroy()
+		return nil, fmt.Errorf("speed: create runtime: %w", err)
+	}
+	app := &App{enclave: enc, runtime: rt}
+	if cfg.Adaptive {
+		app.advisor = dedup.NewAdvisor(dedup.AdaptivePolicy{
+			MinSamples:       cfg.AdaptiveMinSamples,
+			BenefitThreshold: cfg.AdaptiveBenefitThreshold,
+			Probation:        cfg.AdaptiveProbation,
+		})
+	}
+	return app, nil
+}
+
+// RegisterLibrary records a trusted library (name, version, code) as
+// present at this application, enabling Deduplicable wrappers over its
+// functions. This models porting the library into the enclave as a
+// trusted library.
+func (a *App) RegisterLibrary(library, version string, code []byte) {
+	a.runtime.Registry().RegisterLibrary(library, version, code)
+}
+
+// Measurement returns the application enclave's measurement.
+func (a *App) Measurement() Measurement { return a.enclave.Measurement() }
+
+// AppStats is a snapshot of the application's deduplication activity.
+type AppStats struct {
+	// Calls counts deduplicable invocations; Reused those served from
+	// the store; Computed fresh executions; Coalesced calls that
+	// shared an in-flight computation in this process.
+	Calls, Reused, Computed, Coalesced int64
+	// VerifyFailures counts stored entries rejected by the
+	// verification protocol; PutErrors failed uploads.
+	VerifyFailures, PutErrors int64
+	// BytesReused totals plaintext result bytes served from the store
+	// or from coalesced computations.
+	BytesReused int64
+}
+
+// Stats returns a snapshot of the application's counters.
+func (a *App) Stats() AppStats {
+	st := a.runtime.Stats()
+	return AppStats{
+		Calls: st.Calls, Reused: st.Reused, Computed: st.Computed,
+		Coalesced:      st.Coalesced,
+		VerifyFailures: st.VerifyFailures, PutErrors: st.PutErrors,
+		BytesReused: st.BytesReused,
+	}
+}
+
+// Close drains pending uploads, disconnects from the store, and
+// destroys the application enclave.
+func (a *App) Close() error {
+	err := a.runtime.Close()
+	a.enclave.Destroy()
+	return err
+}

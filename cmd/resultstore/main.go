@@ -1,0 +1,131 @@
+// Command resultstore runs a standalone encrypted ResultStore server
+// speaking SPEED's attested wire protocol over TCP, for deployments
+// where applications on other machines share one store (the "master
+// ResultStore on a dedicated server" deployment of Section IV-B).
+//
+// Usage:
+//
+//	resultstore -listen 127.0.0.1:7800 [-blobdir /var/lib/speed] \
+//	            [-max-entries 100000] [-quota-bytes 1073741824]
+//
+// On startup it prints the store enclave's measurement, which client
+// applications pin during the attested channel handshake.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"speed/internal/enclave"
+	"speed/internal/store"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "resultstore:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("resultstore", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:7800", "listen address")
+	blobDir := fs.String("blobdir", "", "directory for ciphertext blobs (default: in-memory)")
+	maxEntries := fs.Int("max-entries", 0, "max dictionary entries before LRU eviction (0 = unlimited)")
+	maxBlobBytes := fs.Int64("max-blob-bytes", 0, "max total ciphertext bytes (0 = unlimited)")
+	quotaBytes := fs.Int64("quota-bytes", 0, "per-application ciphertext byte quota (0 = unlimited)")
+	quotaRate := fs.Float64("quota-put-rate", 0, "per-application PUT rate limit per second (0 = unlimited)")
+	noSGX := fs.Bool("no-sgx", false, "disable simulated SGX transition costs")
+	snapshotPath := fs.String("snapshot", "", "sealed snapshot file: restored at startup if present, written on shutdown")
+	machineSeed := fs.String("machine-seed", "", "deterministic machine identity (required for -snapshot to survive restarts)")
+	ttl := fs.Duration("ttl", 0, "entry time-to-live (0 = never expire)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *snapshotPath != "" && *machineSeed == "" {
+		return fmt.Errorf("-snapshot requires -machine-seed (sealing is machine-bound)")
+	}
+
+	platform := enclave.NewPlatform(enclave.Config{
+		SimulateCosts: !*noSGX,
+		PlatformSeed:  []byte(*machineSeed),
+	})
+	storeEnc, err := platform.Create("speed-resultstore", []byte("speed resultstore enclave v1"))
+	if err != nil {
+		return fmt.Errorf("create enclave: %w", err)
+	}
+
+	var blobs store.BlobStore
+	if *blobDir != "" {
+		blobs, err = store.NewDiskBlobStore(*blobDir)
+		if err != nil {
+			return err
+		}
+	}
+	st, err := store.New(store.Config{
+		Enclave:      storeEnc,
+		Blobs:        blobs,
+		MaxEntries:   *maxEntries,
+		MaxBlobBytes: *maxBlobBytes,
+		TTL:          *ttl,
+		Quota: store.QuotaConfig{
+			MaxBytesPerApp: *quotaBytes,
+			PutRatePerSec:  *quotaRate,
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	if *snapshotPath != "" {
+		if data, rerr := os.ReadFile(*snapshotPath); rerr == nil {
+			n, rerr := st.RestoreSnapshot(data)
+			if rerr != nil {
+				return fmt.Errorf("restore snapshot: %w", rerr)
+			}
+			fmt.Printf("resultstore: restored %d entries from %s\n", n, *snapshotPath)
+		} else if !os.IsNotExist(rerr) {
+			return fmt.Errorf("read snapshot: %w", rerr)
+		}
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return fmt.Errorf("listen: %w", err)
+	}
+	srv := store.NewServer(st, ln)
+	fmt.Printf("resultstore: listening on %s\n", ln.Addr())
+	fmt.Printf("resultstore: enclave measurement %x\n", storeEnc.Measurement())
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve() }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("resultstore: %v, shutting down\n", sig)
+		if err := srv.Close(); err != nil {
+			return err
+		}
+		if *snapshotPath != "" {
+			snap, serr := st.SealSnapshot()
+			if serr != nil {
+				return fmt.Errorf("seal snapshot: %w", serr)
+			}
+			if serr := os.WriteFile(*snapshotPath, snap, 0o600); serr != nil {
+				return fmt.Errorf("write snapshot: %w", serr)
+			}
+			fmt.Printf("resultstore: sealed %d bytes to %s\n", len(snap), *snapshotPath)
+		}
+		stats := st.Stats()
+		fmt.Printf("resultstore: final stats: %+v\n", stats)
+		return nil
+	case err := <-errCh:
+		return err
+	}
+}

@@ -1,0 +1,227 @@
+// Command speedbench regenerates the paper's evaluation tables and
+// figures over the simulated-SGX SPEED implementation.
+//
+// Usage:
+//
+//	speedbench -exp all            # everything (minutes)
+//	speedbench -exp table1         # Table I crypto operation latency
+//	speedbench -exp fig5a|fig5b|fig5c|fig5d
+//	speedbench -exp fig6
+//	speedbench -exp ablations
+//	speedbench -quick              # reduced sizes/trials for a fast pass
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"speed/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "speedbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("speedbench", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment: all, table1, fig5a, fig5b, fig5c, fig5d, fig6, ablations, effort")
+	quick := fs.Bool("quick", false, "reduced sizes and trials")
+	trials := fs.Int("trials", 0, "override trial count (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	t := 5
+	if *quick {
+		t = 2
+	}
+	if *trials > 0 {
+		t = *trials
+	}
+
+	experiments := map[string]func() error{
+		"table1": func() error { return runTable1(t) },
+		"fig5a":  func() error { return runFig5a(*quick, t) },
+		"fig5b":  func() error { return runFig5b(*quick, t) },
+		"fig5c":  func() error { return runFig5c(*quick, t) },
+		"fig5d":  func() error { return runFig5d(*quick, t) },
+		"fig6":   func() error { return runFig6(*quick, t) },
+		"ablations": func() error {
+			return runAblations(*quick, t)
+		},
+		"effort": runEffort,
+	}
+	if *exp == "all" {
+		for _, name := range []string{"table1", "fig5a", "fig5b", "fig5c", "fig5d", "fig6", "ablations", "effort"} {
+			if err := experiments[name](); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	fn, ok := experiments[*exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return fn()
+}
+
+func runTable1(trials int) error {
+	rows, err := bench.Table1(bench.DefaultTable1Sizes, trials*4)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.RenderTable1(rows))
+	return nil
+}
+
+func runFig5a(quick bool, trials int) error {
+	sizes := []int{64, 128, 192, 256}
+	if quick {
+		sizes = []int{64, 128}
+	}
+	rows, err := bench.Fig5SIFT(sizes, trials)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.RenderFig5("(a) feature extraction via SIFT", rows))
+	return nil
+}
+
+func runFig5b(quick bool, trials int) error {
+	sizes := []int{256 << 10, 512 << 10, 1 << 20, 2 << 20}
+	if quick {
+		sizes = []int{128 << 10, 512 << 10}
+	}
+	rows, err := bench.Fig5Compress(sizes, trials)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.RenderFig5("(b) data compression via LZ77+Huffman", rows))
+	return nil
+}
+
+func runFig5c(quick bool, trials int) error {
+	sizes := []int{2 << 10, 8 << 10, 32 << 10, 128 << 10}
+	rules := 3700
+	if quick {
+		sizes = []int{2 << 10, 16 << 10}
+		rules = 800
+	}
+	rows, err := bench.Fig5Pattern(sizes, rules, trials)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.RenderFig5(fmt.Sprintf("(c) pattern matching, %d rules, per-rule engine", rules), rows))
+	fmt.Println()
+	pf, err := bench.Fig5PatternPrefilter(sizes, rules, trials)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.RenderFig5(fmt.Sprintf("(c') pattern matching, %d rules, AC-prefilter engine (ablation)", rules), pf))
+	return nil
+}
+
+func runFig5d(quick bool, trials int) error {
+	counts := []int{300, 1000, 3000, 10000}
+	if quick {
+		counts = []int{100, 500}
+	}
+	rows, err := bench.Fig5BoW(counts, trials)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.RenderFig5("(d) BoW computation via MapReduce", rows))
+	return nil
+}
+
+func runFig6(quick bool, trials int) error {
+	sizes := bench.DefaultFig6Sizes
+	if quick {
+		sizes = []int{1 << 10, 100 << 10}
+	}
+	withSGX, err := bench.Fig6(sizes, true, trials)
+	if err != nil {
+		return err
+	}
+	withoutSGX, err := bench.Fig6(sizes, false, trials)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.RenderFig6(withSGX, withoutSGX))
+	return nil
+}
+
+func runAblations(quick bool, trials int) error {
+	sizes := bench.DefaultTable1Sizes
+	if quick {
+		sizes = []int{1 << 10, 100 << 10}
+	}
+	scheme, err := bench.AblationScheme(sizes, trials*4)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.RenderAblationScheme(scheme))
+	fmt.Println()
+
+	asyncRows, err := bench.AblationAsyncPut(sizes, trials*4)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.RenderAblationAsyncPut(asyncRows))
+	fmt.Println()
+
+	counts := []int{1000, 5000, 20000}
+	if quick {
+		counts = []int{500, 4800}
+	}
+	blob, err := bench.AblationBlobPlacement(counts, 8<<10)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.RenderAblationBlobPlacement(blob, 8<<10))
+	fmt.Println()
+
+	oblCounts := []int{100, 1000, 10000}
+	if quick {
+		oblCounts = []int{100, 2000}
+	}
+	obl, err := bench.AblationOblivious(oblCounts, trials)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.RenderAblationOblivious(obl))
+	fmt.Println()
+
+	calls := 300
+	if quick {
+		calls = 80
+	}
+	adaptive, err := bench.AblationAdaptive(calls, trials)
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.RenderAblationAdaptive(adaptive, calls))
+	return nil
+}
+
+func runEffort() error {
+	fmt.Println(`Developer effort (Section V-B / Fig. 4): lines of code to
+deduplicate one function call with the speed.Deduplicable API.
+
+  Case                 Wrapper creation                          Call site
+  -------------------  ----------------------------------------  -----------------
+  SIFT features        d, _ := speed.NewDeduplicable(app, ...)    kps, _ := d.Call(img)
+  zlib-style deflate   d, _ := speed.NewDeduplicable(app, ...)    out, _ := d.Call(text)
+  pattern matching     d, _ := speed.NewDeduplicable(app, ...)    ids, _ := d.Call(pkts)
+  BoW (MapReduce)      d, _ := speed.NewDeduplicable(app, ...)    bow, _ := d.Call(docs)
+
+2 lines of code per deduplicated function call, matching the paper.
+See examples/ for complete runnable programs.`)
+	return nil
+}

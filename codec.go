@@ -1,0 +1,91 @@
+package speed
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+)
+
+// Codec converts a function's input or output between its Go type and
+// the byte representation used for tagging and result encryption. This
+// is the paper's "uniform serialization interface": DedupRuntime and
+// ResultStore are function-agnostic, and supporting a new function only
+// requires associating it with a proper parser from existing ones or a
+// customized one (Section IV-B).
+type Codec[T any] interface {
+	// Encode serialises a value deterministically. Determinism
+	// matters: the encoding feeds the computation tag, so two equal
+	// inputs must produce identical bytes.
+	Encode(v T) ([]byte, error)
+	// Decode parses a value produced by Encode.
+	Decode(b []byte) (T, error)
+}
+
+// BytesCodec is the identity codec for []byte values.
+type BytesCodec struct{}
+
+var _ Codec[[]byte] = BytesCodec{}
+
+// Encode implements Codec.
+func (BytesCodec) Encode(v []byte) ([]byte, error) { return v, nil }
+
+// Decode implements Codec.
+func (BytesCodec) Decode(b []byte) ([]byte, error) { return b, nil }
+
+// StringCodec converts strings.
+type StringCodec struct{}
+
+var _ Codec[string] = StringCodec{}
+
+// Encode implements Codec.
+func (StringCodec) Encode(v string) ([]byte, error) { return []byte(v), nil }
+
+// Decode implements Codec.
+func (StringCodec) Decode(b []byte) (string, error) { return string(b), nil }
+
+// GobCodec serialises any gob-encodable type. Gob encoding of a given
+// value is deterministic for a fixed type (struct fields are emitted in
+// order), making it suitable for tagging; note that maps, whose
+// iteration order is randomized, must be avoided in inputs.
+type GobCodec[T any] struct{}
+
+// Encode implements Codec.
+func (GobCodec[T]) Encode(v T) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("speed: gob encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode implements Codec.
+func (GobCodec[T]) Decode(b []byte) (T, error) {
+	var v T
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&v); err != nil {
+		return v, fmt.Errorf("speed: gob decode: %w", err)
+	}
+	return v, nil
+}
+
+// JSONCodec serialises any JSON-encodable type. encoding/json sorts map
+// keys, so JSON is safe for map-bearing inputs where gob is not.
+type JSONCodec[T any] struct{}
+
+// Encode implements Codec.
+func (JSONCodec[T]) Encode(v T) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("speed: json encode: %w", err)
+	}
+	return b, nil
+}
+
+// Decode implements Codec.
+func (JSONCodec[T]) Decode(b []byte) (T, error) {
+	var v T
+	if err := json.Unmarshal(b, &v); err != nil {
+		return v, fmt.Errorf("speed: json decode: %w", err)
+	}
+	return v, nil
+}

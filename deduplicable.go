@@ -1,0 +1,133 @@
+package speed
+
+import (
+	"fmt"
+
+	"speed/internal/mle"
+)
+
+// Deduplicable wraps a deterministic function so that calls to it are
+// transparently deduplicated through SPEED, mirroring the C++
+// Deduplicable template of the prototype (Section IV-C). Creating the
+// wrapper and calling it are the paper's "2 lines of code per function
+// call":
+//
+//	d, err := speed.NewDeduplicable(app, desc, fn, opts...)
+//	out, err := d.Call(in)
+type Deduplicable[I, O any] struct {
+	app *App
+	id  mle.FuncID
+	fn  func(I) (O, error)
+	in  Codec[I]
+	out Codec[O]
+}
+
+// DedupOption configures a Deduplicable at construction.
+type DedupOption[I, O any] func(*Deduplicable[I, O])
+
+// WithInputCodec sets the input serialisation; the default is
+// GobCodec[I].
+func WithInputCodec[I, O any](c Codec[I]) DedupOption[I, O] {
+	return func(d *Deduplicable[I, O]) { d.in = c }
+}
+
+// WithOutputCodec sets the output serialisation; the default is
+// GobCodec[O].
+func WithOutputCodec[I, O any](c Codec[O]) DedupOption[I, O] {
+	return func(d *Deduplicable[I, O]) { d.out = c }
+}
+
+// NewDeduplicable makes fn deduplicable under the given function
+// description. The description's library must have been registered at
+// the application with RegisterLibrary, proving the application owns
+// the function's code; otherwise construction fails.
+func NewDeduplicable[I, O any](app *App, desc FuncDesc, fn func(I) (O, error), opts ...DedupOption[I, O]) (*Deduplicable[I, O], error) {
+	if fn == nil {
+		return nil, fmt.Errorf("speed: nil function for %v", desc)
+	}
+	id, err := app.runtime.Resolve(desc)
+	if err != nil {
+		return nil, err
+	}
+	d := &Deduplicable[I, O]{
+		app: app,
+		id:  id,
+		fn:  fn,
+		in:  GobCodec[I]{},
+		out: GobCodec[O]{},
+	}
+	for _, opt := range opts {
+		opt(d)
+	}
+	return d, nil
+}
+
+// AdaptiveReport is a snapshot of the adaptive profiler's view of one
+// deduplicable function.
+type AdaptiveReport struct {
+	// ComputeMS and OverheadMS are moving-average estimates of the
+	// function's compute cost and the dedup-path overhead.
+	ComputeMS, OverheadMS float64
+	// HitRate is the observed store hit rate.
+	HitRate float64
+	// Samples counts observed deduplicated calls.
+	Samples int
+	// Bypassed reports whether deduplication is currently bypassed
+	// for this function.
+	Bypassed bool
+}
+
+// AdaptiveReport returns the adaptive profile of this function. ok is
+// false when the application was not created with AppConfig.Adaptive.
+func (d *Deduplicable[I, O]) AdaptiveReport() (AdaptiveReport, bool) {
+	if d.app.advisor == nil {
+		return AdaptiveReport{}, false
+	}
+	r := d.app.advisor.Report(d.id)
+	return AdaptiveReport{
+		ComputeMS:  r.ComputeMS,
+		OverheadMS: r.OverheadMS,
+		HitRate:    r.HitRate,
+		Samples:    r.Samples,
+		Bypassed:   r.Bypassed,
+	}, true
+}
+
+// Call invokes the wrapped function with deduplication and returns its
+// result.
+func (d *Deduplicable[I, O]) Call(in I) (O, error) {
+	out, _, err := d.CallOutcome(in)
+	return out, err
+}
+
+// CallOutcome is Call, additionally reporting whether the result was
+// freshly computed or reused from the store.
+func (d *Deduplicable[I, O]) CallOutcome(in I) (O, Outcome, error) {
+	var zero O
+	inBytes, err := d.in.Encode(in)
+	if err != nil {
+		return zero, 0, fmt.Errorf("speed: encode input: %w", err)
+	}
+	resBytes, outcome, err := d.app.runtime.ExecuteAdaptive(d.app.advisor, d.id, inBytes, func(raw []byte) ([]byte, error) {
+		// raw == inBytes by construction; decode back so the wrapped
+		// function sees its native type even when the runtime replays
+		// the computation.
+		v, derr := d.in.Decode(raw)
+		if derr != nil {
+			return nil, fmt.Errorf("speed: decode input: %w", derr)
+		}
+		out, ferr := d.fn(v)
+		if ferr != nil {
+			return nil, ferr
+		}
+		return d.out.Encode(out)
+	})
+	if err != nil {
+		return zero, 0, err
+	}
+	out, err := d.out.Decode(resBytes)
+	if err != nil {
+		return zero, 0, fmt.Errorf("speed: decode result: %w", err)
+	}
+	return out, outcome, nil
+}

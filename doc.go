@@ -1,0 +1,39 @@
+// Package speed is a Go implementation of SPEED, the secure and generic
+// computation deduplication system for SGX-enclave applications from
+// Cui et al., "SPEED: Accelerating Enclave Applications via Secure
+// Deduplication" (IEEE ICDCS 2019).
+//
+// SPEED lets enclave applications mark deterministic, time-consuming
+// function calls as deduplicable. At run time a trusted deduplication
+// runtime derives a tag from the function's code identity and input,
+// asks an encrypted ResultStore whether that exact computation was done
+// before, and either reuses the stored encrypted result or computes,
+// encrypts and uploads it. Results are protected with a randomized
+// convergent encryption (RCE) variant, so any application that owns the
+// same function code and input — and only such an application — can
+// recover the result, with no system-wide shared key.
+//
+// Because no SGX hardware is assumed, the package runs over a software
+// enclave simulator (EPC accounting, ECALL/OCALL transition costs,
+// measurements, sealing, local attestation); see DESIGN.md for the
+// substitution argument.
+//
+// # Quickstart
+//
+//	sys, err := speed.NewSystem()
+//	// handle err
+//	defer sys.Close()
+//
+//	app, err := sys.NewApp("myservice", serviceCode)
+//	// handle err
+//	defer app.Close()
+//	app.RegisterLibrary("zlib", "1.2.11", zlibCode)
+//
+//	// The paper's "2 lines of code per function call":
+//	deflate, err := speed.NewDeduplicable(app,
+//		speed.FuncDesc{Library: "zlib", Version: "1.2.11", Signature: "int deflate(...)"},
+//		myDeflate, speed.WithInputCodec[[]byte, []byte](speed.BytesCodec{}),
+//		speed.WithOutputCodec[[]byte, []byte](speed.BytesCodec{}))
+//	// handle err
+//	out, err := deflate.Call(input) // deduplicated transparently
+package speed

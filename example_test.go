@@ -1,0 +1,102 @@
+package speed_test
+
+import (
+	"fmt"
+	"strings"
+
+	"speed"
+)
+
+// Example demonstrates the complete SPEED workflow: create a
+// deployment, mark a function deduplicable, and observe the initial
+// vs. subsequent computation outcomes.
+func Example() {
+	sys, err := speed.NewSystemWithConfig(speed.SystemConfig{DisableSGXCosts: true})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer sys.Close()
+
+	app, err := sys.NewApp("example-app", []byte("example app code"))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer app.Close()
+	app.RegisterLibrary("strlib", "1.0", []byte("strlib code"))
+
+	// The paper's "2 lines of code per function call":
+	upper, err := speed.NewDeduplicable(app,
+		speed.FuncDesc{Library: "strlib", Version: "1.0", Signature: "string upper(string)"},
+		func(s string) (string, error) { return strings.ToUpper(s), nil },
+		speed.WithInputCodec[string, string](speed.StringCodec{}),
+		speed.WithOutputCodec[string, string](speed.StringCodec{}),
+	)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+
+	for i := 0; i < 2; i++ {
+		out, outcome, err := upper.CallOutcome("hello enclave")
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("%s (%v)\n", out, outcome)
+	}
+	// Output:
+	// HELLO ENCLAVE (computed)
+	// HELLO ENCLAVE (reused)
+}
+
+// ExampleNewDeduplicable_structTypes shows deduplicating a function
+// over struct types with the default gob codec.
+func ExampleNewDeduplicable_structTypes() {
+	sys, _ := speed.NewSystemWithConfig(speed.SystemConfig{DisableSGXCosts: true})
+	defer sys.Close()
+	app, _ := sys.NewApp("geo", []byte("geo code"))
+	defer app.Close()
+	app.RegisterLibrary("geolib", "2.0", []byte("geolib code"))
+
+	type Point struct{ X, Y float64 }
+	type Box struct{ Min, Max Point }
+
+	area, err := speed.NewDeduplicable(app,
+		speed.FuncDesc{Library: "geolib", Version: "2.0", Signature: "float area(Box)"},
+		func(b Box) (float64, error) {
+			return (b.Max.X - b.Min.X) * (b.Max.Y - b.Min.Y), nil
+		})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	a, _ := area.Call(Box{Min: Point{0, 0}, Max: Point{4, 2.5}})
+	fmt.Println(a)
+	// Output:
+	// 10
+}
+
+// ExampleSystem_authorize shows controlled deduplication: only
+// explicitly authorized applications may use the store.
+func ExampleSystem_authorize() {
+	sys, _ := speed.NewSystemWithConfig(speed.SystemConfig{
+		DisableSGXCosts: true,
+		DenyByDefault:   true,
+	})
+	defer sys.Close()
+
+	app, _ := sys.NewApp("tenant-a", []byte("tenant a code"))
+	defer app.Close()
+	sys.Authorize(app.Measurement(), true, true)
+	app.RegisterLibrary("lib", "1", []byte("lib code"))
+
+	f, _ := speed.NewDeduplicable(app,
+		speed.FuncDesc{Library: "lib", Version: "1", Signature: "f(int)"},
+		func(x int) (int, error) { return x + 1, nil })
+	v, _ := f.Call(41)
+	fmt.Println(v, sys.StoreStats().Entries)
+	// Output:
+	// 42 1
+}

@@ -1,0 +1,104 @@
+// Imagefeatures: the Case 1 scenario — an image service extracting
+// SIFT keypoints. Incremental batches overlap heavily with previously
+// processed images (re-uploads, thumbnails regenerated), so feature
+// extraction deduplicates well. Demonstrates a custom Codec pair
+// (image encoder in, keypoint encoder out).
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"speed"
+	"speed/internal/sift"
+	"speed/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "imagefeatures:", err)
+		os.Exit(1)
+	}
+}
+
+// imageCodec serialises *sift.Gray deterministically for tagging.
+type imageCodec struct{}
+
+func (imageCodec) Encode(img *sift.Gray) ([]byte, error) { return sift.EncodeGray(img), nil }
+func (imageCodec) Decode(b []byte) (*sift.Gray, error)   { return sift.DecodeGray(b) }
+
+// keypointCodec serialises the extraction result.
+type keypointCodec struct{}
+
+func (keypointCodec) Encode(kps []sift.Keypoint) ([]byte, error) {
+	return sift.EncodeKeypoints(kps), nil
+}
+func (keypointCodec) Decode(b []byte) ([]sift.Keypoint, error) {
+	return sift.DecodeKeypoints(b)
+}
+
+func run() error {
+	sys, err := speed.NewSystem()
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+
+	app, err := sys.NewApp("image-service", []byte("image service v3"))
+	if err != nil {
+		return err
+	}
+	defer app.Close()
+	app.RegisterLibrary("libsiftpp", "0.8.1", []byte("libsiftpp code"))
+
+	extract, err := speed.NewDeduplicable(app,
+		speed.FuncDesc{Library: "libsiftpp", Version: "0.8.1", Signature: "keypoints sift(image)"},
+		func(img *sift.Gray) ([]sift.Keypoint, error) {
+			return sift.Detect(img, sift.DefaultParams()), nil
+		},
+		speed.WithInputCodec[*sift.Gray, []sift.Keypoint](imageCodec{}),
+		speed.WithOutputCodec[*sift.Gray, []sift.Keypoint](keypointCodec{}),
+	)
+	if err != nil {
+		return err
+	}
+
+	// Two "daily batches" with 60% image overlap: the second batch
+	// reuses extraction results for images already processed.
+	gen := workload.New(11)
+	pool := make([]*sift.Gray, 10)
+	for i := range pool {
+		pool[i] = gen.Image(160, 160)
+	}
+	batch1 := pool[:6]
+	batch2 := pool[2:] // images 2..5 overlap with batch 1
+
+	processBatch := func(name string, batch []*sift.Gray) error {
+		fmt.Printf("%s (%d images)\n", name, len(batch))
+		start := time.Now()
+		for i, img := range batch {
+			t := time.Now()
+			kps, outcome, err := extract.CallOutcome(img)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  image %d: %3d keypoints  %-8v  %v\n",
+				i, len(kps), outcome, time.Since(t).Round(100*time.Microsecond))
+		}
+		fmt.Printf("  batch total: %v\n\n", time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+
+	if err := processBatch("batch 1", batch1); err != nil {
+		return err
+	}
+	if err := processBatch("batch 2 (overlaps batch 1)", batch2); err != nil {
+		return err
+	}
+
+	st := app.Stats()
+	fmt.Printf("stats: %d calls, %d computed, %d reused, %d bytes of results served from store\n",
+		st.Calls, st.Computed, st.Reused, st.BytesReused)
+	return nil
+}

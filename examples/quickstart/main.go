@@ -1,0 +1,76 @@
+// Quickstart: the smallest complete SPEED program. It creates a
+// simulated SGX deployment, marks one deterministic function as
+// deduplicable (the paper's "2 lines of code"), and shows the
+// initial-vs-subsequent computation difference.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"speed"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+// slowFib is a deliberately expensive deterministic function: the
+// stand-in for any time-consuming computation worth deduplicating.
+func slowFib(n int) (int, error) {
+	if n < 2 {
+		return n, nil
+	}
+	a, err := slowFib(n - 1)
+	if err != nil {
+		return 0, err
+	}
+	b, err := slowFib(n - 2)
+	if err != nil {
+		return 0, err
+	}
+	return a + b, nil
+}
+
+func run() error {
+	// A deployment = simulated SGX platform + encrypted ResultStore.
+	sys, err := speed.NewSystem()
+	if err != nil {
+		return err
+	}
+	defer sys.Close()
+
+	// An SGX-enabled application with one trusted library.
+	app, err := sys.NewApp("quickstart-app", []byte("quickstart app code v1"))
+	if err != nil {
+		return err
+	}
+	defer app.Close()
+	app.RegisterLibrary("mathlib", "1.0", []byte("mathlib code v1"))
+
+	// The paper's 2 lines: wrap the function, then call it as usual.
+	fib, err := speed.NewDeduplicable(app,
+		speed.FuncDesc{Library: "mathlib", Version: "1.0", Signature: "int fib(int)"},
+		slowFib)
+	if err != nil {
+		return err
+	}
+
+	for i := 0; i < 3; i++ {
+		start := time.Now()
+		v, outcome, err := fib.CallOutcome(32)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("fib(32) = %d  outcome=%-8v  time=%v\n",
+			v, outcome, time.Since(start).Round(10*time.Microsecond))
+	}
+
+	fmt.Printf("\napp stats:   %+v\n", app.Stats())
+	fmt.Printf("store stats: %+v\n", sys.StoreStats())
+	return nil
+}

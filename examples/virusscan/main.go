@@ -1,0 +1,132 @@
+// Virusscan: an online virus-scanner scenario (the paper's motivating
+// example for Case 3). Many users submit files to a scanning service;
+// popular files are submitted repeatedly, so the expensive
+// scan-against-thousands-of-rules computation is deduplicated. A
+// second scanner process connects to the SAME store over TCP with the
+// attested protocol and reuses results it never computed.
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"speed"
+	"speed/internal/pattern"
+	"speed/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "virusscan:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// The shared ResultStore deployment, served over TCP.
+	storeSys, err := speed.NewSystem()
+	if err != nil {
+		return err
+	}
+	defer storeSys.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	srv := storeSys.Serve(ln)
+	defer srv.Close()
+	fmt.Printf("resultstore on %s (measurement %v)\n\n", srv.Addr(), storeSys.StoreMeasurement())
+
+	// The scanning engine: ~2,000 synthetic Snort-style rules.
+	gen := workload.New(7)
+	rules := gen.SnortRules(2000)
+	rs, err := pattern.CompileRules(rules)
+	if err != nil {
+		return err
+	}
+	engineCode := []byte("clamav-like engine build 1047")
+
+	newScanner := func(name string) (*speed.App, *speed.Deduplicable[[]byte, []byte], error) {
+		app, err := storeSys.NewAppWithConfig(name, []byte(name), speed.AppConfig{
+			RemoteStoreAddr:        srv.Addr().String(),
+			RemoteStoreMeasurement: storeSys.StoreMeasurement(),
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		app.RegisterLibrary("scan-engine", "1047", engineCode)
+		scan, err := speed.NewDeduplicable(app,
+			speed.FuncDesc{Library: "scan-engine", Version: "1047", Signature: "scan(file) -> rule ids"},
+			func(file []byte) ([]byte, error) {
+				return pattern.EncodeScanResult(rs.Scan(file)), nil
+			},
+			speed.WithInputCodec[[]byte, []byte](speed.BytesCodec{}),
+			speed.WithOutputCodec[[]byte, []byte](speed.BytesCodec{}),
+		)
+		return app, scan, err
+	}
+
+	appA, scanA, err := newScanner("scanner-frontend-1")
+	if err != nil {
+		return err
+	}
+	defer appA.Close()
+	appB, scanB, err := newScanner("scanner-frontend-2")
+	if err != nil {
+		return err
+	}
+	defer appB.Close()
+
+	// 30 submissions drawn from 6 distinct files (popular files
+	// repeat, Zipf-skewed), alternating between the two frontends.
+	files := workload.DupStream(gen, 30, 6, func(i int) []byte {
+		return gen.Packet(128<<10, rules, 0.4)
+	})
+
+	var computedTime, reusedTime time.Duration
+	var computed, reused int
+	for i, f := range files {
+		scan, who := scanA, "frontend-1"
+		if i%2 == 1 {
+			scan, who = scanB, "frontend-2"
+		}
+		start := time.Now()
+		res, outcome, err := scan.CallOutcome(f)
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		ids, err := pattern.DecodeScanResult(res)
+		if err != nil {
+			return err
+		}
+		verdict := "CLEAN"
+		if len(ids) > 0 {
+			verdict = fmt.Sprintf("FLAGGED(%d rules)", len(ids))
+		}
+		fmt.Printf("submission %2d  %-11s %-10v %-18s %v\n",
+			i, who, outcome, verdict, elapsed.Round(10*time.Microsecond))
+		if outcome == speed.OutcomeReused {
+			reused++
+			reusedTime += elapsed
+		} else {
+			computed++
+			computedTime += elapsed
+		}
+	}
+
+	fmt.Printf("\ncomputed %d scans in %v (avg %v)\n",
+		computed, computedTime.Round(time.Millisecond),
+		(computedTime / time.Duration(computed)).Round(10*time.Microsecond))
+	if reused > 0 {
+		avgReuse := reusedTime / time.Duration(reused)
+		fmt.Printf("reused   %d scans in %v (avg %v)\n",
+			reused, reusedTime.Round(time.Millisecond), avgReuse.Round(10*time.Microsecond))
+		avgComp := computedTime / time.Duration(computed)
+		fmt.Printf("per-scan speedup on reuse: %.0fx\n", float64(avgComp)/float64(avgReuse))
+	}
+	fmt.Printf("store: %+v\n", storeSys.StoreStats())
+	return nil
+}

@@ -1,0 +1,430 @@
+package speed
+
+import (
+	"fmt"
+	"net"
+	"testing"
+)
+
+// Tests for the extension features: controlled deduplication,
+// oblivious lookups, sealed snapshots, and adaptive deduplication.
+
+func TestControlledDeduplication(t *testing.T) {
+	sys, err := NewSystemWithConfig(SystemConfig{
+		DisableSGXCosts: true,
+		DenyByDefault:   true,
+	})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	defer sys.Close()
+
+	mk := func(name string) (*App, *Deduplicable[int, int]) {
+		app, err := sys.NewApp(name, []byte(name+" code"))
+		if err != nil {
+			t.Fatalf("NewApp: %v", err)
+		}
+		t.Cleanup(func() { _ = app.Close() })
+		app.RegisterLibrary("mathlib", "1.0", []byte("mathlib code"))
+		f, err := NewDeduplicable(app, squareDesc, func(x int) (int, error) { return x * x, nil })
+		if err != nil {
+			t.Fatalf("NewDeduplicable: %v", err)
+		}
+		return app, f
+	}
+
+	authApp, authF := mk("authorized")
+	sys.Authorize(authApp.Measurement(), true, true)
+	_, strangerF := mk("stranger")
+
+	// Authorized app populates the store.
+	if got, err := authF.Call(6); err != nil || got != 36 {
+		t.Fatalf("authorized Call = (%d, %v)", got, err)
+	}
+	if sys.StoreStats().Entries != 1 {
+		t.Fatal("authorized put did not land")
+	}
+
+	// Unauthorized app computes correctly but neither reads nor
+	// writes the store.
+	got, outcome, err := strangerF.CallOutcome(6)
+	if err != nil || got != 36 {
+		t.Fatalf("stranger Call = (%d, %v)", got, err)
+	}
+	if outcome != OutcomeComputed {
+		t.Errorf("stranger outcome = %v, want computed (no store access)", outcome)
+	}
+	if got := sys.StoreStats().Unauthorized; got == 0 {
+		t.Error("no unauthorized accesses recorded")
+	}
+	if sys.StoreStats().Entries != 1 {
+		t.Error("stranger modified the store")
+	}
+
+	// Revocation works.
+	sys.RevokeAuthorization(authApp.Measurement())
+	_, outcome, err = authF.CallOutcome(6)
+	if err != nil {
+		t.Fatalf("revoked Call: %v", err)
+	}
+	if outcome != OutcomeComputed {
+		t.Errorf("revoked outcome = %v, want computed", outcome)
+	}
+}
+
+func TestObliviousSystem(t *testing.T) {
+	sys, err := NewSystemWithConfig(SystemConfig{
+		DisableSGXCosts:  true,
+		ObliviousLookups: true,
+	})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	defer sys.Close()
+	app := newTestApp(t, sys, "obl-app")
+	f, err := NewDeduplicable(app, squareDesc, func(x int) (int, error) { return x * x, nil })
+	if err != nil {
+		t.Fatalf("NewDeduplicable: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if got, err := f.Call(i); err != nil || got != i*i {
+			t.Fatalf("Call(%d) = (%d, %v)", i, got, err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		_, outcome, err := f.CallOutcome(i)
+		if err != nil || outcome != OutcomeReused {
+			t.Fatalf("oblivious reuse Call(%d) = (%v, %v)", i, outcome, err)
+		}
+	}
+}
+
+func TestSnapshotAcrossRestart(t *testing.T) {
+	seed := []byte("persistent-machine")
+	mkSys := func() *System {
+		sys, err := NewSystemWithConfig(SystemConfig{
+			DisableSGXCosts: true,
+			PlatformSeed:    seed,
+		})
+		if err != nil {
+			t.Fatalf("NewSystem: %v", err)
+		}
+		t.Cleanup(sys.Close)
+		return sys
+	}
+	mkApp := func(sys *System, name string) *Deduplicable[int, int] {
+		app, err := sys.NewApp(name, []byte("app code"))
+		if err != nil {
+			t.Fatalf("NewApp: %v", err)
+		}
+		t.Cleanup(func() { _ = app.Close() })
+		app.RegisterLibrary("mathlib", "1.0", []byte("mathlib code"))
+		f, err := NewDeduplicable(app, squareDesc, func(x int) (int, error) { return x * x, nil })
+		if err != nil {
+			t.Fatalf("NewDeduplicable: %v", err)
+		}
+		return f
+	}
+
+	sys1 := mkSys()
+	f1 := mkApp(sys1, "app")
+	for i := 0; i < 5; i++ {
+		if _, err := f1.Call(i); err != nil {
+			t.Fatalf("Call: %v", err)
+		}
+	}
+	snap, err := sys1.SealSnapshot()
+	if err != nil {
+		t.Fatalf("SealSnapshot: %v", err)
+	}
+
+	// "Restart": new System with the same platform seed.
+	sys2 := mkSys()
+	n, err := sys2.RestoreSnapshot(snap)
+	if err != nil {
+		t.Fatalf("RestoreSnapshot: %v", err)
+	}
+	if n != 5 {
+		t.Errorf("restored %d entries, want 5", n)
+	}
+	f2 := mkApp(sys2, "app")
+	for i := 0; i < 5; i++ {
+		_, outcome, err := f2.CallOutcome(i)
+		if err != nil {
+			t.Fatalf("restored Call(%d): %v", i, err)
+		}
+		if outcome != OutcomeReused {
+			t.Errorf("Call(%d) outcome = %v, want reused from snapshot", i, outcome)
+		}
+	}
+}
+
+func TestSnapshotWrongSeedRejected(t *testing.T) {
+	sys1, err := NewSystemWithConfig(SystemConfig{
+		DisableSGXCosts: true,
+		PlatformSeed:    []byte("machine-A"),
+	})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	defer sys1.Close()
+	app := newTestApp(t, sys1, "a")
+	f, err := NewDeduplicable(app, squareDesc, func(x int) (int, error) { return x, nil })
+	if err != nil {
+		t.Fatalf("NewDeduplicable: %v", err)
+	}
+	if _, err := f.Call(1); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	snap, err := sys1.SealSnapshot()
+	if err != nil {
+		t.Fatalf("SealSnapshot: %v", err)
+	}
+
+	sys2, err := NewSystemWithConfig(SystemConfig{
+		DisableSGXCosts: true,
+		PlatformSeed:    []byte("machine-B"),
+	})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	defer sys2.Close()
+	if _, err := sys2.RestoreSnapshot(snap); err == nil {
+		t.Error("snapshot restored on a different machine")
+	}
+}
+
+func TestAdaptiveAppBypassesCheapFunction(t *testing.T) {
+	sys := newTestSystem(t)
+	app, err := sys.NewAppWithConfig("adaptive", []byte("adaptive code"), AppConfig{
+		Adaptive:           true,
+		AdaptiveMinSamples: 4,
+		AdaptiveProbation:  1 << 20,
+	})
+	if err != nil {
+		t.Fatalf("NewAppWithConfig: %v", err)
+	}
+	defer app.Close()
+	app.RegisterLibrary("mathlib", "1.0", []byte("mathlib code"))
+
+	identity, err := NewDeduplicable(app,
+		FuncDesc{Library: "mathlib", Version: "1.0", Signature: "int id(int)"},
+		func(x int) (int, error) { return x, nil })
+	if err != nil {
+		t.Fatalf("NewDeduplicable: %v", err)
+	}
+
+	// Cheap function, all-distinct inputs: zero hit rate, compute far
+	// below dedup overhead. Must get bypassed.
+	for i := 0; i < 40; i++ {
+		if got, err := identity.Call(i); err != nil || got != i {
+			t.Fatalf("Call(%d) = (%d, %v)", i, got, err)
+		}
+	}
+	report, ok := identity.AdaptiveReport()
+	if !ok {
+		t.Fatal("AdaptiveReport not available on adaptive app")
+	}
+	if !report.Bypassed {
+		t.Errorf("cheap function not bypassed: %+v", report)
+	}
+	// Store traffic stopped growing after the bypass.
+	gets := sys.StoreStats().Gets
+	for i := 100; i < 110; i++ {
+		if _, err := identity.Call(i); err != nil {
+			t.Fatalf("Call: %v", err)
+		}
+	}
+	if after := sys.StoreStats().Gets; after != gets {
+		t.Errorf("bypassed calls still hit the store (%d -> %d)", gets, after)
+	}
+}
+
+func TestAdaptiveReportUnavailableWithoutAdaptive(t *testing.T) {
+	sys := newTestSystem(t)
+	app := newTestApp(t, sys, "plain")
+	f, err := NewDeduplicable(app, squareDesc, func(x int) (int, error) { return x, nil })
+	if err != nil {
+		t.Fatalf("NewDeduplicable: %v", err)
+	}
+	if _, ok := f.AdaptiveReport(); ok {
+		t.Error("AdaptiveReport available on non-adaptive app")
+	}
+}
+
+// Ensure duplicate deduplicables on one app share profiles cleanly.
+func TestAdaptiveTwoFunctionsIndependent(t *testing.T) {
+	sys := newTestSystem(t)
+	app, err := sys.NewAppWithConfig("adaptive2", []byte("adaptive2 code"), AppConfig{
+		Adaptive:           true,
+		AdaptiveMinSamples: 4,
+		AdaptiveProbation:  1 << 20,
+	})
+	if err != nil {
+		t.Fatalf("NewAppWithConfig: %v", err)
+	}
+	defer app.Close()
+	app.RegisterLibrary("mathlib", "1.0", []byte("mathlib code"))
+
+	cheap, err := NewDeduplicable(app,
+		FuncDesc{Library: "mathlib", Version: "1.0", Signature: "cheap"},
+		func(x int) (int, error) { return x, nil })
+	if err != nil {
+		t.Fatalf("NewDeduplicable: %v", err)
+	}
+	hot, err := NewDeduplicable(app,
+		FuncDesc{Library: "mathlib", Version: "1.0", Signature: "hot"},
+		func(x int) (int, error) {
+			// Simulate meaningful work.
+			total := 0
+			for i := 0; i < 2_000_000; i++ {
+				total += i % (x + 2)
+			}
+			return total, nil
+		})
+	if err != nil {
+		t.Fatalf("NewDeduplicable: %v", err)
+	}
+
+	for i := 0; i < 30; i++ {
+		if _, err := cheap.Call(i); err != nil { // all distinct
+			t.Fatalf("cheap Call: %v", err)
+		}
+		if _, err := hot.Call(0); err != nil { // always the same input
+			t.Fatalf("hot Call: %v", err)
+		}
+	}
+	cheapReport, _ := cheap.AdaptiveReport()
+	hotReport, _ := hot.AdaptiveReport()
+	if !cheapReport.Bypassed {
+		t.Errorf("cheap function not bypassed: %+v", cheapReport)
+	}
+	if hotReport.Bypassed {
+		t.Errorf("hot function wrongly bypassed: %+v", hotReport)
+	}
+	if hotReport.HitRate < 0.9 {
+		t.Errorf("hot HitRate = %v, want ~1", hotReport.HitRate)
+	}
+}
+
+// TestCrossMachineRemoteStore: the store runs on machine A; the
+// application runs on machine B and connects via remote attestation —
+// the paper's "master ResultStore on a dedicated server" deployment.
+func TestCrossMachineRemoteStore(t *testing.T) {
+	appSys, err := NewSystemWithConfig(SystemConfig{DisableSGXCosts: true})
+	if err != nil {
+		t.Fatalf("NewSystem app machine: %v", err)
+	}
+	defer appSys.Close()
+
+	storeSys, err := NewSystemWithConfig(SystemConfig{
+		DisableSGXCosts: true,
+		// The store machine trusts applications from the app machine.
+		TrustedPlatforms: [][]byte{appSys.AttestationKey()},
+	})
+	if err != nil {
+		t.Fatalf("NewSystem store machine: %v", err)
+	}
+	defer storeSys.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	srv := storeSys.Serve(ln)
+	defer srv.Close()
+
+	app, err := appSys.NewAppWithConfig("remote-app", []byte("remote app code"), AppConfig{
+		RemoteStoreAddr:        srv.Addr().String(),
+		RemoteStoreMeasurement: storeSys.StoreMeasurement(),
+		// The app machine trusts the store machine.
+		TrustedStorePlatforms: [][]byte{storeSys.AttestationKey()},
+	})
+	if err != nil {
+		t.Fatalf("NewAppWithConfig: %v", err)
+	}
+	defer app.Close()
+	app.RegisterLibrary("mathlib", "1.0", []byte("mathlib code"))
+
+	f, err := NewDeduplicable(app, squareDesc, func(x int) (int, error) { return x * x, nil })
+	if err != nil {
+		t.Fatalf("NewDeduplicable: %v", err)
+	}
+	if got, err := f.Call(11); err != nil || got != 121 {
+		t.Fatalf("Call = (%d, %v)", got, err)
+	}
+	if _, outcome, err := f.CallOutcome(11); err != nil || outcome != OutcomeReused {
+		t.Errorf("cross-machine reuse = (%v, %v), want reused", outcome, err)
+	}
+	if got := storeSys.StoreStats().Entries; got != 1 {
+		t.Errorf("store machine entries = %d, want 1", got)
+	}
+}
+
+// TestCrossMachineRejectedWithoutTrust: without attestation trust, an
+// app on another machine cannot connect at all.
+func TestCrossMachineRejectedWithoutTrust(t *testing.T) {
+	appSys, err := NewSystemWithConfig(SystemConfig{DisableSGXCosts: true})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	defer appSys.Close()
+	storeSys, err := NewSystemWithConfig(SystemConfig{DisableSGXCosts: true})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	defer storeSys.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	srv := storeSys.Serve(ln)
+	defer srv.Close()
+
+	_, err = appSys.NewAppWithConfig("untrusted-app", []byte("code"), AppConfig{
+		RemoteStoreAddr:        srv.Addr().String(),
+		RemoteStoreMeasurement: storeSys.StoreMeasurement(),
+		TrustedStorePlatforms:  [][]byte{storeSys.AttestationKey()},
+		// storeSys does NOT trust appSys's platform.
+	})
+	if err == nil {
+		t.Error("untrusted cross-machine app connected")
+	}
+}
+
+func TestSystemConfigCombination(t *testing.T) {
+	// All extension knobs together.
+	sys, err := NewSystemWithConfig(SystemConfig{
+		DisableSGXCosts:  true,
+		DenyByDefault:    true,
+		ObliviousLookups: true,
+		PlatformSeed:     []byte("combo"),
+		StoreMaxEntries:  100,
+	})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	defer sys.Close()
+	app, err := sys.NewApp("combo-app", []byte("combo code"))
+	if err != nil {
+		t.Fatalf("NewApp: %v", err)
+	}
+	defer app.Close()
+	sys.Authorize(app.Measurement(), true, true)
+	app.RegisterLibrary("mathlib", "1.0", []byte("mathlib code"))
+	f, err := NewDeduplicable(app, squareDesc, func(x int) (int, error) { return x * x, nil })
+	if err != nil {
+		t.Fatalf("NewDeduplicable: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if got, err := f.Call(3); err != nil || got != 9 {
+			t.Fatalf("Call = (%d, %v)", got, err)
+		}
+	}
+	st := app.Stats()
+	if st.Reused != 4 {
+		t.Errorf("Reused = %d, want 4 (authorized + oblivious path)", st.Reused)
+	}
+	_ = fmt.Sprintf("%v", st)
+}

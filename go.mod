@@ -1,0 +1,3 @@
+module speed
+
+go 1.22

@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"speed/internal/dedup"
+	"speed/internal/mle"
+)
+
+// AdaptiveRow is one strategy's total wall-clock time over the mixed
+// workload of AblationAdaptive.
+type AdaptiveRow struct {
+	Strategy string
+	TotalMS  float64
+	Computed int64
+	Reused   int64
+}
+
+// AblationAdaptive evaluates the adaptive deduplication strategy (the
+// paper's future-work extension) on a mixed workload designed to
+// defeat both static policies:
+//
+//   - a CHEAP function called on all-distinct inputs (deduplication
+//     pure overhead), and
+//   - an EXPENSIVE function called repeatedly on few inputs
+//     (deduplication a large win).
+//
+// Three strategies run the identical call sequence: always-dedup
+// (SPEED as published), never-dedup (plain enclave execution), and
+// adaptive (the advisor decides per function). Adaptive should
+// approach the best of both on their respective halves.
+func AblationAdaptive(calls int, trials int) ([]AdaptiveRow, error) {
+	if calls <= 0 {
+		calls = 300
+	}
+	expensiveWork := func() {
+		// ~1ms of deterministic work.
+		deadline := time.Now().Add(time.Millisecond)
+		for time.Now().Before(deadline) {
+		}
+	}
+
+	runStrategy := func(name string, mode int) (AdaptiveRow, error) {
+		e, err := newEnv(true)
+		if err != nil {
+			return AdaptiveRow{}, err
+		}
+		defer e.close()
+		var advisor *dedup.Advisor
+		if mode == 2 {
+			advisor = dedup.NewAdvisor(dedup.AdaptivePolicy{MinSamples: 8})
+		}
+
+		var cheapID, hotID mle.FuncID
+		cheapID[0], hotID[0] = 1, 2
+
+		cheap := func(in []byte) ([]byte, error) { return in, nil }
+		hot := func(in []byte) ([]byte, error) {
+			expensiveWork()
+			return append([]byte("r"), in...), nil
+		}
+
+		exec := func(id mle.FuncID, input []byte, fn func([]byte) ([]byte, error)) error {
+			switch mode {
+			case 0: // always dedup
+				_, _, err := e.runtime.Execute(id, input, fn)
+				return err
+			case 1: // never dedup
+				return e.appEnc.ECall(func() error {
+					_, ferr := fn(input)
+					return ferr
+				})
+			default: // adaptive
+				_, _, err := e.runtime.ExecuteAdaptive(advisor, id, input, fn)
+				return err
+			}
+		}
+
+		t, err := timeIt(trials, func() error {
+			for i := 0; i < calls; i++ {
+				// Interleave: cheap on distinct inputs, hot on one of
+				// 4 popular inputs.
+				if err := exec(cheapID, []byte(fmt.Sprintf("distinct-%d-%d", i, time.Now().UnixNano())), cheap); err != nil {
+					return err
+				}
+				if err := exec(hotID, []byte(fmt.Sprintf("popular-%d", i%4)), hot); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return AdaptiveRow{}, err
+		}
+		st := e.runtime.Stats()
+		return AdaptiveRow{
+			Strategy: name,
+			TotalMS:  ms(t),
+			Computed: st.Computed,
+			Reused:   st.Reused,
+		}, nil
+	}
+
+	var rows []AdaptiveRow
+	for _, s := range []struct {
+		name string
+		mode int
+	}{
+		{"always-dedup", 0},
+		{"never-dedup", 1},
+		{"adaptive", 2},
+	} {
+		row, err := runStrategy(s.name, s.mode)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderAblationAdaptive formats the strategy comparison.
+func RenderAblationAdaptive(rows []AdaptiveRow, calls int) string {
+	s := fmt.Sprintf("Ablation: adaptive deduplication strategy (%d mixed calls per trial)\n", calls)
+	s += fmt.Sprintf("%-14s %12s %10s %10s\n", "Strategy", "total(ms)", "computed", "reused")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-14s %12.1f %10d %10d\n", r.Strategy, r.TotalMS, r.Computed, r.Reused)
+	}
+	return s
+}

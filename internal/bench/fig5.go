@@ -1,0 +1,275 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"speed/internal/compress"
+	"speed/internal/dedup"
+	"speed/internal/mapreduce"
+	"speed/internal/pattern"
+	"speed/internal/sift"
+	"speed/internal/workload"
+)
+
+// Fig5Row is one bar group of Fig. 5: for one input size of one
+// application, the baseline running time (no SPEED), the initial
+// computation (SPEED, miss: compute + encrypt + store), and the
+// subsequent computation (SPEED, hit: fetch + verify + decrypt).
+type Fig5Row struct {
+	// Label describes the input (size or volume).
+	Label string
+	// BaselineMS, InitMS and SubsqMS are mean times in milliseconds.
+	BaselineMS, InitMS, SubsqMS float64
+	// InitPct and SubsqPct are relative to baseline (the paper's
+	// y-axis; baseline = 100%).
+	InitPct, SubsqPct float64
+	// Speedup is BaselineMS / SubsqMS, the headline number.
+	Speedup float64
+}
+
+func newFig5Row(label string, baseMS, initMS, subsqMS float64) Fig5Row {
+	r := Fig5Row{Label: label, BaselineMS: baseMS, InitMS: initMS, SubsqMS: subsqMS}
+	if baseMS > 0 {
+		r.InitPct = initMS / baseMS * 100
+		r.SubsqPct = subsqMS / baseMS * 100
+	}
+	if subsqMS > 0 {
+		r.Speedup = baseMS / subsqMS
+	}
+	return r
+}
+
+// runCase measures one application case: compute is the deterministic
+// function under test, input its serialized input. It returns
+// (baseline, init, subsq) mean times.
+//
+// The baseline executes the computation inside the application enclave
+// without SPEED (the red 100% line of Fig. 5); the initial computation
+// runs Algorithm 1 on a cold store; the subsequent computation runs
+// Algorithm 2 against the warm store.
+func runCase(trials int, funcName string, input []byte, compute func([]byte) ([]byte, error)) (baseMS, initMS, subsqMS float64, err error) {
+	e, err := newEnv(true)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer e.close()
+
+	// Baseline: in-enclave execution, no deduplication.
+	baseT, err := timeIt(trials, func() error {
+		return e.appEnc.ECall(func() error {
+			_, cerr := compute(input)
+			return cerr
+		})
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+
+	e.runtime.Registry().RegisterLibrary("benchlib", "1.0", []byte("bench library code"))
+	id, err := e.runtime.Resolve(benchDesc(funcName, "1.0"))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+
+	// Initial computation: every trial must be a miss, so vary a
+	// per-trial input suffix... but that would change the computation.
+	// Instead use distinct fresh environments? Cheaper: distinct
+	// FuncIDs per trial by registering per-trial versions — the cost
+	// profile is identical and the computation stays byte-identical.
+	initTrial := 0
+	initT, err := timeIt(trials, func() error {
+		initTrial++
+		version := fmt.Sprintf("1.0.%d", initTrial)
+		e.runtime.Registry().RegisterLibrary("benchlib", version, []byte("bench library code"))
+		trialID, rerr := e.runtime.Resolve(benchDesc(funcName, version))
+		if rerr != nil {
+			return rerr
+		}
+		_, _, xerr := e.runtime.Execute(trialID, input, compute)
+		return xerr
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+
+	// Warm the store once for the subsequent-computation measurement.
+	if _, _, err := e.runtime.Execute(id, input, compute); err != nil {
+		return 0, 0, 0, err
+	}
+	subsqT, err := timeIt(trials, func() error {
+		_, outcome, xerr := e.runtime.Execute(id, input, compute)
+		if xerr != nil {
+			return xerr
+		}
+		if outcome != dedup.OutcomeReused {
+			return fmt.Errorf("bench: expected reuse, got %v", outcome)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return ms(baseT), ms(initT), ms(subsqT), nil
+}
+
+// benchDesc is the function description under which bench computations
+// are deduplicated.
+func benchDesc(funcName, version string) dedup.FuncDesc {
+	return dedup.FuncDesc{
+		Library:   "benchlib",
+		Version:   version,
+		Signature: funcName + "(...)",
+	}
+}
+
+// Fig5SIFT reproduces Fig. 5(a): SIFT feature extraction over images of
+// increasing size.
+func Fig5SIFT(sizes []int, trials int) ([]Fig5Row, error) {
+	if len(sizes) == 0 {
+		sizes = []int{64, 128, 192, 256}
+	}
+	src := workload.New(101)
+	rows := make([]Fig5Row, 0, len(sizes))
+	for _, size := range sizes {
+		img := src.Image(size, size)
+		input := sift.EncodeGray(img)
+		compute := func(in []byte) ([]byte, error) {
+			g, err := sift.DecodeGray(in)
+			if err != nil {
+				return nil, err
+			}
+			return sift.EncodeKeypoints(sift.Detect(g, sift.DefaultParams())), nil
+		}
+		base, initMS, subsq, err := runCase(trials, "sift", input, compute)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, newFig5Row(fmt.Sprintf("%dx%d", size, size), base, initMS, subsq))
+	}
+	return rows, nil
+}
+
+// Fig5Compress reproduces Fig. 5(b): data compression over text files
+// of increasing size.
+func Fig5Compress(sizes []int, trials int) ([]Fig5Row, error) {
+	if len(sizes) == 0 {
+		sizes = []int{256 << 10, 512 << 10, 1 << 20, 2 << 20}
+	}
+	src := workload.New(102)
+	rows := make([]Fig5Row, 0, len(sizes))
+	for _, size := range sizes {
+		input := src.Text(size)
+		compute := func(in []byte) ([]byte, error) {
+			return compress.Compress(in), nil
+		}
+		base, initMS, subsq, err := runCase(trials, "deflate", input, compute)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, newFig5Row(fmt.Sprintf("%dKB", size>>10), base, initMS, subsq))
+	}
+	return rows, nil
+}
+
+// Fig5Pattern reproduces Fig. 5(c): matching traffic payloads against a
+// large rule set (the paper used >3,700 Snort rules over 4M+ packets).
+// The deduplicated computation matches the paper's methodology: each
+// rule is evaluated individually (pcre_exec per rule), which is what
+// makes the baseline so slow and the speedup so large. Pass
+// prefilter=true to use the optimized Aho–Corasick engine instead — an
+// ablation showing that a faster matching engine shrinks (but does not
+// eliminate) the deduplication win.
+func Fig5Pattern(payloadSizes []int, numRules, trials int) ([]Fig5Row, error) {
+	return fig5Pattern(payloadSizes, numRules, trials, false)
+}
+
+// Fig5PatternPrefilter is Fig5Pattern over the Aho–Corasick-optimized
+// engine.
+func Fig5PatternPrefilter(payloadSizes []int, numRules, trials int) ([]Fig5Row, error) {
+	return fig5Pattern(payloadSizes, numRules, trials, true)
+}
+
+func fig5Pattern(payloadSizes []int, numRules, trials int, prefilter bool) ([]Fig5Row, error) {
+	if len(payloadSizes) == 0 {
+		// Per-call payloads stay packet-scale, as in the paper's
+		// trace-driven evaluation.
+		payloadSizes = []int{2 << 10, 8 << 10, 32 << 10, 128 << 10}
+	}
+	if numRules <= 0 {
+		numRules = 3700
+	}
+	src := workload.New(103)
+	rules := src.SnortRules(numRules)
+	rs, err := pattern.CompileRules(rules)
+	if err != nil {
+		return nil, err
+	}
+	scan := rs.ScanSequential
+	if prefilter {
+		scan = rs.Scan
+	}
+	rows := make([]Fig5Row, 0, len(payloadSizes))
+	for _, size := range payloadSizes {
+		// A payload buffer assembled from packets, some carrying rule
+		// hits.
+		var payload []byte
+		for len(payload) < size {
+			payload = append(payload, src.Packet(512, rules, 0.05)...)
+		}
+		payload = payload[:size]
+		compute := func(in []byte) ([]byte, error) {
+			return pattern.EncodeScanResult(scan(in)), nil
+		}
+		base, initMS, subsq, err := runCase(trials, "pcre_exec", payload, compute)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, newFig5Row(fmt.Sprintf("%dKB", size>>10), base, initMS, subsq))
+	}
+	return rows, nil
+}
+
+// Fig5BoW reproduces Fig. 5(d): bag-of-words over web-page corpora of
+// increasing volume.
+func Fig5BoW(pageCounts []int, trials int) ([]Fig5Row, error) {
+	if len(pageCounts) == 0 {
+		pageCounts = []int{300, 1000, 3000, 10000}
+	}
+	src := workload.New(104)
+	rows := make([]Fig5Row, 0, len(pageCounts))
+	for _, n := range pageCounts {
+		var corpus strings.Builder
+		for i := 0; i < n; i++ {
+			corpus.WriteString(src.WebPage(200))
+			corpus.WriteByte('\n')
+		}
+		input := []byte(corpus.String())
+		compute := func(in []byte) ([]byte, error) {
+			docs := strings.Split(string(in), "\n")
+			counts, err := mapreduce.BagOfWords(docs, 4)
+			if err != nil {
+				return nil, err
+			}
+			return mapreduce.EncodeCounts(counts), nil
+		}
+		base, initMS, subsq, err := runCase(trials, "bow_mapper", input, compute)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, newFig5Row(fmt.Sprintf("%d pages", n), base, initMS, subsq))
+	}
+	return rows, nil
+}
+
+// RenderFig5 formats one application's rows like a panel of Fig. 5.
+func RenderFig5(title string, rows []Fig5Row) string {
+	s := fmt.Sprintf("Fig. 5 panel: %s (baseline = 100%%)\n", title)
+	s += fmt.Sprintf("%-12s %12s %12s %12s %10s %10s %9s\n",
+		"Input", "Base(ms)", "Init(ms)", "Subsq(ms)", "Init(%)", "Subsq(%)", "Speedup")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-12s %12.2f %12.2f %12.2f %10.1f %10.2f %8.1fx\n",
+			r.Label, r.BaselineMS, r.InitMS, r.SubsqMS, r.InitPct, r.SubsqPct, r.Speedup)
+	}
+	return s
+}

@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"speed/internal/mle"
+)
+
+// CryptoRow is one row of Table I: mean latency of each cryptographic
+// operation in DedupRuntime for a given input size.
+type CryptoRow struct {
+	// InputBytes is the input (and result) size.
+	InputBytes int
+	// TagGenMS is tag generation t = Hash(func, m).
+	TagGenMS float64
+	// KeyGenMS is key generation and protection: pick r, derive h,
+	// generate k, wrap [k].
+	KeyGenMS float64
+	// KeyRecMS is key recovery: derive h, unwrap k.
+	KeyRecMS float64
+	// ResultEncMS and ResultDecMS are AES-128-GCM over the result.
+	ResultEncMS, ResultDecMS float64
+}
+
+// DefaultTable1Sizes are the paper's input sizes: 1 KB, 10 KB, 100 KB,
+// 1 MB.
+var DefaultTable1Sizes = []int{1 << 10, 10 << 10, 100 << 10, 1 << 20}
+
+// Table1 measures the five Table I operations at each input size,
+// averaging over trials runs. The result size equals the input size
+// for the Enc/Dec columns, as in the paper's setup.
+func Table1(sizes []int, trials int) ([]CryptoRow, error) {
+	id := mle.FuncID(sha256.Sum256([]byte("bench func")))
+	rows := make([]CryptoRow, 0, len(sizes))
+	for _, size := range sizes {
+		input := randBytes(size)
+		result := randBytes(size)
+
+		tagT, err := timeIt(trials, func() error {
+			_ = mle.ComputeTag(id, input)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		var challenge, wrapped, key []byte
+		keyGenT, err := timeIt(trials, func() error {
+			var kerr error
+			challenge, wrapped, key, kerr = mle.KeyGen(id, input, nil)
+			return kerr
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		keyRecT, err := timeIt(trials, func() error {
+			_, kerr := mle.KeyRec(id, input, challenge, wrapped)
+			return kerr
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		var blob []byte
+		encT, err := timeIt(trials, func() error {
+			var eerr error
+			blob, eerr = mle.EncryptResult(key, result, nil)
+			return eerr
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		decT, err := timeIt(trials, func() error {
+			_, derr := mle.DecryptResult(key, blob)
+			return derr
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		rows = append(rows, CryptoRow{
+			InputBytes:  size,
+			TagGenMS:    ms(tagT),
+			KeyGenMS:    ms(keyGenT),
+			KeyRecMS:    ms(keyRecT),
+			ResultEncMS: ms(encT),
+			ResultDecMS: ms(decT),
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable1 formats rows like the paper's Table I.
+func RenderTable1(rows []CryptoRow) string {
+	s := "TABLE I: cryptographic operations in DedupRuntime\n"
+	s += fmt.Sprintf("%-10s %10s %10s %10s %12s %12s\n",
+		"Input(KB)", "TagGen(ms)", "KeyGen(ms)", "KeyRec(ms)", "ResEnc(ms)", "ResDec(ms)")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-10d %10.3f %10.3f %10.3f %12.3f %12.3f\n",
+			r.InputBytes/1024, r.TagGenMS, r.KeyGenMS, r.KeyRecMS,
+			r.ResultEncMS, r.ResultDecMS)
+	}
+	return s
+}

@@ -1,0 +1,51 @@
+package compress
+
+// MSB-first bit I/O used by the Huffman stage.
+
+type bitWriter struct {
+	buf  []byte
+	cur  uint8
+	nCur uint8
+}
+
+func (w *bitWriter) writeBits(code uint32, n uint8) {
+	for i := int8(n) - 1; i >= 0; i-- {
+		bit := uint8(code>>uint8(i)) & 1
+		w.cur = w.cur<<1 | bit
+		w.nCur++
+		if w.nCur == 8 {
+			w.buf = append(w.buf, w.cur)
+			w.cur, w.nCur = 0, 0
+		}
+	}
+}
+
+func (w *bitWriter) flush() []byte {
+	if w.nCur > 0 {
+		w.buf = append(w.buf, w.cur<<(8-w.nCur))
+		w.cur, w.nCur = 0, 0
+	}
+	return w.buf
+}
+
+type bitReader struct {
+	buf  []byte
+	pos  int
+	cur  uint8
+	nCur uint8
+}
+
+func (r *bitReader) readBit() (uint32, error) {
+	if r.nCur == 0 {
+		if r.pos >= len(r.buf) {
+			return 0, errCorrupt
+		}
+		r.cur = r.buf[r.pos]
+		r.pos++
+		r.nCur = 8
+	}
+	bit := uint32(r.cur >> 7)
+	r.cur <<= 1
+	r.nCur--
+	return bit, nil
+}

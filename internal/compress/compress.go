@@ -1,0 +1,158 @@
+package compress
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Container format:
+//
+//	magic   [3]byte  "SZ1"
+//	mode    byte     0 = Huffman-coded tokens, 1 = raw tokens
+//	origLen uvarint  original payload length
+//	crc     uint32   CRC-32 (IEEE) of the original payload
+//	tokLen  uvarint  token-stream length (before Huffman)
+//	if mode == 0:
+//	    lens [128]byte  256 nibble-packed code lengths
+//	body    bytes    Huffman bitstream or raw token stream
+
+var magic = [3]byte{'S', 'Z', '1'}
+
+const (
+	modeHuffman = 0
+	modeRaw     = 1
+)
+
+// ErrCorrupt is returned when decompression detects invalid or
+// tampered input.
+var ErrCorrupt = errors.New("compress: corrupt input")
+
+// Compress compresses src at the default effort level (5). The output
+// always round-trips through Decompress, falling back to raw token
+// storage when Huffman coding does not pay off.
+func Compress(src []byte) []byte {
+	return CompressLevel(src, 0)
+}
+
+// CompressLevel compresses src with an explicit effort level 1 (fast,
+// weaker matches) through 9 (slow, best matches), like zlib's levels;
+// 0 selects the default (5). The container format is identical across
+// levels, so Decompress handles any of them.
+func CompressLevel(src []byte, level int) []byte {
+	tokens := lzCompressLevel(src, levelParams(level))
+
+	var freq [256]int64
+	for _, b := range tokens {
+		freq[b]++
+	}
+	lengths := buildCodeLengths(freq)
+	codes := canonicalCodes(lengths)
+
+	var bw bitWriter
+	bw.buf = make([]byte, 0, len(tokens)/2+64)
+	for _, b := range tokens {
+		bw.writeBits(codes[b], lengths[b])
+	}
+	huff := bw.flush()
+
+	mode := byte(modeHuffman)
+	body := huff
+	if len(huff)+128 >= len(tokens) {
+		mode = modeRaw
+		body = tokens
+	}
+
+	out := make([]byte, 0, len(body)+160)
+	out = append(out, magic[:]...)
+	out = append(out, mode)
+	out = binary.AppendUvarint(out, uint64(len(src)))
+	out = binary.BigEndian.AppendUint32(out, crc32.ChecksumIEEE(src))
+	out = binary.AppendUvarint(out, uint64(len(tokens)))
+	if mode == modeHuffman {
+		var packed [128]byte
+		for s := 0; s < 256; s += 2 {
+			packed[s/2] = lengths[s]<<4 | lengths[s+1]
+		}
+		out = append(out, packed[:]...)
+	}
+	return append(out, body...)
+}
+
+// Decompress reverses Compress, verifying the embedded checksum.
+func Decompress(data []byte) ([]byte, error) {
+	if len(data) < 4 || data[0] != magic[0] || data[1] != magic[1] || data[2] != magic[2] {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	mode := data[3]
+	rest := data[4:]
+
+	origLen, n := binary.Uvarint(rest)
+	if n <= 0 || origLen > 1<<32 {
+		return nil, fmt.Errorf("%w: bad length", ErrCorrupt)
+	}
+	rest = rest[n:]
+	if len(rest) < 4 {
+		return nil, fmt.Errorf("%w: missing checksum", ErrCorrupt)
+	}
+	wantCRC := binary.BigEndian.Uint32(rest)
+	rest = rest[4:]
+	tokLen, n := binary.Uvarint(rest)
+	if n <= 0 || tokLen > 2<<32 {
+		return nil, fmt.Errorf("%w: bad token length", ErrCorrupt)
+	}
+	rest = rest[n:]
+
+	var tokens []byte
+	switch mode {
+	case modeHuffman:
+		if len(rest) < 128 {
+			return nil, fmt.Errorf("%w: missing code lengths", ErrCorrupt)
+		}
+		var lengths [256]uint8
+		for s := 0; s < 256; s += 2 {
+			lengths[s] = rest[s/2] >> 4
+			lengths[s+1] = rest[s/2] & 0x0F
+		}
+		rest = rest[128:]
+		dec := newHuffDecoder(lengths)
+		if dec.maxLen == 0 && tokLen > 0 {
+			return nil, fmt.Errorf("%w: empty code", ErrCorrupt)
+		}
+		br := &bitReader{buf: rest}
+		tokens = make([]byte, tokLen)
+		for i := range tokens {
+			sym, err := dec.decode(br)
+			if err != nil {
+				return nil, fmt.Errorf("%w: bitstream", ErrCorrupt)
+			}
+			tokens[i] = sym
+		}
+	case modeRaw:
+		if uint64(len(rest)) != tokLen {
+			return nil, fmt.Errorf("%w: raw token length", ErrCorrupt)
+		}
+		tokens = rest
+	default:
+		return nil, fmt.Errorf("%w: unknown mode %d", ErrCorrupt, mode)
+	}
+
+	out, err := lzDecompress(tokens, int(origLen))
+	if err != nil {
+		return nil, fmt.Errorf("%w: token stream", ErrCorrupt)
+	}
+	if crc32.ChecksumIEEE(out) != wantCRC {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	return out, nil
+}
+
+// Ratio reports the compression ratio achieved for src (original size
+// divided by compressed size).
+func Ratio(src []byte) float64 {
+	if len(src) == 0 {
+		return 1
+	}
+	return float64(len(src)) / float64(len(Compress(src)))
+}

@@ -1,0 +1,315 @@
+package compress
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, src []byte) []byte {
+	t.Helper()
+	comp := Compress(src)
+	got, err := Decompress(comp)
+	if err != nil {
+		t.Fatalf("Decompress: %v", err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("round trip mismatch: got %d bytes, want %d", len(got), len(src))
+	}
+	return comp
+}
+
+func TestRoundTripBasics(t *testing.T) {
+	tests := []struct {
+		name string
+		src  []byte
+	}{
+		{"empty", nil},
+		{"one byte", []byte{42}},
+		{"short text", []byte("hello, world")},
+		{"all same", bytes.Repeat([]byte{7}, 10_000)},
+		{"repeating phrase", bytes.Repeat([]byte("the quick brown fox "), 500)},
+		{"all byte values", func() []byte {
+			b := make([]byte, 256)
+			for i := range b {
+				b[i] = byte(i)
+			}
+			return b
+		}()},
+		{"binary ramp", func() []byte {
+			b := make([]byte, 100_000)
+			for i := range b {
+				b[i] = byte(i * 7)
+			}
+			return b
+		}()},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			roundTrip(t, tt.src)
+		})
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 17, 1000, 65_537, 300_000} {
+		src := make([]byte, n)
+		rng.Read(src)
+		roundTrip(t, src)
+	}
+}
+
+func TestRoundTripLongMatches(t *testing.T) {
+	// Matches at exactly minMatch, maxMatch and beyond, plus distances
+	// spanning the window boundary.
+	var b bytes.Buffer
+	b.WriteString("abcd")                          // seed
+	b.WriteString("abcd")                          // min match
+	b.Write(bytes.Repeat([]byte("x"), maxMatch+5)) // run beyond max match
+	b.Write(bytes.Repeat([]byte("q"), windowSize)) // push past window
+	b.WriteString("abcd")                          // distance beyond window: must be literal
+	roundTrip(t, b.Bytes())
+}
+
+func TestCompressesRedundantData(t *testing.T) {
+	src := bytes.Repeat([]byte("SPEED deduplicates redundant computations. "), 2000)
+	comp := roundTrip(t, src)
+	if len(comp) >= len(src)/5 {
+		t.Errorf("compressed %d -> %d, want at least 5x reduction on redundant text",
+			len(src), len(comp))
+	}
+}
+
+func TestIncompressibleDataOverheadBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	src := make([]byte, 100_000)
+	rng.Read(src)
+	comp := roundTrip(t, src)
+	// Worst case: flag bytes (1 per 8 literals) + header.
+	if len(comp) > len(src)+len(src)/7+256 {
+		t.Errorf("incompressible expansion too large: %d -> %d", len(src), len(comp))
+	}
+}
+
+func TestDecompressRejectsCorruption(t *testing.T) {
+	src := bytes.Repeat([]byte("some compressible content here. "), 200)
+	comp := Compress(src)
+
+	tests := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"empty", func(b []byte) []byte { return nil }},
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }},
+		{"bad mode", func(b []byte) []byte { b[3] = 9; return b }},
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"flipped body bit", func(b []byte) []byte { b[len(b)-10] ^= 0x40; return b }},
+		{"flipped checksum", func(b []byte) []byte { b[6] ^= 0xFF; return b }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			buf := append([]byte(nil), comp...)
+			if _, err := Decompress(tt.mutate(buf)); err == nil {
+				t.Error("Decompress accepted corrupted input")
+			}
+		})
+	}
+}
+
+func TestCompressDeterministic(t *testing.T) {
+	src := bytes.Repeat([]byte("determinism matters for tags. "), 300)
+	if !bytes.Equal(Compress(src), Compress(src)) {
+		t.Error("Compress is not deterministic")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if r := Ratio(nil); r != 1 {
+		t.Errorf("Ratio(nil) = %v, want 1", r)
+	}
+	redundant := []byte(strings.Repeat("abab", 10_000))
+	if r := Ratio(redundant); r < 5 {
+		t.Errorf("Ratio(redundant) = %v, want > 5", r)
+	}
+}
+
+func TestCompressLevels(t *testing.T) {
+	src := bytes.Repeat([]byte("the quick brown fox jumps over the lazy dog. "), 3000)
+	prev := -1
+	sizes := map[int]int{}
+	for _, level := range []int{1, 3, 5, 7, 9} {
+		comp := CompressLevel(src, level)
+		got, err := Decompress(comp)
+		if err != nil || !bytes.Equal(got, src) {
+			t.Fatalf("level %d: round trip failed: %v", level, err)
+		}
+		sizes[level] = len(comp)
+		_ = prev
+	}
+	// Higher effort must not produce a meaningfully worse ratio than
+	// the fastest level (allow 1% slack for heuristic noise).
+	if sizes[9] > sizes[1]+sizes[1]/100 {
+		t.Errorf("level 9 output (%d) larger than level 1 (%d)", sizes[9], sizes[1])
+	}
+	// Levels must all round-trip random data too.
+	rng := rand.New(rand.NewSource(9))
+	blob := make([]byte, 50_000)
+	rng.Read(blob)
+	for _, level := range []int{1, 9} {
+		got, err := Decompress(CompressLevel(blob, level))
+		if err != nil || !bytes.Equal(got, blob) {
+			t.Fatalf("level %d: random round trip failed: %v", level, err)
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	prop := func(src []byte) bool {
+		got, err := Decompress(Compress(src))
+		return err == nil && bytes.Equal(got, src)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Structured pseudo-text exercises the lazy-matching path more than
+// uniform random bytes.
+func TestQuickRoundTripStructured(t *testing.T) {
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	prop := func(seed int64, n uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var b bytes.Buffer
+		for b.Len() < int(n) {
+			b.WriteString(words[rng.Intn(len(words))])
+			b.WriteByte(' ')
+		}
+		src := b.Bytes()
+		got, err := Decompress(Compress(src))
+		return err == nil && bytes.Equal(got, src)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHuffmanCodeLengthsKraft(t *testing.T) {
+	// For arbitrary frequency profiles the produced lengths must
+	// satisfy the Kraft inequality and stay within maxCodeLen.
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var freq [256]int64
+		n := 1 + rng.Intn(256)
+		for i := 0; i < n; i++ {
+			freq[rng.Intn(256)] = int64(1 + rng.Intn(1_000_000))
+		}
+		lengths := buildCodeLengths(freq)
+		var kraft float64
+		nonzero := 0
+		for s, l := range lengths {
+			if freq[s] > 0 && l == 0 {
+				return false // symbol with frequency lacks a code
+			}
+			if l > maxCodeLen {
+				return false
+			}
+			if l > 0 {
+				nonzero++
+				kraft += 1 / float64(uint64(1)<<l)
+			}
+		}
+		return nonzero == 0 || kraft <= 1.0000001
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHuffmanSkewedFrequenciesLimited(t *testing.T) {
+	// Fibonacci-like frequencies force deep trees; lengths must still
+	// be limited.
+	var freq [256]int64
+	a, b := int64(1), int64(1)
+	for i := 0; i < 40; i++ {
+		freq[i] = a
+		a, b = b, a+b
+	}
+	lengths := buildCodeLengths(freq)
+	for s := 0; s < 40; s++ {
+		if lengths[s] == 0 || lengths[s] > maxCodeLen {
+			t.Fatalf("symbol %d length %d out of range", s, lengths[s])
+		}
+	}
+	// And such a code must still decode what it encodes.
+	codes := canonicalCodes(lengths)
+	var bw bitWriter
+	data := []byte{0, 1, 2, 3, 39, 39, 0}
+	for _, s := range data {
+		bw.writeBits(codes[s], lengths[s])
+	}
+	dec := newHuffDecoder(lengths)
+	br := &bitReader{buf: bw.flush()}
+	for i, want := range data {
+		got, err := dec.decode(br)
+		if err != nil || got != want {
+			t.Fatalf("symbol %d: decode = (%d, %v), want %d", i, got, err, want)
+		}
+	}
+}
+
+func TestCanonicalCodesPrefixFree(t *testing.T) {
+	var freq [256]int64
+	for i := 0; i < 20; i++ {
+		freq[i] = int64(i*i + 1)
+	}
+	lengths := buildCodeLengths(freq)
+	codes := canonicalCodes(lengths)
+	for a := 0; a < 20; a++ {
+		for b := 0; b < 20; b++ {
+			if a == b {
+				continue
+			}
+			la, lb := lengths[a], lengths[b]
+			if la == 0 || lb == 0 || la > lb {
+				continue
+			}
+			// code[a] must not be a prefix of code[b].
+			if codes[a] == codes[b]>>(lb-la) {
+				t.Fatalf("code of %d is a prefix of code of %d", a, b)
+			}
+		}
+	}
+}
+
+func TestLZTokensRoundTripDirect(t *testing.T) {
+	src := []byte("abcabcabcabcabc--abcabcabcabcabc")
+	tokens := lzCompress(src)
+	got, err := lzDecompress(tokens, len(src))
+	if err != nil {
+		t.Fatalf("lzDecompress: %v", err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Errorf("lz round trip = %q, want %q", got, src)
+	}
+	if len(tokens) >= len(src) {
+		t.Errorf("lz did not shrink repetitive input: %d -> %d", len(src), len(tokens))
+	}
+}
+
+func TestLZDecompressRejectsBadDistance(t *testing.T) {
+	// A match referring before the start of output must be rejected.
+	tokens := []byte{0x01, 0x00, 0x10, 0x00} // flag: match; len=4, dist=17
+	if _, err := lzDecompress(tokens, 4); err == nil {
+		t.Error("lzDecompress accepted out-of-range distance")
+	}
+}
+
+func TestLZDecompressRejectsTruncatedMatch(t *testing.T) {
+	tokens := []byte{0x01, 0x00} // match flag but only 1 byte of payload
+	if _, err := lzDecompress(tokens, 4); err == nil {
+		t.Error("lzDecompress accepted truncated match")
+	}
+}

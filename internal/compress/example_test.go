@@ -1,0 +1,56 @@
+package compress_test
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+
+	"speed/internal/compress"
+)
+
+// ExampleCompress shows the one-shot API.
+func ExampleCompress() {
+	src := []byte(strings.Repeat("deduplicate all the things. ", 100))
+	comp := compress.Compress(src)
+	out, err := compress.Decompress(comp)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(bytes.Equal(out, src), len(comp) < len(src))
+	// Output:
+	// true true
+}
+
+// ExampleNewWriter shows the streaming API over an in-memory pipe.
+func ExampleNewWriter() {
+	var stream bytes.Buffer
+	w := compress.NewWriter(&stream)
+	if _, err := io.Copy(w, strings.NewReader(strings.Repeat("streaming data ", 1000))); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if err := w.Close(); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	out, err := io.ReadAll(compress.NewReader(&stream))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(len(out))
+	// Output:
+	// 15000
+}
+
+// ExampleCompressLevel compares effort levels.
+func ExampleCompressLevel() {
+	src := []byte(strings.Repeat("level up! ", 2000))
+	fast := compress.CompressLevel(src, 1)
+	best := compress.CompressLevel(src, 9)
+	fmt.Println(len(best) <= len(fast))
+	// Output:
+	// true
+}

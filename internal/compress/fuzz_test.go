@@ -1,0 +1,46 @@
+package compress
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzz targets run their seed corpus under plain `go test` and can be
+// extended with `go test -fuzz=FuzzX ./internal/compress`.
+
+// FuzzDecompress: arbitrary input must never panic, and valid
+// compressor output must round-trip.
+func FuzzDecompress(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("not a container"))
+	f.Add(Compress(nil))
+	f.Add(Compress([]byte("hello hello hello hello")))
+	f.Add(Compress(bytes.Repeat([]byte{0xAB}, 5000)))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Must not panic; errors are fine.
+		out, err := Decompress(data)
+		if err == nil && len(out) > 1<<30 {
+			t.Fatal("implausibly large decompression")
+		}
+	})
+}
+
+// FuzzRoundTrip: every input compresses and decompresses to itself, at
+// both extreme levels.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("abcabcabcabc"))
+	f.Add(bytes.Repeat([]byte("pattern "), 100))
+	f.Add([]byte{0, 255, 0, 255, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, src []byte) {
+		for _, level := range []int{1, 9} {
+			got, err := Decompress(CompressLevel(src, level))
+			if err != nil {
+				t.Fatalf("level %d: %v", level, err)
+			}
+			if !bytes.Equal(got, src) {
+				t.Fatalf("level %d: round trip mismatch", level)
+			}
+		}
+	})
+}

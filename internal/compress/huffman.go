@@ -1,0 +1,229 @@
+package compress
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// Canonical, length-limited Huffman coding over the 256-symbol byte
+// alphabet. Code lengths are limited to maxCodeLen so they pack into
+// nibbles in the container header; the limit is enforced with the
+// standard overflow-redistribution pass used by zlib.
+const maxCodeLen = 15
+
+type huffNode struct {
+	freq        int64
+	symbol      int // -1 for internal
+	left, right int // indices into the node arena
+}
+
+type nodeHeap struct {
+	arena *[]huffNode
+	idx   []int
+}
+
+func (h nodeHeap) Len() int { return len(h.idx) }
+func (h nodeHeap) Less(i, j int) bool {
+	a, b := (*h.arena)[h.idx[i]], (*h.arena)[h.idx[j]]
+	if a.freq != b.freq {
+		return a.freq < b.freq
+	}
+	return a.symbol < b.symbol // deterministic tie-break
+}
+func (h nodeHeap) Swap(i, j int) { h.idx[i], h.idx[j] = h.idx[j], h.idx[i] }
+func (h *nodeHeap) Push(x any)   { h.idx = append(h.idx, x.(int)) }
+func (h *nodeHeap) Pop() (out any) {
+	out, h.idx = h.idx[len(h.idx)-1], h.idx[:len(h.idx)-1]
+	return out
+}
+
+// buildCodeLengths computes per-symbol Huffman code lengths from
+// frequencies, limited to maxCodeLen bits.
+func buildCodeLengths(freq [256]int64) [256]uint8 {
+	var lengths [256]uint8
+	arena := make([]huffNode, 0, 512)
+	h := nodeHeap{arena: &arena}
+	for s, f := range freq {
+		if f > 0 {
+			arena = append(arena, huffNode{freq: f, symbol: s, left: -1, right: -1})
+			h.idx = append(h.idx, len(arena)-1)
+		}
+	}
+	switch len(h.idx) {
+	case 0:
+		return lengths
+	case 1:
+		lengths[arena[h.idx[0]].symbol] = 1
+		return lengths
+	}
+	heap.Init(&h)
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(int)
+		b := heap.Pop(&h).(int)
+		arena = append(arena, huffNode{
+			freq:   arena[a].freq + arena[b].freq,
+			symbol: -1,
+			left:   a,
+			right:  b,
+		})
+		heap.Push(&h, len(arena)-1)
+	}
+	root := h.idx[0]
+
+	// Depth-first traversal assigning depths.
+	type item struct{ node, depth int }
+	stack := []item{{root, 0}}
+	for len(stack) > 0 {
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := arena[it.node]
+		if n.symbol >= 0 {
+			d := it.depth
+			if d == 0 {
+				d = 1
+			}
+			lengths[n.symbol] = uint8(d)
+			continue
+		}
+		stack = append(stack, item{n.left, it.depth + 1}, item{n.right, it.depth + 1})
+	}
+	limitLengths(&lengths)
+	return lengths
+}
+
+// limitLengths enforces maxCodeLen by moving overflowed leaves up,
+// preserving the Kraft inequality.
+func limitLengths(lengths *[256]uint8) {
+	over := false
+	for _, l := range lengths {
+		if l > maxCodeLen {
+			over = true
+			break
+		}
+	}
+	if !over {
+		return
+	}
+	// Clamp and compute Kraft sum in units of 2^-maxCodeLen.
+	var kraft int64
+	for i, l := range lengths {
+		if l == 0 {
+			continue
+		}
+		if l > maxCodeLen {
+			lengths[i] = maxCodeLen
+			l = maxCodeLen
+		}
+		kraft += 1 << (maxCodeLen - l)
+	}
+	// While oversubscribed, demote the deepest non-max leaf.
+	limit := int64(1) << maxCodeLen
+	for kraft > limit {
+		// Find a leaf at maxCodeLen and one shallower leaf to deepen.
+		deepened := false
+		for l := maxCodeLen - 1; l >= 1 && !deepened; l-- {
+			for i := range lengths {
+				if lengths[i] == uint8(l) {
+					lengths[i]++
+					kraft -= 1 << (maxCodeLen - l)
+					kraft += 1 << (maxCodeLen - l - 1)
+					deepened = true
+					break
+				}
+			}
+		}
+		if !deepened {
+			break // cannot happen with <= 256 symbols
+		}
+	}
+}
+
+// canonicalCodes assigns canonical code values from lengths: shorter
+// codes first, ties broken by symbol order.
+func canonicalCodes(lengths [256]uint8) [256]uint32 {
+	type sym struct {
+		s int
+		l uint8
+	}
+	syms := make([]sym, 0, 256)
+	for s, l := range lengths {
+		if l > 0 {
+			syms = append(syms, sym{s, l})
+		}
+	}
+	sort.Slice(syms, func(i, j int) bool {
+		if syms[i].l != syms[j].l {
+			return syms[i].l < syms[j].l
+		}
+		return syms[i].s < syms[j].s
+	})
+	var codes [256]uint32
+	code := uint32(0)
+	prevLen := uint8(0)
+	for _, sm := range syms {
+		code <<= (sm.l - prevLen)
+		codes[sm.s] = code
+		code++
+		prevLen = sm.l
+	}
+	return codes
+}
+
+// huffDecoder is a simple canonical decoder using first-code tables.
+type huffDecoder struct {
+	// firstCode[l] is the first canonical code of length l;
+	// firstSym[l] indexes into syms for that code.
+	firstCode [maxCodeLen + 2]uint32
+	firstSym  [maxCodeLen + 2]int
+	count     [maxCodeLen + 2]int
+	syms      []uint8
+	maxLen    uint8
+}
+
+func newHuffDecoder(lengths [256]uint8) *huffDecoder {
+	d := &huffDecoder{}
+	for _, l := range lengths {
+		if l > 0 {
+			d.count[l]++
+			if l > d.maxLen {
+				d.maxLen = l
+			}
+		}
+	}
+	code := uint32(0)
+	symIdx := 0
+	for l := uint8(1); l <= d.maxLen; l++ {
+		code <<= 1
+		d.firstCode[l] = code
+		d.firstSym[l] = symIdx
+		code += uint32(d.count[l])
+		symIdx += d.count[l]
+	}
+	d.syms = make([]uint8, symIdx)
+	// Fill symbols in canonical order.
+	idx := make([]int, maxCodeLen+2)
+	copy(idx, d.firstSym[:])
+	for s, l := range lengths {
+		if l > 0 {
+			d.syms[idx[l]] = uint8(s)
+			idx[l]++
+		}
+	}
+	return d
+}
+
+// decode reads one symbol from the bit reader.
+func (d *huffDecoder) decode(br *bitReader) (uint8, error) {
+	code := uint32(0)
+	for l := uint8(1); l <= d.maxLen; l++ {
+		bit, err := br.readBit()
+		if err != nil {
+			return 0, err
+		}
+		code = code<<1 | bit
+		if d.count[l] > 0 && code < d.firstCode[l]+uint32(d.count[l]) && code >= d.firstCode[l] {
+			return d.syms[d.firstSym[l]+int(code-d.firstCode[l])], nil
+		}
+	}
+	return 0, errCorrupt
+}

@@ -1,0 +1,236 @@
+// Package compress is a from-scratch DEFLATE-style data compressor
+// standing in for zlib's deflate in Case 2 of the paper's evaluation.
+// It combines LZ77 string matching over a 32 KB sliding window (hash
+// chains, greedy parsing with lazy one-step lookahead) with a canonical
+// length-limited Huffman code over the token byte stream, and exposes a
+// simple Compress/Decompress API with an integrity-checked container
+// format. The standard library's compress/flate is intentionally not
+// used: the substrate itself is part of the reproduction.
+package compress
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// LZ77 parameters.
+const (
+	windowSize = 32 << 10
+	minMatch   = 4
+	maxMatch   = 258
+	hashBits   = 15
+	hashSize   = 1 << hashBits
+)
+
+// lzParams tunes the match finder; higher effort costs more time for a
+// better ratio, like zlib's compression levels.
+type lzParams struct {
+	maxChainHops int
+	lazy         bool
+}
+
+// levelParams maps the public 1..9 levels onto match-finder effort.
+// Level 0/default is level 5.
+func levelParams(level int) lzParams {
+	switch {
+	case level <= 0:
+		return lzParams{maxChainHops: 64, lazy: true} // default = level 5
+	case level <= 2:
+		return lzParams{maxChainHops: 8, lazy: false}
+	case level <= 4:
+		return lzParams{maxChainHops: 32, lazy: false}
+	case level <= 6:
+		return lzParams{maxChainHops: 64, lazy: true}
+	case level <= 8:
+		return lzParams{maxChainHops: 192, lazy: true}
+	default:
+		return lzParams{maxChainHops: 512, lazy: true}
+	}
+}
+
+// Token stream format (the intermediate representation between LZ77 and
+// Huffman): groups of up to 8 tokens are preceded by a flag byte whose
+// bit i (LSB first) is 0 for a literal (1 following byte) and 1 for a
+// match (3 following bytes: length-minMatch, then distance-1 as a
+// little-endian uint16).
+
+func hash4(b []byte) uint32 {
+	v := binary.LittleEndian.Uint32(b)
+	return (v * 2654435761) >> (32 - hashBits)
+}
+
+// lzCompress produces the token stream for src at default effort.
+func lzCompress(src []byte) []byte {
+	return lzCompressLevel(src, levelParams(0))
+}
+
+// lzCompressLevel produces the token stream for src with explicit
+// match-finder effort.
+func lzCompressLevel(src []byte, params lzParams) []byte {
+	if len(src) == 0 {
+		return nil
+	}
+	out := make([]byte, 0, len(src)/2+16)
+
+	head := make([]int32, hashSize)
+	prev := make([]int32, len(src))
+	for i := range head {
+		head[i] = -1
+	}
+
+	var (
+		flagPos  = -1
+		flagBits = 8 // force new flag byte on first token
+		nFlags   uint
+	)
+	emitFlag := func(isMatch bool) {
+		if flagBits == 8 {
+			flagPos = len(out)
+			out = append(out, 0)
+			flagBits = 0
+		}
+		if isMatch {
+			out[flagPos] |= 1 << uint(flagBits)
+		}
+		flagBits++
+		nFlags++
+	}
+
+	insert := func(i int) {
+		if i+minMatch > len(src) {
+			return
+		}
+		h := hash4(src[i:])
+		prev[i] = head[h]
+		head[h] = int32(i)
+	}
+
+	findMatch := func(i int) (length, dist int) {
+		if i+minMatch > len(src) {
+			return 0, 0
+		}
+		limit := i - windowSize
+		if limit < 0 {
+			limit = 0
+		}
+		best := 0
+		bestDist := 0
+		maxLen := len(src) - i
+		if maxLen > maxMatch {
+			maxLen = maxMatch
+		}
+		cand := head[hash4(src[i:])]
+		for hops := 0; cand >= int32(limit) && hops < params.maxChainHops; hops++ {
+			j := int(cand)
+			if j >= i {
+				cand = prev[j]
+				continue
+			}
+			// Quick reject on the byte past the current best.
+			if best > 0 && (i+best >= len(src) || src[j+best] != src[i+best]) {
+				cand = prev[j]
+				continue
+			}
+			l := 0
+			for l < maxLen && src[j+l] == src[i+l] {
+				l++
+			}
+			if l > best {
+				best = l
+				bestDist = i - j
+				if l == maxLen {
+					break
+				}
+			}
+			cand = prev[j]
+		}
+		if best < minMatch {
+			return 0, 0
+		}
+		return best, bestDist
+	}
+
+	i := 0
+	for i < len(src) {
+		length, dist := findMatch(i)
+		if length >= minMatch {
+			// Insert the match start exactly once; a second insert of
+			// the same position would self-link the hash chain
+			// (prev[i] = i) and waste match-finder hops.
+			insert(i)
+			// Lazy matching: if the next position has a strictly
+			// longer match, emit a literal instead.
+			if params.lazy && i+1 < len(src) {
+				l2, _ := findMatch(i + 1)
+				if l2 > length {
+					emitFlag(false)
+					out = append(out, src[i])
+					i++
+					continue
+				}
+			}
+			emitFlag(true)
+			out = append(out, byte(length-minMatch))
+			var d [2]byte
+			binary.LittleEndian.PutUint16(d[:], uint16(dist-1))
+			out = append(out, d[0], d[1])
+			// Insert hash entries for the skipped positions (bounded
+			// for speed), excluding i which is already chained.
+			end := i + length
+			step := 1
+			if length > 64 {
+				step = 4
+			}
+			for p := i + step; p < end; p += step {
+				insert(p)
+			}
+			i = end
+			continue
+		}
+		insert(i)
+		emitFlag(false)
+		out = append(out, src[i])
+		i++
+	}
+	return out
+}
+
+// errCorrupt is the shared decode failure.
+var errCorrupt = errors.New("compress: corrupt data")
+
+// lzDecompress expands a token stream into dst capacity origLen.
+func lzDecompress(tokens []byte, origLen int) ([]byte, error) {
+	out := make([]byte, 0, origLen)
+	i := 0
+	for i < len(tokens) {
+		flags := tokens[i]
+		i++
+		for bit := 0; bit < 8 && i < len(tokens); bit++ {
+			if len(out) >= origLen {
+				break
+			}
+			if flags&(1<<uint(bit)) == 0 {
+				out = append(out, tokens[i])
+				i++
+				continue
+			}
+			if i+3 > len(tokens) {
+				return nil, errCorrupt
+			}
+			length := int(tokens[i]) + minMatch
+			dist := int(binary.LittleEndian.Uint16(tokens[i+1:])) + 1
+			i += 3
+			if dist > len(out) {
+				return nil, errCorrupt
+			}
+			start := len(out) - dist
+			for k := 0; k < length; k++ {
+				out = append(out, out[start+k])
+			}
+		}
+	}
+	if len(out) != origLen {
+		return nil, errCorrupt
+	}
+	return out, nil
+}

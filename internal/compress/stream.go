@@ -1,0 +1,193 @@
+package compress
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Streaming API: a block-based container over Compress/Decompress so
+// arbitrarily large inputs can be (de)compressed with bounded memory,
+// like zlib's deflate stream. The stream is a magic header followed by
+// length-prefixed independently-compressed blocks and a zero-length
+// terminator.
+
+var streamMagic = [4]byte{'S', 'Z', 'S', '1'}
+
+// DefaultBlockSize is the uncompressed block granularity of a stream.
+const DefaultBlockSize = 256 << 10
+
+// ErrStreamCorrupt is returned when a stream fails validation.
+var ErrStreamCorrupt = errors.New("compress: corrupt stream")
+
+// Writer compresses data written to it onto an underlying writer.
+// Close must be called to flush the final block and the terminator.
+type Writer struct {
+	w         io.Writer
+	buf       []byte
+	blockSize int
+	wroteHdr  bool
+	closed    bool
+}
+
+var _ io.WriteCloser = (*Writer)(nil)
+
+// NewWriter creates a stream writer with the default block size.
+func NewWriter(w io.Writer) *Writer {
+	return NewWriterSize(w, DefaultBlockSize)
+}
+
+// NewWriterSize creates a stream writer with an explicit uncompressed
+// block size.
+func NewWriterSize(w io.Writer, blockSize int) *Writer {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	return &Writer{w: w, blockSize: blockSize, buf: make([]byte, 0, blockSize)}
+}
+
+// Write implements io.Writer.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, errors.New("compress: write to closed Writer")
+	}
+	total := len(p)
+	for len(p) > 0 {
+		room := w.blockSize - len(w.buf)
+		n := len(p)
+		if n > room {
+			n = room
+		}
+		w.buf = append(w.buf, p[:n]...)
+		p = p[n:]
+		if len(w.buf) == w.blockSize {
+			if err := w.flushBlock(); err != nil {
+				return total - len(p), err
+			}
+		}
+	}
+	return total, nil
+}
+
+func (w *Writer) header() error {
+	if w.wroteHdr {
+		return nil
+	}
+	w.wroteHdr = true
+	if _, err := w.w.Write(streamMagic[:]); err != nil {
+		return fmt.Errorf("write stream header: %w", err)
+	}
+	return nil
+}
+
+func (w *Writer) flushBlock() error {
+	if err := w.header(); err != nil {
+		return err
+	}
+	block := Compress(w.buf)
+	w.buf = w.buf[:0]
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(block)))
+	if _, err := w.w.Write(lenBuf[:n]); err != nil {
+		return fmt.Errorf("write block length: %w", err)
+	}
+	if _, err := w.w.Write(block); err != nil {
+		return fmt.Errorf("write block: %w", err)
+	}
+	return nil
+}
+
+// Close flushes buffered data and writes the stream terminator. It
+// does not close the underlying writer.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if len(w.buf) > 0 {
+		if err := w.flushBlock(); err != nil {
+			return err
+		}
+	}
+	if err := w.header(); err != nil {
+		return err
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], 0)
+	if _, err := w.w.Write(lenBuf[:n]); err != nil {
+		return fmt.Errorf("write stream terminator: %w", err)
+	}
+	return nil
+}
+
+// Reader decompresses a stream produced by Writer.
+type Reader struct {
+	r     *bufio.Reader
+	cur   []byte
+	err   error
+	hdrOK bool
+	atEOF bool
+}
+
+var _ io.Reader = (*Reader)(nil)
+
+// NewReader creates a stream reader.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// Read implements io.Reader.
+func (r *Reader) Read(p []byte) (int, error) {
+	if r.err != nil {
+		return 0, r.err
+	}
+	for len(r.cur) == 0 {
+		if r.atEOF {
+			r.err = io.EOF
+			return 0, io.EOF
+		}
+		if err := r.nextBlock(); err != nil {
+			r.err = err
+			return 0, err
+		}
+	}
+	n := copy(p, r.cur)
+	r.cur = r.cur[n:]
+	return n, nil
+}
+
+func (r *Reader) nextBlock() error {
+	if !r.hdrOK {
+		var magic [4]byte
+		if _, err := io.ReadFull(r.r, magic[:]); err != nil {
+			return fmt.Errorf("%w: missing header", ErrStreamCorrupt)
+		}
+		if magic != streamMagic {
+			return fmt.Errorf("%w: bad magic", ErrStreamCorrupt)
+		}
+		r.hdrOK = true
+	}
+	blockLen, err := binary.ReadUvarint(r.r)
+	if err != nil {
+		return fmt.Errorf("%w: missing block length", ErrStreamCorrupt)
+	}
+	if blockLen == 0 {
+		r.atEOF = true
+		return nil
+	}
+	if blockLen > 256<<20 {
+		return fmt.Errorf("%w: block too large", ErrStreamCorrupt)
+	}
+	block := make([]byte, blockLen)
+	if _, err := io.ReadFull(r.r, block); err != nil {
+		return fmt.Errorf("%w: truncated block", ErrStreamCorrupt)
+	}
+	data, err := Decompress(block)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrStreamCorrupt, err)
+	}
+	r.cur = data
+	return nil
+}

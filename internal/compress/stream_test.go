@@ -1,0 +1,172 @@
+package compress
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+func streamRoundTrip(t *testing.T, src []byte, blockSize int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriterSize(&buf, blockSize)
+	if _, err := w.Write(src); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got, err := io.ReadAll(NewReader(bytes.NewReader(buf.Bytes())))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("stream round trip mismatch: got %d bytes, want %d", len(got), len(src))
+	}
+	return buf.Bytes()
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cases := []struct {
+		name      string
+		src       []byte
+		blockSize int
+	}{
+		{"empty", nil, 0},
+		{"single byte", []byte{1}, 0},
+		{"under one block", bytes.Repeat([]byte("abc"), 100), 1024},
+		{"exactly one block", make([]byte, 1024), 1024},
+		{"many blocks", bytes.Repeat([]byte("block content "), 5000), 4096},
+		{"random multi-block", func() []byte {
+			b := make([]byte, 300_000)
+			rng.Read(b)
+			return b
+		}(), 64 << 10},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			streamRoundTrip(t, tt.src, tt.blockSize)
+		})
+	}
+}
+
+func TestStreamSmallWrites(t *testing.T) {
+	// Byte-at-a-time writes must assemble into correct blocks.
+	src := bytes.Repeat([]byte("tiny writes "), 2000)
+	var buf bytes.Buffer
+	w := NewWriterSize(&buf, 1024)
+	for _, b := range src {
+		if _, err := w.Write([]byte{b}); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got, err := io.ReadAll(NewReader(&buf))
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Error("byte-at-a-time stream mismatch")
+	}
+}
+
+func TestStreamSmallReads(t *testing.T) {
+	src := bytes.Repeat([]byte("read me slowly "), 1000)
+	stream := streamRoundTrip(t, src, 2048)
+	r := NewReader(bytes.NewReader(stream))
+	var got []byte
+	one := make([]byte, 7)
+	for {
+		n, err := r.Read(one)
+		got = append(got, one[:n]...)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Read: %v", err)
+		}
+	}
+	if !bytes.Equal(got, src) {
+		t.Error("small-read stream mismatch")
+	}
+}
+
+func TestStreamCompresses(t *testing.T) {
+	src := bytes.Repeat([]byte("very repetitive stream content. "), 10_000)
+	stream := streamRoundTrip(t, src, DefaultBlockSize)
+	if len(stream) > len(src)/4 {
+		t.Errorf("stream did not compress: %d -> %d", len(src), len(stream))
+	}
+}
+
+func TestStreamWriteAfterClose(t *testing.T) {
+	w := NewWriter(&bytes.Buffer{})
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := w.Write([]byte("late")); err == nil {
+		t.Error("Write after Close succeeded")
+	}
+	// Double close is fine.
+	if err := w.Close(); err != nil {
+		t.Errorf("double Close: %v", err)
+	}
+}
+
+func TestStreamReaderRejectsCorruption(t *testing.T) {
+	good := streamRoundTrip(t, bytes.Repeat([]byte("content "), 1000), 1024)
+	tests := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"empty", func(b []byte) []byte { return nil }},
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }},
+		{"truncated mid-block", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"missing terminator", func(b []byte) []byte { return b[:len(b)-1] }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			buf := append([]byte(nil), good...)
+			_, err := io.ReadAll(NewReader(bytes.NewReader(tt.mutate(buf))))
+			if err == nil {
+				t.Error("ReadAll accepted corrupted stream")
+			}
+		})
+	}
+}
+
+// Every single-bit flip anywhere in the stream must either fail
+// decoding or leave the recovered plaintext byte-identical (flips in
+// never-read padding bits are benign); silently producing WRONG output
+// is never acceptable.
+func TestStreamBitFlipExhaustive(t *testing.T) {
+	src := bytes.Repeat([]byte("content "), 1000)
+	good := streamRoundTrip(t, src, 1024)
+	for i := 0; i < len(good); i++ {
+		for bit := 0; bit < 8; bit++ {
+			buf := append([]byte(nil), good...)
+			buf[i] ^= 1 << bit
+			got, err := io.ReadAll(NewReader(bytes.NewReader(buf)))
+			if err == nil && !bytes.Equal(got, src) {
+				t.Fatalf("byte %d bit %d: corrupted stream decoded to wrong output", i, bit)
+			}
+		}
+	}
+}
+
+func TestStreamReaderErrorSticky(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte("not a stream at all")))
+	buf := make([]byte, 16)
+	if _, err := r.Read(buf); err == nil {
+		t.Fatal("Read of garbage succeeded")
+	}
+	// Subsequent reads keep failing rather than looping.
+	if _, err := r.Read(buf); err == nil {
+		t.Error("second Read of broken stream succeeded")
+	}
+}

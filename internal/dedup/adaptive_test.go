@@ -1,0 +1,177 @@
+package dedup
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"speed/internal/mle"
+)
+
+func testID(b byte) mle.FuncID {
+	var id mle.FuncID
+	id[0] = b
+	return id
+}
+
+func TestAdvisorDefaultsDedupInitially(t *testing.T) {
+	a := NewAdvisor(AdaptivePolicy{})
+	if !a.ShouldDedup(testID(1)) {
+		t.Error("fresh function not deduplicated by default")
+	}
+}
+
+func TestAdvisorBypassesCheapFunction(t *testing.T) {
+	a := NewAdvisor(AdaptivePolicy{MinSamples: 4})
+	id := testID(1)
+	// A function whose compute cost (10µs) is far below the dedup
+	// overhead (1ms) and which never hits.
+	for i := 0; i < 8; i++ {
+		a.ObserveDedup(id, false, 10*time.Microsecond, time.Millisecond)
+	}
+	if a.ShouldDedup(id) {
+		t.Error("cheap, never-hitting function still deduplicated")
+	}
+	if !a.Report(id).Bypassed {
+		t.Error("Report does not reflect bypass")
+	}
+}
+
+func TestAdvisorKeepsExpensiveFunction(t *testing.T) {
+	a := NewAdvisor(AdaptivePolicy{MinSamples: 4})
+	id := testID(2)
+	// Expensive compute (50ms), modest overhead (1ms), 50% hit rate.
+	for i := 0; i < 16; i++ {
+		hit := i%2 == 0
+		if hit {
+			a.ObserveDedup(id, true, 0, time.Millisecond)
+		} else {
+			a.ObserveDedup(id, false, 50*time.Millisecond, time.Millisecond)
+		}
+	}
+	if !a.ShouldDedup(id) {
+		t.Error("expensive, hitting function was bypassed")
+	}
+}
+
+func TestAdvisorZeroHitRateBypassesEvenExpensive(t *testing.T) {
+	a := NewAdvisor(AdaptivePolicy{MinSamples: 4})
+	id := testID(3)
+	// Expensive but NEVER hits: expected benefit is zero, so dedup
+	// only adds overhead.
+	for i := 0; i < 8; i++ {
+		a.ObserveDedup(id, false, 50*time.Millisecond, time.Millisecond)
+	}
+	if a.ShouldDedup(id) {
+		t.Error("never-hitting function still deduplicated")
+	}
+}
+
+func TestAdvisorProbationReenables(t *testing.T) {
+	a := NewAdvisor(AdaptivePolicy{MinSamples: 2, Probation: 3})
+	id := testID(4)
+	for i := 0; i < 4; i++ {
+		a.ObserveDedup(id, false, time.Microsecond, time.Millisecond)
+	}
+	if a.ShouldDedup(id) {
+		t.Fatal("function not bypassed")
+	}
+	// Probation ticks down on each ShouldDedup query.
+	if a.ShouldDedup(id) {
+		t.Fatal("bypass lifted too early")
+	}
+	if !a.ShouldDedup(id) {
+		t.Error("probation did not re-enable deduplication")
+	}
+}
+
+func TestAdvisorMinSamplesGate(t *testing.T) {
+	a := NewAdvisor(AdaptivePolicy{MinSamples: 100})
+	id := testID(5)
+	for i := 0; i < 10; i++ {
+		a.ObserveDedup(id, false, time.Microsecond, time.Millisecond)
+	}
+	if !a.ShouldDedup(id) {
+		t.Error("bypassed before MinSamples observations")
+	}
+}
+
+func TestAdvisorReport(t *testing.T) {
+	a := NewAdvisor(AdaptivePolicy{})
+	id := testID(6)
+	a.ObserveDedup(id, false, 2*time.Millisecond, time.Millisecond)
+	a.ObserveDedup(id, true, 0, time.Millisecond)
+	r := a.Report(id)
+	if r.Samples != 2 {
+		t.Errorf("Samples = %d, want 2", r.Samples)
+	}
+	if r.HitRate != 0.5 {
+		t.Errorf("HitRate = %v, want 0.5", r.HitRate)
+	}
+	if r.ComputeMS <= 0 || r.OverheadMS <= 0 {
+		t.Errorf("EMA not populated: %+v", r)
+	}
+}
+
+func TestExecuteAdaptiveEndToEnd(t *testing.T) {
+	env := newTestEnv(t, nil)
+	id := env.funcID(t)
+	advisor := NewAdvisor(AdaptivePolicy{MinSamples: 3, Probation: 1000})
+
+	// Phase 1: a cheap function with all-distinct inputs (no reuse
+	// opportunity). After enough samples the advisor bypasses it.
+	cheap := func(in []byte) ([]byte, error) { return in, nil }
+	for i := 0; i < 20; i++ {
+		input := []byte(fmt.Sprintf("distinct-%d", i))
+		if _, _, err := env.runtime.ExecuteAdaptive(advisor, id, input, cheap); err != nil {
+			t.Fatalf("ExecuteAdaptive: %v", err)
+		}
+	}
+	if !advisor.Report(id).Bypassed {
+		t.Error("cheap all-distinct function never bypassed")
+	}
+
+	// While bypassed, calls no longer touch the store.
+	before := env.store.Stats().Gets
+	if _, _, err := env.runtime.ExecuteAdaptive(advisor, id, []byte("more"), cheap); err != nil {
+		t.Fatalf("ExecuteAdaptive: %v", err)
+	}
+	if after := env.store.Stats().Gets; after != before {
+		t.Errorf("bypassed call still queried the store (%d -> %d)", before, after)
+	}
+}
+
+func TestExecuteAdaptiveNilAdvisor(t *testing.T) {
+	env := newTestEnv(t, nil)
+	id := env.funcID(t)
+	res, outcome, err := env.runtime.ExecuteAdaptive(nil, id, []byte("x"), func(in []byte) ([]byte, error) {
+		return []byte("y"), nil
+	})
+	if err != nil || outcome != OutcomeComputed || string(res) != "y" {
+		t.Errorf("ExecuteAdaptive(nil advisor) = (%q, %v, %v)", res, outcome, err)
+	}
+}
+
+func TestExecuteAdaptiveKeepsDedupingWorthwhileFunction(t *testing.T) {
+	env := newTestEnv(t, nil)
+	id := env.funcID(t)
+	advisor := NewAdvisor(AdaptivePolicy{MinSamples: 3})
+
+	// A slow function called repeatedly on the SAME input: high hit
+	// rate, large compute cost. Must keep deduplicating.
+	slow := func(in []byte) ([]byte, error) {
+		time.Sleep(2 * time.Millisecond)
+		return []byte("result"), nil
+	}
+	for i := 0; i < 12; i++ {
+		if _, _, err := env.runtime.ExecuteAdaptive(advisor, id, []byte("same"), slow); err != nil {
+			t.Fatalf("ExecuteAdaptive: %v", err)
+		}
+	}
+	if advisor.Report(id).Bypassed {
+		t.Error("worthwhile function was bypassed")
+	}
+	if got := env.runtime.Stats().Reused; got < 10 {
+		t.Errorf("Reused = %d, want >= 10", got)
+	}
+}

@@ -1,0 +1,162 @@
+package dedup
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"speed/internal/enclave"
+	"speed/internal/mle"
+	"speed/internal/store"
+	"speed/internal/wire"
+)
+
+// StoreClient is the runtime's view of the encrypted ResultStore. Both
+// deployments of Section IV-B are supported: a store on the same
+// machine (LocalClient) and a store on a dedicated server reached over
+// the attested secure channel (RemoteClient).
+type StoreClient interface {
+	// Get performs a GET_REQUEST for the tag.
+	Get(tag mle.Tag) (mle.Sealed, bool, error)
+	// Put performs a PUT_REQUEST for the tag. With replace true, any
+	// existing entry is overwritten (used after the stored entry
+	// failed verification at this application).
+	Put(tag mle.Tag, sealed mle.Sealed, replace bool) error
+	// Close releases the client's resources.
+	Close() error
+}
+
+// ErrPutRejected is returned when the store refuses a PUT, e.g. due to
+// the quota mechanism.
+var ErrPutRejected = errors.New("dedup: store rejected put")
+
+// LocalClient talks to a Store in the same process, modelling the
+// paper's default deployment of the ResultStore "at the same machine of
+// the outsourced applications". Requests still pass through the store
+// enclave's ECALLs, so transition costs are accounted identically to
+// the networked path minus the socket.
+type LocalClient struct {
+	store *store.Store
+	owner enclave.Measurement
+}
+
+var _ StoreClient = (*LocalClient)(nil)
+
+// NewLocalClient creates a client operating on behalf of the
+// application with the given measurement.
+func NewLocalClient(st *store.Store, owner enclave.Measurement) *LocalClient {
+	return &LocalClient{store: st, owner: owner}
+}
+
+// Get implements StoreClient. Authorization denials present as misses,
+// matching the over-the-wire behaviour (deny without information).
+func (c *LocalClient) Get(tag mle.Tag) (mle.Sealed, bool, error) {
+	sealed, found, err := c.store.GetAs(c.owner, tag)
+	if errors.Is(err, store.ErrUnauthorized) {
+		return mle.Sealed{}, false, nil
+	}
+	return sealed, found, err
+}
+
+// Put implements StoreClient.
+func (c *LocalClient) Put(tag mle.Tag, sealed mle.Sealed, replace bool) error {
+	put := c.store.Put
+	if replace {
+		put = c.store.PutReplace
+	}
+	_, err := put(c.owner, tag, sealed)
+	if errors.Is(err, store.ErrQuota) || errors.Is(err, store.ErrUnauthorized) {
+		return fmt.Errorf("%w: %v", ErrPutRejected, err)
+	}
+	return err
+}
+
+// Close implements StoreClient; the local client does not own the
+// store, so it is a no-op.
+func (c *LocalClient) Close() error { return nil }
+
+// RemoteClient talks to a store server over an attested secure channel.
+// The paper's prototype uses synchronous communication (Section IV-B),
+// so each request holds the channel until its response arrives.
+type RemoteClient struct {
+	mu sync.Mutex
+	ch *wire.Channel
+}
+
+var _ StoreClient = (*RemoteClient)(nil)
+
+// Dial connects to a store server at addr on the same platform,
+// performing the attested handshake from the application enclave app
+// and requiring the server to prove the expected store measurement.
+func Dial(addr string, app *enclave.Enclave, storeMeasurement enclave.Measurement) (*RemoteClient, error) {
+	return DialTrust(addr, app, storeMeasurement, nil)
+}
+
+// DialTrust is Dial that additionally accepts a store on a remote
+// machine whose platform attestation key is in trust (remote
+// attestation) — the cross-machine "master ResultStore" deployment of
+// Section IV-B.
+func DialTrust(addr string, app *enclave.Enclave, storeMeasurement enclave.Measurement, trust *wire.Trust) (*RemoteClient, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dedup: dial store: %w", err)
+	}
+	ch, err := wire.ClientHandshakeTrust(conn, app, storeMeasurement, trust)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("dedup: handshake: %w", err)
+	}
+	return &RemoteClient{ch: ch}, nil
+}
+
+// NewRemoteClient wraps an already-established channel.
+func NewRemoteClient(ch *wire.Channel) *RemoteClient {
+	return &RemoteClient{ch: ch}
+}
+
+// Get implements StoreClient.
+func (c *RemoteClient) Get(tag mle.Tag) (mle.Sealed, bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.ch.SendMessage(wire.GetRequest{Tag: tag}); err != nil {
+		return mle.Sealed{}, false, fmt.Errorf("dedup: send get: %w", err)
+	}
+	msg, err := c.ch.RecvMessage()
+	if err != nil {
+		return mle.Sealed{}, false, fmt.Errorf("dedup: recv get: %w", err)
+	}
+	resp, ok := msg.(wire.GetResponse)
+	if !ok {
+		return mle.Sealed{}, false, fmt.Errorf("dedup: unexpected reply %v", msg.Kind())
+	}
+	return resp.Sealed, resp.Found, nil
+}
+
+// Put implements StoreClient.
+func (c *RemoteClient) Put(tag mle.Tag, sealed mle.Sealed, replace bool) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.ch.SendMessage(wire.PutRequest{Tag: tag, Sealed: sealed, Replace: replace}); err != nil {
+		return fmt.Errorf("dedup: send put: %w", err)
+	}
+	msg, err := c.ch.RecvMessage()
+	if err != nil {
+		return fmt.Errorf("dedup: recv put: %w", err)
+	}
+	resp, ok := msg.(wire.PutResponse)
+	if !ok {
+		return fmt.Errorf("dedup: unexpected reply %v", msg.Kind())
+	}
+	if !resp.OK {
+		return fmt.Errorf("%w: %s", ErrPutRejected, resp.Err)
+	}
+	return nil
+}
+
+// Close implements StoreClient.
+func (c *RemoteClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ch.Close()
+}

@@ -1,0 +1,220 @@
+package dedup
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+
+	"speed/internal/enclave"
+	"speed/internal/mle"
+	"speed/internal/store"
+)
+
+// remoteEnv runs a real store server on localhost and a RemoteClient
+// connected to it.
+type remoteEnv struct {
+	platform *enclave.Platform
+	appEnc   *enclave.Enclave
+	storeEnc *enclave.Enclave
+	store    *store.Store
+	client   *RemoteClient
+}
+
+func newRemoteEnv(t *testing.T) *remoteEnv {
+	t.Helper()
+	p := enclave.NewPlatform(enclave.Config{})
+	appEnc, err := p.Create("app", []byte("app code"))
+	if err != nil {
+		t.Fatalf("create app: %v", err)
+	}
+	storeEnc, err := p.Create("store", []byte("store code"))
+	if err != nil {
+		t.Fatalf("create store: %v", err)
+	}
+	st, err := store.New(store.Config{Enclave: storeEnc})
+	if err != nil {
+		t.Fatalf("store.New: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	srv := store.NewServer(st, ln, store.WithLogf(func(string, ...any) {}))
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = srv.Serve()
+	}()
+	t.Cleanup(func() {
+		_ = srv.Close()
+		wg.Wait()
+	})
+
+	client, err := Dial(ln.Addr().String(), appEnc, storeEnc.Measurement())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() { _ = client.Close() })
+	return &remoteEnv{platform: p, appEnc: appEnc, storeEnc: storeEnc, store: st, client: client}
+}
+
+func testTag(b byte) mle.Tag {
+	var tag mle.Tag
+	for i := range tag {
+		tag[i] = b
+	}
+	return tag
+}
+
+func TestRemoteClientGetPut(t *testing.T) {
+	env := newRemoteEnv(t)
+	tag := testTag(0x42)
+
+	_, found, err := env.client.Get(tag)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if found {
+		t.Fatal("Get on empty store reported found")
+	}
+
+	sealed := mle.Sealed{
+		Challenge:  []byte("challenge"),
+		WrappedKey: []byte("wrapped"),
+		Blob:       []byte("blob"),
+	}
+	if err := env.client.Put(tag, sealed, false); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+
+	got, found, err := env.client.Get(tag)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if !found || !bytes.Equal(got.Blob, sealed.Blob) {
+		t.Errorf("Get = (%+v, %v), want stored sealed", got, found)
+	}
+}
+
+func TestRemoteClientPutRejected(t *testing.T) {
+	p := enclave.NewPlatform(enclave.Config{})
+	appEnc, _ := p.Create("app", []byte("app code"))
+	storeEnc, _ := p.Create("store", []byte("store code"))
+	st, err := store.New(store.Config{
+		Enclave: storeEnc,
+		Quota:   store.QuotaConfig{MaxBytesPerApp: 1},
+	})
+	if err != nil {
+		t.Fatalf("store.New: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	srv := store.NewServer(st, ln, store.WithLogf(func(string, ...any) {}))
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = srv.Serve()
+	}()
+	t.Cleanup(func() {
+		_ = srv.Close()
+		wg.Wait()
+	})
+
+	client, err := Dial(ln.Addr().String(), appEnc, storeEnc.Measurement())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer client.Close()
+
+	err = client.Put(testTag(1), mle.Sealed{Blob: []byte("too big for quota")}, false)
+	if !errors.Is(err, ErrPutRejected) {
+		t.Errorf("Put = %v, want ErrPutRejected", err)
+	}
+}
+
+func TestRemoteClientConcurrent(t *testing.T) {
+	env := newRemoteEnv(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				tag := testTag(byte(i))
+				if err := env.client.Put(tag, mle.Sealed{Blob: []byte{byte(i)}}, false); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				if _, _, err := env.client.Get(tag); err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// End-to-end: a runtime over the networked client behaves exactly like
+// the local deployment.
+func TestRuntimeOverRemoteClient(t *testing.T) {
+	env := newRemoteEnv(t)
+	rt, err := NewRuntime(Config{
+		Enclave: env.appEnc,
+		Client:  env.client,
+		Logf:    func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	defer rt.Close()
+	rt.Registry().RegisterLibrary("zlib", "1.2.11", []byte("zlib code"))
+	id, err := rt.Resolve(deflateDesc)
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+
+	input := []byte("network input")
+	res1, out1, err := rt.Execute(id, input, func(in []byte) ([]byte, error) {
+		return append([]byte("net:"), in...), nil
+	})
+	if err != nil {
+		t.Fatalf("Execute 1: %v", err)
+	}
+	if out1 != OutcomeComputed {
+		t.Errorf("outcome 1 = %v, want computed", out1)
+	}
+	res2, out2, err := rt.Execute(id, input, func([]byte) ([]byte, error) {
+		t.Error("recomputed over network despite stored result")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatalf("Execute 2: %v", err)
+	}
+	if out2 != OutcomeReused || !bytes.Equal(res1, res2) {
+		t.Errorf("Execute 2 = (%q, %v), want reused %q", res2, out2, res1)
+	}
+}
+
+func TestLocalClientCloseNoOp(t *testing.T) {
+	p := enclave.NewPlatform(enclave.Config{})
+	storeEnc, _ := p.Create("store", []byte("store code"))
+	st, err := store.New(store.Config{Enclave: storeEnc})
+	if err != nil {
+		t.Fatalf("store.New: %v", err)
+	}
+	c := NewLocalClient(st, enclave.Measurement{})
+	if err := c.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	// The store must remain usable after client close.
+	if _, _, err := st.Get(testTag(1)); err != nil {
+		t.Errorf("store Get after client Close: %v", err)
+	}
+}

@@ -1,0 +1,113 @@
+// Package dedup implements SPEED's secure deduplication runtime
+// (DedupRuntime, Section IV-B): the trusted library linked against
+// application enclaves that intercepts marked function calls, derives
+// computation tags, queries the encrypted ResultStore for duplicates,
+// and either reuses a verified stored result (Algorithm 2) or executes
+// the computation and uploads its protected result (Algorithm 1).
+package dedup
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+
+	"speed/internal/mle"
+)
+
+// FuncDesc is the developer-supplied description of a marked function:
+// "library family, version number, function signature, and other
+// relevant information, e.g., ("zlib", "1.2.11", int deflate(...))"
+// (Section IV-B). Together with the measured code of the trusted
+// library it yields a universally unique function identity that is
+// stable across compilation environments.
+type FuncDesc struct {
+	// Library is the trusted library family name, e.g. "zlib".
+	Library string
+	// Version is the library version, e.g. "1.2.11".
+	Version string
+	// Signature is the function signature, e.g. "int deflate(...)".
+	Signature string
+}
+
+// String renders the canonical description.
+func (d FuncDesc) String() string {
+	return fmt.Sprintf("(%q, %q, %s)", d.Library, d.Version, d.Signature)
+}
+
+// Validate reports whether the description is complete.
+func (d FuncDesc) Validate() error {
+	if d.Library == "" || d.Version == "" || d.Signature == "" {
+		return fmt.Errorf("dedup: incomplete function description %v", d)
+	}
+	return nil
+}
+
+// ErrUnknownLibrary is returned when a function description names a
+// trusted library that is not present at the application, i.e. the
+// application cannot prove it owns the function's code.
+var ErrUnknownLibrary = errors.New("dedup: trusted library not registered")
+
+type libKey struct {
+	library string
+	version string
+}
+
+// Registry records the trusted libraries available to an application
+// enclave, keyed by (library, version), with the SHA-256 of their
+// code. Resolve turns a FuncDesc into a FuncID only when the library is
+// actually present, which is DedupRuntime "verifying that the
+// application indeed owns the actual code of the function by scanning
+// the underlying trust library".
+type Registry struct {
+	mu   sync.RWMutex
+	libs map[libKey][32]byte
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{libs: make(map[libKey][32]byte)}
+}
+
+// RegisterLibrary records a trusted library's code. Registering the
+// same (library, version) again overwrites the code hash, modelling a
+// library update.
+func (r *Registry) RegisterLibrary(library, version string, code []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.libs[libKey{library, version}] = sha256.Sum256(code)
+}
+
+// Resolve derives the universally unique FuncID for a described
+// function, failing with ErrUnknownLibrary when the application does
+// not own the named library.
+func (r *Registry) Resolve(desc FuncDesc) (mle.FuncID, error) {
+	if err := desc.Validate(); err != nil {
+		return mle.FuncID{}, err
+	}
+	r.mu.RLock()
+	codeHash, ok := r.libs[libKey{desc.Library, desc.Version}]
+	r.mu.RUnlock()
+	if !ok {
+		return mle.FuncID{}, fmt.Errorf("%w: %s %s", ErrUnknownLibrary, desc.Library, desc.Version)
+	}
+	h := sha256.New()
+	h.Write([]byte("speed/funcid/v1\x00"))
+	writeField := func(s string) {
+		var lenBuf [4]byte
+		n := len(s)
+		lenBuf[0] = byte(n >> 24)
+		lenBuf[1] = byte(n >> 16)
+		lenBuf[2] = byte(n >> 8)
+		lenBuf[3] = byte(n)
+		h.Write(lenBuf[:])
+		h.Write([]byte(s))
+	}
+	writeField(desc.Library)
+	writeField(desc.Version)
+	writeField(desc.Signature)
+	h.Write(codeHash[:])
+	var id mle.FuncID
+	h.Sum(id[:0])
+	return id, nil
+}

@@ -1,0 +1,396 @@
+package dedup
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+
+	"speed/internal/enclave"
+	"speed/internal/mle"
+)
+
+// Outcome describes how a marked computation was satisfied.
+type Outcome int
+
+// Outcomes of Execute.
+const (
+	// OutcomeComputed means the result was freshly computed (and
+	// uploaded): Algorithm 1, the paper's "Init. Comp.".
+	OutcomeComputed Outcome = iota + 1
+	// OutcomeReused means a stored result was verified, decrypted and
+	// reused: Algorithm 2, the paper's "Subsq. Comp.".
+	OutcomeReused
+	// OutcomeRecomputed means a stored entry existed but failed the
+	// Fig. 3 verification (⊥) — e.g. poisoned or corrupted — so the
+	// result was recomputed and re-uploaded.
+	OutcomeRecomputed
+	// OutcomeCoalesced means an identical computation was already in
+	// flight in this process and its result was shared, without
+	// touching the store at all.
+	OutcomeCoalesced
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeComputed:
+		return "computed"
+	case OutcomeReused:
+		return "reused"
+	case OutcomeRecomputed:
+		return "recomputed"
+	case OutcomeCoalesced:
+		return "coalesced"
+	default:
+		return fmt.Sprintf("Outcome(%d)", int(o))
+	}
+}
+
+// Config configures a Runtime.
+type Config struct {
+	// Enclave is the application enclave the runtime is linked into.
+	// Required.
+	Enclave *enclave.Enclave
+	// Client reaches the encrypted ResultStore. Required.
+	Client StoreClient
+	// Scheme is the result-encryption scheme; nil means the paper's
+	// cross-application RCE design.
+	Scheme mle.Scheme
+	// Registry records the application's trusted libraries; nil means
+	// a fresh empty registry.
+	Registry *Registry
+	// AsyncPut processes the PUT pipeline (key generation, result
+	// encryption, store update) in a separate worker, the optimization
+	// suggested in Section V-B. When false (the default, matching the
+	// measured "Init. Comp." which includes "the time for secure
+	// storing result"), the PUT happens on the caller's path.
+	AsyncPut bool
+	// PutQueueDepth bounds the async PUT queue; defaults to 64.
+	PutQueueDepth int
+	// NoCoalesce disables in-flight coalescing. By default, when
+	// multiple goroutines concurrently Execute the same computation
+	// (same FuncID and input), only the first runs it; the others wait
+	// and share its result with OutcomeCoalesced — deduplication
+	// within the process, before the store is even consulted.
+	NoCoalesce bool
+	// Logf is the diagnostic logger; defaults to log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// Stats is a snapshot of runtime activity.
+type Stats struct {
+	// Calls counts Execute invocations.
+	Calls int64
+	// Reused counts results served from the store.
+	Reused int64
+	// Computed counts fresh computations (including recomputations).
+	Computed int64
+	// Coalesced counts calls that shared an in-flight computation.
+	Coalesced int64
+	// VerifyFailures counts stored entries rejected by the Fig. 3
+	// verification protocol.
+	VerifyFailures int64
+	// PutErrors counts failed or rejected uploads.
+	PutErrors int64
+	// BytesReused totals the plaintext result bytes served from the
+	// store.
+	BytesReused int64
+}
+
+// Runtime is the secure deduplication runtime. It is safe for
+// concurrent use by multiple goroutines of the same application.
+type Runtime struct {
+	cfg Config
+
+	mu    sync.Mutex
+	stats Stats
+
+	flightMu sync.Mutex
+	inflight map[mle.Tag]*flight
+
+	putCh  chan putJob
+	stop   chan struct{}
+	done   chan struct{}
+	closed bool
+}
+
+// flight is one in-progress computation that concurrent identical
+// calls can join.
+type flight struct {
+	done    chan struct{}
+	result  []byte
+	outcome Outcome
+	err     error
+}
+
+type putJob struct {
+	id      mle.FuncID
+	input   []byte
+	result  []byte
+	tag     mle.Tag
+	replace bool
+}
+
+// NewRuntime constructs a Runtime.
+func NewRuntime(cfg Config) (*Runtime, error) {
+	if cfg.Enclave == nil {
+		return nil, errors.New("dedup: Config.Enclave is required")
+	}
+	if cfg.Client == nil {
+		return nil, errors.New("dedup: Config.Client is required")
+	}
+	if cfg.Scheme == nil {
+		cfg.Scheme = &mle.RCE{}
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = NewRegistry()
+	}
+	if cfg.PutQueueDepth <= 0 {
+		cfg.PutQueueDepth = 64
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	rt := &Runtime{
+		cfg:      cfg,
+		inflight: make(map[mle.Tag]*flight),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	if cfg.AsyncPut {
+		rt.putCh = make(chan putJob, cfg.PutQueueDepth)
+		go rt.putWorker()
+	} else {
+		close(rt.done)
+	}
+	return rt, nil
+}
+
+// Registry returns the runtime's trusted-library registry.
+func (rt *Runtime) Registry() *Registry { return rt.cfg.Registry }
+
+// Enclave returns the application enclave.
+func (rt *Runtime) Enclave() *enclave.Enclave { return rt.cfg.Enclave }
+
+// Stats returns a snapshot of the runtime's counters.
+func (rt *Runtime) Stats() Stats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.stats
+}
+
+// Close drains the async PUT worker (if any) and closes the store
+// client. The runtime must not be used afterwards.
+func (rt *Runtime) Close() error {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return nil
+	}
+	rt.closed = true
+	rt.mu.Unlock()
+	close(rt.stop)
+	<-rt.done
+	return rt.cfg.Client.Close()
+}
+
+// Resolve derives the FuncID for a described function via the
+// registry.
+func (rt *Runtime) Resolve(desc FuncDesc) (mle.FuncID, error) {
+	return rt.cfg.Registry.Resolve(desc)
+}
+
+// Execute runs the marked computation func(input) with deduplication:
+// Algorithm 1 on a miss, Algorithm 2 plus the Fig. 3 verification on a
+// hit. compute must be the deterministic function the FuncID
+// identifies.
+func (rt *Runtime) Execute(id mle.FuncID, input []byte, compute func([]byte) ([]byte, error)) ([]byte, Outcome, error) {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return nil, 0, errors.New("dedup: runtime closed")
+	}
+	rt.stats.Calls++
+	rt.mu.Unlock()
+
+	var (
+		result  []byte
+		outcome Outcome
+	)
+	err := rt.cfg.Enclave.ECall(func() error {
+		// Algorithm 1/2 line 1: derive the tag inside the enclave.
+		tag := mle.ComputeTag(id, input)
+
+		run := func() error { return rt.executeTagged(id, input, tag, compute, &result, &outcome) }
+
+		// In-process coalescing: if the identical computation is
+		// already in flight, wait for it and share its result instead
+		// of racing it to the store.
+		if rt.cfg.NoCoalesce {
+			return run()
+		}
+		rt.flightMu.Lock()
+		if f, ok := rt.inflight[tag]; ok {
+			rt.flightMu.Unlock()
+			<-f.done
+			if f.err != nil {
+				return f.err
+			}
+			result = append([]byte(nil), f.result...)
+			outcome = OutcomeCoalesced
+			rt.mu.Lock()
+			rt.stats.Coalesced++
+			rt.stats.BytesReused += int64(len(result))
+			rt.mu.Unlock()
+			return nil
+		}
+		f := &flight{done: make(chan struct{})}
+		rt.inflight[tag] = f
+		rt.flightMu.Unlock()
+
+		ferr := run()
+		f.result, f.outcome, f.err = result, outcome, ferr
+		rt.flightMu.Lock()
+		delete(rt.inflight, tag)
+		rt.flightMu.Unlock()
+		close(f.done)
+		return ferr
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return result, outcome, nil
+}
+
+// executeTagged runs the store lookup / verify / compute / upload path
+// for an already-derived tag, writing the result and outcome through
+// the provided pointers. It runs inside the application enclave.
+func (rt *Runtime) executeTagged(id mle.FuncID, input []byte, tag mle.Tag, compute func([]byte) ([]byte, error), resultOut *[]byte, outcomeOut *Outcome) error {
+	// Line 2: query the store via an OCALL (the runtime's customized
+	// OCALL wrapping request and networking logic).
+	var (
+		sealed mle.Sealed
+		found  bool
+	)
+	err := rt.cfg.Enclave.OCall(func() error {
+		var gerr error
+		sealed, found, gerr = rt.cfg.Client.Get(tag)
+		return gerr
+	})
+	if err != nil {
+		return fmt.Errorf("query store: %w", err)
+	}
+
+	hadPoisonedEntry := false
+	if found {
+		// Algorithm 2 lines 4-6 + Fig. 3 verification.
+		res, derr := rt.cfg.Scheme.Decrypt(id, input, sealed)
+		if derr == nil {
+			*resultOut = res
+			*outcomeOut = OutcomeReused
+			rt.mu.Lock()
+			rt.stats.Reused++
+			rt.stats.BytesReused += int64(len(res))
+			rt.mu.Unlock()
+			return nil
+		}
+		if !errors.Is(derr, mle.ErrAuthFailed) {
+			return fmt.Errorf("decrypt result: %w", derr)
+		}
+		// ⊥: the stored entry is poisoned/corrupted or belongs to a
+		// computation we cannot perform. Fall back to computing.
+		hadPoisonedEntry = true
+		rt.mu.Lock()
+		rt.stats.VerifyFailures++
+		rt.mu.Unlock()
+	}
+
+	// Algorithm 1 line 4: compute the result inside the enclave.
+	res, cerr := compute(input)
+	if cerr != nil {
+		return cerr
+	}
+	*resultOut = res
+	if hadPoisonedEntry {
+		*outcomeOut = OutcomeRecomputed
+	} else {
+		*outcomeOut = OutcomeComputed
+	}
+	rt.mu.Lock()
+	rt.stats.Computed++
+	rt.mu.Unlock()
+
+	// Algorithm 1 lines 5-10: protect and upload the result. A
+	// recomputation replaces the stored entry that failed
+	// verification, so a poisoned entry cannot permanently disable
+	// reuse for its tag.
+	replace := hadPoisonedEntry
+	if rt.cfg.AsyncPut {
+		rt.enqueuePut(putJob{id: id, input: input, result: res, tag: tag, replace: replace})
+		return nil
+	}
+	if perr := rt.sealAndPut(id, input, res, tag, replace); perr != nil {
+		// A failed upload only loses future reuse; the caller still
+		// gets its freshly computed result.
+		rt.notePutError(perr)
+	}
+	return nil
+}
+
+// sealAndPut encrypts the result (RCE: random key, challenge, wrap) and
+// uploads (t, r, [k], [res]) via an OCALL.
+func (rt *Runtime) sealAndPut(id mle.FuncID, input, result []byte, tag mle.Tag, replace bool) error {
+	sealed, err := rt.cfg.Scheme.Encrypt(id, input, result)
+	if err != nil {
+		return fmt.Errorf("encrypt result: %w", err)
+	}
+	return rt.cfg.Enclave.OCall(func() error {
+		return rt.cfg.Client.Put(tag, sealed, replace)
+	})
+}
+
+func (rt *Runtime) enqueuePut(job putJob) {
+	select {
+	case rt.putCh <- job:
+	default:
+		// Queue full: drop the upload rather than stall the caller.
+		rt.notePutError(errors.New("dedup: put queue full"))
+	}
+}
+
+func (rt *Runtime) putWorker() {
+	defer close(rt.done)
+	for {
+		select {
+		case job := <-rt.putCh:
+			rt.runPutJob(job)
+		case <-rt.stop:
+			// Drain what is already queued, then exit.
+			for {
+				select {
+				case job := <-rt.putCh:
+					rt.runPutJob(job)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (rt *Runtime) runPutJob(job putJob) {
+	err := rt.cfg.Enclave.ECall(func() error {
+		return rt.sealAndPut(job.id, job.input, job.result, job.tag, job.replace)
+	})
+	if err != nil {
+		rt.notePutError(err)
+	}
+}
+
+func (rt *Runtime) notePutError(err error) {
+	rt.mu.Lock()
+	rt.stats.PutErrors++
+	rt.mu.Unlock()
+	rt.cfg.Logf("speed: put failed: %v", err)
+}

@@ -1,0 +1,56 @@
+package enclave
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"errors"
+	"fmt"
+)
+
+// ErrUnsealFailed is returned when sealed data fails authentication,
+// e.g. because it was tampered with or sealed by a different enclave
+// identity or platform.
+var ErrUnsealFailed = errors.New("enclave: unseal authentication failed")
+
+// Seal encrypts data under the enclave's measurement-bound sealing key
+// (AES-128-GCM), so that only the same enclave identity on the same
+// platform can recover it. This mirrors SGX's sgx_seal_data with
+// MRENCLAVE key policy.
+func (e *Enclave) Seal(data []byte) ([]byte, error) {
+	aead, err := e.sealAEAD()
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("seal nonce: %w", err)
+	}
+	return aead.Seal(nonce, nonce, data, e.measurement[:]), nil
+}
+
+// Unseal decrypts and authenticates data produced by Seal on the same
+// enclave identity and platform.
+func (e *Enclave) Unseal(sealed []byte) ([]byte, error) {
+	aead, err := e.sealAEAD()
+	if err != nil {
+		return nil, err
+	}
+	if len(sealed) < aead.NonceSize() {
+		return nil, ErrUnsealFailed
+	}
+	nonce, ct := sealed[:aead.NonceSize()], sealed[aead.NonceSize():]
+	pt, err := aead.Open(nil, nonce, ct, e.measurement[:])
+	if err != nil {
+		return nil, ErrUnsealFailed
+	}
+	return pt, nil
+}
+
+func (e *Enclave) sealAEAD() (cipher.AEAD, error) {
+	block, err := aes.NewCipher(e.sealKey[:16])
+	if err != nil {
+		return nil, fmt.Errorf("seal cipher: %w", err)
+	}
+	return cipher.NewGCM(block)
+}

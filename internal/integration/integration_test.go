@@ -1,0 +1,526 @@
+// Package integration_test exercises end-to-end scenarios across all
+// SPEED modules: real workloads over the full enclave + runtime +
+// store + wire stack, restart recovery, replication, and failure
+// injection.
+package integration_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"speed/internal/compress"
+	"speed/internal/dedup"
+	"speed/internal/enclave"
+	"speed/internal/mle"
+	"speed/internal/pattern"
+	"speed/internal/sift"
+	"speed/internal/store"
+	"speed/internal/wire"
+	"speed/internal/workload"
+)
+
+// mkStack builds platform + store (+ options) and returns a runtime
+// factory for apps on that platform.
+type stack struct {
+	t        *testing.T
+	platform *enclave.Platform
+	storeEnc *enclave.Enclave
+	store    *store.Store
+}
+
+func newStack(t *testing.T, storeCfg store.Config, platCfg enclave.Config) *stack {
+	t.Helper()
+	p := enclave.NewPlatform(platCfg)
+	storeEnc, err := p.Create("store", []byte("store code"))
+	if err != nil {
+		t.Fatalf("create store enclave: %v", err)
+	}
+	storeCfg.Enclave = storeEnc
+	st, err := store.New(storeCfg)
+	if err != nil {
+		t.Fatalf("store.New: %v", err)
+	}
+	return &stack{t: t, platform: p, storeEnc: storeEnc, store: st}
+}
+
+func (s *stack) newApp(name string) *dedup.Runtime {
+	s.t.Helper()
+	enc, err := s.platform.Create(name, []byte(name+" code"))
+	if err != nil {
+		s.t.Fatalf("create app enclave: %v", err)
+	}
+	rt, err := dedup.NewRuntime(dedup.Config{
+		Enclave: enc,
+		Client:  dedup.NewLocalClient(s.store, enc.Measurement()),
+		Logf:    func(string, ...any) {},
+	})
+	if err != nil {
+		s.t.Fatalf("NewRuntime: %v", err)
+	}
+	s.t.Cleanup(func() { _ = rt.Close() })
+	rt.Registry().RegisterLibrary("applib", "1.0", []byte("app library code"))
+	return rt
+}
+
+func appFuncID(t *testing.T, rt *dedup.Runtime, sig string) mle.FuncID {
+	t.Helper()
+	id, err := rt.Resolve(dedup.FuncDesc{Library: "applib", Version: "1.0", Signature: sig})
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	return id
+}
+
+// TestAllWorkloadsEndToEnd runs all four paper workloads through the
+// full stack and cross-checks deduplicated results against direct
+// computation.
+func TestAllWorkloadsEndToEnd(t *testing.T) {
+	s := newStack(t, store.Config{}, enclave.Config{})
+	rt := s.newApp("app")
+	gen := workload.New(55)
+
+	// Case 1: SIFT.
+	img := gen.Image(96, 96)
+	siftID := appFuncID(t, rt, "sift")
+	siftCompute := func(in []byte) ([]byte, error) {
+		g, err := sift.DecodeGray(in)
+		if err != nil {
+			return nil, err
+		}
+		return sift.EncodeKeypoints(sift.Detect(g, sift.DefaultParams())), nil
+	}
+	input := sift.EncodeGray(img)
+	direct, err := siftCompute(input)
+	if err != nil {
+		t.Fatalf("sift direct: %v", err)
+	}
+	got1, _, err := rt.Execute(siftID, input, siftCompute)
+	if err != nil {
+		t.Fatalf("sift execute: %v", err)
+	}
+	got2, outcome, err := rt.Execute(siftID, input, siftCompute)
+	if err != nil {
+		t.Fatalf("sift execute 2: %v", err)
+	}
+	if outcome != dedup.OutcomeReused {
+		t.Errorf("sift outcome = %v, want reused", outcome)
+	}
+	if !bytes.Equal(got1, direct) || !bytes.Equal(got2, direct) {
+		t.Error("sift deduplicated result differs from direct computation")
+	}
+
+	// Case 2: compression (verify reuse AND that the reused blob
+	// decompresses to the original).
+	text := gen.Text(100 << 10)
+	zID := appFuncID(t, rt, "deflate")
+	zCompute := func(in []byte) ([]byte, error) { return compress.Compress(in), nil }
+	if _, _, err := rt.Execute(zID, text, zCompute); err != nil {
+		t.Fatalf("compress execute: %v", err)
+	}
+	comp, outcome, err := rt.Execute(zID, text, zCompute)
+	if err != nil {
+		t.Fatalf("compress execute 2: %v", err)
+	}
+	if outcome != dedup.OutcomeReused {
+		t.Errorf("compress outcome = %v, want reused", outcome)
+	}
+	plain, err := compress.Decompress(comp)
+	if err != nil || !bytes.Equal(plain, text) {
+		t.Errorf("reused compressed blob does not round-trip: %v", err)
+	}
+
+	// Case 3: pattern matching via parsed Snort-like rules.
+	var rulesText bytes.Buffer
+	for _, r := range gen.SnortRules(300) {
+		rulesText.WriteString(pattern.FormatRule(r))
+		rulesText.WriteByte('\n')
+	}
+	parsed, err := pattern.ParseRules(&rulesText)
+	if err != nil {
+		t.Fatalf("ParseRules: %v", err)
+	}
+	rs, err := pattern.CompileRules(parsed)
+	if err != nil {
+		t.Fatalf("CompileRules: %v", err)
+	}
+	pkt := gen.Packet(32<<10, parsed, 0.5)
+	pID := appFuncID(t, rt, "scan")
+	pCompute := func(in []byte) ([]byte, error) {
+		return pattern.EncodeScanResult(rs.Scan(in)), nil
+	}
+	if _, _, err := rt.Execute(pID, pkt, pCompute); err != nil {
+		t.Fatalf("pattern execute: %v", err)
+	}
+	res, outcome, err := rt.Execute(pID, pkt, pCompute)
+	if err != nil {
+		t.Fatalf("pattern execute 2: %v", err)
+	}
+	if outcome != dedup.OutcomeReused {
+		t.Errorf("pattern outcome = %v, want reused", outcome)
+	}
+	wantIDs := rs.Scan(pkt)
+	gotIDs, err := pattern.DecodeScanResult(res)
+	if err != nil {
+		t.Fatalf("DecodeScanResult: %v", err)
+	}
+	if fmt.Sprint(gotIDs) != fmt.Sprint(wantIDs) {
+		t.Errorf("reused scan = %v, want %v", gotIDs, wantIDs)
+	}
+
+	if got := s.store.Len(); got != 3 {
+		t.Errorf("store entries = %d, want 3", got)
+	}
+}
+
+// TestRestartRecoveryWithSnapshotAndDiskBlobs models a full store
+// restart: sealed metadata snapshot + disk blob directory survive; a
+// fresh process (same machine seed, same store code) restores and
+// applications keep hitting.
+func TestRestartRecoveryWithSnapshotAndDiskBlobs(t *testing.T) {
+	dir := t.TempDir()
+	seed := []byte("machine-7")
+
+	mkStack := func() *stack {
+		blobs, err := store.NewDiskBlobStore(dir)
+		if err != nil {
+			t.Fatalf("NewDiskBlobStore: %v", err)
+		}
+		return newStack(t, store.Config{Blobs: blobs}, enclave.Config{PlatformSeed: seed})
+	}
+
+	s1 := mkStack()
+	rt1 := s1.newApp("app")
+	id := appFuncID(t, rt1, "expensive")
+	compute := func(in []byte) ([]byte, error) {
+		return append([]byte("result-of-"), in...), nil
+	}
+	for i := 0; i < 10; i++ {
+		if _, _, err := rt1.Execute(id, []byte(fmt.Sprintf("input-%d", i)), compute); err != nil {
+			t.Fatalf("Execute: %v", err)
+		}
+	}
+	snap, err := s1.store.SealSnapshot()
+	if err != nil {
+		t.Fatalf("SealSnapshot: %v", err)
+	}
+	s1.store.Close()
+
+	// "Restart".
+	s2 := mkStack()
+	n, err := s2.store.RestoreSnapshot(snap)
+	if err != nil {
+		t.Fatalf("RestoreSnapshot: %v", err)
+	}
+	if n != 10 {
+		t.Fatalf("restored %d entries, want 10", n)
+	}
+	rt2 := s2.newApp("app")
+	id2 := appFuncID(t, rt2, "expensive")
+	for i := 0; i < 10; i++ {
+		res, outcome, err := rt2.Execute(id2, []byte(fmt.Sprintf("input-%d", i)), func([]byte) ([]byte, error) {
+			t.Error("recomputed after restore")
+			return nil, nil
+		})
+		if err != nil {
+			t.Fatalf("Execute after restore: %v", err)
+		}
+		if outcome != dedup.OutcomeReused {
+			t.Errorf("input %d outcome = %v, want reused", i, outcome)
+		}
+		if want := fmt.Sprintf("result-of-input-%d", i); string(res) != want {
+			t.Errorf("restored result = %q, want %q", res, want)
+		}
+	}
+}
+
+// TestReplicationAcrossMachines: two edge deployments compute
+// independently; the master periodically syncs popular results; a
+// consumer attached to the master reuses results it never computed —
+// across machines, with no shared key, via the RCE scheme.
+func TestReplicationAcrossMachines(t *testing.T) {
+	edge1 := newStack(t, store.Config{}, enclave.Config{})
+	edge2 := newStack(t, store.Config{}, enclave.Config{})
+	master := newStack(t, store.Config{}, enclave.Config{})
+
+	rtA := edge1.newApp("producer-A")
+	rtB := edge2.newApp("producer-B")
+	idA := appFuncID(t, rtA, "shared-func")
+	idB := appFuncID(t, rtB, "shared-func")
+	if idA != idB {
+		t.Fatal("same library resolved differently across machines")
+	}
+
+	compute := func(in []byte) ([]byte, error) {
+		return append([]byte("R:"), in...), nil
+	}
+	// Each edge computes some inputs, with overlap; popular inputs
+	// get multiple hits.
+	for i := 0; i < 6; i++ {
+		input := []byte(fmt.Sprintf("in-%d", i))
+		if _, _, err := rtA.Execute(idA, input, compute); err != nil {
+			t.Fatalf("A Execute: %v", err)
+		}
+	}
+	for i := 4; i < 10; i++ {
+		input := []byte(fmt.Sprintf("in-%d", i))
+		if _, _, err := rtB.Execute(idB, input, compute); err != nil {
+			t.Fatalf("B Execute: %v", err)
+		}
+	}
+	// Drive popularity: hit each store once more per entry.
+	for i := 0; i < 6; i++ {
+		rtA.Execute(idA, []byte(fmt.Sprintf("in-%d", i)), compute)
+	}
+	for i := 4; i < 10; i++ {
+		rtB.Execute(idB, []byte(fmt.Sprintf("in-%d", i)), compute)
+	}
+
+	rep := store.NewReplicator(master.store, []*store.Store{edge1.store, edge2.store}, 1, 0)
+	if _, err := rep.SyncOnce(); err != nil {
+		t.Fatalf("SyncOnce: %v", err)
+	}
+	// 10 distinct inputs total; overlapping tags stored once.
+	if got := master.store.Len(); got != 10 {
+		t.Errorf("master entries = %d, want 10", got)
+	}
+
+	rtC := master.newApp("consumer-C")
+	idC := appFuncID(t, rtC, "shared-func")
+	for i := 0; i < 10; i++ {
+		input := []byte(fmt.Sprintf("in-%d", i))
+		res, outcome, err := rtC.Execute(idC, input, func([]byte) ([]byte, error) {
+			t.Errorf("consumer recomputed input %d", i)
+			return nil, nil
+		})
+		if err != nil {
+			t.Fatalf("C Execute: %v", err)
+		}
+		if outcome != dedup.OutcomeReused {
+			t.Errorf("input %d outcome = %v, want reused", i, outcome)
+		}
+		if want := "R:" + string(input); string(res) != want {
+			t.Errorf("consumer result = %q, want %q", res, want)
+		}
+	}
+}
+
+// flakyBlobStore fails every nth operation, injecting untrusted-storage
+// faults.
+type flakyBlobStore struct {
+	inner store.BlobStore
+	mu    sync.Mutex
+	n     int
+	count int
+}
+
+func (f *flakyBlobStore) tick() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.count++
+	return f.count%f.n == 0
+}
+
+func (f *flakyBlobStore) Put(data []byte) (store.BlobID, error) {
+	if f.tick() {
+		return 0, errors.New("injected blob put failure")
+	}
+	return f.inner.Put(data)
+}
+
+func (f *flakyBlobStore) Get(id store.BlobID) ([]byte, error) {
+	if f.tick() {
+		return nil, errors.New("injected blob get failure")
+	}
+	return f.inner.Get(id)
+}
+
+func (f *flakyBlobStore) Delete(id store.BlobID) error { return f.inner.Delete(id) }
+func (f *flakyBlobStore) Bytes() int64                 { return f.inner.Bytes() }
+
+// TestFlakyUntrustedStorage: faults in the untrusted blob store must
+// never produce wrong results — only recomputation.
+func TestFlakyUntrustedStorage(t *testing.T) {
+	s := newStack(t, store.Config{
+		Blobs: &flakyBlobStore{inner: store.NewMemBlobStore(), n: 3},
+	}, enclave.Config{})
+	rt := s.newApp("app")
+	id := appFuncID(t, rt, "f")
+
+	compute := func(in []byte) ([]byte, error) {
+		return append([]byte("ok-"), in...), nil
+	}
+	for round := 0; round < 5; round++ {
+		for i := 0; i < 10; i++ {
+			input := []byte(fmt.Sprintf("in-%d", i))
+			res, _, err := rt.Execute(id, input, compute)
+			if err != nil {
+				t.Fatalf("Execute round %d input %d: %v", round, i, err)
+			}
+			if want := "ok-" + string(input); string(res) != want {
+				t.Fatalf("wrong result under storage faults: %q != %q", res, want)
+			}
+		}
+	}
+	if got := rt.Stats().Reused; got == 0 {
+		t.Error("no reuse at all despite mostly-working storage")
+	}
+}
+
+// TestQuotaIsolationEndToEnd: one flooding application exhausts its
+// quota; a well-behaved application is unaffected.
+func TestQuotaIsolationEndToEnd(t *testing.T) {
+	s := newStack(t, store.Config{
+		Quota: store.QuotaConfig{MaxBytesPerApp: 2 << 10},
+	}, enclave.Config{})
+	flooder := s.newApp("flooder")
+	good := s.newApp("good")
+	fID := appFuncID(t, flooder, "flood")
+	gID := appFuncID(t, good, "good")
+
+	// The flooder uploads big results until its quota denies.
+	big := func(in []byte) ([]byte, error) { return make([]byte, 1<<10), nil }
+	for i := 0; i < 10; i++ {
+		if _, _, err := flooder.Execute(fID, []byte(fmt.Sprintf("f-%d", i)), big); err != nil {
+			t.Fatalf("flooder Execute: %v", err)
+		}
+	}
+	if got := flooder.Stats().PutErrors; got == 0 {
+		t.Error("flooder never hit quota")
+	}
+
+	// The good app still stores and reuses.
+	small := func(in []byte) ([]byte, error) { return []byte("small"), nil }
+	if _, _, err := good.Execute(gID, []byte("g"), small); err != nil {
+		t.Fatalf("good Execute: %v", err)
+	}
+	_, outcome, err := good.Execute(gID, []byte("g"), small)
+	if err != nil {
+		t.Fatalf("good Execute 2: %v", err)
+	}
+	if outcome != dedup.OutcomeReused {
+		t.Errorf("good outcome = %v, want reused (unaffected by flooder)", outcome)
+	}
+}
+
+// TestNetworkedStackWithAuthorization: remote clients over the real
+// TCP + attested channel path with an ACL at the store.
+func TestNetworkedStackWithAuthorization(t *testing.T) {
+	acl := store.NewACL(0)
+	s := newStack(t, store.Config{Auth: acl}, enclave.Config{})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	srv := store.NewServer(s.store, ln, store.WithLogf(func(string, ...any) {}))
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = srv.Serve()
+	}()
+	t.Cleanup(func() {
+		_ = srv.Close()
+		wg.Wait()
+	})
+
+	mkRemoteApp := func(name string) *dedup.Runtime {
+		enc, err := s.platform.Create(name, []byte(name+" code"))
+		if err != nil {
+			t.Fatalf("create enclave: %v", err)
+		}
+		client, err := dedup.Dial(ln.Addr().String(), enc, s.storeEnc.Measurement())
+		if err != nil {
+			t.Fatalf("Dial: %v", err)
+		}
+		rt, err := dedup.NewRuntime(dedup.Config{
+			Enclave: enc,
+			Client:  client,
+			Logf:    func(string, ...any) {},
+		})
+		if err != nil {
+			t.Fatalf("NewRuntime: %v", err)
+		}
+		t.Cleanup(func() { _ = rt.Close() })
+		rt.Registry().RegisterLibrary("applib", "1.0", []byte("app library code"))
+		return rt
+	}
+
+	authorized := mkRemoteApp("authorized")
+	stranger := mkRemoteApp("stranger")
+	acl.Grant(authorized.Enclave().Measurement(), store.PermAll)
+
+	aID := appFuncID(t, authorized, "f")
+	sID := appFuncID(t, stranger, "f")
+	compute := func(in []byte) ([]byte, error) { return []byte("res"), nil }
+
+	if _, _, err := authorized.Execute(aID, []byte("x"), compute); err != nil {
+		t.Fatalf("authorized Execute: %v", err)
+	}
+	if _, outcome, err := authorized.Execute(aID, []byte("x"), compute); err != nil || outcome != dedup.OutcomeReused {
+		t.Errorf("authorized reuse = (%v, %v)", outcome, err)
+	}
+
+	// The stranger's GET is denied (served as miss) and its PUT is
+	// rejected; the call still succeeds via local computation.
+	res, outcome, err := stranger.Execute(sID, []byte("x"), compute)
+	if err != nil {
+		t.Fatalf("stranger Execute: %v", err)
+	}
+	if outcome != dedup.OutcomeComputed || string(res) != "res" {
+		t.Errorf("stranger = (%q, %v), want computed res", res, outcome)
+	}
+	if got := stranger.Stats().PutErrors; got != 1 {
+		t.Errorf("stranger PutErrors = %d, want 1", got)
+	}
+	if got := s.store.Stats().Unauthorized; got == 0 {
+		t.Error("no unauthorized operations recorded at the store")
+	}
+}
+
+// TestChannelCutMidSession: killing the TCP connection surfaces errors
+// to the client rather than hanging or corrupting.
+func TestChannelCutMidSession(t *testing.T) {
+	s := newStack(t, store.Config{}, enclave.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	srv := store.NewServer(s.store, ln, store.WithLogf(func(string, ...any) {}))
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = srv.Serve()
+	}()
+
+	enc, err := s.platform.Create("app", []byte("app code"))
+	if err != nil {
+		t.Fatalf("create enclave: %v", err)
+	}
+	client, err := dedup.Dial(ln.Addr().String(), enc, s.storeEnc.Measurement())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer client.Close()
+
+	var tag mle.Tag
+	tag[0] = 9
+	if err := client.Put(tag, mle.Sealed{Blob: []byte("x")}, false); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+
+	// Cut the server.
+	_ = srv.Close()
+	wg.Wait()
+
+	if _, _, err := client.Get(tag); err == nil {
+		t.Error("Get over a cut channel succeeded")
+	}
+}
+
+var _ = wire.MaxFrameSize // keep the wire package exercised/linked here

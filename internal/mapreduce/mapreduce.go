@@ -1,0 +1,136 @@
+// Package mapreduce is a generic in-process MapReduce engine standing
+// in for the C++ mapreduce library of Case 4 in the paper's
+// evaluation. It provides parallel mappers with optional per-worker
+// combiners, a hash shuffle, and parallel reducers, all type-safe via
+// generics. The bag-of-words (BoW) job of the paper is built on top in
+// bow.go.
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Mapper transforms one input record into key/value pairs via emit.
+type Mapper[In any, K comparable, V any] func(in In, emit func(K, V)) error
+
+// Reducer folds all values of one key into a single output value.
+type Reducer[K comparable, V, Out any] func(key K, values []V) (Out, error)
+
+// Combiner optionally pre-folds values per worker before the shuffle,
+// cutting shuffle volume (classic word-count optimisation).
+type Combiner[V any] func(a, b V) V
+
+// Config tunes a job.
+type Config[V any] struct {
+	// Workers is the mapper/reducer parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// Combine, when non-nil, folds values per key within each map
+	// worker before the shuffle.
+	Combine Combiner[V]
+}
+
+// Run executes a MapReduce job over inputs and returns the per-key
+// outputs. The result map is deterministic in content (iteration order
+// is Go's usual map order); callers needing canonical bytes should
+// sort keys.
+func Run[In any, K comparable, V, Out any](
+	inputs []In,
+	mapper Mapper[In, K, V],
+	reducer Reducer[K, V, Out],
+	cfg Config[V],
+) (map[K]Out, error) {
+	if mapper == nil || reducer == nil {
+		return nil, errors.New("mapreduce: mapper and reducer are required")
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(inputs) && len(inputs) > 0 {
+		workers = len(inputs)
+	}
+	if len(inputs) == 0 {
+		return make(map[K]Out), nil
+	}
+
+	// Map phase: each worker processes a strided share of the inputs
+	// into a private intermediate map (with combining when enabled).
+	type interm = map[K][]V
+	partials := make([]interm, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make(interm)
+			emit := func(k K, v V) {
+				if cfg.Combine != nil {
+					if prev, ok := local[k]; ok {
+						local[k][len(prev)-1] = cfg.Combine(prev[len(prev)-1], v)
+						return
+					}
+				}
+				local[k] = append(local[k], v)
+			}
+			for i := w; i < len(inputs); i += workers {
+				if err := mapper(inputs[i], emit); err != nil {
+					errs[w] = fmt.Errorf("mapreduce: map input %d: %w", i, err)
+					return
+				}
+			}
+			partials[w] = local
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Shuffle: merge worker maps.
+	merged := make(interm)
+	for _, local := range partials {
+		for k, vs := range local {
+			merged[k] = append(merged[k], vs...)
+		}
+	}
+
+	// Reduce phase: partition keys across workers.
+	keys := make([]K, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	out := make(map[K]Out, len(keys))
+	var outMu sync.Mutex
+	rerrs := make([]error, workers)
+	wg = sync.WaitGroup{}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < len(keys); i += workers {
+				k := keys[i]
+				v, err := reducer(k, merged[k])
+				if err != nil {
+					rerrs[w] = fmt.Errorf("mapreduce: reduce: %w", err)
+					return
+				}
+				outMu.Lock()
+				out[k] = v
+				outMu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range rerrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

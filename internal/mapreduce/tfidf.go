@@ -1,0 +1,183 @@
+package mapreduce
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+	"sort"
+)
+
+// Further MapReduce jobs in the information-retrieval family the paper
+// motivates for Case 4 ("widely used in natural language processing
+// and information retrieval"): an inverted index and TF-IDF scoring.
+// Both are deterministic in their inputs and produce canonical
+// encodings, so they are directly deduplicable.
+
+// Posting is one inverted-index entry: the document and the term's
+// occurrence count in it.
+type Posting struct {
+	// Doc is the document index in the input corpus.
+	Doc int
+	// Count is the term frequency within the document.
+	Count int
+}
+
+// InvertedIndex maps every term to its postings (sorted by document),
+// built with MapReduce over the corpus.
+func InvertedIndex(docs []string, workers int) (map[string][]Posting, error) {
+	type docTerm struct {
+		doc  int
+		text string
+	}
+	inputs := make([]docTerm, len(docs))
+	for i, d := range docs {
+		inputs[i] = docTerm{doc: i, text: d}
+	}
+	return Run(
+		inputs,
+		func(in docTerm, emit func(string, Posting)) error {
+			counts := make(map[string]int)
+			for _, w := range Tokenize(in.text) {
+				counts[w]++
+			}
+			for w, c := range counts {
+				emit(w, Posting{Doc: in.doc, Count: c})
+			}
+			return nil
+		},
+		func(term string, postings []Posting) ([]Posting, error) {
+			sort.Slice(postings, func(i, j int) bool {
+				return postings[i].Doc < postings[j].Doc
+			})
+			return postings, nil
+		},
+		Config[Posting]{Workers: workers},
+	)
+}
+
+// TFIDF computes term frequency–inverse document frequency scores per
+// (term, document), the classic relevance weighting:
+//
+//	tfidf(t, d) = tf(t, d) * ln(N / df(t))
+//
+// Scores are returned per term as slices parallel to the term's
+// postings.
+type TFIDFScore struct {
+	// Doc is the document index.
+	Doc int
+	// Score is the TF-IDF weight of the term in the document.
+	Score float64
+}
+
+// TFIDF builds the inverted index and derives scores from it.
+func TFIDF(docs []string, workers int) (map[string][]TFIDFScore, error) {
+	index, err := InvertedIndex(docs, workers)
+	if err != nil {
+		return nil, err
+	}
+	n := float64(len(docs))
+	out := make(map[string][]TFIDFScore, len(index))
+	for term, postings := range index {
+		idf := math.Log(n / float64(len(postings)))
+		scores := make([]TFIDFScore, len(postings))
+		for i, p := range postings {
+			scores[i] = TFIDFScore{Doc: p.Doc, Score: float64(p.Count) * idf}
+		}
+		out[term] = scores
+	}
+	return out, nil
+}
+
+// TopTerms returns the k highest-scoring terms for one document,
+// deterministically ordered (score descending, term ascending).
+func TopTerms(scores map[string][]TFIDFScore, doc, k int) []string {
+	type scored struct {
+		term  string
+		score float64
+	}
+	var all []scored
+	for term, ss := range scores {
+		for _, s := range ss {
+			if s.Doc == doc {
+				all = append(all, scored{term: term, score: s.Score})
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].score != all[j].score {
+			return all[i].score > all[j].score
+		}
+		return all[i].term < all[j].term
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = all[i].term
+	}
+	return out
+}
+
+// ErrMalformedIndex is returned when decoding invalid index bytes.
+var ErrMalformedIndex = errors.New("mapreduce: malformed index encoding")
+
+// EncodeIndex serialises an inverted index canonically (terms sorted,
+// postings by document), the deduplicable result representation.
+func EncodeIndex(index map[string][]Posting) []byte {
+	terms := make([]string, 0, len(index))
+	for t := range index {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	buf := binary.BigEndian.AppendUint32(nil, uint32(len(terms)))
+	for _, t := range terms {
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(t)))
+		buf = append(buf, t...)
+		postings := index[t]
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(postings)))
+		for _, p := range postings {
+			buf = binary.BigEndian.AppendUint64(buf, uint64(p.Doc))
+			buf = binary.BigEndian.AppendUint64(buf, uint64(p.Count))
+		}
+	}
+	return buf
+}
+
+// DecodeIndex parses the form produced by EncodeIndex.
+func DecodeIndex(b []byte) (map[string][]Posting, error) {
+	if len(b) < 4 {
+		return nil, ErrMalformedIndex
+	}
+	nTerms := int(binary.BigEndian.Uint32(b))
+	b = b[4:]
+	out := make(map[string][]Posting, nTerms)
+	for i := 0; i < nTerms; i++ {
+		if len(b) < 4 {
+			return nil, ErrMalformedIndex
+		}
+		tl := int(binary.BigEndian.Uint32(b))
+		b = b[4:]
+		if tl < 0 || len(b) < tl+4 {
+			return nil, ErrMalformedIndex
+		}
+		term := string(b[:tl])
+		b = b[tl:]
+		nPost := int(binary.BigEndian.Uint32(b))
+		b = b[4:]
+		if nPost < 0 || len(b) < nPost*16 {
+			return nil, ErrMalformedIndex
+		}
+		postings := make([]Posting, nPost)
+		for j := range postings {
+			postings[j].Doc = int(binary.BigEndian.Uint64(b))
+			postings[j].Count = int(binary.BigEndian.Uint64(b[8:]))
+			b = b[16:]
+		}
+		out[term] = postings
+	}
+	if len(b) != 0 {
+		return nil, ErrMalformedIndex
+	}
+	return out, nil
+}

@@ -1,0 +1,180 @@
+package mapreduce
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+var tfidfDocs = []string{
+	"the cat sat on the mat",
+	"the dog sat on the log",
+	"cats and dogs",
+}
+
+func TestInvertedIndex(t *testing.T) {
+	index, err := InvertedIndex(tfidfDocs, 2)
+	if err != nil {
+		t.Fatalf("InvertedIndex: %v", err)
+	}
+	// "the" appears twice in docs 0 and 1, never in doc 2.
+	want := []Posting{{Doc: 0, Count: 2}, {Doc: 1, Count: 2}}
+	if !reflect.DeepEqual(index["the"], want) {
+		t.Errorf(`index["the"] = %v, want %v`, index["the"], want)
+	}
+	// "cats" only in doc 2.
+	if !reflect.DeepEqual(index["cats"], []Posting{{Doc: 2, Count: 1}}) {
+		t.Errorf(`index["cats"] = %v`, index["cats"])
+	}
+	if _, ok := index["zebra"]; ok {
+		t.Error("index contains absent term")
+	}
+}
+
+func TestInvertedIndexDeterministicAcrossWorkers(t *testing.T) {
+	a, err := InvertedIndex(tfidfDocs, 1)
+	if err != nil {
+		t.Fatalf("InvertedIndex: %v", err)
+	}
+	b, err := InvertedIndex(tfidfDocs, 8)
+	if err != nil {
+		t.Fatalf("InvertedIndex: %v", err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("index differs across worker counts")
+	}
+}
+
+func TestTFIDF(t *testing.T) {
+	scores, err := TFIDF(tfidfDocs, 2)
+	if err != nil {
+		t.Fatalf("TFIDF: %v", err)
+	}
+	// "sat" is in 2 of 3 docs with tf=1: score = ln(3/2).
+	wantSat := math.Log(3.0 / 2.0)
+	got := scores["sat"]
+	if len(got) != 2 || math.Abs(got[0].Score-wantSat) > 1e-12 {
+		t.Errorf(`scores["sat"] = %v, want score %v`, got, wantSat)
+	}
+	// "the" is in 2 of 3 docs with tf=2: score = 2*ln(3/2).
+	gotThe := scores["the"]
+	if len(gotThe) != 2 || math.Abs(gotThe[0].Score-2*wantSat) > 1e-12 {
+		t.Errorf(`scores["the"] = %v`, gotThe)
+	}
+	// A term unique to one doc scores tf*ln(3).
+	gotMat := scores["mat"]
+	if len(gotMat) != 1 || math.Abs(gotMat[0].Score-math.Log(3)) > 1e-12 {
+		t.Errorf(`scores["mat"] = %v`, gotMat)
+	}
+}
+
+func TestTopTerms(t *testing.T) {
+	scores, err := TFIDF(tfidfDocs, 2)
+	if err != nil {
+		t.Fatalf("TFIDF: %v", err)
+	}
+	top := TopTerms(scores, 0, 3)
+	if len(top) != 3 {
+		t.Fatalf("TopTerms = %v", top)
+	}
+	// Doc 0's distinctive terms ("cat", "mat" with ln3 > "the" with
+	// 2*ln1.5) must outrank shared ones; "the" has score 2*ln(3/2) ≈
+	// 0.81 vs ln(3) ≈ 1.10 for unique terms.
+	if top[0] != "cat" && top[0] != "mat" {
+		t.Errorf("top term = %q, want a doc-unique term", top[0])
+	}
+	// k larger than available terms clamps.
+	all := TopTerms(scores, 2, 100)
+	if len(all) != 3 { // "cats", "and", "dogs"
+		t.Errorf("TopTerms(doc 2) = %v", all)
+	}
+	// Deterministic ordering.
+	if !reflect.DeepEqual(TopTerms(scores, 0, 5), TopTerms(scores, 0, 5)) {
+		t.Error("TopTerms not deterministic")
+	}
+}
+
+func TestIndexCodecRoundTrip(t *testing.T) {
+	index, err := InvertedIndex(tfidfDocs, 2)
+	if err != nil {
+		t.Fatalf("InvertedIndex: %v", err)
+	}
+	got, err := DecodeIndex(EncodeIndex(index))
+	if err != nil {
+		t.Fatalf("DecodeIndex: %v", err)
+	}
+	if !reflect.DeepEqual(got, index) {
+		t.Error("index codec round trip mismatch")
+	}
+	// Empty index.
+	got, err = DecodeIndex(EncodeIndex(map[string][]Posting{}))
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty round trip = (%v, %v)", got, err)
+	}
+}
+
+func TestIndexCodecCanonical(t *testing.T) {
+	a := EncodeIndex(map[string][]Posting{"x": {{1, 2}}, "y": {{0, 1}}})
+	b := EncodeIndex(map[string][]Posting{"y": {{0, 1}}, "x": {{1, 2}}})
+	if !reflect.DeepEqual(a, b) {
+		t.Error("EncodeIndex not canonical")
+	}
+}
+
+func TestIndexCodecRejectsMalformed(t *testing.T) {
+	enc := EncodeIndex(map[string][]Posting{"term": {{Doc: 1, Count: 2}}})
+	for i, bad := range [][]byte{nil, {1}, enc[:len(enc)-3], append(append([]byte{}, enc...), 9)} {
+		if _, err := DecodeIndex(bad); err == nil {
+			t.Errorf("case %d: DecodeIndex accepted malformed input", i)
+		}
+	}
+}
+
+// Property: the index codec round-trips arbitrary small indexes.
+func TestQuickIndexCodec(t *testing.T) {
+	prop := func(terms map[string]uint8) bool {
+		index := make(map[string][]Posting, len(terms))
+		for term, n := range terms {
+			k := int(n%4) + 1
+			postings := make([]Posting, k)
+			for i := range postings {
+				postings[i] = Posting{Doc: i, Count: int(n) + i}
+			}
+			index[term] = postings
+		}
+		got, err := DecodeIndex(EncodeIndex(index))
+		return err == nil && (len(index) == 0 && len(got) == 0 || reflect.DeepEqual(got, index))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: document frequency in the index equals the naive count.
+func TestQuickInvertedIndexAgreesWithNaive(t *testing.T) {
+	prop := func(docs []string) bool {
+		index, err := InvertedIndex(docs, 3)
+		if err != nil {
+			return false
+		}
+		for term, postings := range index {
+			df := 0
+			for _, d := range docs {
+				for _, w := range Tokenize(d) {
+					if w == term {
+						df++
+						break
+					}
+				}
+			}
+			if df != len(postings) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,384 @@
+package mle
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func testFuncID(s string) FuncID {
+	return FuncID(sha256.Sum256([]byte(s)))
+}
+
+func TestComputeTagDeterministic(t *testing.T) {
+	id := testFuncID("zlib/1.2.11/deflate")
+	in := []byte("some input data")
+	if ComputeTag(id, in) != ComputeTag(id, in) {
+		t.Error("same computation produced different tags")
+	}
+}
+
+func TestComputeTagDistinguishesFuncAndInput(t *testing.T) {
+	idA := testFuncID("zlib/1.2.11/deflate")
+	idB := testFuncID("libpcre/8.41/pcre_exec")
+	in1 := []byte("input one")
+	in2 := []byte("input two")
+
+	tests := []struct {
+		name   string
+		t1, t2 Tag
+	}{
+		{"different funcs, same input", ComputeTag(idA, in1), ComputeTag(idB, in1)},
+		{"same func, different inputs", ComputeTag(idA, in1), ComputeTag(idA, in2)},
+		{"empty vs nonempty input", ComputeTag(idA, nil), ComputeTag(idA, in1)},
+	}
+	for _, tt := range tests {
+		if tt.t1 == tt.t2 {
+			t.Errorf("%s: tags collide", tt.name)
+		}
+	}
+}
+
+// The length framing must make the encoding injective: an input that is
+// a zero-extended version of another must hash differently.
+func TestComputeTagInjectiveFraming(t *testing.T) {
+	id := testFuncID("f")
+	t1 := ComputeTag(id, []byte{1, 2, 3})
+	t2 := ComputeTag(id, []byte{1, 2, 3, 0})
+	if t1 == t2 {
+		t.Error("zero-extended input collides with original")
+	}
+}
+
+func TestRCERoundTrip(t *testing.T) {
+	scheme := &RCE{}
+	id := testFuncID("f")
+	input := []byte("the input")
+	result := []byte("the computed result")
+
+	s, err := scheme.Encrypt(id, input, result)
+	if err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	got, err := scheme.Decrypt(id, input, s)
+	if err != nil {
+		t.Fatalf("Decrypt: %v", err)
+	}
+	if !bytes.Equal(got, result) {
+		t.Errorf("Decrypt = %q, want %q", got, result)
+	}
+}
+
+func TestRCEEmptyResult(t *testing.T) {
+	scheme := &RCE{}
+	id := testFuncID("f")
+	s, err := scheme.Encrypt(id, []byte("in"), nil)
+	if err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	got, err := scheme.Decrypt(id, []byte("in"), s)
+	if err != nil {
+		t.Fatalf("Decrypt: %v", err)
+	}
+	if len(got) != 0 {
+		t.Errorf("Decrypt = %q, want empty", got)
+	}
+}
+
+func TestRCECiphertextHidesResult(t *testing.T) {
+	scheme := &RCE{}
+	result := []byte("super secret computation result value")
+	s, err := scheme.Encrypt(testFuncID("f"), []byte("in"), result)
+	if err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	if bytes.Contains(s.Blob, result) {
+		t.Error("blob contains plaintext result")
+	}
+}
+
+// The central security property (Fig. 3): a party that does not own the
+// same function code and input cannot decrypt, even with the full
+// (r, [k], [res]) triple.
+func TestRCEQueryForgingResistance(t *testing.T) {
+	scheme := &RCE{}
+	id := testFuncID("f")
+	input := []byte("real input")
+	s, err := scheme.Encrypt(id, input, []byte("result"))
+	if err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+
+	tests := []struct {
+		name  string
+		id    FuncID
+		input []byte
+	}{
+		{"wrong function", testFuncID("g"), input},
+		{"wrong input", id, []byte("other input")},
+		{"both wrong", testFuncID("g"), []byte("other input")},
+	}
+	for _, tt := range tests {
+		if _, err := scheme.Decrypt(tt.id, tt.input, s); !errors.Is(err, ErrAuthFailed) {
+			t.Errorf("%s: Decrypt = %v, want ErrAuthFailed", tt.name, err)
+		}
+	}
+}
+
+// Cache poisoning (Section III-D): tampering with any stored component
+// must be detected as ⊥.
+func TestRCETamperDetection(t *testing.T) {
+	scheme := &RCE{}
+	id := testFuncID("f")
+	input := []byte("in")
+	fresh := func() Sealed {
+		s, err := scheme.Encrypt(id, input, []byte("result"))
+		if err != nil {
+			t.Fatalf("Encrypt: %v", err)
+		}
+		return s
+	}
+
+	tests := []struct {
+		name   string
+		mutate func(*Sealed)
+	}{
+		{"flip challenge bit", func(s *Sealed) { s.Challenge[0] ^= 1 }},
+		{"flip wrapped key bit", func(s *Sealed) { s.WrappedKey[0] ^= 1 }},
+		{"flip blob bit", func(s *Sealed) { s.Blob[len(s.Blob)-1] ^= 1 }},
+		{"truncate blob", func(s *Sealed) { s.Blob = s.Blob[:4] }},
+		{"empty wrapped key", func(s *Sealed) { s.WrappedKey = nil }},
+		{"drop challenge", func(s *Sealed) { s.Challenge = nil }},
+	}
+	for _, tt := range tests {
+		s := fresh()
+		tt.mutate(&s)
+		if _, err := scheme.Decrypt(id, input, s); !errors.Is(err, ErrAuthFailed) {
+			t.Errorf("%s: Decrypt = %v, want ErrAuthFailed", tt.name, err)
+		}
+	}
+}
+
+// Cross-application reuse without any shared key: two independent RCE
+// instances (two applications) interoperate as long as they own the
+// same computation.
+func TestRCECrossApplication(t *testing.T) {
+	appA := &RCE{}
+	appB := &RCE{}
+	id := testFuncID("shared-func")
+	input := []byte("shared input")
+	result := []byte("shared result")
+
+	s, err := appA.Encrypt(id, input, result)
+	if err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	got, err := appB.Decrypt(id, input, s)
+	if err != nil {
+		t.Fatalf("cross-app Decrypt: %v", err)
+	}
+	if !bytes.Equal(got, result) {
+		t.Errorf("cross-app Decrypt = %q, want %q", got, result)
+	}
+}
+
+// Encryptions are randomized: the same computation encrypted twice must
+// produce different ciphertexts and different wrapped keys (RCE is a
+// randomized MLE scheme), while the tag stays deterministic.
+func TestRCERandomized(t *testing.T) {
+	scheme := &RCE{}
+	id := testFuncID("f")
+	input := []byte("in")
+	s1, err := scheme.Encrypt(id, input, []byte("result"))
+	if err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	s2, err := scheme.Encrypt(id, input, []byte("result"))
+	if err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	if bytes.Equal(s1.Blob, s2.Blob) {
+		t.Error("two encryptions produced identical blobs")
+	}
+	if bytes.Equal(s1.WrappedKey, s2.WrappedKey) {
+		t.Error("two encryptions produced identical wrapped keys")
+	}
+	if bytes.Equal(s1.Challenge, s2.Challenge) {
+		t.Error("two encryptions produced identical challenges")
+	}
+}
+
+func TestKeyGenKeyRecRoundTrip(t *testing.T) {
+	id := testFuncID("f")
+	input := []byte("some input")
+	challenge, wrapped, key, err := KeyGen(id, input, nil)
+	if err != nil {
+		t.Fatalf("KeyGen: %v", err)
+	}
+	rec, err := KeyRec(id, input, challenge, wrapped)
+	if err != nil {
+		t.Fatalf("KeyRec: %v", err)
+	}
+	if !bytes.Equal(rec, key) {
+		t.Errorf("KeyRec = %x, want %x", rec, key)
+	}
+}
+
+func TestKeyRecWrongInputYieldsWrongKey(t *testing.T) {
+	id := testFuncID("f")
+	challenge, wrapped, key, err := KeyGen(id, []byte("input A"), nil)
+	if err != nil {
+		t.Fatalf("KeyGen: %v", err)
+	}
+	rec, err := KeyRec(id, []byte("input B"), challenge, wrapped)
+	if err != nil {
+		t.Fatalf("KeyRec: %v", err)
+	}
+	if bytes.Equal(rec, key) {
+		t.Error("wrong input recovered the correct key")
+	}
+}
+
+func TestEncryptDecryptResult(t *testing.T) {
+	key, err := GenerateKey(nil)
+	if err != nil {
+		t.Fatalf("GenerateKey: %v", err)
+	}
+	blob, err := EncryptResult(key, []byte("payload"), nil)
+	if err != nil {
+		t.Fatalf("EncryptResult: %v", err)
+	}
+	got, err := DecryptResult(key, blob)
+	if err != nil {
+		t.Fatalf("DecryptResult: %v", err)
+	}
+	if string(got) != "payload" {
+		t.Errorf("DecryptResult = %q, want %q", got, "payload")
+	}
+	other, err := GenerateKey(nil)
+	if err != nil {
+		t.Fatalf("GenerateKey: %v", err)
+	}
+	if _, err := DecryptResult(other, blob); !errors.Is(err, ErrAuthFailed) {
+		t.Errorf("wrong-key DecryptResult = %v, want ErrAuthFailed", err)
+	}
+	if _, err := DecryptResult(key, blob[:5]); !errors.Is(err, ErrAuthFailed) {
+		t.Errorf("short-blob DecryptResult = %v, want ErrAuthFailed", err)
+	}
+}
+
+func TestSingleKeyRoundTrip(t *testing.T) {
+	var key [KeySize]byte
+	copy(key[:], "0123456789abcdef")
+	scheme := NewSingleKey(key, nil)
+	id := testFuncID("f")
+	input := []byte("in")
+
+	s, err := scheme.Encrypt(id, input, []byte("result"))
+	if err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	got, err := scheme.Decrypt(id, input, s)
+	if err != nil {
+		t.Fatalf("Decrypt: %v", err)
+	}
+	if string(got) != "result" {
+		t.Errorf("Decrypt = %q, want %q", got, "result")
+	}
+}
+
+func TestSingleKeyBindsComputation(t *testing.T) {
+	var key [KeySize]byte
+	copy(key[:], "0123456789abcdef")
+	scheme := NewSingleKey(key, nil)
+	s, err := scheme.Encrypt(testFuncID("f"), []byte("in"), []byte("result"))
+	if err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	// Even with the shared key, a ciphertext cannot be replayed for a
+	// different computation thanks to the tag-bound associated data.
+	if _, err := scheme.Decrypt(testFuncID("g"), []byte("in"), s); !errors.Is(err, ErrAuthFailed) {
+		t.Errorf("spliced Decrypt = %v, want ErrAuthFailed", err)
+	}
+}
+
+func TestSingleKeyWrongKeyFails(t *testing.T) {
+	var k1, k2 [KeySize]byte
+	copy(k1[:], "0123456789abcdef")
+	copy(k2[:], "fedcba9876543210")
+	s, err := NewSingleKey(k1, nil).Encrypt(testFuncID("f"), []byte("in"), []byte("r"))
+	if err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	if _, err := NewSingleKey(k2, nil).Decrypt(testFuncID("f"), []byte("in"), s); !errors.Is(err, ErrAuthFailed) {
+		t.Errorf("wrong-key Decrypt = %v, want ErrAuthFailed", err)
+	}
+}
+
+// Property: for arbitrary (funcID seed, input, result), RCE round-trips
+// and the recovered plaintext matches exactly.
+func TestQuickRCERoundTrip(t *testing.T) {
+	scheme := &RCE{}
+	prop := func(seed string, input, result []byte) bool {
+		id := testFuncID(seed)
+		s, err := scheme.Encrypt(id, input, result)
+		if err != nil {
+			return false
+		}
+		got, err := scheme.Decrypt(id, input, s)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, result)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 64}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: decrypting with a perturbed input always fails
+// authentication (never silently yields wrong plaintext).
+func TestQuickRCEWrongInputAlwaysRejected(t *testing.T) {
+	scheme := &RCE{}
+	prop := func(input, result []byte, flip uint8) bool {
+		id := testFuncID("fixed")
+		s, err := scheme.Encrypt(id, input, result)
+		if err != nil {
+			return false
+		}
+		wrong := append([]byte(nil), input...)
+		if len(wrong) == 0 {
+			wrong = []byte{0}
+		} else {
+			wrong[int(flip)%len(wrong)] ^= 1
+		}
+		_, err = scheme.Decrypt(id, wrong, s)
+		return errors.Is(err, ErrAuthFailed)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 64}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: tags are deterministic and input-sensitive.
+func TestQuickTagDeterministicAndSensitive(t *testing.T) {
+	prop := func(seed string, input []byte, flip uint8) bool {
+		id := testFuncID(seed)
+		t1 := ComputeTag(id, input)
+		if t1 != ComputeTag(id, input) {
+			return false
+		}
+		wrong := append([]byte(nil), input...)
+		if len(wrong) == 0 {
+			wrong = []byte{1}
+		} else {
+			wrong[int(flip)%len(wrong)] ^= 1
+		}
+		return t1 != ComputeTag(id, wrong)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 128}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,175 @@
+// Package pattern is a from-scratch multi-pattern matching engine
+// standing in for libpcre over Snort rules in Case 3 of the paper's
+// evaluation. It combines an Aho–Corasick automaton for the literal
+// "content" strings of a rule set with a Thompson-NFA regular
+// expression engine (a PCRE subset) for the "pcre" options, mirroring
+// how IDS engines such as Snort pre-filter with multi-pattern search
+// before confirming with regexes.
+package pattern
+
+import "sort"
+
+// Match is one literal match: the pattern index and the offset of the
+// match's last byte + 1 (i.e. the end offset).
+type Match struct {
+	// Pattern is the index of the matched pattern as passed to
+	// NewMatcher.
+	Pattern int
+	// End is the offset just past the match in the input.
+	End int
+}
+
+// Matcher is an Aho–Corasick automaton over a fixed pattern set. It is
+// immutable after construction and safe for concurrent use.
+type Matcher struct {
+	patterns [][]byte
+	fold     bool
+
+	// Dense automaton: next[state*256+c] is the goto/fail-resolved
+	// transition, outputs[state] lists pattern indices ending there.
+	next    []int32
+	outputs [][]int32
+}
+
+// NewMatcher builds the automaton. With caseFold true, matching is
+// ASCII case-insensitive.
+func NewMatcher(patterns [][]byte, caseFold bool) *Matcher {
+	m := &Matcher{fold: caseFold}
+	m.patterns = make([][]byte, len(patterns))
+	for i, p := range patterns {
+		cp := make([]byte, len(p))
+		copy(cp, p)
+		if caseFold {
+			lowerBytes(cp)
+		}
+		m.patterns[i] = cp
+	}
+	m.build()
+	return m
+}
+
+func lowerBytes(b []byte) {
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+}
+
+func (m *Matcher) build() {
+	type trieNode struct {
+		children map[byte]int32
+		fail     int32
+		out      []int32
+	}
+	nodes := []*trieNode{{children: make(map[byte]int32)}}
+
+	// Phase 1: trie.
+	for pi, p := range m.patterns {
+		if len(p) == 0 {
+			continue
+		}
+		cur := int32(0)
+		for _, c := range p {
+			nxt, ok := nodes[cur].children[c]
+			if !ok {
+				nodes = append(nodes, &trieNode{children: make(map[byte]int32)})
+				nxt = int32(len(nodes) - 1)
+				nodes[cur].children[c] = nxt
+			}
+			cur = nxt
+		}
+		nodes[cur].out = append(nodes[cur].out, int32(pi))
+	}
+
+	// Phase 2: BFS failure links.
+	queue := make([]int32, 0, len(nodes))
+	for _, child := range nodes[0].children {
+		nodes[child].fail = 0
+		queue = append(queue, child)
+	}
+	for qi := 0; qi < len(queue); qi++ {
+		u := queue[qi]
+		for c, v := range nodes[u].children {
+			queue = append(queue, v)
+			f := nodes[u].fail
+			for {
+				if nxt, ok := nodes[f].children[c]; ok && nxt != v {
+					nodes[v].fail = nxt
+					break
+				}
+				if f == 0 {
+					if nxt, ok := nodes[0].children[c]; ok && nxt != v {
+						nodes[v].fail = nxt
+					} else {
+						nodes[v].fail = 0
+					}
+					break
+				}
+				f = nodes[f].fail
+			}
+			nodes[v].out = append(nodes[v].out, nodes[nodes[v].fail].out...)
+		}
+	}
+
+	// Phase 3: dense goto table with failure resolution.
+	m.next = make([]int32, len(nodes)*256)
+	m.outputs = make([][]int32, len(nodes))
+	for qi := -1; qi < len(queue); qi++ {
+		var u int32
+		if qi >= 0 {
+			u = queue[qi]
+		}
+		m.outputs[u] = nodes[u].out
+		for c := 0; c < 256; c++ {
+			if v, ok := nodes[u].children[byte(c)]; ok {
+				m.next[int(u)*256+c] = v
+			} else if u == 0 {
+				m.next[c] = 0
+			} else {
+				m.next[int(u)*256+c] = m.next[int(nodes[u].fail)*256+c]
+			}
+		}
+	}
+}
+
+// FindAll returns every occurrence of every pattern in data, ordered by
+// end offset then pattern index.
+func (m *Matcher) FindAll(data []byte) []Match {
+	var out []Match
+	state := int32(0)
+	for i, c := range data {
+		if m.fold && 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		state = m.next[int(state)*256+int(c)]
+		for _, pi := range m.outputs[state] {
+			out = append(out, Match{Pattern: int(pi), End: i + 1})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].End != out[j].End {
+			return out[i].End < out[j].End
+		}
+		return out[i].Pattern < out[j].Pattern
+	})
+	return out
+}
+
+// Contains reports which of the patterns occur at least once in data,
+// as a boolean vector indexed like the input pattern slice. This is the
+// pre-filter operation used for rule matching.
+func (m *Matcher) Contains(data []byte) []bool {
+	seen := make([]bool, len(m.patterns))
+	state := int32(0)
+	for _, c := range data {
+		if m.fold && 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		state = m.next[int(state)*256+int(c)]
+		for _, pi := range m.outputs[state] {
+			seen[pi] = true
+		}
+	}
+	return seen
+}

@@ -1,0 +1,59 @@
+package pattern_test
+
+import (
+	"fmt"
+	"strings"
+
+	"speed/internal/pattern"
+)
+
+// ExampleRuleSet_Scan compiles rules from Snort-like text and scans a
+// payload.
+func ExampleRuleSet_Scan() {
+	rules, err := pattern.ParseRules(strings.NewReader(`
+alert tcp any any -> any 80 (msg:"admin probe"; content:"GET"; nocase; pcre:"/admin[a-z]*\.php/i"; sid:1001;)
+alert tcp any any -> any any (msg:"passwd read"; content:"/etc/passwd"; sid:1002;)
+`))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	rs, err := pattern.CompileRules(rules)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(rs.Scan([]byte("get /administrator.php and cat /etc/passwd")))
+	fmt.Println(rs.Scan([]byte("GET /index.html")))
+	// Output:
+	// [1001 1002]
+	// []
+}
+
+// ExampleCompileRegex shows the PCRE-subset engine.
+func ExampleCompileRegex() {
+	re, err := pattern.CompileRegex(`\d{3}-\d{4}`, false)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(re.MatchString("call 555-0199 now"))
+	fmt.Println(re.MatchString("no digits here"))
+	// Output:
+	// true
+	// false
+}
+
+// ExampleNewMatcher shows the multi-pattern Aho–Corasick matcher.
+func ExampleNewMatcher() {
+	m := pattern.NewMatcher([][]byte{
+		[]byte("he"), []byte("she"), []byte("hers"),
+	}, false)
+	for _, match := range m.FindAll([]byte("ushers")) {
+		fmt.Printf("pattern %d ends at %d\n", match.Pattern, match.End)
+	}
+	// Output:
+	// pattern 0 ends at 4
+	// pattern 1 ends at 4
+	// pattern 2 ends at 6
+}

@@ -1,0 +1,345 @@
+package pattern
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// A parser for the Snort-like rule text format, covering the subset of
+// rule options that the matching engine supports. Real Snort community
+// rules look like:
+//
+//	alert tcp any any -> any 80 (msg:"WEB admin access"; \
+//	    content:"GET"; nocase; content:"/admin"; \
+//	    pcre:"/admin[a-z]*\.php/i"; sid:1000001;)
+//
+// Supported options: msg, content (with per-rule nocase), pcre (with
+// trailing /i flag), sid. The header (action/protocol/addresses) is
+// validated for shape but not used for matching — SPEED deduplicates
+// the payload-matching computation only.
+
+// ParseError describes a rule text parse failure with its line number.
+type ParseError struct {
+	// Line is the 1-based line number of the offending rule.
+	Line int
+	// Msg describes the problem.
+	Msg string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("pattern: rule line %d: %s", e.Line, e.Msg)
+}
+
+// ParseRules reads Snort-like rule text, one rule per line. Blank
+// lines and lines starting with '#' are skipped. Lines ending in '\'
+// continue on the next line.
+func ParseRules(r io.Reader) ([]Rule, error) {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	var (
+		rules   []Rule
+		pending strings.Builder
+		lineNo  int
+		startLn int
+	)
+	flush := func() error {
+		text := strings.TrimSpace(pending.String())
+		pending.Reset()
+		if text == "" {
+			return nil
+		}
+		rule, err := parseRuleLine(text, startLn)
+		if err != nil {
+			return err
+		}
+		rules = append(rules, rule)
+		return nil
+	}
+	for scanner.Scan() {
+		lineNo++
+		line := strings.TrimSpace(scanner.Text())
+		if pending.Len() == 0 {
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			startLn = lineNo
+		}
+		if strings.HasSuffix(line, "\\") {
+			pending.WriteString(strings.TrimSuffix(line, "\\"))
+			pending.WriteByte(' ')
+			continue
+		}
+		pending.WriteString(line)
+		if err := flush(); err != nil {
+			return nil, err
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("pattern: read rules: %w", err)
+	}
+	if pending.Len() > 0 {
+		if err := flush(); err != nil {
+			return nil, err
+		}
+	}
+	return rules, nil
+}
+
+// ParseRuleString parses a single rule line.
+func ParseRuleString(line string) (Rule, error) {
+	return parseRuleLine(strings.TrimSpace(line), 1)
+}
+
+func parseRuleLine(text string, line int) (Rule, error) {
+	fail := func(format string, args ...any) (Rule, error) {
+		return Rule{}, &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+	}
+
+	open := strings.IndexByte(text, '(')
+	if open < 0 || !strings.HasSuffix(text, ")") {
+		return fail("missing option block parentheses")
+	}
+	header := strings.Fields(text[:open])
+	// action proto src sport -> dst dport
+	if len(header) != 7 {
+		return fail("header has %d fields, want 7 (action proto src sport -> dst dport)", len(header))
+	}
+	switch header[0] {
+	case "alert", "log", "pass", "drop", "reject":
+	default:
+		return fail("unknown action %q", header[0])
+	}
+	if header[4] != "->" && header[4] != "<>" {
+		return fail("missing direction operator, got %q", header[4])
+	}
+
+	body := text[open+1 : len(text)-1]
+	opts, err := splitOptions(body)
+	if err != nil {
+		return fail("%v", err)
+	}
+
+	var rule Rule
+	var lastContent = -1
+	for _, opt := range opts {
+		key, value, hasValue := strings.Cut(opt, ":")
+		key = strings.TrimSpace(key)
+		value = strings.TrimSpace(value)
+		switch key {
+		case "msg":
+			rule.Name = unquote(value)
+		case "sid":
+			if !hasValue {
+				return fail("sid requires a value")
+			}
+			sid, err := strconv.Atoi(value)
+			if err != nil {
+				return fail("bad sid %q", value)
+			}
+			rule.ID = sid
+		case "content":
+			if !hasValue {
+				return fail("content requires a value")
+			}
+			content, err := decodeContent(unquote(value))
+			if err != nil {
+				return fail("bad content: %v", err)
+			}
+			if len(content) == 0 {
+				return fail("empty content")
+			}
+			rule.Contents = append(rule.Contents, content)
+			lastContent = len(rule.Contents) - 1
+		case "nocase":
+			if lastContent < 0 {
+				return fail("nocase without preceding content")
+			}
+			// The engine folds per rule, not per content; one nocase
+			// marks the whole rule case-insensitive, which is how the
+			// synthetic rule sets use it.
+			rule.NoCase = true
+		case "pcre":
+			if !hasValue {
+				return fail("pcre requires a value")
+			}
+			pat, fold, err := decodePCRE(unquote(value))
+			if err != nil {
+				return fail("bad pcre: %v", err)
+			}
+			rule.PCRE = pat
+			rule.PCRENoCase = fold
+		case "classtype", "rev", "metadata", "reference", "flow", "dsize":
+			// Recognized but irrelevant to payload matching.
+		case "":
+			// Trailing separator.
+		default:
+			return fail("unsupported option %q", key)
+		}
+	}
+	if rule.ID == 0 {
+		return fail("missing sid")
+	}
+	if len(rule.Contents) == 0 && rule.PCRE == "" {
+		return fail("rule has neither content nor pcre")
+	}
+	return rule, nil
+}
+
+// splitOptions splits "a:1; b:\"x;y\"; c" on semicolons outside quotes.
+func splitOptions(body string) ([]string, error) {
+	var (
+		out     []string
+		cur     strings.Builder
+		inQuote bool
+		escaped bool
+	)
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		switch {
+		case escaped:
+			cur.WriteByte(c)
+			escaped = false
+		case c == '\\':
+			cur.WriteByte(c)
+			escaped = true
+		case c == '"':
+			cur.WriteByte(c)
+			inQuote = !inQuote
+		case c == ';' && !inQuote:
+			if s := strings.TrimSpace(cur.String()); s != "" {
+				out = append(out, s)
+			}
+			cur.Reset()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if inQuote {
+		return nil, fmt.Errorf("unterminated quote")
+	}
+	if s := strings.TrimSpace(cur.String()); s != "" {
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func unquote(s string) string {
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+// decodeContent handles Snort's |41 42 43| hex-byte notation embedded
+// in content strings, plus the \" and \\ escapes.
+func decodeContent(s string) ([]byte, error) {
+	var out []byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch c {
+		case '|':
+			end := strings.IndexByte(s[i+1:], '|')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated hex block")
+			}
+			hexPart := strings.ReplaceAll(s[i+1:i+1+end], " ", "")
+			if len(hexPart)%2 != 0 {
+				return nil, fmt.Errorf("odd-length hex block %q", hexPart)
+			}
+			for j := 0; j < len(hexPart); j += 2 {
+				v, err := strconv.ParseUint(hexPart[j:j+2], 16, 8)
+				if err != nil {
+					return nil, fmt.Errorf("bad hex byte %q", hexPart[j:j+2])
+				}
+				out = append(out, byte(v))
+			}
+			i += end + 1
+		case '\\':
+			if i+1 >= len(s) {
+				return nil, fmt.Errorf("trailing backslash")
+			}
+			i++
+			out = append(out, s[i])
+		default:
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}
+
+// decodePCRE strips the /.../flags wrapper, honouring the i flag.
+func decodePCRE(s string) (pattern string, foldCase bool, err error) {
+	if len(s) < 2 || s[0] != '/' {
+		return "", false, fmt.Errorf("pcre must be /pattern/flags")
+	}
+	end := strings.LastIndexByte(s, '/')
+	if end == 0 {
+		return "", false, fmt.Errorf("unterminated pcre")
+	}
+	pattern = s[1:end]
+	for _, f := range s[end+1:] {
+		switch f {
+		case 'i':
+			foldCase = true
+		case 's', 'm', 'x':
+			// Accepted and ignored: the engine's semantics already
+			// approximate these for the rule subset in use.
+		default:
+			return "", false, fmt.Errorf("unsupported pcre flag %q", f)
+		}
+	}
+	return pattern, foldCase, nil
+}
+
+// FormatRule renders a Rule back into Snort-like text (a generic
+// "alert ip any any -> any any" header), useful for persisting
+// generated rule sets.
+func FormatRule(r Rule) string {
+	var b strings.Builder
+	b.WriteString("alert ip any any -> any any (")
+	if r.Name != "" {
+		fmt.Fprintf(&b, "msg:%q; ", r.Name)
+	}
+	for _, c := range r.Contents {
+		fmt.Fprintf(&b, "content:%q; ", encodeContent(c))
+	}
+	if r.NoCase {
+		b.WriteString("nocase; ")
+	}
+	if r.PCRE != "" {
+		flags := ""
+		if r.PCRENoCase {
+			flags = "i"
+		}
+		fmt.Fprintf(&b, "pcre:\"/%s/%s\"; ", r.PCRE, flags)
+	}
+	fmt.Fprintf(&b, "sid:%d;)", r.ID)
+	return b.String()
+}
+
+func encodeContent(c []byte) string {
+	printable := true
+	for _, b := range c {
+		if b < 0x20 || b > 0x7e || b == '|' || b == '"' || b == '\\' || b == ';' {
+			printable = false
+			break
+		}
+	}
+	if printable {
+		return string(c)
+	}
+	var b strings.Builder
+	b.WriteByte('|')
+	for i, by := range c {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%02X", by)
+	}
+	b.WriteByte('|')
+	return b.String()
+}

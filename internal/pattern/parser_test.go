@@ -1,0 +1,172 @@
+package pattern
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseRuleBasic(t *testing.T) {
+	line := `alert tcp any any -> any 80 (msg:"WEB admin access"; content:"GET"; nocase; content:"/admin"; pcre:"/admin[a-z]*\.php/i"; sid:1000001;)`
+	rule, err := ParseRuleString(line)
+	if err != nil {
+		t.Fatalf("ParseRuleString: %v", err)
+	}
+	want := Rule{
+		ID:         1000001,
+		Name:       "WEB admin access",
+		Contents:   [][]byte{[]byte("GET"), []byte("/admin")},
+		NoCase:     true,
+		PCRE:       `admin[a-z]*\.php`,
+		PCRENoCase: true,
+	}
+	if !reflect.DeepEqual(rule, want) {
+		t.Errorf("rule = %+v, want %+v", rule, want)
+	}
+}
+
+func TestParseRuleHexContent(t *testing.T) {
+	line := `alert tcp any any -> any any (msg:"binary marker"; content:"|DE AD BE EF|tail"; sid:7;)`
+	rule, err := ParseRuleString(line)
+	if err != nil {
+		t.Fatalf("ParseRuleString: %v", err)
+	}
+	want := []byte{0xDE, 0xAD, 0xBE, 0xEF, 't', 'a', 'i', 'l'}
+	if !bytes.Equal(rule.Contents[0], want) {
+		t.Errorf("content = %x, want %x", rule.Contents[0], want)
+	}
+}
+
+func TestParseRulePureRegex(t *testing.T) {
+	line := `alert tcp any any -> any any (msg:"sqli"; pcre:"/union\s+select/i"; sid:9;)`
+	rule, err := ParseRuleString(line)
+	if err != nil {
+		t.Fatalf("ParseRuleString: %v", err)
+	}
+	if len(rule.Contents) != 0 || rule.PCRE == "" || !rule.PCRENoCase {
+		t.Errorf("rule = %+v", rule)
+	}
+}
+
+func TestParseRuleIgnoredOptions(t *testing.T) {
+	line := `alert tcp any any -> any any (msg:"x"; content:"abc"; classtype:web-application-attack; rev:3; sid:5;)`
+	if _, err := ParseRuleString(line); err != nil {
+		t.Errorf("ParseRuleString with ignored options: %v", err)
+	}
+}
+
+func TestParseRuleErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		line string
+	}{
+		{"no parens", `alert tcp any any -> any any msg:"x"; sid:5;`},
+		{"bad action", `block tcp any any -> any any (content:"x"; sid:1;)`},
+		{"short header", `alert tcp any -> any (content:"x"; sid:1;)`},
+		{"no direction", `alert tcp any any !! any any (content:"x"; sid:1;)`},
+		{"missing sid", `alert tcp any any -> any any (content:"x";)`},
+		{"bad sid", `alert tcp any any -> any any (content:"x"; sid:abc;)`},
+		{"no content or pcre", `alert tcp any any -> any any (msg:"x"; sid:1;)`},
+		{"empty content", `alert tcp any any -> any any (content:""; sid:1;)`},
+		{"nocase first", `alert tcp any any -> any any (nocase; content:"x"; sid:1;)`},
+		{"bad hex", `alert tcp any any -> any any (content:"|ZZ|"; sid:1;)`},
+		{"unterminated hex", `alert tcp any any -> any any (content:"|41"; sid:1;)`},
+		{"bad pcre wrapper", `alert tcp any any -> any any (pcre:"no-slashes"; sid:1;)`},
+		{"bad pcre flag", `alert tcp any any -> any any (pcre:"/a/q"; sid:1;)`},
+		{"unknown option", `alert tcp any any -> any any (content:"x"; frobnicate:yes; sid:1;)`},
+		{"unterminated quote", `alert tcp any any -> any any (msg:"x; sid:1;)`},
+	}
+	for _, tt := range tests {
+		if _, err := ParseRuleString(tt.line); err == nil {
+			t.Errorf("%s: accepted invalid rule", tt.name)
+		}
+	}
+}
+
+func TestParseRulesFile(t *testing.T) {
+	text := `
+# Community rules excerpt
+alert tcp any any -> any 80 (msg:"one"; content:"aaa"; sid:1;)
+
+alert tcp any any -> any 443 (msg:"two"; \
+    content:"bbb"; \
+    sid:2;)
+# comment between rules
+alert udp any any -> any 53 (msg:"three"; pcre:"/ccc+/"; sid:3;)
+`
+	rules, err := ParseRules(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParseRules: %v", err)
+	}
+	if len(rules) != 3 {
+		t.Fatalf("parsed %d rules, want 3", len(rules))
+	}
+	if rules[1].ID != 2 || string(rules[1].Contents[0]) != "bbb" {
+		t.Errorf("continued rule parsed wrong: %+v", rules[1])
+	}
+	// The parsed set must compile and match.
+	rs, err := CompileRules(rules)
+	if err != nil {
+		t.Fatalf("CompileRules: %v", err)
+	}
+	if got := rs.Scan([]byte("xx bbb yy ccccc")); !reflect.DeepEqual(got, []int{2, 3}) {
+		t.Errorf("Scan = %v, want [2 3]", got)
+	}
+}
+
+func TestParseRulesReportsLineNumber(t *testing.T) {
+	text := "alert tcp any any -> any 80 (content:\"ok\"; sid:1;)\n\nbroken rule here\n"
+	_, err := ParseRules(strings.NewReader(text))
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error = %v, want *ParseError", err)
+	}
+	if pe.Line != 3 {
+		t.Errorf("error line = %d, want 3", pe.Line)
+	}
+}
+
+func TestFormatRuleRoundTrip(t *testing.T) {
+	rules := []Rule{
+		{ID: 1, Name: "plain", Contents: [][]byte{[]byte("hello")}},
+		{ID: 2, Name: "folded", Contents: [][]byte{[]byte("GET"), []byte("/x")}, NoCase: true},
+		{ID: 3, Name: "regex", Contents: [][]byte{[]byte("a")}, PCRE: `a\d+`, PCRENoCase: true},
+		{ID: 4, Name: "binary", Contents: [][]byte{{0x00, 0xFF, 0x41}}},
+	}
+	for _, r := range rules {
+		text := FormatRule(r)
+		got, err := ParseRuleString(text)
+		if err != nil {
+			t.Errorf("rule %d: reparse %q: %v", r.ID, text, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, r) {
+			t.Errorf("rule %d round trip:\n got %+v\nwant %+v\ntext %s", r.ID, got, r, text)
+		}
+	}
+}
+
+func TestFormatParseGeneratedRules(t *testing.T) {
+	// Every rule the workload generator can produce must round-trip
+	// through the text format. (The generator lives in another
+	// package; emulate its shapes here.)
+	rules := []Rule{
+		{ID: 1_000_000, Name: "SYNTH rule 0", Contents: [][]byte{[]byte("abc123_/-.")}},
+		{ID: 1_000_001, Name: "SYNTH rule 1", Contents: [][]byte{[]byte("x")}, NoCase: true,
+			PCRE: `x[a-z0-9]{0,8}`},
+	}
+	var b strings.Builder
+	for _, r := range rules {
+		b.WriteString(FormatRule(r))
+		b.WriteByte('\n')
+	}
+	got, err := ParseRules(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("ParseRules: %v", err)
+	}
+	if !reflect.DeepEqual(got, rules) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, rules)
+	}
+}

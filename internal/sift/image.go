@@ -1,0 +1,127 @@
+// Package sift is a from-scratch implementation of the SIFT
+// (Scale-Invariant Feature Transform) keypoint detector and descriptor
+// of Lowe (IJCV 2004), standing in for the libsiftpp library used by
+// Case 1 of the paper's evaluation. The pipeline is the classic one:
+// Gaussian scale-space pyramid, difference-of-Gaussians extrema
+// detection with contrast and edge-response filtering, orientation
+// assignment from gradient histograms, and 128-dimensional descriptors.
+package sift
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Gray is a grayscale image with float32 pixels in [0, 1].
+type Gray struct {
+	// W and H are the image dimensions in pixels.
+	W, H int
+	// Pix is the row-major pixel buffer, len W*H.
+	Pix []float32
+}
+
+// NewGray allocates a zeroed W×H image.
+func NewGray(w, h int) *Gray {
+	return &Gray{W: w, H: h, Pix: make([]float32, w*h)}
+}
+
+// At returns the pixel at (x, y), clamping coordinates to the image
+// borders (replicate padding), which is the boundary handling used
+// throughout the pipeline.
+func (g *Gray) At(x, y int) float32 {
+	if x < 0 {
+		x = 0
+	} else if x >= g.W {
+		x = g.W - 1
+	}
+	if y < 0 {
+		y = 0
+	} else if y >= g.H {
+		y = g.H - 1
+	}
+	return g.Pix[y*g.W+x]
+}
+
+// Set writes the pixel at (x, y); out-of-range coordinates are ignored.
+func (g *Gray) Set(x, y int, v float32) {
+	if x < 0 || x >= g.W || y < 0 || y >= g.H {
+		return
+	}
+	g.Pix[y*g.W+x] = v
+}
+
+// Clone deep-copies the image.
+func (g *Gray) Clone() *Gray {
+	out := NewGray(g.W, g.H)
+	copy(out.Pix, g.Pix)
+	return out
+}
+
+// Downsample halves the image by taking every second pixel, the
+// standard octave step.
+func (g *Gray) Downsample() *Gray {
+	w, h := g.W/2, g.H/2
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	out := NewGray(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			out.Pix[y*w+x] = g.At(2*x, 2*y)
+		}
+	}
+	return out
+}
+
+// Sub returns the pixel-wise difference a-b of two same-sized images.
+func Sub(a, b *Gray) (*Gray, error) {
+	if a.W != b.W || a.H != b.H {
+		return nil, fmt.Errorf("sift: size mismatch %dx%d vs %dx%d", a.W, a.H, b.W, b.H)
+	}
+	out := NewGray(a.W, a.H)
+	for i := range out.Pix {
+		out.Pix[i] = a.Pix[i] - b.Pix[i]
+	}
+	return out, nil
+}
+
+// ErrMalformedImage is returned when decoding invalid image bytes.
+var ErrMalformedImage = errors.New("sift: malformed image encoding")
+
+// EncodeGray serialises an image into a deterministic binary form
+// (width, height, then pixels as IEEE-754 bits), suitable for feeding
+// the computation tag.
+func EncodeGray(g *Gray) []byte {
+	buf := make([]byte, 8+4*len(g.Pix))
+	binary.BigEndian.PutUint32(buf[0:], uint32(g.W))
+	binary.BigEndian.PutUint32(buf[4:], uint32(g.H))
+	for i, p := range g.Pix {
+		binary.BigEndian.PutUint32(buf[8+4*i:], math.Float32bits(p))
+	}
+	return buf
+}
+
+// DecodeGray parses the form produced by EncodeGray.
+func DecodeGray(b []byte) (*Gray, error) {
+	if len(b) < 8 {
+		return nil, ErrMalformedImage
+	}
+	w := int(binary.BigEndian.Uint32(b[0:]))
+	h := int(binary.BigEndian.Uint32(b[4:]))
+	if w <= 0 || h <= 0 || w > 1<<20 || h > 1<<20 {
+		return nil, ErrMalformedImage
+	}
+	if len(b) != 8+4*w*h {
+		return nil, ErrMalformedImage
+	}
+	g := NewGray(w, h)
+	for i := range g.Pix {
+		g.Pix[i] = math.Float32frombits(binary.BigEndian.Uint32(b[8+4*i:]))
+	}
+	return g, nil
+}

@@ -1,0 +1,72 @@
+package sift
+
+import "sort"
+
+// Descriptor matching with Lowe's ratio test, completing the classic
+// SIFT pipeline (detection → description → matching). Matching is what
+// applications like image stitching and object recognition — the uses
+// the paper's Case 1 motivates — do with the extracted keypoints.
+
+// MatchPair links keypoint A (index into the first set) with keypoint
+// B (index into the second set).
+type MatchPair struct {
+	// A and B index the input keypoint slices.
+	A, B int
+	// Dist is the squared L2 distance between the descriptors.
+	Dist int
+}
+
+// DefaultMatchRatio is Lowe's recommended nearest/second-nearest
+// distance ratio threshold.
+const DefaultMatchRatio = 0.8
+
+// MatchDescriptors finds, for each keypoint in a, its nearest neighbour
+// in b by descriptor distance, keeping matches that pass the ratio
+// test: nearest < ratio * secondNearest (squared distances compared as
+// nearest < ratio^2 * secondNearest). Results are ordered by ascending
+// distance. ratio <= 0 uses DefaultMatchRatio.
+func MatchDescriptors(a, b []Keypoint, ratio float64) []MatchPair {
+	if ratio <= 0 {
+		ratio = DefaultMatchRatio
+	}
+	r2 := ratio * ratio
+	var out []MatchPair
+	for i := range a {
+		best, second := -1, -1
+		bestD, secondD := int(^uint(0)>>1), int(^uint(0)>>1)
+		for j := range b {
+			d := descriptorDist2(&a[i].Descriptor, &b[j].Descriptor)
+			if d < bestD {
+				second, secondD = best, bestD
+				best, bestD = j, d
+			} else if d < secondD {
+				second, secondD = j, d
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		// With a single candidate the ratio test is vacuous; accept.
+		if second >= 0 && float64(bestD) >= r2*float64(secondD) {
+			continue
+		}
+		out = append(out, MatchPair{A: i, B: best, Dist: bestD})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].A < out[j].A
+	})
+	return out
+}
+
+// descriptorDist2 is the squared L2 distance between two descriptors.
+func descriptorDist2(a, b *[128]uint8) int {
+	sum := 0
+	for i := 0; i < 128; i++ {
+		d := int(a[i]) - int(b[i])
+		sum += d * d
+	}
+	return sum
+}

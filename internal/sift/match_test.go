@@ -1,0 +1,138 @@
+package sift
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMatchIdenticalImages(t *testing.T) {
+	img := blobImage(96, 96, [][2]int{{30, 30}, {70, 60}}, 5)
+	kps := Detect(img, DefaultParams())
+	if len(kps) < 2 {
+		t.Skip("too few keypoints for matching test")
+	}
+	matches := MatchDescriptors(kps, kps, 0)
+	if len(matches) == 0 {
+		t.Fatal("no matches between identical keypoint sets")
+	}
+	// Every returned match against the identical set must be the
+	// keypoint itself (distance zero) or a duplicate orientation at
+	// the same location.
+	for _, m := range matches {
+		if m.Dist == 0 && m.A != m.B {
+			a, b := kps[m.A], kps[m.B]
+			if a.X != b.X || a.Y != b.Y {
+				t.Errorf("zero-distance match across locations: %v vs %v", a, b)
+			}
+		}
+	}
+	// The best match must have distance zero.
+	if matches[0].Dist != 0 {
+		t.Errorf("best self-match distance = %d, want 0", matches[0].Dist)
+	}
+}
+
+func TestMatchTranslatedImage(t *testing.T) {
+	// The same blob pattern shifted by (8, 5): descriptors should
+	// still match across the two images at the shifted coordinates.
+	base := [][2]int{{30, 30}, {64, 50}}
+	shift := [2]int{8, 5}
+	shifted := make([][2]int, len(base))
+	for i, c := range base {
+		shifted[i] = [2]int{c[0] + shift[0], c[1] + shift[1]}
+	}
+	imgA := blobImage(112, 112, base, 5)
+	imgB := blobImage(112, 112, shifted, 5)
+	kpsA := Detect(imgA, DefaultParams())
+	kpsB := Detect(imgB, DefaultParams())
+	if len(kpsA) == 0 || len(kpsB) == 0 {
+		t.Skip("no keypoints detected")
+	}
+	matches := MatchDescriptors(kpsA, kpsB, 0)
+	if len(matches) == 0 {
+		t.Fatal("no matches between translated images")
+	}
+	// The majority of matches must be displacement-consistent.
+	consistent := 0
+	for _, m := range matches {
+		dx := kpsB[m.B].X - kpsA[m.A].X
+		dy := kpsB[m.B].Y - kpsA[m.A].Y
+		if math.Abs(dx-float64(shift[0])) < 3 && math.Abs(dy-float64(shift[1])) < 3 {
+			consistent++
+		}
+	}
+	if consistent*2 < len(matches) {
+		t.Errorf("only %d/%d matches consistent with the translation", consistent, len(matches))
+	}
+}
+
+func TestMatchRatioTestFilters(t *testing.T) {
+	// Construct two keypoints in b with nearly identical descriptors:
+	// the ratio test must reject the ambiguous match.
+	var a, b [2]Keypoint
+	for i := range a[0].Descriptor {
+		a[0].Descriptor[i] = uint8(i)
+		b[0].Descriptor[i] = uint8(i) // identical to a[0]
+		b[1].Descriptor[i] = uint8(i) // near-identical
+	}
+	b[1].Descriptor[0] ^= 1
+
+	// Query a[0] against the two near-twins: nearest dist 0 wins
+	// (0 < r2*1), accepted. Query with a descriptor equidistant to
+	// both: rejected.
+	for i := range a[1].Descriptor {
+		a[1].Descriptor[i] = uint8(i) + 10 // distance 12800 to both
+	}
+	matches := MatchDescriptors(a[:], b[:], 0.8)
+	for _, m := range matches {
+		if m.A == 1 {
+			t.Errorf("ambiguous query matched: %+v", m)
+		}
+	}
+	found := false
+	for _, m := range matches {
+		if m.A == 0 && m.B == 0 && m.Dist == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("unambiguous exact match was filtered")
+	}
+}
+
+func TestMatchEmptySets(t *testing.T) {
+	img := blobImage(64, 64, [][2]int{{32, 32}}, 5)
+	kps := Detect(img, DefaultParams())
+	if got := MatchDescriptors(nil, kps, 0); len(got) != 0 {
+		t.Errorf("matches from empty query = %d", len(got))
+	}
+	if got := MatchDescriptors(kps, nil, 0); len(got) != 0 {
+		t.Errorf("matches against empty set = %d", len(got))
+	}
+}
+
+func TestMatchSingleCandidate(t *testing.T) {
+	// With exactly one candidate the ratio test cannot apply; the
+	// match is accepted.
+	var a, b [1]Keypoint
+	for i := range a[0].Descriptor {
+		a[0].Descriptor[i] = uint8(i)
+		b[0].Descriptor[i] = uint8(i)
+	}
+	matches := MatchDescriptors(a[:], b[:], 0.8)
+	if len(matches) != 1 || matches[0].Dist != 0 {
+		t.Errorf("single-candidate match = %v", matches)
+	}
+}
+
+func TestDescriptorDist2(t *testing.T) {
+	var a, b [128]uint8
+	if d := descriptorDist2(&a, &b); d != 0 {
+		t.Errorf("zero descriptors dist = %d", d)
+	}
+	b[0] = 3
+	b[127] = 4
+	if d := descriptorDist2(&a, &b); d != 25 {
+		t.Errorf("dist = %d, want 25", d)
+	}
+}

@@ -1,0 +1,138 @@
+package sift
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// PGM (portable graymap) reading and writing, so example programs and
+// tools can exchange images with standard tooling. Both the binary
+// (P5) and ASCII (P2) variants are read; P5 is written.
+
+// WritePGM encodes the image as a binary PGM (P5) with 8-bit depth.
+func WritePGM(w io.Writer, g *Gray) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", g.W, g.H); err != nil {
+		return fmt.Errorf("sift: write pgm header: %w", err)
+	}
+	row := make([]byte, g.W)
+	for y := 0; y < g.H; y++ {
+		for x := 0; x < g.W; x++ {
+			v := g.Pix[y*g.W+x]
+			if v < 0 {
+				v = 0
+			} else if v > 1 {
+				v = 1
+			}
+			row[x] = byte(v*255 + 0.5)
+		}
+		if _, err := bw.Write(row); err != nil {
+			return fmt.Errorf("sift: write pgm row: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPGM decodes a P5 (binary) or P2 (ASCII) PGM image, normalizing
+// pixels to [0, 1].
+func ReadPGM(r io.Reader) (*Gray, error) {
+	br := bufio.NewReader(r)
+	magic, err := pgmToken(br)
+	if err != nil {
+		return nil, err
+	}
+	if magic != "P5" && magic != "P2" {
+		return nil, fmt.Errorf("sift: unsupported pgm magic %q", magic)
+	}
+	w, err := pgmInt(br)
+	if err != nil {
+		return nil, err
+	}
+	h, err := pgmInt(br)
+	if err != nil {
+		return nil, err
+	}
+	maxVal, err := pgmInt(br)
+	if err != nil {
+		return nil, err
+	}
+	if w <= 0 || h <= 0 || w > 1<<15 || h > 1<<15 {
+		return nil, fmt.Errorf("sift: unreasonable pgm dimensions %dx%d", w, h)
+	}
+	if maxVal <= 0 || maxVal > 65535 {
+		return nil, fmt.Errorf("sift: bad pgm maxval %d", maxVal)
+	}
+
+	img := NewGray(w, h)
+	scale := float32(1) / float32(maxVal)
+	switch magic {
+	case "P5":
+		bytesPer := 1
+		if maxVal > 255 {
+			bytesPer = 2
+		}
+		buf := make([]byte, w*h*bytesPer)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("sift: short pgm pixel data: %w", err)
+		}
+		for i := 0; i < w*h; i++ {
+			var v int
+			if bytesPer == 2 {
+				v = int(buf[2*i])<<8 | int(buf[2*i+1])
+			} else {
+				v = int(buf[i])
+			}
+			img.Pix[i] = float32(v) * scale
+		}
+	case "P2":
+		for i := 0; i < w*h; i++ {
+			v, err := pgmInt(br)
+			if err != nil {
+				return nil, fmt.Errorf("sift: pgm pixel %d: %w", i, err)
+			}
+			img.Pix[i] = float32(v) * scale
+		}
+	}
+	return img, nil
+}
+
+// pgmToken reads the next whitespace-delimited token, skipping
+// '#'-comments.
+func pgmToken(br *bufio.Reader) (string, error) {
+	var tok []byte
+	for {
+		c, err := br.ReadByte()
+		if err != nil {
+			if len(tok) > 0 && err == io.EOF {
+				return string(tok), nil
+			}
+			return "", fmt.Errorf("sift: pgm token: %w", err)
+		}
+		switch {
+		case c == '#':
+			if _, err := br.ReadString('\n'); err != nil && err != io.EOF {
+				return "", fmt.Errorf("sift: pgm comment: %w", err)
+			}
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			if len(tok) > 0 {
+				return string(tok), nil
+			}
+		default:
+			tok = append(tok, c)
+		}
+	}
+}
+
+func pgmInt(br *bufio.Reader) (int, error) {
+	tok, err := pgmToken(br)
+	if err != nil {
+		return 0, err
+	}
+	v, err := strconv.Atoi(tok)
+	if err != nil {
+		return 0, fmt.Errorf("sift: pgm number %q: %v", tok, err)
+	}
+	return v, nil
+}

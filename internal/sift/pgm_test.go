@@ -1,0 +1,111 @@
+package sift
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPGMRoundTrip(t *testing.T) {
+	img := blobImage(33, 17, [][2]int{{16, 8}}, 4)
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, img); err != nil {
+		t.Fatalf("WritePGM: %v", err)
+	}
+	got, err := ReadPGM(&buf)
+	if err != nil {
+		t.Fatalf("ReadPGM: %v", err)
+	}
+	if got.W != img.W || got.H != img.H {
+		t.Fatalf("size = %dx%d, want %dx%d", got.W, got.H, img.W, img.H)
+	}
+	// 8-bit quantization: pixels within 1/255.
+	for i := range img.Pix {
+		if math.Abs(float64(got.Pix[i]-img.Pix[i])) > 1.0/255+1e-6 {
+			t.Fatalf("pixel %d = %v, want ~%v", i, got.Pix[i], img.Pix[i])
+		}
+	}
+}
+
+func TestReadPGMAscii(t *testing.T) {
+	src := `P2
+# an ascii graymap
+3 2
+255
+0 128 255
+255 128 0
+`
+	img, err := ReadPGM(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ReadPGM: %v", err)
+	}
+	if img.W != 3 || img.H != 2 {
+		t.Fatalf("size = %dx%d", img.W, img.H)
+	}
+	if img.At(0, 0) != 0 || img.At(2, 0) != 1 {
+		t.Errorf("corner pixels = %v, %v", img.At(0, 0), img.At(2, 0))
+	}
+	if math.Abs(float64(img.At(1, 0))-128.0/255) > 1e-6 {
+		t.Errorf("mid pixel = %v", img.At(1, 0))
+	}
+}
+
+func TestReadPGM16Bit(t *testing.T) {
+	// P5 with maxval > 255 uses two bytes per pixel, big-endian.
+	var buf bytes.Buffer
+	buf.WriteString("P5\n2 1\n65535\n")
+	buf.Write([]byte{0x00, 0x00, 0xFF, 0xFF})
+	img, err := ReadPGM(&buf)
+	if err != nil {
+		t.Fatalf("ReadPGM: %v", err)
+	}
+	if img.At(0, 0) != 0 || img.At(1, 0) != 1 {
+		t.Errorf("pixels = %v, %v", img.At(0, 0), img.At(1, 0))
+	}
+}
+
+func TestReadPGMComments(t *testing.T) {
+	src := "P5 # binary\n# comment line\n2 # width\n1\n255\nAB"
+	img, err := ReadPGM(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("ReadPGM: %v", err)
+	}
+	if img.W != 2 || img.H != 1 {
+		t.Errorf("size = %dx%d", img.W, img.H)
+	}
+}
+
+func TestReadPGMRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":           "",
+		"bad magic":       "P7\n2 2\n255\nAAAA",
+		"negative width":  "P5\n-2 2\n255\nAAAA",
+		"huge dims":       "P5\n99999999 2\n255\n",
+		"bad maxval":      "P5\n2 2\n0\nAAAA",
+		"short pixels":    "P5\n4 4\n255\nAB",
+		"non-numeric dim": "P5\nxx 2\n255\nAAAA",
+	}
+	for name, src := range cases {
+		if _, err := ReadPGM(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: ReadPGM accepted malformed input", name)
+		}
+	}
+}
+
+func TestWritePGMClampsRange(t *testing.T) {
+	img := NewGray(2, 1)
+	img.Pix[0] = -0.5
+	img.Pix[1] = 1.5
+	var buf bytes.Buffer
+	if err := WritePGM(&buf, img); err != nil {
+		t.Fatalf("WritePGM: %v", err)
+	}
+	got, err := ReadPGM(&buf)
+	if err != nil {
+		t.Fatalf("ReadPGM: %v", err)
+	}
+	if got.Pix[0] != 0 || got.Pix[1] != 1 {
+		t.Errorf("clamped pixels = %v, %v", got.Pix[0], got.Pix[1])
+	}
+}

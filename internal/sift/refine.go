@@ -1,0 +1,130 @@
+package sift
+
+import "math"
+
+// Sub-pixel extremum refinement (Brown & Lowe): fit a 3D quadratic to
+// the DoG values around a discrete extremum and solve for the offset
+// where the derivative vanishes. Offsets beyond half a pixel move the
+// candidate; candidates that fail to converge or whose interpolated
+// contrast is too low are rejected.
+
+// refineResult is the outcome of sub-pixel refinement.
+type refineResult struct {
+	// x, y are the refined coordinates within the octave; level the
+	// refined scale level (both fractional).
+	x, y, level float64
+	// value is the interpolated DoG response at the refined extremum.
+	value float64
+	// ok reports whether refinement converged within bounds.
+	ok bool
+}
+
+const maxRefineSteps = 5
+
+// refineExtremum iterates the quadratic fit, moving the discrete
+// candidate when the offset exceeds half a unit in any dimension.
+// dogs is one octave's DoG stack; (x, y, s) the discrete candidate.
+func refineExtremum(dogs []*Gray, x, y, s int) refineResult {
+	for step := 0; step < maxRefineSteps; step++ {
+		if s < 1 || s >= len(dogs)-1 {
+			return refineResult{}
+		}
+		cur := dogs[s]
+		if x < 1 || x >= cur.W-1 || y < 1 || y >= cur.H-1 {
+			return refineResult{}
+		}
+		g, h := dogDerivatives(dogs, x, y, s)
+		delta, solved := solve3(h, [3]float64{-g[0], -g[1], -g[2]})
+		if !solved {
+			return refineResult{}
+		}
+		if math.Abs(delta[0]) <= 0.5 && math.Abs(delta[1]) <= 0.5 && math.Abs(delta[2]) <= 0.5 {
+			value := float64(cur.Pix[y*cur.W+x]) +
+				0.5*(g[0]*delta[0]+g[1]*delta[1]+g[2]*delta[2])
+			return refineResult{
+				x:     float64(x) + delta[0],
+				y:     float64(y) + delta[1],
+				level: float64(s) + delta[2],
+				value: value,
+				ok:    true,
+			}
+		}
+		// Move toward the true extremum and retry.
+		x += clampStep(delta[0])
+		y += clampStep(delta[1])
+		s += clampStep(delta[2])
+	}
+	return refineResult{}
+}
+
+func clampStep(d float64) int {
+	switch {
+	case d > 0.5:
+		return 1
+	case d < -0.5:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// dogDerivatives computes the gradient and Hessian of the DoG function
+// at (x, y, s) by central differences; ordering is (x, y, scale).
+func dogDerivatives(dogs []*Gray, x, y, s int) (grad [3]float64, hess [3][3]float64) {
+	at := func(dx, dy, ds int) float64 {
+		return float64(dogs[s+ds].At(x+dx, y+dy))
+	}
+	grad[0] = (at(1, 0, 0) - at(-1, 0, 0)) / 2
+	grad[1] = (at(0, 1, 0) - at(0, -1, 0)) / 2
+	grad[2] = (at(0, 0, 1) - at(0, 0, -1)) / 2
+
+	c := at(0, 0, 0)
+	hess[0][0] = at(1, 0, 0) + at(-1, 0, 0) - 2*c
+	hess[1][1] = at(0, 1, 0) + at(0, -1, 0) - 2*c
+	hess[2][2] = at(0, 0, 1) + at(0, 0, -1) - 2*c
+	hess[0][1] = (at(1, 1, 0) - at(1, -1, 0) - at(-1, 1, 0) + at(-1, -1, 0)) / 4
+	hess[0][2] = (at(1, 0, 1) - at(1, 0, -1) - at(-1, 0, 1) + at(-1, 0, -1)) / 4
+	hess[1][2] = (at(0, 1, 1) - at(0, 1, -1) - at(0, -1, 1) + at(0, -1, -1)) / 4
+	hess[1][0] = hess[0][1]
+	hess[2][0] = hess[0][2]
+	hess[2][1] = hess[1][2]
+	return grad, hess
+}
+
+// solve3 solves A*x = b for a symmetric 3x3 system with partial
+// pivoting; solved is false when A is (near-)singular.
+func solve3(a [3][3]float64, b [3]float64) (x [3]float64, solved bool) {
+	const eps = 1e-12
+	// Augment and eliminate.
+	m := [3][4]float64{}
+	for i := 0; i < 3; i++ {
+		copy(m[i][:3], a[i][:])
+		m[i][3] = b[i]
+	}
+	for col := 0; col < 3; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < 3; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < eps {
+			return x, false
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		for r := 0; r < 3; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] / m[col][col]
+			for c := col; c < 4; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	for i := 0; i < 3; i++ {
+		x[i] = m[i][3] / m[i][i]
+	}
+	return x, true
+}

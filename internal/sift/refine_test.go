@@ -1,0 +1,155 @@
+package sift
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSolve3(t *testing.T) {
+	// A simple well-conditioned system: diag(2,4,8) x = (2,8,24).
+	a := [3][3]float64{{2, 0, 0}, {0, 4, 0}, {0, 0, 8}}
+	x, ok := solve3(a, [3]float64{2, 8, 24})
+	if !ok {
+		t.Fatal("solve3 reported singular for a diagonal system")
+	}
+	want := [3]float64{1, 2, 3}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-12 {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+
+	// A coupled system: verify by substitution.
+	a2 := [3][3]float64{{4, 1, 0}, {1, 3, 1}, {0, 1, 2}}
+	b2 := [3]float64{1, 2, 3}
+	x2, ok := solve3(a2, b2)
+	if !ok {
+		t.Fatal("solve3 reported singular for an SPD system")
+	}
+	for i := 0; i < 3; i++ {
+		got := a2[i][0]*x2[0] + a2[i][1]*x2[1] + a2[i][2]*x2[2]
+		if math.Abs(got-b2[i]) > 1e-9 {
+			t.Errorf("residual row %d: %v != %v", i, got, b2[i])
+		}
+	}
+
+	// Singular matrix rejected.
+	if _, ok := solve3([3][3]float64{{1, 2, 3}, {2, 4, 6}, {0, 0, 1}}, b2); ok {
+		t.Error("solve3 accepted a singular system")
+	}
+}
+
+// refineExtremum must recover an off-grid extremum: build a synthetic
+// DoG stack whose values follow an exact quadratic with a known peak
+// offset from the grid point.
+func TestRefineExtremumRecoversOffset(t *testing.T) {
+	const (
+		cx, cy, cs = 5.3, 4.7, 1.2 // true (fractional) peak
+		size       = 11
+	)
+	mk := func(s int) *Gray {
+		g := NewGray(size, size)
+		for y := 0; y < size; y++ {
+			for x := 0; x < size; x++ {
+				dx := float64(x) - cx
+				dy := float64(y) - cy
+				ds := float64(s) - cs
+				g.Pix[y*size+x] = float32(1.0 - 0.01*(dx*dx+dy*dy+ds*ds))
+			}
+		}
+		return g
+	}
+	dogs := []*Gray{mk(0), mk(1), mk(2)}
+	r := refineExtremum(dogs, 5, 5, 1)
+	if !r.ok {
+		t.Fatal("refinement did not converge on a clean quadratic")
+	}
+	if math.Abs(r.x-cx) > 0.05 || math.Abs(r.y-cy) > 0.05 || math.Abs(r.level-cs) > 0.05 {
+		t.Errorf("refined to (%.3f, %.3f, %.3f), want (%.1f, %.1f, %.1f)",
+			r.x, r.y, r.level, cx, cy, cs)
+	}
+	// Interpolated value should approximate the true peak (1.0).
+	if math.Abs(r.value-1.0) > 0.01 {
+		t.Errorf("interpolated value = %v, want ~1.0", r.value)
+	}
+}
+
+func TestRefineExtremumRejectsBorders(t *testing.T) {
+	dogs := []*Gray{NewGray(8, 8), NewGray(8, 8), NewGray(8, 8)}
+	for _, pos := range [][3]int{{0, 4, 1}, {4, 0, 1}, {7, 4, 1}, {4, 4, 0}, {4, 4, 2}} {
+		if r := refineExtremum(dogs, pos[0], pos[1], pos[2]); r.ok {
+			t.Errorf("refinement accepted border candidate %v", pos)
+		}
+	}
+}
+
+func TestDetectSubpixelProducesFractionalCoords(t *testing.T) {
+	// A blob centred off-grid: with refinement enabled at least some
+	// keypoints should have fractional coordinates; with it disabled,
+	// base-octave keypoints are integral.
+	img := NewGray(96, 96)
+	for y := 0; y < 96; y++ {
+		for x := 0; x < 96; x++ {
+			dx := float64(x) - 48.4
+			dy := float64(y) - 47.6
+			img.Pix[y*96+x] = float32(math.Exp(-(dx*dx + dy*dy) / 40))
+		}
+	}
+	refined := Detect(img, DefaultParams())
+	if len(refined) == 0 {
+		t.Skip("no keypoints detected")
+	}
+	fractional := false
+	for _, kp := range refined {
+		if kp.X != math.Trunc(kp.X) || kp.Y != math.Trunc(kp.Y) {
+			fractional = true
+			break
+		}
+	}
+	if !fractional {
+		t.Error("sub-pixel refinement produced only integral coordinates")
+	}
+
+	p := DefaultParams()
+	p.NoSubpixel = true
+	coarse := Detect(img, p)
+	for _, kp := range coarse {
+		scale := float64(int(1) << kp.Octave)
+		if kp.X/scale != math.Trunc(kp.X/scale) {
+			t.Errorf("NoSubpixel keypoint has fractional octave coords: %+v", kp)
+		}
+	}
+}
+
+// Refinement must improve localization of an off-grid blob versus the
+// quantized detector.
+func TestSubpixelImprovesLocalization(t *testing.T) {
+	const trueX, trueY = 40.5, 40.5
+	img := NewGray(80, 80)
+	for y := 0; y < 80; y++ {
+		for x := 0; x < 80; x++ {
+			dx := float64(x) - trueX
+			dy := float64(y) - trueY
+			img.Pix[y*80+x] = float32(math.Exp(-(dx*dx + dy*dy) / 30))
+		}
+	}
+	bestErr := func(kps []Keypoint) float64 {
+		best := math.Inf(1)
+		for _, kp := range kps {
+			if d := math.Hypot(kp.X-trueX, kp.Y-trueY); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	refined := Detect(img, DefaultParams())
+	p := DefaultParams()
+	p.NoSubpixel = true
+	coarse := Detect(img, p)
+	if len(refined) == 0 || len(coarse) == 0 {
+		t.Skip("insufficient keypoints")
+	}
+	if re, ce := bestErr(refined), bestErr(coarse); re > ce+1e-9 {
+		t.Errorf("refined localization error %.3f worse than coarse %.3f", re, ce)
+	}
+}

@@ -1,0 +1,355 @@
+package sift
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// blobImage builds a synthetic image with Gaussian blobs at the given
+// centres — a canonical SIFT test pattern with known keypoints.
+func blobImage(w, h int, centers [][2]int, blobSigma float64) *Gray {
+	img := NewGray(w, h)
+	for _, c := range centers {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				d2 := float64((x-c[0])*(x-c[0]) + (y-c[1])*(y-c[1]))
+				img.Pix[y*w+x] += float32(math.Exp(-d2 / (2 * blobSigma * blobSigma)))
+			}
+		}
+	}
+	// Clamp to [0,1].
+	for i, p := range img.Pix {
+		if p > 1 {
+			img.Pix[i] = 1
+		}
+	}
+	return img
+}
+
+func TestGrayAtClampsBorders(t *testing.T) {
+	g := NewGray(4, 3)
+	g.Set(0, 0, 0.5)
+	g.Set(3, 2, 0.9)
+	tests := []struct {
+		x, y int
+		want float32
+	}{
+		{-1, -1, 0.5},
+		{0, 0, 0.5},
+		{10, 10, 0.9},
+		{3, 5, 0.9},
+	}
+	for _, tt := range tests {
+		if got := g.At(tt.x, tt.y); got != tt.want {
+			t.Errorf("At(%d,%d) = %v, want %v", tt.x, tt.y, got, tt.want)
+		}
+	}
+	// Out-of-range Set is a no-op.
+	g.Set(-1, 0, 1)
+	g.Set(0, 99, 1)
+	if g.At(0, 0) != 0.5 {
+		t.Error("out-of-range Set modified the image")
+	}
+}
+
+func TestDownsampleHalves(t *testing.T) {
+	g := NewGray(8, 6)
+	for i := range g.Pix {
+		g.Pix[i] = float32(i)
+	}
+	d := g.Downsample()
+	if d.W != 4 || d.H != 3 {
+		t.Fatalf("Downsample = %dx%d, want 4x3", d.W, d.H)
+	}
+	if d.At(1, 1) != g.At(2, 2) {
+		t.Errorf("Downsample pixel mismatch: %v vs %v", d.At(1, 1), g.At(2, 2))
+	}
+}
+
+func TestGaussianKernelNormalized(t *testing.T) {
+	for _, sigma := range []float64{0.5, 1.0, 1.6, 3.2} {
+		k := gaussianKernel(sigma)
+		if len(k)%2 != 1 {
+			t.Errorf("sigma=%v: kernel length %d not odd", sigma, len(k))
+		}
+		var sum float64
+		for _, v := range k {
+			sum += float64(v)
+		}
+		if math.Abs(sum-1) > 1e-5 {
+			t.Errorf("sigma=%v: kernel sums to %v, want 1", sigma, sum)
+		}
+		// Symmetry.
+		for i := 0; i < len(k)/2; i++ {
+			if k[i] != k[len(k)-1-i] {
+				t.Errorf("sigma=%v: kernel not symmetric at %d", sigma, i)
+			}
+		}
+	}
+}
+
+func TestBlurPreservesConstantImage(t *testing.T) {
+	g := NewGray(16, 16)
+	for i := range g.Pix {
+		g.Pix[i] = 0.7
+	}
+	b := Blur(g, 1.6)
+	for i, p := range b.Pix {
+		if math.Abs(float64(p)-0.7) > 1e-4 {
+			t.Fatalf("pixel %d = %v, want 0.7", i, p)
+		}
+	}
+}
+
+func TestBlurReducesVariance(t *testing.T) {
+	// A checkerboard has maximal high-frequency energy; blurring must
+	// strictly reduce its variance.
+	g := NewGray(32, 32)
+	for y := 0; y < 32; y++ {
+		for x := 0; x < 32; x++ {
+			if (x+y)%2 == 0 {
+				g.Pix[y*32+x] = 1
+			}
+		}
+	}
+	variance := func(img *Gray) float64 {
+		var mean float64
+		for _, p := range img.Pix {
+			mean += float64(p)
+		}
+		mean /= float64(len(img.Pix))
+		var v float64
+		for _, p := range img.Pix {
+			d := float64(p) - mean
+			v += d * d
+		}
+		return v / float64(len(img.Pix))
+	}
+	if vb, va := variance(g), variance(Blur(g, 1.0)); va >= vb {
+		t.Errorf("blur did not reduce variance: %v -> %v", vb, va)
+	}
+}
+
+func TestPyramidShape(t *testing.T) {
+	img := blobImage(128, 128, [][2]int{{64, 64}}, 6)
+	p := BuildPyramid(img, 0, 3, 1.6)
+	if len(p.Octaves) < 3 {
+		t.Fatalf("pyramid has %d octaves, want >= 3 for 128x128", len(p.Octaves))
+	}
+	for o, oct := range p.Octaves {
+		if len(oct) != 6 { // s+3 with s=3
+			t.Errorf("octave %d has %d levels, want 6", o, len(oct))
+		}
+		wantW := 128 >> o
+		if oct[0].W != wantW {
+			t.Errorf("octave %d width = %d, want %d", o, oct[0].W, wantW)
+		}
+	}
+	dog := p.DoG()
+	for o := range dog {
+		if len(dog[o]) != 5 {
+			t.Errorf("DoG octave %d has %d levels, want 5", o, len(dog[o]))
+		}
+	}
+}
+
+func TestDetectFindsBlobs(t *testing.T) {
+	centers := [][2]int{{32, 32}, {96, 64}}
+	img := blobImage(128, 128, centers, 5)
+	kps := Detect(img, DefaultParams())
+	if len(kps) == 0 {
+		t.Fatal("no keypoints detected on blob image")
+	}
+	// At least one keypoint within 6px of each blob centre.
+	for _, c := range centers {
+		found := false
+		for _, kp := range kps {
+			if math.Hypot(kp.X-float64(c[0]), kp.Y-float64(c[1])) < 6 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no keypoint near blob at %v", c)
+		}
+	}
+}
+
+func TestDetectFlatImageEmpty(t *testing.T) {
+	img := NewGray(64, 64)
+	for i := range img.Pix {
+		img.Pix[i] = 0.5
+	}
+	if kps := Detect(img, DefaultParams()); len(kps) != 0 {
+		t.Errorf("flat image produced %d keypoints, want 0", len(kps))
+	}
+}
+
+func TestDetectDeterministic(t *testing.T) {
+	img := blobImage(96, 96, [][2]int{{48, 48}, {20, 70}}, 4)
+	a := Detect(img, DefaultParams())
+	b := Detect(img, DefaultParams())
+	if !reflect.DeepEqual(a, b) {
+		t.Error("Detect is not deterministic")
+	}
+}
+
+func TestDescriptorNormalization(t *testing.T) {
+	img := blobImage(96, 96, [][2]int{{48, 48}}, 5)
+	kps := Detect(img, DefaultParams())
+	if len(kps) == 0 {
+		t.Fatal("no keypoints")
+	}
+	for _, kp := range kps {
+		// The quantized descriptor's L2 norm must be bounded near 512
+		// (the quantization scale) and non-zero.
+		var sum float64
+		for _, v := range kp.Descriptor {
+			sum += float64(v) * float64(v)
+		}
+		norm := math.Sqrt(sum)
+		if norm == 0 {
+			t.Error("zero descriptor")
+		}
+		if norm > 600 {
+			t.Errorf("descriptor norm %v too large", norm)
+		}
+		// Clamping: no single entry may dominate far above the 0.2
+		// clamp times the 512 quantization (102) plus renormalization
+		// headroom.
+		for _, v := range kp.Descriptor {
+			if v > 180 {
+				t.Errorf("descriptor entry %d exceeds clamp headroom", v)
+			}
+		}
+	}
+}
+
+func TestDescriptorRotationSensitivity(t *testing.T) {
+	// The same location described at two very different orientations
+	// must produce different descriptors on an anisotropic pattern.
+	img := NewGray(64, 64)
+	for y := 0; y < 64; y++ {
+		for x := 0; x < 64; x++ {
+			img.Pix[y*64+x] = float32(x) / 64 // horizontal ramp
+		}
+	}
+	d0 := describe(img, 32, 32, 1.6, 0)
+	d90 := describe(img, 32, 32, 1.6, math.Pi/2)
+	if d0 == d90 {
+		t.Error("descriptors identical under 90° rotation of the frame")
+	}
+}
+
+func TestIsEdgeRejectsRidge(t *testing.T) {
+	// A 1-D ridge (strong curvature across, none along) must be
+	// rejected; an isotropic peak must pass.
+	ridge := NewGray(16, 16)
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			if y == 8 {
+				ridge.Pix[y*16+x] = 1
+			}
+		}
+	}
+	if !isEdge(ridge, 8, 8, 10) {
+		t.Error("ridge not classified as edge")
+	}
+
+	peak := NewGray(16, 16)
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			d2 := float64((x-8)*(x-8) + (y-8)*(y-8))
+			peak.Pix[y*16+x] = float32(math.Exp(-d2 / 8))
+		}
+	}
+	if isEdge(peak, 8, 8, 10) {
+		t.Error("isotropic peak classified as edge")
+	}
+}
+
+func TestImageCodecRoundTrip(t *testing.T) {
+	img := blobImage(20, 14, [][2]int{{10, 7}}, 3)
+	got, err := DecodeGray(EncodeGray(img))
+	if err != nil {
+		t.Fatalf("DecodeGray: %v", err)
+	}
+	if !reflect.DeepEqual(got, img) {
+		t.Error("image codec round trip mismatch")
+	}
+}
+
+func TestImageCodecRejectsMalformed(t *testing.T) {
+	img := blobImage(8, 8, nil, 1)
+	enc := EncodeGray(img)
+	cases := [][]byte{
+		nil,
+		enc[:4],
+		enc[:len(enc)-1],
+		append(append([]byte{}, enc...), 0),
+	}
+	for i, c := range cases {
+		if _, err := DecodeGray(c); err == nil {
+			t.Errorf("case %d: DecodeGray accepted malformed input", i)
+		}
+	}
+	// Absurd dimensions.
+	bad := make([]byte, 8)
+	bad[0], bad[1], bad[2], bad[3] = 0xFF, 0xFF, 0xFF, 0xFF
+	if _, err := DecodeGray(bad); err == nil {
+		t.Error("DecodeGray accepted absurd dimensions")
+	}
+}
+
+func TestKeypointCodecRoundTrip(t *testing.T) {
+	img := blobImage(96, 96, [][2]int{{48, 48}}, 5)
+	kps := Detect(img, DefaultParams())
+	got, err := DecodeKeypoints(EncodeKeypoints(kps))
+	if err != nil {
+		t.Fatalf("DecodeKeypoints: %v", err)
+	}
+	if !reflect.DeepEqual(got, kps) {
+		t.Error("keypoint codec round trip mismatch")
+	}
+	// Empty slice round-trips too.
+	got, err = DecodeKeypoints(EncodeKeypoints(nil))
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty round trip = (%v, %v)", got, err)
+	}
+}
+
+func TestKeypointCodecRejectsMalformed(t *testing.T) {
+	enc := EncodeKeypoints([]Keypoint{{X: 1, Y: 2}})
+	for i, c := range [][]byte{nil, enc[:3], enc[:len(enc)-1], append(append([]byte{}, enc...), 1)} {
+		if _, err := DecodeKeypoints(c); err == nil {
+			t.Errorf("case %d: DecodeKeypoints accepted malformed input", i)
+		}
+	}
+}
+
+// Property: the keypoint codec round-trips arbitrary keypoint fields.
+func TestQuickKeypointCodec(t *testing.T) {
+	prop := func(x, y, sigma, orient float64, oct, lvl uint8, desc [16]byte) bool {
+		kp := Keypoint{
+			X: x, Y: y, Sigma: sigma, Orientation: orient,
+			Octave: int(oct), Level: int(lvl),
+		}
+		copy(kp.Descriptor[:], desc[:])
+		got, err := DecodeKeypoints(EncodeKeypoints([]Keypoint{kp}))
+		if err != nil || len(got) != 1 {
+			return false
+		}
+		return reflect.DeepEqual(got[0], kp)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 64}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubSizeMismatch(t *testing.T) {
+	if _, err := Sub(NewGray(4, 4), NewGray(5, 4)); err == nil {
+		t.Error("Sub accepted mismatched sizes")
+	}
+}

@@ -1,0 +1,92 @@
+package store
+
+import (
+	"errors"
+	"sync"
+
+	"speed/internal/enclave"
+	"speed/internal/mle"
+)
+
+// Controlled deduplication (Section III-D): the keyless RCE scheme
+// means any application that owns a computation can decrypt its stored
+// result, but it does not restrict who may talk to the ResultStore at
+// all. This file adds the "additional authorization mechanism" the
+// paper calls for: per-application permissions checked on every
+// operation, keyed by the attested enclave measurement.
+
+// Permission is a bit set of store operations an application may
+// perform.
+type Permission uint8
+
+// Permission bits.
+const (
+	// PermGet allows duplicate checking and result retrieval.
+	PermGet Permission = 1 << iota
+	// PermPut allows uploading fresh results.
+	PermPut
+)
+
+// PermAll grants every operation.
+const PermAll = PermGet | PermPut
+
+// ErrUnauthorized is returned when an operation is denied by the
+// store's authorizer.
+var ErrUnauthorized = errors.New("store: unauthorized")
+
+// Authorizer decides whether an attested application may perform an
+// operation. Implementations must be safe for concurrent use.
+type Authorizer interface {
+	// Authorize reports whether app may perform the operations in
+	// perm on the computation identified by tag.
+	Authorize(app enclave.Measurement, tag mle.Tag, perm Permission) error
+}
+
+// ACL is an Authorizer with per-application permission grants and a
+// configurable default.
+type ACL struct {
+	mu      sync.RWMutex
+	grants  map[enclave.Measurement]Permission
+	defPerm Permission
+}
+
+var _ Authorizer = (*ACL)(nil)
+
+// NewACL creates an ACL whose unlisted applications receive def.
+// NewACL(store.PermAll) is open; NewACL(0) is deny-by-default.
+func NewACL(def Permission) *ACL {
+	return &ACL{
+		grants:  make(map[enclave.Measurement]Permission),
+		defPerm: def,
+	}
+}
+
+// Grant sets an application's permissions, replacing any previous
+// grant.
+func (a *ACL) Grant(app enclave.Measurement, perm Permission) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.grants[app] = perm
+}
+
+// Revoke removes an application's explicit grant; it falls back to the
+// default.
+func (a *ACL) Revoke(app enclave.Measurement) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.grants, app)
+}
+
+// Authorize implements Authorizer.
+func (a *ACL) Authorize(app enclave.Measurement, _ mle.Tag, perm Permission) error {
+	a.mu.RLock()
+	granted, ok := a.grants[app]
+	a.mu.RUnlock()
+	if !ok {
+		granted = a.defPerm
+	}
+	if granted&perm != perm {
+		return ErrUnauthorized
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+// Package store implements SPEED's encrypted ResultStore (Section
+// IV-B): an enclave-protected metadata dictionary keyed by computation
+// tag, whose entries are deliberately small (challenge, wrapped key and
+// a pointer), with the bulk result ciphertexts kept outside the enclave
+// for EPC efficiency. The package also provides per-application quotas
+// (the paper's DoS rate-limiting strategy), LRU eviction, a TCP server
+// speaking the wire protocol, and master-store replication.
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+)
+
+// BlobID identifies a ciphertext blob in untrusted storage.
+type BlobID uint64
+
+// BlobStore is the untrusted storage that holds result ciphertexts
+// outside the enclave. Implementations need not protect the data:
+// everything stored is AEAD ciphertext, and integrity violations are
+// caught by the application-side verification protocol (Fig. 3).
+type BlobStore interface {
+	// Put stores a blob and returns its identifier.
+	Put(data []byte) (BlobID, error)
+	// Get retrieves a blob by identifier.
+	Get(id BlobID) ([]byte, error)
+	// Delete removes a blob; deleting an unknown identifier is a no-op.
+	Delete(id BlobID) error
+	// Bytes reports the total stored payload size.
+	Bytes() int64
+}
+
+// MemBlobStore is an in-memory BlobStore.
+type MemBlobStore struct {
+	mu     sync.Mutex
+	blobs  map[BlobID][]byte
+	nextID BlobID
+	bytes  int64
+}
+
+var _ BlobStore = (*MemBlobStore)(nil)
+
+// NewMemBlobStore creates an empty in-memory blob store.
+func NewMemBlobStore() *MemBlobStore {
+	return &MemBlobStore{blobs: make(map[BlobID][]byte)}
+}
+
+// Put implements BlobStore.
+func (s *MemBlobStore) Put(data []byte) (BlobID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	id := s.nextID
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.blobs[id] = cp
+	s.bytes += int64(len(cp))
+	return id, nil
+}
+
+// Get implements BlobStore.
+func (s *MemBlobStore) Get(id BlobID) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.blobs[id]
+	if !ok {
+		return nil, fmt.Errorf("store: blob %d not found", id)
+	}
+	cp := make([]byte, len(b))
+	copy(cp, b)
+	return cp, nil
+}
+
+// Delete implements BlobStore.
+func (s *MemBlobStore) Delete(id BlobID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.blobs[id]; ok {
+		s.bytes -= int64(len(b))
+		delete(s.blobs, id)
+	}
+	return nil
+}
+
+// Bytes implements BlobStore.
+func (s *MemBlobStore) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// DiskBlobStore stores each blob as a file under a directory, modelling
+// the persistent untrusted storage of a long-running ResultStore.
+type DiskBlobStore struct {
+	dir string
+
+	mu     sync.Mutex
+	nextID BlobID
+	sizes  map[BlobID]int64
+	bytes  int64
+}
+
+var _ BlobStore = (*DiskBlobStore)(nil)
+
+// NewDiskBlobStore creates (or reuses) dir as blob storage.
+func NewDiskBlobStore(dir string) (*DiskBlobStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create blob dir: %w", err)
+	}
+	return &DiskBlobStore{dir: dir, sizes: make(map[BlobID]int64)}, nil
+}
+
+func (s *DiskBlobStore) path(id BlobID) string {
+	return filepath.Join(s.dir, strconv.FormatUint(uint64(id), 16)+".blob")
+}
+
+// Put implements BlobStore.
+func (s *DiskBlobStore) Put(data []byte) (BlobID, error) {
+	s.mu.Lock()
+	s.nextID++
+	id := s.nextID
+	s.mu.Unlock()
+	if err := os.WriteFile(s.path(id), data, 0o644); err != nil {
+		return 0, fmt.Errorf("store: write blob: %w", err)
+	}
+	s.mu.Lock()
+	s.sizes[id] = int64(len(data))
+	s.bytes += int64(len(data))
+	s.mu.Unlock()
+	return id, nil
+}
+
+// Get implements BlobStore.
+func (s *DiskBlobStore) Get(id BlobID) ([]byte, error) {
+	data, err := os.ReadFile(s.path(id))
+	if err != nil {
+		return nil, fmt.Errorf("store: read blob %d: %w", id, err)
+	}
+	return data, nil
+}
+
+// Delete implements BlobStore.
+func (s *DiskBlobStore) Delete(id BlobID) error {
+	s.mu.Lock()
+	if sz, ok := s.sizes[id]; ok {
+		s.bytes -= sz
+		delete(s.sizes, id)
+	}
+	s.mu.Unlock()
+	if err := os.Remove(s.path(id)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: delete blob %d: %w", id, err)
+	}
+	return nil
+}
+
+// Bytes implements BlobStore.
+func (s *DiskBlobStore) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}

@@ -1,0 +1,167 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func testBlobStores(t *testing.T) map[string]BlobStore {
+	t.Helper()
+	disk, err := NewDiskBlobStore(t.TempDir())
+	if err != nil {
+		t.Fatalf("NewDiskBlobStore: %v", err)
+	}
+	return map[string]BlobStore{
+		"mem":  NewMemBlobStore(),
+		"disk": disk,
+	}
+}
+
+func TestBlobStorePutGetDelete(t *testing.T) {
+	for name, bs := range testBlobStores(t) {
+		t.Run(name, func(t *testing.T) {
+			data := []byte("ciphertext payload")
+			id, err := bs.Put(data)
+			if err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			got, err := bs.Get(id)
+			if err != nil {
+				t.Fatalf("Get: %v", err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Errorf("Get = %q, want %q", got, data)
+			}
+			if bs.Bytes() != int64(len(data)) {
+				t.Errorf("Bytes = %d, want %d", bs.Bytes(), len(data))
+			}
+			if err := bs.Delete(id); err != nil {
+				t.Fatalf("Delete: %v", err)
+			}
+			if _, err := bs.Get(id); err == nil {
+				t.Error("Get after Delete succeeded")
+			}
+			if bs.Bytes() != 0 {
+				t.Errorf("Bytes after Delete = %d, want 0", bs.Bytes())
+			}
+			// Deleting again is a no-op.
+			if err := bs.Delete(id); err != nil {
+				t.Errorf("double Delete: %v", err)
+			}
+		})
+	}
+}
+
+func TestBlobStoreGetUnknown(t *testing.T) {
+	for name, bs := range testBlobStores(t) {
+		t.Run(name, func(t *testing.T) {
+			if _, err := bs.Get(BlobID(999)); err == nil {
+				t.Error("Get of unknown id succeeded")
+			}
+		})
+	}
+}
+
+func TestMemBlobStoreIsolation(t *testing.T) {
+	bs := NewMemBlobStore()
+	data := []byte("original")
+	id, err := bs.Put(data)
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	data[0] = 'X' // caller mutates its buffer after Put
+	got, err := bs.Get(id)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if string(got) != "original" {
+		t.Errorf("Put did not copy: got %q", got)
+	}
+	got[0] = 'Y' // caller mutates the returned buffer
+	again, err := bs.Get(id)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if string(again) != "original" {
+		t.Errorf("Get did not copy: got %q", again)
+	}
+}
+
+func TestBlobStoreConcurrent(t *testing.T) {
+	bs := NewMemBlobStore()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				data := []byte(fmt.Sprintf("w%d-i%d", w, i))
+				id, err := bs.Put(data)
+				if err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				got, err := bs.Get(id)
+				if err != nil || !bytes.Equal(got, data) {
+					t.Errorf("Get = %q, %v; want %q", got, err, data)
+					return
+				}
+				if err := bs.Delete(id); err != nil {
+					t.Errorf("Delete: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if bs.Bytes() != 0 {
+		t.Errorf("Bytes = %d, want 0 after balanced put/delete", bs.Bytes())
+	}
+}
+
+// Property: any payload round-trips through either blob store.
+func TestQuickBlobRoundTrip(t *testing.T) {
+	mem := NewMemBlobStore()
+	prop := func(data []byte) bool {
+		id, err := mem.Put(data)
+		if err != nil {
+			return false
+		}
+		got, err := mem.Get(id)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiskBlobStorePersistsAcrossHandles(t *testing.T) {
+	dir := t.TempDir()
+	bs1, err := NewDiskBlobStore(dir)
+	if err != nil {
+		t.Fatalf("NewDiskBlobStore: %v", err)
+	}
+	id, err := bs1.Put([]byte("persisted"))
+	if err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	// A second handle over the same directory reads the same file (ids
+	// are per-handle, so use the same id value).
+	bs2, err := NewDiskBlobStore(dir)
+	if err != nil {
+		t.Fatalf("NewDiskBlobStore: %v", err)
+	}
+	got, err := bs2.Get(id)
+	if err != nil {
+		t.Fatalf("Get via new handle: %v", err)
+	}
+	if string(got) != "persisted" {
+		t.Errorf("Get = %q, want %q", got, "persisted")
+	}
+}

@@ -1,0 +1,114 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Replicator implements the deployment remark of Section IV-B: "We can
+// also deploy a master ResultStore on a dedicated server, which
+// periodically synchronizes the popular (i.e., frequently appeared)
+// results from different machines." Because tags are deterministic,
+// synchronization never creates redundancy at the master: the first
+// ciphertext version stored for a tag is kept, and it remains
+// decryptable by any application that performs the same computation.
+type Replicator struct {
+	master   *Store
+	replicas []*Store
+	minHits  int64
+	interval time.Duration
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+
+	mu      sync.Mutex
+	started bool
+	synced  int64
+}
+
+// NewReplicator creates a replicator that copies entries with at least
+// minHits hits from each replica into master.
+func NewReplicator(master *Store, replicas []*Store, minHits int64, interval time.Duration) *Replicator {
+	return &Replicator{
+		master:   master,
+		replicas: replicas,
+		minHits:  minHits,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// SyncOnce performs one synchronization pass and returns the number of
+// entries installed at the master.
+func (r *Replicator) SyncOnce() (int, error) {
+	installed := 0
+	for i, rep := range r.replicas {
+		entries, err := rep.Export(r.minHits)
+		if err != nil {
+			return installed, fmt.Errorf("export replica %d: %w", i, err)
+		}
+		for _, e := range entries {
+			ok, err := r.master.Put(e.Owner, e.Tag, e.Sealed)
+			if err != nil || !ok {
+				// Duplicates (another replica already synced the same
+				// tag) and quota rejections are expected; skip them.
+				continue
+			}
+			installed++
+		}
+	}
+	r.mu.Lock()
+	r.synced += int64(installed)
+	r.mu.Unlock()
+	return installed, nil
+}
+
+// Synced reports the cumulative number of entries installed at the
+// master across all passes.
+func (r *Replicator) Synced() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.synced
+}
+
+// Start launches periodic synchronization. Stop shuts it down.
+// Calling Start more than once is a no-op.
+func (r *Replicator) Start() {
+	r.mu.Lock()
+	if r.started {
+		r.mu.Unlock()
+		return
+	}
+	r.started = true
+	r.mu.Unlock()
+	go func() {
+		defer close(r.done)
+		ticker := time.NewTicker(r.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				_, _ = r.SyncOnce()
+			case <-r.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop terminates periodic synchronization and, if Start was called,
+// waits for the worker to exit. Safe to call multiple times.
+func (r *Replicator) Stop() {
+	r.once.Do(func() {
+		close(r.stop)
+	})
+	r.mu.Lock()
+	started := r.started
+	r.mu.Unlock()
+	if started {
+		<-r.done
+	}
+}

@@ -1,0 +1,181 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"speed/internal/enclave"
+	"speed/internal/wire"
+)
+
+// Robustness of the networked store against misbehaving peers: the
+// server must shed garbage, oversized frames and half-open connections
+// without crashing or wedging, and keep serving honest clients.
+
+func startRobustServer(t *testing.T) (*Server, *enclave.Platform, *enclave.Enclave) {
+	t.Helper()
+	p := enclave.NewPlatform(enclave.Config{})
+	storeEnc, err := p.Create("store", []byte("store code"))
+	if err != nil {
+		t.Fatalf("create store enclave: %v", err)
+	}
+	st, err := New(Config{Enclave: storeEnc})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	srv := NewServer(st, ln, WithLogf(func(string, ...any) {}))
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = srv.Serve()
+	}()
+	t.Cleanup(func() {
+		_ = srv.Close()
+		wg.Wait()
+	})
+	return srv, p, storeEnc
+}
+
+func TestServerShedsGarbageConnections(t *testing.T) {
+	srv, p, storeEnc := startRobustServer(t)
+
+	attacks := [][]byte{
+		[]byte("GET / HTTP/1.1\r\n\r\n"),                 // wrong protocol
+		{0xFF, 0xFF, 0xFF, 0xFF},                         // oversized frame header
+		{0x00, 0x00, 0x00, 0x04, 0xDE, 0xAD, 0xBE, 0xEF}, // garbage report
+		{}, // immediate close
+	}
+	for i, payload := range attacks {
+		conn, err := net.Dial("tcp", srv.Addr().String())
+		if err != nil {
+			t.Fatalf("attack %d dial: %v", i, err)
+		}
+		if len(payload) > 0 {
+			_, _ = conn.Write(payload)
+		}
+		conn.Close()
+	}
+
+	// A half-open connection: handshake never completes. The server
+	// must still serve an honest client concurrently.
+	half, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatalf("half-open dial: %v", err)
+	}
+	defer half.Close()
+
+	appEnc, err := p.Create("honest", []byte("honest code"))
+	if err != nil {
+		t.Fatalf("create honest: %v", err)
+	}
+	conn, err := net.DialTimeout("tcp", srv.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatalf("honest dial: %v", err)
+	}
+	defer conn.Close()
+	ch, err := wire.ClientHandshake(conn, appEnc, storeEnc.Measurement())
+	if err != nil {
+		t.Fatalf("honest handshake after attacks: %v", err)
+	}
+	if err := ch.SendMessage(wire.PutRequest{Tag: tagOf("t"), Sealed: sealedOf("ok")}); err != nil {
+		t.Fatalf("honest put: %v", err)
+	}
+	msg, err := ch.RecvMessage()
+	if err != nil {
+		t.Fatalf("honest reply: %v", err)
+	}
+	if pr, ok := msg.(wire.PutResponse); !ok || !pr.OK {
+		t.Fatalf("honest reply = %#v", msg)
+	}
+}
+
+func TestServerRejectsPostHandshakeGarbage(t *testing.T) {
+	srv, p, storeEnc := startRobustServer(t)
+	appEnc, err := p.Create("app", []byte("app code"))
+	if err != nil {
+		t.Fatalf("create app: %v", err)
+	}
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer conn.Close()
+	ch, err := wire.ClientHandshake(conn, appEnc, storeEnc.Measurement())
+	if err != nil {
+		t.Fatalf("handshake: %v", err)
+	}
+	// A syntactically valid frame whose ciphertext is garbage: the
+	// server drops the session; the client sees EOF/reset on the next
+	// read rather than a hang.
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 16)
+	_, _ = conn.Write(hdr[:])
+	_, _ = conn.Write(bytes.Repeat([]byte{0xAA}, 16))
+
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := ch.RecvMessage(); err == nil {
+		t.Error("server kept talking after garbage ciphertext")
+	}
+}
+
+func TestServerManyConcurrentClients(t *testing.T) {
+	srv, p, storeEnc := startRobustServer(t)
+	const clients = 16
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			appEnc, err := p.Create(string(rune('a'+c))+"-app", []byte{byte(c)})
+			if err != nil {
+				t.Errorf("create: %v", err)
+				return
+			}
+			conn, err := net.Dial("tcp", srv.Addr().String())
+			if err != nil {
+				t.Errorf("dial: %v", err)
+				return
+			}
+			defer conn.Close()
+			ch, err := wire.ClientHandshake(conn, appEnc, storeEnc.Measurement())
+			if err != nil {
+				t.Errorf("handshake: %v", err)
+				return
+			}
+			for i := 0; i < 20; i++ {
+				tag := tagOf(string(rune('a'+c)) + string(rune(i)))
+				if err := ch.SendMessage(wire.PutRequest{Tag: tag, Sealed: sealedOf("v")}); err != nil {
+					t.Errorf("put: %v", err)
+					return
+				}
+				if _, err := ch.RecvMessage(); err != nil {
+					t.Errorf("put reply: %v", err)
+					return
+				}
+				if err := ch.SendMessage(wire.GetRequest{Tag: tag}); err != nil {
+					t.Errorf("get: %v", err)
+					return
+				}
+				msg, err := ch.RecvMessage()
+				if err != nil {
+					t.Errorf("get reply: %v", err)
+					return
+				}
+				if gr, ok := msg.(wire.GetResponse); !ok || !gr.Found {
+					t.Errorf("get reply = %#v", msg)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,180 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"speed/internal/enclave"
+	"speed/internal/wire"
+)
+
+// Server exposes a Store over the wire protocol. The main body of the
+// server runs outside the enclave (Section IV-B: "the main body of
+// encrypted ResultStore runs outside the enclave"); each request is
+// parsed outside and delegated into the store enclave via an ECALL.
+type Server struct {
+	store  *Store
+	ln     net.Listener
+	accept func(enclave.Measurement) bool
+	trust  *wire.Trust
+	logf   func(format string, args ...any)
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithAcceptFunc restricts which attested client measurements are
+// admitted. The default accepts any client that passes attestation.
+func WithAcceptFunc(accept func(enclave.Measurement) bool) ServerOption {
+	return func(s *Server) { s.accept = accept }
+}
+
+// WithLogf sets the diagnostic logger. The default logs via the
+// standard logger; pass a no-op to silence.
+func WithLogf(logf func(format string, args ...any)) ServerOption {
+	return func(s *Server) { s.logf = logf }
+}
+
+// WithTrust accepts clients from remote machines whose platform
+// attestation keys are in the trust set (remote attestation). Without
+// it only same-platform clients can connect.
+func WithTrust(trust *wire.Trust) ServerOption {
+	return func(s *Server) { s.trust = trust }
+}
+
+// NewServer wraps store with a protocol server listening on ln.
+// Call Serve to start accepting and Close to shut down.
+func NewServer(st *Store, ln net.Listener, opts ...ServerOption) *Server {
+	s := &Server{
+		store: st,
+		ln:    ln,
+		logf:  log.Printf,
+		conns: make(map[net.Conn]struct{}),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// Addr returns the listener address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Serve accepts connections until Close is called. It always returns a
+// non-nil error; after Close the error is net.ErrClosed.
+func (s *Server) Serve() error {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return net.ErrClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops the listener, closes active connections, and waits for
+// handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer conn.Close()
+	ch, err := wire.ServerHandshakeTrust(conn, s.store.Enclave(), s.accept, s.trust)
+	if err != nil {
+		s.logf("store: handshake from %v: %v", conn.RemoteAddr(), err)
+		return
+	}
+	owner := ch.Peer()
+	for {
+		msg, err := ch.RecvMessage()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.logf("store: recv from %v: %v", conn.RemoteAddr(), err)
+			}
+			return
+		}
+		reply, err := s.Dispatch(owner, msg)
+		if err != nil {
+			s.logf("store: dispatch: %v", err)
+			return
+		}
+		if err := ch.SendMessage(reply); err != nil {
+			s.logf("store: send to %v: %v", conn.RemoteAddr(), err)
+			return
+		}
+	}
+}
+
+// Dispatch handles one protocol message on behalf of the attested
+// application owner and produces the reply. It is exported so that the
+// in-process loopback client can reuse the exact request path without a
+// socket.
+func (s *Server) Dispatch(owner enclave.Measurement, msg wire.Message) (wire.Message, error) {
+	switch m := msg.(type) {
+	case wire.GetRequest:
+		sealed, found, err := s.store.GetAs(owner, m.Tag)
+		switch {
+		case errors.Is(err, ErrUnauthorized):
+			// Deny without information: an unauthorized application
+			// learns nothing about which tags exist.
+			return wire.GetResponse{Found: false}, nil
+		case err != nil:
+			return nil, fmt.Errorf("get %v: %w", m.Tag, err)
+		default:
+			return wire.GetResponse{Found: found, Sealed: sealed}, nil
+		}
+	case wire.PutRequest:
+		put := s.store.Put
+		if m.Replace {
+			put = s.store.PutReplace
+		}
+		_, err := put(owner, m.Tag, m.Sealed)
+		switch {
+		case errors.Is(err, ErrQuota), errors.Is(err, ErrUnauthorized):
+			return wire.PutResponse{OK: false, Err: err.Error()}, nil
+		case err != nil:
+			return nil, fmt.Errorf("put %v: %w", m.Tag, err)
+		default:
+			return wire.PutResponse{OK: true}, nil
+		}
+	default:
+		return nil, fmt.Errorf("store: unexpected message %v", msg.Kind())
+	}
+}

@@ -1,0 +1,195 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"speed/internal/enclave"
+	"speed/internal/mle"
+)
+
+// Snapshot persistence: a long-running ResultStore must survive
+// restarts without losing its dictionary (losing it only costs
+// recomputation, but a warm cache is the whole point). The metadata
+// dictionary contains key material (the challenges and wrapped keys),
+// so a snapshot is sealed to the store enclave's identity with the
+// platform-bound sealing key before leaving the enclave: only the same
+// store code on the same machine can restore it. Ciphertext blobs are
+// included verbatim — they are already AEAD-protected.
+
+const snapshotVersion = 1
+
+// ErrBadSnapshot is returned when a snapshot fails to parse after
+// unsealing.
+var ErrBadSnapshot = errors.New("store: malformed snapshot")
+
+// SealSnapshot serialises the dictionary (and its blobs) and seals it
+// to the store enclave identity. The store remains usable.
+func (s *Store) SealSnapshot() ([]byte, error) {
+	type record struct {
+		tag    mle.Tag
+		sealed mle.Sealed
+		owner  enclave.Measurement
+		hits   int64
+	}
+	var records []record
+	err := s.cfg.Enclave.ECall(func() error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.closed {
+			return ErrClosed
+		}
+		records = make([]record, 0, len(s.dict))
+		// Walk the LRU from least to most recent so restore rebuilds
+		// the same eviction order.
+		for elem := s.lru.Back(); elem != nil; elem = elem.Prev() {
+			tag, ok := elem.Value.(mle.Tag)
+			if !ok {
+				continue
+			}
+			e := s.dict[tag]
+			records = append(records, record{
+				tag: tag,
+				sealed: mle.Sealed{
+					Challenge:  append([]byte(nil), e.challenge...),
+					WrappedKey: append([]byte(nil), e.wrappedKey...),
+				},
+				owner: e.owner,
+				hits:  e.hits,
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Fetch blobs outside the lock (they live outside the enclave).
+	var buf bytes.Buffer
+	buf.WriteByte(snapshotVersion)
+	var lenB [8]byte
+	binary.BigEndian.PutUint64(lenB[:], uint64(len(records)))
+	buf.Write(lenB[:])
+	writeBytes := func(b []byte) {
+		var n [4]byte
+		binary.BigEndian.PutUint32(n[:], uint32(len(b)))
+		buf.Write(n[:])
+		buf.Write(b)
+	}
+	written := 0
+	for _, r := range records {
+		// Re-read the blob; an entry evicted meanwhile is skipped.
+		s.mu.Lock()
+		e, ok := s.dict[r.tag]
+		var blobID BlobID
+		if ok {
+			blobID = e.blobID
+		}
+		s.mu.Unlock()
+		if !ok {
+			continue
+		}
+		blob, err := s.cfg.Blobs.Get(blobID)
+		if err != nil {
+			continue
+		}
+		buf.Write(r.tag[:])
+		buf.Write(r.owner[:])
+		binary.BigEndian.PutUint64(lenB[:], uint64(r.hits))
+		buf.Write(lenB[:])
+		writeBytes(r.sealed.Challenge)
+		writeBytes(r.sealed.WrappedKey)
+		writeBytes(blob)
+		written++
+	}
+	// Patch the record count to what was actually written.
+	out := buf.Bytes()
+	binary.BigEndian.PutUint64(out[1:9], uint64(written))
+
+	sealed, err := s.cfg.Enclave.Seal(out)
+	if err != nil {
+		return nil, fmt.Errorf("seal snapshot: %w", err)
+	}
+	return sealed, nil
+}
+
+// RestoreSnapshot unseals a snapshot produced by SealSnapshot on the
+// same enclave identity and platform, and installs its entries into
+// this (typically fresh) store. Existing entries win over snapshot
+// entries with the same tag. It returns the number of entries
+// installed.
+func (s *Store) RestoreSnapshot(sealed []byte) (int, error) {
+	raw, err := s.cfg.Enclave.Unseal(sealed)
+	if err != nil {
+		return 0, err
+	}
+	if len(raw) < 9 || raw[0] != snapshotVersion {
+		return 0, ErrBadSnapshot
+	}
+	n := binary.BigEndian.Uint64(raw[1:9])
+	rd := raw[9:]
+	readBytes := func() ([]byte, error) {
+		if len(rd) < 4 {
+			return nil, ErrBadSnapshot
+		}
+		l := binary.BigEndian.Uint32(rd)
+		rd = rd[4:]
+		if uint64(l) > uint64(len(rd)) {
+			return nil, ErrBadSnapshot
+		}
+		b := rd[:l:l]
+		rd = rd[l:]
+		return b, nil
+	}
+
+	installed := 0
+	for i := uint64(0); i < n; i++ {
+		if len(rd) < 32+32+8 {
+			return installed, ErrBadSnapshot
+		}
+		var tag mle.Tag
+		copy(tag[:], rd[:32])
+		rd = rd[32:]
+		var owner enclave.Measurement
+		copy(owner[:], rd[:32])
+		rd = rd[32:]
+		hits := int64(binary.BigEndian.Uint64(rd))
+		rd = rd[8:]
+		challenge, err := readBytes()
+		if err != nil {
+			return installed, err
+		}
+		wrapped, err := readBytes()
+		if err != nil {
+			return installed, err
+		}
+		blob, err := readBytes()
+		if err != nil {
+			return installed, err
+		}
+		ok, err := s.put(owner, tag, mle.Sealed{
+			Challenge:  challenge,
+			WrappedKey: wrapped,
+			Blob:       blob,
+		}, putOpts{restore: true})
+		if err != nil {
+			// Space-quota pressure during restore is not fatal; skip
+			// the entry.
+			continue
+		}
+		if ok {
+			installed++
+			s.mu.Lock()
+			if e, present := s.dict[tag]; present {
+				e.hits = hits
+			}
+			s.mu.Unlock()
+		}
+	}
+	if len(rd) != 0 {
+		return installed, ErrBadSnapshot
+	}
+	return installed, nil
+}

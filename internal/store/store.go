@@ -1,0 +1,544 @@
+package store
+
+import (
+	"container/list"
+	"crypto/subtle"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"speed/internal/enclave"
+	"speed/internal/mle"
+)
+
+// entryOverhead approximates the in-enclave footprint of one dictionary
+// entry beyond its variable-length fields: tag key, blob pointer,
+// counters and map bucket overhead. It is charged against the store
+// enclave's EPC so that large dictionaries produce realistic paging
+// pressure.
+const entryOverhead = 96
+
+var (
+	// ErrQuota is returned when a PUT is rejected by the quota
+	// mechanism.
+	ErrQuota = errors.New("store: quota exceeded")
+	// ErrClosed is returned after Close.
+	ErrClosed = errors.New("store: closed")
+)
+
+// Config configures a Store.
+type Config struct {
+	// Enclave hosts the metadata dictionary. Required.
+	Enclave *enclave.Enclave
+	// Blobs holds ciphertexts outside the enclave. Defaults to an
+	// in-memory store.
+	Blobs BlobStore
+	// MaxEntries caps the dictionary size; 0 means unlimited. When
+	// exceeded, least-recently-used entries are evicted.
+	MaxEntries int
+	// MaxBlobBytes caps total ciphertext bytes; 0 means unlimited.
+	MaxBlobBytes int64
+	// Quota bounds per-application usage.
+	Quota QuotaConfig
+	// Auth, when non-nil, gates every operation by the caller's
+	// attested measurement (controlled deduplication, Section III-D).
+	Auth Authorizer
+	// Oblivious makes dictionary lookups access-pattern oblivious: a
+	// GET touches every entry with constant-time tag comparison and
+	// performs no LRU bookkeeping, so an adversary observing enclave
+	// memory accesses cannot tell which entry (if any) matched. This
+	// trades throughput for side-channel resistance (the security/
+	// performance balance the paper defers to future work,
+	// Section III-D).
+	Oblivious bool
+	// TTL expires entries that have not been stored or hit within the
+	// given duration; 0 disables expiry. Expired entries are collected
+	// lazily on access and by ExpireNow.
+	TTL time.Duration
+	// Now is the clock used by the quota mechanism; nil means
+	// time.Now. Injectable for tests.
+	Now func() time.Time
+}
+
+// Stats is a snapshot of store activity.
+type Stats struct {
+	Gets         int64
+	Hits         int64
+	Puts         int64
+	PutDupes     int64
+	PutDenied    int64
+	Unauthorized int64
+	Evictions    int64
+	Expired      int64
+	Entries      int
+	BlobBytes    int64
+}
+
+// entry is the small in-enclave dictionary record: the challenge r, the
+// wrapped key [k], and a pointer to the out-of-enclave ciphertext
+// (Section IV-B: "the dictionary entry is designed to be small").
+type entry struct {
+	challenge  []byte
+	wrappedKey []byte
+	blobID     BlobID
+	blobSize   int64
+	owner      enclave.Measurement
+	hits       int64
+	lastTouch  time.Time
+	lruElem    *list.Element
+}
+
+func (e *entry) enclaveBytes() int64 {
+	return entryOverhead + int64(len(e.challenge)+len(e.wrappedKey))
+}
+
+// Store is the encrypted ResultStore. All methods are safe for
+// concurrent use.
+type Store struct {
+	cfg Config
+
+	mu        sync.Mutex
+	dict      map[mle.Tag]*entry
+	lru       *list.List // front = most recent; values are mle.Tag
+	blobTotal int64      // running sum of resident entry blob sizes
+	stats     Stats
+	closed    bool
+
+	quota *quotas
+}
+
+// New constructs a Store.
+func New(cfg Config) (*Store, error) {
+	if cfg.Enclave == nil {
+		return nil, errors.New("store: Config.Enclave is required")
+	}
+	if cfg.Blobs == nil {
+		cfg.Blobs = NewMemBlobStore()
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Store{
+		cfg:   cfg,
+		dict:  make(map[mle.Tag]*entry),
+		lru:   list.New(),
+		quota: newQuotas(cfg.Quota, cfg.Now),
+	}, nil
+}
+
+// Enclave returns the enclave hosting the metadata dictionary.
+func (s *Store) Enclave() *enclave.Enclave { return s.cfg.Enclave }
+
+// GetAs is Get with the caller's attested identity, consulted by the
+// store's Authorizer when one is configured.
+func (s *Store) GetAs(app enclave.Measurement, tag mle.Tag) (mle.Sealed, bool, error) {
+	if s.cfg.Auth != nil {
+		if err := s.cfg.Auth.Authorize(app, tag, PermGet); err != nil {
+			s.mu.Lock()
+			s.stats.Unauthorized++
+			s.mu.Unlock()
+			return mle.Sealed{}, false, err
+		}
+	}
+	return s.Get(tag)
+}
+
+// Get looks up the computation tag, returning the (r, [k], [res])
+// triple when found. The dictionary access happens inside the store
+// enclave (one ECALL); the ciphertext is fetched from untrusted storage
+// outside.
+func (s *Store) Get(tag mle.Tag) (mle.Sealed, bool, error) {
+	var (
+		found   bool
+		expired bool
+		blobID  BlobID
+		sealed  mle.Sealed
+	)
+	err := s.cfg.Enclave.ECall(func() error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.closed {
+			return ErrClosed
+		}
+		s.stats.Gets++
+		var e *entry
+		if s.cfg.Oblivious {
+			e = s.obliviousLookupLocked(tag)
+		} else if cur, ok := s.dict[tag]; ok {
+			e = cur
+		}
+		if e == nil {
+			return nil
+		}
+		if s.expiredLocked(e) {
+			// Lazily collect the stale entry and report a miss.
+			expired = true
+			return nil
+		}
+		found = true
+		s.stats.Hits++
+		e.hits++
+		if !s.cfg.Oblivious {
+			// LRU maintenance and freshness updates reveal which entry
+			// was touched; skip them in oblivious mode.
+			s.lru.MoveToFront(e.lruElem)
+			e.lastTouch = s.cfg.Now()
+		}
+		sealed.Challenge = append([]byte(nil), e.challenge...)
+		sealed.WrappedKey = append([]byte(nil), e.wrappedKey...)
+		blobID = e.blobID
+		return nil
+	})
+	if expired {
+		s.deleteTag(tag, reasonExpire)
+	}
+	if err != nil || !found {
+		return mle.Sealed{}, false, err
+	}
+	blob, err := s.cfg.Blobs.Get(blobID)
+	if err != nil {
+		// The untrusted storage lost or corrupted the blob; treat as a
+		// miss so the application recomputes (it would reject the
+		// result at verification anyway).
+		s.deleteTag(tag, reasonDangling)
+		return mle.Sealed{}, false, nil
+	}
+	sealed.Blob = blob
+	return sealed, true, nil
+}
+
+// Put stores a freshly computed sealed result for the tag on behalf of
+// the application identified by owner. Duplicate tags keep the first
+// stored version ("only one version of result ciphertext ... needs to
+// be stored", Section IV-B Remark); installed reports whether this call
+// created the entry.
+func (s *Store) Put(owner enclave.Measurement, tag mle.Tag, sealed mle.Sealed) (installed bool, err error) {
+	return s.put(owner, tag, sealed, putOpts{})
+}
+
+// PutReplace stores a sealed result, overwriting any existing entry
+// for the tag. It is used when an application recomputed a result
+// after the stored version failed the verification protocol (a
+// poisoned or corrupted entry): without replacement the bad entry
+// would be permanent, costing every future caller a recomputation.
+// Replacement is still subject to authorization and quotas, so an
+// adversary cannot use it to thrash the cache faster than its PUT rate
+// allows.
+func (s *Store) PutReplace(owner enclave.Measurement, tag mle.Tag, sealed mle.Sealed) (installed bool, err error) {
+	return s.put(owner, tag, sealed, putOpts{replace: true})
+}
+
+// putOpts selects Put variants.
+type putOpts struct {
+	// restore bypasses authorization and rate limiting for
+	// operator-initiated snapshot restores while keeping byte
+	// accounting consistent.
+	restore bool
+	// replace removes any existing entry for the tag before inserting.
+	replace bool
+}
+
+func (s *Store) put(owner enclave.Measurement, tag mle.Tag, sealed mle.Sealed, opts putOpts) (installed bool, err error) {
+	restore := opts.restore
+	if s.cfg.Auth != nil && !restore {
+		if aerr := s.cfg.Auth.Authorize(owner, tag, PermPut); aerr != nil {
+			s.mu.Lock()
+			s.stats.Unauthorized++
+			s.mu.Unlock()
+			return false, aerr
+		}
+	}
+	blobLen := int64(len(sealed.Blob))
+	if ok, reason := s.quota.allowPut(owner, blobLen, restore); !ok {
+		s.mu.Lock()
+		s.stats.PutDenied++
+		s.mu.Unlock()
+		return false, fmt.Errorf("%w: %s", ErrQuota, reason)
+	}
+
+	if opts.replace {
+		// Drop any existing version before inserting. Not atomic with
+		// the insert below: a concurrent Put can win the race, in
+		// which case this call reports a duplicate — acceptable, since
+		// any fresh version supersedes the bad one.
+		s.deleteTag(tag, reasonReplace)
+	}
+
+	// Duplicate-check first under the dictionary lock (inside the
+	// enclave); only store the blob outside if this is a fresh tag.
+	dupe := false
+	err = s.cfg.Enclave.ECall(func() error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.closed {
+			return ErrClosed
+		}
+		if _, ok := s.dict[tag]; ok {
+			dupe = true
+			s.stats.PutDupes++
+		}
+		return nil
+	})
+	if err != nil {
+		s.quota.creditBytes(owner, blobLen)
+		return false, err
+	}
+	if dupe {
+		s.quota.creditBytes(owner, blobLen)
+		return false, nil
+	}
+
+	blobID, err := s.cfg.Blobs.Put(sealed.Blob)
+	if err != nil {
+		s.quota.creditBytes(owner, blobLen)
+		return false, fmt.Errorf("store blob: %w", err)
+	}
+
+	e := &entry{
+		challenge:  append([]byte(nil), sealed.Challenge...),
+		wrappedKey: append([]byte(nil), sealed.WrappedKey...),
+		blobID:     blobID,
+		blobSize:   blobLen,
+		owner:      owner,
+		lastTouch:  s.cfg.Now(),
+	}
+	if err := s.cfg.Enclave.Alloc(e.enclaveBytes()); err != nil {
+		_ = s.cfg.Blobs.Delete(blobID)
+		s.quota.creditBytes(owner, blobLen)
+		return false, fmt.Errorf("metadata allocation: %w", err)
+	}
+
+	var evict []mle.Tag
+	err = s.cfg.Enclave.ECall(func() error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.closed {
+			return ErrClosed
+		}
+		if _, ok := s.dict[tag]; ok {
+			// Lost a race with a concurrent identical PUT.
+			dupe = true
+			s.stats.PutDupes++
+			return nil
+		}
+		e.lruElem = s.lru.PushFront(tag)
+		s.dict[tag] = e
+		s.blobTotal += e.blobSize
+		s.stats.Puts++
+		evict = s.overflowLocked()
+		return nil
+	})
+	if err != nil || dupe {
+		_ = s.cfg.Blobs.Delete(blobID)
+		s.cfg.Enclave.Free(e.enclaveBytes())
+		s.quota.creditBytes(owner, blobLen)
+		return false, err
+	}
+	for _, t := range evict {
+		s.deleteTag(t, reasonEvict)
+	}
+	return true, nil
+}
+
+// expiredLocked reports whether the entry is past its TTL. Caller
+// holds s.mu.
+func (s *Store) expiredLocked(e *entry) bool {
+	return s.cfg.TTL > 0 && s.cfg.Now().Sub(e.lastTouch) > s.cfg.TTL
+}
+
+// ExpireNow sweeps the dictionary, removing every entry past its TTL,
+// and reports how many were removed. A no-op without a configured TTL.
+func (s *Store) ExpireNow() int {
+	if s.cfg.TTL <= 0 {
+		return 0
+	}
+	var stale []mle.Tag
+	s.mu.Lock()
+	for tag, e := range s.dict {
+		if s.expiredLocked(e) {
+			stale = append(stale, tag)
+		}
+	}
+	s.mu.Unlock()
+	removed := 0
+	for _, tag := range stale {
+		if s.deleteTag(tag, reasonExpire) {
+			removed++
+		}
+	}
+	return removed
+}
+
+// obliviousLookupLocked scans every dictionary entry with a
+// constant-time tag comparison, doing identical work for every entry
+// regardless of where (or whether) the tag matches. Caller holds s.mu
+// inside the store enclave.
+func (s *Store) obliviousLookupLocked(tag mle.Tag) *entry {
+	var found *entry
+	for k := range s.dict {
+		k := k
+		match := subtle.ConstantTimeCompare(k[:], tag[:])
+		// Branchless-ish select: always read the entry, conditionally
+		// retain it.
+		e := s.dict[k]
+		if match == 1 {
+			found = e
+		}
+	}
+	return found
+}
+
+// overflowLocked returns the LRU tags that must be evicted to respect
+// MaxEntries and MaxBlobBytes. Caller holds s.mu.
+func (s *Store) overflowLocked() []mle.Tag {
+	var evict []mle.Tag
+	over := func() bool {
+		if s.cfg.MaxEntries > 0 && len(s.dict)-len(evict) > s.cfg.MaxEntries {
+			return true
+		}
+		return false
+	}
+	elem := s.lru.Back()
+	for over() && elem != nil {
+		tag, ok := elem.Value.(mle.Tag)
+		if !ok {
+			break
+		}
+		evict = append(evict, tag)
+		elem = elem.Prev()
+	}
+	if s.cfg.MaxBlobBytes > 0 {
+		total := s.blobTotal
+		skip := make(map[mle.Tag]bool, len(evict))
+		for _, t := range evict {
+			skip[t] = true
+			total -= s.dict[t].blobSize
+		}
+		for elem := s.lru.Back(); elem != nil && total > s.cfg.MaxBlobBytes; elem = elem.Prev() {
+			tag, ok := elem.Value.(mle.Tag)
+			if !ok || skip[tag] {
+				continue
+			}
+			evict = append(evict, tag)
+			total -= s.dict[tag].blobSize
+		}
+	}
+	return evict
+}
+
+// deleteReason distinguishes why an entry is removed, for accurate
+// statistics.
+type deleteReason int
+
+const (
+	reasonEvict deleteReason = iota + 1
+	reasonExpire
+	reasonDangling
+	reasonReplace
+)
+
+// deleteTag removes an entry, releasing its enclave memory, blob and
+// quota accounting. It reports whether the entry existed.
+func (s *Store) deleteTag(tag mle.Tag, reason deleteReason) bool {
+	s.mu.Lock()
+	e, ok := s.dict[tag]
+	if ok {
+		delete(s.dict, tag)
+		s.lru.Remove(e.lruElem)
+		s.blobTotal -= e.blobSize
+		switch reason {
+		case reasonEvict:
+			s.stats.Evictions++
+		case reasonExpire:
+			s.stats.Expired++
+		}
+	}
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	s.cfg.Enclave.Free(e.enclaveBytes())
+	_ = s.cfg.Blobs.Delete(e.blobID)
+	s.quota.creditBytes(e.owner, e.blobSize)
+	return true
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	st := s.stats
+	st.Entries = len(s.dict)
+	s.mu.Unlock()
+	st.BlobBytes = s.cfg.Blobs.Bytes()
+	return st
+}
+
+// Len reports the number of dictionary entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.dict)
+}
+
+// AppBytes reports the resident ciphertext bytes attributed to an
+// application for quota purposes.
+func (s *Store) AppBytes(owner enclave.Measurement) int64 {
+	return s.quota.bytesOf(owner)
+}
+
+// Close marks the store closed. Subsequent Get/Put return ErrClosed.
+func (s *Store) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+}
+
+// ExportEntry is a replication record: everything needed to install the
+// result at another store.
+type ExportEntry struct {
+	Tag    mle.Tag
+	Sealed mle.Sealed
+	Hits   int64
+	Owner  enclave.Measurement
+}
+
+// Export returns entries with at least minHits hits, used by the
+// master-store replication of Section IV-B ("periodically synchronizes
+// the popular (i.e., frequently appeared) results").
+func (s *Store) Export(minHits int64) ([]ExportEntry, error) {
+	s.mu.Lock()
+	type ref struct {
+		tag   mle.Tag
+		e     *entry
+		blob  BlobID
+		hits  int64
+		owner enclave.Measurement
+	}
+	refs := make([]ref, 0, len(s.dict))
+	for tag, e := range s.dict {
+		if e.hits >= minHits {
+			refs = append(refs, ref{tag: tag, e: e, blob: e.blobID, hits: e.hits, owner: e.owner})
+		}
+	}
+	s.mu.Unlock()
+
+	out := make([]ExportEntry, 0, len(refs))
+	for _, r := range refs {
+		blob, err := s.cfg.Blobs.Get(r.blob)
+		if err != nil {
+			continue // entry raced with eviction
+		}
+		out = append(out, ExportEntry{
+			Tag: r.tag,
+			Sealed: mle.Sealed{
+				Challenge:  append([]byte(nil), r.e.challenge...),
+				WrappedKey: append([]byte(nil), r.e.wrappedKey...),
+				Blob:       blob,
+			},
+			Hits:  r.hits,
+			Owner: r.owner,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,492 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"speed/internal/enclave"
+	"speed/internal/mle"
+)
+
+func testEnclave(t *testing.T) *enclave.Enclave {
+	t.Helper()
+	p := enclave.NewPlatform(enclave.Config{})
+	e, err := p.Create("store", []byte("store code"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	return e
+}
+
+func testStore(t *testing.T, cfg Config) *Store {
+	t.Helper()
+	if cfg.Enclave == nil {
+		cfg.Enclave = testEnclave(t)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+func tagOf(s string) mle.Tag {
+	return mle.Tag(sha256.Sum256([]byte(s)))
+}
+
+func ownerOf(s string) enclave.Measurement {
+	return enclave.Measurement(sha256.Sum256([]byte(s)))
+}
+
+func sealedOf(s string) mle.Sealed {
+	return mle.Sealed{
+		Challenge:  []byte("challenge-16byte"),
+		WrappedKey: []byte("wrappedkey16byte"),
+		Blob:       []byte(s),
+	}
+}
+
+func TestNewRequiresEnclave(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("New accepted a nil enclave")
+	}
+}
+
+func TestGetMissThenPutThenHit(t *testing.T) {
+	s := testStore(t, Config{})
+	tag := tagOf("t1")
+
+	_, found, err := s.Get(tag)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if found {
+		t.Fatal("Get on empty store reported found")
+	}
+
+	want := sealedOf("ciphertext blob")
+	if _, err := s.Put(ownerOf("app"), tag, want); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+
+	got, found, err := s.Get(tag)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if !found {
+		t.Fatal("Get after Put reported not found")
+	}
+	if !bytes.Equal(got.Blob, want.Blob) ||
+		!bytes.Equal(got.Challenge, want.Challenge) ||
+		!bytes.Equal(got.WrappedKey, want.WrappedKey) {
+		t.Errorf("Get = %+v, want %+v", got, want)
+	}
+
+	st := s.Stats()
+	if st.Gets != 2 || st.Hits != 1 || st.Puts != 1 || st.Entries != 1 {
+		t.Errorf("Stats = %+v, want 2 gets, 1 hit, 1 put, 1 entry", st)
+	}
+}
+
+func TestPutDuplicateKeepsFirst(t *testing.T) {
+	s := testStore(t, Config{})
+	tag := tagOf("t1")
+	first := sealedOf("first version")
+	second := sealedOf("second version")
+
+	if _, err := s.Put(ownerOf("a"), tag, first); err != nil {
+		t.Fatalf("Put first: %v", err)
+	}
+	if _, err := s.Put(ownerOf("b"), tag, second); err != nil {
+		t.Fatalf("Put duplicate: %v", err)
+	}
+	got, found, err := s.Get(tag)
+	if err != nil || !found {
+		t.Fatalf("Get: found=%v err=%v", found, err)
+	}
+	if !bytes.Equal(got.Blob, first.Blob) {
+		t.Errorf("duplicate PUT overwrote the stored version")
+	}
+	st := s.Stats()
+	if st.PutDupes != 1 || st.Entries != 1 {
+		t.Errorf("Stats = %+v, want 1 dupe and 1 entry", st)
+	}
+	// The losing application's quota must have been credited back.
+	if got := s.AppBytes(ownerOf("b")); got != 0 {
+		t.Errorf("loser AppBytes = %d, want 0", got)
+	}
+}
+
+func TestPutReplaceOverwrites(t *testing.T) {
+	s := testStore(t, Config{})
+	tag := tagOf("t")
+	if _, err := s.Put(ownerOf("a"), tag, sealedOf("bad version")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	installed, err := s.PutReplace(ownerOf("b"), tag, sealedOf("good version"))
+	if err != nil {
+		t.Fatalf("PutReplace: %v", err)
+	}
+	if !installed {
+		t.Fatal("PutReplace did not install")
+	}
+	got, found, err := s.Get(tag)
+	if err != nil || !found {
+		t.Fatalf("Get: found=%v err=%v", found, err)
+	}
+	if string(got.Blob) != "good version" {
+		t.Errorf("Get blob = %q, want replaced version", got.Blob)
+	}
+	// Accounting: one entry, old owner credited, replacement not
+	// counted as an eviction.
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+	if got := s.AppBytes(ownerOf("a")); got != 0 {
+		t.Errorf("old owner AppBytes = %d, want 0", got)
+	}
+	if got := s.Stats().Evictions; got != 0 {
+		t.Errorf("Evictions = %d, want 0 (replacement is not an eviction)", got)
+	}
+}
+
+func TestPutReplaceOnMissingTagBehavesLikePut(t *testing.T) {
+	s := testStore(t, Config{})
+	installed, err := s.PutReplace(ownerOf("a"), tagOf("fresh"), sealedOf("v"))
+	if err != nil || !installed {
+		t.Fatalf("PutReplace on missing = (%v, %v)", installed, err)
+	}
+}
+
+func TestExpiryNotCountedAsEviction(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	s := testStore(t, Config{TTL: time.Minute, Now: func() time.Time { return clock }})
+	if _, err := s.Put(ownerOf("a"), tagOf("t"), sealedOf("v")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	clock = clock.Add(2 * time.Minute)
+	if _, found, _ := s.Get(tagOf("t")); found {
+		t.Fatal("expired entry served")
+	}
+	st := s.Stats()
+	if st.Expired != 1 || st.Evictions != 0 {
+		t.Errorf("Stats = %+v, want Expired=1 Evictions=0", st)
+	}
+}
+
+func TestBlobStoredOutsideEnclave(t *testing.T) {
+	e := testEnclave(t)
+	s := testStore(t, Config{Enclave: e})
+	blob := make([]byte, 1<<20)
+	if _, err := s.Put(ownerOf("a"), tagOf("t"), mle.Sealed{
+		Challenge:  []byte("r"),
+		WrappedKey: []byte("k"),
+		Blob:       blob,
+	}); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	// The 1 MB ciphertext must not live in the enclave heap: only the
+	// small metadata entry does.
+	if used := e.HeapUsed(); used > 4096 {
+		t.Errorf("enclave heap = %d bytes after storing 1MB blob, want small metadata only", used)
+	}
+}
+
+func TestQuotaBytesRejected(t *testing.T) {
+	s := testStore(t, Config{Quota: QuotaConfig{MaxBytesPerApp: 100}})
+	owner := ownerOf("app")
+	if _, err := s.Put(owner, tagOf("a"), sealedOf(string(make([]byte, 80)))); err != nil {
+		t.Fatalf("Put within quota: %v", err)
+	}
+	_, err := s.Put(owner, tagOf("b"), sealedOf(string(make([]byte, 80))))
+	if !errors.Is(err, ErrQuota) {
+		t.Errorf("Put beyond quota = %v, want ErrQuota", err)
+	}
+	// A different application is unaffected.
+	if _, err := s.Put(ownerOf("other"), tagOf("c"), sealedOf(string(make([]byte, 80)))); err != nil {
+		t.Errorf("other app Put: %v", err)
+	}
+	if got := s.Stats().PutDenied; got != 1 {
+		t.Errorf("PutDenied = %d, want 1", got)
+	}
+}
+
+func TestQuotaRateLimit(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	s := testStore(t, Config{
+		Quota: QuotaConfig{PutRatePerSec: 1, PutBurst: 2},
+		Now:   clock,
+	})
+	owner := ownerOf("flooder")
+	put := func(i int) error {
+		_, err := s.Put(owner, tagOf(fmt.Sprintf("t%d", i)), sealedOf("x"))
+		return err
+	}
+	if err := put(0); err != nil {
+		t.Fatalf("Put 0: %v", err)
+	}
+	if err := put(1); err != nil {
+		t.Fatalf("Put 1 (burst): %v", err)
+	}
+	if err := put(2); !errors.Is(err, ErrQuota) {
+		t.Errorf("Put 2 = %v, want ErrQuota (bucket empty)", err)
+	}
+	// After one second a token refills.
+	now = now.Add(time.Second)
+	if err := put(3); err != nil {
+		t.Errorf("Put 3 after refill: %v", err)
+	}
+}
+
+func TestEvictionByMaxEntries(t *testing.T) {
+	s := testStore(t, Config{MaxEntries: 3})
+	owner := ownerOf("app")
+	for i := 0; i < 3; i++ {
+		if _, err := s.Put(owner, tagOf(fmt.Sprintf("t%d", i)), sealedOf("blob")); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	// Touch t0 so that t1 becomes the LRU victim.
+	if _, found, _ := s.Get(tagOf("t0")); !found {
+		t.Fatal("t0 missing before eviction")
+	}
+	if _, err := s.Put(owner, tagOf("t3"), sealedOf("blob")); err != nil {
+		t.Fatalf("Put t3: %v", err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if _, found, _ := s.Get(tagOf("t1")); found {
+		t.Error("LRU entry t1 survived eviction")
+	}
+	for _, k := range []string{"t0", "t2", "t3"} {
+		if _, found, _ := s.Get(tagOf(k)); !found {
+			t.Errorf("entry %s was wrongly evicted", k)
+		}
+	}
+	if got := s.Stats().Evictions; got != 1 {
+		t.Errorf("Evictions = %d, want 1", got)
+	}
+}
+
+func TestEvictionByMaxBlobBytes(t *testing.T) {
+	s := testStore(t, Config{MaxBlobBytes: 250})
+	owner := ownerOf("app")
+	for i := 0; i < 3; i++ {
+		if _, err := s.Put(owner, tagOf(fmt.Sprintf("t%d", i)), sealedOf(string(make([]byte, 100)))); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	// 300 bytes > 250: the oldest entry must have been evicted.
+	if got := s.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	if _, found, _ := s.Get(tagOf("t0")); found {
+		t.Error("oldest entry survived byte-cap eviction")
+	}
+	if got := s.cfg.Blobs.Bytes(); got > 250 {
+		t.Errorf("blob bytes = %d, want <= 250", got)
+	}
+}
+
+func TestEvictionReleasesEnclaveMemory(t *testing.T) {
+	e := testEnclave(t)
+	s := testStore(t, Config{Enclave: e, MaxEntries: 1})
+	owner := ownerOf("app")
+	if _, err := s.Put(owner, tagOf("a"), sealedOf("x")); err != nil {
+		t.Fatalf("Put a: %v", err)
+	}
+	used := e.HeapUsed()
+	if _, err := s.Put(owner, tagOf("b"), sealedOf("y")); err != nil {
+		t.Fatalf("Put b: %v", err)
+	}
+	if got := e.HeapUsed(); got != used {
+		t.Errorf("heap after eviction = %d, want %d (steady state)", got, used)
+	}
+}
+
+func TestMissingBlobTreatedAsMiss(t *testing.T) {
+	blobs := NewMemBlobStore()
+	s := testStore(t, Config{Blobs: blobs})
+	tag := tagOf("t")
+	if _, err := s.Put(ownerOf("a"), tag, sealedOf("blob")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	// Simulate untrusted storage losing the blob.
+	if err := blobs.Delete(BlobID(1)); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	_, found, err := s.Get(tag)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if found {
+		t.Error("Get reported found despite missing blob")
+	}
+	// The dangling dictionary entry must have been dropped.
+	if s.Len() != 0 {
+		t.Errorf("Len = %d, want 0 after dangling entry cleanup", s.Len())
+	}
+}
+
+func TestClose(t *testing.T) {
+	s := testStore(t, Config{})
+	s.Close()
+	if _, _, err := s.Get(tagOf("t")); !errors.Is(err, ErrClosed) {
+		t.Errorf("Get after Close = %v, want ErrClosed", err)
+	}
+	if _, err := s.Put(ownerOf("a"), tagOf("t"), sealedOf("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("Put after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	s := testStore(t, Config{})
+	var wg sync.WaitGroup
+	const workers = 8
+	const perWorker = 50
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			owner := ownerOf(fmt.Sprintf("app%d", w))
+			for i := 0; i < perWorker; i++ {
+				tag := tagOf(fmt.Sprintf("shared-%d", i))
+				if _, err := s.Put(owner, tag, sealedOf(fmt.Sprintf("blob-%d", i))); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				got, found, err := s.Get(tag)
+				if err != nil || !found {
+					t.Errorf("Get: found=%v err=%v", found, err)
+					return
+				}
+				if want := fmt.Sprintf("blob-%d", i); string(got.Blob) != want {
+					t.Errorf("Get blob = %q, want %q", got.Blob, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := s.Len(); got != perWorker {
+		t.Errorf("Len = %d, want %d (duplicates deduplicated)", got, perWorker)
+	}
+}
+
+func TestExportFiltersByHits(t *testing.T) {
+	s := testStore(t, Config{})
+	owner := ownerOf("app")
+	if _, err := s.Put(owner, tagOf("cold"), sealedOf("c")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if _, err := s.Put(owner, tagOf("hot"), sealedOf("h")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, found, _ := s.Get(tagOf("hot")); !found {
+			t.Fatal("hot entry missing")
+		}
+	}
+	entries, err := s.Export(2)
+	if err != nil {
+		t.Fatalf("Export: %v", err)
+	}
+	if len(entries) != 1 || entries[0].Tag != tagOf("hot") {
+		t.Errorf("Export = %d entries, want only the hot tag", len(entries))
+	}
+	if string(entries[0].Sealed.Blob) != "h" {
+		t.Errorf("Export blob = %q, want %q", entries[0].Sealed.Blob, "h")
+	}
+}
+
+func TestReplicatorSyncOnce(t *testing.T) {
+	master := testStore(t, Config{})
+	rep1 := testStore(t, Config{})
+	rep2 := testStore(t, Config{})
+	owner := ownerOf("app")
+
+	// rep1 holds a popular entry; rep2 holds the SAME tag (different
+	// ciphertext version, as happens when two machines compute the same
+	// result independently) plus an unpopular one.
+	if _, err := rep1.Put(owner, tagOf("pop"), sealedOf("version-1")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if _, err := rep2.Put(owner, tagOf("pop"), sealedOf("version-2")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if _, err := rep2.Put(owner, tagOf("cold"), sealedOf("x")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		rep1.Get(tagOf("pop"))
+		rep2.Get(tagOf("pop"))
+	}
+
+	r := NewReplicator(master, []*Store{rep1, rep2}, 2, time.Hour)
+	n, err := r.SyncOnce()
+	if err != nil {
+		t.Fatalf("SyncOnce: %v", err)
+	}
+	// Only the popular tag syncs, and only one version is kept at the
+	// master (no redundancy, Section IV-B Remark).
+	if n != 1 {
+		t.Errorf("SyncOnce installed %d, want 1", n)
+	}
+	if master.Len() != 1 {
+		t.Errorf("master Len = %d, want 1", master.Len())
+	}
+	got, found, err := master.Get(tagOf("pop"))
+	if err != nil || !found {
+		t.Fatalf("master Get: found=%v err=%v", found, err)
+	}
+	if string(got.Blob) != "version-1" {
+		t.Errorf("master kept %q, want first version", got.Blob)
+	}
+	if r.Synced() != 1 {
+		t.Errorf("Synced = %d, want 1", r.Synced())
+	}
+}
+
+func TestReplicatorStartStop(t *testing.T) {
+	master := testStore(t, Config{})
+	rep := testStore(t, Config{})
+	if _, err := rep.Put(ownerOf("app"), tagOf("pop"), sealedOf("v")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	rep.Get(tagOf("pop"))
+
+	r := NewReplicator(master, []*Store{rep}, 1, time.Millisecond)
+	r.Start()
+	deadline := time.After(2 * time.Second)
+	for master.Len() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("replicator never synced")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	r.Stop()
+	r.Stop() // idempotent
+}
+
+func TestReplicatorStopWithoutStart(t *testing.T) {
+	r := NewReplicator(testStore(t, Config{}), nil, 1, time.Hour)
+	done := make(chan struct{})
+	go func() {
+		r.Stop()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Stop without Start blocked")
+	}
+}

@@ -1,0 +1,119 @@
+package store
+
+import (
+	"testing"
+	"time"
+)
+
+// ttlClock is a manually advanced clock for TTL tests.
+type ttlClock struct {
+	now time.Time
+}
+
+func (c *ttlClock) Now() time.Time { return c.now }
+
+func newTTLStore(t *testing.T, ttl time.Duration) (*Store, *ttlClock) {
+	t.Helper()
+	clock := &ttlClock{now: time.Unix(1000, 0)}
+	s := testStore(t, Config{TTL: ttl, Now: clock.Now})
+	return s, clock
+}
+
+func TestTTLExpiresOnAccess(t *testing.T) {
+	s, clock := newTTLStore(t, time.Minute)
+	owner := ownerOf("app")
+	if _, err := s.Put(owner, tagOf("t"), sealedOf("v")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+
+	// Within TTL: served.
+	clock.now = clock.now.Add(30 * time.Second)
+	if _, found, err := s.Get(tagOf("t")); err != nil || !found {
+		t.Fatalf("Get within TTL = (%v, %v)", found, err)
+	}
+
+	// The hit refreshed the entry: another 45s later it is still live
+	// (75s after Put, but only 45s after the last touch).
+	clock.now = clock.now.Add(45 * time.Second)
+	if _, found, _ := s.Get(tagOf("t")); !found {
+		t.Fatal("refreshed entry expired early")
+	}
+
+	// Past TTL with no touches: reported as a miss and collected.
+	clock.now = clock.now.Add(2 * time.Minute)
+	if _, found, err := s.Get(tagOf("t")); err != nil || found {
+		t.Fatalf("Get past TTL = (%v, %v), want miss", found, err)
+	}
+	if s.Len() != 0 {
+		t.Errorf("expired entry still resident, Len = %d", s.Len())
+	}
+	if got := s.Stats().Expired; got != 1 {
+		t.Errorf("Expired = %d, want 1", got)
+	}
+	// Quota accounting returned.
+	if got := s.AppBytes(owner); got != 0 {
+		t.Errorf("AppBytes after expiry = %d, want 0", got)
+	}
+}
+
+func TestTTLExpireNowSweep(t *testing.T) {
+	s, clock := newTTLStore(t, time.Minute)
+	owner := ownerOf("app")
+	for i := 0; i < 5; i++ {
+		if _, err := s.Put(owner, tagOf(string(rune('a'+i))), sealedOf("v")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	clock.now = clock.now.Add(30 * time.Second)
+	// Refresh two entries.
+	s.Get(tagOf("a"))
+	s.Get(tagOf("b"))
+	clock.now = clock.now.Add(45 * time.Second)
+
+	if n := s.ExpireNow(); n != 3 {
+		t.Errorf("ExpireNow = %d, want 3", n)
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+	for _, k := range []string{"a", "b"} {
+		if _, found, _ := s.Get(tagOf(k)); !found {
+			t.Errorf("refreshed entry %s was swept", k)
+		}
+	}
+}
+
+func TestTTLDisabledByDefault(t *testing.T) {
+	clock := &ttlClock{now: time.Unix(0, 0)}
+	s := testStore(t, Config{Now: clock.Now})
+	if _, err := s.Put(ownerOf("app"), tagOf("t"), sealedOf("v")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	clock.now = clock.now.Add(1000 * time.Hour)
+	if _, found, _ := s.Get(tagOf("t")); !found {
+		t.Error("entry expired without a TTL configured")
+	}
+	if n := s.ExpireNow(); n != 0 {
+		t.Errorf("ExpireNow without TTL = %d, want 0", n)
+	}
+}
+
+func TestTTLObliviousModeNoRefresh(t *testing.T) {
+	clock := &ttlClock{now: time.Unix(1000, 0)}
+	s := testStore(t, Config{TTL: time.Minute, Oblivious: true, Now: clock.Now})
+	if _, err := s.Put(ownerOf("app"), tagOf("t"), sealedOf("v")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	// Touch repeatedly; oblivious mode must not refresh lastTouch
+	// (freshness updates leak the accessed entry).
+	for i := 0; i < 3; i++ {
+		clock.now = clock.now.Add(25 * time.Second)
+		if _, found, _ := s.Get(tagOf("t")); !found && i < 2 {
+			t.Fatalf("entry expired early at touch %d", i)
+		}
+	}
+	// 75s after Put: past TTL despite the touches.
+	if _, found, _ := s.Get(tagOf("t")); found {
+		t.Error("oblivious mode refreshed entry freshness")
+	}
+}

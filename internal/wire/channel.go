@@ -1,0 +1,359 @@
+package wire
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/ecdh"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"speed/internal/enclave"
+)
+
+// The secure channel between a DedupRuntime and the ResultStore. The
+// handshake performs an X25519 key exchange in which each side's
+// ephemeral public key is bound to its enclave identity by a local
+// attestation report (Section II-B: "the integrity of an application is
+// correctly verified ... by the attestation mechanism of Intel SGX").
+// Traffic keys are derived with an HMAC-SHA-256 extract-and-expand KDF
+// and every frame is protected with AES-128-GCM under a per-direction
+// counter nonce.
+
+// ErrChannelAuth is returned when a channel frame fails authentication
+// or arrives out of sequence. The error is terminal for the channel:
+// the receive counter (and possibly the key ratchet) has already
+// advanced, so subsequent frames cannot resynchronize — callers must
+// Close the channel and re-handshake.
+var ErrChannelAuth = errors.New("wire: channel authentication failed")
+
+// ErrPeerRejected is returned by handshakes when the peer's attested
+// measurement is not acceptable.
+var ErrPeerRejected = errors.New("wire: peer enclave measurement rejected")
+
+// rekeyInterval is the number of frames after which each direction's
+// traffic key is ratcheted forward (key' = KDF(key)), limiting the
+// blast radius of a key compromise to at most one interval of past
+// traffic (forward secrecy within a session).
+const rekeyInterval = 1 << 16
+
+// Channel is an established secure channel. Send and Recv are each
+// internally serialised, so one goroutine may send while another
+// receives, but the request/response pairing discipline is up to the
+// caller.
+type Channel struct {
+	conn io.ReadWriteCloser
+	peer enclave.Measurement
+
+	// rekeyEvery is rekeyInterval, overridable in tests.
+	rekeyEvery uint64
+
+	sendMu  sync.Mutex
+	send    cipher.AEAD
+	sendKey []byte
+	sendSeq uint64
+
+	recvMu  sync.Mutex
+	recv    cipher.AEAD
+	recvKey []byte
+	recvSeq uint64
+}
+
+// Peer returns the attested measurement of the remote enclave.
+func (c *Channel) Peer() enclave.Measurement { return c.peer }
+
+// Close closes the underlying transport.
+func (c *Channel) Close() error { return c.conn.Close() }
+
+// Send encrypts and writes one message frame, ratcheting the send key
+// every rekeyInterval frames.
+func (c *Channel) Send(payload []byte) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	if c.sendSeq > 0 && c.sendSeq%c.rekeyEvery == 0 {
+		if err := ratchet(&c.sendKey, &c.send); err != nil {
+			return err
+		}
+	}
+	var nonce [12]byte
+	binary.BigEndian.PutUint64(nonce[4:], c.sendSeq)
+	c.sendSeq++
+	sealed := c.send.Seal(nil, nonce[:], payload, nil)
+	return WriteFrame(c.conn, sealed)
+}
+
+// Recv reads and decrypts one message frame, mirroring the sender's
+// key ratchet.
+func (c *Channel) Recv() ([]byte, error) {
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
+	frame, err := ReadFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	if c.recvSeq > 0 && c.recvSeq%c.rekeyEvery == 0 {
+		if err := ratchet(&c.recvKey, &c.recv); err != nil {
+			return nil, err
+		}
+	}
+	var nonce [12]byte
+	binary.BigEndian.PutUint64(nonce[4:], c.recvSeq)
+	c.recvSeq++
+	payload, err := c.recv.Open(nil, nonce[:], frame, nil)
+	if err != nil {
+		return nil, ErrChannelAuth
+	}
+	return payload, nil
+}
+
+// ratchet advances a direction key: key' = KDF(key), discarding the
+// old key so previously recorded traffic cannot be decrypted with the
+// new state.
+func ratchet(key *[]byte, aead *cipher.AEAD) error {
+	next := hkdf(*key, "speed/ratchet")[:16]
+	a, err := newAEAD(next)
+	if err != nil {
+		return err
+	}
+	*key = next
+	*aead = a
+	return nil
+}
+
+// SendMessage marshals and sends a protocol message.
+func (c *Channel) SendMessage(m Message) error {
+	return c.Send(Marshal(m))
+}
+
+// RecvMessage receives and unmarshals a protocol message.
+func (c *Channel) RecvMessage() (Message, error) {
+	payload, err := c.Recv()
+	if err != nil {
+		return nil, err
+	}
+	return Unmarshal(payload)
+}
+
+// Trust is a remote-attestation trust set: the platform attestation
+// keys (PKIX DER) whose quotes are accepted. A nil *Trust restricts
+// the handshake to local (intra-platform) attestation.
+type Trust struct {
+	// PlatformKeys are trusted platform attestation public keys.
+	PlatformKeys [][]byte
+}
+
+// hello is the handshake message: a local attestation report, always,
+// plus a remote attestation quote over the same key-exchange data so
+// cross-platform peers can verify.
+type hello struct {
+	report enclave.Report
+	quote  enclave.Quote
+}
+
+func makeHello(e *enclave.Enclave, target enclave.Measurement, data []byte) (hello, error) {
+	h := hello{report: e.Report(target, data)}
+	q, err := e.Quote(data)
+	if err != nil {
+		return hello{}, err
+	}
+	h.quote = q
+	return h, nil
+}
+
+func (h hello) marshal() []byte {
+	report := h.report.Marshal()
+	quote := h.quote.Marshal()
+	buf := make([]byte, 0, 8+len(report)+len(quote))
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(report)))
+	buf = append(buf, report...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(quote)))
+	buf = append(buf, quote...)
+	return buf
+}
+
+func parseHello(b []byte) (hello, error) {
+	var h hello
+	readBytes := func() ([]byte, error) {
+		if len(b) < 4 {
+			return nil, ErrMalformed
+		}
+		n := binary.BigEndian.Uint32(b)
+		b = b[4:]
+		if uint64(n) > uint64(len(b)) {
+			return nil, ErrMalformed
+		}
+		v := b[:n:n]
+		b = b[n:]
+		return v, nil
+	}
+	reportB, err := readBytes()
+	if err != nil {
+		return h, err
+	}
+	if h.report, err = enclave.UnmarshalReport(reportB); err != nil {
+		return h, err
+	}
+	quoteB, err := readBytes()
+	if err != nil {
+		return h, err
+	}
+	if h.quote, err = enclave.UnmarshalQuote(quoteB); err != nil {
+		return h, err
+	}
+	if len(b) != 0 {
+		return h, ErrMalformed
+	}
+	return h, nil
+}
+
+// verifyHello authenticates a peer hello: local attestation first
+// (same platform), falling back to a remote attestation quote when a
+// trust set is configured. It returns the attested measurement and the
+// peer's key-exchange data.
+func verifyHello(e *enclave.Enclave, h hello, trust *Trust) (enclave.Measurement, [64]byte, error) {
+	if err := e.VerifyReport(h.report); err == nil {
+		return h.report.Measurement, h.report.Data, nil
+	}
+	if trust != nil {
+		if err := enclave.VerifyQuote(h.quote, trust.PlatformKeys); err == nil {
+			return h.quote.Measurement, h.quote.Data, nil
+		}
+	}
+	return enclave.Measurement{}, [64]byte{}, fmt.Errorf("wire: peer attestation: %w", enclave.ErrAttestation)
+}
+
+// ClientHandshake establishes a channel from the enclave e to a peer
+// on the same platform whose measurement must equal peerMeasurement.
+// The conn must already connect the two endpoints (TCP or loopback).
+func ClientHandshake(conn io.ReadWriteCloser, e *enclave.Enclave, peerMeasurement enclave.Measurement) (*Channel, error) {
+	return ClientHandshakeTrust(conn, e, peerMeasurement, nil)
+}
+
+// ClientHandshakeTrust is ClientHandshake that additionally accepts a
+// remote server on a platform in the trust set (remote attestation).
+func ClientHandshakeTrust(conn io.ReadWriteCloser, e *enclave.Enclave, peerMeasurement enclave.Measurement, trust *Trust) (*Channel, error) {
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("wire: keygen: %w", err)
+	}
+	clientHello, err := makeHello(e, peerMeasurement, priv.PublicKey().Bytes())
+	if err != nil {
+		return nil, err
+	}
+	if err := WriteFrame(conn, clientHello.marshal()); err != nil {
+		return nil, fmt.Errorf("wire: send client hello: %w", err)
+	}
+
+	frame, err := ReadFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("wire: read server hello: %w", err)
+	}
+	serverHello, err := parseHello(frame)
+	if err != nil {
+		return nil, fmt.Errorf("wire: parse server hello: %w", err)
+	}
+	peerMeas, peerData, err := verifyHello(e, serverHello, trust)
+	if err != nil {
+		return nil, err
+	}
+	if peerMeas != peerMeasurement {
+		return nil, ErrPeerRejected
+	}
+	return deriveChannel(conn, priv, peerMeas, peerData, true)
+}
+
+// ServerHandshake accepts a channel at the enclave e from a client on
+// the same platform. accept decides whether a client measurement is
+// allowed; nil accepts any client that passes attestation.
+func ServerHandshake(conn io.ReadWriteCloser, e *enclave.Enclave, accept func(enclave.Measurement) bool) (*Channel, error) {
+	return ServerHandshakeTrust(conn, e, accept, nil)
+}
+
+// ServerHandshakeTrust is ServerHandshake that additionally accepts
+// remote clients on platforms in the trust set (remote attestation).
+func ServerHandshakeTrust(conn io.ReadWriteCloser, e *enclave.Enclave, accept func(enclave.Measurement) bool, trust *Trust) (*Channel, error) {
+	frame, err := ReadFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("wire: read client hello: %w", err)
+	}
+	clientHello, err := parseHello(frame)
+	if err != nil {
+		return nil, fmt.Errorf("wire: parse client hello: %w", err)
+	}
+	clientMeas, clientData, err := verifyHello(e, clientHello, trust)
+	if err != nil {
+		return nil, err
+	}
+	if accept != nil && !accept(clientMeas) {
+		return nil, ErrPeerRejected
+	}
+
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("wire: keygen: %w", err)
+	}
+	serverHello, err := makeHello(e, clientMeas, priv.PublicKey().Bytes())
+	if err != nil {
+		return nil, err
+	}
+	if err := WriteFrame(conn, serverHello.marshal()); err != nil {
+		return nil, fmt.Errorf("wire: send server hello: %w", err)
+	}
+	return deriveChannel(conn, priv, clientMeas, clientData, false)
+}
+
+func deriveChannel(conn io.ReadWriteCloser, priv *ecdh.PrivateKey, peerMeas enclave.Measurement, peerData [64]byte, isClient bool) (*Channel, error) {
+	peerPub, err := ecdh.X25519().NewPublicKey(peerData[:32])
+	if err != nil {
+		return nil, fmt.Errorf("wire: peer public key: %w", err)
+	}
+	shared, err := priv.ECDH(peerPub)
+	if err != nil {
+		return nil, fmt.Errorf("wire: ecdh: %w", err)
+	}
+	c2sKey := hkdf(shared, "speed/c2s")[:16]
+	s2cKey := hkdf(shared, "speed/s2c")[:16]
+	c2s, err := newAEAD(c2sKey)
+	if err != nil {
+		return nil, err
+	}
+	s2c, err := newAEAD(s2cKey)
+	if err != nil {
+		return nil, err
+	}
+	ch := &Channel{conn: conn, peer: peerMeas, rekeyEvery: rekeyInterval}
+	if isClient {
+		ch.send, ch.recv = c2s, s2c
+		ch.sendKey, ch.recvKey = c2sKey, s2cKey
+	} else {
+		ch.send, ch.recv = s2c, c2s
+		ch.sendKey, ch.recvKey = s2cKey, c2sKey
+	}
+	return ch, nil
+}
+
+// hkdf is a minimal HMAC-SHA-256 extract-and-expand for one 32-byte
+// output block (RFC 5869 with a zero salt and single-block expand).
+func hkdf(secret []byte, info string) []byte {
+	extract := hmac.New(sha256.New, make([]byte, 32))
+	extract.Write(secret)
+	prk := extract.Sum(nil)
+
+	expand := hmac.New(sha256.New, prk)
+	expand.Write([]byte(info))
+	expand.Write([]byte{1})
+	return expand.Sum(nil)
+}
+
+func newAEAD(key []byte) (cipher.AEAD, error) {
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("wire: cipher: %w", err)
+	}
+	return cipher.NewGCM(block)
+}

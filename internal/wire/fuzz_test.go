@@ -1,0 +1,43 @@
+package wire
+
+import (
+	"testing"
+
+	"speed/internal/mle"
+)
+
+// FuzzUnmarshal: arbitrary bytes must never panic the message decoder,
+// and decodable messages must re-marshal to an equivalent message.
+func FuzzUnmarshal(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Marshal(GetRequest{Tag: mle.Tag{1, 2, 3}}))
+	f.Add(Marshal(GetResponse{Found: true, Sealed: mle.Sealed{
+		Challenge:  []byte("rrrr"),
+		WrappedKey: []byte("kkkk"),
+		Blob:       []byte("blob"),
+	}}))
+	f.Add(Marshal(PutRequest{Tag: mle.Tag{9}, Replace: true, Sealed: mle.Sealed{Blob: []byte("b")}}))
+	f.Add(Marshal(PutResponse{OK: false, Err: "quota"}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		again, err := Unmarshal(Marshal(msg))
+		if err != nil {
+			t.Fatalf("re-unmarshal of valid message failed: %v", err)
+		}
+		if again.Kind() != msg.Kind() {
+			t.Fatalf("kind changed across round trip: %v -> %v", msg.Kind(), again.Kind())
+		}
+	})
+}
+
+// FuzzParseHello: arbitrary handshake frames must never panic.
+func FuzzParseHello(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 4, 1, 2, 3, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = parseHello(data)
+	})
+}

@@ -1,0 +1,265 @@
+// Package wire defines SPEED's on-the-wire protocol between the
+// DedupRuntime linked into application enclaves and the encrypted
+// ResultStore: the GET/PUT request and response messages of Section
+// IV-B, a length-prefixed binary framing, and a mutually attested
+// secure channel (Section III-B sends tags "via a secure channel").
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"speed/internal/mle"
+)
+
+// Kind discriminates message types on the wire.
+type Kind uint8
+
+// Message kinds. GET checks for and fetches a stored result by tag;
+// PUT uploads a freshly computed, encrypted result.
+const (
+	KindGetRequest Kind = iota + 1
+	KindGetResponse
+	KindPutRequest
+	KindPutResponse
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KindGetRequest:
+		return "GET_REQUEST"
+	case KindGetResponse:
+		return "GET_RESPONSE"
+	case KindPutRequest:
+		return "PUT_REQUEST"
+	case KindPutResponse:
+		return "PUT_RESPONSE"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// ErrMalformed is returned when a payload cannot be decoded.
+var ErrMalformed = errors.New("wire: malformed message")
+
+// Message is implemented by all protocol messages.
+type Message interface {
+	// Kind returns the message's wire discriminator.
+	Kind() Kind
+	// appendTo serialises the message body (without the kind byte).
+	appendTo(buf []byte) []byte
+}
+
+// GetRequest asks whether the computation with the given tag has been
+// done before (Algorithm 1 line 2 / Algorithm 2 line 2).
+type GetRequest struct {
+	Tag mle.Tag
+}
+
+// GetResponse answers a GetRequest. When Found is true it carries the
+// (r, [k], [res]) triple of Algorithm 2 line 3.
+type GetResponse struct {
+	Found  bool
+	Sealed mle.Sealed
+}
+
+// PutRequest uploads (t, r, [k], [res]) for storage (Algorithm 1
+// line 10). Replace requests that any existing entry for the tag be
+// overwritten, used after a stored entry failed the verification
+// protocol at the application.
+type PutRequest struct {
+	Tag     mle.Tag
+	Sealed  mle.Sealed
+	Replace bool
+}
+
+// PutResponse acknowledges a PutRequest. Err is a human-readable reason
+// when OK is false (e.g. quota exceeded).
+type PutResponse struct {
+	OK  bool
+	Err string
+}
+
+// Kind implements Message.
+func (GetRequest) Kind() Kind { return KindGetRequest }
+
+// Kind implements Message.
+func (GetResponse) Kind() Kind { return KindGetResponse }
+
+// Kind implements Message.
+func (PutRequest) Kind() Kind { return KindPutRequest }
+
+// Kind implements Message.
+func (PutResponse) Kind() Kind { return KindPutResponse }
+
+// Marshal serialises a message, prefixing its kind byte.
+func Marshal(m Message) []byte {
+	buf := make([]byte, 1, 64)
+	buf[0] = byte(m.Kind())
+	return m.appendTo(buf)
+}
+
+// Unmarshal parses a message produced by Marshal.
+func Unmarshal(b []byte) (Message, error) {
+	if len(b) == 0 {
+		return nil, ErrMalformed
+	}
+	kind, body := Kind(b[0]), b[1:]
+	switch kind {
+	case KindGetRequest:
+		return decodeGetRequest(body)
+	case KindGetResponse:
+		return decodeGetResponse(body)
+	case KindPutRequest:
+		return decodePutRequest(body)
+	case KindPutResponse:
+		return decodePutResponse(body)
+	default:
+		return nil, fmt.Errorf("%w: unknown kind %d", ErrMalformed, kind)
+	}
+}
+
+func (m GetRequest) appendTo(buf []byte) []byte {
+	return append(buf, m.Tag[:]...)
+}
+
+func decodeGetRequest(b []byte) (GetRequest, error) {
+	var m GetRequest
+	if len(b) != mle.TagSize {
+		return m, fmt.Errorf("%w: GET_REQUEST length %d", ErrMalformed, len(b))
+	}
+	copy(m.Tag[:], b)
+	return m, nil
+}
+
+func (m GetResponse) appendTo(buf []byte) []byte {
+	buf = appendBool(buf, m.Found)
+	return appendSealed(buf, m.Sealed)
+}
+
+func decodeGetResponse(b []byte) (GetResponse, error) {
+	var m GetResponse
+	var err error
+	if m.Found, b, err = readBool(b); err != nil {
+		return m, err
+	}
+	if m.Sealed, b, err = readSealed(b); err != nil {
+		return m, err
+	}
+	if len(b) != 0 {
+		return m, fmt.Errorf("%w: trailing bytes in GET_RESPONSE", ErrMalformed)
+	}
+	return m, nil
+}
+
+func (m PutRequest) appendTo(buf []byte) []byte {
+	buf = append(buf, m.Tag[:]...)
+	buf = appendBool(buf, m.Replace)
+	return appendSealed(buf, m.Sealed)
+}
+
+func decodePutRequest(b []byte) (PutRequest, error) {
+	var m PutRequest
+	if len(b) < mle.TagSize {
+		return m, fmt.Errorf("%w: short PUT_REQUEST", ErrMalformed)
+	}
+	copy(m.Tag[:], b[:mle.TagSize])
+	b = b[mle.TagSize:]
+	var err error
+	if m.Replace, b, err = readBool(b); err != nil {
+		return m, err
+	}
+	if m.Sealed, b, err = readSealed(b); err != nil {
+		return m, err
+	}
+	if len(b) != 0 {
+		return m, fmt.Errorf("%w: trailing bytes in PUT_REQUEST", ErrMalformed)
+	}
+	return m, nil
+}
+
+func (m PutResponse) appendTo(buf []byte) []byte {
+	buf = appendBool(buf, m.OK)
+	return appendBytes(buf, []byte(m.Err))
+}
+
+func decodePutResponse(b []byte) (PutResponse, error) {
+	var m PutResponse
+	var err error
+	if m.OK, b, err = readBool(b); err != nil {
+		return m, err
+	}
+	var msg []byte
+	if msg, b, err = readBytes(b); err != nil {
+		return m, err
+	}
+	if len(b) != 0 {
+		return m, fmt.Errorf("%w: trailing bytes in PUT_RESPONSE", ErrMalformed)
+	}
+	m.Err = string(msg)
+	return m, nil
+}
+
+func appendSealed(buf []byte, s mle.Sealed) []byte {
+	buf = appendBytes(buf, s.Challenge)
+	buf = appendBytes(buf, s.WrappedKey)
+	return appendBytes(buf, s.Blob)
+}
+
+func readSealed(b []byte) (mle.Sealed, []byte, error) {
+	var s mle.Sealed
+	var err error
+	if s.Challenge, b, err = readBytes(b); err != nil {
+		return s, nil, err
+	}
+	if s.WrappedKey, b, err = readBytes(b); err != nil {
+		return s, nil, err
+	}
+	if s.Blob, b, err = readBytes(b); err != nil {
+		return s, nil, err
+	}
+	return s, b, nil
+}
+
+func appendBool(buf []byte, v bool) []byte {
+	if v {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+func readBool(b []byte) (bool, []byte, error) {
+	if len(b) < 1 {
+		return false, nil, fmt.Errorf("%w: missing bool", ErrMalformed)
+	}
+	switch b[0] {
+	case 0:
+		return false, b[1:], nil
+	case 1:
+		return true, b[1:], nil
+	default:
+		return false, nil, fmt.Errorf("%w: bad bool %d", ErrMalformed, b[0])
+	}
+}
+
+func appendBytes(buf, v []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(v)))
+	return append(buf, v...)
+}
+
+func readBytes(b []byte) (v, rest []byte, err error) {
+	if len(b) < 4 {
+		return nil, nil, fmt.Errorf("%w: missing length", ErrMalformed)
+	}
+	n := binary.BigEndian.Uint32(b)
+	b = b[4:]
+	if uint64(n) > uint64(len(b)) {
+		return nil, nil, fmt.Errorf("%w: length %d exceeds payload", ErrMalformed, n)
+	}
+	if n == 0 {
+		return nil, b, nil
+	}
+	return b[:n:n], b[n:], nil
+}

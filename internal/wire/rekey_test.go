@@ -1,0 +1,144 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"testing"
+
+	"speed/internal/enclave"
+)
+
+// rekeyPair builds a channel pair with a small rekey interval for
+// testing the ratchet.
+func rekeyPair(t *testing.T, every uint64) (*Channel, *Channel) {
+	t.Helper()
+	p := enclave.NewPlatform(enclave.Config{})
+	app, _ := p.Create("app", []byte("app code"))
+	st, _ := p.Create("store", []byte("store code"))
+	client, server := handshakePair(t, p, app, st, nil)
+	client.rekeyEvery = every
+	server.rekeyEvery = every
+	return client, server
+}
+
+func TestChannelRekeyTransparent(t *testing.T) {
+	client, server := rekeyPair(t, 8)
+	defer client.Close()
+
+	// Send well past several rekey boundaries in both directions.
+	const n = 50
+	errCh := make(chan error, 1)
+	go func() {
+		for i := 0; i < n; i++ {
+			msg, err := server.Recv()
+			if err != nil {
+				errCh <- fmt.Errorf("server recv %d: %w", i, err)
+				return
+			}
+			if want := fmt.Sprintf("c2s-%d", i); string(msg) != want {
+				errCh <- fmt.Errorf("server got %q, want %q", msg, want)
+				return
+			}
+			if err := server.Send([]byte(fmt.Sprintf("s2c-%d", i))); err != nil {
+				errCh <- fmt.Errorf("server send %d: %w", i, err)
+				return
+			}
+		}
+		errCh <- nil
+	}()
+	for i := 0; i < n; i++ {
+		if err := client.Send([]byte(fmt.Sprintf("c2s-%d", i))); err != nil {
+			t.Fatalf("client send %d: %v", i, err)
+		}
+		msg, err := client.Recv()
+		if err != nil {
+			t.Fatalf("client recv %d: %v", i, err)
+		}
+		if want := fmt.Sprintf("s2c-%d", i); string(msg) != want {
+			t.Fatalf("client got %q, want %q", msg, want)
+		}
+	}
+	if err := <-errCh; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChannelRekeyChangesKeys(t *testing.T) {
+	client, server := rekeyPair(t, 4)
+	defer client.Close()
+
+	initial := append([]byte(nil), client.sendKey...)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 5; i++ {
+			_, _ = server.Recv()
+		}
+	}()
+	for i := 0; i < 5; i++ {
+		if err := client.Send([]byte("x")); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	<-done
+	if bytes.Equal(client.sendKey, initial) {
+		t.Error("send key did not ratchet after interval")
+	}
+	// Both endpoints hold identical direction keys after the ratchet.
+	if !bytes.Equal(client.sendKey, server.recvKey) {
+		t.Error("client send key and server recv key diverged")
+	}
+}
+
+func TestChannelRekeyMismatchFails(t *testing.T) {
+	// If one side skips the ratchet (e.g. tampered implementation),
+	// frames after the boundary fail authentication rather than
+	// decrypting wrongly.
+	p := enclave.NewPlatform(enclave.Config{})
+	app, _ := p.Create("app", []byte("app code"))
+	st, _ := p.Create("store", []byte("store code"))
+
+	cConn, sConn := net.Pipe()
+	type res struct {
+		ch  *Channel
+		err error
+	}
+	serverDone := make(chan res, 1)
+	go func() {
+		ch, err := ServerHandshake(sConn, st, nil)
+		serverDone <- res{ch, err}
+	}()
+	client, err := ClientHandshake(cConn, app, st.Measurement())
+	if err != nil {
+		t.Fatalf("client handshake: %v", err)
+	}
+	defer client.Close()
+	sr := <-serverDone
+	if sr.err != nil {
+		t.Fatalf("server handshake: %v", sr.err)
+	}
+	server := sr.ch
+
+	client.rekeyEvery = 2       // client ratchets after 2 frames
+	server.rekeyEvery = 1 << 62 // server never does
+
+	errCh := make(chan error, 1)
+	go func() {
+		for i := 0; i < 3; i++ {
+			if _, err := server.Recv(); err != nil {
+				errCh <- err
+				return
+			}
+		}
+		errCh <- nil
+	}()
+	for i := 0; i < 3; i++ {
+		if err := client.Send([]byte("x")); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if err := <-errCh; err == nil {
+		t.Error("server accepted frames across a unilateral rekey")
+	}
+}

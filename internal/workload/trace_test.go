@@ -1,0 +1,112 @@
+package workload
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	src := New(1)
+	pkts := make([][]byte, 20)
+	for i := range pkts {
+		pkts[i] = src.Packet(100+i*13, nil, 0)
+	}
+
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	for _, p := range pkts {
+		if err := tw.WritePacket(p); err != nil {
+			t.Fatalf("WritePacket: %v", err)
+		}
+	}
+	if tw.Count() != len(pkts) {
+		t.Errorf("Count = %d, want %d", tw.Count(), len(pkts))
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	got, err := ReadAllPackets(&buf)
+	if err != nil {
+		t.Fatalf("ReadAllPackets: %v", err)
+	}
+	if len(got) != len(pkts) {
+		t.Fatalf("read %d packets, want %d", len(got), len(pkts))
+	}
+	for i := range pkts {
+		if !bytes.Equal(got[i], pkts[i]) {
+			t.Fatalf("packet %d differs", i)
+		}
+	}
+}
+
+func TestTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	if err := tw.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	got, err := ReadAllPackets(&buf)
+	if err != nil {
+		t.Fatalf("ReadAllPackets: %v", err)
+	}
+	if len(got) != 0 {
+		t.Errorf("read %d packets from empty trace", len(got))
+	}
+}
+
+func TestTraceIterator(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	if err := tw.WritePacket([]byte("one")); err != nil {
+		t.Fatalf("WritePacket: %v", err)
+	}
+	if err := tw.WritePacket(nil); err != nil { // zero-length packet
+		t.Fatalf("WritePacket: %v", err)
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	tr := NewTraceReader(&buf)
+	p1, err := tr.Next()
+	if err != nil || string(p1) != "one" {
+		t.Fatalf("Next 1 = (%q, %v)", p1, err)
+	}
+	p2, err := tr.Next()
+	if err != nil || len(p2) != 0 {
+		t.Fatalf("Next 2 = (%q, %v)", p2, err)
+	}
+	if _, err := tr.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("Next 3 = %v, want EOF", err)
+	}
+}
+
+func TestTraceRejectsMalformed(t *testing.T) {
+	var good bytes.Buffer
+	tw := NewTraceWriter(&good)
+	_ = tw.WritePacket([]byte("payload"))
+	_ = tw.Flush()
+	raw := good.Bytes()
+
+	cases := map[string][]byte{
+		"empty":           nil,
+		"bad magic":       append([]byte("XXXX"), raw[4:]...),
+		"truncated len":   raw[:5],
+		"truncated body":  raw[:len(raw)-2],
+		"oversized claim": {'S', 'P', 'T', '1', 0xFF, 0xFF, 0xFF, 0xFF},
+	}
+	for name, data := range cases {
+		if _, err := ReadAllPackets(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: accepted malformed trace", name)
+		}
+	}
+}
+
+func TestTraceRejectsOversizedWrite(t *testing.T) {
+	tw := NewTraceWriter(&bytes.Buffer{})
+	if err := tw.WritePacket(make([]byte, maxTracePacket+1)); err == nil {
+		t.Error("WritePacket accepted oversized packet")
+	}
+}

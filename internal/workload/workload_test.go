@@ -1,0 +1,180 @@
+package workload
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"speed/internal/compress"
+	"speed/internal/mapreduce"
+	"speed/internal/pattern"
+	"speed/internal/sift"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(7), New(7)
+	if !reflect.DeepEqual(a.Image(32, 32), b.Image(32, 32)) {
+		t.Error("Image not deterministic")
+	}
+	if !bytes.Equal(a.Text(500), b.Text(500)) {
+		t.Error("Text not deterministic")
+	}
+	if a.WebPage(50) != b.WebPage(50) {
+		t.Error("WebPage not deterministic")
+	}
+	ra, rb := a.SnortRules(10), b.SnortRules(10)
+	if !reflect.DeepEqual(ra, rb) {
+		t.Error("SnortRules not deterministic")
+	}
+	if !bytes.Equal(a.Packet(100, ra, 0.5), b.Packet(100, rb, 0.5)) {
+		t.Error("Packet not deterministic")
+	}
+	if !reflect.DeepEqual(a.ZipfIndices(100, 10), b.ZipfIndices(100, 10)) {
+		t.Error("ZipfIndices not deterministic")
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	if bytes.Equal(New(1).Text(200), New(2).Text(200)) {
+		t.Error("different seeds produced identical text")
+	}
+}
+
+func TestImageProperties(t *testing.T) {
+	img := New(3).Image(64, 48)
+	if img.W != 64 || img.H != 48 {
+		t.Fatalf("Image size = %dx%d", img.W, img.H)
+	}
+	var lo, hi float32 = 2, -1
+	for _, p := range img.Pix {
+		if p < lo {
+			lo = p
+		}
+		if p > hi {
+			hi = p
+		}
+	}
+	if lo < 0 || hi > 1 {
+		t.Errorf("pixel range [%v, %v] outside [0,1]", lo, hi)
+	}
+	if hi-lo < 0.1 {
+		t.Error("image nearly flat; SIFT would find nothing")
+	}
+	// SIFT must actually find keypoints on generated images.
+	if kps := sift.Detect(img, sift.DefaultParams()); len(kps) == 0 {
+		t.Error("generated image yields no SIFT keypoints")
+	}
+}
+
+func TestTextProperties(t *testing.T) {
+	txt := New(4).Text(10_000)
+	if len(txt) != 10_000 {
+		t.Fatalf("Text length = %d", len(txt))
+	}
+	// Natural-language-like text must be clearly compressible.
+	if r := compress.Ratio(txt); r < 1.5 {
+		t.Errorf("text compression ratio = %v, want >= 1.5", r)
+	}
+}
+
+func TestWebPageTokenizes(t *testing.T) {
+	page := New(5).WebPage(200)
+	words := mapreduce.Tokenize(page)
+	if len(words) != 200 {
+		t.Errorf("WebPage(200) tokenizes to %d words", len(words))
+	}
+}
+
+func TestSnortRulesCompile(t *testing.T) {
+	rules := New(6).SnortRules(500)
+	rs, err := pattern.CompileRules(rules)
+	if err != nil {
+		t.Fatalf("CompileRules: %v", err)
+	}
+	if rs.Len() != 500 {
+		t.Errorf("Len = %d, want 500", rs.Len())
+	}
+}
+
+func TestPacketHitRate(t *testing.T) {
+	src := New(8)
+	rules := src.SnortRules(100)
+	rs, err := pattern.CompileRules(rules)
+	if err != nil {
+		t.Fatalf("CompileRules: %v", err)
+	}
+	const n = 200
+	hits := 0
+	for i := 0; i < n; i++ {
+		pkt := src.Packet(512, rules, 0.5)
+		if len(rs.Scan(pkt)) > 0 {
+			hits++
+		}
+	}
+	// Expect roughly half the packets to trigger at least one rule.
+	if hits < n/5 || hits > n*9/10 {
+		t.Errorf("hit rate %d/%d far from configured 0.5", hits, n)
+	}
+
+	// With zero probability, planted hits are absent (random content
+	// may still collide with a synthetic rule, but it must be rare).
+	misses := 0
+	for i := 0; i < n; i++ {
+		pkt := src.Packet(512, rules, 0)
+		if len(rs.Scan(pkt)) == 0 {
+			misses++
+		}
+	}
+	if misses < n*9/10 {
+		t.Errorf("unplanted packets matched too often: %d/%d clean", misses, n)
+	}
+}
+
+func TestZipfIndicesProduceDuplicates(t *testing.T) {
+	idx := New(9).ZipfIndices(1000, 50)
+	if len(idx) != 1000 {
+		t.Fatalf("len = %d", len(idx))
+	}
+	seen := make(map[int]int)
+	for _, i := range idx {
+		if i < 0 || i >= 50 {
+			t.Fatalf("index %d out of pool range", i)
+		}
+		seen[i]++
+	}
+	// 1000 draws over 50 items: must contain many repeats, and the
+	// Zipf skew must make the most popular item much hotter than the
+	// median.
+	if len(seen) > 50 {
+		t.Fatalf("more distinct values than pool")
+	}
+	max := 0
+	for _, c := range seen {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 100 {
+		t.Errorf("hottest item drawn %d times, want heavy skew", max)
+	}
+}
+
+func TestDupStream(t *testing.T) {
+	src := New(10)
+	stream := DupStream(src, 100, 5, func(i int) string {
+		return string(rune('a' + i))
+	})
+	if len(stream) != 100 {
+		t.Fatalf("len = %d", len(stream))
+	}
+	distinct := make(map[string]bool)
+	for _, s := range stream {
+		distinct[s] = true
+	}
+	if len(distinct) > 5 {
+		t.Errorf("stream has %d distinct values, want <= 5", len(distinct))
+	}
+	if len(distinct) < 2 {
+		t.Errorf("stream degenerate: %d distinct values", len(distinct))
+	}
+}

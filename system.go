@@ -1,0 +1,274 @@
+package speed
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"speed/internal/dedup"
+	"speed/internal/enclave"
+	"speed/internal/store"
+	"speed/internal/wire"
+)
+
+// Measurement identifies an enclave's code, analogous to SGX's
+// MRENCLAVE.
+type Measurement = enclave.Measurement
+
+// FuncDesc describes a marked function: library family, version and
+// signature, e.g. ("zlib", "1.2.11", "int deflate(...)").
+type FuncDesc = dedup.FuncDesc
+
+// Outcome reports how a deduplicable call was satisfied.
+type Outcome = dedup.Outcome
+
+// Re-exported outcomes.
+const (
+	// OutcomeComputed: freshly computed and uploaded (initial
+	// computation, Algorithm 1).
+	OutcomeComputed = dedup.OutcomeComputed
+	// OutcomeReused: a stored result was verified and reused
+	// (subsequent computation, Algorithm 2).
+	OutcomeReused = dedup.OutcomeReused
+	// OutcomeRecomputed: a stored entry failed verification and the
+	// result was recomputed.
+	OutcomeRecomputed = dedup.OutcomeRecomputed
+	// OutcomeCoalesced: an identical in-flight computation in this
+	// process was shared.
+	OutcomeCoalesced = dedup.OutcomeCoalesced
+)
+
+// SystemConfig tunes the simulated platform and the ResultStore. The
+// zero value gives the paper's defaults: 128 MB EPC (90 MB usable),
+// SGX transition costs enabled, in-memory blob storage, no quotas.
+type SystemConfig struct {
+	// DisableSGXCosts turns off the simulated ECALL/OCALL and paging
+	// costs — the "without SGX" mode of Fig. 6.
+	DisableSGXCosts bool
+	// TransitionCost overrides the simulated one-way enclave boundary
+	// crossing cost (default 4µs).
+	TransitionCost time.Duration
+	// EPCBytes and EPCUsableBytes override the protected memory
+	// geometry.
+	EPCBytes       int64
+	EPCUsableBytes int64
+	// StoreMaxEntries and StoreMaxBlobBytes bound the ResultStore with
+	// LRU eviction; 0 means unlimited.
+	StoreMaxEntries   int
+	StoreMaxBlobBytes int64
+	// StoreTTL expires entries not stored or hit within the duration;
+	// 0 disables expiry.
+	StoreTTL time.Duration
+	// QuotaMaxBytesPerApp, QuotaPutRatePerSec and QuotaPutBurst enable
+	// the per-application quota mechanism (DoS mitigation).
+	QuotaMaxBytesPerApp int64
+	QuotaPutRatePerSec  float64
+	QuotaPutBurst       float64
+	// BlobDir stores ciphertext blobs on disk under this directory
+	// instead of in memory.
+	BlobDir string
+	// DenyByDefault enables controlled deduplication: applications
+	// must be explicitly authorized with System.Authorize before the
+	// store serves them. Without it any attested application is
+	// served.
+	DenyByDefault bool
+	// ObliviousLookups makes store lookups memory-access-pattern
+	// oblivious (every GET scans the whole dictionary with
+	// constant-time comparison), trading throughput for side-channel
+	// resistance.
+	ObliviousLookups bool
+	// PlatformSeed makes the simulated machine's key hierarchy
+	// deterministic, like the fused keys of real SGX hardware: sealed
+	// snapshots survive process restarts when the same seed is used.
+	PlatformSeed []byte
+	// TrustedPlatforms lists platform attestation keys (from
+	// System.AttestationKey on other machines) whose applications may
+	// connect to this deployment's served store via remote
+	// attestation. Without it, only same-platform applications can
+	// connect.
+	TrustedPlatforms [][]byte
+}
+
+// System is one SPEED deployment on a simulated SGX machine: the
+// platform, the ResultStore enclave and the store itself.
+type System struct {
+	platform *enclave.Platform
+	storeEnc *enclave.Enclave
+	store    *store.Store
+	acl      *store.ACL // non-nil when DenyByDefault
+	trusted  [][]byte   // remote platforms the served store accepts
+}
+
+// NewSystem creates a deployment with the zero-value SystemConfig.
+func NewSystem() (*System, error) {
+	return NewSystemWithConfig(SystemConfig{})
+}
+
+// NewSystemWithConfig creates a deployment with explicit configuration.
+func NewSystemWithConfig(cfg SystemConfig) (*System, error) {
+	platform := enclave.NewPlatform(enclave.Config{
+		EPCBytes:       cfg.EPCBytes,
+		EPCUsableBytes: cfg.EPCUsableBytes,
+		TransitionCost: cfg.TransitionCost,
+		SimulateCosts:  !cfg.DisableSGXCosts,
+		PlatformSeed:   cfg.PlatformSeed,
+	})
+	storeEnc, err := platform.Create("speed-resultstore", []byte("speed resultstore enclave v1"))
+	if err != nil {
+		return nil, fmt.Errorf("speed: create store enclave: %w", err)
+	}
+	var blobs store.BlobStore
+	if cfg.BlobDir != "" {
+		blobs, err = store.NewDiskBlobStore(cfg.BlobDir)
+		if err != nil {
+			return nil, fmt.Errorf("speed: blob dir: %w", err)
+		}
+	}
+	var acl *store.ACL
+	var auth store.Authorizer
+	if cfg.DenyByDefault {
+		acl = store.NewACL(0)
+		auth = acl
+	}
+	st, err := store.New(store.Config{
+		Enclave:      storeEnc,
+		Blobs:        blobs,
+		MaxEntries:   cfg.StoreMaxEntries,
+		MaxBlobBytes: cfg.StoreMaxBlobBytes,
+		TTL:          cfg.StoreTTL,
+		Auth:         auth,
+		Oblivious:    cfg.ObliviousLookups,
+		Quota: store.QuotaConfig{
+			MaxBytesPerApp: cfg.QuotaMaxBytesPerApp,
+			PutRatePerSec:  cfg.QuotaPutRatePerSec,
+			PutBurst:       cfg.QuotaPutBurst,
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("speed: create store: %w", err)
+	}
+	return &System{platform: platform, storeEnc: storeEnc, store: st, acl: acl,
+		trusted: cfg.TrustedPlatforms}, nil
+}
+
+// AttestationKey returns this machine's platform attestation public
+// key, to be registered in other deployments' TrustedPlatforms (the
+// analogue of attestation-service provisioning).
+func (s *System) AttestationKey() []byte {
+	return s.platform.AttestationPublicKey()
+}
+
+// Authorize grants an application access to the store under
+// controlled deduplication (DenyByDefault). get and put select the
+// permitted operations. A no-op unless DenyByDefault was set.
+func (s *System) Authorize(app Measurement, get, put bool) {
+	if s.acl == nil {
+		return
+	}
+	var perm store.Permission
+	if get {
+		perm |= store.PermGet
+	}
+	if put {
+		perm |= store.PermPut
+	}
+	s.acl.Grant(app, perm)
+}
+
+// RevokeAuthorization removes an application's grant under controlled
+// deduplication.
+func (s *System) RevokeAuthorization(app Measurement) {
+	if s.acl != nil {
+		s.acl.Revoke(app)
+	}
+}
+
+// SealSnapshot serialises the ResultStore's dictionary and blobs,
+// sealed to the store enclave identity and this machine (see
+// SystemConfig.PlatformSeed for restart survival).
+func (s *System) SealSnapshot() ([]byte, error) {
+	return s.store.SealSnapshot()
+}
+
+// RestoreSnapshot installs entries from a snapshot produced by
+// SealSnapshot on the same store identity and machine, returning the
+// number of entries installed.
+func (s *System) RestoreSnapshot(snapshot []byte) (int, error) {
+	return s.store.RestoreSnapshot(snapshot)
+}
+
+// StoreMeasurement returns the ResultStore enclave's measurement, which
+// remote applications pin during the attested handshake.
+func (s *System) StoreMeasurement() Measurement {
+	return s.storeEnc.Measurement()
+}
+
+// StoreStats is a snapshot of ResultStore activity.
+type StoreStats struct {
+	// Gets and Hits count GET_REQUESTs and those answered positively.
+	Gets, Hits int64
+	// Puts counts accepted fresh uploads; PutDupes counts uploads for
+	// already-stored tags; PutDenied counts quota rejections.
+	Puts, PutDupes, PutDenied int64
+	// Unauthorized counts operations denied by controlled
+	// deduplication.
+	Unauthorized int64
+	// Evictions counts entries removed by LRU pressure.
+	Evictions int64
+	// Entries is the current dictionary size; BlobBytes the total
+	// ciphertext bytes outside the enclave.
+	Entries   int
+	BlobBytes int64
+}
+
+// StoreStats returns a snapshot of the deployment's store counters.
+func (s *System) StoreStats() StoreStats {
+	st := s.store.Stats()
+	return StoreStats{
+		Gets: st.Gets, Hits: st.Hits,
+		Puts: st.Puts, PutDupes: st.PutDupes, PutDenied: st.PutDenied,
+		Unauthorized: st.Unauthorized,
+		Evictions:    st.Evictions,
+		Entries:      st.Entries, BlobBytes: st.BlobBytes,
+	}
+}
+
+// EPCUsed reports the platform's current protected-memory consumption.
+func (s *System) EPCUsed() int64 { return s.platform.EPCUsed() }
+
+// ExpireNow sweeps the ResultStore, removing every entry past the
+// configured StoreTTL, and reports how many were removed. A no-op
+// without a TTL.
+func (s *System) ExpireNow() int { return s.store.ExpireNow() }
+
+// Serve exposes the ResultStore on the listener using the attested wire
+// protocol. Applications on the same machine always connect; remote
+// applications connect when their platform is in TrustedPlatforms. The
+// returned server runs until its Close method is called.
+func (s *System) Serve(ln net.Listener) *StoreServer {
+	opts := []store.ServerOption{}
+	if len(s.trusted) > 0 {
+		opts = append(opts, store.WithTrust(&wire.Trust{PlatformKeys: s.trusted}))
+	}
+	srv := store.NewServer(s.store, ln, opts...)
+	go func() { _ = srv.Serve() }()
+	return &StoreServer{srv: srv}
+}
+
+// StoreServer is a running networked ResultStore endpoint.
+type StoreServer struct {
+	srv *store.Server
+}
+
+// Addr returns the listening address.
+func (s *StoreServer) Addr() net.Addr { return s.srv.Addr() }
+
+// Close stops the server and waits for in-flight handlers.
+func (s *StoreServer) Close() error { return s.srv.Close() }
+
+// Close shuts the deployment down. Applications created from it must be
+// closed first.
+func (s *System) Close() {
+	s.store.Close()
+	s.storeEnc.Destroy()
+}
