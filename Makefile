@@ -1,0 +1,24 @@
+# Development targets. `make check` is the gate every change must pass:
+# vet plus the full test suite under the race detector, which keeps the
+# coalescing-path fixes (panic cleanup, flight-result aliasing) fixed.
+
+GO ?= go
+
+.PHONY: check build vet test race bench-quick
+
+check: vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench-quick:
+	$(GO) run ./cmd/speedbench -quick

@@ -132,6 +132,10 @@ type AppStats struct {
 	// BytesReused totals plaintext result bytes served from the store
 	// or from coalesced computations.
 	BytesReused int64
+	// Degraded counts calls served compute-only because the store was
+	// unreachable; StoreFailures store transport failures; Retries
+	// request retries performed by the store client.
+	Degraded, StoreFailures, Retries int64
 }
 
 // Stats returns a snapshot of the application's counters.
@@ -142,6 +146,7 @@ func (a *App) Stats() AppStats {
 		Coalesced:      st.Coalesced,
 		VerifyFailures: st.VerifyFailures, PutErrors: st.PutErrors,
 		BytesReused: st.BytesReused,
+		Degraded:    st.Degraded, StoreFailures: st.StoreFailures, Retries: st.Retries,
 	}
 }
 

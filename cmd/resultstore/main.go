@@ -19,6 +19,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"speed/internal/enclave"
 	"speed/internal/store"
@@ -43,6 +44,9 @@ func run(args []string) error {
 	snapshotPath := fs.String("snapshot", "", "sealed snapshot file: restored at startup if present, written on shutdown")
 	machineSeed := fs.String("machine-seed", "", "deterministic machine identity (required for -snapshot to survive restarts)")
 	ttl := fs.Duration("ttl", 0, "entry time-to-live (0 = never expire)")
+	handshakeTimeout := fs.Duration("handshake-timeout", 10*time.Second, "attested handshake deadline for new connections (0 = unbounded)")
+	idleTimeout := fs.Duration("idle-timeout", 5*time.Minute, "close connections idle longer than this (0 = unbounded)")
+	writeTimeout := fs.Duration("write-timeout", 30*time.Second, "per-response write deadline (0 = unbounded)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -97,7 +101,11 @@ func run(args []string) error {
 	if err != nil {
 		return fmt.Errorf("listen: %w", err)
 	}
-	srv := store.NewServer(st, ln)
+	srv := store.NewServer(st, ln,
+		store.WithHandshakeTimeout(*handshakeTimeout),
+		store.WithIdleTimeout(*idleTimeout),
+		store.WithWriteTimeout(*writeTimeout),
+	)
 	fmt.Printf("resultstore: listening on %s\n", ln.Addr())
 	fmt.Printf("resultstore: enclave measurement %x\n", storeEnc.Measurement())
 

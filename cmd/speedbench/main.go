@@ -8,6 +8,7 @@
 //	speedbench -exp fig5a|fig5b|fig5c|fig5d
 //	speedbench -exp fig6
 //	speedbench -exp ablations
+//	speedbench -exp resilience     # store-outage fault injection
 //	speedbench -quick              # reduced sizes/trials for a fast pass
 package main
 
@@ -15,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"speed/internal/bench"
 )
@@ -28,9 +30,11 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("speedbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: all, table1, fig5a, fig5b, fig5c, fig5d, fig6, ablations, effort")
+	exp := fs.String("exp", "all", "experiment: all, table1, fig5a, fig5b, fig5c, fig5d, fig6, ablations, effort, resilience")
 	quick := fs.Bool("quick", false, "reduced sizes and trials")
 	trials := fs.Int("trials", 0, "override trial count (0 = default)")
+	storeTimeout := fs.Duration("store-timeout", 200*time.Millisecond, "resilience: per-request store deadline")
+	storeRetries := fs.Int("store-retries", 2, "resilience: max retries per store request (negative disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,9 +58,12 @@ func run(args []string) error {
 			return runAblations(*quick, t)
 		},
 		"effort": runEffort,
+		"resilience": func() error {
+			return runResilience(*quick, *storeTimeout, *storeRetries)
+		},
 	}
 	if *exp == "all" {
-		for _, name := range []string{"table1", "fig5a", "fig5b", "fig5c", "fig5d", "fig6", "ablations", "effort"} {
+		for _, name := range []string{"table1", "fig5a", "fig5b", "fig5c", "fig5d", "fig6", "ablations", "effort", "resilience"} {
 			if err := experiments[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
@@ -207,6 +214,23 @@ func runAblations(quick bool, trials int) error {
 		return err
 	}
 	fmt.Print(bench.RenderAblationAdaptive(adaptive, calls))
+	return nil
+}
+
+func runResilience(quick bool, timeout time.Duration, retries int) error {
+	calls := 60
+	if quick {
+		calls = 20
+	}
+	phases, err := bench.Resilience(bench.ResilienceConfig{
+		CallsPerPhase:  calls,
+		RequestTimeout: timeout,
+		MaxRetries:     retries,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.RenderResilience(phases))
 	return nil
 }
 

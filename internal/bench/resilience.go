@@ -1,0 +1,178 @@
+package bench
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"speed/internal/dedup"
+	"speed/internal/enclave"
+	"speed/internal/store"
+)
+
+// Resilience exercises the robustness layer of the Runtime↔ResultStore
+// path over a real TCP deployment: a healthy phase, a store outage
+// (the runtime must degrade to compute-only without surfacing errors),
+// and a recovery phase (deduplication must resume). It reports the
+// outcome mix plus the degraded/retry counters per phase.
+
+// ResilienceConfig tunes the fault-injection run.
+type ResilienceConfig struct {
+	// CallsPerPhase is how many Execute calls each phase issues.
+	CallsPerPhase int
+	// RequestTimeout / MaxRetries configure the RemoteClient.
+	RequestTimeout time.Duration
+	MaxRetries     int
+}
+
+// ResiliencePhase is the measured outcome of one phase.
+type ResiliencePhase struct {
+	Name     string
+	Calls    int
+	Errors   int
+	Reused   int64
+	Computed int64
+	Degraded int64
+	Retries  int64
+	Elapsed  time.Duration
+}
+
+// Resilience runs the three phases and returns their measurements.
+func Resilience(cfg ResilienceConfig) ([]ResiliencePhase, error) {
+	if cfg.CallsPerPhase <= 0 {
+		cfg.CallsPerPhase = 50
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 200 * time.Millisecond
+	}
+
+	platform := enclave.NewPlatform(enclave.Config{})
+	appEnc, err := platform.Create("resilience-app", []byte("resilience app code"))
+	if err != nil {
+		return nil, err
+	}
+	storeEnc, err := platform.Create("resilience-store", []byte("resilience store code"))
+	if err != nil {
+		return nil, err
+	}
+	st, err := store.New(store.Config{Enclave: storeEnc})
+	if err != nil {
+		return nil, err
+	}
+	defer st.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	addr := ln.Addr().String()
+	srv := store.NewServer(st, ln, store.WithLogf(func(string, ...any) {}))
+	go func() { _ = srv.Serve() }()
+
+	client, err := dedup.DialConfig(addr, appEnc, storeEnc.Measurement(), dedup.RemoteConfig{
+		RequestTimeout: cfg.RequestTimeout,
+		MaxRetries:     cfg.MaxRetries,
+		RetryBackoff:   10 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rt, err := dedup.NewRuntime(dedup.Config{
+		Enclave:          appEnc,
+		Client:           client,
+		DegradeThreshold: 2,
+		ProbeInterval:    50 * time.Millisecond,
+		Logf:             func(string, ...any) {},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Close()
+	rt.Registry().RegisterLibrary("bench", "1.0", []byte("bench lib"))
+	id, err := rt.Resolve(dedup.FuncDesc{Library: "bench", Version: "1.0", Signature: "resilience(x)"})
+	if err != nil {
+		return nil, err
+	}
+
+	compute := func(in []byte) ([]byte, error) {
+		out := make([]byte, len(in))
+		for i, b := range in {
+			out[i] = b ^ 0x5A
+		}
+		return out, nil
+	}
+	runPhase := func(name string) (ResiliencePhase, error) {
+		before := rt.Stats()
+		start := time.Now()
+		errs := 0
+		for i := 0; i < cfg.CallsPerPhase; i++ {
+			input := []byte(fmt.Sprintf("resilience-input-%d", i%8))
+			if _, _, err := rt.Execute(id, input, compute); err != nil {
+				errs++
+			}
+		}
+		after := rt.Stats()
+		return ResiliencePhase{
+			Name:     name,
+			Calls:    cfg.CallsPerPhase,
+			Errors:   errs,
+			Reused:   after.Reused - before.Reused,
+			Computed: after.Computed - before.Computed,
+			Degraded: after.Degraded - before.Degraded,
+			Retries:  after.Retries - before.Retries,
+			Elapsed:  time.Since(start),
+		}, nil
+	}
+
+	var phases []ResiliencePhase
+	p, err := runPhase("healthy")
+	if err != nil {
+		return nil, err
+	}
+	phases = append(phases, p)
+
+	// Kill the store mid-run: every call must still succeed.
+	if err := srv.Close(); err != nil {
+		return nil, err
+	}
+	p, err = runPhase("store down")
+	if err != nil {
+		return nil, err
+	}
+	phases = append(phases, p)
+
+	// Restart on the same address with the same store contents and wait
+	// for the background probe to close the breaker.
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv2 := store.NewServer(st, ln2, store.WithLogf(func(string, ...any) {}))
+	go func() { _ = srv2.Serve() }()
+	defer srv2.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.Degraded() && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	p, err = runPhase("recovered")
+	if err != nil {
+		return nil, err
+	}
+	phases = append(phases, p)
+	return phases, nil
+}
+
+// RenderResilience formats the phase table.
+func RenderResilience(phases []ResiliencePhase) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Store-outage resilience (RemoteClient retry/timeout + runtime circuit breaker)\n")
+	fmt.Fprintf(&b, "  %-12s %7s %7s %7s %9s %9s %8s %10s\n",
+		"phase", "calls", "errors", "reused", "computed", "degraded", "retries", "elapsed")
+	for _, p := range phases {
+		fmt.Fprintf(&b, "  %-12s %7d %7d %7d %9d %9d %8d %10s\n",
+			p.Name, p.Calls, p.Errors, p.Reused, p.Computed, p.Degraded, p.Retries,
+			p.Elapsed.Round(time.Millisecond))
+	}
+	return b.String()
+}

@@ -3,8 +3,14 @@ package dedup
 import (
 	"errors"
 	"fmt"
+	"io"
+	"math/rand"
 	"net"
+	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
 
 	"speed/internal/enclave"
 	"speed/internal/mle"
@@ -76,12 +82,75 @@ func (c *LocalClient) Put(tag mle.Tag, sealed mle.Sealed, replace bool) error {
 // store, so it is a no-op.
 func (c *LocalClient) Close() error { return nil }
 
+// RemoteConfig tunes the robustness behaviour of a RemoteClient. The
+// zero value selects the defaults noted on each field.
+type RemoteConfig struct {
+	// DialTimeout bounds the TCP connect plus the attested handshake of
+	// each (re)connection attempt. Defaults to 5s; negative disables.
+	DialTimeout time.Duration
+	// RequestTimeout bounds one GET/PUT round trip on the channel, so a
+	// stalled store can never wedge a caller. Defaults to 5s; negative
+	// disables.
+	RequestTimeout time.Duration
+	// MaxRetries is the number of additional attempts after a transient
+	// failure (connection reset, timeout, rate-limit rejection) before
+	// the error is surfaced. Defaults to 2; negative disables retries.
+	MaxRetries int
+	// RetryBackoff is the first retry delay; each further retry doubles
+	// it, with ±50% jitter, up to RetryMaxBackoff. Defaults to
+	// 50ms / 2s.
+	RetryBackoff    time.Duration
+	RetryMaxBackoff time.Duration
+	// Trust optionally accepts a store on a remote machine whose
+	// platform attestation key is listed (remote attestation).
+	Trust *wire.Trust
+	// Lazy defers the first connection to the first request, so a
+	// client can be created while the store is still down. Combined
+	// with the runtime's degradation mode the application starts
+	// compute-only and picks up deduplication when the store appears.
+	Lazy bool
+}
+
+func (cfg *RemoteConfig) fillDefaults() {
+	if cfg.DialTimeout == 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.RequestTimeout == 0 {
+		cfg.RequestTimeout = 5 * time.Second
+	}
+	if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 2
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 50 * time.Millisecond
+	}
+	if cfg.RetryMaxBackoff <= 0 {
+		cfg.RetryMaxBackoff = 2 * time.Second
+	}
+}
+
 // RemoteClient talks to a store server over an attested secure channel.
 // The paper's prototype uses synchronous communication (Section IV-B),
 // so each request holds the channel until its response arrives.
+// Requests carry per-request deadlines and transient failures are
+// retried with jittered exponential backoff, transparently re-dialing
+// and re-handshaking the attested channel when the previous one broke.
 type RemoteClient struct {
-	mu sync.Mutex
-	ch *wire.Channel
+	cfg RemoteConfig
+
+	// Redial parameters; canRedial is false for clients wrapped around
+	// an externally established channel.
+	addr      string
+	app       *enclave.Enclave
+	storeMeas enclave.Measurement
+	canRedial bool
+
+	retries    atomic.Int64
+	reconnects atomic.Int64
+
+	mu     sync.Mutex
+	ch     *wire.Channel // nil while disconnected
+	closed bool
 }
 
 var _ StoreClient = (*RemoteClient)(nil)
@@ -90,7 +159,7 @@ var _ StoreClient = (*RemoteClient)(nil)
 // performing the attested handshake from the application enclave app
 // and requiring the server to prove the expected store measurement.
 func Dial(addr string, app *enclave.Enclave, storeMeasurement enclave.Measurement) (*RemoteClient, error) {
-	return DialTrust(addr, app, storeMeasurement, nil)
+	return DialConfig(addr, app, storeMeasurement, RemoteConfig{})
 }
 
 // DialTrust is Dial that additionally accepts a store on a remote
@@ -98,33 +167,191 @@ func Dial(addr string, app *enclave.Enclave, storeMeasurement enclave.Measuremen
 // attestation) — the cross-machine "master ResultStore" deployment of
 // Section IV-B.
 func DialTrust(addr string, app *enclave.Enclave, storeMeasurement enclave.Measurement, trust *wire.Trust) (*RemoteClient, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialConfig(addr, app, storeMeasurement, RemoteConfig{Trust: trust})
+}
+
+// DialConfig is Dial with explicit robustness configuration.
+func DialConfig(addr string, app *enclave.Enclave, storeMeasurement enclave.Measurement, cfg RemoteConfig) (*RemoteClient, error) {
+	cfg.fillDefaults()
+	c := &RemoteClient{
+		cfg:       cfg,
+		addr:      addr,
+		app:       app,
+		storeMeas: storeMeasurement,
+		canRedial: true,
+	}
+	if !cfg.Lazy {
+		ch, err := c.dialChannel()
+		if err != nil {
+			return nil, err
+		}
+		c.ch = ch
+	}
+	return c, nil
+}
+
+// NewRemoteClient wraps an already-established channel. Reconnection
+// is unavailable (the client does not know how the channel was built),
+// so a broken channel is terminal for the client.
+func NewRemoteClient(ch *wire.Channel) *RemoteClient {
+	cfg := RemoteConfig{}
+	cfg.fillDefaults()
+	return &RemoteClient{cfg: cfg, ch: ch}
+}
+
+// Retries reports the number of request retries performed.
+func (c *RemoteClient) Retries() int64 { return c.retries.Load() }
+
+// Reconnects reports the number of successful re-dials (not counting
+// the initial connection).
+func (c *RemoteClient) Reconnects() int64 { return c.reconnects.Load() }
+
+// dialChannel establishes one attested channel, bounding connect plus
+// handshake with DialTimeout.
+func (c *RemoteClient) dialChannel() (*wire.Channel, error) {
+	timeout := c.cfg.DialTimeout
+	if timeout < 0 {
+		timeout = 0
+	}
+	conn, err := net.DialTimeout("tcp", c.addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("dedup: dial store: %w", err)
 	}
-	ch, err := wire.ClientHandshakeTrust(conn, app, storeMeasurement, trust)
+	if timeout > 0 {
+		_ = conn.SetDeadline(time.Now().Add(timeout))
+	}
+	ch, err := wire.ClientHandshakeTrust(conn, c.app, c.storeMeas, c.cfg.Trust)
 	if err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("dedup: handshake: %w", err)
 	}
-	return &RemoteClient{ch: ch}, nil
+	_ = conn.SetDeadline(time.Time{})
+	return ch, nil
 }
 
-// NewRemoteClient wraps an already-established channel.
-func NewRemoteClient(ch *wire.Channel) *RemoteClient {
-	return &RemoteClient{ch: ch}
+// errClientClosed is returned from requests after Close.
+var errClientClosed = errors.New("dedup: remote client closed")
+
+// roundTrip sends one request and waits for its reply, applying the
+// per-request deadline, retry policy and transparent reconnect.
+func (c *RemoteClient) roundTrip(req wire.Message) (wire.Message, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, errClientClosed
+	}
+	attempts := 1 + c.cfg.MaxRetries
+	if attempts < 1 {
+		attempts = 1
+	}
+	backoff := c.cfg.RetryBackoff
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			sleepJittered(backoff)
+			backoff *= 2
+			if backoff > c.cfg.RetryMaxBackoff {
+				backoff = c.cfg.RetryMaxBackoff
+			}
+		}
+		msg, err := c.tryOnce(req)
+		if err != nil {
+			lastErr = err
+			if !isTransient(err) {
+				return nil, err
+			}
+			continue
+		}
+		// A rate-limited PUT is the store asking us to slow down
+		// (Section III-D quota); honour it by backing off and retrying
+		// unless this was the final attempt.
+		if pr, ok := msg.(wire.PutResponse); ok && !pr.OK && isRateLimited(pr.Err) && attempt < attempts-1 {
+			lastErr = fmt.Errorf("%w: %s", ErrPutRejected, pr.Err)
+			continue
+		}
+		return msg, nil
+	}
+	return nil, lastErr
+}
+
+// tryOnce performs a single request attempt on the current channel,
+// (re)connecting first if necessary. Any transport error poisons the
+// channel (its cipher counters can no longer match the peer's), so the
+// channel is dropped and the next attempt re-handshakes.
+func (c *RemoteClient) tryOnce(req wire.Message) (wire.Message, error) {
+	if c.ch == nil {
+		if !c.canRedial {
+			return nil, errors.New("dedup: store channel lost (no redial information)")
+		}
+		ch, err := c.dialChannel()
+		if err != nil {
+			return nil, err
+		}
+		c.ch = ch
+		c.reconnects.Add(1)
+	}
+	ch := c.ch
+	if c.cfg.RequestTimeout > 0 {
+		ch.SetDeadline(time.Now().Add(c.cfg.RequestTimeout))
+	}
+	err := ch.SendMessage(req)
+	var msg wire.Message
+	if err == nil {
+		msg, err = ch.RecvMessage()
+	}
+	if c.cfg.RequestTimeout > 0 {
+		ch.SetDeadline(time.Time{})
+	}
+	if err != nil {
+		ch.Close()
+		c.ch = nil
+		return nil, err
+	}
+	return msg, nil
+}
+
+// isTransient reports whether a request error is worth retrying on a
+// fresh connection: timeouts, connection resets/refusals and peer
+// closes. Attestation failures and protocol violations are not.
+func isTransient(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	switch {
+	case errors.Is(err, io.EOF),
+		errors.Is(err, io.ErrUnexpectedEOF),
+		errors.Is(err, net.ErrClosed),
+		errors.Is(err, syscall.ECONNRESET),
+		errors.Is(err, syscall.ECONNREFUSED),
+		errors.Is(err, syscall.EPIPE):
+		return true
+	}
+	return false
+}
+
+// isRateLimited recognises the store's rate-limit rejection reason in a
+// PutResponse (the byte-space quota, by contrast, is not transient).
+func isRateLimited(reason string) bool {
+	return strings.Contains(reason, "rate limit")
+}
+
+// sleepJittered sleeps for d ±50%, decorrelating the retry schedules
+// of concurrent clients hammering a recovering store.
+func sleepJittered(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	half := int64(d / 2)
+	time.Sleep(time.Duration(half + rand.Int63n(half+1)))
 }
 
 // Get implements StoreClient.
 func (c *RemoteClient) Get(tag mle.Tag) (mle.Sealed, bool, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.ch.SendMessage(wire.GetRequest{Tag: tag}); err != nil {
-		return mle.Sealed{}, false, fmt.Errorf("dedup: send get: %w", err)
-	}
-	msg, err := c.ch.RecvMessage()
+	msg, err := c.roundTrip(wire.GetRequest{Tag: tag})
 	if err != nil {
-		return mle.Sealed{}, false, fmt.Errorf("dedup: recv get: %w", err)
+		return mle.Sealed{}, false, fmt.Errorf("dedup: get: %w", err)
 	}
 	resp, ok := msg.(wire.GetResponse)
 	if !ok {
@@ -135,14 +362,9 @@ func (c *RemoteClient) Get(tag mle.Tag) (mle.Sealed, bool, error) {
 
 // Put implements StoreClient.
 func (c *RemoteClient) Put(tag mle.Tag, sealed mle.Sealed, replace bool) error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := c.ch.SendMessage(wire.PutRequest{Tag: tag, Sealed: sealed, Replace: replace}); err != nil {
-		return fmt.Errorf("dedup: send put: %w", err)
-	}
-	msg, err := c.ch.RecvMessage()
+	msg, err := c.roundTrip(wire.PutRequest{Tag: tag, Sealed: sealed, Replace: replace})
 	if err != nil {
-		return fmt.Errorf("dedup: recv put: %w", err)
+		return fmt.Errorf("dedup: put: %w", err)
 	}
 	resp, ok := msg.(wire.PutResponse)
 	if !ok {
@@ -158,5 +380,14 @@ func (c *RemoteClient) Put(tag mle.Tag, sealed mle.Sealed, replace bool) error {
 func (c *RemoteClient) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.ch.Close()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	if c.ch == nil {
+		return nil
+	}
+	err := c.ch.Close()
+	c.ch = nil
+	return err
 }

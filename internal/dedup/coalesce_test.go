@@ -1,0 +1,149 @@
+package dedup
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Regression tests for the in-flight coalescing fast path: a panic in
+// the flight owner's compute must unblock waiters and unregister the
+// flight, and the owner's returned slice must not alias the bytes
+// waiters copy out of the flight.
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func (rt *Runtime) inflightCount() int {
+	rt.flightMu.Lock()
+	defer rt.flightMu.Unlock()
+	return len(rt.inflight)
+}
+
+func TestCoalescePanicCleansUpFlight(t *testing.T) {
+	env := newTestEnv(t, nil)
+	rt := env.runtime
+	id := env.funcID(t)
+	input := []byte("panic input")
+
+	release := make(chan struct{})
+	ownerPanic := make(chan any, 1)
+	go func() {
+		defer func() { ownerPanic <- recover() }()
+		_, _, _ = rt.Execute(id, input, func([]byte) ([]byte, error) {
+			<-release
+			panic("boom in compute")
+		})
+	}()
+	waitFor(t, "owner flight registration", func() bool { return rt.inflightCount() == 1 })
+
+	// A concurrent identical call joins the flight and must be
+	// unblocked — with an error — when the owner panics, not deadlock.
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, _, err := rt.Execute(id, input, func(in []byte) ([]byte, error) {
+			return append([]byte("w:"), in...), nil
+		})
+		waiterDone <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the waiter join the flight
+	close(release)
+
+	if rec := <-ownerPanic; rec == nil {
+		t.Fatal("owner's panic was swallowed instead of propagating")
+	}
+	select {
+	case err := <-waiterDone:
+		// The waiter normally coalesces and sees the flight's panic
+		// error; if it narrowly missed the flight it computed on its
+		// own, which is also fine — the bug under test is the deadlock.
+		if err != nil && !strings.Contains(err.Error(), "panicked") {
+			t.Errorf("waiter error = %v, want panic-flight error or nil", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter deadlocked after owner panic")
+	}
+
+	waitFor(t, "flight cleanup", func() bool { return rt.inflightCount() == 0 })
+
+	// The tag must be executable again.
+	res, out, err := rt.Execute(id, input, func(in []byte) ([]byte, error) {
+		return append([]byte("ok:"), in...), nil
+	})
+	if err != nil {
+		t.Fatalf("Execute after panic: %v", err)
+	}
+	if out != OutcomeComputed && out != OutcomeReused {
+		t.Errorf("outcome after panic = %v", out)
+	}
+	if len(res) == 0 {
+		t.Error("empty result after panic recovery")
+	}
+}
+
+// TestCoalescedResultNotAliased drives the owner-mutates /
+// waiter-copies overlap; under -race the old aliasing publication
+// (f.result = result) fails here.
+func TestCoalescedResultNotAliased(t *testing.T) {
+	env := newTestEnv(t, nil)
+	rt := env.runtime
+	id := env.funcID(t)
+	input := []byte("alias input")
+	want := append([]byte("result-"), input...)
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		res, _, err := rt.Execute(id, input, func(in []byte) ([]byte, error) {
+			close(started)
+			<-release
+			return append([]byte("result-"), in...), nil
+		})
+		if err != nil {
+			t.Errorf("owner Execute: %v", err)
+			return
+		}
+		// The owner's caller owns its slice and may scribble on it
+		// immediately; that must never be visible to waiters.
+		for i := 0; i < 4096; i++ {
+			res[0] = byte(i)
+		}
+	}()
+	// Only launch the second caller once the owner's compute is in
+	// progress, so it deterministically joins the owner's flight.
+	<-started
+	var waiterRes []byte
+	var waiterErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		waiterRes, _, waiterErr = rt.Execute(id, input, func(in []byte) ([]byte, error) {
+			return append([]byte("result-"), in...), nil
+		})
+	}()
+	time.Sleep(50 * time.Millisecond) // let the waiter reach the flight wait
+	close(release)
+	wg.Wait()
+
+	if waiterErr != nil {
+		t.Fatalf("waiter Execute: %v", waiterErr)
+	}
+	if !bytes.Equal(waiterRes, want) {
+		t.Errorf("waiter result = %q, want %q (owner mutation leaked?)", waiterRes, want)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"log"
 	"sync"
+	"time"
 
 	"speed/internal/enclave"
 	"speed/internal/mle"
@@ -74,6 +75,18 @@ type Config struct {
 	// and share its result with OutcomeCoalesced — deduplication
 	// within the process, before the store is even consulted.
 	NoCoalesce bool
+	// DegradeThreshold is the number of consecutive store transport
+	// failures after which the runtime opens its circuit breaker: it
+	// stops consulting the store entirely (compute-only mode) and
+	// probes it in the background until it recovers. Regardless of the
+	// threshold, an individual failed GET degrades only its own call —
+	// the caller gets a freshly computed result instead of an error.
+	// Zero selects the default (5); negative disables degradation, so
+	// store failures surface as Execute errors as before.
+	DegradeThreshold int
+	// ProbeInterval is how often a degraded runtime probes the store in
+	// the background to detect recovery; defaults to 500ms.
+	ProbeInterval time.Duration
 	// Logf is the diagnostic logger; defaults to log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -96,6 +109,23 @@ type Stats struct {
 	// BytesReused totals the plaintext result bytes served from the
 	// store.
 	BytesReused int64
+	// Degraded counts calls served compute-only because the store was
+	// unreachable or the circuit breaker was open.
+	Degraded int64
+	// StoreFailures counts store transport failures observed by the
+	// runtime (GET/PUT errors other than explicit rejections).
+	StoreFailures int64
+	// Retries counts request retries performed by the store client
+	// (populated when the client exposes a retry counter, e.g.
+	// RemoteClient).
+	Retries int64
+}
+
+// retryCounter is implemented by store clients that retry transient
+// failures internally (RemoteClient); the runtime surfaces the count
+// through Stats.Retries.
+type retryCounter interface {
+	Retries() int64
 }
 
 // Runtime is the secure deduplication runtime. It is safe for
@@ -108,6 +138,17 @@ type Runtime struct {
 
 	flightMu sync.Mutex
 	inflight map[mle.Tag]*flight
+
+	// Circuit breaker over the store path (Section III-D rate limiting
+	// and the networked deployment of Section IV-B assume the store can
+	// fail): after DegradeThreshold consecutive transport failures the
+	// breaker opens and Execute serves compute-only until a background
+	// probe sees the store healthy again.
+	breakerMu   sync.Mutex
+	consecFails int
+	brkOpen     bool
+	probing     bool
+	probeWG     sync.WaitGroup
 
 	putCh  chan putJob
 	stop   chan struct{}
@@ -149,6 +190,12 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	if cfg.PutQueueDepth <= 0 {
 		cfg.PutQueueDepth = 64
 	}
+	if cfg.DegradeThreshold == 0 {
+		cfg.DegradeThreshold = 5
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 500 * time.Millisecond
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
@@ -176,12 +223,82 @@ func (rt *Runtime) Enclave() *enclave.Enclave { return rt.cfg.Enclave }
 // Stats returns a snapshot of the runtime's counters.
 func (rt *Runtime) Stats() Stats {
 	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	return rt.stats
+	s := rt.stats
+	rt.mu.Unlock()
+	if rc, ok := rt.cfg.Client.(retryCounter); ok {
+		s.Retries = rc.Retries()
+	}
+	return s
 }
 
-// Close drains the async PUT worker (if any) and closes the store
-// client. The runtime must not be used afterwards.
+// Degraded reports whether the circuit breaker is currently open, i.e.
+// the runtime is serving compute-only and probing the store in the
+// background.
+func (rt *Runtime) Degraded() bool {
+	rt.breakerMu.Lock()
+	defer rt.breakerMu.Unlock()
+	return rt.brkOpen
+}
+
+// degradeEnabled reports whether store failures fall back to
+// compute-only instead of failing the call.
+func (rt *Runtime) degradeEnabled() bool { return rt.cfg.DegradeThreshold > 0 }
+
+// noteStoreFailure records one store transport failure and opens the
+// breaker when the threshold is reached.
+func (rt *Runtime) noteStoreFailure(err error) {
+	rt.mu.Lock()
+	rt.stats.StoreFailures++
+	rt.mu.Unlock()
+	rt.breakerMu.Lock()
+	rt.consecFails++
+	if !rt.brkOpen && rt.consecFails >= rt.cfg.DegradeThreshold {
+		rt.brkOpen = true
+		if !rt.probing {
+			rt.probing = true
+			rt.probeWG.Add(1)
+			go rt.probeLoop()
+		}
+		rt.cfg.Logf("speed: %d consecutive store failures (last: %v); degrading to compute-only", rt.consecFails, err)
+	}
+	rt.breakerMu.Unlock()
+}
+
+// noteStoreSuccess resets the consecutive-failure counter after any
+// successful store exchange.
+func (rt *Runtime) noteStoreSuccess() {
+	rt.breakerMu.Lock()
+	rt.consecFails = 0
+	rt.breakerMu.Unlock()
+}
+
+// probeLoop periodically issues a cheap GET until the store answers
+// again, then closes the breaker so deduplication resumes.
+func (rt *Runtime) probeLoop() {
+	defer rt.probeWG.Done()
+	ticker := time.NewTicker(rt.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-ticker.C:
+			if _, _, err := rt.cfg.Client.Get(mle.Tag{}); err == nil {
+				rt.breakerMu.Lock()
+				rt.brkOpen = false
+				rt.consecFails = 0
+				rt.probing = false
+				rt.breakerMu.Unlock()
+				rt.cfg.Logf("speed: store recovered; deduplication re-enabled")
+				return
+			}
+		}
+	}
+}
+
+// Close drains the async PUT worker (if any), stops the recovery
+// prober, and closes the store client. The runtime must not be used
+// afterwards.
 func (rt *Runtime) Close() error {
 	rt.mu.Lock()
 	if rt.closed {
@@ -191,6 +308,7 @@ func (rt *Runtime) Close() error {
 	rt.closed = true
 	rt.mu.Unlock()
 	close(rt.stop)
+	rt.probeWG.Wait()
 	<-rt.done
 	return rt.cfg.Client.Close()
 }
@@ -249,12 +367,30 @@ func (rt *Runtime) Execute(id mle.FuncID, input []byte, compute func([]byte) ([]
 		rt.inflight[tag] = f
 		rt.flightMu.Unlock()
 
+		// The flight must be unregistered and its waiters unblocked no
+		// matter how run() exits. A compute panic in particular must
+		// not leave the entry registered with f.done never closing, or
+		// every later identical call would block forever; the panic
+		// itself still propagates to the owner's caller.
+		completed := false
+		defer func() {
+			if !completed {
+				f.err = fmt.Errorf("dedup: in-flight computation for tag %x... panicked", tag[:4])
+			}
+			rt.flightMu.Lock()
+			delete(rt.inflight, tag)
+			rt.flightMu.Unlock()
+			close(f.done)
+		}()
 		ferr := run()
-		f.result, f.outcome, f.err = result, outcome, ferr
-		rt.flightMu.Lock()
-		delete(rt.inflight, tag)
-		rt.flightMu.Unlock()
-		close(f.done)
+		if ferr == nil {
+			// Publish a private copy: the owner's caller owns `result`
+			// and may mutate it as soon as Execute returns, while late
+			// waiters are still copying out of the flight.
+			f.result = append([]byte(nil), result...)
+		}
+		f.outcome, f.err = outcome, ferr
+		completed = true
 		return ferr
 	})
 	if err != nil {
@@ -267,6 +403,13 @@ func (rt *Runtime) Execute(id mle.FuncID, input []byte, compute func([]byte) ([]
 // for an already-derived tag, writing the result and outcome through
 // the provided pointers. It runs inside the application enclave.
 func (rt *Runtime) executeTagged(id mle.FuncID, input []byte, tag mle.Tag, compute func([]byte) ([]byte, error), resultOut *[]byte, outcomeOut *Outcome) error {
+	// Graceful degradation: with the breaker open the store is known
+	// to be down, so skip GET/PUT entirely and serve compute-only —
+	// deduplication is an accelerator, not a correctness dependency.
+	if rt.degradeEnabled() && rt.Degraded() {
+		return rt.computeOnly(input, compute, resultOut, outcomeOut)
+	}
+
 	// Line 2: query the store via an OCALL (the runtime's customized
 	// OCALL wrapping request and networking logic).
 	var (
@@ -279,8 +422,17 @@ func (rt *Runtime) executeTagged(id mle.FuncID, input []byte, tag mle.Tag, compu
 		return gerr
 	})
 	if err != nil {
-		return fmt.Errorf("query store: %w", err)
+		if !rt.degradeEnabled() {
+			return fmt.Errorf("query store: %w", err)
+		}
+		// The store is unreachable or stalled: this call degrades to a
+		// plain computation instead of failing, and the failure feeds
+		// the circuit breaker.
+		rt.noteStoreFailure(err)
+		rt.cfg.Logf("speed: store get failed, serving compute-only: %v", err)
+		return rt.computeOnly(input, compute, resultOut, outcomeOut)
 	}
+	rt.noteStoreSuccess()
 
 	hadPoisonedEntry := false
 	if found {
@@ -338,6 +490,23 @@ func (rt *Runtime) executeTagged(id mle.FuncID, input []byte, tag mle.Tag, compu
 	return nil
 }
 
+// computeOnly runs the computation without touching the store, used
+// while the store is unreachable or the breaker is open. The result is
+// correct either way; only reuse is lost.
+func (rt *Runtime) computeOnly(input []byte, compute func([]byte) ([]byte, error), resultOut *[]byte, outcomeOut *Outcome) error {
+	res, cerr := compute(input)
+	if cerr != nil {
+		return cerr
+	}
+	*resultOut = res
+	*outcomeOut = OutcomeComputed
+	rt.mu.Lock()
+	rt.stats.Computed++
+	rt.stats.Degraded++
+	rt.mu.Unlock()
+	return nil
+}
+
 // sealAndPut encrypts the result (RCE: random key, challenge, wrap) and
 // uploads (t, r, [k], [res]) via an OCALL.
 func (rt *Runtime) sealAndPut(id mle.FuncID, input, result []byte, tag mle.Tag, replace bool) error {
@@ -392,5 +561,15 @@ func (rt *Runtime) notePutError(err error) {
 	rt.mu.Lock()
 	rt.stats.PutErrors++
 	rt.mu.Unlock()
+	// PUT outcomes feed the breaker too: an explicit rejection proves
+	// the store is alive, while a transport failure counts against it.
+	if rt.degradeEnabled() {
+		switch {
+		case errors.Is(err, ErrPutRejected):
+			rt.noteStoreSuccess()
+		case isTransient(err):
+			rt.noteStoreFailure(err)
+		}
+	}
 	rt.cfg.Logf("speed: put failed: %v", err)
 }

@@ -6,7 +6,9 @@ import (
 	"io"
 	"log"
 	"net"
+	"os"
 	"sync"
+	"time"
 
 	"speed/internal/enclave"
 	"speed/internal/wire"
@@ -22,6 +24,12 @@ type Server struct {
 	accept func(enclave.Measurement) bool
 	trust  *wire.Trust
 	logf   func(format string, args ...any)
+
+	// Connection deadlines, so a stalled or half-open peer can never
+	// wedge a handler goroutine (see the WithXxxTimeout options).
+	handshakeTimeout time.Duration
+	idleTimeout      time.Duration
+	writeTimeout     time.Duration
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -51,14 +59,39 @@ func WithTrust(trust *wire.Trust) ServerOption {
 	return func(s *Server) { s.trust = trust }
 }
 
+// WithHandshakeTimeout bounds the attested handshake of a new
+// connection, shedding half-open peers. Defaults to 10s; zero or
+// negative disables the bound.
+func WithHandshakeTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.handshakeTimeout = d }
+}
+
+// WithIdleTimeout closes a connection when no request arrives within
+// d. Clients reconnect transparently (RemoteClient re-dials), so this
+// only sheds abandoned sessions. Defaults to 5m; zero or negative
+// disables the bound.
+func WithIdleTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.idleTimeout = d }
+}
+
+// WithWriteTimeout bounds each response write, so a peer that stops
+// reading cannot wedge a handler. Defaults to 30s; zero or negative
+// disables the bound.
+func WithWriteTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.writeTimeout = d }
+}
+
 // NewServer wraps store with a protocol server listening on ln.
 // Call Serve to start accepting and Close to shut down.
 func NewServer(st *Store, ln net.Listener, opts ...ServerOption) *Server {
 	s := &Server{
-		store: st,
-		ln:    ln,
-		logf:  log.Printf,
-		conns: make(map[net.Conn]struct{}),
+		store:            st,
+		ln:               ln,
+		logf:             log.Printf,
+		conns:            make(map[net.Conn]struct{}),
+		handshakeTimeout: 10 * time.Second,
+		idleTimeout:      5 * time.Minute,
+		writeTimeout:     30 * time.Second,
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -69,14 +102,35 @@ func NewServer(st *Store, ln net.Listener, opts ...ServerOption) *Server {
 // Addr returns the listener address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 
-// Serve accepts connections until Close is called. It always returns a
-// non-nil error; after Close the error is net.ErrClosed.
+// Serve accepts connections until Close is called. Temporary accept
+// failures (e.g. EMFILE under file-descriptor pressure) are retried
+// with capped exponential backoff rather than killing the server. It
+// always returns a non-nil error; after Close the error is
+// net.ErrClosed.
 func (s *Server) Serve() error {
+	var backoff time.Duration
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return net.ErrClosed
+			}
+			if te, ok := err.(interface{ Temporary() bool }); ok && te.Temporary() {
+				if backoff == 0 {
+					backoff = 5 * time.Millisecond
+				} else if backoff *= 2; backoff > time.Second {
+					backoff = time.Second
+				}
+				s.logf("store: accept: %v; retrying in %v", err, backoff)
+				time.Sleep(backoff)
+				continue
+			}
 			return err
 		}
+		backoff = 0
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -116,16 +170,23 @@ func (s *Server) Close() error {
 
 func (s *Server) handle(conn net.Conn) {
 	defer conn.Close()
+	if s.handshakeTimeout > 0 {
+		_ = conn.SetDeadline(time.Now().Add(s.handshakeTimeout))
+	}
 	ch, err := wire.ServerHandshakeTrust(conn, s.store.Enclave(), s.accept, s.trust)
 	if err != nil {
 		s.logf("store: handshake from %v: %v", conn.RemoteAddr(), err)
 		return
 	}
+	_ = conn.SetDeadline(time.Time{})
 	owner := ch.Peer()
 	for {
+		if s.idleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
+		}
 		msg, err := ch.RecvMessage()
 		if err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, os.ErrDeadlineExceeded) {
 				s.logf("store: recv from %v: %v", conn.RemoteAddr(), err)
 			}
 			return
@@ -135,9 +196,15 @@ func (s *Server) handle(conn net.Conn) {
 			s.logf("store: dispatch: %v", err)
 			return
 		}
+		if s.writeTimeout > 0 {
+			_ = conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+		}
 		if err := ch.SendMessage(reply); err != nil {
 			s.logf("store: send to %v: %v", conn.RemoteAddr(), err)
 			return
+		}
+		if s.writeTimeout > 0 {
+			_ = conn.SetWriteDeadline(time.Time{})
 		}
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"time"
 
 	"speed/internal/enclave"
 )
@@ -69,6 +70,30 @@ func (c *Channel) Peer() enclave.Measurement { return c.peer }
 
 // Close closes the underlying transport.
 func (c *Channel) Close() error { return c.conn.Close() }
+
+// deadliner is the deadline-control subset of net.Conn. TCP
+// connections and net.Pipe both implement it; in-process loopback
+// transports typically do not.
+type deadliner interface {
+	SetReadDeadline(t time.Time) error
+	SetWriteDeadline(t time.Time) error
+}
+
+// SetDeadline bounds all subsequent Send and Recv calls on the channel,
+// reporting whether the underlying transport supports deadlines. A
+// zero time clears the deadline. An expired deadline surfaces as a
+// timeout error (os.ErrDeadlineExceeded) from Send/Recv; the channel's
+// cipher state is then indeterminate mid-frame, so callers should
+// Close and re-handshake rather than continue.
+func (c *Channel) SetDeadline(t time.Time) bool {
+	d, ok := c.conn.(deadliner)
+	if !ok {
+		return false
+	}
+	rerr := d.SetReadDeadline(t)
+	werr := d.SetWriteDeadline(t)
+	return rerr == nil && werr == nil
+}
 
 // Send encrypts and writes one message frame, ratcheting the send key
 // every rekeyInterval frames.
