@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench-quick
+.PHONY: check build vet test race bench bench-quick bench-overhead
 
 check: vet race
 
@@ -22,3 +22,14 @@ race:
 
 bench-quick:
 	$(GO) run ./cmd/speedbench -quick
+
+# Refresh the committed telemetry reports: per-phase latency quantiles
+# and outcome counters captured while the fig5/fig6 experiments run.
+bench:
+	$(GO) run ./cmd/speedbench -quick -exp fig5 -metrics-out BENCH_fig5.json
+	$(GO) run ./cmd/speedbench -quick -exp fig6 -metrics-out BENCH_fig6.json
+
+# Instrumentation overhead gate: BenchmarkExecuteHitTelemetry must stay
+# within 5% of BenchmarkExecuteHit (deployment-default SGX costs).
+bench-overhead:
+	$(GO) test -run xxx -bench 'BenchmarkExecuteHit' -benchtime 1s ./internal/dedup/

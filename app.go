@@ -6,6 +6,7 @@ import (
 	"speed/internal/dedup"
 	"speed/internal/enclave"
 	"speed/internal/mle"
+	"speed/internal/telemetry"
 	"speed/internal/wire"
 )
 
@@ -44,6 +45,16 @@ type AppConfig struct {
 	AdaptiveMinSamples       int
 	AdaptiveBenefitThreshold float64
 	AdaptiveProbation        int
+	// MetricsAddr, when non-empty (e.g. "127.0.0.1:0"), serves the
+	// deployment's telemetry registry over HTTP for the lifetime of the
+	// App: /metrics (Prometheus text format), /debug/trace (sampled
+	// trace events) and /debug/vars (JSON snapshot). The bound address
+	// is available from App.MetricsAddr.
+	MetricsAddr string
+	// TraceSampleRate traces one Execute call in every N into the
+	// registry's trace ring. 0 uses the default (64); negative disables
+	// tracing.
+	TraceSampleRate int
 }
 
 // App is one SGX-enabled application: its enclave plus the secure
@@ -52,6 +63,8 @@ type App struct {
 	enclave *enclave.Enclave
 	runtime *dedup.Runtime
 	advisor *dedup.Advisor // non-nil when adaptive
+	tel     *telemetry.Registry
+	metrics *telemetry.MetricsServer // non-nil when MetricsAddr was set
 }
 
 // NewApp creates an application enclave on the deployment's platform
@@ -74,7 +87,8 @@ func (s *System) NewAppWithConfig(name string, code []byte, cfg AppConfig) (*App
 		if len(cfg.TrustedStorePlatforms) > 0 {
 			trust = &wire.Trust{PlatformKeys: cfg.TrustedStorePlatforms}
 		}
-		client, err = dedup.DialTrust(cfg.RemoteStoreAddr, enc, cfg.RemoteStoreMeasurement, trust)
+		client, err = dedup.DialConfig(cfg.RemoteStoreAddr, enc, cfg.RemoteStoreMeasurement,
+			dedup.RemoteConfig{Trust: trust, Telemetry: s.tel})
 		if err != nil {
 			enc.Destroy()
 			return nil, fmt.Errorf("speed: connect remote store: %w", err)
@@ -89,16 +103,28 @@ func (s *System) NewAppWithConfig(name string, code []byte, cfg AppConfig) (*App
 	}
 
 	rt, err := dedup.NewRuntime(dedup.Config{
-		Enclave:  enc,
-		Client:   client,
-		Scheme:   scheme,
-		AsyncPut: cfg.AsyncPut,
+		Enclave:         enc,
+		Client:          client,
+		Scheme:          scheme,
+		AsyncPut:        cfg.AsyncPut,
+		Telemetry:       s.tel,
+		TraceSampleRate: cfg.TraceSampleRate,
 	})
 	if err != nil {
 		enc.Destroy()
 		return nil, fmt.Errorf("speed: create runtime: %w", err)
 	}
-	app := &App{enclave: enc, runtime: rt}
+	enc.RegisterTelemetry(s.tel)
+	app := &App{enclave: enc, runtime: rt, tel: s.tel}
+	if cfg.MetricsAddr != "" {
+		ms, err := telemetry.Serve(cfg.MetricsAddr, s.tel)
+		if err != nil {
+			_ = rt.Close()
+			enc.Destroy()
+			return nil, fmt.Errorf("speed: metrics listener: %w", err)
+		}
+		app.metrics = ms
+	}
 	if cfg.Adaptive {
 		app.advisor = dedup.NewAdvisor(dedup.AdaptivePolicy{
 			MinSamples:       cfg.AdaptiveMinSamples,
@@ -136,24 +162,51 @@ type AppStats struct {
 	// unreachable; StoreFailures store transport failures; Retries
 	// request retries performed by the store client.
 	Degraded, StoreFailures, Retries int64
+	// ECalls and OCalls count the application enclave's world switches;
+	// PageFaults its EPC paging events; AllocBytes its cumulative
+	// protected-heap allocations. Together they expose the SGX-side
+	// cost the deduplication latencies are traded against.
+	ECalls, OCalls, PageFaults, AllocBytes int64
 }
 
 // Stats returns a snapshot of the application's counters.
 func (a *App) Stats() AppStats {
 	st := a.runtime.Stats()
+	em := a.enclave.Metrics()
 	return AppStats{
 		Calls: st.Calls, Reused: st.Reused, Computed: st.Computed,
 		Coalesced:      st.Coalesced,
 		VerifyFailures: st.VerifyFailures, PutErrors: st.PutErrors,
 		BytesReused: st.BytesReused,
 		Degraded:    st.Degraded, StoreFailures: st.StoreFailures, Retries: st.Retries,
+		ECalls: em.ECalls, OCalls: em.OCalls,
+		PageFaults: em.PageFaults, AllocBytes: em.AllocBytes,
 	}
 }
 
-// Close drains pending uploads, disconnects from the store, and
-// destroys the application enclave.
+// Telemetry returns the deployment-wide metric registry this App
+// reports into (shared with the System that created it).
+func (a *App) Telemetry() *telemetry.Registry { return a.tel }
+
+// MetricsAddr returns the bound address of the App's metrics endpoint,
+// or "" when AppConfig.MetricsAddr was not set.
+func (a *App) MetricsAddr() string {
+	if a.metrics == nil {
+		return ""
+	}
+	return a.metrics.Addr().String()
+}
+
+// Close drains pending uploads, disconnects from the store, stops the
+// metrics endpoint if one was started, and destroys the application
+// enclave.
 func (a *App) Close() error {
 	err := a.runtime.Close()
+	if a.metrics != nil {
+		if cerr := a.metrics.Close(); err == nil {
+			err = cerr
+		}
+	}
 	a.enclave.Destroy()
 	return err
 }

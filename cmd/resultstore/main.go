@@ -6,7 +6,8 @@
 // Usage:
 //
 //	resultstore -listen 127.0.0.1:7800 [-blobdir /var/lib/speed] \
-//	            [-max-entries 100000] [-quota-bytes 1073741824]
+//	            [-max-entries 100000] [-quota-bytes 1073741824] \
+//	            [-metrics 127.0.0.1:9090] [-stats-interval 30s]
 //
 // On startup it prints the store enclave's measurement, which client
 // applications pin during the attested channel handshake.
@@ -23,6 +24,7 @@ import (
 
 	"speed/internal/enclave"
 	"speed/internal/store"
+	"speed/internal/telemetry"
 )
 
 func main() {
@@ -47,6 +49,8 @@ func run(args []string) error {
 	handshakeTimeout := fs.Duration("handshake-timeout", 10*time.Second, "attested handshake deadline for new connections (0 = unbounded)")
 	idleTimeout := fs.Duration("idle-timeout", 5*time.Minute, "close connections idle longer than this (0 = unbounded)")
 	writeTimeout := fs.Duration("write-timeout", 30*time.Second, "per-response write deadline (0 = unbounded)")
+	metricsAddr := fs.String("metrics", "", "serve /metrics, /debug/trace and /debug/vars on this address (empty = disabled)")
+	statsInterval := fs.Duration("stats-interval", 0, "print a stats summary line at this interval (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -70,12 +74,16 @@ func run(args []string) error {
 			return err
 		}
 	}
+	reg := telemetry.NewRegistry()
+	platform.RegisterTelemetry(reg)
+	storeEnc.RegisterTelemetry(reg)
 	st, err := store.New(store.Config{
 		Enclave:      storeEnc,
 		Blobs:        blobs,
 		MaxEntries:   *maxEntries,
 		MaxBlobBytes: *maxBlobBytes,
 		TTL:          *ttl,
+		Telemetry:    reg,
 		Quota: store.QuotaConfig{
 			MaxBytesPerApp: *quotaBytes,
 			PutRatePerSec:  *quotaRate,
@@ -105,9 +113,47 @@ func run(args []string) error {
 		store.WithHandshakeTimeout(*handshakeTimeout),
 		store.WithIdleTimeout(*idleTimeout),
 		store.WithWriteTimeout(*writeTimeout),
+		store.WithTelemetry(reg),
 	)
 	fmt.Printf("resultstore: listening on %s\n", ln.Addr())
 	fmt.Printf("resultstore: enclave measurement %x\n", storeEnc.Measurement())
+
+	if *metricsAddr != "" {
+		ms, merr := telemetry.Serve(*metricsAddr, reg)
+		if merr != nil {
+			return fmt.Errorf("metrics listen: %w", merr)
+		}
+		defer ms.Close()
+		fmt.Printf("resultstore: metrics on http://%s/metrics\n", ms.Addr())
+	}
+
+	summary := func(prefix string) {
+		s := st.Stats()
+		hitPct := 0.0
+		if s.Gets > 0 {
+			hitPct = 100 * float64(s.Hits) / float64(s.Gets)
+		}
+		fmt.Printf("resultstore: %s gets=%d hits=%d (%.1f%%) puts=%d dupes=%d denied=%d unauthorized=%d evictions=%d expired=%d entries=%d blob_bytes=%d epc_used=%d\n",
+			prefix, s.Gets, s.Hits, hitPct, s.Puts, s.PutDupes, s.PutDenied,
+			s.Unauthorized, s.Evictions, s.Expired, s.Entries, s.BlobBytes,
+			platform.EPCUsed())
+	}
+	if *statsInterval > 0 {
+		ticker := time.NewTicker(*statsInterval)
+		defer ticker.Stop()
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			for {
+				select {
+				case <-ticker.C:
+					summary("stats")
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve() }()
@@ -130,8 +176,7 @@ func run(args []string) error {
 			}
 			fmt.Printf("resultstore: sealed %d bytes to %s\n", len(snap), *snapshotPath)
 		}
-		stats := st.Stats()
-		fmt.Printf("resultstore: final stats: %+v\n", stats)
+		summary("final")
 		return nil
 	case err := <-errCh:
 		return err

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"speed"
@@ -185,10 +186,39 @@ func scan(tracePath, rulesPath string, useDedup bool) error {
 		st := app.Stats()
 		fmt.Printf("dedup: %d computed, %d reused (%.0f%% hit rate)\n",
 			st.Computed, st.Reused, float64(st.Reused)/float64(st.Calls)*100)
+		printPhaseSummary(app)
+		fmt.Printf("dedup: enclave: %d ecalls, %d ocalls, %d page faults, %d heap bytes allocated\n",
+			st.ECalls, st.OCalls, st.PageFaults, st.AllocBytes)
 	}
 	elapsed := time.Since(start)
 	fmt.Printf("scanned %d packets in %v (%.0f pkt/s), %d flagged\n",
 		scanned, elapsed.Round(time.Millisecond),
 		float64(scanned)/elapsed.Seconds(), flagged)
 	return nil
+}
+
+// printPhaseSummary prints the per-phase Execute latency quantiles the
+// runtime recorded during the scan.
+func printPhaseSummary(app *speed.App) {
+	snap := app.Telemetry().Snapshot()
+	rows := snap.HistogramsByFamily("speed_execute_phase_seconds")
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Println("dedup: phase latency             count       p50       p95       p99")
+	for _, h := range rows {
+		phase := h.Name
+		if i := strings.Index(phase, `phase="`); i >= 0 {
+			phase = phase[i+len(`phase="`):]
+			if j := strings.IndexByte(phase, '"'); j >= 0 {
+				phase = phase[:j]
+			}
+		}
+		fmt.Printf("dedup:   %-20s %8d %9v %9v %9v\n", phase, h.Count,
+			secondsToDuration(h.P50), secondsToDuration(h.P95), secondsToDuration(h.P99))
+	}
+}
+
+func secondsToDuration(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second)).Round(100 * time.Nanosecond)
 }

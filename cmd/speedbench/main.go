@@ -5,20 +5,30 @@
 //
 //	speedbench -exp all            # everything (minutes)
 //	speedbench -exp table1         # Table I crypto operation latency
+//	speedbench -exp fig5           # fig5a through fig5d
 //	speedbench -exp fig5a|fig5b|fig5c|fig5d
 //	speedbench -exp fig6
 //	speedbench -exp ablations
 //	speedbench -exp resilience     # store-outage fault injection
 //	speedbench -quick              # reduced sizes/trials for a fast pass
+//
+// With -metrics-out FILE, the run records phase-level telemetry and
+// writes a JSON report (per-phase p50/p95/p99 latencies, outcome
+// counters, and the full registry snapshot) to FILE, e.g.:
+//
+//	speedbench -exp fig5 -metrics-out BENCH_fig5.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"speed/internal/bench"
+	"speed/internal/telemetry"
 )
 
 func main() {
@@ -30,13 +40,21 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("speedbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: all, table1, fig5a, fig5b, fig5c, fig5d, fig6, ablations, effort, resilience")
+	exp := fs.String("exp", "all", "experiment: all, table1, fig5 (=fig5a-d), fig5a, fig5b, fig5c, fig5d, fig6, ablations, effort, resilience")
 	quick := fs.Bool("quick", false, "reduced sizes and trials")
 	trials := fs.Int("trials", 0, "override trial count (0 = default)")
 	storeTimeout := fs.Duration("store-timeout", 200*time.Millisecond, "resilience: per-request store deadline")
 	storeRetries := fs.Int("store-retries", 2, "resilience: max retries per store request (negative disables)")
+	metricsOut := fs.String("metrics-out", "", "write a JSON telemetry report (per-phase p50/p95/p99, counters) to this file after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var reg *telemetry.Registry
+	if *metricsOut != "" {
+		reg = telemetry.NewRegistry()
+		bench.SetTelemetry(reg)
+		defer bench.SetTelemetry(nil)
 	}
 
 	t := 5
@@ -62,20 +80,112 @@ func run(args []string) error {
 			return runResilience(*quick, *storeTimeout, *storeRetries)
 		},
 	}
-	if *exp == "all" {
-		for _, name := range []string{"table1", "fig5a", "fig5b", "fig5c", "fig5d", "fig6", "ablations", "effort", "resilience"} {
+	runNamed := func(names ...string) error {
+		for i, name := range names {
 			if err := experiments[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}
-			fmt.Println()
+			if i < len(names)-1 {
+				fmt.Println()
+			}
 		}
 		return nil
 	}
-	fn, ok := experiments[*exp]
-	if !ok {
+	experiments["fig5"] = func() error {
+		return runNamed("fig5a", "fig5b", "fig5c", "fig5d")
+	}
+
+	var err error
+	if *exp == "all" {
+		err = runNamed("table1", "fig5a", "fig5b", "fig5c", "fig5d", "fig6", "ablations", "effort", "resilience")
+	} else if fn, ok := experiments[*exp]; ok {
+		err = fn()
+	} else {
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
-	return fn()
+	if err != nil {
+		return err
+	}
+	if *metricsOut != "" {
+		if err := writeMetricsReport(*metricsOut, *exp, reg); err != nil {
+			return fmt.Errorf("write metrics report: %w", err)
+		}
+		fmt.Printf("speedbench: wrote telemetry report to %s\n", *metricsOut)
+	}
+	return nil
+}
+
+// phaseQuantiles is one row of the report's per-phase latency summary.
+type phaseQuantiles struct {
+	Phase      string  `json:"phase"`
+	Count      int64   `json:"count"`
+	P50Seconds float64 `json:"p50_seconds"`
+	P95Seconds float64 `json:"p95_seconds"`
+	P99Seconds float64 `json:"p99_seconds"`
+}
+
+// metricsReport is the -metrics-out JSON document.
+type metricsReport struct {
+	Experiment string             `json:"experiment"`
+	Calls      int64              `json:"calls"`
+	Reused     int64              `json:"reused"`
+	Computed   int64              `json:"computed"`
+	HitRate    float64            `json:"hit_rate"`
+	Phases     []phaseQuantiles   `json:"phases"`
+	Execute    []phaseQuantiles   `json:"execute_by_outcome"`
+	Snapshot   telemetry.Snapshot `json:"snapshot"`
+}
+
+// labelValue extracts one label's value from a rendered metric name
+// like `speed_execute_phase_seconds{app="x",phase="tag"}`.
+func labelValue(full, label string) string {
+	marker := label + `="`
+	i := strings.Index(full, marker)
+	if i < 0 {
+		return full
+	}
+	rest := full[i+len(marker):]
+	if j := strings.IndexByte(rest, '"'); j >= 0 {
+		return rest[:j]
+	}
+	return rest
+}
+
+func quantileRows(snap telemetry.Snapshot, family, label string) []phaseQuantiles {
+	var rows []phaseQuantiles
+	for _, h := range snap.HistogramsByFamily(family) {
+		rows = append(rows, phaseQuantiles{
+			Phase:      labelValue(h.Name, label),
+			Count:      h.Count,
+			P50Seconds: h.P50,
+			P95Seconds: h.P95,
+			P99Seconds: h.P99,
+		})
+	}
+	return rows
+}
+
+func writeMetricsReport(path, experiment string, reg *telemetry.Registry) error {
+	snap := reg.Snapshot()
+	calls := snap.Counter(`speed_runtime_calls_total{app="bench-app"}`)
+	reused := snap.Counter(`speed_runtime_reused_total{app="bench-app"}`)
+	report := metricsReport{
+		Experiment: experiment,
+		Calls:      calls,
+		Reused:     reused,
+		Computed:   snap.Counter(`speed_runtime_computed_total{app="bench-app"}`),
+		Phases:     quantileRows(snap, "speed_execute_phase_seconds", "phase"),
+		Execute:    quantileRows(snap, "speed_execute_seconds", "outcome"),
+		Snapshot:   snap,
+	}
+	if calls > 0 {
+		report.HitRate = float64(reused) / float64(calls)
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func runTable1(trials int) error {

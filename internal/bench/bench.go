@@ -21,7 +21,19 @@ import (
 	"speed/internal/dedup"
 	"speed/internal/enclave"
 	"speed/internal/store"
+	"speed/internal/telemetry"
 )
+
+// registry, when set with SetTelemetry, is threaded into every
+// deployment the harness builds, so one registry accumulates phase
+// histograms and counters across all experiments of a run (the
+// registrations are idempotent and the func-backed counters sum over
+// environments).
+var registry *telemetry.Registry
+
+// SetTelemetry makes all subsequently created benchmark environments
+// report into reg. Pass nil to disable (the default).
+func SetTelemetry(reg *telemetry.Registry) { registry = reg }
 
 // env bundles one application + store deployment for measurements.
 type env struct {
@@ -44,14 +56,15 @@ func newEnv(withSGX bool) (*env, error) {
 	if err != nil {
 		return nil, err
 	}
-	st, err := store.New(store.Config{Enclave: storeEnc})
+	st, err := store.New(store.Config{Enclave: storeEnc, Telemetry: registry})
 	if err != nil {
 		return nil, err
 	}
 	rt, err := dedup.NewRuntime(dedup.Config{
-		Enclave: appEnc,
-		Client:  dedup.NewLocalClient(st, appEnc.Measurement()),
-		Logf:    func(string, ...any) {},
+		Enclave:   appEnc,
+		Client:    dedup.NewLocalClient(st, appEnc.Measurement()),
+		Logf:      func(string, ...any) {},
+		Telemetry: registry,
 	})
 	if err != nil {
 		return nil, err

@@ -15,6 +15,7 @@ import (
 	"speed/internal/enclave"
 	"speed/internal/mle"
 	"speed/internal/store"
+	"speed/internal/telemetry"
 	"speed/internal/wire"
 )
 
@@ -109,6 +110,10 @@ type RemoteConfig struct {
 	// with the runtime's degradation mode the application starts
 	// compute-only and picks up deduplication when the store appears.
 	Lazy bool
+	// Telemetry, when non-nil, registers the client's retry and
+	// reconnect counters so the registry sees them directly rather
+	// than through the runtime's Stats probe.
+	Telemetry *telemetry.Registry
 }
 
 func (cfg *RemoteConfig) fillDefaults() {
@@ -148,6 +153,11 @@ type RemoteClient struct {
 	retries    atomic.Int64
 	reconnects atomic.Int64
 
+	// Telemetry mirrors of the two counters above; nil-safe no-ops
+	// when RemoteConfig.Telemetry was nil.
+	retriesC    *telemetry.Counter
+	reconnectsC *telemetry.Counter
+
 	mu     sync.Mutex
 	ch     *wire.Channel // nil while disconnected
 	closed bool
@@ -179,6 +189,13 @@ func DialConfig(addr string, app *enclave.Enclave, storeMeasurement enclave.Meas
 		app:       app,
 		storeMeas: storeMeasurement,
 		canRedial: true,
+	}
+	if cfg.Telemetry != nil {
+		appLabel := telemetry.L("app", app.Name())
+		c.retriesC = cfg.Telemetry.NewCounter("speed_client_retries_total",
+			"store request retries after transient failures", appLabel)
+		c.reconnectsC = cfg.Telemetry.NewCounter("speed_client_reconnects_total",
+			"successful re-dials of the attested store channel", appLabel)
 	}
 	if !cfg.Lazy {
 		ch, err := c.dialChannel()
@@ -249,6 +266,7 @@ func (c *RemoteClient) roundTrip(req wire.Message) (wire.Message, error) {
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			c.retries.Add(1)
+			c.retriesC.Inc()
 			sleepJittered(backoff)
 			backoff *= 2
 			if backoff > c.cfg.RetryMaxBackoff {
@@ -290,6 +308,7 @@ func (c *RemoteClient) tryOnce(req wire.Message) (wire.Message, error) {
 		}
 		c.ch = ch
 		c.reconnects.Add(1)
+		c.reconnectsC.Inc()
 	}
 	ch := c.ch
 	if c.cfg.RequestTimeout > 0 {

@@ -5,10 +5,12 @@ import (
 	"fmt"
 	"log"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"speed/internal/enclave"
 	"speed/internal/mle"
+	"speed/internal/telemetry"
 )
 
 // Outcome describes how a marked computation was satisfied.
@@ -87,6 +89,17 @@ type Config struct {
 	// ProbeInterval is how often a degraded runtime probes the store in
 	// the background to detect recovery; defaults to 500ms.
 	ProbeInterval time.Duration
+	// Telemetry, when non-nil, registers the runtime's metrics —
+	// outcome counters, the end-to-end Execute latency histogram per
+	// outcome, and per-phase latency histograms (tag derivation, store
+	// GET, verify/decrypt, compute, encrypt, store PUT, coalesce wait)
+	// — labelled app=<enclave name>, and samples call traces into the
+	// registry's trace ring. Nil disables instrumentation entirely.
+	Telemetry *telemetry.Registry
+	// TraceSampleRate traces one Execute call in every N into the
+	// telemetry registry's trace ring. Zero selects the default (64);
+	// negative disables tracing while keeping the metrics.
+	TraceSampleRate int
 	// Logf is the diagnostic logger; defaults to log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -154,6 +167,12 @@ type Runtime struct {
 	stop   chan struct{}
 	done   chan struct{}
 	closed bool
+
+	// tel is nil when Config.Telemetry was nil; every instrumentation
+	// site is guarded on it, so the uninstrumented path costs one
+	// pointer test.
+	tel    *rtMetrics
+	traceN atomic.Uint64
 }
 
 // flight is one in-progress computation that concurrent identical
@@ -205,6 +224,7 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
 	}
+	rt.tel = newRTMetrics(cfg.Telemetry, rt, cfg.TraceSampleRate)
 	if cfg.AsyncPut {
 		rt.putCh = make(chan putJob, cfg.PutQueueDepth)
 		go rt.putWorker()
@@ -220,14 +240,19 @@ func (rt *Runtime) Registry() *Registry { return rt.cfg.Registry }
 // Enclave returns the application enclave.
 func (rt *Runtime) Enclave() *enclave.Enclave { return rt.cfg.Enclave }
 
-// Stats returns a snapshot of the runtime's counters.
+// Stats returns a snapshot of the runtime's counters. The client's
+// retry counter is read while the stats lock is still held, so Retries
+// is taken at the same instant as the rest of the snapshot: a call
+// whose retries have been counted cannot yet have bumped StoreFailures
+// without the snapshot seeing both. (Retries itself is an atomic load
+// from the client, so no lock ordering is introduced.)
 func (rt *Runtime) Stats() Stats {
 	rt.mu.Lock()
 	s := rt.stats
-	rt.mu.Unlock()
 	if rc, ok := rt.cfg.Client.(retryCounter); ok {
 		s.Retries = rc.Retries()
 	}
+	rt.mu.Unlock()
 	return s
 }
 
@@ -335,12 +360,18 @@ func (rt *Runtime) Execute(id mle.FuncID, input []byte, compute func([]byte) ([]
 	var (
 		result  []byte
 		outcome Outcome
+		span    *execSpan
 	)
+	if rt.tel != nil {
+		span = &execSpan{start: time.Now()}
+	}
 	err := rt.cfg.Enclave.ECall(func() error {
 		// Algorithm 1/2 line 1: derive the tag inside the enclave.
+		span.begin(phaseTag)
 		tag := mle.ComputeTag(id, input)
+		span.end(phaseTag)
 
-		run := func() error { return rt.executeTagged(id, input, tag, compute, &result, &outcome) }
+		run := func() error { return rt.executeTagged(id, input, tag, compute, span, &result, &outcome) }
 
 		// In-process coalescing: if the identical computation is
 		// already in flight, wait for it and share its result instead
@@ -351,7 +382,9 @@ func (rt *Runtime) Execute(id mle.FuncID, input []byte, compute func([]byte) ([]
 		rt.flightMu.Lock()
 		if f, ok := rt.inflight[tag]; ok {
 			rt.flightMu.Unlock()
+			span.begin(phaseCoalesceWait)
 			<-f.done
+			span.end(phaseCoalesceWait)
 			if f.err != nil {
 				return f.err
 			}
@@ -393,6 +426,10 @@ func (rt *Runtime) Execute(id mle.FuncID, input []byte, compute func([]byte) ([]
 		completed = true
 		return ferr
 	})
+	if span != nil {
+		total := rt.tel.record(span, outcome, err)
+		rt.maybeTrace(id, span, outcome, total, err)
+	}
 	if err != nil {
 		return nil, 0, err
 	}
@@ -402,12 +439,12 @@ func (rt *Runtime) Execute(id mle.FuncID, input []byte, compute func([]byte) ([]
 // executeTagged runs the store lookup / verify / compute / upload path
 // for an already-derived tag, writing the result and outcome through
 // the provided pointers. It runs inside the application enclave.
-func (rt *Runtime) executeTagged(id mle.FuncID, input []byte, tag mle.Tag, compute func([]byte) ([]byte, error), resultOut *[]byte, outcomeOut *Outcome) error {
+func (rt *Runtime) executeTagged(id mle.FuncID, input []byte, tag mle.Tag, compute func([]byte) ([]byte, error), span *execSpan, resultOut *[]byte, outcomeOut *Outcome) error {
 	// Graceful degradation: with the breaker open the store is known
 	// to be down, so skip GET/PUT entirely and serve compute-only —
 	// deduplication is an accelerator, not a correctness dependency.
 	if rt.degradeEnabled() && rt.Degraded() {
-		return rt.computeOnly(input, compute, resultOut, outcomeOut)
+		return rt.computeOnly(input, compute, span, resultOut, outcomeOut)
 	}
 
 	// Line 2: query the store via an OCALL (the runtime's customized
@@ -416,11 +453,13 @@ func (rt *Runtime) executeTagged(id mle.FuncID, input []byte, tag mle.Tag, compu
 		sealed mle.Sealed
 		found  bool
 	)
+	span.begin(phaseStoreGet)
 	err := rt.cfg.Enclave.OCall(func() error {
 		var gerr error
 		sealed, found, gerr = rt.cfg.Client.Get(tag)
 		return gerr
 	})
+	span.end(phaseStoreGet)
 	if err != nil {
 		if !rt.degradeEnabled() {
 			return fmt.Errorf("query store: %w", err)
@@ -430,14 +469,16 @@ func (rt *Runtime) executeTagged(id mle.FuncID, input []byte, tag mle.Tag, compu
 		// the circuit breaker.
 		rt.noteStoreFailure(err)
 		rt.cfg.Logf("speed: store get failed, serving compute-only: %v", err)
-		return rt.computeOnly(input, compute, resultOut, outcomeOut)
+		return rt.computeOnly(input, compute, span, resultOut, outcomeOut)
 	}
 	rt.noteStoreSuccess()
 
 	hadPoisonedEntry := false
 	if found {
 		// Algorithm 2 lines 4-6 + Fig. 3 verification.
+		span.begin(phaseVerifyDecrypt)
 		res, derr := rt.cfg.Scheme.Decrypt(id, input, sealed)
+		span.end(phaseVerifyDecrypt)
 		if derr == nil {
 			*resultOut = res
 			*outcomeOut = OutcomeReused
@@ -459,7 +500,9 @@ func (rt *Runtime) executeTagged(id mle.FuncID, input []byte, tag mle.Tag, compu
 	}
 
 	// Algorithm 1 line 4: compute the result inside the enclave.
+	span.begin(phaseCompute)
 	res, cerr := compute(input)
+	span.end(phaseCompute)
 	if cerr != nil {
 		return cerr
 	}
@@ -482,7 +525,7 @@ func (rt *Runtime) executeTagged(id mle.FuncID, input []byte, tag mle.Tag, compu
 		rt.enqueuePut(putJob{id: id, input: input, result: res, tag: tag, replace: replace})
 		return nil
 	}
-	if perr := rt.sealAndPut(id, input, res, tag, replace); perr != nil {
+	if perr := rt.sealAndPut(id, input, res, tag, replace, span); perr != nil {
 		// A failed upload only loses future reuse; the caller still
 		// gets its freshly computed result.
 		rt.notePutError(perr)
@@ -493,8 +536,10 @@ func (rt *Runtime) executeTagged(id mle.FuncID, input []byte, tag mle.Tag, compu
 // computeOnly runs the computation without touching the store, used
 // while the store is unreachable or the breaker is open. The result is
 // correct either way; only reuse is lost.
-func (rt *Runtime) computeOnly(input []byte, compute func([]byte) ([]byte, error), resultOut *[]byte, outcomeOut *Outcome) error {
+func (rt *Runtime) computeOnly(input []byte, compute func([]byte) ([]byte, error), span *execSpan, resultOut *[]byte, outcomeOut *Outcome) error {
+	span.begin(phaseCompute)
 	res, cerr := compute(input)
+	span.end(phaseCompute)
 	if cerr != nil {
 		return cerr
 	}
@@ -509,14 +554,19 @@ func (rt *Runtime) computeOnly(input []byte, compute func([]byte) ([]byte, error
 
 // sealAndPut encrypts the result (RCE: random key, challenge, wrap) and
 // uploads (t, r, [k], [res]) via an OCALL.
-func (rt *Runtime) sealAndPut(id mle.FuncID, input, result []byte, tag mle.Tag, replace bool) error {
+func (rt *Runtime) sealAndPut(id mle.FuncID, input, result []byte, tag mle.Tag, replace bool, span *execSpan) error {
+	span.begin(phaseEncrypt)
 	sealed, err := rt.cfg.Scheme.Encrypt(id, input, result)
+	span.end(phaseEncrypt)
 	if err != nil {
 		return fmt.Errorf("encrypt result: %w", err)
 	}
-	return rt.cfg.Enclave.OCall(func() error {
+	span.begin(phaseStorePut)
+	err = rt.cfg.Enclave.OCall(func() error {
 		return rt.cfg.Client.Put(tag, sealed, replace)
 	})
+	span.end(phaseStorePut)
+	return err
 }
 
 func (rt *Runtime) enqueuePut(job putJob) {
@@ -549,9 +599,19 @@ func (rt *Runtime) putWorker() {
 }
 
 func (rt *Runtime) runPutJob(job putJob) {
+	// The async PUT pipeline gets its own span so the encrypt and
+	// store_put phases are still measured (they just no longer sit on
+	// the caller's path, which is the point of AsyncPut).
+	var span *execSpan
+	if rt.tel != nil {
+		span = &execSpan{start: time.Now()}
+	}
 	err := rt.cfg.Enclave.ECall(func() error {
-		return rt.sealAndPut(job.id, job.input, job.result, job.tag, job.replace)
+		return rt.sealAndPut(job.id, job.input, job.result, job.tag, job.replace, span)
 	})
+	if span != nil {
+		rt.tel.observePhases(span)
+	}
 	if err != nil {
 		rt.notePutError(err)
 	}

@@ -1,0 +1,194 @@
+package dedup
+
+import (
+	"encoding/hex"
+	"time"
+
+	"speed/internal/mle"
+	"speed/internal/telemetry"
+)
+
+// The phases of one Execute call, in chronological order. Each phase
+// maps to a step of Algorithm 1/2: tag derivation, the store GET
+// OCALL, the Fig. 3 verification + decryption, the computation itself,
+// result encryption and the store PUT OCALL; coalesce_wait is the time
+// a call spent waiting on an identical in-flight computation.
+type execPhase int
+
+const (
+	phaseTag execPhase = iota
+	phaseCoalesceWait
+	phaseStoreGet
+	phaseVerifyDecrypt
+	phaseCompute
+	phaseEncrypt
+	phaseStorePut
+	numPhases
+)
+
+var phaseNames = [numPhases]string{
+	"tag", "coalesce_wait", "store_get", "verify_decrypt",
+	"compute", "encrypt", "store_put",
+}
+
+// defaultTraceSampleRate traces one Execute call in every N by
+// default; see Config.TraceSampleRate.
+const defaultTraceSampleRate = 64
+
+// execSpan accumulates one call's phase timings on the caller's stack.
+// All methods are nil-safe, so the telemetry-disabled path pays one
+// pointer test per phase boundary and nothing else.
+type execSpan struct {
+	start      time.Time
+	phaseStart [numPhases]time.Duration
+	phaseDur   [numPhases]time.Duration
+	seen       uint16 // bitmask of phases that completed
+}
+
+func (s *execSpan) begin(p execPhase) {
+	if s != nil {
+		s.phaseStart[p] = time.Since(s.start)
+	}
+}
+
+func (s *execSpan) end(p execPhase) {
+	if s != nil {
+		s.phaseDur[p] += time.Since(s.start) - s.phaseStart[p]
+		s.seen |= 1 << uint(p)
+	}
+}
+
+// outcome histogram slots: the four Outcome values plus an error slot.
+const (
+	numOutcomeSlots = 5
+	errorSlot       = numOutcomeSlots - 1
+)
+
+// rtMetrics is the runtime's pre-registered metric set. All metric
+// lookups and label rendering happen once at NewRuntime; the Execute
+// path only touches atomics.
+type rtMetrics struct {
+	reg         *telemetry.Registry
+	execSeconds [numOutcomeSlots]*telemetry.Histogram
+	phases      [numPhases]*telemetry.Histogram
+	sampleEvery uint64
+	app         string
+}
+
+// newRTMetrics wires the runtime into reg. With a nil registry it
+// returns nil and the runtime runs uninstrumented.
+func newRTMetrics(reg *telemetry.Registry, rt *Runtime, sampleRate int) *rtMetrics {
+	if reg == nil {
+		return nil
+	}
+	app := rt.cfg.Enclave.Name()
+	appLabel := telemetry.L("app", app)
+	m := &rtMetrics{reg: reg, app: app}
+	switch {
+	case sampleRate < 0:
+		m.sampleEvery = 0 // tracing disabled
+	case sampleRate == 0:
+		m.sampleEvery = defaultTraceSampleRate
+	default:
+		m.sampleEvery = uint64(sampleRate)
+	}
+	outcomeLabels := [numOutcomeSlots]string{
+		OutcomeComputed - 1:   "computed",
+		OutcomeReused - 1:     "reused",
+		OutcomeRecomputed - 1: "recomputed",
+		OutcomeCoalesced - 1:  "coalesced",
+		errorSlot:             "error",
+	}
+	for i, lbl := range outcomeLabels {
+		m.execSeconds[i] = reg.NewHistogram("speed_execute_seconds",
+			"end-to-end Execute latency by outcome", appLabel,
+			telemetry.L("outcome", lbl))
+	}
+	for p := execPhase(0); p < numPhases; p++ {
+		m.phases[p] = reg.NewHistogram("speed_execute_phase_seconds",
+			"Execute latency per phase", appLabel,
+			telemetry.L("phase", phaseNames[p]))
+	}
+	// Counters mirror the Stats snapshot (one source of truth, read on
+	// demand); Retries comes from the same snapshot, so the registry no
+	// longer needs the retryCounter side channel.
+	for _, c := range []struct {
+		name, help string
+		field      func(Stats) int64
+	}{
+		{"speed_runtime_calls_total", "Execute invocations", func(s Stats) int64 { return s.Calls }},
+		{"speed_runtime_reused_total", "results served from the store", func(s Stats) int64 { return s.Reused }},
+		{"speed_runtime_computed_total", "fresh computations", func(s Stats) int64 { return s.Computed }},
+		{"speed_runtime_coalesced_total", "calls that shared an in-flight computation", func(s Stats) int64 { return s.Coalesced }},
+		{"speed_runtime_verify_failures_total", "stored entries rejected by verification", func(s Stats) int64 { return s.VerifyFailures }},
+		{"speed_runtime_put_errors_total", "failed or rejected uploads", func(s Stats) int64 { return s.PutErrors }},
+		{"speed_runtime_bytes_reused_total", "plaintext bytes served from the store", func(s Stats) int64 { return s.BytesReused }},
+		{"speed_runtime_degraded_calls_total", "calls served compute-only while the store was down", func(s Stats) int64 { return s.Degraded }},
+		{"speed_runtime_store_failures_total", "store transport failures", func(s Stats) int64 { return s.StoreFailures }},
+		{"speed_runtime_retries_total", "store request retries", func(s Stats) int64 { return s.Retries }},
+	} {
+		field := c.field
+		reg.NewCounterFunc(c.name, c.help, func() int64 { return field(rt.Stats()) }, appLabel)
+	}
+	reg.NewGaugeFunc("speed_runtime_degraded", "1 while the circuit breaker is open", func() float64 {
+		if rt.Degraded() {
+			return 1
+		}
+		return 0
+	}, appLabel)
+	return m
+}
+
+// record folds a finished call's span into the histograms and returns
+// the total latency for the trace sampler.
+func (m *rtMetrics) record(span *execSpan, outcome Outcome, err error) time.Duration {
+	total := time.Since(span.start)
+	slot := errorSlot
+	if err == nil && outcome >= OutcomeComputed && outcome <= OutcomeCoalesced {
+		slot = int(outcome) - 1
+	}
+	m.execSeconds[slot].Observe(total)
+	m.observePhases(span)
+	return total
+}
+
+// observePhases records every completed phase of the span.
+func (m *rtMetrics) observePhases(span *execSpan) {
+	for p := execPhase(0); p < numPhases; p++ {
+		if span.seen&(1<<uint(p)) != 0 {
+			m.phases[p].Observe(span.phaseDur[p])
+		}
+	}
+}
+
+// maybeTrace samples one call in sampleEvery into the registry's trace
+// ring. The sampled path allocates; the unsampled path is one atomic
+// add and a modulo.
+func (rt *Runtime) maybeTrace(id mle.FuncID, span *execSpan, outcome Outcome, total time.Duration, err error) {
+	m := rt.tel
+	if m.sampleEvery == 0 || rt.traceN.Add(1)%m.sampleEvery != 0 {
+		return
+	}
+	ev := telemetry.TraceEvent{
+		Time:    time.Now(),
+		App:     m.app,
+		Name:    "execute",
+		ID:      hex.EncodeToString(id[:4]),
+		TotalNS: total.Nanoseconds(),
+	}
+	if err != nil {
+		ev.Err = err.Error()
+	} else {
+		ev.Outcome = outcome.String()
+	}
+	for p := execPhase(0); p < numPhases; p++ {
+		if span.seen&(1<<uint(p)) != 0 {
+			ev.Phases = append(ev.Phases, telemetry.PhaseSpan{
+				Name:    phaseNames[p],
+				StartNS: span.phaseStart[p].Nanoseconds(),
+				DurNS:   span.phaseDur[p].Nanoseconds(),
+			})
+		}
+	}
+	m.reg.Trace().Add(ev)
+}

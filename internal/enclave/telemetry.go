@@ -1,0 +1,39 @@
+package enclave
+
+import "speed/internal/telemetry"
+
+// RegisterTelemetry registers the enclave's transition and paging
+// counters with reg, labelled by the enclave's diagnostic name. The
+// counters read the Metrics snapshot on demand, so the ECall/OCall hot
+// path stays untouched. A nil registry is a no-op.
+func (e *Enclave) RegisterTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	lbl := telemetry.L("enclave", e.name)
+	for _, c := range []struct {
+		name, help string
+		field      func(Metrics) int64
+	}{
+		{"speed_enclave_ecalls_total", "world switches into the enclave", func(m Metrics) int64 { return m.ECalls }},
+		{"speed_enclave_ocalls_total", "world switches out of the enclave", func(m Metrics) int64 { return m.OCalls }},
+		{"speed_enclave_page_faults_total", "EPC page faults incurred by allocations", func(m Metrics) int64 { return m.PageFaults }},
+		{"speed_enclave_alloc_bytes_total", "cumulative protected-heap bytes allocated", func(m Metrics) int64 { return m.AllocBytes }},
+	} {
+		field := c.field
+		reg.NewCounterFunc(c.name, c.help, func() int64 { return field(e.Metrics()) }, lbl)
+	}
+	reg.NewGaugeFunc("speed_enclave_heap_bytes", "current protected-heap consumption",
+		func() float64 { return float64(e.HeapUsed()) }, lbl)
+}
+
+// RegisterTelemetry registers the platform's EPC occupancy gauge with
+// reg. A nil registry is a no-op.
+func (p *Platform) RegisterTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.NewGaugeFunc("speed_platform_epc_used_bytes",
+		"EPC bytes in use across all enclaves on the platform",
+		func() float64 { return float64(p.EPCUsed()) })
+}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"speed/internal/enclave"
+	"speed/internal/telemetry"
 	"speed/internal/wire"
 )
 
@@ -35,6 +36,41 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	closed bool
 	wg     sync.WaitGroup
+
+	tel *serverMetrics
+}
+
+// serverMetrics is the server's pre-registered metric set (see
+// WithTelemetry).
+type serverMetrics struct {
+	connections *telemetry.Counter
+	active      *telemetry.Gauge
+	bytesIn     *telemetry.Counter
+	bytesOut    *telemetry.Counter
+	getSeconds  *telemetry.Histogram
+	putSeconds  *telemetry.Histogram
+}
+
+func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &serverMetrics{
+		connections: reg.NewCounter("speed_server_connections_total",
+			"accepted client connections that completed the handshake"),
+		active: reg.NewGauge("speed_server_active_connections",
+			"currently attached client connections"),
+		bytesIn: reg.NewCounter("speed_server_wire_bytes_in_total",
+			"wire bytes received from clients, including framing"),
+		bytesOut: reg.NewCounter("speed_server_wire_bytes_out_total",
+			"wire bytes sent to clients, including framing"),
+		getSeconds: reg.NewHistogram("speed_server_request_seconds",
+			"request service latency from dispatch to reply written",
+			telemetry.L("op", "get")),
+		putSeconds: reg.NewHistogram("speed_server_request_seconds",
+			"request service latency from dispatch to reply written",
+			telemetry.L("op", "put")),
+	}
 }
 
 // ServerOption configures a Server.
@@ -79,6 +115,13 @@ func WithIdleTimeout(d time.Duration) ServerOption {
 // disables the bound.
 func WithWriteTimeout(d time.Duration) ServerOption {
 	return func(s *Server) { s.writeTimeout = d }
+}
+
+// WithTelemetry registers the server's connection, wire-byte, and
+// request-latency metrics with reg. A nil registry leaves the server
+// uninstrumented.
+func WithTelemetry(reg *telemetry.Registry) ServerOption {
+	return func(s *Server) { s.tel = newServerMetrics(reg) }
 }
 
 // NewServer wraps store with a protocol server listening on ln.
@@ -180,6 +223,23 @@ func (s *Server) handle(conn net.Conn) {
 	}
 	_ = conn.SetDeadline(time.Time{})
 	owner := ch.Peer()
+
+	// Wire-byte accounting: fold the channel's running totals into the
+	// registry counters as deltas, so /metrics tracks live traffic
+	// rather than jumping when a connection closes.
+	var lastIn, lastOut int64
+	flushBytes := func() {
+		in, out := ch.BytesReceived(), ch.BytesSent()
+		s.tel.bytesIn.Add(in - lastIn)
+		s.tel.bytesOut.Add(out - lastOut)
+		lastIn, lastOut = in, out
+	}
+	if s.tel != nil {
+		s.tel.connections.Inc()
+		s.tel.active.Add(1)
+		defer s.tel.active.Add(-1)
+		defer flushBytes()
+	}
 	for {
 		if s.idleTimeout > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
@@ -190,6 +250,17 @@ func (s *Server) handle(conn net.Conn) {
 				s.logf("store: recv from %v: %v", conn.RemoteAddr(), err)
 			}
 			return
+		}
+		var reqHist *telemetry.Histogram
+		var reqStart time.Time
+		if s.tel != nil {
+			switch msg.(type) {
+			case wire.GetRequest:
+				reqHist = s.tel.getSeconds
+			case wire.PutRequest:
+				reqHist = s.tel.putSeconds
+			}
+			reqStart = time.Now()
 		}
 		reply, err := s.Dispatch(owner, msg)
 		if err != nil {
@@ -205,6 +276,12 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		if s.writeTimeout > 0 {
 			_ = conn.SetWriteDeadline(time.Time{})
+		}
+		if reqHist != nil {
+			reqHist.Observe(time.Since(reqStart))
+		}
+		if s.tel != nil {
+			flushBytes()
 		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 
 	"speed/internal/enclave"
 	"speed/internal/mle"
+	"speed/internal/telemetry"
 )
 
 // entryOverhead approximates the in-enclave footprint of one dictionary
@@ -56,6 +57,11 @@ type Config struct {
 	// given duration; 0 disables expiry. Expired entries are collected
 	// lazily on access and by ExpireNow.
 	TTL time.Duration
+	// Telemetry, when non-nil, registers the store's counters (gets,
+	// hits, puts, denials, evictions — backed by the Stats snapshot),
+	// occupancy gauges, and per-operation service-latency histograms
+	// speed_store_op_seconds{op="get"|"put"}. Nil disables.
+	Telemetry *telemetry.Registry
 	// Now is the clock used by the quota mechanism; nil means
 	// time.Now. Injectable for tests.
 	Now func() time.Time
@@ -106,6 +112,11 @@ type Store struct {
 	closed    bool
 
 	quota *quotas
+
+	// Per-op service-latency histograms; nil (and skipped) when
+	// Config.Telemetry was nil.
+	getSeconds *telemetry.Histogram
+	putSeconds *telemetry.Histogram
 }
 
 // New constructs a Store.
@@ -119,12 +130,48 @@ func New(cfg Config) (*Store, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	return &Store{
+	s := &Store{
 		cfg:   cfg,
 		dict:  make(map[mle.Tag]*entry),
 		lru:   list.New(),
 		quota: newQuotas(cfg.Quota, cfg.Now),
-	}, nil
+	}
+	s.registerTelemetry(cfg.Telemetry)
+	return s, nil
+}
+
+// registerTelemetry wires the store into reg: latency histograms are
+// real metrics observed inline, while the counters and gauges read the
+// Stats snapshot on demand so there is a single source of truth (and
+// several stores sharing one registry sum, see telemetry.CounterFunc).
+func (s *Store) registerTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	s.getSeconds = reg.NewHistogram("speed_store_op_seconds",
+		"store operation service latency", telemetry.L("op", "get"))
+	s.putSeconds = reg.NewHistogram("speed_store_op_seconds",
+		"store operation service latency", telemetry.L("op", "put"))
+	for _, c := range []struct {
+		name, help string
+		field      func(Stats) int64
+	}{
+		{"speed_store_gets_total", "GET requests", func(st Stats) int64 { return st.Gets }},
+		{"speed_store_hits_total", "GET requests answered positively", func(st Stats) int64 { return st.Hits }},
+		{"speed_store_puts_total", "accepted fresh uploads", func(st Stats) int64 { return st.Puts }},
+		{"speed_store_put_dupes_total", "uploads for already-stored tags", func(st Stats) int64 { return st.PutDupes }},
+		{"speed_store_put_denied_total", "uploads rejected by quota", func(st Stats) int64 { return st.PutDenied }},
+		{"speed_store_unauthorized_total", "operations denied by controlled deduplication", func(st Stats) int64 { return st.Unauthorized }},
+		{"speed_store_evictions_total", "entries evicted by LRU pressure", func(st Stats) int64 { return st.Evictions }},
+		{"speed_store_expired_total", "entries collected by TTL expiry", func(st Stats) int64 { return st.Expired }},
+	} {
+		field := c.field
+		reg.NewCounterFunc(c.name, c.help, func() int64 { return field(s.Stats()) })
+	}
+	reg.NewGaugeFunc("speed_store_entries", "current dictionary size",
+		func() float64 { return float64(s.Len()) })
+	reg.NewGaugeFunc("speed_store_blob_bytes", "resident ciphertext bytes outside the enclave",
+		func() float64 { return float64(s.cfg.Blobs.Bytes()) })
 }
 
 // Enclave returns the enclave hosting the metadata dictionary.
@@ -149,6 +196,10 @@ func (s *Store) GetAs(app enclave.Measurement, tag mle.Tag) (mle.Sealed, bool, e
 // enclave (one ECALL); the ciphertext is fetched from untrusted storage
 // outside.
 func (s *Store) Get(tag mle.Tag) (mle.Sealed, bool, error) {
+	if s.getSeconds != nil {
+		start := time.Now()
+		defer func() { s.getSeconds.Observe(time.Since(start)) }()
+	}
 	var (
 		found   bool
 		expired bool
@@ -240,6 +291,10 @@ type putOpts struct {
 }
 
 func (s *Store) put(owner enclave.Measurement, tag mle.Tag, sealed mle.Sealed, opts putOpts) (installed bool, err error) {
+	if s.putSeconds != nil {
+		start := time.Now()
+		defer func() { s.putSeconds.Observe(time.Since(start)) }()
+	}
 	restore := opts.restore
 	if s.cfg.Auth != nil && !restore {
 		if aerr := s.cfg.Auth.Authorize(owner, tag, PermPut); aerr != nil {

@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Handler returns an http.Handler exposing the registry:
+//
+//	/metrics      — Prometheus text exposition format
+//	/debug/trace  — recent sampled call traces as a JSON array,
+//	                newest first
+//	/debug/vars   — the full registry snapshot (counters, gauges,
+//	                histogram quantiles) as JSON
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		events := r.Trace().Events()
+		if events == nil {
+			events = []TraceEvent{}
+		}
+		_ = enc.Encode(events)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+	return mux
+}
+
+// MetricsServer is a running HTTP metrics endpoint.
+type MetricsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (m *MetricsServer) Addr() net.Addr { return m.ln.Addr() }
+
+// Close shuts the endpoint down.
+func (m *MetricsServer) Close() error { return m.srv.Close() }
+
+// Serve starts an HTTP server on addr exposing the registry via
+// Handler. It returns once the listener is bound; serving continues in
+// a background goroutine until Close.
+func Serve(addr string, r *Registry) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{
+		Handler:           r.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() { _ = srv.Serve(ln) }()
+	return &MetricsServer{ln: ln, srv: srv}, nil
+}

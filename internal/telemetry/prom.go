@@ -1,0 +1,192 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4): counters and gauges as
+// single samples, histograms as cumulative le-bucketed families with
+// _sum and _count, all durations in seconds.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	lastFamily := ""
+	for _, m := range r.sorted() {
+		var (
+			meta  *metricMeta
+			typ   string
+			lines func() []string
+		)
+		switch v := m.(type) {
+		case *Counter:
+			meta, typ = &v.metricMeta, "counter"
+			lines = func() []string { return []string{sample(v.full, float64(v.Value()))} }
+		case *CounterFunc:
+			meta, typ = &v.metricMeta, "counter"
+			lines = func() []string { return []string{sample(v.full, float64(v.Value()))} }
+		case *Gauge:
+			meta, typ = &v.metricMeta, "gauge"
+			lines = func() []string { return []string{sample(v.full, float64(v.Value()))} }
+		case *GaugeFunc:
+			meta, typ = &v.metricMeta, "gauge"
+			lines = func() []string { return []string{sample(v.full, v.Value())} }
+		case *Histogram:
+			meta, typ = &v.metricMeta, "histogram"
+			lines = func() []string { return histLines(v) }
+		default:
+			continue
+		}
+		if meta.name != lastFamily {
+			lastFamily = meta.name
+			if meta.help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", meta.name, meta.help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", meta.name, typ); err != nil {
+				return err
+			}
+		}
+		for _, line := range lines() {
+			if _, err := io.WriteString(w, line+"\n"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// sample renders one "name{labels} value" line.
+func sample(full string, v float64) string {
+	return full + " " + strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// withLabel injects an extra label into an already-rendered full name.
+func withLabel(full, key, value string) string {
+	extra := fmt.Sprintf("%s=%q", key, value)
+	if i := strings.IndexByte(full, '{'); i >= 0 {
+		return full[:len(full)-1] + "," + extra + "}"
+	}
+	return full + "{" + extra + "}"
+}
+
+// histLines renders one histogram family member as cumulative buckets
+// plus _sum and _count.
+func histLines(h *Histogram) []string {
+	snap := h.Snapshot()
+	base := h.full
+	nameEnd := strings.IndexByte(base, '{')
+	suffix := func(s string) string {
+		if nameEnd < 0 {
+			return base + s
+		}
+		return base[:nameEnd] + s + base[nameEnd:]
+	}
+	var out []string
+	infDone := false
+	for _, b := range snap.Buckets {
+		le := strconv.FormatFloat(b.LE, 'g', -1, 64)
+		if b.LE < 0 {
+			le = "+Inf"
+			infDone = true
+		}
+		out = append(out, sample(withLabel(suffix("_bucket"), "le", le), float64(b.Count)))
+	}
+	if !infDone {
+		out = append(out, sample(withLabel(suffix("_bucket"), "le", "+Inf"), float64(snap.Count)))
+	}
+	out = append(out,
+		sample(suffix("_sum"), snap.SumSeconds),
+		sample(suffix("_count"), float64(snap.Count)),
+	)
+	return out
+}
+
+// CounterSnapshot is one counter's point-in-time value.
+type CounterSnapshot struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// GaugeSnapshot is one gauge's point-in-time value.
+type GaugeSnapshot struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// Snapshot is a JSON-marshalable view of a whole registry.
+type Snapshot struct {
+	Counters   []CounterSnapshot   `json:"counters"`
+	Gauges     []GaugeSnapshot     `json:"gauges"`
+	Histograms []HistogramSnapshot `json:"histograms"`
+}
+
+// Counter returns the value of the counter with the given full name
+// (0 when absent).
+func (s Snapshot) Counter(full string) int64 {
+	for _, c := range s.Counters {
+		if c.Name == full {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Histogram returns the snapshot of the histogram with the given full
+// name.
+func (s Snapshot) Histogram(full string) (HistogramSnapshot, bool) {
+	for _, h := range s.Histograms {
+		if h.Name == full {
+			return h, true
+		}
+	}
+	return HistogramSnapshot{}, false
+}
+
+// HistogramsByFamily returns every histogram snapshot whose family
+// name (the part before any label set) matches name.
+func (s Snapshot) HistogramsByFamily(name string) []HistogramSnapshot {
+	var out []HistogramSnapshot
+	for _, h := range s.Histograms {
+		famEnd := strings.IndexByte(h.Name, '{')
+		fam := h.Name
+		if famEnd >= 0 {
+			fam = h.Name[:famEnd]
+		}
+		if fam == name {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// Snapshot captures every registered metric. Within one histogram the
+// count always equals the bucket sum (see HistogramSnapshot); across
+// metrics the values are each read atomically in registration-name
+// order.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	for _, m := range r.sorted() {
+		switch v := m.(type) {
+		case *Counter:
+			s.Counters = append(s.Counters, CounterSnapshot{Name: v.full, Value: v.Value()})
+		case *CounterFunc:
+			s.Counters = append(s.Counters, CounterSnapshot{Name: v.full, Value: v.Value()})
+		case *Gauge:
+			s.Gauges = append(s.Gauges, GaugeSnapshot{Name: v.full, Value: float64(v.Value())})
+		case *GaugeFunc:
+			s.Gauges = append(s.Gauges, GaugeSnapshot{Name: v.full, Value: v.Value()})
+		case *Histogram:
+			s.Histograms = append(s.Histograms, v.Snapshot())
+		}
+	}
+	return s
+}

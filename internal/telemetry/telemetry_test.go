@@ -1,0 +1,260 @@
+package telemetry
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("test_ops_total", "ops")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.NewGauge("test_depth", "depth")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+}
+
+func TestNilRegistryAndMetricsAreNoOps(t *testing.T) {
+	var r *Registry
+	c := r.NewCounter("x", "")
+	g := r.NewGauge("x", "")
+	h := r.NewHistogram("x", "")
+	cf := r.NewCounterFunc("x", "", func() int64 { return 9 })
+	gf := r.NewGaugeFunc("x", "", func() float64 { return 9 })
+	c.Inc()
+	g.Set(3)
+	h.Observe(time.Second)
+	r.Trace().Add(TraceEvent{})
+	if c.Value() != 0 || g.Value() != 0 || h.Snapshot().Count != 0 ||
+		cf.Value() != 0 || gf.Value() != 0 || r.Trace().Total() != 0 {
+		t.Fatal("nil metrics must observe nothing")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.NewCounter("dup_total", "", L("k", "v"))
+	b := r.NewCounter("dup_total", "", L("k", "v"))
+	if a != b {
+		t.Fatal("same full name must return the same counter")
+	}
+	other := r.NewCounter("dup_total", "", L("k", "w"))
+	if other == a {
+		t.Fatal("different labels must be a different counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter name as a histogram must panic")
+		}
+	}()
+	r.NewHistogram("dup_total", "", L("k", "v"))
+}
+
+func TestFuncMetricsAccumulate(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounterFunc("acc_total", "", func() int64 { return 3 })
+	c := r.NewCounterFunc("acc_total", "", func() int64 { return 4 })
+	if got := c.Value(); got != 7 {
+		t.Fatalf("accumulated counter func = %d, want 7", got)
+	}
+	r.NewGaugeFunc("acc_gauge", "", func() float64 { return 1.5 })
+	g := r.NewGaugeFunc("acc_gauge", "", func() float64 { return 2.5 })
+	if got := g.Value(); got != 4 {
+		t.Fatalf("accumulated gauge func = %v, want 4", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("lat_seconds", "latency")
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(i+1) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	wantSum := float64(100*101/2) * 1e-6
+	if diff := s.SumSeconds - wantSum; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("sum = %v, want %v", s.SumSeconds, wantSum)
+	}
+	// Log-bucketed estimates: p50 of 1..100µs is ~50µs; the bucket
+	// [32768,65535]ns bounds the estimate within a factor of two.
+	if s.P50 < 30e-6 || s.P50 > 70e-6 {
+		t.Fatalf("p50 = %v, want ~50µs", s.P50)
+	}
+	if s.P95 < s.P50 || s.P99 < s.P95 {
+		t.Fatalf("quantiles must be monotone: p50=%v p95=%v p99=%v", s.P50, s.P95, s.P99)
+	}
+	if s.P99 > 200e-6 {
+		t.Fatalf("p99 = %v, want ~100µs", s.P99)
+	}
+}
+
+// TestSnapshotConsistency hammers a histogram and counters from many
+// goroutines while snapshotting, asserting the invariant the snapshot
+// layer guarantees: a histogram's count always equals the sum of its
+// buckets, and quantiles stay within the observed range.
+func TestSnapshotConsistency(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("conc_seconds", "")
+	c := r.NewCounter("conc_total", "")
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := h.Snapshot()
+			var bucketTotal int64
+			for i, b := range s.Buckets {
+				if i > 0 && b.Count < s.Buckets[i-1].Count {
+					t.Error("cumulative bucket counts must be monotone")
+					return
+				}
+				bucketTotal = b.Count
+			}
+			if bucketTotal != s.Count {
+				t.Errorf("bucket sum %d != count %d", bucketTotal, s.Count)
+				return
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(time.Duration(w*perWorker+i) * time.Nanosecond)
+				c.Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	s := r.Snapshot()
+	if got := s.Counter("conc_total"); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	hs, ok := s.Histogram("conc_seconds")
+	if !ok || hs.Count != workers*perWorker {
+		t.Fatalf("histogram count = %d (ok=%v), want %d", hs.Count, ok, workers*perWorker)
+	}
+}
+
+func TestTraceRing(t *testing.T) {
+	ring := NewTraceRing(4)
+	for i := 0; i < 6; i++ {
+		ring.Add(TraceEvent{Name: "execute", ID: fmt.Sprint(i)})
+	}
+	events := ring.Events()
+	if len(events) != 4 {
+		t.Fatalf("len = %d, want 4", len(events))
+	}
+	for i, want := range []string{"5", "4", "3", "2"} {
+		if events[i].ID != want {
+			t.Fatalf("events[%d].ID = %s, want %s (newest first)", i, events[i].ID, want)
+		}
+	}
+	if ring.Total() != 6 {
+		t.Fatalf("total = %d, want 6", ring.Total())
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("speed_test_ops_total", "test ops", L("op", "get")).Add(3)
+	r.NewCounter("speed_test_ops_total", "test ops", L("op", "put")).Add(2)
+	r.NewGaugeFunc("speed_test_depth", "queue depth", func() float64 { return 1.5 })
+	h := r.NewHistogram("speed_test_seconds", "latency", L("phase", "tag"))
+	h.Observe(3 * time.Microsecond)
+	h.Observe(5 * time.Millisecond)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE speed_test_ops_total counter",
+		`speed_test_ops_total{op="get"} 3`,
+		`speed_test_ops_total{op="put"} 2`,
+		"# TYPE speed_test_depth gauge",
+		"speed_test_depth 1.5",
+		"# TYPE speed_test_seconds histogram",
+		`speed_test_seconds_bucket{phase="tag",le="+Inf"} 2`,
+		`speed_test_seconds_count{phase="tag"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// HELP/TYPE headers must appear once per family, not per label set.
+	if strings.Count(out, "# TYPE speed_test_ops_total counter") != 1 {
+		t.Fatalf("duplicate family header in:\n%s", out)
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("speed_http_total", "").Inc()
+	r.Trace().Add(TraceEvent{Name: "execute", Outcome: "reused", TotalNS: 42,
+		Phases: []PhaseSpan{{Name: "tag", StartNS: 0, DurNS: 10}}})
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var b strings.Builder
+		if _, err := fmt.Fprint(&b, readAll(t, resp)); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, b.String()
+	}
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "speed_http_total 1") {
+		t.Fatalf("/metrics code=%d body=%q", code, body)
+	}
+	if code, body := get("/debug/trace"); code != 200 || !strings.Contains(body, `"outcome": "reused"`) {
+		t.Fatalf("/debug/trace code=%d body=%q", code, body)
+	}
+	if code, body := get("/debug/vars"); code != 200 || !strings.Contains(body, "speed_http_total") {
+		t.Fatalf("/debug/vars code=%d body=%q", code, body)
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var b strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		b.Write(buf[:n])
+		if err != nil {
+			return b.String()
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// DefaultTraceCapacity is the number of recent trace events a
+// registry's ring retains.
+const DefaultTraceCapacity = 256
+
+// PhaseSpan is one timed phase of a traced call, as an offset from the
+// call's start plus a duration, both in nanoseconds.
+type PhaseSpan struct {
+	Name    string `json:"name"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+}
+
+// TraceEvent is one sampled call trace: which operation ran where, how
+// it was satisfied, and where its time went phase by phase.
+type TraceEvent struct {
+	Time    time.Time   `json:"time"`
+	App     string      `json:"app,omitempty"`
+	Name    string      `json:"name"`
+	ID      string      `json:"id,omitempty"`
+	Outcome string      `json:"outcome,omitempty"`
+	TotalNS int64       `json:"total_ns"`
+	Err     string      `json:"err,omitempty"`
+	Phases  []PhaseSpan `json:"phases,omitempty"`
+}
+
+// TraceRing is a fixed-capacity ring buffer of sampled trace events.
+// Producers are expected to sample (e.g. one call in N) before adding,
+// so the mutex here is off the hot path. A nil *TraceRing swallows
+// events.
+type TraceRing struct {
+	mu    sync.Mutex
+	buf   []TraceEvent
+	next  int
+	total uint64
+}
+
+// NewTraceRing creates a ring holding up to capacity events (a
+// non-positive capacity selects DefaultTraceCapacity).
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity <= 0 {
+		capacity = DefaultTraceCapacity
+	}
+	return &TraceRing{buf: make([]TraceEvent, 0, capacity)}
+}
+
+// Add records an event, evicting the oldest once the ring is full.
+func (t *TraceRing) Add(ev TraceEvent) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, ev)
+	} else {
+		t.buf[t.next] = ev
+	}
+	t.next = (t.next + 1) % cap(t.buf)
+	t.total++
+	t.mu.Unlock()
+}
+
+// Total reports how many events have ever been added (including those
+// already evicted).
+func (t *TraceRing) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.total
+}
+
+// Events returns the retained events, newest first.
+func (t *TraceRing) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceEvent, 0, len(t.buf))
+	for i := 0; i < len(t.buf); i++ {
+		idx := t.next - 1 - i
+		for idx < 0 {
+			idx += len(t.buf)
+		}
+		out = append(out, t.buf[idx])
+	}
+	return out
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"speed/internal/enclave"
@@ -63,10 +64,23 @@ type Channel struct {
 	recv    cipher.AEAD
 	recvKey []byte
 	recvSeq uint64
+
+	// Wire-level byte accounting (frame payloads plus the 4-byte
+	// length prefix), for telemetry.
+	bytesOut atomic.Int64
+	bytesIn  atomic.Int64
 }
 
 // Peer returns the attested measurement of the remote enclave.
 func (c *Channel) Peer() enclave.Measurement { return c.peer }
+
+// BytesSent reports the total bytes written to the transport by Send,
+// including framing overhead but excluding the handshake.
+func (c *Channel) BytesSent() int64 { return c.bytesOut.Load() }
+
+// BytesReceived reports the total bytes consumed from the transport by
+// Recv, including framing overhead but excluding the handshake.
+func (c *Channel) BytesReceived() int64 { return c.bytesIn.Load() }
 
 // Close closes the underlying transport.
 func (c *Channel) Close() error { return c.conn.Close() }
@@ -109,7 +123,11 @@ func (c *Channel) Send(payload []byte) error {
 	binary.BigEndian.PutUint64(nonce[4:], c.sendSeq)
 	c.sendSeq++
 	sealed := c.send.Seal(nil, nonce[:], payload, nil)
-	return WriteFrame(c.conn, sealed)
+	if err := WriteFrame(c.conn, sealed); err != nil {
+		return err
+	}
+	c.bytesOut.Add(int64(len(sealed)) + frameHeaderLen)
+	return nil
 }
 
 // Recv reads and decrypts one message frame, mirroring the sender's
@@ -121,6 +139,7 @@ func (c *Channel) Recv() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.bytesIn.Add(int64(len(frame)) + frameHeaderLen)
 	if c.recvSeq > 0 && c.recvSeq%c.rekeyEvery == 0 {
 		if err := ratchet(&c.recvKey, &c.recv); err != nil {
 			return nil, err

@@ -12,6 +12,9 @@ import (
 // chunked by the application (none of the paper's workloads come close).
 const MaxFrameSize = 64 << 20
 
+// frameHeaderLen is the length-prefix overhead of every frame.
+const frameHeaderLen = 4
+
 // ErrFrameTooLarge is returned when a peer announces a frame beyond
 // MaxFrameSize.
 var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")

@@ -8,6 +8,7 @@ import (
 	"speed/internal/dedup"
 	"speed/internal/enclave"
 	"speed/internal/store"
+	"speed/internal/telemetry"
 	"speed/internal/wire"
 )
 
@@ -97,6 +98,7 @@ type System struct {
 	store    *store.Store
 	acl      *store.ACL // non-nil when DenyByDefault
 	trusted  [][]byte   // remote platforms the served store accepts
+	tel      *telemetry.Registry
 }
 
 // NewSystem creates a deployment with the zero-value SystemConfig.
@@ -130,6 +132,7 @@ func NewSystemWithConfig(cfg SystemConfig) (*System, error) {
 		acl = store.NewACL(0)
 		auth = acl
 	}
+	tel := telemetry.NewRegistry()
 	st, err := store.New(store.Config{
 		Enclave:      storeEnc,
 		Blobs:        blobs,
@@ -138,6 +141,7 @@ func NewSystemWithConfig(cfg SystemConfig) (*System, error) {
 		TTL:          cfg.StoreTTL,
 		Auth:         auth,
 		Oblivious:    cfg.ObliviousLookups,
+		Telemetry:    tel,
 		Quota: store.QuotaConfig{
 			MaxBytesPerApp: cfg.QuotaMaxBytesPerApp,
 			PutRatePerSec:  cfg.QuotaPutRatePerSec,
@@ -147,9 +151,17 @@ func NewSystemWithConfig(cfg SystemConfig) (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("speed: create store: %w", err)
 	}
+	platform.RegisterTelemetry(tel)
+	storeEnc.RegisterTelemetry(tel)
 	return &System{platform: platform, storeEnc: storeEnc, store: st, acl: acl,
-		trusted: cfg.TrustedPlatforms}, nil
+		trusted: cfg.TrustedPlatforms, tel: tel}, nil
 }
+
+// Telemetry returns the deployment's metric registry. Every component
+// of the deployment — the platform, the ResultStore and its enclave,
+// and each App created from this System — registers into it; expose it
+// with telemetry.Serve or AppConfig.MetricsAddr.
+func (s *System) Telemetry() *telemetry.Registry { return s.tel }
 
 // AttestationKey returns this machine's platform attestation public
 // key, to be registered in other deployments' TrustedPlatforms (the
@@ -246,7 +258,7 @@ func (s *System) ExpireNow() int { return s.store.ExpireNow() }
 // applications connect when their platform is in TrustedPlatforms. The
 // returned server runs until its Close method is called.
 func (s *System) Serve(ln net.Listener) *StoreServer {
-	opts := []store.ServerOption{}
+	opts := []store.ServerOption{store.WithTelemetry(s.tel)}
 	if len(s.trusted) > 0 {
 		opts = append(opts, store.WithTrust(&wire.Trust{PlatformKeys: s.trusted}))
 	}

@@ -1,0 +1,110 @@
+package speed
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestAppMetricsEndpoint drives a deduplicable call through an App with
+// a live metrics listener and asserts the full pipeline: phase
+// histograms and outcome counters from the runtime, store counters from
+// the shared System registry, and enclave transition counters — all on
+// one /metrics page in Prometheus text format.
+func TestAppMetricsEndpoint(t *testing.T) {
+	sys := newTestSystem(t)
+	app, err := sys.NewAppWithConfig("metered", []byte("metered code"), AppConfig{
+		MetricsAddr:     "127.0.0.1:0",
+		TraceSampleRate: 1,
+	})
+	if err != nil {
+		t.Fatalf("NewAppWithConfig: %v", err)
+	}
+	t.Cleanup(func() { _ = app.Close() })
+	app.RegisterLibrary("mathlib", "1.0", []byte("mathlib code"))
+
+	square, err := NewDeduplicable(app, squareDesc, func(x int) (int, error) {
+		return x * x, nil
+	})
+	if err != nil {
+		t.Fatalf("NewDeduplicable: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if got, err := square.Call(9); err != nil || got != 81 {
+			t.Fatalf("Call = (%d, %v), want 81", got, err)
+		}
+	}
+
+	addr := app.MetricsAddr()
+	if addr == "" {
+		t.Fatal("MetricsAddr is empty despite AppConfig.MetricsAddr")
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	page := string(body)
+	for _, want := range []string{
+		"# TYPE speed_execute_seconds histogram",
+		`speed_execute_seconds_count{app="metered",outcome="computed"} 1`,
+		`speed_execute_seconds_count{app="metered",outcome="reused"} 2`,
+		`speed_execute_phase_seconds_count{app="metered",phase="tag"} 3`,
+		`speed_runtime_calls_total{app="metered"} 3`,
+		"speed_store_gets_total 3",
+		"speed_store_hits_total 2",
+		`speed_enclave_ecalls_total{enclave="metered"}`,
+		"speed_platform_epc_used_bytes",
+	} {
+		if !strings.Contains(page, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// The trace endpoint carries the sampled per-call phase spans.
+	resp2, err := http.Get("http://" + addr + "/debug/trace")
+	if err != nil {
+		t.Fatalf("GET /debug/trace: %v", err)
+	}
+	defer resp2.Body.Close()
+	trace, err := io.ReadAll(resp2.Body)
+	if err != nil {
+		t.Fatalf("read trace: %v", err)
+	}
+	for _, want := range []string{`"name": "execute"`, `"phases"`, `"tag"`} {
+		if !strings.Contains(string(trace), want) {
+			t.Errorf("/debug/trace missing %q in %s", want, trace)
+		}
+	}
+}
+
+// TestAppStatsEnclaveCounters pins the AppStats extension: enclave
+// transition and paging counters ride along with the dedup counters.
+func TestAppStatsEnclaveCounters(t *testing.T) {
+	sys := newTestSystem(t)
+	app := newTestApp(t, sys, "enclave-stats")
+	square, err := NewDeduplicable(app, squareDesc, func(x int) (int, error) {
+		return x * x, nil
+	})
+	if err != nil {
+		t.Fatalf("NewDeduplicable: %v", err)
+	}
+	if _, err := square.Call(7); err != nil {
+		t.Fatalf("Call: %v", err)
+	}
+	st := app.Stats()
+	if st.ECalls == 0 {
+		t.Errorf("AppStats.ECalls = 0, want > 0 after an Execute")
+	}
+	if st.OCalls == 0 {
+		t.Errorf("AppStats.OCalls = 0, want > 0 (store GET/PUT are OCALLs)")
+	}
+	if st.AllocBytes < 0 || st.PageFaults < 0 {
+		t.Errorf("negative enclave counters: %+v", st)
+	}
+}
