@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check build vet test race bench bench-quick bench-overhead
+.PHONY: check build vet test race bench bench-quick bench-overhead fuzz
 
 check: vet race
 
@@ -28,8 +28,17 @@ bench-quick:
 bench:
 	$(GO) run ./cmd/speedbench -quick -exp fig5 -metrics-out BENCH_fig5.json
 	$(GO) run ./cmd/speedbench -quick -exp fig6 -metrics-out BENCH_fig6.json
+	$(GO) run ./cmd/speedbench -quick -exp concurrency -metrics-out BENCH_concurrency.json
 
 # Instrumentation overhead gate: BenchmarkExecuteHitTelemetry must stay
 # within 5% of BenchmarkExecuteHit (deployment-default SGX costs).
 bench-overhead:
 	$(GO) test -run xxx -bench 'BenchmarkExecuteHit' -benchtime 1s ./internal/dedup/
+
+# Short fuzz pass over the wire codecs. Go runs one fuzz target per
+# invocation, so each target gets its own run.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run xxx -fuzz '^FuzzUnmarshal$$' -fuzztime $(FUZZTIME) ./internal/wire/
+	$(GO) test -run xxx -fuzz '^FuzzParseHello$$' -fuzztime $(FUZZTIME) ./internal/wire/
+	$(GO) test -run xxx -fuzz '^FuzzUnmarshalEnvelope$$' -fuzztime $(FUZZTIME) ./internal/wire/

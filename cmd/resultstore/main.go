@@ -40,6 +40,8 @@ func run(args []string) error {
 	blobDir := fs.String("blobdir", "", "directory for ciphertext blobs (default: in-memory)")
 	maxEntries := fs.Int("max-entries", 0, "max dictionary entries before LRU eviction (0 = unlimited)")
 	maxBlobBytes := fs.Int64("max-blob-bytes", 0, "max total ciphertext bytes (0 = unlimited)")
+	shards := fs.Int("shards", 0, "dictionary shard count, rounded up to a power of two (0 = default)")
+	maxInflight := fs.Int("max-inflight", 0, "per-connection pipelined request cap for v2 clients (0 = default)")
 	quotaBytes := fs.Int64("quota-bytes", 0, "per-application ciphertext byte quota (0 = unlimited)")
 	quotaRate := fs.Float64("quota-put-rate", 0, "per-application PUT rate limit per second (0 = unlimited)")
 	noSGX := fs.Bool("no-sgx", false, "disable simulated SGX transition costs")
@@ -80,6 +82,7 @@ func run(args []string) error {
 	st, err := store.New(store.Config{
 		Enclave:      storeEnc,
 		Blobs:        blobs,
+		Shards:       *shards,
 		MaxEntries:   *maxEntries,
 		MaxBlobBytes: *maxBlobBytes,
 		TTL:          *ttl,
@@ -109,12 +112,16 @@ func run(args []string) error {
 	if err != nil {
 		return fmt.Errorf("listen: %w", err)
 	}
-	srv := store.NewServer(st, ln,
+	srvOpts := []store.ServerOption{
 		store.WithHandshakeTimeout(*handshakeTimeout),
 		store.WithIdleTimeout(*idleTimeout),
 		store.WithWriteTimeout(*writeTimeout),
 		store.WithTelemetry(reg),
-	)
+	}
+	if *maxInflight > 0 {
+		srvOpts = append(srvOpts, store.WithMaxInflight(*maxInflight))
+	}
+	srv := store.NewServer(st, ln, srvOpts...)
 	fmt.Printf("resultstore: listening on %s\n", ln.Addr())
 	fmt.Printf("resultstore: enclave measurement %x\n", storeEnc.Measurement())
 

@@ -10,6 +10,7 @@
 //	speedbench -exp fig6
 //	speedbench -exp ablations
 //	speedbench -exp resilience     # store-outage fault injection
+//	speedbench -exp concurrency    # mux throughput: workers x batch size
 //	speedbench -quick              # reduced sizes/trials for a fast pass
 //
 // With -metrics-out FILE, the run records phase-level telemetry and
@@ -40,7 +41,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("speedbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: all, table1, fig5 (=fig5a-d), fig5a, fig5b, fig5c, fig5d, fig6, ablations, effort, resilience")
+	exp := fs.String("exp", "all", "experiment: all, table1, fig5 (=fig5a-d), fig5a, fig5b, fig5c, fig5d, fig6, ablations, effort, resilience, concurrency")
 	quick := fs.Bool("quick", false, "reduced sizes and trials")
 	trials := fs.Int("trials", 0, "override trial count (0 = default)")
 	storeTimeout := fs.Duration("store-timeout", 200*time.Millisecond, "resilience: per-request store deadline")
@@ -79,6 +80,9 @@ func run(args []string) error {
 		"resilience": func() error {
 			return runResilience(*quick, *storeTimeout, *storeRetries)
 		},
+		"concurrency": func() error {
+			return runConcurrency(*quick)
+		},
 	}
 	runNamed := func(names ...string) error {
 		for i, name := range names {
@@ -97,7 +101,7 @@ func run(args []string) error {
 
 	var err error
 	if *exp == "all" {
-		err = runNamed("table1", "fig5a", "fig5b", "fig5c", "fig5d", "fig6", "ablations", "effort", "resilience")
+		err = runNamed("table1", "fig5a", "fig5b", "fig5c", "fig5d", "fig6", "ablations", "effort", "resilience", "concurrency")
 	} else if fn, ok := experiments[*exp]; ok {
 		err = fn()
 	} else {
@@ -126,15 +130,22 @@ type phaseQuantiles struct {
 
 // metricsReport is the -metrics-out JSON document.
 type metricsReport struct {
-	Experiment string             `json:"experiment"`
-	Calls      int64              `json:"calls"`
-	Reused     int64              `json:"reused"`
-	Computed   int64              `json:"computed"`
-	HitRate    float64            `json:"hit_rate"`
-	Phases     []phaseQuantiles   `json:"phases"`
-	Execute    []phaseQuantiles   `json:"execute_by_outcome"`
-	Snapshot   telemetry.Snapshot `json:"snapshot"`
+	Experiment string           `json:"experiment"`
+	Calls      int64            `json:"calls"`
+	Reused     int64            `json:"reused"`
+	Computed   int64            `json:"computed"`
+	HitRate    float64          `json:"hit_rate"`
+	Phases     []phaseQuantiles `json:"phases"`
+	Execute    []phaseQuantiles `json:"execute_by_outcome"`
+	// Concurrency holds the mux-throughput sweep when the concurrency
+	// experiment ran.
+	Concurrency []bench.ConcurrencyRow `json:"concurrency,omitempty"`
+	Snapshot    telemetry.Snapshot     `json:"snapshot"`
 }
+
+// concurrencyRows carries the last concurrency sweep into the metrics
+// report.
+var concurrencyRows []bench.ConcurrencyRow
 
 // labelValue extracts one label's value from a rendered metric name
 // like `speed_execute_phase_seconds{app="x",phase="tag"}`.
@@ -170,13 +181,14 @@ func writeMetricsReport(path, experiment string, reg *telemetry.Registry) error 
 	calls := snap.Counter(`speed_runtime_calls_total{app="bench-app"}`)
 	reused := snap.Counter(`speed_runtime_reused_total{app="bench-app"}`)
 	report := metricsReport{
-		Experiment: experiment,
-		Calls:      calls,
-		Reused:     reused,
-		Computed:   snap.Counter(`speed_runtime_computed_total{app="bench-app"}`),
-		Phases:     quantileRows(snap, "speed_execute_phase_seconds", "phase"),
-		Execute:    quantileRows(snap, "speed_execute_seconds", "outcome"),
-		Snapshot:   snap,
+		Experiment:  experiment,
+		Calls:       calls,
+		Reused:      reused,
+		Computed:    snap.Counter(`speed_runtime_computed_total{app="bench-app"}`),
+		Phases:      quantileRows(snap, "speed_execute_phase_seconds", "phase"),
+		Execute:     quantileRows(snap, "speed_execute_seconds", "outcome"),
+		Concurrency: concurrencyRows,
+		Snapshot:    snap,
 	}
 	if calls > 0 {
 		report.HitRate = float64(reused) / float64(calls)
@@ -341,6 +353,20 @@ func runResilience(quick bool, timeout time.Duration, retries int) error {
 		return err
 	}
 	fmt.Print(bench.RenderResilience(phases))
+	return nil
+}
+
+func runConcurrency(quick bool) error {
+	tagsPerWorker := 2048
+	if quick {
+		tagsPerWorker = 256
+	}
+	rows, err := bench.Concurrency(nil, nil, tagsPerWorker, 1<<10, 0)
+	if err != nil {
+		return err
+	}
+	concurrencyRows = rows
+	fmt.Print(bench.RenderConcurrency(rows))
 	return nil
 }
 

@@ -100,6 +100,65 @@ func (d *Deduplicable[I, O]) Call(in I) (O, error) {
 	return out, err
 }
 
+// BatchCallResult is one input's result from CallBatch. Err is
+// per-item: one failed input does not poison its batch siblings.
+type BatchCallResult[O any] struct {
+	Out     O
+	Outcome Outcome
+	Err     error
+}
+
+// CallBatch invokes the wrapped function over many inputs with
+// deduplication, aligned positionally with the returned results. The
+// whole batch enters the enclave once, consults the store with one
+// batched GET/PUT exchange, and computes misses in parallel, so small
+// computations pay the enclave-transition and store round-trip costs
+// once per batch rather than once per call. Duplicate inputs within
+// the batch are computed once and shared. Unlike Call, the batch path
+// does not consult the adaptive bypass advisor: the caller opting into
+// batching has already declared the calls dedup-worthy.
+func (d *Deduplicable[I, O]) CallBatch(ins []I) ([]BatchCallResult[O], error) {
+	if len(ins) == 0 {
+		return nil, nil
+	}
+	inBytes := make([][]byte, len(ins))
+	for i := range ins {
+		b, err := d.in.Encode(ins[i])
+		if err != nil {
+			return nil, fmt.Errorf("speed: encode input %d: %w", i, err)
+		}
+		inBytes[i] = b
+	}
+	raws, err := d.app.runtime.ExecuteBatch(d.id, inBytes, func(raw []byte) ([]byte, error) {
+		v, derr := d.in.Decode(raw)
+		if derr != nil {
+			return nil, fmt.Errorf("speed: decode input: %w", derr)
+		}
+		out, ferr := d.fn(v)
+		if ferr != nil {
+			return nil, ferr
+		}
+		return d.out.Encode(out)
+	})
+	if err != nil {
+		return nil, err
+	}
+	results := make([]BatchCallResult[O], len(ins))
+	for i, r := range raws {
+		if r.Err != nil {
+			results[i].Err = r.Err
+			continue
+		}
+		out, derr := d.out.Decode(r.Result)
+		if derr != nil {
+			results[i].Err = fmt.Errorf("speed: decode result: %w", derr)
+			continue
+		}
+		results[i] = BatchCallResult[O]{Out: out, Outcome: r.Outcome}
+	}
+	return results, nil
+}
+
 // CallOutcome is Call, additionally reporting whether the result was
 // freshly computed or reused from the store.
 func (d *Deduplicable[I, O]) CallOutcome(in I) (O, Outcome, error) {

@@ -34,6 +34,20 @@ type StoreClient interface {
 	Close() error
 }
 
+// BatchClient is implemented by store clients that can carry many GETs
+// or PUTs per round trip (protocol v2). Callers should type-assert and
+// fall back to per-item StoreClient calls when the interface is absent.
+type BatchClient interface {
+	StoreClient
+	// GetBatch answers one GetResult per tag, positionally. A nil error
+	// guarantees len(results) == len(tags).
+	GetBatch(tags []mle.Tag) ([]wire.GetResult, error)
+	// PutBatch uploads the items, answering one PutResult per item,
+	// positionally. Per-item rejections (quota, authorization) land in
+	// the results, not the error.
+	PutBatch(items []wire.PutItem) ([]wire.PutResult, error)
+}
+
 // ErrPutRejected is returned when the store refuses a PUT, e.g. due to
 // the quota mechanism.
 var ErrPutRejected = errors.New("dedup: store rejected put")
@@ -48,7 +62,7 @@ type LocalClient struct {
 	owner enclave.Measurement
 }
 
-var _ StoreClient = (*LocalClient)(nil)
+var _ BatchClient = (*LocalClient)(nil)
 
 // NewLocalClient creates a client operating on behalf of the
 // application with the given measurement.
@@ -79,6 +93,37 @@ func (c *LocalClient) Put(tag mle.Tag, sealed mle.Sealed, replace bool) error {
 	return err
 }
 
+// GetBatch implements BatchClient. There is no wire to amortise
+// in-process, so it is a straight loop over the store.
+func (c *LocalClient) GetBatch(tags []mle.Tag) ([]wire.GetResult, error) {
+	results := make([]wire.GetResult, len(tags))
+	for i, tag := range tags {
+		sealed, found, err := c.Get(tag)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = wire.GetResult{Found: found, Sealed: sealed}
+	}
+	return results, nil
+}
+
+// PutBatch implements BatchClient.
+func (c *LocalClient) PutBatch(items []wire.PutItem) ([]wire.PutResult, error) {
+	results := make([]wire.PutResult, len(items))
+	for i, it := range items {
+		err := c.Put(it.Tag, it.Sealed, it.Replace)
+		switch {
+		case errors.Is(err, ErrPutRejected):
+			results[i] = wire.PutResult{OK: false, Err: err.Error()}
+		case err != nil:
+			return nil, err
+		default:
+			results[i] = wire.PutResult{OK: true}
+		}
+	}
+	return results, nil
+}
+
 // Close implements StoreClient; the local client does not own the
 // store, so it is a no-op.
 func (c *LocalClient) Close() error { return nil }
@@ -102,6 +147,11 @@ type RemoteConfig struct {
 	// 50ms / 2s.
 	RetryBackoff    time.Duration
 	RetryMaxBackoff time.Duration
+	// MaxProtocol pins the highest wire protocol version offered in the
+	// handshake; 0 means wire.MaxProtocol. Pinning to wire.ProtocolV1
+	// forces the serial request path (compatibility testing,
+	// conservative rollouts).
+	MaxProtocol int
 	// Trust optionally accepts a store on a remote machine whose
 	// platform attestation key is listed (remote attestation).
 	Trust *wire.Trust
@@ -111,8 +161,9 @@ type RemoteConfig struct {
 	// compute-only and picks up deduplication when the store appears.
 	Lazy bool
 	// Telemetry, when non-nil, registers the client's retry and
-	// reconnect counters so the registry sees them directly rather
-	// than through the runtime's Stats probe.
+	// reconnect counters and its in-flight-request gauge so the
+	// registry sees them directly rather than through the runtime's
+	// Stats probe.
 	Telemetry *telemetry.Registry
 }
 
@@ -132,14 +183,21 @@ func (cfg *RemoteConfig) fillDefaults() {
 	if cfg.RetryMaxBackoff <= 0 {
 		cfg.RetryMaxBackoff = 2 * time.Second
 	}
+	if cfg.MaxProtocol == 0 {
+		cfg.MaxProtocol = wire.MaxProtocol
+	}
 }
 
 // RemoteClient talks to a store server over an attested secure channel.
-// The paper's prototype uses synchronous communication (Section IV-B),
-// so each request holds the channel until its response arrives.
-// Requests carry per-request deadlines and transient failures are
-// retried with jittered exponential backoff, transparently re-dialing
-// and re-handshaking the attested channel when the previous one broke.
+// On a protocol-v2 connection the channel is a mux: any number of
+// goroutines may issue requests concurrently and their round trips
+// overlap on the single connection, with responses correlated by
+// request ID. Against a v1 peer (the paper prototype's synchronous
+// protocol, Section IV-B) requests fall back to the serial
+// one-at-a-time discipline. Either way, requests carry per-request
+// deadlines and transient failures are retried with jittered
+// exponential backoff, transparently re-dialing and re-handshaking the
+// attested channel when the previous one broke.
 type RemoteClient struct {
 	cfg RemoteConfig
 
@@ -152,18 +210,28 @@ type RemoteClient struct {
 
 	retries    atomic.Int64
 	reconnects atomic.Int64
+	inflight   atomic.Int64
 
-	// Telemetry mirrors of the two counters above; nil-safe no-ops
-	// when RemoteConfig.Telemetry was nil.
+	// Telemetry mirrors; nil-safe no-ops when RemoteConfig.Telemetry
+	// was nil.
 	retriesC    *telemetry.Counter
 	reconnectsC *telemetry.Counter
+	inflightG   *telemetry.Gauge
 
+	// mu guards the connection state below. It is held only to
+	// install, read or tear down the connection — never across a round
+	// trip — so concurrent callers on a v2 mux proceed in parallel.
 	mu     sync.Mutex
 	ch     *wire.Channel // nil while disconnected
+	mux    *chanMux      // non-nil iff ch speaks ProtocolV2
 	closed bool
+
+	// serialMu serialises send/recv pairs on a v1 channel, where the
+	// wire protocol itself imposes one request at a time. Unused on v2.
+	serialMu sync.Mutex
 }
 
-var _ StoreClient = (*RemoteClient)(nil)
+var _ BatchClient = (*RemoteClient)(nil)
 
 // Dial connects to a store server at addr on the same platform,
 // performing the attested handshake from the application enclave app
@@ -196,13 +264,15 @@ func DialConfig(addr string, app *enclave.Enclave, storeMeasurement enclave.Meas
 			"store request retries after transient failures", appLabel)
 		c.reconnectsC = cfg.Telemetry.NewCounter("speed_client_reconnects_total",
 			"successful re-dials of the attested store channel", appLabel)
+		c.inflightG = cfg.Telemetry.NewGauge("speed_client_inflight_requests",
+			"store requests currently awaiting a reply", appLabel)
 	}
 	if !cfg.Lazy {
 		ch, err := c.dialChannel()
 		if err != nil {
 			return nil, err
 		}
-		c.ch = ch
+		c.installLocked(ch)
 	}
 	return c, nil
 }
@@ -213,7 +283,9 @@ func DialConfig(addr string, app *enclave.Enclave, storeMeasurement enclave.Meas
 func NewRemoteClient(ch *wire.Channel) *RemoteClient {
 	cfg := RemoteConfig{}
 	cfg.fillDefaults()
-	return &RemoteClient{cfg: cfg, ch: ch}
+	c := &RemoteClient{cfg: cfg}
+	c.installLocked(ch)
+	return c
 }
 
 // Retries reports the number of request retries performed.
@@ -222,6 +294,20 @@ func (c *RemoteClient) Retries() int64 { return c.retries.Load() }
 // Reconnects reports the number of successful re-dials (not counting
 // the initial connection).
 func (c *RemoteClient) Reconnects() int64 { return c.reconnects.Load() }
+
+// Inflight reports the number of requests currently awaiting a reply.
+func (c *RemoteClient) Inflight() int64 { return c.inflight.Load() }
+
+// ProtocolVersion reports the negotiated wire protocol version of the
+// current connection, or 0 while disconnected.
+func (c *RemoteClient) ProtocolVersion() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ch == nil {
+		return 0
+	}
+	return c.ch.Version()
+}
 
 // dialChannel establishes one attested channel, bounding connect plus
 // handshake with DialTimeout.
@@ -237,7 +323,7 @@ func (c *RemoteClient) dialChannel() (*wire.Channel, error) {
 	if timeout > 0 {
 		_ = conn.SetDeadline(time.Now().Add(timeout))
 	}
-	ch, err := wire.ClientHandshakeTrust(conn, c.app, c.storeMeas, c.cfg.Trust)
+	ch, err := wire.ClientHandshakeVersion(conn, c.app, c.storeMeas, c.cfg.Trust, c.cfg.MaxProtocol)
 	if err != nil {
 		conn.Close()
 		return nil, fmt.Errorf("dedup: handshake: %w", err)
@@ -246,17 +332,63 @@ func (c *RemoteClient) dialChannel() (*wire.Channel, error) {
 	return ch, nil
 }
 
+// installLocked installs a fresh channel as the current connection,
+// spawning the demultiplexer when it negotiated v2. Caller holds c.mu
+// (or owns c exclusively during construction).
+func (c *RemoteClient) installLocked(ch *wire.Channel) {
+	c.ch = ch
+	c.mux = nil
+	if ch != nil && ch.Version() >= wire.ProtocolV2 {
+		c.mux = newChanMux(ch)
+	}
+}
+
+// connect returns the current connection, dialing one first when
+// disconnected. Concurrent callers racing to reconnect serialise here
+// and share the single fresh channel.
+func (c *RemoteClient) connect() (*wire.Channel, *chanMux, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, nil, errClientClosed
+	}
+	if c.ch == nil {
+		if !c.canRedial {
+			return nil, nil, errors.New("dedup: store channel lost (no redial information)")
+		}
+		ch, err := c.dialChannel()
+		if err != nil {
+			return nil, nil, err
+		}
+		c.installLocked(ch)
+		c.reconnects.Add(1)
+		c.reconnectsC.Inc()
+	}
+	return c.ch, c.mux, nil
+}
+
+// dropConn tears down the given channel if it is still the current
+// connection, so the next attempt re-dials. A channel replaced by a
+// concurrent reconnect is left alone.
+func (c *RemoteClient) dropConn(ch *wire.Channel) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ch != ch || ch == nil {
+		return
+	}
+	if c.mux != nil {
+		c.mux.fail(errors.New("dedup: store channel poisoned"))
+	}
+	ch.Close()
+	c.ch, c.mux = nil, nil
+}
+
 // errClientClosed is returned from requests after Close.
 var errClientClosed = errors.New("dedup: remote client closed")
 
 // roundTrip sends one request and waits for its reply, applying the
 // per-request deadline, retry policy and transparent reconnect.
 func (c *RemoteClient) roundTrip(req wire.Message) (wire.Message, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return nil, errClientClosed
-	}
 	attempts := 1 + c.cfg.MaxRetries
 	if attempts < 1 {
 		attempts = 1
@@ -293,24 +425,101 @@ func (c *RemoteClient) roundTrip(req wire.Message) (wire.Message, error) {
 	return nil, lastErr
 }
 
-// tryOnce performs a single request attempt on the current channel,
-// (re)connecting first if necessary. Any transport error poisons the
+// tryOnce performs a single request attempt on the current connection,
+// (re)connecting first if necessary. On a v2 connection the request
+// travels through the mux and overlaps with other callers'; on v1 the
+// serial discipline is enforced here (batch requests are emulated with
+// a loop of serial round trips). Any transport error poisons the
 // channel (its cipher counters can no longer match the peer's), so the
-// channel is dropped and the next attempt re-handshakes.
+// connection is dropped and the next attempt re-handshakes.
 func (c *RemoteClient) tryOnce(req wire.Message) (wire.Message, error) {
-	if c.ch == nil {
-		if !c.canRedial {
-			return nil, errors.New("dedup: store channel lost (no redial information)")
-		}
-		ch, err := c.dialChannel()
+	ch, mux, err := c.connect()
+	if err != nil {
+		return nil, err
+	}
+	c.inflight.Add(1)
+	c.inflightG.Add(1)
+	defer func() {
+		c.inflight.Add(-1)
+		c.inflightG.Add(-1)
+	}()
+
+	if mux != nil {
+		msg, err := mux.roundTrip(req, c.cfg.RequestTimeout)
 		if err != nil {
+			c.dropConn(ch)
+			if c.isClosed() {
+				// Close raced with the request; surface the
+				// deterministic terminal error rather than whatever the
+				// dying transport produced.
+				return nil, errClientClosed
+			}
 			return nil, err
 		}
-		c.ch = ch
-		c.reconnects.Add(1)
-		c.reconnectsC.Inc()
+		return msg, nil
 	}
-	ch := c.ch
+
+	c.serialMu.Lock()
+	defer c.serialMu.Unlock()
+	msg, err := c.serialRequest(ch, req)
+	if err != nil {
+		c.dropConn(ch)
+		if c.isClosed() {
+			return nil, errClientClosed
+		}
+		return nil, err
+	}
+	return msg, nil
+}
+
+func (c *RemoteClient) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// serialRequest performs one request on a v1 channel under the caller's
+// serialMu. Batch messages are not part of the v1 protocol, so they
+// are unrolled into serial round trips here — callers get batch
+// semantics against old stores, just without the wire amortisation.
+func (c *RemoteClient) serialRequest(ch *wire.Channel, req wire.Message) (wire.Message, error) {
+	switch m := req.(type) {
+	case wire.BatchGetRequest:
+		resp := wire.BatchGetResponse{Results: make([]wire.GetResult, len(m.Tags))}
+		for i, tag := range m.Tags {
+			msg, err := c.serialRoundTrip(ch, wire.GetRequest{Tag: tag})
+			if err != nil {
+				return nil, err
+			}
+			gr, ok := msg.(wire.GetResponse)
+			if !ok {
+				return nil, fmt.Errorf("dedup: unexpected reply %v", msg.Kind())
+			}
+			resp.Results[i] = wire.GetResult{Found: gr.Found, Sealed: gr.Sealed}
+		}
+		return resp, nil
+	case wire.BatchPutRequest:
+		resp := wire.BatchPutResponse{Results: make([]wire.PutResult, len(m.Items))}
+		for i, it := range m.Items {
+			msg, err := c.serialRoundTrip(ch, wire.PutRequest{Tag: it.Tag, Sealed: it.Sealed, Replace: it.Replace})
+			if err != nil {
+				return nil, err
+			}
+			pr, ok := msg.(wire.PutResponse)
+			if !ok {
+				return nil, fmt.Errorf("dedup: unexpected reply %v", msg.Kind())
+			}
+			resp.Results[i] = wire.PutResult{OK: pr.OK, Err: pr.Err}
+		}
+		return resp, nil
+	default:
+		return c.serialRoundTrip(ch, req)
+	}
+}
+
+// serialRoundTrip is one v1 send/recv pair with the request deadline
+// applied to the channel.
+func (c *RemoteClient) serialRoundTrip(ch *wire.Channel, req wire.Message) (wire.Message, error) {
 	if c.cfg.RequestTimeout > 0 {
 		ch.SetDeadline(time.Now().Add(c.cfg.RequestTimeout))
 	}
@@ -323,8 +532,6 @@ func (c *RemoteClient) tryOnce(req wire.Message) (wire.Message, error) {
 		ch.SetDeadline(time.Time{})
 	}
 	if err != nil {
-		ch.Close()
-		c.ch = nil
 		return nil, err
 	}
 	return msg, nil
@@ -395,18 +602,89 @@ func (c *RemoteClient) Put(tag mle.Tag, sealed mle.Sealed, replace bool) error {
 	return nil
 }
 
-// Close implements StoreClient.
+// GetBatch implements BatchClient: one round trip per
+// wire.MaxBatchItems chunk on a v2 connection, a serial loop against a
+// v1 store.
+func (c *RemoteClient) GetBatch(tags []mle.Tag) ([]wire.GetResult, error) {
+	if len(tags) == 0 {
+		return nil, nil
+	}
+	results := make([]wire.GetResult, 0, len(tags))
+	for start := 0; start < len(tags); start += wire.MaxBatchItems {
+		end := start + wire.MaxBatchItems
+		if end > len(tags) {
+			end = len(tags)
+		}
+		chunk := tags[start:end]
+		msg, err := c.roundTrip(wire.BatchGetRequest{Tags: chunk})
+		if err != nil {
+			return nil, fmt.Errorf("dedup: batch get: %w", err)
+		}
+		resp, ok := msg.(wire.BatchGetResponse)
+		if !ok {
+			return nil, fmt.Errorf("dedup: unexpected reply %v", msg.Kind())
+		}
+		if len(resp.Results) != len(chunk) {
+			return nil, fmt.Errorf("dedup: batch get: %d results for %d tags", len(resp.Results), len(chunk))
+		}
+		results = append(results, resp.Results...)
+	}
+	return results, nil
+}
+
+// PutBatch implements BatchClient. Unlike Put, rate-limited items are
+// reported in their PutResult rather than retried: retrying a subset
+// of a batch would reorder it against concurrent batches for no
+// benefit, and the runtime already treats rejected puts as advisory.
+func (c *RemoteClient) PutBatch(items []wire.PutItem) ([]wire.PutResult, error) {
+	if len(items) == 0 {
+		return nil, nil
+	}
+	results := make([]wire.PutResult, 0, len(items))
+	for start := 0; start < len(items); start += wire.MaxBatchItems {
+		end := start + wire.MaxBatchItems
+		if end > len(items) {
+			end = len(items)
+		}
+		chunk := items[start:end]
+		msg, err := c.roundTrip(wire.BatchPutRequest{Items: chunk})
+		if err != nil {
+			return nil, fmt.Errorf("dedup: batch put: %w", err)
+		}
+		resp, ok := msg.(wire.BatchPutResponse)
+		if !ok {
+			return nil, fmt.Errorf("dedup: unexpected reply %v", msg.Kind())
+		}
+		if len(resp.Results) != len(chunk) {
+			return nil, fmt.Errorf("dedup: batch put: %d results for %d items", len(resp.Results), len(chunk))
+		}
+		results = append(results, resp.Results...)
+	}
+	return results, nil
+}
+
+// Close implements StoreClient. It is idempotent and safe to call
+// concurrently with in-flight requests: waiters on a v2 mux are
+// unblocked with errClientClosed, and any request racing the teardown
+// surfaces errClientClosed rather than a transport error.
 func (c *RemoteClient) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil
 	}
 	c.closed = true
-	if c.ch == nil {
+	ch, mux := c.ch, c.mux
+	c.ch, c.mux = nil, nil
+	c.mu.Unlock()
+	if mux != nil {
+		// Fails every in-flight waiter with the deterministic terminal
+		// error (and closes the underlying channel).
+		mux.fail(errClientClosed)
 		return nil
 	}
-	err := c.ch.Close()
-	c.ch = nil
-	return err
+	if ch != nil {
+		return ch.Close()
+	}
+	return nil
 }

@@ -1,0 +1,438 @@
+package dedup
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"speed/internal/enclave"
+	"speed/internal/mle"
+	"speed/internal/store"
+	"speed/internal/wire"
+)
+
+// newMuxEnv is newRemoteEnv with explicit server options and client
+// configuration, for exercising specific protocol-version pairings.
+func newMuxEnv(t *testing.T, serverOpts []store.ServerOption, cfg RemoteConfig) *remoteEnv {
+	t.Helper()
+	p := enclave.NewPlatform(enclave.Config{})
+	appEnc, err := p.Create("app", []byte("app code"))
+	if err != nil {
+		t.Fatalf("create app: %v", err)
+	}
+	storeEnc, err := p.Create("store", []byte("store code"))
+	if err != nil {
+		t.Fatalf("create store: %v", err)
+	}
+	st, err := store.New(store.Config{Enclave: storeEnc})
+	if err != nil {
+		t.Fatalf("store.New: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	opts := append([]store.ServerOption{store.WithLogf(func(string, ...any) {})}, serverOpts...)
+	srv := store.NewServer(st, ln, opts...)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = srv.Serve()
+	}()
+	t.Cleanup(func() {
+		_ = srv.Close()
+		wg.Wait()
+	})
+
+	client, err := DialConfig(ln.Addr().String(), appEnc, storeEnc.Measurement(), cfg)
+	if err != nil {
+		t.Fatalf("DialConfig: %v", err)
+	}
+	t.Cleanup(func() { _ = client.Close() })
+	return &remoteEnv{platform: p, appEnc: appEnc, storeEnc: storeEnc, store: st, client: client}
+}
+
+func TestMuxConcurrentCallersOneConnection(t *testing.T) {
+	env := newMuxEnv(t, nil, RemoteConfig{})
+	if v := env.client.ProtocolVersion(); v != wire.ProtocolV2 {
+		t.Fatalf("ProtocolVersion = %d, want %d", v, wire.ProtocolV2)
+	}
+
+	const workers = 16
+	const perWorker = 15
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tag := tagFromString(fmt.Sprintf("w%d-i%d", w, i))
+				sealed := mle.Sealed{
+					Challenge:  []byte("challenge"),
+					WrappedKey: []byte("wrapped"),
+					Blob:       []byte(fmt.Sprintf("blob-%d-%d", w, i)),
+				}
+				if err := env.client.Put(tag, sealed, false); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				got, found, err := env.client.Get(tag)
+				if err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+				if !found || string(got.Blob) != string(sealed.Blob) {
+					t.Errorf("Get w%d i%d = (found=%v, %q)", w, i, found, got.Blob)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// All round trips shared the one negotiated connection.
+	if r := env.client.Reconnects(); r != 0 {
+		t.Errorf("Reconnects = %d, want 0", r)
+	}
+	if n := env.client.Inflight(); n != 0 {
+		t.Errorf("Inflight = %d after all calls returned, want 0", n)
+	}
+}
+
+func tagFromString(s string) mle.Tag {
+	var tag mle.Tag
+	copy(tag[:], s)
+	return tag
+}
+
+func testBatchGetPut(t *testing.T, env *remoteEnv, wantVersion int) {
+	t.Helper()
+	if v := env.client.ProtocolVersion(); v != wantVersion {
+		t.Fatalf("ProtocolVersion = %d, want %d", v, wantVersion)
+	}
+	const n = 40
+	items := make([]wire.PutItem, n)
+	for i := range items {
+		items[i] = wire.PutItem{
+			Tag: tagFromString(fmt.Sprintf("batch-%d", i)),
+			Sealed: mle.Sealed{
+				Challenge:  []byte("challenge"),
+				WrappedKey: []byte("wrapped"),
+				Blob:       []byte(fmt.Sprintf("payload-%d", i)),
+			},
+		}
+	}
+	prs, err := env.client.PutBatch(items)
+	if err != nil {
+		t.Fatalf("PutBatch: %v", err)
+	}
+	if len(prs) != n {
+		t.Fatalf("PutBatch returned %d results, want %d", len(prs), n)
+	}
+	for i, pr := range prs {
+		if !pr.OK {
+			t.Errorf("PutBatch item %d rejected: %s", i, pr.Err)
+		}
+	}
+
+	// GET the stored tags plus misses and an intra-batch duplicate,
+	// verifying positional alignment.
+	tags := make([]mle.Tag, 0, n+3)
+	for i := 0; i < n; i++ {
+		tags = append(tags, items[i].Tag)
+	}
+	tags = append(tags, tagFromString("absent-1"), items[7].Tag, tagFromString("absent-2"))
+	grs, err := env.client.GetBatch(tags)
+	if err != nil {
+		t.Fatalf("GetBatch: %v", err)
+	}
+	if len(grs) != len(tags) {
+		t.Fatalf("GetBatch returned %d results, want %d", len(grs), len(tags))
+	}
+	for i := 0; i < n; i++ {
+		if !grs[i].Found || string(grs[i].Sealed.Blob) != fmt.Sprintf("payload-%d", i) {
+			t.Errorf("GetBatch[%d] = (found=%v, %q), want payload-%d", i, grs[i].Found, grs[i].Sealed.Blob, i)
+		}
+	}
+	if grs[n].Found || grs[n+2].Found {
+		t.Error("GetBatch reported absent tags as found")
+	}
+	if !grs[n+1].Found || string(grs[n+1].Sealed.Blob) != "payload-7" {
+		t.Errorf("GetBatch duplicate position = (found=%v, %q), want payload-7", grs[n+1].Found, grs[n+1].Sealed.Blob)
+	}
+}
+
+func TestBatchGetPutOverV2(t *testing.T) {
+	env := newMuxEnv(t, nil, RemoteConfig{})
+	testBatchGetPut(t, env, wire.ProtocolV2)
+}
+
+func TestBatchFallsBackToV1Server(t *testing.T) {
+	// A v2 client against a v1-only server negotiates down and emulates
+	// batch requests as serial loops; callers see identical semantics.
+	env := newMuxEnv(t, []store.ServerOption{store.WithMaxProtocol(wire.ProtocolV1)}, RemoteConfig{})
+	testBatchGetPut(t, env, wire.ProtocolV1)
+}
+
+func TestV1ClientAgainstV2Server(t *testing.T) {
+	// A client pinned to v1 keeps the serial discipline against a v2
+	// server (the server must not expect envelopes from it).
+	env := newMuxEnv(t, nil, RemoteConfig{MaxProtocol: wire.ProtocolV1})
+	testBatchGetPut(t, env, wire.ProtocolV1)
+}
+
+// hangServer completes the attested v2 handshake and then reads frames
+// without ever replying, simulating a wedged store.
+func hangServer(t *testing.T, storeEnc *enclave.Enclave) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				ch, err := wire.ServerHandshakeVersion(conn, storeEnc, nil, nil, wire.ProtocolV2)
+				if err != nil {
+					conn.Close()
+					return
+				}
+				for {
+					if _, err := ch.Recv(); err != nil {
+						conn.Close()
+						return
+					}
+				}
+			}()
+		}
+	}()
+	t.Cleanup(func() { _ = ln.Close() })
+	return ln
+}
+
+func TestCloseUnblocksInflightWaiters(t *testing.T) {
+	p := enclave.NewPlatform(enclave.Config{})
+	appEnc, _ := p.Create("app", []byte("app code"))
+	storeEnc, _ := p.Create("store", []byte("store code"))
+	ln := hangServer(t, storeEnc)
+
+	client, err := DialConfig(ln.Addr().String(), appEnc, storeEnc.Measurement(), RemoteConfig{
+		RequestTimeout: 30 * time.Second, // far beyond the test deadline
+		MaxRetries:     -1,
+	})
+	if err != nil {
+		t.Fatalf("DialConfig: %v", err)
+	}
+
+	errs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func(i byte) {
+			_, _, err := client.Get(testTag(i))
+			errs <- err
+		}(byte(i))
+	}
+	waitFor(t, "requests to be in flight", func() bool { return client.Inflight() == 4 })
+
+	if err := client.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, errClientClosed) {
+				t.Errorf("in-flight Get after Close = %v, want errClientClosed", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("Close did not unblock an in-flight waiter")
+		}
+	}
+
+	// Idempotent, and subsequent requests fail fast with the same error.
+	if err := client.Close(); err != nil {
+		t.Errorf("second Close = %v, want nil", err)
+	}
+	if _, _, err := client.Get(testTag(0xFF)); !errors.Is(err, errClientClosed) {
+		t.Errorf("Get after Close = %v, want errClientClosed", err)
+	}
+}
+
+func TestRetryAccountingDeterministic(t *testing.T) {
+	// Against an address nobody listens on, a lazy client's request
+	// makes exactly 1+MaxRetries dial attempts; the counters must agree
+	// and no redial may be recorded as successful.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	p := enclave.NewPlatform(enclave.Config{})
+	appEnc, _ := p.Create("app", []byte("app code"))
+	storeEnc, _ := p.Create("store", []byte("store code"))
+	client, err := DialConfig(addr, appEnc, storeEnc.Measurement(), RemoteConfig{
+		Lazy:         true,
+		DialTimeout:  100 * time.Millisecond,
+		MaxRetries:   2,
+		RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("DialConfig: %v", err)
+	}
+	defer client.Close()
+
+	if _, _, err := client.Get(testTag(1)); err == nil {
+		t.Fatal("Get against dead address succeeded")
+	}
+	if r := client.Retries(); r != 2 {
+		t.Errorf("Retries = %d, want 2", r)
+	}
+	if r := client.Reconnects(); r != 0 {
+		t.Errorf("Reconnects = %d, want 0 (no dial succeeded)", r)
+	}
+	if n := client.Inflight(); n != 0 {
+		t.Errorf("Inflight = %d, want 0", n)
+	}
+}
+
+// reorderServer is a raw v2 peer that collects two requests and answers
+// them in reverse arrival order, then answers a third with a bogus
+// request ID first and a duplicate reply after — the client mux must
+// correlate by ID, drop unknown IDs and tolerate duplicates.
+func TestMuxCorrelatesOutOfOrderResponses(t *testing.T) {
+	p := enclave.NewPlatform(enclave.Config{})
+	appEnc, _ := p.Create("app", []byte("app code"))
+	storeEnc, _ := p.Create("store", []byte("store code"))
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	defer ln.Close()
+	serverErr := make(chan error, 1)
+	go func() {
+		serverErr <- func() error {
+			conn, err := ln.Accept()
+			if err != nil {
+				return err
+			}
+			defer conn.Close()
+			ch, err := wire.ServerHandshakeVersion(conn, storeEnc, nil, nil, wire.ProtocolV2)
+			if err != nil {
+				return err
+			}
+			type req struct {
+				id  uint64
+				tag mle.Tag
+			}
+			var reqs []req
+			for len(reqs) < 2 {
+				frame, err := ch.Recv()
+				if err != nil {
+					return err
+				}
+				id, msg, err := wire.UnmarshalEnvelope(frame)
+				if err != nil {
+					return err
+				}
+				gr, ok := msg.(wire.GetRequest)
+				if !ok {
+					return fmt.Errorf("unexpected %v", msg.Kind())
+				}
+				reqs = append(reqs, req{id, gr.Tag})
+			}
+			// Answer in reverse order; each response's blob names its
+			// request's tag so misrouting is detectable.
+			for i := len(reqs) - 1; i >= 0; i-- {
+				resp := wire.GetResponse{Found: true, Sealed: mle.Sealed{
+					Challenge:  []byte("challenge"),
+					WrappedKey: []byte("wrapped"),
+					Blob:       []byte{reqs[i].tag[0]},
+				}}
+				if err := ch.Send(wire.MarshalEnvelope(reqs[i].id, resp)); err != nil {
+					return err
+				}
+			}
+			// Third request: send a reply under an unknown ID, a
+			// duplicate of the real reply, then the real reply again
+			// (which by then is itself an unknown ID and must be
+			// dropped).
+			frame, err := ch.Recv()
+			if err != nil {
+				return err
+			}
+			id, _, err := wire.UnmarshalEnvelope(frame)
+			if err != nil {
+				return err
+			}
+			bogus := wire.GetResponse{Found: false}
+			real := wire.GetResponse{Found: true, Sealed: mle.Sealed{
+				Challenge:  []byte("challenge"),
+				WrappedKey: []byte("wrapped"),
+				Blob:       []byte("third"),
+			}}
+			if err := ch.Send(wire.MarshalEnvelope(id^0xDEAD, bogus)); err != nil {
+				return err
+			}
+			if err := ch.Send(wire.MarshalEnvelope(id, real)); err != nil {
+				return err
+			}
+			if err := ch.Send(wire.MarshalEnvelope(id, bogus)); err != nil {
+				return err
+			}
+			// Hold the connection open until the client is done.
+			_, _ = ch.Recv()
+			return nil
+		}()
+	}()
+
+	client, err := DialConfig(ln.Addr().String(), appEnc, storeEnc.Measurement(), RemoteConfig{
+		RequestTimeout: 5 * time.Second,
+		MaxRetries:     -1,
+	})
+	if err != nil {
+		t.Fatalf("DialConfig: %v", err)
+	}
+	defer client.Close()
+
+	type result struct {
+		tag    mle.Tag
+		sealed mle.Sealed
+		found  bool
+		err    error
+	}
+	results := make(chan result, 2)
+	launch := func(tag mle.Tag) {
+		sealed, found, err := client.Get(tag)
+		results <- result{tag, sealed, found, err}
+	}
+	go launch(testTag(0x0A))
+	waitFor(t, "first request in flight", func() bool { return client.Inflight() == 1 })
+	go launch(testTag(0x0B))
+
+	for i := 0; i < 2; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatalf("Get %x: %v", r.tag[0], r.err)
+		}
+		if !r.found || len(r.sealed.Blob) != 1 || r.sealed.Blob[0] != r.tag[0] {
+			t.Errorf("Get %x routed wrong response (blob %x)", r.tag[0], r.sealed.Blob)
+		}
+	}
+
+	sealed, found, err := client.Get(testTag(0x0C))
+	if err != nil {
+		t.Fatalf("third Get: %v", err)
+	}
+	if !found || string(sealed.Blob) != "third" {
+		t.Errorf("third Get = (found=%v, %q), want the real reply despite unknown/duplicate IDs", found, sealed.Blob)
+	}
+}

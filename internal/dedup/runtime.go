@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	goruntime "runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -77,6 +78,10 @@ type Config struct {
 	// and share its result with OutcomeCoalesced — deduplication
 	// within the process, before the store is even consulted.
 	NoCoalesce bool
+	// BatchParallelism bounds how many missing results one ExecuteBatch
+	// call computes concurrently. Zero selects GOMAXPROCS; 1 computes
+	// serially.
+	BatchParallelism int
 	// DegradeThreshold is the number of consecutive store transport
 	// failures after which the runtime opens its circuit breaker: it
 	// stops consulting the store entirely (compute-only mode) and
@@ -208,6 +213,9 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	}
 	if cfg.PutQueueDepth <= 0 {
 		cfg.PutQueueDepth = 64
+	}
+	if cfg.BatchParallelism <= 0 {
+		cfg.BatchParallelism = goruntime.GOMAXPROCS(0)
 	}
 	if cfg.DegradeThreshold == 0 {
 		cfg.DegradeThreshold = 5

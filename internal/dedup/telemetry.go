@@ -71,6 +71,7 @@ type rtMetrics struct {
 	reg         *telemetry.Registry
 	execSeconds [numOutcomeSlots]*telemetry.Histogram
 	phases      [numPhases]*telemetry.Histogram
+	batchItems  *telemetry.Histogram
 	sampleEvery uint64
 	app         string
 }
@@ -109,6 +110,8 @@ func newRTMetrics(reg *telemetry.Registry, rt *Runtime, sampleRate int) *rtMetri
 			"Execute latency per phase", appLabel,
 			telemetry.L("phase", phaseNames[p]))
 	}
+	m.batchItems = reg.NewHistogram("speed_runtime_batch_items",
+		"items per ExecuteBatch call (bucket values are item counts, not seconds)", appLabel)
 	// Counters mirror the Stats snapshot (one source of truth, read on
 	// demand); Retries comes from the same snapshot, so the registry no
 	// longer needs the retryCounter side channel.

@@ -73,7 +73,7 @@ func TestServeRetriesTemporaryAcceptErrors(t *testing.T) {
 		t.Fatalf("dial: %v", err)
 	}
 	defer conn.Close()
-	ch, err := wire.ClientHandshake(conn, appEnc, storeEnc.Measurement())
+	ch, err := wire.ClientHandshakeVersion(conn, appEnc, storeEnc.Measurement(), nil, wire.ProtocolV1)
 	if err != nil {
 		t.Fatalf("handshake after temporary accept errors: %v", err)
 	}

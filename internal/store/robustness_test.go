@@ -82,7 +82,7 @@ func TestServerShedsGarbageConnections(t *testing.T) {
 		t.Fatalf("honest dial: %v", err)
 	}
 	defer conn.Close()
-	ch, err := wire.ClientHandshake(conn, appEnc, storeEnc.Measurement())
+	ch, err := wire.ClientHandshakeVersion(conn, appEnc, storeEnc.Measurement(), nil, wire.ProtocolV1)
 	if err != nil {
 		t.Fatalf("honest handshake after attacks: %v", err)
 	}
@@ -109,7 +109,7 @@ func TestServerRejectsPostHandshakeGarbage(t *testing.T) {
 		t.Fatalf("dial: %v", err)
 	}
 	defer conn.Close()
-	ch, err := wire.ClientHandshake(conn, appEnc, storeEnc.Measurement())
+	ch, err := wire.ClientHandshakeVersion(conn, appEnc, storeEnc.Measurement(), nil, wire.ProtocolV1)
 	if err != nil {
 		t.Fatalf("handshake: %v", err)
 	}
@@ -146,7 +146,7 @@ func TestServerManyConcurrentClients(t *testing.T) {
 				return
 			}
 			defer conn.Close()
-			ch, err := wire.ClientHandshake(conn, appEnc, storeEnc.Measurement())
+			ch, err := wire.ClientHandshakeVersion(conn, appEnc, storeEnc.Measurement(), nil, wire.ProtocolV1)
 			if err != nil {
 				t.Errorf("handshake: %v", err)
 				return

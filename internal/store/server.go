@@ -32,6 +32,12 @@ type Server struct {
 	idleTimeout      time.Duration
 	writeTimeout     time.Duration
 
+	// maxInflight caps concurrently-executing requests per v2 session
+	// (and sizes that session's worker pool); maxProtocol is the highest
+	// protocol version offered in the handshake.
+	maxInflight int
+	maxProtocol int
+
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
@@ -45,10 +51,12 @@ type Server struct {
 type serverMetrics struct {
 	connections *telemetry.Counter
 	active      *telemetry.Gauge
+	inflight    *telemetry.Gauge
 	bytesIn     *telemetry.Counter
 	bytesOut    *telemetry.Counter
 	getSeconds  *telemetry.Histogram
 	putSeconds  *telemetry.Histogram
+	batchSize   *telemetry.Histogram
 }
 
 func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
@@ -60,6 +68,8 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 			"accepted client connections that completed the handshake"),
 		active: reg.NewGauge("speed_server_active_connections",
 			"currently attached client connections"),
+		inflight: reg.NewGauge("speed_server_inflight_requests",
+			"requests currently being parsed, executed or written across all sessions"),
 		bytesIn: reg.NewCounter("speed_server_wire_bytes_in_total",
 			"wire bytes received from clients, including framing"),
 		bytesOut: reg.NewCounter("speed_server_wire_bytes_out_total",
@@ -70,6 +80,8 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 		putSeconds: reg.NewHistogram("speed_server_request_seconds",
 			"request service latency from dispatch to reply written",
 			telemetry.L("op", "put")),
+		batchSize: reg.NewHistogram("speed_store_batch_size",
+			"items per batch GET/PUT request (bucket values are item counts, not seconds)"),
 	}
 }
 
@@ -117,6 +129,27 @@ func WithWriteTimeout(d time.Duration) ServerOption {
 	return func(s *Server) { s.writeTimeout = d }
 }
 
+// WithMaxInflight caps the number of requests a single v2 session may
+// have executing concurrently (its worker-pool size). A client that
+// pipelines more requests than the cap is simply not read from until a
+// slot frees, providing natural backpressure. Defaults to 32; values
+// below 1 are clamped to 1. v1 sessions are inherently serial.
+func WithMaxInflight(n int) ServerOption {
+	return func(s *Server) {
+		if n < 1 {
+			n = 1
+		}
+		s.maxInflight = n
+	}
+}
+
+// WithMaxProtocol pins the highest protocol version the server offers
+// in the attested handshake, used for conservative rollouts and for
+// exercising the v1 fallback in tests. Defaults to wire.MaxProtocol.
+func WithMaxProtocol(v int) ServerOption {
+	return func(s *Server) { s.maxProtocol = v }
+}
+
 // WithTelemetry registers the server's connection, wire-byte, and
 // request-latency metrics with reg. A nil registry leaves the server
 // uninstrumented.
@@ -135,6 +168,8 @@ func NewServer(st *Store, ln net.Listener, opts ...ServerOption) *Server {
 		handshakeTimeout: 10 * time.Second,
 		idleTimeout:      5 * time.Minute,
 		writeTimeout:     30 * time.Second,
+		maxInflight:      32,
+		maxProtocol:      wire.MaxProtocol,
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -216,7 +251,7 @@ func (s *Server) handle(conn net.Conn) {
 	if s.handshakeTimeout > 0 {
 		_ = conn.SetDeadline(time.Now().Add(s.handshakeTimeout))
 	}
-	ch, err := wire.ServerHandshakeTrust(conn, s.store.Enclave(), s.accept, s.trust)
+	ch, err := wire.ServerHandshakeVersion(conn, s.store.Enclave(), s.accept, s.trust, s.maxProtocol)
 	if err != nil {
 		s.logf("store: handshake from %v: %v", conn.RemoteAddr(), err)
 		return
@@ -240,6 +275,16 @@ func (s *Server) handle(conn net.Conn) {
 		defer s.tel.active.Add(-1)
 		defer flushBytes()
 	}
+	if ch.Version() >= wire.ProtocolV2 {
+		s.handleMux(conn, ch, owner, flushBytes)
+		return
+	}
+	s.handleSerial(conn, ch, owner, flushBytes)
+}
+
+// handleSerial services a v1 session: one request at a time, replies in
+// request order, no envelopes.
+func (s *Server) handleSerial(conn net.Conn, ch *wire.Channel, owner enclave.Measurement, flushBytes func()) {
 	for {
 		if s.idleTimeout > 0 {
 			_ = conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
@@ -286,6 +331,122 @@ func (s *Server) handle(conn net.Conn) {
 	}
 }
 
+// envelopeJob is one decoded v2 request travelling through the session
+// pipeline.
+type envelopeJob struct {
+	id  uint64
+	msg wire.Message
+}
+
+// handleMux services a v2 session as a three-stage pipeline: this
+// goroutine reads and decodes envelopes, a bounded worker pool executes
+// them against the store (so slow PUTs don't block cheap GETs), and a
+// single writer goroutine serialises replies back onto the channel —
+// possibly out of request order; the request ID lets the client
+// correlate. The reader blocks when all workers are busy, so one
+// session can never have more than maxInflight requests executing.
+func (s *Server) handleMux(conn net.Conn, ch *wire.Channel, owner enclave.Measurement, flushBytes func()) {
+	work := make(chan envelopeJob)
+	replies := make(chan envelopeJob, s.maxInflight)
+
+	// Writer: drains replies until the channel closes. On a send
+	// failure it kills the connection but keeps draining so workers are
+	// never wedged on a full replies buffer.
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		broken := false
+		for r := range replies {
+			if s.tel != nil {
+				s.tel.inflight.Add(-1)
+			}
+			if broken {
+				continue
+			}
+			if s.writeTimeout > 0 {
+				_ = conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
+			}
+			if err := ch.Send(wire.MarshalEnvelope(r.id, r.msg)); err != nil {
+				s.logf("store: send to %v: %v", conn.RemoteAddr(), err)
+				conn.Close()
+				broken = true
+				continue
+			}
+			if s.writeTimeout > 0 {
+				_ = conn.SetWriteDeadline(time.Time{})
+			}
+			if s.tel != nil {
+				flushBytes()
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	wg.Add(s.maxInflight)
+	for i := 0; i < s.maxInflight; i++ {
+		go func() {
+			defer wg.Done()
+			for job := range work {
+				var reqHist *telemetry.Histogram
+				if s.tel != nil {
+					switch job.msg.(type) {
+					case wire.GetRequest, wire.BatchGetRequest:
+						reqHist = s.tel.getSeconds
+					case wire.PutRequest, wire.BatchPutRequest:
+						reqHist = s.tel.putSeconds
+					}
+				}
+				start := time.Now()
+				reply, err := s.Dispatch(owner, job.msg)
+				if err != nil {
+					// Internal failure (store closed, I/O): the session
+					// cannot make progress; kill it. The reader notices
+					// the closed conn and unwinds the pipeline.
+					s.logf("store: dispatch: %v", err)
+					conn.Close()
+					if s.tel != nil {
+						s.tel.inflight.Add(-1)
+					}
+					continue
+				}
+				if reqHist != nil {
+					reqHist.Observe(time.Since(start))
+				}
+				replies <- envelopeJob{id: job.id, msg: reply}
+			}
+		}()
+	}
+
+	// Reader (this goroutine). Exiting the loop unwinds the pipeline:
+	// closing work drains the workers, then closing replies drains the
+	// writer.
+	for {
+		if s.idleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.idleTimeout))
+		}
+		payload, err := ch.Recv()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, os.ErrDeadlineExceeded) {
+				s.logf("store: recv from %v: %v", conn.RemoteAddr(), err)
+			}
+			break
+		}
+		id, msg, err := wire.UnmarshalEnvelope(payload)
+		if err != nil {
+			s.logf("store: bad envelope from %v: %v", conn.RemoteAddr(), err)
+			break
+		}
+		if s.tel != nil {
+			s.tel.inflight.Add(1)
+		}
+		work <- envelopeJob{id: id, msg: msg}
+	}
+	close(work)
+	wg.Wait()
+	close(replies)
+	<-writerDone
+}
+
 // Dispatch handles one protocol message on behalf of the attested
 // application owner and produces the reply. It is exported so that the
 // in-process loopback client can reuse the exact request path without a
@@ -318,6 +479,44 @@ func (s *Server) Dispatch(owner enclave.Measurement, msg wire.Message) (wire.Mes
 		default:
 			return wire.PutResponse{OK: true}, nil
 		}
+	case wire.BatchGetRequest:
+		if s.tel != nil {
+			s.tel.batchSize.Observe(time.Duration(len(m.Tags)))
+		}
+		resp := wire.BatchGetResponse{Results: make([]wire.GetResult, len(m.Tags))}
+		for i, tag := range m.Tags {
+			sealed, found, err := s.store.GetAs(owner, tag)
+			switch {
+			case errors.Is(err, ErrUnauthorized):
+				// Deny without information, as in the single-GET case.
+			case err != nil:
+				return nil, fmt.Errorf("batch get %v: %w", tag, err)
+			default:
+				resp.Results[i] = wire.GetResult{Found: found, Sealed: sealed}
+			}
+		}
+		return resp, nil
+	case wire.BatchPutRequest:
+		if s.tel != nil {
+			s.tel.batchSize.Observe(time.Duration(len(m.Items)))
+		}
+		resp := wire.BatchPutResponse{Results: make([]wire.PutResult, len(m.Items))}
+		for i, it := range m.Items {
+			put := s.store.Put
+			if it.Replace {
+				put = s.store.PutReplace
+			}
+			_, err := put(owner, it.Tag, it.Sealed)
+			switch {
+			case errors.Is(err, ErrQuota), errors.Is(err, ErrUnauthorized):
+				resp.Results[i] = wire.PutResult{OK: false, Err: err.Error()}
+			case err != nil:
+				return nil, fmt.Errorf("batch put %v: %w", it.Tag, err)
+			default:
+				resp.Results[i] = wire.PutResult{OK: true}
+			}
+		}
+		return resp, nil
 	default:
 		return nil, fmt.Errorf("store: unexpected message %v", msg.Kind())
 	}

@@ -39,7 +39,8 @@ func dialStore(t *testing.T, addr string, app *enclave.Enclave, storeMeas enclav
 	if err != nil {
 		t.Fatalf("Dial: %v", err)
 	}
-	ch, err := wire.ClientHandshake(conn, app, storeMeas)
+	// These tests speak the raw serial protocol, so pin the offer to v1.
+	ch, err := wire.ClientHandshakeVersion(conn, app, storeMeas, nil, wire.ProtocolV1)
 	if err != nil {
 		conn.Close()
 		t.Fatalf("ClientHandshake: %v", err)

@@ -5,6 +5,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sort"
+	"time"
 
 	"speed/internal/enclave"
 	"speed/internal/mle"
@@ -33,33 +35,42 @@ func (s *Store) SealSnapshot() ([]byte, error) {
 		sealed mle.Sealed
 		owner  enclave.Measurement
 		hits   int64
+		touch  time.Time
 	}
 	var records []record
 	err := s.cfg.Enclave.ECall(func() error {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		if s.closed {
+		if s.closed.Load() {
 			return ErrClosed
 		}
-		records = make([]record, 0, len(s.dict))
-		// Walk the LRU from least to most recent so restore rebuilds
-		// the same eviction order.
-		for elem := s.lru.Back(); elem != nil; elem = elem.Prev() {
-			tag, ok := elem.Value.(mle.Tag)
-			if !ok {
-				continue
+		// Walk each shard's LRU from least to most recent, then order
+		// records globally by lastTouch so restore rebuilds a faithful
+		// eviction order across shards. The restore target may use a
+		// different shard count — the format is shard-agnostic.
+		records = make([]record, 0, s.Len())
+		for _, sh := range s.shards {
+			sh.mu.Lock()
+			for elem := sh.lru.Back(); elem != nil; elem = elem.Prev() {
+				tag, ok := elem.Value.(mle.Tag)
+				if !ok {
+					continue
+				}
+				e := sh.dict[tag]
+				records = append(records, record{
+					tag: tag,
+					sealed: mle.Sealed{
+						Challenge:  append([]byte(nil), e.challenge...),
+						WrappedKey: append([]byte(nil), e.wrappedKey...),
+					},
+					owner: e.owner,
+					hits:  e.hits,
+					touch: e.lastTouch,
+				})
 			}
-			e := s.dict[tag]
-			records = append(records, record{
-				tag: tag,
-				sealed: mle.Sealed{
-					Challenge:  append([]byte(nil), e.challenge...),
-					WrappedKey: append([]byte(nil), e.wrappedKey...),
-				},
-				owner: e.owner,
-				hits:  e.hits,
-			})
+			sh.mu.Unlock()
 		}
+		sort.SliceStable(records, func(i, j int) bool {
+			return records[i].touch.Before(records[j].touch)
+		})
 		return nil
 	})
 	if err != nil {
@@ -81,13 +92,14 @@ func (s *Store) SealSnapshot() ([]byte, error) {
 	written := 0
 	for _, r := range records {
 		// Re-read the blob; an entry evicted meanwhile is skipped.
-		s.mu.Lock()
-		e, ok := s.dict[r.tag]
+		sh := s.shardFor(r.tag)
+		sh.mu.Lock()
+		e, ok := sh.dict[r.tag]
 		var blobID BlobID
 		if ok {
 			blobID = e.blobID
 		}
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		if !ok {
 			continue
 		}
@@ -181,11 +193,12 @@ func (s *Store) RestoreSnapshot(sealed []byte) (int, error) {
 		}
 		if ok {
 			installed++
-			s.mu.Lock()
-			if e, present := s.dict[tag]; present {
+			sh := s.shardFor(tag)
+			sh.mu.Lock()
+			if e, present := sh.dict[tag]; present {
 				e.hits = hits
 			}
-			s.mu.Unlock()
+			sh.mu.Unlock()
 		}
 	}
 	if len(rd) != 0 {

@@ -3,9 +3,13 @@ package store
 import (
 	"container/list"
 	"crypto/subtle"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"math/bits"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"speed/internal/enclave"
@@ -19,6 +23,14 @@ import (
 // enclave's EPC so that large dictionaries produce realistic paging
 // pressure.
 const entryOverhead = 96
+
+// defaultShards is the dictionary shard count when Config.Shards is
+// zero. Power of two, so shard selection is a mask over the tag bytes.
+const defaultShards = 8
+
+// maxShards bounds Config.Shards; beyond this the per-shard fixed
+// overhead outweighs any contention win.
+const maxShards = 256
 
 var (
 	// ErrQuota is returned when a PUT is rejected by the quota
@@ -35,8 +47,15 @@ type Config struct {
 	// Blobs holds ciphertexts outside the enclave. Defaults to an
 	// in-memory store.
 	Blobs BlobStore
+	// Shards is the number of lock-striped dictionary shards; rounded
+	// up to a power of two, defaulting to 8. Tags are uniformly
+	// distributed hashes, so striping spreads GET/PUT lock contention
+	// evenly and lets concurrent requests proceed on different cores.
+	Shards int
 	// MaxEntries caps the dictionary size; 0 means unlimited. When
-	// exceeded, least-recently-used entries are evicted.
+	// exceeded, least-recently-used entries are evicted. The cap is
+	// global: the eviction victim is the least recently used entry
+	// across all shards, not a per-shard quota.
 	MaxEntries int
 	// MaxBlobBytes caps total ciphertext bytes; 0 means unlimited.
 	MaxBlobBytes int64
@@ -46,12 +65,12 @@ type Config struct {
 	// attested measurement (controlled deduplication, Section III-D).
 	Auth Authorizer
 	// Oblivious makes dictionary lookups access-pattern oblivious: a
-	// GET touches every entry with constant-time tag comparison and
-	// performs no LRU bookkeeping, so an adversary observing enclave
-	// memory accesses cannot tell which entry (if any) matched. This
-	// trades throughput for side-channel resistance (the security/
-	// performance balance the paper defers to future work,
-	// Section III-D).
+	// GET touches every entry in every shard with constant-time tag
+	// comparison and performs no LRU bookkeeping, so an adversary
+	// observing enclave memory accesses cannot tell which entry (if
+	// any) matched — or which shard held it. This trades throughput for
+	// side-channel resistance (the security/performance balance the
+	// paper defers to future work, Section III-D).
 	Oblivious bool
 	// TTL expires entries that have not been stored or hit within the
 	// given duration; 0 disables expiry. Expired entries are collected
@@ -59,15 +78,18 @@ type Config struct {
 	TTL time.Duration
 	// Telemetry, when non-nil, registers the store's counters (gets,
 	// hits, puts, denials, evictions — backed by the Stats snapshot),
-	// occupancy gauges, and per-operation service-latency histograms
-	// speed_store_op_seconds{op="get"|"put"}. Nil disables.
+	// occupancy gauges (total and per shard), and per-operation
+	// service-latency histograms speed_store_op_seconds{op="get"|"put"}.
+	// Nil disables.
 	Telemetry *telemetry.Registry
 	// Now is the clock used by the quota mechanism; nil means
 	// time.Now. Injectable for tests.
 	Now func() time.Time
 }
 
-// Stats is a snapshot of store activity.
+// Stats is a snapshot of store activity. The counters are summed over
+// all shards while every shard lock is held, so the snapshot is
+// internally consistent (e.g. Hits never exceeds Gets).
 type Stats struct {
 	Gets         int64
 	Hits         int64
@@ -79,6 +101,18 @@ type Stats struct {
 	Expired      int64
 	Entries      int
 	BlobBytes    int64
+}
+
+// add folds another snapshot's counters into s.
+func (s *Stats) add(o Stats) {
+	s.Gets += o.Gets
+	s.Hits += o.Hits
+	s.Puts += o.Puts
+	s.PutDupes += o.PutDupes
+	s.PutDenied += o.PutDenied
+	s.Unauthorized += o.Unauthorized
+	s.Evictions += o.Evictions
+	s.Expired += o.Expired
 }
 
 // entry is the small in-enclave dictionary record: the challenge r, the
@@ -99,17 +133,31 @@ func (e *entry) enclaveBytes() int64 {
 	return entryOverhead + int64(len(e.challenge)+len(e.wrappedKey))
 }
 
-// Store is the encrypted ResultStore. All methods are safe for
-// concurrent use.
-type Store struct {
-	cfg Config
+// shard is one lock stripe of the dictionary: its own map, LRU list and
+// activity counters, so GETs and PUTs for different tags proceed in
+// parallel on different cores.
+type shard struct {
+	mu    sync.Mutex
+	dict  map[mle.Tag]*entry
+	lru   *list.List // front = most recent; values are mle.Tag
+	stats Stats      // per-shard counters; Entries/BlobBytes unused
+}
 
-	mu        sync.Mutex
-	dict      map[mle.Tag]*entry
-	lru       *list.List // front = most recent; values are mle.Tag
-	blobTotal int64      // running sum of resident entry blob sizes
-	stats     Stats
-	closed    bool
+// Store is the encrypted ResultStore. All methods are safe for
+// concurrent use; operations on different tags contend only on their
+// shard.
+type Store struct {
+	cfg       Config
+	shards    []*shard
+	shardMask uint32
+
+	// Global occupancy accounting, shared by all shards: the dictionary
+	// entry count and the resident ciphertext bytes, against which
+	// MaxEntries/MaxBlobBytes are enforced.
+	entries   atomic.Int64
+	blobTotal atomic.Int64
+
+	closed atomic.Bool
 
 	quota *quotas
 
@@ -130,15 +178,37 @@ func New(cfg Config) (*Store, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	n := cfg.Shards
+	if n <= 0 {
+		n = defaultShards
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	if n&(n-1) != 0 {
+		n = 1 << bits.Len(uint(n)) // round up to a power of two
+	}
 	s := &Store{
-		cfg:   cfg,
-		dict:  make(map[mle.Tag]*entry),
-		lru:   list.New(),
-		quota: newQuotas(cfg.Quota, cfg.Now),
+		cfg:       cfg,
+		shards:    make([]*shard, n),
+		shardMask: uint32(n - 1),
+		quota:     newQuotas(cfg.Quota, cfg.Now),
+	}
+	for i := range s.shards {
+		s.shards[i] = &shard{dict: make(map[mle.Tag]*entry), lru: list.New()}
 	}
 	s.registerTelemetry(cfg.Telemetry)
 	return s, nil
 }
+
+// shardFor selects a tag's home shard. Tags are outputs of a
+// cryptographic hash, so any fixed window of bits is uniform.
+func (s *Store) shardFor(tag mle.Tag) *shard {
+	return s.shards[binary.BigEndian.Uint32(tag[:4])&s.shardMask]
+}
+
+// ShardCount reports the number of dictionary shards.
+func (s *Store) ShardCount() int { return len(s.shards) }
 
 // registerTelemetry wires the store into reg: latency histograms are
 // real metrics observed inline, while the counters and gauges read the
@@ -172,6 +242,16 @@ func (s *Store) registerTelemetry(reg *telemetry.Registry) {
 		func() float64 { return float64(s.Len()) })
 	reg.NewGaugeFunc("speed_store_blob_bytes", "resident ciphertext bytes outside the enclave",
 		func() float64 { return float64(s.cfg.Blobs.Bytes()) })
+	for i := range s.shards {
+		sh := s.shards[i]
+		reg.NewGaugeFunc("speed_store_shard_entries", "dictionary entries per shard",
+			func() float64 {
+				sh.mu.Lock()
+				n := len(sh.dict)
+				sh.mu.Unlock()
+				return float64(n)
+			}, telemetry.L("shard", strconv.Itoa(i)))
+	}
 }
 
 // Enclave returns the enclave hosting the metadata dictionary.
@@ -182,9 +262,10 @@ func (s *Store) Enclave() *enclave.Enclave { return s.cfg.Enclave }
 func (s *Store) GetAs(app enclave.Measurement, tag mle.Tag) (mle.Sealed, bool, error) {
 	if s.cfg.Auth != nil {
 		if err := s.cfg.Auth.Authorize(app, tag, PermGet); err != nil {
-			s.mu.Lock()
-			s.stats.Unauthorized++
-			s.mu.Unlock()
+			sh := s.shardFor(tag)
+			sh.mu.Lock()
+			sh.stats.Unauthorized++
+			sh.mu.Unlock()
 			return mle.Sealed{}, false, err
 		}
 	}
@@ -207,19 +288,41 @@ func (s *Store) Get(tag mle.Tag) (mle.Sealed, bool, error) {
 		sealed  mle.Sealed
 	)
 	err := s.cfg.Enclave.ECall(func() error {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		if s.closed {
+		if s.closed.Load() {
 			return ErrClosed
 		}
-		s.stats.Gets++
-		var e *entry
 		if s.cfg.Oblivious {
-			e = s.obliviousLookupLocked(tag)
-		} else if cur, ok := s.dict[tag]; ok {
-			e = cur
+			// Scan every shard with identical per-entry work so the
+			// access pattern reveals neither the entry nor the shard.
+			home := s.shardFor(tag)
+			for _, sh := range s.shards {
+				sh.mu.Lock()
+				e := obliviousLookupLocked(sh, tag)
+				if sh == home {
+					sh.stats.Gets++
+					if e != nil {
+						if s.expiredLocked(e) {
+							expired = true
+						} else {
+							found = true
+							sh.stats.Hits++
+							e.hits++
+							sealed.Challenge = append([]byte(nil), e.challenge...)
+							sealed.WrappedKey = append([]byte(nil), e.wrappedKey...)
+							blobID = e.blobID
+						}
+					}
+				}
+				sh.mu.Unlock()
+			}
+			return nil
 		}
-		if e == nil {
+		sh := s.shardFor(tag)
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		sh.stats.Gets++
+		e, ok := sh.dict[tag]
+		if !ok {
 			return nil
 		}
 		if s.expiredLocked(e) {
@@ -228,14 +331,12 @@ func (s *Store) Get(tag mle.Tag) (mle.Sealed, bool, error) {
 			return nil
 		}
 		found = true
-		s.stats.Hits++
+		sh.stats.Hits++
 		e.hits++
-		if !s.cfg.Oblivious {
-			// LRU maintenance and freshness updates reveal which entry
-			// was touched; skip them in oblivious mode.
-			s.lru.MoveToFront(e.lruElem)
-			e.lastTouch = s.cfg.Now()
-		}
+		// LRU maintenance and freshness updates reveal which entry was
+		// touched; they only run in the non-oblivious path.
+		sh.lru.MoveToFront(e.lruElem)
+		e.lastTouch = s.cfg.Now()
 		sealed.Challenge = append([]byte(nil), e.challenge...)
 		sealed.WrappedKey = append([]byte(nil), e.wrappedKey...)
 		blobID = e.blobID
@@ -295,20 +396,21 @@ func (s *Store) put(owner enclave.Measurement, tag mle.Tag, sealed mle.Sealed, o
 		start := time.Now()
 		defer func() { s.putSeconds.Observe(time.Since(start)) }()
 	}
+	sh := s.shardFor(tag)
 	restore := opts.restore
 	if s.cfg.Auth != nil && !restore {
 		if aerr := s.cfg.Auth.Authorize(owner, tag, PermPut); aerr != nil {
-			s.mu.Lock()
-			s.stats.Unauthorized++
-			s.mu.Unlock()
+			sh.mu.Lock()
+			sh.stats.Unauthorized++
+			sh.mu.Unlock()
 			return false, aerr
 		}
 	}
 	blobLen := int64(len(sealed.Blob))
 	if ok, reason := s.quota.allowPut(owner, blobLen, restore); !ok {
-		s.mu.Lock()
-		s.stats.PutDenied++
-		s.mu.Unlock()
+		sh.mu.Lock()
+		sh.stats.PutDenied++
+		sh.mu.Unlock()
 		return false, fmt.Errorf("%w: %s", ErrQuota, reason)
 	}
 
@@ -320,18 +422,18 @@ func (s *Store) put(owner enclave.Measurement, tag mle.Tag, sealed mle.Sealed, o
 		s.deleteTag(tag, reasonReplace)
 	}
 
-	// Duplicate-check first under the dictionary lock (inside the
-	// enclave); only store the blob outside if this is a fresh tag.
+	// Duplicate-check first under the shard lock (inside the enclave);
+	// only store the blob outside if this is a fresh tag.
 	dupe := false
 	err = s.cfg.Enclave.ECall(func() error {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		if s.closed {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		if s.closed.Load() {
 			return ErrClosed
 		}
-		if _, ok := s.dict[tag]; ok {
+		if _, ok := sh.dict[tag]; ok {
 			dupe = true
-			s.stats.PutDupes++
+			sh.stats.PutDupes++
 		}
 		return nil
 	})
@@ -364,24 +466,23 @@ func (s *Store) put(owner enclave.Measurement, tag mle.Tag, sealed mle.Sealed, o
 		return false, fmt.Errorf("metadata allocation: %w", err)
 	}
 
-	var evict []mle.Tag
 	err = s.cfg.Enclave.ECall(func() error {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		if s.closed {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		if s.closed.Load() {
 			return ErrClosed
 		}
-		if _, ok := s.dict[tag]; ok {
+		if _, ok := sh.dict[tag]; ok {
 			// Lost a race with a concurrent identical PUT.
 			dupe = true
-			s.stats.PutDupes++
+			sh.stats.PutDupes++
 			return nil
 		}
-		e.lruElem = s.lru.PushFront(tag)
-		s.dict[tag] = e
-		s.blobTotal += e.blobSize
-		s.stats.Puts++
-		evict = s.overflowLocked()
+		e.lruElem = sh.lru.PushFront(tag)
+		sh.dict[tag] = e
+		s.entries.Add(1)
+		s.blobTotal.Add(e.blobSize)
+		sh.stats.Puts++
 		return nil
 	})
 	if err != nil || dupe {
@@ -390,14 +491,62 @@ func (s *Store) put(owner enclave.Measurement, tag mle.Tag, sealed mle.Sealed, o
 		s.quota.creditBytes(owner, blobLen)
 		return false, err
 	}
-	for _, t := range evict {
-		s.deleteTag(t, reasonEvict)
-	}
+	s.enforceLimits()
 	return true, nil
 }
 
+// enforceLimits evicts least-recently-used entries until the global
+// MaxEntries/MaxBlobBytes caps are respected. The victim is the oldest
+// LRU tail across all shards, so eviction pressure lands on the
+// globally least recent entry regardless of which shard it lives in
+// (eviction fairness across shards).
+func (s *Store) enforceLimits() {
+	if s.cfg.MaxEntries <= 0 && s.cfg.MaxBlobBytes <= 0 {
+		return
+	}
+	// Bound the loop: one pass can only need to evict as many entries
+	// as exist.
+	limit := int(s.entries.Load()) + 1
+	for i := 0; i < limit; i++ {
+		overEntries := s.cfg.MaxEntries > 0 && int(s.entries.Load()) > s.cfg.MaxEntries
+		overBytes := s.cfg.MaxBlobBytes > 0 && s.blobTotal.Load() > s.cfg.MaxBlobBytes
+		if !overEntries && !overBytes {
+			return
+		}
+		victim, ok := s.oldestTail()
+		if !ok {
+			return
+		}
+		s.deleteTag(victim, reasonEvict)
+	}
+}
+
+// oldestTail returns the tag of the least recently used entry across
+// all shards: each shard's LRU tail is its local least-recent entry,
+// and lastTouch orders the tails globally.
+func (s *Store) oldestTail() (mle.Tag, bool) {
+	var (
+		best  mle.Tag
+		bestT time.Time
+		found bool
+	)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		if el := sh.lru.Back(); el != nil {
+			if tag, ok := el.Value.(mle.Tag); ok {
+				e := sh.dict[tag]
+				if e != nil && (!found || e.lastTouch.Before(bestT)) {
+					best, bestT, found = tag, e.lastTouch, true
+				}
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return best, found
+}
+
 // expiredLocked reports whether the entry is past its TTL. Caller
-// holds s.mu.
+// holds the entry's shard lock.
 func (s *Store) expiredLocked(e *entry) bool {
 	return s.cfg.TTL > 0 && s.cfg.Now().Sub(e.lastTouch) > s.cfg.TTL
 }
@@ -409,13 +558,15 @@ func (s *Store) ExpireNow() int {
 		return 0
 	}
 	var stale []mle.Tag
-	s.mu.Lock()
-	for tag, e := range s.dict {
-		if s.expiredLocked(e) {
-			stale = append(stale, tag)
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for tag, e := range sh.dict {
+			if s.expiredLocked(e) {
+				stale = append(stale, tag)
+			}
 		}
+		sh.mu.Unlock()
 	}
-	s.mu.Unlock()
 	removed := 0
 	for _, tag := range stale {
 		if s.deleteTag(tag, reasonExpire) {
@@ -425,61 +576,23 @@ func (s *Store) ExpireNow() int {
 	return removed
 }
 
-// obliviousLookupLocked scans every dictionary entry with a
+// obliviousLookupLocked scans every entry of one shard with a
 // constant-time tag comparison, doing identical work for every entry
-// regardless of where (or whether) the tag matches. Caller holds s.mu
-// inside the store enclave.
-func (s *Store) obliviousLookupLocked(tag mle.Tag) *entry {
+// regardless of where (or whether) the tag matches. Caller holds the
+// shard lock inside the store enclave.
+func obliviousLookupLocked(sh *shard, tag mle.Tag) *entry {
 	var found *entry
-	for k := range s.dict {
+	for k := range sh.dict {
 		k := k
 		match := subtle.ConstantTimeCompare(k[:], tag[:])
 		// Branchless-ish select: always read the entry, conditionally
 		// retain it.
-		e := s.dict[k]
+		e := sh.dict[k]
 		if match == 1 {
 			found = e
 		}
 	}
 	return found
-}
-
-// overflowLocked returns the LRU tags that must be evicted to respect
-// MaxEntries and MaxBlobBytes. Caller holds s.mu.
-func (s *Store) overflowLocked() []mle.Tag {
-	var evict []mle.Tag
-	over := func() bool {
-		if s.cfg.MaxEntries > 0 && len(s.dict)-len(evict) > s.cfg.MaxEntries {
-			return true
-		}
-		return false
-	}
-	elem := s.lru.Back()
-	for over() && elem != nil {
-		tag, ok := elem.Value.(mle.Tag)
-		if !ok {
-			break
-		}
-		evict = append(evict, tag)
-		elem = elem.Prev()
-	}
-	if s.cfg.MaxBlobBytes > 0 {
-		total := s.blobTotal
-		skip := make(map[mle.Tag]bool, len(evict))
-		for _, t := range evict {
-			skip[t] = true
-			total -= s.dict[t].blobSize
-		}
-		for elem := s.lru.Back(); elem != nil && total > s.cfg.MaxBlobBytes; elem = elem.Prev() {
-			tag, ok := elem.Value.(mle.Tag)
-			if !ok || skip[tag] {
-				continue
-			}
-			evict = append(evict, tag)
-			total -= s.dict[tag].blobSize
-		}
-	}
-	return evict
 }
 
 // deleteReason distinguishes why an entry is removed, for accurate
@@ -496,20 +609,22 @@ const (
 // deleteTag removes an entry, releasing its enclave memory, blob and
 // quota accounting. It reports whether the entry existed.
 func (s *Store) deleteTag(tag mle.Tag, reason deleteReason) bool {
-	s.mu.Lock()
-	e, ok := s.dict[tag]
+	sh := s.shardFor(tag)
+	sh.mu.Lock()
+	e, ok := sh.dict[tag]
 	if ok {
-		delete(s.dict, tag)
-		s.lru.Remove(e.lruElem)
-		s.blobTotal -= e.blobSize
+		delete(sh.dict, tag)
+		sh.lru.Remove(e.lruElem)
+		s.entries.Add(-1)
+		s.blobTotal.Add(-e.blobSize)
 		switch reason {
 		case reasonEvict:
-			s.stats.Evictions++
+			sh.stats.Evictions++
 		case reasonExpire:
-			s.stats.Expired++
+			sh.stats.Expired++
 		}
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 	if !ok {
 		return false
 	}
@@ -519,21 +634,28 @@ func (s *Store) deleteTag(tag mle.Tag, reason deleteReason) bool {
 	return true
 }
 
-// Stats returns a snapshot of the store's counters.
+// Stats returns a snapshot of the store's counters. All shard locks
+// are held simultaneously while the counters are summed, so the
+// snapshot is consistent across shards.
 func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	st := s.stats
-	st.Entries = len(s.dict)
-	s.mu.Unlock()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+	}
+	var st Stats
+	for _, sh := range s.shards {
+		st.add(sh.stats)
+		st.Entries += len(sh.dict)
+	}
+	for i := len(s.shards) - 1; i >= 0; i-- {
+		s.shards[i].mu.Unlock()
+	}
 	st.BlobBytes = s.cfg.Blobs.Bytes()
 	return st
 }
 
 // Len reports the number of dictionary entries.
 func (s *Store) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.dict)
+	return int(s.entries.Load())
 }
 
 // AppBytes reports the resident ciphertext bytes attributed to an
@@ -544,9 +666,7 @@ func (s *Store) AppBytes(owner enclave.Measurement) int64 {
 
 // Close marks the store closed. Subsequent Get/Put return ErrClosed.
 func (s *Store) Close() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.closed = true
+	s.closed.Store(true)
 }
 
 // ExportEntry is a replication record: everything needed to install the
@@ -562,7 +682,6 @@ type ExportEntry struct {
 // master-store replication of Section IV-B ("periodically synchronizes
 // the popular (i.e., frequently appeared) results").
 func (s *Store) Export(minHits int64) ([]ExportEntry, error) {
-	s.mu.Lock()
 	type ref struct {
 		tag   mle.Tag
 		e     *entry
@@ -570,13 +689,16 @@ func (s *Store) Export(minHits int64) ([]ExportEntry, error) {
 		hits  int64
 		owner enclave.Measurement
 	}
-	refs := make([]ref, 0, len(s.dict))
-	for tag, e := range s.dict {
-		if e.hits >= minHits {
-			refs = append(refs, ref{tag: tag, e: e, blob: e.blobID, hits: e.hits, owner: e.owner})
+	var refs []ref
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		for tag, e := range sh.dict {
+			if e.hits >= minHits {
+				refs = append(refs, ref{tag: tag, e: e, blob: e.blobID, hits: e.hits, owner: e.owner})
+			}
 		}
+		sh.mu.Unlock()
 	}
-	s.mu.Unlock()
 
 	out := make([]ExportEntry, 0, len(refs))
 	for _, r := range refs {

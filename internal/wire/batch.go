@@ -1,0 +1,215 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"speed/internal/mle"
+)
+
+// Batch messages (protocol v2). A batch GET checks many tags in one
+// round trip and a batch PUT uploads many freshly computed results in
+// one round trip, amortising the per-message enclave-transition and
+// network costs that dominate small requests (the switchless-call
+// argument of the related work; see DESIGN.md). Results align with
+// requests by position.
+
+// MaxBatchItems bounds one batch message, protecting the peer from a
+// single frame that expands into unbounded work. Larger batches must be
+// split by the caller.
+const MaxBatchItems = 4096
+
+// BatchGetRequest asks for up to MaxBatchItems tags at once.
+type BatchGetRequest struct {
+	Tags []mle.Tag
+}
+
+// GetResult is one element of a BatchGetResponse, equivalent to a
+// GetResponse for the tag at the same position in the request.
+type GetResult struct {
+	Found  bool
+	Sealed mle.Sealed
+}
+
+// BatchGetResponse answers a BatchGetRequest; Results[i] answers
+// Tags[i].
+type BatchGetResponse struct {
+	Results []GetResult
+}
+
+// PutItem is one element of a BatchPutRequest, equivalent to a
+// PutRequest.
+type PutItem struct {
+	Tag     mle.Tag
+	Sealed  mle.Sealed
+	Replace bool
+}
+
+// BatchPutRequest uploads up to MaxBatchItems results at once.
+type BatchPutRequest struct {
+	Items []PutItem
+}
+
+// PutResult is one element of a BatchPutResponse, equivalent to a
+// PutResponse for the item at the same position in the request.
+type PutResult struct {
+	OK  bool
+	Err string
+}
+
+// BatchPutResponse answers a BatchPutRequest; Results[i] answers
+// Items[i].
+type BatchPutResponse struct {
+	Results []PutResult
+}
+
+// Kind implements Message.
+func (BatchGetRequest) Kind() Kind { return KindBatchGetRequest }
+
+// Kind implements Message.
+func (BatchGetResponse) Kind() Kind { return KindBatchGetResponse }
+
+// Kind implements Message.
+func (BatchPutRequest) Kind() Kind { return KindBatchPutRequest }
+
+// Kind implements Message.
+func (BatchPutResponse) Kind() Kind { return KindBatchPutResponse }
+
+// appendCount writes the batch element count.
+func appendCount(buf []byte, n int) []byte {
+	return binary.BigEndian.AppendUint32(buf, uint32(n))
+}
+
+// readCount reads and validates a batch element count.
+func readCount(b []byte, kind string) (int, []byte, error) {
+	if len(b) < 4 {
+		return 0, nil, fmt.Errorf("%w: missing %s count", ErrMalformed, kind)
+	}
+	n := binary.BigEndian.Uint32(b)
+	if n > MaxBatchItems {
+		return 0, nil, fmt.Errorf("%w: %s count %d exceeds %d", ErrMalformed, kind, n, MaxBatchItems)
+	}
+	return int(n), b[4:], nil
+}
+
+func (m BatchGetRequest) appendTo(buf []byte) []byte {
+	buf = appendCount(buf, len(m.Tags))
+	for _, tag := range m.Tags {
+		buf = append(buf, tag[:]...)
+	}
+	return buf
+}
+
+func decodeBatchGetRequest(b []byte) (BatchGetRequest, error) {
+	var m BatchGetRequest
+	n, b, err := readCount(b, "BATCH_GET_REQUEST")
+	if err != nil {
+		return m, err
+	}
+	if len(b) != n*mle.TagSize {
+		return m, fmt.Errorf("%w: BATCH_GET_REQUEST body %d bytes for %d tags", ErrMalformed, len(b), n)
+	}
+	m.Tags = make([]mle.Tag, n)
+	for i := range m.Tags {
+		copy(m.Tags[i][:], b[i*mle.TagSize:])
+	}
+	return m, nil
+}
+
+func (m BatchGetResponse) appendTo(buf []byte) []byte {
+	buf = appendCount(buf, len(m.Results))
+	for _, r := range m.Results {
+		buf = appendBool(buf, r.Found)
+		buf = appendSealed(buf, r.Sealed)
+	}
+	return buf
+}
+
+func decodeBatchGetResponse(b []byte) (BatchGetResponse, error) {
+	var m BatchGetResponse
+	n, b, err := readCount(b, "BATCH_GET_RESPONSE")
+	if err != nil {
+		return m, err
+	}
+	m.Results = make([]GetResult, n)
+	for i := range m.Results {
+		if m.Results[i].Found, b, err = readBool(b); err != nil {
+			return BatchGetResponse{}, err
+		}
+		if m.Results[i].Sealed, b, err = readSealed(b); err != nil {
+			return BatchGetResponse{}, err
+		}
+	}
+	if len(b) != 0 {
+		return BatchGetResponse{}, fmt.Errorf("%w: trailing bytes in BATCH_GET_RESPONSE", ErrMalformed)
+	}
+	return m, nil
+}
+
+func (m BatchPutRequest) appendTo(buf []byte) []byte {
+	buf = appendCount(buf, len(m.Items))
+	for _, it := range m.Items {
+		buf = append(buf, it.Tag[:]...)
+		buf = appendBool(buf, it.Replace)
+		buf = appendSealed(buf, it.Sealed)
+	}
+	return buf
+}
+
+func decodeBatchPutRequest(b []byte) (BatchPutRequest, error) {
+	var m BatchPutRequest
+	n, b, err := readCount(b, "BATCH_PUT_REQUEST")
+	if err != nil {
+		return m, err
+	}
+	m.Items = make([]PutItem, n)
+	for i := range m.Items {
+		if len(b) < mle.TagSize {
+			return BatchPutRequest{}, fmt.Errorf("%w: short BATCH_PUT_REQUEST item", ErrMalformed)
+		}
+		copy(m.Items[i].Tag[:], b[:mle.TagSize])
+		b = b[mle.TagSize:]
+		if m.Items[i].Replace, b, err = readBool(b); err != nil {
+			return BatchPutRequest{}, err
+		}
+		if m.Items[i].Sealed, b, err = readSealed(b); err != nil {
+			return BatchPutRequest{}, err
+		}
+	}
+	if len(b) != 0 {
+		return BatchPutRequest{}, fmt.Errorf("%w: trailing bytes in BATCH_PUT_REQUEST", ErrMalformed)
+	}
+	return m, nil
+}
+
+func (m BatchPutResponse) appendTo(buf []byte) []byte {
+	buf = appendCount(buf, len(m.Results))
+	for _, r := range m.Results {
+		buf = appendBool(buf, r.OK)
+		buf = appendBytes(buf, []byte(r.Err))
+	}
+	return buf
+}
+
+func decodeBatchPutResponse(b []byte) (BatchPutResponse, error) {
+	var m BatchPutResponse
+	n, b, err := readCount(b, "BATCH_PUT_RESPONSE")
+	if err != nil {
+		return m, err
+	}
+	m.Results = make([]PutResult, n)
+	for i := range m.Results {
+		if m.Results[i].OK, b, err = readBool(b); err != nil {
+			return BatchPutResponse{}, err
+		}
+		var msg []byte
+		if msg, b, err = readBytes(b); err != nil {
+			return BatchPutResponse{}, err
+		}
+		m.Results[i].Err = string(msg)
+	}
+	if len(b) != 0 {
+		return BatchPutResponse{}, fmt.Errorf("%w: trailing bytes in BATCH_PUT_RESPONSE", ErrMalformed)
+	}
+	return m, nil
+}

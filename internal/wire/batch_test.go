@@ -1,0 +1,239 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"reflect"
+	"testing"
+
+	"speed/internal/enclave"
+	"speed/internal/mle"
+)
+
+func TestBatchMessageRoundTrips(t *testing.T) {
+	sealed := mle.Sealed{
+		Challenge:  []byte("rrrrrrrrrrrrrrrr"),
+		WrappedKey: []byte("kkkkkkkkkkkkkkkk"),
+		Blob:       []byte("ciphertext blob bytes"),
+	}
+	msgs := []Message{
+		BatchGetRequest{},
+		BatchGetRequest{Tags: []mle.Tag{mustTag(0x01), mustTag(0x02), mustTag(0x03)}},
+		BatchGetResponse{},
+		BatchGetResponse{Results: []GetResult{
+			{Found: false},
+			{Found: true, Sealed: sealed},
+		}},
+		BatchPutRequest{Items: []PutItem{
+			{Tag: mustTag(0xAA), Sealed: sealed},
+			{Tag: mustTag(0xBB), Sealed: sealed, Replace: true},
+		}},
+		BatchPutResponse{Results: []PutResult{
+			{OK: true},
+			{OK: false, Err: "quota exceeded"},
+		}},
+	}
+	for _, m := range msgs {
+		got, err := Unmarshal(Marshal(m))
+		if err != nil {
+			t.Errorf("%v: Unmarshal: %v", m.Kind(), err)
+			continue
+		}
+		// Empty slices decode as non-nil empty; normalise for DeepEqual.
+		if !reflect.DeepEqual(got, m) && !batchEquivalent(got, m) {
+			t.Errorf("%v: round trip = %#v, want %#v", m.Kind(), got, m)
+		}
+	}
+}
+
+// batchEquivalent treats nil and empty element slices as equal.
+func batchEquivalent(a, b Message) bool {
+	switch am := a.(type) {
+	case BatchGetRequest:
+		bm, ok := b.(BatchGetRequest)
+		return ok && len(am.Tags) == 0 && len(bm.Tags) == 0
+	case BatchGetResponse:
+		bm, ok := b.(BatchGetResponse)
+		return ok && len(am.Results) == 0 && len(bm.Results) == 0
+	case BatchPutRequest:
+		bm, ok := b.(BatchPutRequest)
+		return ok && len(am.Items) == 0 && len(bm.Items) == 0
+	case BatchPutResponse:
+		bm, ok := b.(BatchPutResponse)
+		return ok && len(am.Results) == 0 && len(bm.Results) == 0
+	}
+	return false
+}
+
+func TestBatchUnmarshalRejectsMalformed(t *testing.T) {
+	overCount := binary.BigEndian.AppendUint32([]byte{byte(KindBatchGetRequest)}, MaxBatchItems+1)
+	tests := []struct {
+		name string
+		b    []byte
+	}{
+		{"get request missing count", []byte{byte(KindBatchGetRequest), 0, 0}},
+		{"get request count over limit", overCount},
+		{"get request short tags", append(
+			binary.BigEndian.AppendUint32([]byte{byte(KindBatchGetRequest)}, 2),
+			make([]byte, mle.TagSize)...)},
+		{"get request trailing bytes", append(
+			binary.BigEndian.AppendUint32([]byte{byte(KindBatchGetRequest)}, 1),
+			make([]byte, mle.TagSize+1)...)},
+		{"get response truncated result", append(
+			binary.BigEndian.AppendUint32([]byte{byte(KindBatchGetResponse)}, 1),
+			1)},
+		{"get response bad bool", append(
+			binary.BigEndian.AppendUint32([]byte{byte(KindBatchGetResponse)}, 1),
+			7)},
+		{"put request short item", append(
+			binary.BigEndian.AppendUint32([]byte{byte(KindBatchPutRequest)}, 1),
+			1, 2, 3)},
+		{"put response truncated", append(
+			binary.BigEndian.AppendUint32([]byte{byte(KindBatchPutResponse)}, 2),
+			1, 0, 0, 0, 0)},
+	}
+	for _, tt := range tests {
+		if _, err := Unmarshal(tt.b); !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: Unmarshal = %v, want ErrMalformed", tt.name, err)
+		}
+	}
+}
+
+func TestBatchTrailingBytesRejected(t *testing.T) {
+	for _, m := range []Message{
+		BatchGetRequest{Tags: []mle.Tag{mustTag(1)}},
+		BatchGetResponse{Results: []GetResult{{Found: true, Sealed: mle.Sealed{Blob: []byte("b")}}}},
+		BatchPutRequest{Items: []PutItem{{Tag: mustTag(2), Sealed: mle.Sealed{Blob: []byte("b")}}}},
+		BatchPutResponse{Results: []PutResult{{OK: true}}},
+	} {
+		b := append(Marshal(m), 0xFF)
+		if _, err := Unmarshal(b); !errors.Is(err, ErrMalformed) {
+			t.Errorf("%v with trailing byte: Unmarshal = %v, want ErrMalformed", m.Kind(), err)
+		}
+	}
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	msgs := []Message{
+		GetRequest{Tag: mustTag(0x11)},
+		BatchGetRequest{Tags: []mle.Tag{mustTag(0x22)}},
+		PutResponse{OK: true},
+	}
+	for i, m := range msgs {
+		id := uint64(i) * 0x0101010101010101
+		gotID, gotMsg, err := UnmarshalEnvelope(MarshalEnvelope(id, m))
+		if err != nil {
+			t.Fatalf("UnmarshalEnvelope: %v", err)
+		}
+		if gotID != id {
+			t.Errorf("request ID = %d, want %d", gotID, id)
+		}
+		if gotMsg.Kind() != m.Kind() {
+			t.Errorf("kind = %v, want %v", gotMsg.Kind(), m.Kind())
+		}
+	}
+}
+
+func TestEnvelopeRejectsMalformed(t *testing.T) {
+	tests := []struct {
+		name string
+		b    []byte
+	}{
+		{"empty", nil},
+		{"short header", []byte{1, 2, 3}},
+		{"header only", make([]byte, 8)},
+		{"bad body", append(make([]byte, 8), 0xEE, 1)},
+	}
+	for _, tt := range tests {
+		if _, _, err := UnmarshalEnvelope(tt.b); !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: UnmarshalEnvelope = %v, want ErrMalformed", tt.name, err)
+		}
+	}
+}
+
+// versionPair establishes a channel with explicit per-side protocol
+// offers and returns (client, server).
+func versionPair(t *testing.T, clientMax, serverMax int) (*Channel, *Channel) {
+	t.Helper()
+	p := enclave.NewPlatform(enclave.Config{})
+	app, _ := p.Create("app", []byte("app code"))
+	store, _ := p.Create("store", []byte("store code"))
+	cConn, sConn := net.Pipe()
+	type res struct {
+		ch  *Channel
+		err error
+	}
+	serverDone := make(chan res, 1)
+	go func() {
+		ch, err := ServerHandshakeVersion(sConn, store, nil, nil, serverMax)
+		serverDone <- res{ch, err}
+	}()
+	client, err := ClientHandshakeVersion(cConn, app, store.Measurement(), nil, clientMax)
+	sr := <-serverDone
+	if err != nil {
+		t.Fatalf("ClientHandshakeVersion: %v", err)
+	}
+	if sr.err != nil {
+		t.Fatalf("ServerHandshakeVersion: %v", sr.err)
+	}
+	return client, sr.ch
+}
+
+func TestVersionNegotiation(t *testing.T) {
+	tests := []struct {
+		name                 string
+		clientMax, serverMax int
+		want                 int
+	}{
+		{"v2 client, v2 server", ProtocolV2, ProtocolV2, ProtocolV2},
+		{"v1 client, v2 server", ProtocolV1, ProtocolV2, ProtocolV1},
+		{"v2 client, v1 server", ProtocolV2, ProtocolV1, ProtocolV1},
+		{"v1 client, v1 server", ProtocolV1, ProtocolV1, ProtocolV1},
+		{"zero offers clamp to v1", 0, 0, ProtocolV1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			client, server := versionPair(t, tt.clientMax, tt.serverMax)
+			defer client.Close()
+			defer server.Close()
+			if client.Version() != tt.want {
+				t.Errorf("client version = %d, want %d", client.Version(), tt.want)
+			}
+			if server.Version() != tt.want {
+				t.Errorf("server version = %d, want %d", server.Version(), tt.want)
+			}
+		})
+	}
+}
+
+func TestNegotiatedChannelStillCarriesTraffic(t *testing.T) {
+	// A mixed-version pair must agree on v1 and exchange messages with
+	// the plain serial discipline.
+	client, server := versionPair(t, ProtocolV2, ProtocolV1)
+	defer client.Close()
+	defer server.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		msg, err := server.RecvMessage()
+		if err != nil {
+			done <- err
+			return
+		}
+		if _, ok := msg.(GetRequest); !ok {
+			done <- errors.New("server received wrong message type")
+			return
+		}
+		done <- server.SendMessage(GetResponse{Found: false})
+	}()
+	if err := client.SendMessage(GetRequest{Tag: mustTag(0x77)}); err != nil {
+		t.Fatalf("SendMessage: %v", err)
+	}
+	if _, err := client.RecvMessage(); err != nil {
+		t.Fatalf("RecvMessage: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+}

@@ -52,6 +52,10 @@ type Channel struct {
 	conn io.ReadWriteCloser
 	peer enclave.Measurement
 
+	// version is the negotiated protocol version (ProtocolV1 when the
+	// peer predates the version byte in the hello).
+	version int
+
 	// rekeyEvery is rekeyInterval, overridable in tests.
 	rekeyEvery uint64
 
@@ -73,6 +77,10 @@ type Channel struct {
 
 // Peer returns the attested measurement of the remote enclave.
 func (c *Channel) Peer() enclave.Measurement { return c.peer }
+
+// Version returns the negotiated protocol version: ProtocolV2 when both
+// peers support the multiplexed protocol, ProtocolV1 otherwise.
+func (c *Channel) Version() int { return c.version }
 
 // BytesSent reports the total bytes written to the transport by Send,
 // including framing overhead but excluding the handshake.
@@ -281,11 +289,19 @@ func ClientHandshake(conn io.ReadWriteCloser, e *enclave.Enclave, peerMeasuremen
 // ClientHandshakeTrust is ClientHandshake that additionally accepts a
 // remote server on a platform in the trust set (remote attestation).
 func ClientHandshakeTrust(conn io.ReadWriteCloser, e *enclave.Enclave, peerMeasurement enclave.Measurement, trust *Trust) (*Channel, error) {
+	return ClientHandshakeVersion(conn, e, peerMeasurement, trust, MaxProtocol)
+}
+
+// ClientHandshakeVersion is ClientHandshakeTrust with an explicit
+// highest offered protocol version, used to pin a client to ProtocolV1
+// for compatibility testing or conservative rollouts.
+func ClientHandshakeVersion(conn io.ReadWriteCloser, e *enclave.Enclave, peerMeasurement enclave.Measurement, trust *Trust, maxVersion int) (*Channel, error) {
+	maxVersion = clampVersion(maxVersion)
 	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
 	if err != nil {
 		return nil, fmt.Errorf("wire: keygen: %w", err)
 	}
-	clientHello, err := makeHello(e, peerMeasurement, priv.PublicKey().Bytes())
+	clientHello, err := makeHello(e, peerMeasurement, helloData(priv, maxVersion))
 	if err != nil {
 		return nil, err
 	}
@@ -308,7 +324,7 @@ func ClientHandshakeTrust(conn io.ReadWriteCloser, e *enclave.Enclave, peerMeasu
 	if peerMeas != peerMeasurement {
 		return nil, ErrPeerRejected
 	}
-	return deriveChannel(conn, priv, peerMeas, peerData, true)
+	return deriveChannel(conn, priv, peerMeas, peerData, true, negotiate(maxVersion, peerData))
 }
 
 // ServerHandshake accepts a channel at the enclave e from a client on
@@ -321,6 +337,14 @@ func ServerHandshake(conn io.ReadWriteCloser, e *enclave.Enclave, accept func(en
 // ServerHandshakeTrust is ServerHandshake that additionally accepts
 // remote clients on platforms in the trust set (remote attestation).
 func ServerHandshakeTrust(conn io.ReadWriteCloser, e *enclave.Enclave, accept func(enclave.Measurement) bool, trust *Trust) (*Channel, error) {
+	return ServerHandshakeVersion(conn, e, accept, trust, MaxProtocol)
+}
+
+// ServerHandshakeVersion is ServerHandshakeTrust with an explicit
+// highest offered protocol version, used to pin a server to ProtocolV1
+// for compatibility testing or conservative rollouts.
+func ServerHandshakeVersion(conn io.ReadWriteCloser, e *enclave.Enclave, accept func(enclave.Measurement) bool, trust *Trust, maxVersion int) (*Channel, error) {
+	maxVersion = clampVersion(maxVersion)
 	frame, err := ReadFrame(conn)
 	if err != nil {
 		return nil, fmt.Errorf("wire: read client hello: %w", err)
@@ -337,21 +361,61 @@ func ServerHandshakeTrust(conn io.ReadWriteCloser, e *enclave.Enclave, accept fu
 		return nil, ErrPeerRejected
 	}
 
+	// Negotiate down to what both sides speak; echo the agreed version
+	// in the server hello so the client adopts the same value.
+	version := negotiate(maxVersion, clientData)
+
 	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
 	if err != nil {
 		return nil, fmt.Errorf("wire: keygen: %w", err)
 	}
-	serverHello, err := makeHello(e, clientMeas, priv.PublicKey().Bytes())
+	serverHello, err := makeHello(e, clientMeas, helloData(priv, version))
 	if err != nil {
 		return nil, err
 	}
 	if err := WriteFrame(conn, serverHello.marshal()); err != nil {
 		return nil, fmt.Errorf("wire: send server hello: %w", err)
 	}
-	return deriveChannel(conn, priv, clientMeas, clientData, false)
+	return deriveChannel(conn, priv, clientMeas, clientData, false, version)
 }
 
-func deriveChannel(conn io.ReadWriteCloser, priv *ecdh.PrivateKey, peerMeas enclave.Measurement, peerData [64]byte, isClient bool) (*Channel, error) {
+// clampVersion bounds a caller-requested version offer to what this
+// build implements.
+func clampVersion(v int) int {
+	if v < ProtocolV1 {
+		return ProtocolV1
+	}
+	if v > MaxProtocol {
+		return MaxProtocol
+	}
+	return v
+}
+
+// helloData builds the hello's key-exchange data: the X25519 public key
+// in bytes 0-31 and the offered protocol version in byte 32. Both are
+// covered by the attestation report MAC.
+func helloData(priv *ecdh.PrivateKey, version int) []byte {
+	data := make([]byte, 33)
+	copy(data, priv.PublicKey().Bytes())
+	data[32] = byte(version)
+	return data
+}
+
+// negotiate picks the protocol version for a channel: the lower of our
+// offer and the peer's advertised version, where a zero byte (a peer
+// predating negotiation) reads as ProtocolV1.
+func negotiate(ours int, peerData [64]byte) int {
+	peer := int(peerData[32])
+	if peer < ProtocolV1 {
+		peer = ProtocolV1
+	}
+	if peer < ours {
+		return peer
+	}
+	return ours
+}
+
+func deriveChannel(conn io.ReadWriteCloser, priv *ecdh.PrivateKey, peerMeas enclave.Measurement, peerData [64]byte, isClient bool, version int) (*Channel, error) {
 	peerPub, err := ecdh.X25519().NewPublicKey(peerData[:32])
 	if err != nil {
 		return nil, fmt.Errorf("wire: peer public key: %w", err)
@@ -370,7 +434,7 @@ func deriveChannel(conn io.ReadWriteCloser, priv *ecdh.PrivateKey, peerMeas encl
 	if err != nil {
 		return nil, err
 	}
-	ch := &Channel{conn: conn, peer: peerMeas, rekeyEvery: rekeyInterval}
+	ch := &Channel{conn: conn, peer: peerMeas, rekeyEvery: rekeyInterval, version: version}
 	if isClient {
 		ch.send, ch.recv = c2s, s2c
 		ch.sendKey, ch.recvKey = c2sKey, s2cKey

@@ -18,6 +18,15 @@ func FuzzUnmarshal(f *testing.F) {
 	}}))
 	f.Add(Marshal(PutRequest{Tag: mle.Tag{9}, Replace: true, Sealed: mle.Sealed{Blob: []byte("b")}}))
 	f.Add(Marshal(PutResponse{OK: false, Err: "quota"}))
+	f.Add(Marshal(BatchGetRequest{Tags: []mle.Tag{{1}, {2}}}))
+	f.Add(Marshal(BatchGetResponse{Results: []GetResult{
+		{Found: true, Sealed: mle.Sealed{Blob: []byte("b")}},
+		{Found: false},
+	}}))
+	f.Add(Marshal(BatchPutRequest{Items: []PutItem{
+		{Tag: mle.Tag{3}, Sealed: mle.Sealed{Blob: []byte("b")}, Replace: true},
+	}}))
+	f.Add(Marshal(BatchPutResponse{Results: []PutResult{{OK: true}, {OK: false, Err: "quota"}}}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		msg, err := Unmarshal(data)
 		if err != nil {
@@ -39,5 +48,30 @@ func FuzzParseHello(f *testing.F) {
 	f.Add([]byte{0, 0, 0, 4, 1, 2, 3, 4})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		_, _ = parseHello(data)
+	})
+}
+
+// FuzzUnmarshalEnvelope: arbitrary v2 frames must never panic, and
+// decodable envelopes must round trip with the request ID intact.
+func FuzzUnmarshalEnvelope(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(MarshalEnvelope(0, GetRequest{Tag: mle.Tag{1}}))
+	f.Add(MarshalEnvelope(^uint64(0), BatchGetRequest{Tags: []mle.Tag{{2}, {3}}}))
+	f.Add(MarshalEnvelope(42, BatchPutResponse{Results: []PutResult{{OK: true}}}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		id, msg, err := UnmarshalEnvelope(data)
+		if err != nil {
+			return
+		}
+		id2, msg2, err := UnmarshalEnvelope(MarshalEnvelope(id, msg))
+		if err != nil {
+			t.Fatalf("re-unmarshal of valid envelope failed: %v", err)
+		}
+		if id2 != id {
+			t.Fatalf("request ID changed across round trip: %d -> %d", id, id2)
+		}
+		if msg2.Kind() != msg.Kind() {
+			t.Fatalf("kind changed across round trip: %v -> %v", msg.Kind(), msg2.Kind())
+		}
 	})
 }

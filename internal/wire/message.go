@@ -17,12 +17,17 @@ import (
 type Kind uint8
 
 // Message kinds. GET checks for and fetches a stored result by tag;
-// PUT uploads a freshly computed, encrypted result.
+// PUT uploads a freshly computed, encrypted result. The batch kinds
+// (protocol v2) carry many GETs or PUTs in one round trip.
 const (
 	KindGetRequest Kind = iota + 1
 	KindGetResponse
 	KindPutRequest
 	KindPutResponse
+	KindBatchGetRequest
+	KindBatchGetResponse
+	KindBatchPutRequest
+	KindBatchPutResponse
 )
 
 // String implements fmt.Stringer for diagnostics.
@@ -36,6 +41,14 @@ func (k Kind) String() string {
 		return "PUT_REQUEST"
 	case KindPutResponse:
 		return "PUT_RESPONSE"
+	case KindBatchGetRequest:
+		return "BATCH_GET_REQUEST"
+	case KindBatchGetResponse:
+		return "BATCH_GET_RESPONSE"
+	case KindBatchPutRequest:
+		return "BATCH_PUT_REQUEST"
+	case KindBatchPutResponse:
+		return "BATCH_PUT_RESPONSE"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -116,6 +129,14 @@ func Unmarshal(b []byte) (Message, error) {
 		return decodePutRequest(body)
 	case KindPutResponse:
 		return decodePutResponse(body)
+	case KindBatchGetRequest:
+		return decodeBatchGetRequest(body)
+	case KindBatchGetResponse:
+		return decodeBatchGetResponse(body)
+	case KindBatchPutRequest:
+		return decodeBatchPutRequest(body)
+	case KindBatchPutResponse:
+		return decodeBatchPutResponse(body)
 	default:
 		return nil, fmt.Errorf("%w: unknown kind %d", ErrMalformed, kind)
 	}

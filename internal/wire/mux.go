@@ -1,0 +1,54 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Protocol versions. The version is negotiated in the attested
+// handshake: each side carries its highest supported version in byte 32
+// of the hello's key-exchange data (the first 32 bytes are the X25519
+// public key). Version-1 peers leave that byte zero, so a zero is read
+// as ProtocolV1 and the serial request/response discipline is kept —
+// old clients and servers interoperate with new ones unchanged. The
+// version byte is covered by the attestation report MAC, so a
+// network adversary cannot downgrade the negotiation.
+const (
+	// ProtocolV1 is the paper prototype's synchronous protocol: one
+	// request per connection at a time, responses in request order, no
+	// request IDs, no batch messages.
+	ProtocolV1 = 1
+	// ProtocolV2 multiplexes one secure channel: every message frame is
+	// an envelope carrying an 8-byte request ID, responses may arrive
+	// out of order, and the batch GET/PUT messages are available.
+	ProtocolV2 = 2
+	// MaxProtocol is the highest version this build speaks.
+	MaxProtocol = ProtocolV2
+)
+
+// envelopeHeaderLen is the request-ID prefix of every v2 message frame.
+const envelopeHeaderLen = 8
+
+// MarshalEnvelope serialises a v2 message frame: the 8-byte big-endian
+// request ID followed by the marshalled message. Requests and their
+// responses carry the same ID; the client mux correlates them.
+func MarshalEnvelope(id uint64, m Message) []byte {
+	body := Marshal(m)
+	buf := make([]byte, envelopeHeaderLen, envelopeHeaderLen+len(body))
+	binary.BigEndian.PutUint64(buf, id)
+	return append(buf, body...)
+}
+
+// UnmarshalEnvelope parses a v2 message frame produced by
+// MarshalEnvelope.
+func UnmarshalEnvelope(b []byte) (uint64, Message, error) {
+	if len(b) < envelopeHeaderLen {
+		return 0, nil, fmt.Errorf("%w: short envelope (%d bytes)", ErrMalformed, len(b))
+	}
+	id := binary.BigEndian.Uint64(b)
+	m, err := Unmarshal(b[envelopeHeaderLen:])
+	if err != nil {
+		return 0, nil, err
+	}
+	return id, m, nil
+}
