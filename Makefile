@@ -1,18 +1,32 @@
 # Development targets. `make check` is the gate every change must pass:
-# vet plus the full test suite under the race detector, which keeps the
-# coalescing-path fixes (panic cleanup, flight-result aliasing) fixed.
+# vet, the speedlint invariant suite, and the full test suite under the
+# race detector, which keeps the coalescing-path fixes (panic cleanup,
+# flight-result aliasing) fixed.
 
 GO ?= go
+GOFMT ?= gofmt
 
-.PHONY: check build vet test race bench bench-quick bench-overhead fuzz
+.PHONY: check build fmt vet lint test race bench bench-quick bench-overhead fuzz
 
-check: vet race
+check: vet lint race
 
 build:
 	$(GO) build ./...
 
+# Formatting drift gate: fails listing any file gofmt would rewrite.
+fmt:
+	@out="$$($(GOFMT) -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
 vet:
 	$(GO) vet ./...
+
+# SPEED-specific invariants: trust boundary, key hygiene, atomic/plain
+# mixing, unbounded network waits, wire kind/codec symmetry.
+lint:
+	$(GO) run ./cmd/speedlint ./...
 
 test:
 	$(GO) test ./...
@@ -42,3 +56,4 @@ fuzz:
 	$(GO) test -run xxx -fuzz '^FuzzUnmarshal$$' -fuzztime $(FUZZTIME) ./internal/wire/
 	$(GO) test -run xxx -fuzz '^FuzzParseHello$$' -fuzztime $(FUZZTIME) ./internal/wire/
 	$(GO) test -run xxx -fuzz '^FuzzUnmarshalEnvelope$$' -fuzztime $(FUZZTIME) ./internal/wire/
+	$(GO) test -run xxx -fuzz '^FuzzNegotiate$$' -fuzztime $(FUZZTIME) ./internal/wire/

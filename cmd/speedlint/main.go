@@ -1,0 +1,135 @@
+// Command speedlint runs SPEED's static-analysis suite (package
+// internal/lint) over the module.
+//
+// Usage:
+//
+//	speedlint [-json] [-list] [patterns...]
+//
+// Patterns select packages: "./..." (the default) selects the whole
+// module, "./internal/wire" a single directory, "./internal/..." a
+// subtree; module import paths work the same way. Findings print as
+//
+//	file:line: [analyzer] message
+//
+// or, with -json, as one JSON object per line. Exit status is 0 when
+// clean, 1 when there are findings, and 2 on a driver error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"speed/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("speedlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit one JSON object per finding")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	loader, err := lint.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(stderr, "speedlint:", err)
+		return 2
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		fmt.Fprintln(stderr, "speedlint:", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	selected, err := selectPackages(loader, pkgs, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "speedlint:", err)
+		return 2
+	}
+
+	diags := lint.Run(selected, nil, nil)
+	for _, d := range diags {
+		if *jsonOut {
+			fmt.Fprintln(stdout, d.JSON())
+		} else {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// selectPackages filters the loaded packages by go-style patterns,
+// matched against both import paths and module-relative directories.
+func selectPackages(loader *lint.Loader, pkgs []*lint.Package, patterns []string) ([]*lint.Package, error) {
+	var out []*lint.Package
+	seen := make(map[string]bool)
+	for _, pat := range patterns {
+		matched := false
+		for _, pkg := range pkgs {
+			if matchesPattern(loader, pkg, pat) {
+				matched = true
+				if !seen[pkg.Path] {
+					seen[pkg.Path] = true
+					out = append(out, pkg)
+				}
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("pattern %q matched no packages", pat)
+		}
+	}
+	return out, nil
+}
+
+// matchesPattern reports whether pkg matches one pattern. Candidates
+// are the import path and the module-relative directory ("." for the
+// root); "..." suffixes match subtrees.
+func matchesPattern(loader *lint.Loader, pkg *lint.Package, pat string) bool {
+	rel, err := filepath.Rel(loader.ModuleRoot, pkg.Dir)
+	if err != nil {
+		rel = pkg.Dir
+	}
+	rel = filepath.ToSlash(rel)
+	candidates := []string{pkg.Path, rel, "./" + rel}
+
+	pat = strings.TrimSuffix(pat, "/")
+	if prefix, ok := strings.CutSuffix(pat, "/..."); ok {
+		if prefix == "." || prefix == "" {
+			return true
+		}
+		for _, c := range candidates {
+			if c == prefix || strings.HasPrefix(c, prefix+"/") {
+				return true
+			}
+		}
+		return false
+	}
+	for _, c := range candidates {
+		if c == pat {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListAnalyzers(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exited %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, name := range []string{"enclaveboundary", "keyzero", "atomicmix", "deadline", "wiresym"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing analyzer %s:\n%s", name, out)
+		}
+	}
+}
+
+// TestRepoIsClean pins the acceptance criterion: the suite must exit 0
+// on this repository.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads the whole module")
+	}
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./..."}, &stdout, &stderr); code != 0 {
+		t.Fatalf("speedlint ./... exited %d\nstdout:\n%s\nstderr:\n%s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("expected no findings, got:\n%s", stdout.String())
+	}
+}
+
+func TestBadPattern(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"./no/such/dir"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("bad pattern exited %d, want 2", code)
+	}
+}
+
+// TestJSONFindings runs the driver against a throwaway module with one
+// deliberate violation and checks the exit code and -json line format.
+func TestJSONFindings(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, filepath.Join(dir, "go.mod"), "module fixmod\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(dir, "a.go"), `package a
+
+import "sync/atomic"
+
+var hits int64
+
+func inc() { atomic.AddInt64(&hits, 1) }
+
+func read() int64 { return hits }
+`)
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(cwd); err != nil {
+			t.Fatal(err)
+		}
+	}()
+
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-json", "./..."}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exited %d, want 1; stderr: %s", code, stderr.String())
+	}
+	lines := strings.Split(strings.TrimSpace(stdout.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("want exactly 1 finding, got %d:\n%s", len(lines), stdout.String())
+	}
+	var d struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &d); err != nil {
+		t.Fatalf("finding is not valid JSON: %q: %v", lines[0], err)
+	}
+	if d.Analyzer != "atomicmix" || d.Line != 9 || !strings.Contains(d.Message, "non-atomic access") {
+		t.Errorf("unexpected finding: %+v", d)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -84,7 +84,7 @@ func (rt *Runtime) executeBatchInEnclave(id mle.FuncID, inputs [][]byte, compute
 	// own for concurrent callers to join.
 	leaderFor := make(map[mle.Tag]int, n)
 	var leaders []int
-	followers := make(map[int]int)  // item -> its leader item
+	followers := make(map[int]int) // item -> its leader item
 	joiners := make(map[int]*flight)
 	pending := make(map[int]*flight) // leader item -> flight we registered
 	coalesce := !rt.cfg.NoCoalesce

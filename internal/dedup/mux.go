@@ -57,6 +57,7 @@ func newChanMux(ch *wire.Channel) *chanMux {
 func (m *chanMux) readLoop() {
 	defer close(m.readerDone)
 	for {
+		//speedlint:ignore deadline kill-on-timeout: roundTrip owns the clock and fails the mux, which closes the channel and unblocks this Recv
 		payload, err := m.ch.Recv()
 		if err != nil {
 			m.fail(err)

@@ -197,9 +197,11 @@ func benchmarkExecuteHit(b *testing.B, reg *telemetry.Registry, simulateCosts bo
 // The Raw pair strips the simulated transition costs so the absolute
 // instrumentation cost (~0.5µs: eight clock reads plus a handful of
 // atomic adds per call) is directly visible.
-func BenchmarkExecuteHit(b *testing.B)          { benchmarkExecuteHit(b, nil, true) }
-func BenchmarkExecuteHitTelemetry(b *testing.B) { benchmarkExecuteHit(b, telemetry.NewRegistry(), true) }
-func BenchmarkExecuteHitRaw(b *testing.B)       { benchmarkExecuteHit(b, nil, false) }
+func BenchmarkExecuteHit(b *testing.B) { benchmarkExecuteHit(b, nil, true) }
+func BenchmarkExecuteHitTelemetry(b *testing.B) {
+	benchmarkExecuteHit(b, telemetry.NewRegistry(), true)
+}
+func BenchmarkExecuteHitRaw(b *testing.B) { benchmarkExecuteHit(b, nil, false) }
 func BenchmarkExecuteHitRawTelemetry(b *testing.B) {
 	benchmarkExecuteHit(b, telemetry.NewRegistry(), false)
 }

@@ -5,6 +5,8 @@ import (
 	"crypto/hmac"
 	"crypto/sha256"
 	"errors"
+
+	"speed/internal/mle"
 )
 
 // Report is a local attestation report, analogous to the structure
@@ -34,6 +36,7 @@ func (e *Enclave) Report(target Measurement, data []byte) Report {
 	r := Report{Measurement: e.measurement, Target: target}
 	copy(r.Data[:], data)
 	key := e.platform.deriveKey("report", target)
+	defer mle.Zeroize(key[:])
 	r.MAC = reportMAC(key, r)
 	return r
 }
@@ -46,6 +49,7 @@ func (e *Enclave) VerifyReport(r Report) error {
 		return ErrAttestation
 	}
 	key := e.platform.deriveKey("report", e.measurement)
+	defer mle.Zeroize(key[:])
 	want := reportMAC(key, r)
 	if !hmac.Equal(want[:], r.MAC[:]) {
 		return ErrAttestation

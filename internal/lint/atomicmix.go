@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AtomicMixAnalyzer guards the telemetry counters and the Stats
+// snapshot discipline: a struct field (or package-level variable) that
+// is accessed through sync/atomic anywhere must be accessed atomically
+// everywhere in the package. A single plain `s.n++` next to an
+// `atomic.AddInt64(&s.n, 1)` is a data race the race detector only
+// catches if a test happens to interleave the two; this analyzer
+// catches it statically.
+//
+// Fields of the sync/atomic value types (atomic.Int64 etc.) are safe by
+// construction and are not tracked. Composite-literal initialisation is
+// allowed: construction happens before publication.
+var AtomicMixAnalyzer = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "fields accessed via sync/atomic anywhere must be accessed atomically everywhere",
+	Run:  runAtomicMix,
+}
+
+// atomicFuncs are the sync/atomic operations whose first argument is a
+// pointer to the guarded word.
+var atomicFuncs = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true, "LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true, "StoreUintptr": true, "StorePointer": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true, "SwapUintptr": true, "SwapPointer": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true, "CompareAndSwapUint32": true,
+	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+}
+
+func runAtomicMix(pass *Pass) {
+	pkg := pass.Pkg
+
+	// Pass 1: objects (struct fields or variables) passed by address to
+	// a sync/atomic operation.
+	atomicObjs := make(map[types.Object]token.Pos) // object -> first atomic site
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if obj, call := atomicArgObject(pkg, n); obj != nil {
+				if _, seen := atomicObjs[obj]; !seen {
+					atomicObjs[obj] = call.Pos()
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicObjs) == 0 {
+		return
+	}
+
+	// Pass 2: every other access to those objects must be atomic.
+	w := &atomicMixWalker{pkg: pkg, tracked: atomicObjs}
+	for _, f := range pkg.Files {
+		w.walk(f, false)
+	}
+	sort.Slice(w.findings, func(i, j int) bool { return w.findings[i].pos < w.findings[j].pos })
+	for _, f := range w.findings {
+		atomicPos := pkg.Fset.Position(atomicObjs[f.obj])
+		pass.Reportf(f.pos, "non-atomic access to %s, which is accessed via sync/atomic at line %d; mixed access is a data race",
+			f.name, atomicPos.Line)
+	}
+}
+
+// atomicArgObject recognises an atomic.Xxx(&lvalue, ...) call node and
+// resolves the guarded object; (nil, nil) otherwise.
+func atomicArgObject(pkg *Package, n ast.Node) (types.Object, *ast.CallExpr) {
+	call, ok := n.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return nil, nil
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !atomicFuncs[sel.Sel.Name] {
+		return nil, nil
+	}
+	if pkgPathOf(pkg, sel.X) != "sync/atomic" {
+		return nil, nil
+	}
+	addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !ok || addr.Op != token.AND {
+		return nil, nil
+	}
+	if obj := objectOfExpr(pkg, addr.X); obj != nil {
+		return obj, call
+	}
+	return nil, nil
+}
+
+type atomicFinding struct {
+	pos  token.Pos
+	name string
+	obj  types.Object
+}
+
+// atomicMixWalker walks a file reporting plain accesses to tracked
+// objects. inLit tracks composite-literal context (initialisation is
+// exempt); sanctioned atomic-call arguments are skipped by not
+// descending into them.
+type atomicMixWalker struct {
+	pkg      *Package
+	tracked  map[types.Object]token.Pos
+	findings []atomicFinding
+}
+
+func (w *atomicMixWalker) walk(n ast.Node, inLit bool) {
+	if n == nil {
+		return
+	}
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		if obj, _ := atomicArgObject(w.pkg, n); obj != nil {
+			// The &x argument is the sanctioned atomic access; still
+			// walk the remaining arguments.
+			w.walk(n.Fun, inLit)
+			for _, a := range n.Args[1:] {
+				w.walk(a, inLit)
+			}
+			return
+		}
+	case *ast.CompositeLit:
+		for _, e := range n.Elts {
+			w.walk(e, true)
+		}
+		return
+	case *ast.SelectorExpr:
+		if w.check(n, n.Sel, inLit) {
+			return
+		}
+		// A plain (untracked) selector: only its base can contain
+		// further accesses; Sel must not be revisited as an Ident.
+		w.walk(n.X, inLit)
+		return
+	case *ast.Ident:
+		w.check(n, n, inLit)
+		return
+	case *ast.KeyValueExpr:
+		// Keys in composite literals are field names, not accesses.
+		w.walk(n.Value, inLit)
+		return
+	}
+	// Generic traversal for all other nodes.
+	ast.Inspect(n, func(child ast.Node) bool {
+		if child == nil || child == n {
+			return child == n
+		}
+		w.walk(child, inLit)
+		return false
+	})
+}
+
+// check records a finding if ident id (appearing in node n) resolves to
+// a tracked object outside sanctioned contexts. Returns true when the
+// node was a tracked access (handled).
+func (w *atomicMixWalker) check(n ast.Node, id *ast.Ident, inLit bool) bool {
+	obj := w.pkg.Info.Uses[id]
+	if obj == nil {
+		return false
+	}
+	if _, ok := w.tracked[obj]; !ok {
+		return false
+	}
+	if !inLit {
+		w.findings = append(w.findings, atomicFinding{pos: n.Pos(), name: id.Name, obj: obj})
+	}
+	return true
+}
+
+// objectOfExpr resolves the variable or field object an lvalue
+// expression denotes.
+func objectOfExpr(pkg *Package, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := pkg.Info.Uses[e]; obj != nil {
+			return obj
+		}
+		return pkg.Info.Defs[e]
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[e]; ok {
+			return sel.Obj()
+		}
+		return pkg.Info.Uses[e.Sel]
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package lint_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"speed/internal/lint"
+)
+
+func TestDiagnosticString(t *testing.T) {
+	d := lint.Diagnostic{
+		File:     "internal/mle/ops.go",
+		Line:     36,
+		Col:      2,
+		Analyzer: "keyzero",
+		Message:  "h holds key material",
+	}
+	want := "internal/mle/ops.go:36: [keyzero] h holds key material"
+	if got := d.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestDiagnosticJSON(t *testing.T) {
+	d := lint.Diagnostic{
+		File:     "internal/wire/channel.go",
+		Line:     423,
+		Col:      9,
+		Analyzer: "keyzero",
+		Message:  `shared "secret" not zeroized`,
+	}
+	line := d.JSON()
+	var back lint.Diagnostic
+	if err := json.Unmarshal([]byte(line), &back); err != nil {
+		t.Fatalf("JSON() produced invalid JSON %q: %v", line, err)
+	}
+	if back != d {
+		t.Errorf("round trip mismatch: %+v != %+v", back, d)
+	}
+	// One finding per line: embedded newlines would break the protocol.
+	for _, c := range line {
+		if c == '\n' {
+			t.Errorf("JSON() contains a newline: %q", line)
+		}
+	}
+}

@@ -1,0 +1,286 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// KeyZeroAnalyzer enforces the key-hygiene half of SPEED's security
+// argument: derived key material must not outlive the operation that
+// needed it, and must never reach a formatting or logging sink.
+//
+// Rule 1 (zeroize): a byte buffer assigned from a key-producing call
+// (KeyGen, KeyRec, secondaryKey, ECDH, hkdf, deriveKey, GenerateKey)
+// must be zeroized on every return path. The analyzer accepts the
+// defer idiom —
+//
+//	key, err := kdf(...)
+//	defer Zeroize(key)
+//
+// (any callee whose name contains "zeroize", deferred or direct, with
+// the buffer as argument) — because defer covers every return path
+// including panics. A buffer whose ownership leaves the function
+// (returned, stored in a struct or composite literal, captured by a
+// closure, sent on a channel) is the new owner's responsibility and is
+// not reported.
+//
+// Rule 2 (sinks): an argument that names key material and has a byte-
+// buffer type must never be passed to fmt/log formatting functions or
+// Trace-style telemetry sinks; a hex-dumped key in an error string
+// survives in logs far longer than the enclave's memory encryption
+// protects it.
+var KeyZeroAnalyzer = &Analyzer{
+	Name: "keyzero",
+	Doc:  "derived key buffers must be zeroized on all return paths and never logged",
+	Run:  runKeyZero,
+}
+
+// keyProducers are the callee names whose byte-buffer results are key
+// material.
+var keyProducers = map[string]bool{
+	"KeyGen": true, "KeyRec": true, "GenerateKey": true,
+	"secondaryKey": true, "hkdf": true, "ECDH": true,
+	"deriveKey": true, "DeriveKey": true,
+}
+
+// sinkMethods are formatting/telemetry method names that count as
+// logging sinks regardless of receiver.
+var sinkMethods = map[string]bool{
+	"Trace": true, "Tracef": true,
+	"Logf": true, "Printf": true, "Errorf": true, "Infof": true,
+	"Debugf": true, "Warnf": true,
+}
+
+func runKeyZero(pass *Pass) {
+	pkg := pass.Pkg
+	forEachFunc(pkg, func(_ *ast.File, fd *ast.FuncDecl) {
+		checkKeyZeroize(pass, fd)
+		checkKeySinks(pass, fd)
+	})
+}
+
+// trackedKey is one key buffer produced inside the function.
+type trackedKey struct {
+	ident *ast.Ident
+	obj   types.Object
+	from  string // producing callee name, for the diagnostic
+}
+
+// checkKeyZeroize applies rule 1 to one function.
+func checkKeyZeroize(pass *Pass, fd *ast.FuncDecl) {
+	pkg := pass.Pkg
+
+	// Step 1: key buffers assigned from producing calls.
+	var tracked []trackedKey
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		_, callee := calleeParts(call)
+		if !keyProducers[callee] {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			id, ok := ast.Unparen(lhs).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := pkg.Info.Defs[id]
+			if obj == nil {
+				obj = pkg.Info.Uses[id]
+			}
+			if obj == nil || !isByteBuffer(obj.Type()) {
+				continue
+			}
+			// Wrapped keys, tags, public halves etc. are not secrets.
+			if allowlistedName(id.Name) {
+				continue
+			}
+			tracked = append(tracked, trackedKey{ident: id, obj: obj, from: callee})
+		}
+		return true
+	})
+	if len(tracked) == 0 {
+		return
+	}
+
+	for _, tk := range tracked {
+		if keyEscapes(pkg, fd, tk) {
+			continue
+		}
+		if keyZeroized(pkg, fd, tk.obj) {
+			continue
+		}
+		pass.Reportf(tk.ident.Pos(), "%s holds key material from %s but is not zeroized on all return paths; add `defer Zeroize(%s)` right after the assignment",
+			tk.ident.Name, tk.from, zeroizeArgFor(tk))
+	}
+}
+
+// allowlistedName reports whether a name fragment marks the buffer as
+// non-secret (wrapped keys are ciphertext, public keys and tags are
+// not secrets).
+func allowlistedName(name string) bool {
+	l := strings.ToLower(name)
+	for _, a := range secretAllow {
+		if strings.Contains(l, a) {
+			return true
+		}
+	}
+	return false
+}
+
+// zeroizeArgFor renders the suggested Zeroize argument: arrays need a
+// full slice.
+func zeroizeArgFor(tk trackedKey) string {
+	if t := tk.obj.Type(); t != nil {
+		if _, isArray := t.Underlying().(*types.Array); isArray {
+			return tk.ident.Name + "[:]"
+		}
+	}
+	return tk.ident.Name
+}
+
+// keyEscapes reports whether the tracked buffer's ownership leaves the
+// function: returned, aliased into another binding, stored in a
+// composite literal, captured by a closure, or sent on a channel. Call
+// arguments do not transfer ownership (the callee borrows), and element
+// reads (k[i]) are not aliases.
+func keyEscapes(pkg *Package, fd *ast.FuncDecl, tk trackedKey) bool {
+	escaped := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if escaped {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if aliasesObj(pkg, r, tk.obj) {
+					escaped = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, r := range n.Rhs {
+				// The producing assignment itself defines the buffer;
+				// any other assignment whose RHS aliases it re-homes it.
+				if call, ok := ast.Unparen(r).(*ast.CallExpr); ok {
+					if _, callee := calleeParts(call); keyProducers[callee] {
+						continue
+					}
+				}
+				if aliasesObj(pkg, r, tk.obj) {
+					escaped = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, e := range n.Elts {
+				if kv, ok := e.(*ast.KeyValueExpr); ok {
+					e = kv.Value
+				}
+				if aliasesObj(pkg, e, tk.obj) {
+					escaped = true
+				}
+			}
+		case *ast.SendStmt:
+			if aliasesObj(pkg, n.Value, tk.obj) {
+				escaped = true
+			}
+		case *ast.FuncLit:
+			// A closure capturing the buffer may stash it anywhere.
+			ast.Inspect(n.Body, func(inner ast.Node) bool {
+				if id, ok := inner.(*ast.Ident); ok && pkg.Info.Uses[id] == tk.obj {
+					escaped = true
+				}
+				return !escaped
+			})
+			return false
+		}
+		return !escaped
+	})
+	return escaped
+}
+
+// aliasesObj reports whether e evaluates to the whole buffer obj (the
+// identifier itself, a reslice, or its address) — the shapes that alias
+// the backing array. An element read k[i] is not an alias.
+func aliasesObj(pkg *Package, e ast.Expr, obj types.Object) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return pkg.Info.Uses[e] == obj
+	case *ast.SliceExpr:
+		return aliasesObj(pkg, e.X, obj)
+	case *ast.UnaryExpr:
+		return aliasesObj(pkg, e.X, obj)
+	case *ast.StarExpr:
+		return aliasesObj(pkg, e.X, obj)
+	}
+	return false
+}
+
+// keyZeroized reports whether the function zeroizes the buffer: a call
+// (deferred or direct, possibly inside a deferred closure) to a callee
+// whose name contains "zeroize" with the buffer as an argument.
+func keyZeroized(pkg *Package, fd *ast.FuncDecl, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		_, callee := calleeParts(call)
+		if !strings.Contains(strings.ToLower(callee), "zeroize") {
+			return true
+		}
+		for _, a := range call.Args {
+			if aliasesObj(pkg, a, obj) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkKeySinks applies rule 2 to one function: secret byte buffers
+// must not reach formatting or telemetry sinks.
+func checkKeySinks(pass *Pass, fd *ast.FuncDecl) {
+	pkg := pass.Pkg
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if !isLoggingSink(pkg, call) {
+			return true
+		}
+		for _, a := range call.Args {
+			if name, ok := isSecretExpr(pkg, a); ok {
+				_, callee := calleeParts(call)
+				pass.Reportf(a.Pos(), "key material %s is passed to %s; keys must never reach logs or error strings", name, callee)
+			}
+		}
+		return true
+	})
+}
+
+// isLoggingSink recognises fmt and log package functions plus
+// Trace/printf-style methods on any receiver.
+func isLoggingSink(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if path := pkgPathOf(pkg, sel.X); path == "fmt" || path == "log" || path == "log/slog" {
+		return true
+	}
+	if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok && (id.Name == "fmt" || id.Name == "log") {
+		// Syntactic fallback when type info is incomplete.
+		return true
+	}
+	return sinkMethods[sel.Sel.Name]
+}

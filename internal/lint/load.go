@@ -1,0 +1,307 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks the packages of one module without
+// shelling out to the go tool or importing golang.org/x/tools. Local
+// packages are type-checked from source in dependency order; standard
+// library imports go through the stdlib source importer; anything that
+// cannot be resolved degrades to an empty stub package so analysis
+// continues with partial type information rather than failing the run.
+type Loader struct {
+	// Fset is shared by every parsed file and the stdlib importer.
+	Fset *token.FileSet
+	// ModuleRoot is the directory containing go.mod.
+	ModuleRoot string
+	// ModulePath is the module's import path (the go.mod module line).
+	ModulePath string
+	// ExtraRoots maps additional import-path prefixes to directories,
+	// used by tests to resolve fixture-tree imports.
+	ExtraRoots map[string]string
+	// IncludeTests also parses _test.go files. Off by default: the
+	// suite targets production code.
+	IncludeTests bool
+
+	std     types.Importer
+	pkgs    map[string]*Package // by import path
+	stubs   map[string]*types.Package
+	loading map[string]bool
+}
+
+// NewLoader creates a loader rooted at the module containing dir,
+// reading the module path from go.mod.
+func NewLoader(dir string) (*Loader, error) {
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	path, err := readModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		ModuleRoot: root,
+		ModulePath: path,
+		std:        importer.ForCompiler(fset, "source", nil),
+		pkgs:       make(map[string]*Package),
+		stubs:      make(map[string]*types.Package),
+		loading:    make(map[string]bool),
+	}, nil
+}
+
+// findModuleRoot walks up from dir to the directory containing go.mod.
+func findModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s", gomod)
+}
+
+// LoadModule loads every package under the module root, skipping
+// testdata, vendor and hidden directories. Packages come back sorted by
+// import path.
+func (l *Loader) LoadModule() ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(l.ModuleRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != l.ModuleRoot &&
+			(name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(l.ModuleRoot, dir)
+		if err != nil {
+			return nil, err
+		}
+		path := l.ModulePath
+		if rel != "." {
+			path = l.ModulePath + "/" + filepath.ToSlash(rel)
+		}
+		pkg, err := l.LoadDir(dir, path)
+		if err != nil {
+			return nil, fmt.Errorf("lint: load %s: %w", path, err)
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// hasGoFiles reports whether dir directly contains at least one
+// non-test .go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// LoadDir parses and type-checks the single package in dir under the
+// given import path, returning a cached result on repeated calls. A dir
+// without loadable files returns (nil, nil).
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") {
+			continue
+		}
+		if !l.IncludeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if ignoredByBuildTag(f) {
+			continue
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+
+	pkg := &Package{
+		Path:  path,
+		Dir:   dir,
+		Fset:  l.Fset,
+		Files: files,
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		},
+	}
+	conf := types.Config{
+		Importer:         l,
+		FakeImportC:      true,
+		IgnoreFuncBodies: false,
+		Error: func(err error) {
+			pkg.TypeErrors = append(pkg.TypeErrors, err)
+		},
+	}
+	// Type-check tolerantly: errors are collected, not fatal, so a
+	// package with unresolved imports still yields partial type info.
+	tpkg, _ := conf.Check(path, l.Fset, files, pkg.Info)
+	if tpkg == nil {
+		tpkg = types.NewPackage(path, files[0].Name.Name)
+	}
+	pkg.Types = tpkg
+	pkg.scanDirectives()
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// ignoredByBuildTag reports whether a file opts out of the build via a
+// `//go:build ignore`-style constraint. Full constraint evaluation is
+// out of scope; only the common ignore marker is honoured.
+func ignoredByBuildTag(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.End() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			if text == "go:build ignore" || strings.HasPrefix(text, "+build ignore") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Import implements types.Importer, resolving module-local and
+// fixture-tree paths through the loader itself and everything else
+// through the stdlib source importer, degrading to an empty stub
+// package when resolution fails.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if dir, ok := l.resolveLocal(path); ok {
+		pkg, err := l.LoadDir(dir, path)
+		if err == nil && pkg != nil && pkg.Types != nil {
+			return pkg.Types, nil
+		}
+		return l.stub(path), nil
+	}
+	if tpkg, err := l.std.Import(path); err == nil {
+		return tpkg, nil
+	}
+	return l.stub(path), nil
+}
+
+// resolveLocal maps an import path inside the module (or an extra
+// fixture root) to its directory.
+func (l *Loader) resolveLocal(path string) (string, bool) {
+	if path == l.ModulePath {
+		return l.ModuleRoot, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return filepath.Join(l.ModuleRoot, filepath.FromSlash(rest)), true
+	}
+	for prefix, dir := range l.ExtraRoots {
+		if path == prefix {
+			return dir, true
+		}
+		if rest, ok := strings.CutPrefix(path, prefix+"/"); ok {
+			return filepath.Join(dir, filepath.FromSlash(rest)), true
+		}
+	}
+	return "", false
+}
+
+// stub returns (and caches) an empty placeholder for an unresolvable
+// import, letting type-checking proceed with holes instead of failing.
+func (l *Loader) stub(path string) *types.Package {
+	if p, ok := l.stubs[path]; ok {
+		return p
+	}
+	name := path
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	p := types.NewPackage(path, name)
+	p.MarkComplete()
+	l.stubs[path] = p
+	return p
+}

@@ -1,0 +1,47 @@
+// Package a exercises the atomicmix analyzer: mixed atomic/plain
+// access to fields and globals.
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	n     int64
+	plain int64
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) bad() int64 {
+	c.n++ // want `non-atomic access to n`
+	return atomic.LoadInt64(&c.n)
+}
+
+func (c *counter) badRead() int64 {
+	return c.n // want `non-atomic access to n`
+}
+
+func (c *counter) good() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+// plain is never touched atomically: plain access is fine.
+func (c *counter) bump() {
+	c.plain++
+}
+
+// Composite-literal initialisation happens before publication: allowed.
+func newCounter() *counter {
+	return &counter{n: 0}
+}
+
+var hits int64
+
+func recordHit() {
+	atomic.AddInt64(&hits, 1)
+}
+
+func readHits() int64 {
+	return hits // want `non-atomic access to hits`
+}

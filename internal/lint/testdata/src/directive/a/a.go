@@ -1,0 +1,16 @@
+// Package a verifies //speedlint:ignore suppression: the mixed access
+// below is deliberate and annotated, so the suite must stay quiet.
+package a
+
+import "sync/atomic"
+
+var hits int64
+
+func inc() {
+	atomic.AddInt64(&hits, 1)
+}
+
+// read is called only after all writers have stopped.
+//
+//speedlint:ignore atomicmix read-after-quiesce snapshot, no concurrent writers
+func read() int64 { return hits }

@@ -1,0 +1,15 @@
+// Package enclave is the fixture stand-in for the enclave simulator's
+// exported surface.
+package enclave
+
+// VerifyQuote is an attestation primitive: wire-handshake only.
+func VerifyQuote(q []byte) error { return nil }
+
+// UnmarshalQuote is an attestation primitive: wire-handshake only.
+func UnmarshalQuote(b []byte) ([]byte, error) { return b, nil }
+
+// Enclave exposes the sealing primitives: store layer only.
+type Enclave struct{}
+
+func (Enclave) Seal(b []byte) ([]byte, error)   { return b, nil }
+func (Enclave) Unseal(b []byte) ([]byte, error) { return b, nil }

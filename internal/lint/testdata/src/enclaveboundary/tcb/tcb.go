@@ -1,0 +1,15 @@
+// Package tcb is a trusted enclave package that illegally reaches the
+// untrusted I/O layer.
+//
+//speedlint:trusted
+package tcb
+
+import (
+	_ "net" // want `trusted package fix/enclaveboundary/tcb imports net; the enclave TCB must not reach the network`
+	_ "os"  // want `trusted package fix/enclaveboundary/tcb imports os; the enclave TCB must not reach the host OS`
+
+	_ "fix/enclaveboundary/wire" // want `trusted package fix/enclaveboundary/tcb imports fix/enclaveboundary/wire; the enclave TCB must not reach the untrusted wire layer`
+)
+
+// Compute is the kind of pure function the TCB is allowed to hold.
+func Compute(input []byte) []byte { return input }

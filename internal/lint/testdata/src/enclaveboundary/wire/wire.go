@@ -1,0 +1,5 @@
+// Package wire is the fixture stand-in for the untrusted wire layer.
+package wire
+
+// Frame is a placeholder symbol so the package is importable.
+type Frame struct{}

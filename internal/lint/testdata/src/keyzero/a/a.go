@@ -1,0 +1,81 @@
+// Package a exercises the keyzero analyzer: zeroize coverage, escape
+// exemptions, and logging sinks.
+package a
+
+import "fmt"
+
+func deriveKey(purpose string) []byte { return make([]byte, 16) }
+
+// Zeroize stands in for mle.Zeroize.
+func Zeroize(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+func bad() byte {
+	key := deriveKey("x") // want `key holds key material from deriveKey but is not zeroized`
+	return key[0]
+}
+
+func good() byte {
+	key := deriveKey("x")
+	defer Zeroize(key)
+	return key[0]
+}
+
+func goodClosure() byte {
+	key := deriveKey("x")
+	defer func() { Zeroize(key) }()
+	return key[0]
+}
+
+// escapes transfers ownership to the caller: no finding.
+func escapes() []byte {
+	key := deriveKey("x")
+	return key
+}
+
+type holder struct{ k []byte }
+
+// stored transfers ownership to the struct: no finding.
+func stored() *holder {
+	key := deriveKey("x")
+	return &holder{k: key}
+}
+
+// reassigned re-homes the buffer into another binding: no finding (the
+// alias owns it now).
+func reassigned() []byte {
+	key := deriveKey("x")
+	alias := key
+	return alias
+}
+
+// wrappedKey is ciphertext, not a secret: no finding.
+func wrappedOK() byte {
+	wrappedKey := deriveKey("x")
+	return wrappedKey[0]
+}
+
+func logsKey(secretKey []byte) error {
+	return fmt.Errorf("derivation failed for %x", secretKey) // want `key material secretKey is passed to Errorf`
+}
+
+// lenIsFine: len does not leak the buffer contents.
+func lenIsFine(secretKey []byte) error {
+	return fmt.Errorf("bad length %d", len(secretKey))
+}
+
+type tracer struct{}
+
+func (tracer) Tracef(format string, args ...any) {}
+
+func traces(t tracer, passphrase []byte) {
+	t.Tracef("handshake with %x", passphrase) // want `key material passphrase is passed to Tracef`
+}
+
+// keyID is allowlisted (identifier metadata, not key material).
+func namesOK(keyID []byte) {
+	fmt.Printf("session %x", keyID)
+}

@@ -1,0 +1,85 @@
+// Package wire exercises the wiresym analyzer: undispatched kinds,
+// missing decoders, crossed dispatch, unbounded batch decoding and
+// envelope drift.
+package wire
+
+type Message interface{ Kind() byte }
+
+const (
+	KindPut = 1
+	KindGet = 2
+	// KindOrphan is declared but Unmarshal never dispatches it.
+	KindOrphan = 3 // want `message kind KindOrphan has no dispatch case in Unmarshal`
+	KindLost   = 4 // want `message kind KindLost has no dispatch case in Unmarshal`
+)
+
+const MaxBatchItems = 16
+
+type Put struct{}
+
+func (Put) Kind() byte                    { return KindPut }
+func (p Put) appendTo(b []byte) []byte    { return b }
+func decodePut(b []byte) (Message, error) { return Put{}, nil }
+
+type Get struct{}
+
+// Unmarshal routes KindGet to decodePut below: crossed dispatch.
+func (Get) Kind() byte { return KindGet } // want `Unmarshal dispatches KindGet to decodePut`
+
+func (g Get) appendTo(b []byte) []byte    { return b }
+func decodeGet(b []byte) (Message, error) { return Get{}, nil }
+
+type Lost struct{}
+
+func (Lost) Kind() byte { return KindLost }
+
+// Lost can be marshalled but never unmarshalled.
+func (l Lost) appendTo(b []byte) []byte { return b } // want `type Lost has an appendTo marshal method but no decodeLost counterpart`
+
+func Unmarshal(b []byte) (Message, error) {
+	if len(b) == 0 {
+		return nil, nil
+	}
+	switch b[0] {
+	case KindPut:
+		return decodePut(b)
+	case KindGet:
+		return decodePut(b)
+	}
+	return nil, nil
+}
+
+// decodeBatch expands a count-prefixed frame without consulting
+// readCount or MaxBatchItems.
+func decodeBatch(b []byte) (Message, error) { // want `decodeBatch decodes a batch without readCount/MaxBatchItems validation`
+	out := make([]Message, int(b[0]))
+	_ = out
+	return Put{}, nil
+}
+
+// readCount exists but never checks the cap.
+func readCount(b []byte) (int, []byte, error) { // want `readCount does not enforce MaxBatchItems`
+	return int(b[0]), b[1:], nil
+}
+
+const envelopeHeaderLen = 8
+
+func MarshalEnvelope(id uint64, m Message) []byte {
+	return make([]byte, envelopeHeaderLen)
+}
+
+// UnmarshalEnvelope duplicates the header size as a literal instead of
+// sharing envelopeHeaderLen.
+func UnmarshalEnvelope(b []byte) (uint64, Message, error) { // want `MarshalEnvelope and UnmarshalEnvelope do not share a header-size constant`
+	if len(b) < 8 {
+		return 0, nil, nil
+	}
+	return 0, nil, nil
+}
+
+const (
+	ProtocolV1 = 1
+	ProtocolV2 = 2
+	// MaxProtocol lags the newest protocol constant.
+	MaxProtocol = ProtocolV1 // want `MaxProtocol is 1 but the highest declared protocol version is 2`
+)

@@ -1,0 +1,215 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// forEachFunc invokes fn for every function or method declaration with
+// a body in the package.
+func forEachFunc(pkg *Package, fn func(file *ast.File, decl *ast.FuncDecl)) {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(f, fd)
+			}
+		}
+	}
+}
+
+// calleeParts splits a call's callee into a qualifier (package alias or
+// receiver expression text) and the final name: fmt.Errorf -> ("fmt",
+// "Errorf"), Errorf -> ("", "Errorf"), a.b.C() -> ("a.b", "C").
+func calleeParts(call *ast.CallExpr) (qualifier, name string) {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return "", fn.Name
+	case *ast.SelectorExpr:
+		return exprText(fn.X), fn.Sel.Name
+	}
+	return "", ""
+}
+
+// exprText renders a restricted expression (identifiers and selectors)
+// as source text, for diagnostics and name-based fallbacks.
+func exprText(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprText(e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return exprText(e.X)
+	case *ast.CallExpr:
+		return exprText(e.Fun) + "()"
+	case *ast.IndexExpr:
+		return exprText(e.X) + "[...]"
+	}
+	return ""
+}
+
+// pkgPathOf resolves the import path of a package qualifier identifier
+// (e.g. the "atomic" in atomic.AddInt64), or "" when the identifier is
+// not a package name or type info is missing.
+func pkgPathOf(pkg *Package, e ast.Expr) string {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if obj, ok := pkg.Info.Uses[id]; ok {
+		if pn, ok := obj.(*types.PkgName); ok {
+			return pn.Imported().Path()
+		}
+	}
+	return ""
+}
+
+// isPkgFunc reports whether call invokes pkgPath.name, resolved through
+// type info with a syntactic fallback on the package's base name.
+func isPkgFunc(pkg *Package, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	if path := pkgPathOf(pkg, sel.X); path != "" {
+		return path == pkgPath
+	}
+	base := pkgPath
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		base = base[i+1:]
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && id.Name == base
+}
+
+// namedTypeOf resolves the named (or aliased) type of an expression,
+// unwrapping pointers. Returns nil when type info is unavailable.
+func namedTypeOf(pkg *Package, e ast.Expr) *types.Named {
+	tv, ok := pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	t := tv.Type
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Named:
+			return u
+		case *types.Alias:
+			t = types.Unalias(t)
+		default:
+			return nil
+		}
+	}
+}
+
+// typeIs reports whether e's type is the named type pkgName.typeName
+// (matching the defining package's base name, so both the real module
+// packages and test fixtures match).
+func typeIs(pkg *Package, e ast.Expr, pkgName, typeName string) bool {
+	n := namedTypeOf(pkg, e)
+	if n == nil || n.Obj() == nil {
+		return false
+	}
+	if n.Obj().Name() != typeName {
+		return false
+	}
+	p := n.Obj().Pkg()
+	return p != nil && p.Name() == pkgName
+}
+
+// isByteBuffer reports whether t is []byte, [N]byte, or a pointer to
+// either — the shapes key material lives in.
+func isByteBuffer(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return isByte(u.Elem())
+	case *types.Array:
+		return isByte(u.Elem())
+	case *types.Pointer:
+		return isByteBuffer(u.Elem())
+	}
+	return false
+}
+
+func isByte(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8)
+}
+
+// identRootsOf collects the base identifiers referenced by an argument
+// expression, looking through slicing, indexing, address-of and
+// selector chains: key, key[:16], &key, s.key all root at an
+// identifier. Calls are deliberately not traversed: len(key) does not
+// leak key.
+func identRootsOf(e ast.Expr, out *[]*ast.Ident) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		*out = append(*out, e)
+	case *ast.SelectorExpr:
+		// For s.key the interesting name is the field; record the
+		// selector identifier itself.
+		*out = append(*out, e.Sel)
+	case *ast.SliceExpr:
+		identRootsOf(e.X, out)
+	case *ast.IndexExpr:
+		identRootsOf(e.X, out)
+	case *ast.UnaryExpr:
+		identRootsOf(e.X, out)
+	case *ast.StarExpr:
+		identRootsOf(e.X, out)
+	}
+}
+
+// secretAllow are name fragments that defuse the secret heuristic:
+// wrapped keys are ciphertext, public keys and sizes are not secrets.
+var secretAllow = []string{"wrapped", "public", "pub", "size", "len", "id", "name", "kind", "hash", "tag"}
+
+// secretFragments mark a name as key material.
+var secretFragments = []string{"key", "plaintext", "secret", "seed", "passphrase", "password", "shared"}
+
+// isSecretName applies SPEED's naming convention for key material.
+func isSecretName(name string) bool {
+	l := strings.ToLower(name)
+	for _, a := range secretAllow {
+		if strings.Contains(l, a) {
+			return false
+		}
+	}
+	for _, s := range secretFragments {
+		if strings.Contains(l, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// isSecretExpr reports whether e roots at an identifier that names key
+// material AND has a byte-buffer type (the type gate kills map-key /
+// label-string false positives). With no type info, the name alone
+// decides.
+func isSecretExpr(pkg *Package, e ast.Expr) (string, bool) {
+	var roots []*ast.Ident
+	identRootsOf(e, &roots)
+	for _, id := range roots {
+		if !isSecretName(id.Name) {
+			continue
+		}
+		obj := pkg.Info.Uses[id]
+		if obj == nil {
+			obj = pkg.Info.Defs[id]
+		}
+		if obj != nil && obj.Type() != nil {
+			if !isByteBuffer(obj.Type()) {
+				continue
+			}
+		}
+		return id.Name, true
+	}
+	return "", false
+}

@@ -155,6 +155,7 @@ func (r *RCE) rand() io.Reader {
 // and wrap k as [k] = k XOR h.
 func (r *RCE) Encrypt(id FuncID, input, result []byte) (Sealed, error) {
 	challenge, wrapped, key, err := KeyGen(id, input, r.rand())
+	defer Zeroize(key)
 	if err != nil {
 		return Sealed{}, err
 	}
@@ -171,6 +172,7 @@ func (r *RCE) Encrypt(id FuncID, input, result []byte) (Sealed, error) {
 // ciphertext yields ErrAuthFailed (⊥).
 func (r *RCE) Decrypt(id FuncID, input []byte, s Sealed) ([]byte, error) {
 	key, err := KeyRec(id, input, s.Challenge, s.WrappedKey)
+	defer Zeroize(key)
 	if err != nil {
 		return nil, err
 	}

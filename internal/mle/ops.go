@@ -34,6 +34,7 @@ func KeyGen(id FuncID, input []byte, rnd io.Reader) (challenge, wrappedKey, key 
 		return nil, nil, nil, err
 	}
 	h := secondaryKey(id, input, challenge)
+	defer Zeroize(h[:])
 	wrappedKey = make([]byte, KeySize)
 	for i := range wrappedKey {
 		wrappedKey[i] = key[i] ^ h[i]
@@ -48,6 +49,7 @@ func KeyRec(id FuncID, input, challenge, wrappedKey []byte) ([]byte, error) {
 		return nil, ErrAuthFailed
 	}
 	h := secondaryKey(id, input, challenge)
+	defer Zeroize(h[:])
 	key := make([]byte, KeySize)
 	for i := range key {
 		key[i] = wrappedKey[i] ^ h[i]

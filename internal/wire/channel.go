@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"speed/internal/enclave"
+	"speed/internal/mle"
 )
 
 // The secure channel between a DedupRuntime and the ResultStore. The
@@ -163,15 +164,16 @@ func (c *Channel) Recv() ([]byte, error) {
 	return payload, nil
 }
 
-// ratchet advances a direction key: key' = KDF(key), discarding the
-// old key so previously recorded traffic cannot be decrypted with the
-// new state.
+// ratchet advances a direction key: key' = KDF(key), zeroizing the old
+// key so previously recorded traffic cannot be decrypted with any
+// state still resident in memory.
 func ratchet(key *[]byte, aead *cipher.AEAD) error {
 	next := hkdf(*key, "speed/ratchet")[:16]
 	a, err := newAEAD(next)
 	if err != nil {
 		return err
 	}
+	mle.Zeroize(*key)
 	*key = next
 	*aead = a
 	return nil
@@ -421,6 +423,7 @@ func deriveChannel(conn io.ReadWriteCloser, priv *ecdh.PrivateKey, peerMeas encl
 		return nil, fmt.Errorf("wire: peer public key: %w", err)
 	}
 	shared, err := priv.ECDH(peerPub)
+	defer mle.Zeroize(shared)
 	if err != nil {
 		return nil, fmt.Errorf("wire: ecdh: %w", err)
 	}
@@ -451,6 +454,7 @@ func hkdf(secret []byte, info string) []byte {
 	extract := hmac.New(sha256.New, make([]byte, 32))
 	extract.Write(secret)
 	prk := extract.Sum(nil)
+	defer mle.Zeroize(prk)
 
 	expand := hmac.New(sha256.New, prk)
 	expand.Write([]byte(info))

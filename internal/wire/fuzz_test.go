@@ -1,8 +1,11 @@
 package wire
 
 import (
+	"crypto/ecdh"
+	"crypto/rand"
 	"testing"
 
+	"speed/internal/enclave"
 	"speed/internal/mle"
 )
 
@@ -46,8 +49,54 @@ func FuzzUnmarshal(f *testing.F) {
 func FuzzParseHello(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0, 0, 0, 4, 1, 2, 3, 4})
+	// A structurally valid hello advertising an unknown future protocol
+	// version, so mutations explore the negotiation byte.
+	p := enclave.NewPlatform(enclave.Config{})
+	if e, err := p.Create("fuzz", []byte("code")); err == nil {
+		if priv, err := ecdh.X25519().GenerateKey(rand.Reader); err == nil {
+			data := helloData(priv, ProtocolV2)
+			data[32] = 9
+			if h, err := makeHello(e, enclave.Measurement{}, data); err == nil {
+				f.Add(h.marshal())
+			}
+		}
+	}
 	f.Fuzz(func(t *testing.T, data []byte) {
 		_, _ = parseHello(data)
+	})
+}
+
+// FuzzNegotiate: version negotiation must always land on a version this
+// build speaks, never exceed our own offer, and agree with the echo the
+// server would send back.
+func FuzzNegotiate(f *testing.F) {
+	f.Add(2, byte(2))
+	f.Add(1, byte(0))
+	f.Add(2, byte(9))
+	f.Add(0, byte(1))
+	f.Fuzz(func(t *testing.T, ours int, peer byte) {
+		ours = clampVersion(ours)
+		var peerData [64]byte
+		peerData[32] = peer
+		got := negotiate(ours, peerData)
+		if got < ProtocolV1 || got > MaxProtocol {
+			t.Fatalf("negotiate(%d, peer=%d) = %d, outside [%d, %d]", ours, peer, got, ProtocolV1, MaxProtocol)
+		}
+		if got > ours {
+			t.Fatalf("negotiate(%d, peer=%d) = %d exceeds our offer", ours, peer, got)
+		}
+		// The server echoes the agreed version; re-negotiating against
+		// that echo must be stable on both ends.
+		var echo [64]byte
+		echo[32] = byte(got)
+		if again := negotiate(ours, echo); again != got {
+			t.Fatalf("negotiation unstable: %d then %d", got, again)
+		}
+		if peer >= 1 && int(peer) <= MaxProtocol {
+			if client := negotiate(int(peer), echo); client != got {
+				t.Fatalf("peer offering %d would settle on %d, server on %d", peer, client, got)
+			}
+		}
 	})
 }
 

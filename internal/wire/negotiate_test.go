@@ -1,0 +1,127 @@
+package wire
+
+import (
+	"bytes"
+	"crypto/ecdh"
+	"crypto/rand"
+	"net"
+	"testing"
+
+	"speed/internal/enclave"
+)
+
+// TestNegotiate pins the version-selection rule: the lower of the two
+// offers wins, a zero byte (a peer predating negotiation) reads as v1,
+// and a future version the build has never heard of degrades to the
+// newest version it speaks.
+func TestNegotiate(t *testing.T) {
+	for _, tc := range []struct {
+		ours int
+		peer byte
+		want int
+	}{
+		{ProtocolV2, 2, ProtocolV2},
+		{ProtocolV2, 1, ProtocolV1},
+		{ProtocolV1, 2, ProtocolV1},
+		{ProtocolV1, 1, ProtocolV1},
+		{ProtocolV2, 0, ProtocolV1},   // legacy peer
+		{ProtocolV2, 9, ProtocolV2},   // future peer
+		{ProtocolV2, 255, ProtocolV2}, // far-future peer
+	} {
+		var peerData [64]byte
+		peerData[32] = tc.peer
+		if got := negotiate(tc.ours, peerData); got != tc.want {
+			t.Errorf("negotiate(%d, peer=%d) = %d, want %d", tc.ours, tc.peer, got, tc.want)
+		}
+	}
+}
+
+// TestFutureVersionSettlesOnV2 hand-rolls a client hello advertising an
+// unknown future protocol version (9) against a real ServerHandshake
+// (ClientHandshakeVersion would clamp the offer, so the client side is
+// built by hand with a real key exchange). Both ends must settle on
+// ProtocolV2 — the newest version this build speaks — and traffic must
+// flow under the negotiated keys.
+func TestFutureVersionSettlesOnV2(t *testing.T) {
+	p := enclave.NewPlatform(enclave.Config{})
+	client, err := p.Create("client", []byte("client-code"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := p.Create("server", []byte("server-code"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cc, sc := net.Pipe()
+	defer cc.Close()
+	defer sc.Close()
+
+	type result struct {
+		ch  *Channel
+		err error
+	}
+	srv := make(chan result, 1)
+	go func() {
+		ch, err := ServerHandshake(sc, server, nil)
+		srv <- result{ch, err}
+	}()
+
+	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := helloData(priv, ProtocolV2)
+	data[32] = 9 // a future protocol this build has never heard of
+	clientHello, err := makeHello(client, server.Measurement(), data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(cc, clientHello.marshal()); err != nil {
+		t.Fatal(err)
+	}
+
+	frame, err := ReadFrame(cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverHello, err := parseHello(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peerMeas, peerData, err := verifyHello(client, serverHello, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int(peerData[32]); got != ProtocolV2 {
+		t.Fatalf("server echoed version %d, want ProtocolV2 (%d)", got, ProtocolV2)
+	}
+
+	clientCh, err := deriveChannel(cc, priv, peerMeas, peerData, true, negotiate(9, peerData))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := clientCh.Version(); v != ProtocolV2 {
+		t.Fatalf("client settled on version %d, want %d", v, ProtocolV2)
+	}
+
+	sr := <-srv
+	if sr.err != nil {
+		t.Fatalf("ServerHandshake: %v", sr.err)
+	}
+	if v := sr.ch.Version(); v != ProtocolV2 {
+		t.Fatalf("server settled on version %d, want %d", v, ProtocolV2)
+	}
+
+	// Traffic flows both ways under the negotiated keys.
+	go func() { _ = clientCh.Send([]byte("ping")) }()
+	got, err := sr.ch.Recv()
+	if err != nil || !bytes.Equal(got, []byte("ping")) {
+		t.Fatalf("server recv = %q, %v", got, err)
+	}
+	go func() { _ = sr.ch.Send([]byte("pong")) }()
+	got, err = clientCh.Recv()
+	if err != nil || !bytes.Equal(got, []byte("pong")) {
+		t.Fatalf("client recv = %q, %v", got, err)
+	}
+}
