@@ -46,6 +46,7 @@ func run(args []string) error {
 	quotaRate := fs.Float64("quota-put-rate", 0, "per-application PUT rate limit per second (0 = unlimited)")
 	noSGX := fs.Bool("no-sgx", false, "disable simulated SGX transition costs")
 	snapshotPath := fs.String("snapshot", "", "sealed snapshot file: restored at startup if present, written on shutdown")
+	snapshotInterval := fs.Duration("snapshot-interval", 0, "also autosave the sealed snapshot at this interval, so a crash costs at most one interval (0 = shutdown-only)")
 	machineSeed := fs.String("machine-seed", "", "deterministic machine identity (required for -snapshot to survive restarts)")
 	ttl := fs.Duration("ttl", 0, "entry time-to-live (0 = never expire)")
 	handshakeTimeout := fs.Duration("handshake-timeout", 10*time.Second, "attested handshake deadline for new connections (0 = unbounded)")
@@ -58,6 +59,9 @@ func run(args []string) error {
 	}
 	if *snapshotPath != "" && *machineSeed == "" {
 		return fmt.Errorf("-snapshot requires -machine-seed (sealing is machine-bound)")
+	}
+	if *snapshotInterval > 0 && *snapshotPath == "" {
+		return fmt.Errorf("-snapshot-interval requires -snapshot")
 	}
 
 	platform := enclave.NewPlatform(enclave.Config{
@@ -160,6 +164,16 @@ func run(args []string) error {
 				}
 			}
 		}()
+	}
+
+	if *snapshotInterval > 0 {
+		saver := store.NewAutosaver(st, *snapshotPath, *snapshotInterval,
+			func(format string, args ...any) {
+				fmt.Printf("resultstore: "+format+"\n", args...)
+			})
+		saver.Start()
+		defer saver.Stop()
+		fmt.Printf("resultstore: autosaving snapshot to %s every %v\n", *snapshotPath, *snapshotInterval)
 	}
 
 	errCh := make(chan error, 1)

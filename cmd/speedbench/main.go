@@ -11,6 +11,7 @@
 //	speedbench -exp ablations
 //	speedbench -exp resilience     # store-outage fault injection
 //	speedbench -exp concurrency    # mux throughput: workers x batch size
+//	speedbench -exp cluster        # 3-node ring, one member killed mid-run
 //	speedbench -quick              # reduced sizes/trials for a fast pass
 //
 // With -metrics-out FILE, the run records phase-level telemetry and
@@ -41,7 +42,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("speedbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: all, table1, fig5 (=fig5a-d), fig5a, fig5b, fig5c, fig5d, fig6, ablations, effort, resilience, concurrency")
+	exp := fs.String("exp", "all", "experiment: all, table1, fig5 (=fig5a-d), fig5a, fig5b, fig5c, fig5d, fig6, ablations, effort, resilience, concurrency, cluster")
 	quick := fs.Bool("quick", false, "reduced sizes and trials")
 	trials := fs.Int("trials", 0, "override trial count (0 = default)")
 	storeTimeout := fs.Duration("store-timeout", 200*time.Millisecond, "resilience: per-request store deadline")
@@ -83,6 +84,9 @@ func run(args []string) error {
 		"concurrency": func() error {
 			return runConcurrency(*quick)
 		},
+		"cluster": func() error {
+			return runCluster(*quick)
+		},
 	}
 	runNamed := func(names ...string) error {
 		for i, name := range names {
@@ -101,7 +105,7 @@ func run(args []string) error {
 
 	var err error
 	if *exp == "all" {
-		err = runNamed("table1", "fig5a", "fig5b", "fig5c", "fig5d", "fig6", "ablations", "effort", "resilience", "concurrency")
+		err = runNamed("table1", "fig5a", "fig5b", "fig5c", "fig5d", "fig6", "ablations", "effort", "resilience", "concurrency", "cluster")
 	} else if fn, ok := experiments[*exp]; ok {
 		err = fn()
 	} else {
@@ -140,12 +144,16 @@ type metricsReport struct {
 	// Concurrency holds the mux-throughput sweep when the concurrency
 	// experiment ran.
 	Concurrency []bench.ConcurrencyRow `json:"concurrency,omitempty"`
-	Snapshot    telemetry.Snapshot     `json:"snapshot"`
+	// Cluster holds the multi-node fault-injection phases when the
+	// cluster experiment ran.
+	Cluster  []bench.ClusterPhase `json:"cluster,omitempty"`
+	Snapshot telemetry.Snapshot   `json:"snapshot"`
 }
 
-// concurrencyRows carries the last concurrency sweep into the metrics
-// report.
+// concurrencyRows / clusterPhases carry the last sweep of their
+// experiment into the metrics report.
 var concurrencyRows []bench.ConcurrencyRow
+var clusterPhases []bench.ClusterPhase
 
 // labelValue extracts one label's value from a rendered metric name
 // like `speed_execute_phase_seconds{app="x",phase="tag"}`.
@@ -188,6 +196,7 @@ func writeMetricsReport(path, experiment string, reg *telemetry.Registry) error 
 		Phases:      quantileRows(snap, "speed_execute_phase_seconds", "phase"),
 		Execute:     quantileRows(snap, "speed_execute_seconds", "outcome"),
 		Concurrency: concurrencyRows,
+		Cluster:     clusterPhases,
 		Snapshot:    snap,
 	}
 	if calls > 0 {
@@ -367,6 +376,21 @@ func runConcurrency(quick bool) error {
 	}
 	concurrencyRows = rows
 	fmt.Print(bench.RenderConcurrency(rows))
+	return nil
+}
+
+func runCluster(quick bool) error {
+	cfg := bench.ClusterConfig{Nodes: 3, Replicas: 2, Passes: 5, Inputs: 32}
+	if quick {
+		cfg.Passes = 3
+		cfg.Inputs = 16
+	}
+	phases, err := bench.Cluster(cfg)
+	if err != nil {
+		return err
+	}
+	clusterPhases = phases
+	fmt.Print(bench.RenderCluster(cfg.Nodes, cfg.Replicas, phases))
 	return nil
 }
 

@@ -1,0 +1,246 @@
+package bench
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"speed/internal/cluster"
+	"speed/internal/dedup"
+	"speed/internal/enclave"
+	"speed/internal/store"
+)
+
+// Cluster exercises the multi-node ResultStore tier end to end: a
+// Runtime executes batched calls against an N-node consistent-hash
+// ring, one member is killed mid-run, and the router must absorb the
+// outage — zero failed Execute calls, with the hit rate recovering to
+// the replicas once failover settles.
+
+// ClusterConfig tunes the cluster fault-injection run.
+type ClusterConfig struct {
+	// Nodes is the ring size; default 3.
+	Nodes int
+	// Replicas is the per-tag replication factor; default 2.
+	Replicas int
+	// Passes is how many batch passes each phase runs; default 5.
+	Passes int
+	// Inputs is the distinct-input working set per pass; default 32.
+	Inputs int
+}
+
+// ClusterPhase is the measured outcome of one phase.
+type ClusterPhase struct {
+	Name        string  `json:"name"`
+	Calls       int     `json:"calls"`
+	Errors      int     `json:"errors"`
+	Reused      int64   `json:"reused"`
+	Computed    int64   `json:"computed"`
+	HitRate     float64 `json:"hit_rate"`
+	Failovers   int64   `json:"failovers"`
+	ReadRepairs int64   `json:"read_repairs"`
+	NodesUp     int     `json:"nodes_up"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+}
+
+// Cluster runs the phases and returns their measurements.
+func Cluster(cfg ClusterConfig) ([]ClusterPhase, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 3
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 2
+	}
+	if cfg.Passes <= 0 {
+		cfg.Passes = 5
+	}
+	if cfg.Inputs <= 0 {
+		cfg.Inputs = 32
+	}
+
+	platform := enclave.NewPlatform(enclave.Config{})
+	appEnc, err := platform.Create("cluster-app", []byte("cluster app code"))
+	if err != nil {
+		return nil, err
+	}
+	// Every member runs the same store code — one shared measurement,
+	// distinct enclave names, as in a real fleet.
+	storeCode := []byte("cluster store code")
+	var (
+		addrs     []string
+		servers   []*store.Server
+		storeMeas enclave.Measurement
+	)
+	for i := 0; i < cfg.Nodes; i++ {
+		enc, err := platform.Create(fmt.Sprintf("cluster-store-%d", i), storeCode)
+		if err != nil {
+			return nil, err
+		}
+		storeMeas = enc.Measurement()
+		st, err := store.New(store.Config{Enclave: enc})
+		if err != nil {
+			return nil, err
+		}
+		defer st.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		srv := store.NewServer(st, ln, store.WithLogf(func(string, ...any) {}))
+		go func() { _ = srv.Serve() }()
+		servers = append(servers, srv)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	defer func() {
+		for _, srv := range servers {
+			_ = srv.Close()
+		}
+	}()
+
+	client, err := cluster.New(cluster.Config{
+		Nodes:            addrs,
+		Replicas:         cfg.Replicas,
+		App:              appEnc,
+		StoreMeasurement: storeMeas,
+		FailThreshold:    2,
+		ProbeInterval:    25 * time.Millisecond,
+		Telemetry:        registry,
+		Logf:             func(string, ...any) {},
+		Remote: dedup.RemoteConfig{
+			DialTimeout:    300 * time.Millisecond,
+			RequestTimeout: time.Second,
+			MaxRetries:     -1,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer client.Close()
+
+	rt, err := dedup.NewRuntime(dedup.Config{
+		Enclave:   appEnc,
+		Client:    client,
+		Telemetry: registry,
+		Logf:      func(string, ...any) {},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Close()
+	rt.Registry().RegisterLibrary("clusterbench", "1.0", []byte("cluster bench lib"))
+	id, err := rt.Resolve(dedup.FuncDesc{Library: "clusterbench", Version: "1.0", Signature: "xform(x)"})
+	if err != nil {
+		return nil, err
+	}
+	compute := func(in []byte) ([]byte, error) {
+		out := make([]byte, len(in))
+		for i, b := range in {
+			out[i] = b ^ 0x5A
+		}
+		return out, nil
+	}
+	inputs := make([][]byte, cfg.Inputs)
+	for i := range inputs {
+		inputs[i] = []byte(fmt.Sprintf("cluster-bench-input-%d", i))
+	}
+
+	runPhase := func(name string, passes int) (ClusterPhase, error) {
+		before := rt.Stats()
+		failoversBefore := client.Failovers()
+		repairsBefore := client.ReadRepairs()
+		start := time.Now()
+		calls, errs := 0, 0
+		for p := 0; p < passes; p++ {
+			results, err := rt.ExecuteBatch(id, inputs, compute)
+			if err != nil {
+				// A whole-batch error counts every item as failed.
+				calls += len(inputs)
+				errs += len(inputs)
+				continue
+			}
+			for _, r := range results {
+				calls++
+				if r.Err != nil {
+					errs++
+				}
+			}
+		}
+		after := rt.Stats()
+		ph := ClusterPhase{
+			Name:        name,
+			Calls:       calls,
+			Errors:      errs,
+			Reused:      after.Reused - before.Reused,
+			Computed:    after.Computed - before.Computed,
+			Failovers:   client.Failovers() - failoversBefore,
+			ReadRepairs: client.ReadRepairs() - repairsBefore,
+			NodesUp:     client.NodesUp(),
+			ElapsedMS:   float64(time.Since(start).Microseconds()) / 1000,
+		}
+		if calls > 0 {
+			ph.HitRate = float64(ph.Reused) / float64(calls)
+		}
+		return ph, nil
+	}
+
+	var phases []ClusterPhase
+	p, err := runPhase("warmup", 1)
+	if err != nil {
+		return nil, err
+	}
+	phases = append(phases, p)
+	p, err = runPhase("pre-kill", cfg.Passes)
+	if err != nil {
+		return nil, err
+	}
+	phases = append(phases, p)
+
+	// Kill one member mid-run; it stays dead. Every tag keeps at least
+	// one live replica, so the router must keep every call succeeding.
+	if err := servers[0].Close(); err != nil {
+		return nil, err
+	}
+	p, err = runPhase("node killed", cfg.Passes)
+	if err != nil {
+		return nil, err
+	}
+	phases = append(phases, p)
+	p, err = runPhase("failed over", cfg.Passes)
+	if err != nil {
+		return nil, err
+	}
+	phases = append(phases, p)
+	return phases, nil
+}
+
+// RenderCluster formats the phase table plus the acceptance summary.
+func RenderCluster(nodes, replicas int, phases []ClusterPhase) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Multi-node ResultStore: %d-node ring, %d replicas, one member killed mid-run\n",
+		nodes, replicas)
+	fmt.Fprintf(&b, "  %-12s %7s %7s %7s %9s %8s %10s %8s %7s %10s\n",
+		"phase", "calls", "errors", "reused", "computed", "hitrate", "failovers", "repairs", "up", "elapsed")
+	for _, p := range phases {
+		fmt.Fprintf(&b, "  %-12s %7d %7d %7d %9d %7.1f%% %10d %8d %7d %9.1fms\n",
+			p.Name, p.Calls, p.Errors, p.Reused, p.Computed, 100*p.HitRate,
+			p.Failovers, p.ReadRepairs, p.NodesUp, p.ElapsedMS)
+	}
+	var pre, post ClusterPhase
+	errors := 0
+	for _, p := range phases {
+		errors += p.Errors
+		switch p.Name {
+		case "pre-kill":
+			pre = p
+		case "failed over":
+			post = p
+		}
+	}
+	fmt.Fprintf(&b, "  total request failures: %d (want 0)\n", errors)
+	if pre.HitRate > 0 {
+		fmt.Fprintf(&b, "  post-failover hit rate: %.1f%% of pre-kill (%.1f%% vs %.1f%%, want > 90%%)\n",
+			100*post.HitRate/pre.HitRate, 100*post.HitRate, 100*pre.HitRate)
+	}
+	return b.String()
+}

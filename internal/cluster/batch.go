@@ -1,0 +1,257 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"speed/internal/mle"
+	"speed/internal/wire"
+)
+
+// pickRead returns the first member in the tag's read order that has
+// not already failed for this request.
+func (c *Client) pickRead(tag mle.Tag, excluded map[int]bool) (int, bool) {
+	for _, ni := range c.readOrder(tag) {
+		if !excluded[ni] {
+			return ni, true
+		}
+	}
+	return 0, false
+}
+
+// pickWrite returns the next member a failover write should target:
+// the first live, not-yet-failed member in ring order, or any
+// not-yet-failed member when everything is down.
+func (c *Client) pickWrite(tag mle.Tag, excluded map[int]bool) (int, bool) {
+	all := c.ring.owners(tag, len(c.nodes))
+	for _, ni := range all {
+		if !excluded[ni] && c.nodes[ni].up.Load() {
+			return ni, true
+		}
+	}
+	for _, ni := range all {
+		if !excluded[ni] {
+			return ni, true
+		}
+	}
+	return 0, false
+}
+
+// groupResult carries one member's answer for its slice of a batch.
+type groupResult struct {
+	ni   int
+	idxs []int
+	gets []wire.GetResult
+	puts []wire.PutResult
+	err  error
+}
+
+// GetBatch implements dedup.BatchClient: tags are grouped by their
+// preferred member and fetched in parallel per-node round trips, merged
+// back positionally. A member failure re-routes only that member's tags
+// to the next replica in further rounds; results found away from their
+// primary are read-repaired in the background. The call errors only
+// when some tag runs out of reachable members.
+func (c *Client) GetBatch(tags []mle.Tag) ([]wire.GetResult, error) {
+	if c.closed.Load() {
+		return nil, errClientClosed
+	}
+	if len(tags) == 0 {
+		return nil, nil
+	}
+	results := make([]wire.GetResult, len(tags))
+	primaries := make([]int, len(tags))
+	for i, tag := range tags {
+		primaries[i] = c.ring.owners(tag, 1)[0]
+	}
+	excluded := make([]map[int]bool, len(tags))
+	repairs := make(map[int][]wire.PutItem)
+	pending := make([]int, len(tags))
+	for i := range pending {
+		pending[i] = i
+	}
+	for len(pending) > 0 {
+		groups := make(map[int][]int)
+		for _, idx := range pending {
+			ni, ok := c.pickRead(tags[idx], excluded[idx])
+			if !ok {
+				return nil, fmt.Errorf("cluster: batch get: no member reachable for tag %x", tags[idx][:4])
+			}
+			groups[ni] = append(groups[ni], idx)
+		}
+		var next []int
+		for _, gr := range c.runGets(tags, groups) {
+			n := c.nodes[gr.ni]
+			if gr.err != nil {
+				c.noteFailure(n, gr.err)
+				c.noteFailover(n, len(gr.idxs))
+				for _, idx := range gr.idxs {
+					if excluded[idx] == nil {
+						excluded[idx] = make(map[int]bool)
+					}
+					excluded[idx][gr.ni] = true
+				}
+				next = append(next, gr.idxs...)
+				continue
+			}
+			c.noteSuccess(n)
+			n.routedGet.Add(int64(len(gr.idxs)))
+			for k, idx := range gr.idxs {
+				results[idx] = gr.gets[k]
+				if gr.gets[k].Found && gr.ni != primaries[idx] {
+					repairs[primaries[idx]] = append(repairs[primaries[idx]],
+						wire.PutItem{Tag: tags[idx], Sealed: gr.gets[k].Sealed})
+				}
+			}
+		}
+		pending = next
+	}
+	for primary, items := range repairs {
+		c.repairAsync(primary, items)
+	}
+	return results, nil
+}
+
+// runGets issues one BatchGet per group concurrently and collects the
+// answers; merging into shared state is the caller's, serially.
+func (c *Client) runGets(tags []mle.Tag, groups map[int][]int) []groupResult {
+	out := make([]groupResult, 0, len(groups))
+	for ni, idxs := range groups {
+		out = append(out, groupResult{ni: ni, idxs: idxs})
+	}
+	var wg sync.WaitGroup
+	for i := range out {
+		gr := &out[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			chunk := make([]mle.Tag, len(gr.idxs))
+			for k, idx := range gr.idxs {
+				chunk[k] = tags[idx]
+			}
+			gr.gets, gr.err = c.nodes[gr.ni].client.GetBatch(chunk)
+			if gr.err == nil && len(gr.gets) != len(chunk) {
+				gr.err = fmt.Errorf("cluster: member %s answered %d results for %d tags",
+					c.nodes[gr.ni].addr, len(gr.gets), len(chunk))
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// PutBatch implements dedup.BatchClient: every item fans out to its
+// write targets (Replicas live owners) in one parallel pass; an item is
+// OK as soon as any replica accepted it, and items whose every target
+// failed at the transport level are re-routed in failover rounds. The
+// call errors only when some item runs out of reachable members.
+func (c *Client) PutBatch(items []wire.PutItem) ([]wire.PutResult, error) {
+	if c.closed.Load() {
+		return nil, errClientClosed
+	}
+	if len(items) == 0 {
+		return nil, nil
+	}
+	ok := make([]bool, len(items))
+	responded := make([]bool, len(items))
+	rejected := make([]string, len(items))
+	excluded := make([]map[int]bool, len(items))
+
+	merge := func(grs []groupResult) {
+		for _, gr := range grs {
+			n := c.nodes[gr.ni]
+			if gr.err != nil {
+				c.noteFailure(n, gr.err)
+				c.noteFailover(n, len(gr.idxs))
+				for _, idx := range gr.idxs {
+					if excluded[idx] == nil {
+						excluded[idx] = make(map[int]bool)
+					}
+					excluded[idx][gr.ni] = true
+				}
+				continue
+			}
+			c.noteSuccess(n)
+			n.routedPut.Add(int64(len(gr.idxs)))
+			for k, idx := range gr.idxs {
+				responded[idx] = true
+				if gr.puts[k].OK {
+					ok[idx] = true
+				} else if rejected[idx] == "" {
+					rejected[idx] = gr.puts[k].Err
+				}
+			}
+		}
+	}
+
+	// First pass: full replication to each item's write targets.
+	groups := make(map[int][]int)
+	for i, it := range items {
+		for _, ni := range c.writeTargets(it.Tag) {
+			groups[ni] = append(groups[ni], i)
+		}
+	}
+	merge(c.runPuts(items, groups))
+
+	// Failover rounds: items with zero responses chase the next
+	// reachable member, one target per round — availability now,
+	// re-replication later via read-repair and the syncer.
+	for round := 1; round < len(c.nodes); round++ {
+		groups = make(map[int][]int)
+		for i := range items {
+			if responded[i] {
+				continue
+			}
+			ni, found := c.pickWrite(items[i].Tag, excluded[i])
+			if !found {
+				return nil, fmt.Errorf("cluster: batch put: no member reachable for item %d", i)
+			}
+			groups[ni] = append(groups[ni], i)
+		}
+		if len(groups) == 0 {
+			break
+		}
+		merge(c.runPuts(items, groups))
+	}
+
+	results := make([]wire.PutResult, len(items))
+	for i := range items {
+		switch {
+		case ok[i]:
+			results[i] = wire.PutResult{OK: true}
+		case responded[i]:
+			results[i] = wire.PutResult{OK: false, Err: rejected[i]}
+		default:
+			return nil, fmt.Errorf("cluster: batch put: no replica reachable for item %d", i)
+		}
+	}
+	return results, nil
+}
+
+// runPuts issues one BatchPut per group concurrently and collects the
+// answers.
+func (c *Client) runPuts(items []wire.PutItem, groups map[int][]int) []groupResult {
+	out := make([]groupResult, 0, len(groups))
+	for ni, idxs := range groups {
+		out = append(out, groupResult{ni: ni, idxs: idxs})
+	}
+	var wg sync.WaitGroup
+	for i := range out {
+		gr := &out[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			chunk := make([]wire.PutItem, len(gr.idxs))
+			for k, idx := range gr.idxs {
+				chunk[k] = items[idx]
+			}
+			gr.puts, gr.err = c.nodes[gr.ni].client.PutBatch(chunk)
+			if gr.err == nil && len(gr.puts) != len(chunk) {
+				gr.err = fmt.Errorf("cluster: member %s answered %d results for %d items",
+					c.nodes[gr.ni].addr, len(gr.puts), len(chunk))
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,393 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"speed/internal/dedup"
+	"speed/internal/enclave"
+	"speed/internal/mle"
+	"speed/internal/telemetry"
+	"speed/internal/wire"
+)
+
+// Config describes a static-membership ResultStore cluster.
+type Config struct {
+	// Nodes lists the member resultstore addresses (host:port). The
+	// ring hashes addresses, not list positions, so reordering the list
+	// does not move data. Required, at least one member.
+	Nodes []string
+	// Replicas is how many distinct members store each tag (the primary
+	// plus R-1 ring successors). Zero selects min(2, len(Nodes));
+	// values above len(Nodes) are clamped.
+	Replicas int
+	// VNodes is the virtual-node count per member on the ring; zero
+	// selects the default (64).
+	VNodes int
+	// App is the application enclave the per-node attested channels are
+	// established from. Required.
+	App *enclave.Enclave
+	// StoreMeasurement is the store enclave measurement every member
+	// must prove during its handshake — all members run the same store
+	// code, so one pinned measurement covers the whole ring.
+	StoreMeasurement enclave.Measurement
+	// Remote configures each member's underlying RemoteClient
+	// (deadlines, retry schedule, protocol pin, trust set). Lazy is
+	// forced on: the cluster client must construct even while some
+	// members are down, and the health prober finds them later.
+	Remote dedup.RemoteConfig
+	// FailThreshold is the number of consecutive transport failures
+	// after which a member is marked down and skipped by the router
+	// until a health probe succeeds. Zero selects the default (3).
+	FailThreshold int
+	// ProbeInterval is the background health-probe cadence; each probe
+	// is a Ping (a full round trip with zero store operations). Zero
+	// selects the default (500ms).
+	ProbeInterval time.Duration
+	// Telemetry, when non-nil, registers the per-node cluster series:
+	// speed_cluster_node_up, speed_cluster_routed_total,
+	// speed_cluster_failovers_total and speed_cluster_read_repairs_total.
+	Telemetry *telemetry.Registry
+	// Logf is the diagnostic logger; defaults to log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// errClientClosed is returned from requests after Close.
+var errClientClosed = errors.New("cluster: client closed")
+
+// node is one ring member: its transport plus the up/down health state
+// machine the router consults.
+type node struct {
+	addr   string
+	client *dedup.RemoteClient
+
+	// up flips down after FailThreshold consecutive transport failures
+	// and back up on any successful exchange (request or probe).
+	up    atomic.Bool
+	fails atomic.Int64
+
+	// Nil-safe telemetry mirrors.
+	routedGet  *telemetry.Counter
+	routedPut  *telemetry.Counter
+	failoversC *telemetry.Counter
+}
+
+// Client routes StoreClient/BatchClient traffic over the ring: every
+// GET goes to the tag's primary (failing over along the replica set on
+// transport errors, with read-repair back to the primary), every PUT is
+// replicated to the tag's R owners, and batches are split by owner and
+// run as parallel per-node round trips. It drops into
+// dedup.Config.Client unchanged; when every member is unreachable its
+// errors feed the Runtime's circuit breaker exactly as a single store's
+// would, so degradation accounting keeps working.
+type Client struct {
+	cfg      Config
+	ring     *ring
+	nodes    []*node
+	replicas int
+	logf     func(format string, args ...any)
+
+	closed atomic.Bool
+	stop   chan struct{}
+	probeD chan struct{}
+
+	// repairWG tracks asynchronous read-repair uploads so Close never
+	// leaks a goroutine mid-PUT.
+	repairWG sync.WaitGroup
+
+	failovers   atomic.Int64
+	readRepairs atomic.Int64
+
+	readRepairsC *telemetry.Counter
+}
+
+var _ dedup.BatchClient = (*Client)(nil)
+
+// New builds the cluster client and dials its members lazily: members
+// that are down at construction are simply marked down by the first
+// probe and picked up when they appear.
+func New(cfg Config) (*Client, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("cluster: Config.Nodes is required")
+	}
+	if cfg.App == nil {
+		return nil, errors.New("cluster: Config.App is required")
+	}
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 2
+	}
+	if cfg.Replicas > len(cfg.Nodes) {
+		cfg.Replicas = len(cfg.Nodes)
+	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = 3
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 500 * time.Millisecond
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	c := &Client{
+		cfg:      cfg,
+		ring:     newRing(cfg.Nodes, cfg.VNodes),
+		replicas: cfg.Replicas,
+		logf:     cfg.Logf,
+		stop:     make(chan struct{}),
+		probeD:   make(chan struct{}),
+	}
+	for _, addr := range cfg.Nodes {
+		rcfg := cfg.Remote
+		rcfg.Lazy = true
+		nc, err := dedup.DialConfig(addr, cfg.App, cfg.StoreMeasurement, rcfg)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: member %s: %w", addr, err)
+		}
+		n := &node{addr: addr, client: nc}
+		n.up.Store(true) // optimistic; the first probe corrects
+		c.nodes = append(c.nodes, n)
+	}
+	c.registerTelemetry(cfg.Telemetry)
+	go c.probeLoop()
+	return c, nil
+}
+
+func (c *Client) registerTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	c.readRepairsC = reg.NewCounter("speed_cluster_read_repairs_total",
+		"results copied back to their primary after a failover read")
+	for _, n := range c.nodes {
+		n := n
+		nodeLabel := telemetry.L("node", n.addr)
+		reg.NewGaugeFunc("speed_cluster_node_up",
+			"1 while the member is routable, 0 while marked down",
+			func() float64 {
+				if n.up.Load() {
+					return 1
+				}
+				return 0
+			}, nodeLabel)
+		n.routedGet = reg.NewCounter("speed_cluster_routed_total",
+			"requests routed to this member", nodeLabel, telemetry.L("op", "get"))
+		n.routedPut = reg.NewCounter("speed_cluster_routed_total",
+			"requests routed to this member", nodeLabel, telemetry.L("op", "put"))
+		n.failoversC = reg.NewCounter("speed_cluster_failovers_total",
+			"requests re-routed away from this member after a transport failure", nodeLabel)
+	}
+}
+
+// Nodes reports the configured member addresses, in ring-member order.
+func (c *Client) Nodes() []string { return append([]string(nil), c.cfg.Nodes...) }
+
+// Replicas reports the effective replication factor.
+func (c *Client) Replicas() int { return c.replicas }
+
+// Failovers reports how many times a request was re-routed away from a
+// failed member.
+func (c *Client) Failovers() int64 { return c.failovers.Load() }
+
+// ReadRepairs reports how many results were copied back to their
+// primary after a failover read found them on a successor.
+func (c *Client) ReadRepairs() int64 { return c.readRepairs.Load() }
+
+// Retries aggregates the members' request-retry counters, surfacing
+// them through dedup.Stats.Retries exactly as a single RemoteClient
+// would.
+func (c *Client) Retries() int64 {
+	var total int64
+	for _, n := range c.nodes {
+		total += n.client.Retries()
+	}
+	return total
+}
+
+// readOrder returns node indexes in the order a read for the tag should
+// try them: live replica owners in ring order, then live non-owners
+// (results land there when every owner was down at write time), then
+// the down owners as a last resort.
+func (c *Client) readOrder(tag mle.Tag) []int {
+	all := c.ring.owners(tag, len(c.nodes))
+	order := make([]int, 0, len(all))
+	for _, ni := range all[:c.replicas] {
+		if c.nodes[ni].up.Load() {
+			order = append(order, ni)
+		}
+	}
+	for _, ni := range all[c.replicas:] {
+		if c.nodes[ni].up.Load() {
+			order = append(order, ni)
+		}
+	}
+	for _, ni := range all[:c.replicas] {
+		if !c.nodes[ni].up.Load() {
+			order = append(order, ni)
+		}
+	}
+	return order
+}
+
+// writeTargets returns the members a PUT for the tag should be
+// replicated to: the first Replicas live members in ring order (so a
+// down owner's writes slide to the next successor instead of being
+// lost), or the owner set itself when every member is down — they may
+// be back by the time the request lands.
+func (c *Client) writeTargets(tag mle.Tag) []int {
+	all := c.ring.owners(tag, len(c.nodes))
+	targets := make([]int, 0, c.replicas)
+	for _, ni := range all {
+		if len(targets) == c.replicas {
+			break
+		}
+		if c.nodes[ni].up.Load() {
+			targets = append(targets, ni)
+		}
+	}
+	if len(targets) == 0 {
+		targets = append(targets, all[:c.replicas]...)
+	}
+	return targets
+}
+
+// Get implements dedup.StoreClient: the tag's primary answers; on a
+// transport error the read fails over along the replica set, and a
+// result found on a successor is repaired back to the primary in the
+// background. A miss from a reachable member is authoritative — misses
+// never fail over, so a cold primary costs one recomputation, not a
+// cluster-wide search.
+func (c *Client) Get(tag mle.Tag) (mle.Sealed, bool, error) {
+	if c.closed.Load() {
+		return mle.Sealed{}, false, errClientClosed
+	}
+	primary := c.ring.owners(tag, 1)[0]
+	var lastErr error
+	for _, ni := range c.readOrder(tag) {
+		n := c.nodes[ni]
+		sealed, found, err := n.client.Get(tag)
+		if err != nil {
+			c.noteFailure(n, err)
+			c.noteFailover(n, 1)
+			lastErr = err
+			continue
+		}
+		c.noteSuccess(n)
+		n.routedGet.Inc()
+		if found && ni != primary {
+			c.repairAsync(primary, []wire.PutItem{{Tag: tag, Sealed: sealed}})
+		}
+		return sealed, found, nil
+	}
+	return mle.Sealed{}, false, fmt.Errorf("cluster: get: no member reachable: %w", lastErr)
+}
+
+// Put implements dedup.StoreClient, replicating the upload to the
+// tag's write targets in parallel. The put succeeds when any replica
+// accepted it; a store-level rejection (quota, authorization) is only
+// surfaced when no replica accepted.
+func (c *Client) Put(tag mle.Tag, sealed mle.Sealed, replace bool) error {
+	if c.closed.Load() {
+		return errClientClosed
+	}
+	targets := c.writeTargets(tag)
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for i, ni := range targets {
+		i, n := i, c.nodes[ni]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = n.client.Put(tag, sealed, replace)
+			if errs[i] == nil || errors.Is(errs[i], dedup.ErrPutRejected) {
+				c.noteSuccess(n)
+				n.routedPut.Inc()
+			} else {
+				c.noteFailure(n, errs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	var reject, lastErr error
+	for _, err := range errs {
+		switch {
+		case err == nil:
+			return nil
+		case errors.Is(err, dedup.ErrPutRejected):
+			reject = err
+		default:
+			lastErr = err
+		}
+	}
+	if reject != nil {
+		return reject
+	}
+	return fmt.Errorf("cluster: put: no replica reachable: %w", lastErr)
+}
+
+// Ping implements dedup.StoreClient: the cluster is alive while any
+// member answers a probe. Live members are tried first.
+func (c *Client) Ping() error {
+	if c.closed.Load() {
+		return errClientClosed
+	}
+	var lastErr error
+	for _, pass := range []bool{true, false} {
+		for _, n := range c.nodes {
+			if n.up.Load() != pass {
+				continue
+			}
+			if err := n.client.Ping(); err != nil {
+				c.noteFailure(n, err)
+				lastErr = err
+				continue
+			}
+			c.noteSuccess(n)
+			return nil
+		}
+	}
+	return fmt.Errorf("cluster: ping: no member reachable: %w", lastErr)
+}
+
+// Close implements dedup.StoreClient: it stops the health prober,
+// drains in-flight read repairs, and closes every member channel.
+func (c *Client) Close() error {
+	if !c.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(c.stop)
+	<-c.probeD
+	c.repairWG.Wait()
+	var firstErr error
+	for _, n := range c.nodes {
+		if err := n.client.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// repairAsync uploads items found on a replica back to their primary,
+// best-effort and off the caller's path. Repairs only run while the
+// primary is routable; a failed repair is dropped (the next failover
+// read will try again).
+func (c *Client) repairAsync(primary int, items []wire.PutItem) {
+	n := c.nodes[primary]
+	if !n.up.Load() || c.closed.Load() {
+		return
+	}
+	c.repairWG.Add(1)
+	go func() {
+		defer c.repairWG.Done()
+		if _, err := n.client.PutBatch(items); err != nil {
+			c.noteFailure(n, err)
+			return
+		}
+		c.noteSuccess(n)
+		c.readRepairs.Add(int64(len(items)))
+		c.readRepairsC.Add(int64(len(items)))
+	}()
+}

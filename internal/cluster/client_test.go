@@ -1,0 +1,439 @@
+package cluster
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"speed/internal/dedup"
+	"speed/internal/enclave"
+	"speed/internal/mle"
+	"speed/internal/store"
+	"speed/internal/wire"
+)
+
+func ctag(s string) mle.Tag {
+	h := sha256.Sum256([]byte("cluster-test-" + s))
+	var t mle.Tag
+	copy(t[:], h[:])
+	return t
+}
+
+func csealed(s string) mle.Sealed {
+	return mle.Sealed{
+		Challenge:  []byte("challenge-" + s),
+		WrappedKey: []byte("wrapped-" + s),
+		Blob:       []byte("blob-" + s),
+	}
+}
+
+// testNode is one ring member: its store plus the server serving it.
+type testNode struct {
+	st   *store.Store
+	srv  *store.Server
+	addr string
+
+	mu sync.Mutex
+	wg sync.WaitGroup
+}
+
+// kill shuts the member's server down (the store object survives, as a
+// crashed-but-recoverable machine's disk would).
+func (n *testNode) kill(t *testing.T) {
+	t.Helper()
+	n.mu.Lock()
+	srv := n.srv
+	n.srv = nil
+	n.mu.Unlock()
+	if srv == nil {
+		return
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("close server %s: %v", n.addr, err)
+	}
+	n.wg.Wait()
+}
+
+// restart brings the member back on its previous address with its
+// previous store contents.
+func (n *testNode) restart(t *testing.T) {
+	t.Helper()
+	ln, err := net.Listen("tcp", n.addr)
+	if err != nil {
+		t.Fatalf("relisten %s: %v", n.addr, err)
+	}
+	srv := store.NewServer(n.st, ln, store.WithLogf(func(string, ...any) {}))
+	n.mu.Lock()
+	n.srv = srv
+	n.mu.Unlock()
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		_ = srv.Serve()
+	}()
+}
+
+type testClusterEnv struct {
+	app       *enclave.Enclave
+	storeMeas enclave.Measurement
+	nodes     []*testNode
+	client    *Client
+}
+
+// hasTag checks a member's store directly, without touching the wire.
+func (e *testClusterEnv) hasTag(ni int, tag mle.Tag) bool {
+	_, found, _ := e.nodes[ni].st.Get(tag)
+	return found
+}
+
+// newTestCluster starts n real store servers — same store code bytes
+// (so one shared measurement, as in a real fleet), distinct enclave
+// names — and a cluster client over them. cfg.Nodes/App/
+// StoreMeasurement are filled in; a zero cfg.Remote gets fast-failure
+// test timeouts.
+func newTestCluster(t *testing.T, n int, cfg Config) *testClusterEnv {
+	t.Helper()
+	p := enclave.NewPlatform(enclave.Config{})
+	app, err := p.Create("app", []byte("app code"))
+	if err != nil {
+		t.Fatalf("create app enclave: %v", err)
+	}
+	env := &testClusterEnv{app: app}
+	storeCode := []byte("store code v1")
+	for i := 0; i < n; i++ {
+		enc, err := p.Create(fmt.Sprintf("store-%d", i), storeCode)
+		if err != nil {
+			t.Fatalf("create store enclave %d: %v", i, err)
+		}
+		env.storeMeas = enc.Measurement()
+		st, err := store.New(store.Config{Enclave: enc})
+		if err != nil {
+			t.Fatalf("store.New %d: %v", i, err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen %d: %v", i, err)
+		}
+		node := &testNode{st: st, addr: ln.Addr().String()}
+		srv := store.NewServer(st, ln, store.WithLogf(func(string, ...any) {}))
+		node.srv = srv
+		node.wg.Add(1)
+		go func() {
+			defer node.wg.Done()
+			_ = srv.Serve()
+		}()
+		env.nodes = append(env.nodes, node)
+	}
+
+	cfg.App = app
+	cfg.StoreMeasurement = env.storeMeas
+	for _, node := range env.nodes {
+		cfg.Nodes = append(cfg.Nodes, node.addr)
+	}
+	if cfg.Remote == (dedup.RemoteConfig{}) {
+		cfg.Remote = dedup.RemoteConfig{
+			DialTimeout:    300 * time.Millisecond,
+			RequestTimeout: time.Second,
+			MaxRetries:     -1,
+		}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = t.Logf
+	}
+	client, err := New(cfg)
+	if err != nil {
+		t.Fatalf("cluster.New: %v", err)
+	}
+	env.client = client
+	t.Cleanup(func() {
+		_ = client.Close()
+		for _, node := range env.nodes {
+			node.kill(t)
+		}
+	})
+	return env
+}
+
+func TestClusterGetPutReplicates(t *testing.T) {
+	env := newTestCluster(t, 3, Config{Replicas: 2})
+	tag, sealed := ctag("alpha"), csealed("alpha")
+
+	if _, found, err := env.client.Get(tag); err != nil || found {
+		t.Fatalf("Get on empty cluster = (found=%v, %v), want miss", found, err)
+	}
+	if err := env.client.Put(tag, sealed, false); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, found, err := env.client.Get(tag)
+	if err != nil || !found {
+		t.Fatalf("Get = (found=%v, %v)", found, err)
+	}
+	if !bytes.Equal(got.Blob, sealed.Blob) {
+		t.Errorf("Get blob = %q, want %q", got.Blob, sealed.Blob)
+	}
+
+	// The put must land on exactly the tag's two ring owners.
+	owners := env.client.ring.owners(tag, 2)
+	copies := 0
+	for ni := range env.nodes {
+		if env.hasTag(ni, tag) {
+			copies++
+			if ni != owners[0] && ni != owners[1] {
+				t.Errorf("tag stored on non-owner member %d (owners %v)", ni, owners)
+			}
+		}
+	}
+	if copies != 2 {
+		t.Errorf("tag stored on %d members, want 2 replicas", copies)
+	}
+}
+
+func TestClusterBatchPositional(t *testing.T) {
+	env := newTestCluster(t, 3, Config{Replicas: 2})
+	const present = 20
+	items := make([]wire.PutItem, present)
+	for i := range items {
+		items[i] = wire.PutItem{Tag: ctag(fmt.Sprintf("b%d", i)), Sealed: csealed(fmt.Sprintf("b%d", i))}
+	}
+	prs, err := env.client.PutBatch(items)
+	if err != nil {
+		t.Fatalf("PutBatch: %v", err)
+	}
+	if len(prs) != present {
+		t.Fatalf("PutBatch returned %d results, want %d", len(prs), present)
+	}
+	for i, pr := range prs {
+		if !pr.OK {
+			t.Errorf("item %d rejected: %s", i, pr.Err)
+		}
+	}
+
+	// Interleave misses with hits; results must stay positional.
+	var tags []mle.Tag
+	var wantBlob [][]byte // nil = expect a miss
+	next := 0
+	for i := 0; i < present+5; i++ {
+		if i%5 == 4 {
+			tags = append(tags, ctag(fmt.Sprintf("missing%d", i)))
+			wantBlob = append(wantBlob, nil)
+			continue
+		}
+		tags = append(tags, items[next].Tag)
+		wantBlob = append(wantBlob, items[next].Sealed.Blob)
+		next++
+	}
+	grs, err := env.client.GetBatch(tags)
+	if err != nil {
+		t.Fatalf("GetBatch: %v", err)
+	}
+	if len(grs) != len(tags) {
+		t.Fatalf("GetBatch returned %d results, want %d", len(grs), len(tags))
+	}
+	for i, gr := range grs {
+		want := wantBlob[i]
+		if gr.Found != (want != nil) {
+			t.Errorf("result %d: found=%v, want %v", i, gr.Found, want != nil)
+			continue
+		}
+		if want != nil && !bytes.Equal(gr.Sealed.Blob, want) {
+			t.Errorf("result %d: blob %q, want %q", i, gr.Sealed.Blob, want)
+		}
+	}
+}
+
+func TestClusterFailoverGet(t *testing.T) {
+	env := newTestCluster(t, 3, Config{
+		Replicas:      2,
+		FailThreshold: 1,
+		ProbeInterval: time.Hour, // keep probes out of the way
+	})
+	tag, sealed := ctag("failover"), csealed("failover")
+	if err := env.client.Put(tag, sealed, false); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	primary := env.client.ring.owners(tag, 1)[0]
+	env.nodes[primary].kill(t)
+
+	got, found, err := env.client.Get(tag)
+	if err != nil || !found {
+		t.Fatalf("Get after primary death = (found=%v, %v), want replica hit", found, err)
+	}
+	if !bytes.Equal(got.Blob, sealed.Blob) {
+		t.Errorf("failover Get blob = %q, want %q", got.Blob, sealed.Blob)
+	}
+	if env.client.Failovers() == 0 {
+		t.Error("failover not counted")
+	}
+	if env.client.NodeUp(primary) {
+		t.Error("dead primary still marked up after FailThreshold failures")
+	}
+	// With the primary marked down, further reads route straight to the
+	// replica.
+	if _, found, err := env.client.Get(tag); err != nil || !found {
+		t.Fatalf("steady-state Get after failover = (found=%v, %v)", found, err)
+	}
+}
+
+func TestClusterReadRepair(t *testing.T) {
+	env := newTestCluster(t, 2, Config{
+		Replicas:      1,
+		FailThreshold: 1000, // primary stays nominally up through the outage
+		ProbeInterval: time.Hour,
+		Remote: dedup.RemoteConfig{
+			DialTimeout:     300 * time.Millisecond,
+			RequestTimeout:  time.Second,
+			MaxRetries:      20,
+			RetryBackoff:    10 * time.Millisecond,
+			RetryMaxBackoff: 50 * time.Millisecond,
+		},
+	})
+	tag, sealed := ctag("repairme"), csealed("repairme")
+	primary := env.client.ring.owners(tag, 1)[0]
+	other := 1 - primary
+
+	// The result lives only on the non-primary (e.g. it was written
+	// there while the primary was down).
+	if _, err := env.nodes[other].st.Put(env.app.Measurement(), tag, sealed); err != nil {
+		t.Fatalf("direct put: %v", err)
+	}
+	env.nodes[primary].kill(t)
+
+	_, found, err := env.client.Get(tag)
+	if err != nil || !found {
+		t.Fatalf("Get = (found=%v, %v), want failover hit", found, err)
+	}
+
+	// The repair is queued (the primary is still nominally up) and its
+	// PutBatch retries with backoff; bring the primary back so it lands.
+	env.nodes[primary].restart(t)
+	env.client.repairWG.Wait()
+	if !env.hasTag(primary, tag) {
+		t.Error("read repair did not copy the result back to the primary")
+	}
+	if env.client.ReadRepairs() == 0 {
+		t.Error("read repair not counted")
+	}
+}
+
+func TestClusterPing(t *testing.T) {
+	env := newTestCluster(t, 3, Config{ProbeInterval: time.Hour})
+	if err := env.client.Ping(); err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+	for _, n := range env.nodes {
+		n.kill(t)
+	}
+	if err := env.client.Ping(); err == nil {
+		t.Fatal("Ping succeeded with every member dead")
+	}
+}
+
+func TestClusterV1Protocol(t *testing.T) {
+	env := newTestCluster(t, 3, Config{
+		Replicas: 2,
+		Remote: dedup.RemoteConfig{
+			MaxProtocol:    wire.ProtocolV1,
+			DialTimeout:    300 * time.Millisecond,
+			RequestTimeout: time.Second,
+			MaxRetries:     -1,
+		},
+	})
+	tag, sealed := ctag("v1"), csealed("v1")
+	if err := env.client.Put(tag, sealed, false); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, found, err := env.client.Get(tag)
+	if err != nil || !found || !bytes.Equal(got.Blob, sealed.Blob) {
+		t.Fatalf("Get = (%q, found=%v, %v)", got.Blob, found, err)
+	}
+	if err := env.client.Ping(); err != nil {
+		t.Fatalf("Ping over v1: %v", err)
+	}
+	items := []wire.PutItem{
+		{Tag: ctag("v1a"), Sealed: csealed("v1a")},
+		{Tag: ctag("v1b"), Sealed: csealed("v1b")},
+	}
+	if _, err := env.client.PutBatch(items); err != nil {
+		t.Fatalf("PutBatch over v1: %v", err)
+	}
+	grs, err := env.client.GetBatch([]mle.Tag{items[0].Tag, ctag("v1-missing"), items[1].Tag})
+	if err != nil {
+		t.Fatalf("GetBatch over v1: %v", err)
+	}
+	if !grs[0].Found || grs[1].Found || !grs[2].Found {
+		t.Errorf("GetBatch found flags = [%v %v %v], want [true false true]",
+			grs[0].Found, grs[1].Found, grs[2].Found)
+	}
+}
+
+// TestClusterRuntimeFaultInjection is the headline guarantee: a
+// Runtime doing batched Executes over a 3-node ring keeps succeeding —
+// zero failed calls — while one member is killed mid-run, and the hit
+// rate recovers once the router fails over to the replicas.
+func TestClusterRuntimeFaultInjection(t *testing.T) {
+	env := newTestCluster(t, 3, Config{
+		Replicas:      2,
+		FailThreshold: 2,
+		ProbeInterval: 25 * time.Millisecond,
+	})
+	rt, err := dedup.NewRuntime(dedup.Config{
+		Enclave: env.app,
+		Client:  env.client,
+		Logf:    func(string, ...any) {},
+	})
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	defer rt.Close()
+	rt.Registry().RegisterLibrary("clusterlib", "1.0", []byte("cluster lib"))
+	id, err := rt.Resolve(dedup.FuncDesc{Library: "clusterlib", Version: "1.0", Signature: "f(x)"})
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	compute := func(in []byte) ([]byte, error) {
+		out := make([]byte, len(in))
+		for i, b := range in {
+			out[i] = b ^ 0x5A
+		}
+		return out, nil
+	}
+	inputs := make([][]byte, 32)
+	for i := range inputs {
+		inputs[i] = []byte(fmt.Sprintf("cluster-input-%d", i))
+	}
+	pass := func() {
+		t.Helper()
+		results, err := rt.ExecuteBatch(id, inputs, compute)
+		if err != nil {
+			t.Fatalf("ExecuteBatch: %v", err)
+		}
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("item %d failed: %v", i, r.Err)
+			}
+		}
+	}
+
+	pass() // warm the ring
+	before := rt.Stats()
+	pass()
+	warm := rt.Stats()
+	if reused := warm.Reused - before.Reused; reused != int64(len(inputs)) {
+		t.Fatalf("pre-kill pass reused %d/%d", reused, len(inputs))
+	}
+
+	env.nodes[0].kill(t)
+	for i := 0; i < 5; i++ {
+		pass() // mid-outage passes: zero failures required
+	}
+	mid := rt.Stats()
+	pass()
+	after := rt.Stats()
+	if reused := after.Reused - mid.Reused; reused < int64(len(inputs)*9/10) {
+		t.Errorf("post-kill hit rate did not recover: reused %d/%d", reused, len(inputs))
+	}
+}

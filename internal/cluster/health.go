@@ -1,0 +1,80 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// noteFailure records a transport failure against the member; after
+// FailThreshold consecutive failures the member is marked down and the
+// router stops preferring it until a probe or request succeeds.
+func (c *Client) noteFailure(n *node, err error) {
+	fails := n.fails.Add(1)
+	if fails >= int64(c.cfg.FailThreshold) && n.up.CompareAndSwap(true, false) {
+		c.logf("cluster: member %s marked down after %d consecutive failures: %v",
+			n.addr, fails, err)
+	}
+}
+
+// noteSuccess resets the member's failure streak and restores it to the
+// routing tables if it was down.
+func (c *Client) noteSuccess(n *node) {
+	n.fails.Store(0)
+	if n.up.CompareAndSwap(false, true) {
+		c.logf("cluster: member %s marked up", n.addr)
+	}
+}
+
+// noteFailover counts requests re-routed away from the member after a
+// transport failure.
+func (c *Client) noteFailover(n *node, requests int) {
+	c.failovers.Add(int64(requests))
+	n.failoversC.Add(int64(requests))
+}
+
+// NodesUp reports how many members are currently routable.
+func (c *Client) NodesUp() int {
+	up := 0
+	for _, n := range c.nodes {
+		if n.up.Load() {
+			up++
+		}
+	}
+	return up
+}
+
+// NodeUp reports whether the member at the given index of Config.Nodes
+// is currently routable.
+func (c *Client) NodeUp(i int) bool { return c.nodes[i].up.Load() }
+
+// probeLoop pings every member each ProbeInterval. Probes are the only
+// path that brings a down member back: request routing skips down
+// members, so without probes a recovered member would stay out of
+// rotation. Probes run concurrently so one hung member cannot delay the
+// health verdict on the rest.
+func (c *Client) probeLoop() {
+	defer close(c.probeD)
+	ticker := time.NewTicker(c.cfg.ProbeInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+		}
+		var wg sync.WaitGroup
+		for _, n := range c.nodes {
+			n := n
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := n.client.Ping(); err != nil {
+					c.noteFailure(n, err)
+					return
+				}
+				c.noteSuccess(n)
+			}()
+		}
+		wg.Wait()
+	}
+}

@@ -1,0 +1,84 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"speed/internal/telemetry"
+)
+
+// TestClusterTelemetry exercises the per-node series end to end: node
+// gauges, routed-op counters, failovers, read repairs and sync copies
+// all land in the Prometheus rendering with node labels.
+func TestClusterTelemetry(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	env := newTestCluster(t, 3, Config{
+		Replicas:      2,
+		FailThreshold: 1,
+		ProbeInterval: time.Hour,
+		Telemetry:     reg,
+	})
+	s := NewSyncer(env.client, SyncConfig{MinHits: 2, Telemetry: reg, Logf: t.Logf})
+
+	tag := ctag("telemetry")
+	if err := env.client.Put(tag, csealed("telemetry"), false); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if _, _, err := env.client.Get(tag); err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	// Heat an entry on a donor and sync it so sync_copies moves.
+	donor := -1
+	var hotTag = tag
+	for i := 0; donor < 0; i++ {
+		hotTag = ctag(fmt.Sprintf("telemetry-hot-%d", i))
+		owners := env.client.ring.owners(hotTag, 2)
+		for ni := range env.nodes {
+			if ni != owners[0] && ni != owners[1] {
+				donor = ni
+			}
+		}
+	}
+	if _, err := env.nodes[donor].st.Put(env.app.Measurement(), hotTag, csealed("hot")); err != nil {
+		t.Fatalf("donor put: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		env.nodes[donor].st.Get(hotTag)
+	}
+	if _, err := s.SyncOnce(); err != nil {
+		t.Fatalf("SyncOnce: %v", err)
+	}
+	// Kill the tag's primary and fail over once so failover and
+	// read-repair series move and the node gauge drops.
+	primary := env.client.ring.owners(tag, 1)[0]
+	env.nodes[primary].kill(t)
+	if _, found, err := env.client.Get(tag); err != nil || !found {
+		t.Fatalf("failover Get = (found=%v, %v)", found, err)
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := b.String()
+	downAddr := env.client.nodes[primary].addr
+	for _, want := range []string{
+		fmt.Sprintf(`speed_cluster_node_up{node=%q} 0`, downAddr),
+		`speed_cluster_routed_total{node=`,
+		`op="get"`,
+		`op="put"`,
+		fmt.Sprintf(`speed_cluster_failovers_total{node=%q}`, downAddr),
+		`speed_cluster_read_repairs_total`,
+		`speed_cluster_sync_copies_total 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	// Exactly one node_up series per member.
+	if got := strings.Count(out, "speed_cluster_node_up{"); got != len(env.nodes) {
+		t.Errorf("node_up series count = %d, want %d", got, len(env.nodes))
+	}
+}

@@ -241,6 +241,7 @@ func (downClient) Get(mle.Tag) (mle.Sealed, bool, error) {
 	return mle.Sealed{}, false, errors.New("store down")
 }
 func (downClient) Put(mle.Tag, mle.Sealed, bool) error { return errors.New("store down") }
+func (downClient) Ping() error                         { return errors.New("store down") }
 func (downClient) Close() error                        { return nil }
 
 func TestExecuteBatchDegradesWhenStoreDown(t *testing.T) {

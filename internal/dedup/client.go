@@ -30,6 +30,11 @@ type StoreClient interface {
 	// existing entry is overwritten (used after the stored entry
 	// failed verification at this application).
 	Put(tag mle.Tag, sealed mle.Sealed, replace bool) error
+	// Ping checks that the store is reachable and serving, without
+	// performing (or fabricating) any dictionary operation: health
+	// probes must not pollute the store's GET/hit statistics. A nil
+	// return means a full request round trip succeeded.
+	Ping() error
 	// Close releases the client's resources.
 	Close() error
 }
@@ -122,6 +127,15 @@ func (c *LocalClient) PutBatch(items []wire.PutItem) ([]wire.PutResult, error) {
 		}
 	}
 	return results, nil
+}
+
+// Ping implements StoreClient: the in-process store is "reachable"
+// exactly while it is open. No dictionary operation is performed.
+func (c *LocalClient) Ping() error {
+	if c.store.Closed() {
+		return store.ErrClosed
+	}
+	return nil
 }
 
 // Close implements StoreClient; the local client does not own the
@@ -433,6 +447,15 @@ func (c *RemoteClient) roundTrip(req wire.Message) (wire.Message, error) {
 // channel (its cipher counters can no longer match the peer's), so the
 // connection is dropped and the next attempt re-handshakes.
 func (c *RemoteClient) tryOnce(req wire.Message) (wire.Message, error) {
+	return c.tryRequest(req, false)
+}
+
+// tryRequest is tryOnce with an escape hatch: with direct true the
+// message is sent verbatim on a v1 channel instead of going through the
+// batch unrolling of serialRequest. Ping depends on this — a zero-item
+// batch GET unrolls into zero round trips, which would "probe" the
+// store without touching the wire at all.
+func (c *RemoteClient) tryRequest(req wire.Message, direct bool) (wire.Message, error) {
 	ch, mux, err := c.connect()
 	if err != nil {
 		return nil, err
@@ -461,7 +484,12 @@ func (c *RemoteClient) tryOnce(req wire.Message) (wire.Message, error) {
 
 	c.serialMu.Lock()
 	defer c.serialMu.Unlock()
-	msg, err := c.serialRequest(ch, req)
+	var msg wire.Message
+	if direct {
+		msg, err = c.serialRoundTrip(ch, req)
+	} else {
+		msg, err = c.serialRequest(ch, req)
+	}
 	if err != nil {
 		c.dropConn(ch)
 		if c.isClosed() {
@@ -661,6 +689,51 @@ func (c *RemoteClient) PutBatch(items []wire.PutItem) ([]wire.PutResult, error) 
 		results = append(results, resp.Results...)
 	}
 	return results, nil
+}
+
+// Ping implements StoreClient: one liveness round trip that performs no
+// dictionary operation. On a v2 connection it is a zero-item batch GET
+// through the mux; on v1 the same empty frame is sent serially. Either
+// way the full path — (re)dial, attested handshake, framing, store
+// dispatch — is exercised, but the store executes zero GETs, so health
+// probes never fabricate traffic or skew hit-rate statistics. Ping is a
+// single attempt without the retry schedule: a probe should report the
+// store's state now, and probers repeat on their own cadence.
+func (c *RemoteClient) Ping() error {
+	msg, err := c.tryRequest(wire.BatchGetRequest{}, true)
+	if err != nil {
+		return fmt.Errorf("dedup: ping: %w", err)
+	}
+	resp, ok := msg.(wire.BatchGetResponse)
+	if !ok {
+		return fmt.Errorf("dedup: ping: unexpected reply %v", msg.Kind())
+	}
+	if len(resp.Results) != 0 {
+		return fmt.Errorf("dedup: ping: %d results for an empty probe", len(resp.Results))
+	}
+	return nil
+}
+
+// SyncPull fetches up to max of the store's entries with at least
+// minHits hits, most frequently hit first (the wire-level half of
+// cluster.Syncer). max values outside (0, wire.MaxBatchItems] are
+// clamped to wire.MaxBatchItems by the store. The store must understand
+// the sync protocol; against an older store the request kills the
+// session and surfaces a transport error.
+func (c *RemoteClient) SyncPull(minHits int64, max int) ([]wire.SyncEntry, error) {
+	req := wire.SyncPullRequest{MinHits: minHits}
+	if max > 0 {
+		req.Max = uint32(max)
+	}
+	msg, err := c.roundTrip(req)
+	if err != nil {
+		return nil, fmt.Errorf("dedup: sync pull: %w", err)
+	}
+	resp, ok := msg.(wire.SyncPullResponse)
+	if !ok {
+		return nil, fmt.Errorf("dedup: sync pull: unexpected reply %v", msg.Kind())
+	}
+	return resp.Entries, nil
 }
 
 // Close implements StoreClient. It is idempotent and safe to call

@@ -305,8 +305,10 @@ func (rt *Runtime) noteStoreSuccess() {
 	rt.breakerMu.Unlock()
 }
 
-// probeLoop periodically issues a cheap GET until the store answers
-// again, then closes the breaker so deduplication resumes.
+// probeLoop periodically pings the store until it answers again, then
+// closes the breaker so deduplication resumes. Ping performs a full
+// request round trip without any dictionary operation, so a degraded
+// runtime probing every ProbeInterval never fabricates GET traffic.
 func (rt *Runtime) probeLoop() {
 	defer rt.probeWG.Done()
 	ticker := time.NewTicker(rt.cfg.ProbeInterval)
@@ -316,7 +318,7 @@ func (rt *Runtime) probeLoop() {
 		case <-rt.stop:
 			return
 		case <-ticker.C:
-			if _, _, err := rt.cfg.Client.Get(mle.Tag{}); err == nil {
+			if err := rt.cfg.Client.Ping(); err == nil {
 				rt.breakerMu.Lock()
 				rt.brkOpen = false
 				rt.consecFails = 0

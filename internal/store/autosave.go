@@ -1,0 +1,114 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// Autosaver periodically seals a snapshot of the store to a file, so a
+// crash (power loss, SIGKILL) costs at most one interval of dictionary
+// growth instead of the whole warm cache. Writes go through a temp file
+// and an atomic rename: a crash mid-write leaves the previous snapshot
+// intact, never a torn file.
+type Autosaver struct {
+	store    *Store
+	path     string
+	interval time.Duration
+	logf     func(format string, args ...any)
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+
+	mu      sync.Mutex
+	started bool
+	saves   int64
+}
+
+// NewAutosaver creates an autosaver that seals st to path every
+// interval. logf may be nil to discard diagnostics.
+func NewAutosaver(st *Store, path string, interval time.Duration, logf func(format string, args ...any)) *Autosaver {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Autosaver{
+		store:    st,
+		path:     path,
+		interval: interval,
+		logf:     logf,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// SaveOnce seals one snapshot and atomically replaces the target file.
+func (a *Autosaver) SaveOnce() error {
+	snap, err := a.store.SealSnapshot()
+	if err != nil {
+		return fmt.Errorf("autosave: seal: %w", err)
+	}
+	tmp := a.path + ".tmp"
+	if err := os.WriteFile(tmp, snap, 0o600); err != nil {
+		return fmt.Errorf("autosave: write: %w", err)
+	}
+	if err := os.Rename(tmp, a.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("autosave: rename: %w", err)
+	}
+	a.mu.Lock()
+	a.saves++
+	a.mu.Unlock()
+	return nil
+}
+
+// Saves reports how many snapshots have been written.
+func (a *Autosaver) Saves() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.saves
+}
+
+// Start launches periodic saving; calling it more than once is a
+// no-op. Stop shuts it down.
+func (a *Autosaver) Start() {
+	a.mu.Lock()
+	if a.started {
+		a.mu.Unlock()
+		return
+	}
+	a.started = true
+	a.mu.Unlock()
+	go func() {
+		defer close(a.done)
+		ticker := time.NewTicker(a.interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-a.stop:
+				return
+			case <-ticker.C:
+				if err := a.SaveOnce(); err != nil {
+					// A save racing shutdown is expected; anything else
+					// is worth a diagnostic, and the next tick retries.
+					a.logf("store: %v", err)
+				}
+			}
+		}
+	}()
+}
+
+// Stop terminates periodic saving and, if Start was called, waits for
+// the worker to exit. Safe to call multiple times. It does not write a
+// final snapshot — shutdown paths that want one call SaveOnce (or
+// SealSnapshot) themselves.
+func (a *Autosaver) Stop() {
+	a.once.Do(func() { close(a.stop) })
+	a.mu.Lock()
+	started := a.started
+	a.mu.Unlock()
+	if started {
+		<-a.done
+	}
+}

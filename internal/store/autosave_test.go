@@ -1,0 +1,141 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"speed/internal/enclave"
+)
+
+// TestAutosaveCrashRestart is the crash/restart round trip: the store
+// is populated, autosaved, and then abandoned without any shutdown
+// snapshot (the SIGKILL case). A fresh store on the same machine and
+// store code restores the autosave file and serves the warm dictionary.
+func TestAutosaveCrashRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.snap")
+
+	p := enclave.NewPlatform(enclave.Config{PlatformSeed: []byte("machine-A")})
+	enc, err := p.Create("store-1", []byte("store code v1"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	s1, err := New(Config{Enclave: enc})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	owner := ownerOf("app")
+	for _, k := range []string{"a", "b", "c"} {
+		if _, err := s1.Put(owner, tagOf(k), sealedOf("blob-"+k)); err != nil {
+			t.Fatalf("Put(%s): %v", k, err)
+		}
+	}
+
+	saver := NewAutosaver(s1, path, 5*time.Millisecond, t.Logf)
+	saver.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for saver.Saves() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("autosaver never saved")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A write after the last periodic save may or may not survive the
+	// crash; force one more save so the test is deterministic about
+	// what the file contains.
+	if _, err := s1.Put(owner, tagOf("d"), sealedOf("blob-d")); err != nil {
+		t.Fatalf("Put(d): %v", err)
+	}
+	saver.Stop()
+	if err := saver.SaveOnce(); err != nil {
+		t.Fatalf("SaveOnce: %v", err)
+	}
+
+	// Crash: simulate SIGKILL mid-write of the NEXT save — a torn temp
+	// file exists, the store is never closed, no shutdown snapshot runs.
+	if err := os.WriteFile(path+".tmp", []byte("torn partial write"), 0o600); err != nil {
+		t.Fatalf("write torn tmp: %v", err)
+	}
+
+	// Restart: same machine (same platform seed), same store code.
+	p2 := enclave.NewPlatform(enclave.Config{PlatformSeed: []byte("machine-A")})
+	enc2, err := p2.Create("store-1", []byte("store code v1"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	s2, err := New(Config{Enclave: enc2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	snap, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read autosave: %v", err)
+	}
+	n, err := s2.RestoreSnapshot(snap)
+	if err != nil {
+		t.Fatalf("RestoreSnapshot: %v", err)
+	}
+	if n != 4 {
+		t.Errorf("restored %d entries, want 4", n)
+	}
+	for _, k := range []string{"a", "b", "c", "d"} {
+		got, found, err := s2.Get(tagOf(k))
+		if err != nil || !found {
+			t.Fatalf("restored Get(%s) = (%v, %v)", k, found, err)
+		}
+		if string(got.Blob) != "blob-"+k {
+			t.Errorf("restored blob(%s) = %q", k, got.Blob)
+		}
+	}
+}
+
+// TestAutosaveAtomicReplace checks that repeated saves replace the file
+// atomically: each save yields a complete, restorable snapshot and no
+// stale temp file is left behind.
+func TestAutosaveAtomicReplace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "store.snap")
+	p := enclave.NewPlatform(enclave.Config{PlatformSeed: []byte("machine-B")})
+	enc, err := p.Create("store-1", []byte("store code v1"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	st, err := New(Config{Enclave: enc})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	saver := NewAutosaver(st, path, time.Hour, nil)
+	owner := ownerOf("app")
+	for i, k := range []string{"x", "y", "z"} {
+		if _, err := st.Put(owner, tagOf(k), sealedOf("blob-"+k)); err != nil {
+			t.Fatalf("Put(%s): %v", k, err)
+		}
+		if err := saver.SaveOnce(); err != nil {
+			t.Fatalf("SaveOnce #%d: %v", i+1, err)
+		}
+		if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+			t.Errorf("save #%d left a temp file behind", i+1)
+		}
+	}
+	if saver.Saves() != 3 {
+		t.Errorf("Saves() = %d, want 3", saver.Saves())
+	}
+
+	p2 := enclave.NewPlatform(enclave.Config{PlatformSeed: []byte("machine-B")})
+	enc2, err := p2.Create("store-1", []byte("store code v1"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	s2, err := New(Config{Enclave: enc2})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	snap, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read autosave: %v", err)
+	}
+	if n, err := s2.RestoreSnapshot(snap); err != nil || n != 3 {
+		t.Fatalf("RestoreSnapshot = (%d, %v), want (3, nil)", n, err)
+	}
+}

@@ -13,6 +13,14 @@ import (
 // synchronization never creates redundancy at the master: the first
 // ciphertext version stored for a tag is kept, and it remains
 // decryptable by any application that performs the same computation.
+//
+// Deprecated: Replicator synchronizes between *Store instances living
+// in the same process, which only models the multi-machine deployment.
+// New code should use cluster.Syncer (internal/cluster), which performs
+// the same popular-result synchronization over the attested wire
+// protocol (SYNC_PULL) against real resultstore servers and places the
+// results on their consistent-hash ring owners. Replicator is kept for
+// single-process embeddings and existing benchmarks.
 type Replicator struct {
 	master   *Store
 	replicas []*Store

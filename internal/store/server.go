@@ -517,6 +517,20 @@ func (s *Server) Dispatch(owner enclave.Measurement, msg wire.Message) (wire.Mes
 			}
 		}
 		return resp, nil
+	case wire.SyncPullRequest:
+		max := int(m.Max)
+		if max <= 0 || max > wire.MaxBatchItems {
+			max = wire.MaxBatchItems
+		}
+		entries, err := s.store.ExportHotAs(owner, m.MinHits, max)
+		if err != nil {
+			return nil, fmt.Errorf("sync pull: %w", err)
+		}
+		resp := wire.SyncPullResponse{Entries: make([]wire.SyncEntry, len(entries))}
+		for i, e := range entries {
+			resp.Entries[i] = wire.SyncEntry{Tag: e.Tag, Hits: e.Hits, Sealed: e.Sealed}
+		}
+		return resp, nil
 	default:
 		return nil, fmt.Errorf("store: unexpected message %v", msg.Kind())
 	}

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -669,6 +670,11 @@ func (s *Store) Close() {
 	s.closed.Store(true)
 }
 
+// Closed reports whether Close has been called.
+func (s *Store) Closed() bool {
+	return s.closed.Load()
+}
+
 // ExportEntry is a replication record: everything needed to install the
 // result at another store.
 type ExportEntry struct {
@@ -676,6 +682,38 @@ type ExportEntry struct {
 	Sealed mle.Sealed
 	Hits   int64
 	Owner  enclave.Measurement
+}
+
+// ExportHotAs returns up to max entries with at least minHits hits,
+// most frequently hit first, on behalf of the attested application app.
+// It backs the wire-level SYNC_PULL request (cluster.Syncer): a remote
+// puller gets the store's popular results without walking the whole
+// dictionary, and — when controlled deduplication is configured — only
+// the entries it is authorized to read. max values outside (0,
+// wire.MaxBatchItems] are clamped by the server; a non-positive max
+// here means unlimited.
+func (s *Store) ExportHotAs(app enclave.Measurement, minHits int64, max int) ([]ExportEntry, error) {
+	entries, err := s.Export(minHits)
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg.Auth != nil {
+		authorized := entries[:0]
+		for _, e := range entries {
+			if aerr := s.cfg.Auth.Authorize(app, e.Tag, PermGet); aerr != nil {
+				continue // deny without information, as for GET
+			}
+			authorized = append(authorized, e)
+		}
+		entries = authorized
+	}
+	sort.SliceStable(entries, func(i, j int) bool {
+		return entries[i].Hits > entries[j].Hits
+	})
+	if max > 0 && len(entries) > max {
+		entries = entries[:max]
+	}
+	return entries, nil
 }
 
 // Export returns entries with at least minHits hits, used by the

@@ -18,7 +18,9 @@ type Kind uint8
 
 // Message kinds. GET checks for and fetches a stored result by tag;
 // PUT uploads a freshly computed, encrypted result. The batch kinds
-// (protocol v2) carry many GETs or PUTs in one round trip.
+// (protocol v2) carry many GETs or PUTs in one round trip, and the sync
+// kinds let a cluster syncer pull a store's popular entries for
+// re-placement on other stores (Section IV-B master synchronization).
 const (
 	KindGetRequest Kind = iota + 1
 	KindGetResponse
@@ -28,6 +30,8 @@ const (
 	KindBatchGetResponse
 	KindBatchPutRequest
 	KindBatchPutResponse
+	KindSyncPullRequest
+	KindSyncPullResponse
 )
 
 // String implements fmt.Stringer for diagnostics.
@@ -49,6 +53,10 @@ func (k Kind) String() string {
 		return "BATCH_PUT_REQUEST"
 	case KindBatchPutResponse:
 		return "BATCH_PUT_RESPONSE"
+	case KindSyncPullRequest:
+		return "SYNC_PULL_REQUEST"
+	case KindSyncPullResponse:
+		return "SYNC_PULL_RESPONSE"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -137,6 +145,10 @@ func Unmarshal(b []byte) (Message, error) {
 		return decodeBatchPutRequest(body)
 	case KindBatchPutResponse:
 		return decodeBatchPutResponse(body)
+	case KindSyncPullRequest:
+		return decodeSyncPullRequest(body)
+	case KindSyncPullResponse:
+		return decodeSyncPullResponse(body)
 	default:
 		return nil, fmt.Errorf("%w: unknown kind %d", ErrMalformed, kind)
 	}

@@ -1,0 +1,75 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+
+	"speed/internal/mle"
+)
+
+func TestSyncMessageRoundTrips(t *testing.T) {
+	sealed := mle.Sealed{
+		Challenge:  []byte("rrrrrrrrrrrrrrrr"),
+		WrappedKey: []byte("kkkkkkkkkkkkkkkk"),
+		Blob:       []byte("ciphertext blob bytes"),
+	}
+	msgs := []Message{
+		SyncPullRequest{},
+		SyncPullRequest{MinHits: 7, Max: 512},
+		SyncPullRequest{MinHits: -3},
+		SyncPullResponse{},
+		SyncPullResponse{Entries: []SyncEntry{
+			{Tag: mustTag(0x11), Hits: 42, Sealed: sealed},
+			{Tag: mustTag(0x22), Hits: 1, Sealed: mle.Sealed{}},
+		}},
+	}
+	for _, m := range msgs {
+		got, err := Unmarshal(Marshal(m))
+		if err != nil {
+			t.Errorf("%v: Unmarshal: %v", m.Kind(), err)
+			continue
+		}
+		if !reflect.DeepEqual(got, m) && !syncEquivalent(got, m) {
+			t.Errorf("%v: round trip = %#v, want %#v", m.Kind(), got, m)
+		}
+	}
+}
+
+// syncEquivalent treats nil and empty entry slices (and nil/empty
+// sealed fields) as equal.
+func syncEquivalent(a, b Message) bool {
+	am, ok := a.(SyncPullResponse)
+	if !ok {
+		return false
+	}
+	bm, ok := b.(SyncPullResponse)
+	if !ok || len(am.Entries) != len(bm.Entries) {
+		return false
+	}
+	for i := range am.Entries {
+		x, y := am.Entries[i], bm.Entries[i]
+		if x.Tag != y.Tag || x.Hits != y.Hits {
+			return false
+		}
+		if string(x.Sealed.Challenge) != string(y.Sealed.Challenge) ||
+			string(x.Sealed.WrappedKey) != string(y.Sealed.WrappedKey) ||
+			string(x.Sealed.Blob) != string(y.Sealed.Blob) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSyncMessageMalformed(t *testing.T) {
+	cases := map[string][]byte{
+		"request truncated":  Marshal(SyncPullRequest{MinHits: 1})[:8],
+		"request trailing":   append(Marshal(SyncPullRequest{}), 0),
+		"response truncated": Marshal(SyncPullResponse{Entries: []SyncEntry{{Tag: mustTag(0x01), Hits: 2}}})[:20],
+		"response trailing":  append(Marshal(SyncPullResponse{}), 0xFF),
+	}
+	for name, raw := range cases {
+		if _, err := Unmarshal(raw); err == nil {
+			t.Errorf("%s: Unmarshal accepted malformed payload", name)
+		}
+	}
+}
