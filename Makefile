@@ -6,7 +6,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check build fmt vet lint test race bench bench-quick bench-overhead fuzz
+.PHONY: check build fmt vet lint test race bench bench-quick bench-overhead bench-hot bench-baseline bench-regress fuzz
 
 check: vet lint race
 
@@ -49,6 +49,32 @@ bench:
 # within 5% of BenchmarkExecuteHit (deployment-default SGX costs).
 bench-overhead:
 	$(GO) test -run xxx -bench 'BenchmarkExecuteHit' -benchtime 1s ./internal/dedup/
+
+# Hot-path micro-benchmarks: the allocation-free wire/crypto fast path
+# (Channel round trip, marshal, frame read, mle seal/open). -count 6
+# gives the regression gate a run-to-run spread for its significance
+# test.
+BENCH_HOT_PKGS := ./internal/wire ./internal/mle
+BENCH_HOT_PATTERN := 'BenchmarkHot|BenchmarkChannelRoundTrip'
+BENCH_HOT_COUNT ?= 6
+
+bench-hot:
+	$(GO) test -run '^$$' -bench $(BENCH_HOT_PATTERN) -benchmem -count $(BENCH_HOT_COUNT) $(BENCH_HOT_PKGS)
+
+# Record a new hot-path baseline (bench/baseline.txt is checked in).
+# Run on a quiet machine; commit the result together with the change
+# that moved the numbers.
+bench-baseline:
+	$(GO) test -run '^$$' -bench $(BENCH_HOT_PATTERN) -benchmem -count $(BENCH_HOT_COUNT) $(BENCH_HOT_PKGS) | tee bench/baseline.txt
+
+# Regression gate: rerun the hot-path benchmarks and compare against
+# the checked-in baseline with cmd/benchgate (benchstat-style, no
+# dependencies). allocs/op is held near-exactly; ns/op tolerates +30%
+# by default (SPEED_BENCH_TIME_THRESHOLD to override) so cross-machine
+# baselines don't flake.
+bench-regress:
+	$(GO) test -run '^$$' -bench $(BENCH_HOT_PATTERN) -benchmem -count $(BENCH_HOT_COUNT) $(BENCH_HOT_PKGS) | tee /tmp/speed-bench-new.txt
+	$(GO) run ./cmd/benchgate -baseline bench/baseline.txt -new /tmp/speed-bench-new.txt
 
 # Short fuzz pass over the wire codecs. Go runs one fuzz target per
 # invocation, so each target gets its own run.

@@ -68,6 +68,10 @@ func (m *chanMux) readLoop() {
 			m.fail(fmt.Errorf("dedup: mux: %w", err))
 			return
 		}
+		// The decoded message aliases the channel's receive scratch,
+		// which the next Recv reuses — copy before it crosses to the
+		// waiting goroutine.
+		msg = wire.OwnMessage(msg)
 		m.mu.Lock()
 		w, ok := m.pending[id]
 		if ok {
@@ -121,7 +125,7 @@ func (m *chanMux) roundTrip(req wire.Message, timeout time.Duration) (wire.Messa
 	m.pending[id] = w
 	m.mu.Unlock()
 
-	if err := m.ch.Send(wire.MarshalEnvelope(id, req)); err != nil {
+	if err := m.ch.SendEnvelope(id, req); err != nil {
 		m.fail(err)
 		return nil, err
 	}

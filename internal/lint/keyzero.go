@@ -40,7 +40,7 @@ var KeyZeroAnalyzer = &Analyzer{
 // material.
 var keyProducers = map[string]bool{
 	"KeyGen": true, "KeyRec": true, "GenerateKey": true,
-	"secondaryKey": true, "hkdf": true, "ECDH": true,
+	"secondaryKey": true, "hkdf": true, "hkdfKey": true, "ECDH": true,
 	"deriveKey": true, "DeriveKey": true,
 }
 
@@ -80,6 +80,17 @@ func checkKeyZeroize(pass *Pass, fd *ast.FuncDecl) {
 		}
 		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
 		if !ok {
+			// key := producer(...)[:16] — a reslice of a producer's
+			// result is reported outright: a later Zeroize(key) clears
+			// only the truncated window, leaving the rest of the
+			// derived block live in the unreachable backing array.
+			if sl, ok := ast.Unparen(assign.Rhs[0]).(*ast.SliceExpr); ok {
+				if call, ok := ast.Unparen(sl.X).(*ast.CallExpr); ok {
+					if _, callee := calleeParts(call); keyProducers[callee] {
+						pass.Reportf(sl.Pos(), "truncated slice of key material from %s: Zeroize on the short slice cannot clear the remaining derived bytes; derive into a full-size buffer and zeroize all of it", callee)
+					}
+				}
+			}
 			return true
 		}
 		_, callee := calleeParts(call)

@@ -58,6 +58,15 @@ func wrappedOK() byte {
 	return wrappedKey[0]
 }
 
+// truncated slices a producer's result: even with a dutiful Zeroize,
+// the bytes beyond the window stay live, so the pattern itself is the
+// finding.
+func truncated() byte {
+	key := deriveKey("x")[:8] // want `truncated slice of key material from deriveKey`
+	defer Zeroize(key)
+	return key[0]
+}
+
 func logsKey(secretKey []byte) error {
 	return fmt.Errorf("derivation failed for %x", secretKey) // want `key material secretKey is passed to Errorf`
 }

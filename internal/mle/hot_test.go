@@ -1,0 +1,138 @@
+package mle
+
+import (
+	"bytes"
+	"testing"
+)
+
+// detRand is a deterministic randomness source for benchmarks.
+type detRand struct{ x byte }
+
+func (d *detRand) Read(p []byte) (int, error) {
+	for i := range p {
+		d.x = d.x*167 + 13
+		p[i] = d.x
+	}
+	return len(p), nil
+}
+
+func TestSealedClone(t *testing.T) {
+	s := Sealed{
+		Challenge:  []byte{1, 2, 3},
+		WrappedKey: []byte{4, 5},
+		Blob:       []byte{6, 7, 8, 9},
+	}
+	c := s.Clone()
+	if !bytes.Equal(c.Challenge, s.Challenge) || !bytes.Equal(c.WrappedKey, s.WrappedKey) || !bytes.Equal(c.Blob, s.Blob) {
+		t.Fatal("clone differs from original")
+	}
+	// Deep: mutating the original must not show through the clone.
+	s.Challenge[0], s.WrappedKey[0], s.Blob[0] = 0xFF, 0xFF, 0xFF
+	if c.Challenge[0] == 0xFF || c.WrappedKey[0] == 0xFF || c.Blob[0] == 0xFF {
+		t.Error("clone aliases the original's backing arrays")
+	}
+	// Nil fields stay nil (wire encodes nil and empty identically).
+	n := Sealed{}.Clone()
+	if n.Challenge != nil || n.WrappedKey != nil || n.Blob != nil {
+		t.Error("clone of zero Sealed grew non-nil fields")
+	}
+}
+
+// TestSealBlobExactSize pins the single-allocation seal layout: the
+// blob is exactly nonce || ciphertext || tag with no spare capacity
+// from an append-grow.
+func TestSealBlobExactSize(t *testing.T) {
+	key := make([]byte, KeySize)
+	result := bytes.Repeat([]byte{0xAA}, 1000)
+	blob, err := EncryptResult(key, result, &detRand{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := nonceSize + len(result) + 16 // GCM tag
+	if len(blob) != want {
+		t.Fatalf("blob length %d, want %d", len(blob), want)
+	}
+	if cap(blob) != want {
+		t.Errorf("blob capacity %d, want exactly %d (seal should size its output exactly)", cap(blob), want)
+	}
+	got, err := DecryptResult(key, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, result) {
+		t.Error("decrypt mismatch after exact-size seal")
+	}
+}
+
+// Hot-path benchmarks for the crypto ops on the dedup-hit path, fed to
+// the benchstat regression gate (make bench-regress). Sizes follow the
+// paper's Table I microbenchmark shape with a 4 KiB result.
+
+var benchTagSink Tag
+
+func BenchmarkHotComputeTag(b *testing.B) {
+	id := FuncID{1, 2, 3}
+	input := bytes.Repeat([]byte{0x5C}, 4096)
+	b.SetBytes(int64(len(input)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchTagSink = ComputeTag(id, input)
+	}
+}
+
+var benchBlobSink []byte
+
+func BenchmarkHotEncryptResult(b *testing.B) {
+	key := make([]byte, KeySize)
+	result := bytes.Repeat([]byte{0xE7}, 4096)
+	rnd := &detRand{}
+	b.SetBytes(int64(len(result)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blob, err := EncryptResult(key, result, rnd)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchBlobSink = blob
+	}
+}
+
+func BenchmarkHotDecryptResult(b *testing.B) {
+	key := make([]byte, KeySize)
+	result := bytes.Repeat([]byte{0xE7}, 4096)
+	blob, err := EncryptResult(key, result, &detRand{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(result)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got, err := DecryptResult(key, blob)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchBlobSink = got
+	}
+}
+
+func BenchmarkHotKeyRec(b *testing.B) {
+	id := FuncID{9}
+	input := bytes.Repeat([]byte{0x11}, 4096)
+	challenge, wrapped, key, err := KeyGen(id, input, &detRand{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	Zeroize(key)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k, err := KeyRec(id, input, challenge, wrapped)
+		if err != nil {
+			b.Fatal(err)
+		}
+		Zeroize(k)
+	}
+}

@@ -22,6 +22,7 @@
 package mle
 
 import (
+	"bytes"
 	"crypto/aes"
 	"crypto/cipher"
 	"crypto/rand"
@@ -113,6 +114,19 @@ type Sealed struct {
 	WrappedKey []byte
 	// Blob is nonce || AES-128-GCM(k, result).
 	Blob []byte
+}
+
+// Clone returns a deep copy of the triple. Wire decoding is zero-copy
+// (a decoded Sealed aliases the receive buffer), so anything that
+// retains a Sealed past the buffer's validity window — the store
+// keeping a PUT, the client mux handing a GET response to a waiter —
+// clones it first.
+func (s Sealed) Clone() Sealed {
+	return Sealed{
+		Challenge:  bytes.Clone(s.Challenge),
+		WrappedKey: bytes.Clone(s.WrappedKey),
+		Blob:       bytes.Clone(s.Blob),
+	}
 }
 
 // Scheme encrypts and decrypts computation results. Implementations are
@@ -242,11 +256,13 @@ func sealAESGCMWithAD(key, plaintext, ad []byte, rnd io.Reader) ([]byte, error) 
 	if err != nil {
 		return nil, err
 	}
-	nonce := make([]byte, nonceSize)
-	if _, err := io.ReadFull(rnd, nonce); err != nil {
+	// Size the blob exactly (nonce || ciphertext || tag) so Seal appends
+	// in place instead of growing a 12-byte nonce slice with a copy.
+	out := make([]byte, nonceSize, nonceSize+len(plaintext)+aead.Overhead())
+	if _, err := io.ReadFull(rnd, out); err != nil {
 		return nil, fmt.Errorf("mle: nonce: %w", err)
 	}
-	return aead.Seal(nonce, nonce, plaintext, ad), nil
+	return aead.Seal(out, out[:nonceSize], plaintext, ad), nil
 }
 
 func openAESGCM(key, blob []byte) ([]byte, error) {

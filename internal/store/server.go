@@ -366,7 +366,7 @@ func (s *Server) handleMux(conn net.Conn, ch *wire.Channel, owner enclave.Measur
 			if s.writeTimeout > 0 {
 				_ = conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
 			}
-			if err := ch.Send(wire.MarshalEnvelope(r.id, r.msg)); err != nil {
+			if err := ch.SendEnvelope(r.id, r.msg); err != nil {
 				s.logf("store: send to %v: %v", conn.RemoteAddr(), err)
 				conn.Close()
 				broken = true
@@ -436,6 +436,10 @@ func (s *Server) handleMux(conn net.Conn, ch *wire.Channel, owner enclave.Measur
 			s.logf("store: bad envelope from %v: %v", conn.RemoteAddr(), err)
 			break
 		}
+		// The decoded message aliases the channel's receive scratch; it
+		// crosses to a worker (and a PUT's Sealed is retained by the
+		// store), so copy before the next Recv reuses the buffer.
+		msg = wire.OwnMessage(msg)
 		if s.tel != nil {
 			s.tel.inflight.Add(1)
 		}

@@ -3,12 +3,98 @@ package wire
 import (
 	"bytes"
 	"errors"
+	"io"
 	"os"
 	"testing"
 	"time"
 
 	"speed/internal/enclave"
 )
+
+// deadlineStub records deadline calls and can be made to fail either
+// side, for exercising SetDeadline's partial-failure handling without a
+// real transport.
+type deadlineStub struct {
+	readErr, writeErr error
+	readCalls         []time.Time
+	writeCalls        []time.Time
+}
+
+func (d *deadlineStub) Read(p []byte) (int, error)  { return 0, io.EOF }
+func (d *deadlineStub) Write(p []byte) (int, error) { return len(p), nil }
+func (d *deadlineStub) Close() error                { return nil }
+
+func (d *deadlineStub) SetReadDeadline(t time.Time) error {
+	d.readCalls = append(d.readCalls, t)
+	return d.readErr
+}
+
+func (d *deadlineStub) SetWriteDeadline(t time.Time) error {
+	d.writeCalls = append(d.writeCalls, t)
+	return d.writeErr
+}
+
+// TestSetDeadlineUnwindsOnPartialFailure: when the read deadline is
+// accepted but the write deadline fails, SetDeadline must clear the
+// read deadline again — a false return must never leave an asymmetric
+// deadline armed.
+func TestSetDeadlineUnwindsOnPartialFailure(t *testing.T) {
+	stub := &deadlineStub{writeErr: errors.New("write deadline unsupported")}
+	ch := &Channel{conn: stub}
+	deadline := time.Now().Add(time.Second)
+
+	if ch.SetDeadline(deadline) {
+		t.Fatal("SetDeadline reported success despite write-side failure")
+	}
+	// Read side: armed with the deadline, then unwound with a zero time.
+	if len(stub.readCalls) != 2 {
+		t.Fatalf("read deadline calls = %v, want [deadline, zero]", stub.readCalls)
+	}
+	if !stub.readCalls[0].Equal(deadline) {
+		t.Errorf("first read deadline = %v, want %v", stub.readCalls[0], deadline)
+	}
+	if !stub.readCalls[1].IsZero() {
+		t.Errorf("read deadline not unwound: second call = %v, want zero time", stub.readCalls[1])
+	}
+	if len(stub.writeCalls) != 1 || !stub.writeCalls[0].Equal(deadline) {
+		t.Errorf("write deadline calls = %v, want one call with %v", stub.writeCalls, deadline)
+	}
+}
+
+// TestSetDeadlineReadFailureStopsEarly: a read-side failure returns
+// false without touching the write deadline (nothing to unwind).
+func TestSetDeadlineReadFailureStopsEarly(t *testing.T) {
+	stub := &deadlineStub{readErr: errors.New("read deadline unsupported")}
+	ch := &Channel{conn: stub}
+
+	if ch.SetDeadline(time.Now().Add(time.Second)) {
+		t.Fatal("SetDeadline reported success despite read-side failure")
+	}
+	if len(stub.readCalls) != 1 {
+		t.Fatalf("read deadline calls = %d, want 1", len(stub.readCalls))
+	}
+	if len(stub.writeCalls) != 0 {
+		t.Errorf("write deadline set %d times after read failure, want 0", len(stub.writeCalls))
+	}
+}
+
+// TestSetDeadlineSuccessArmsBothSides: the success path installs the
+// same deadline on both directions exactly once.
+func TestSetDeadlineSuccessArmsBothSides(t *testing.T) {
+	stub := &deadlineStub{}
+	ch := &Channel{conn: stub}
+	deadline := time.Now().Add(time.Second)
+
+	if !ch.SetDeadline(deadline) {
+		t.Fatal("SetDeadline failed on a healthy stub")
+	}
+	if len(stub.readCalls) != 1 || !stub.readCalls[0].Equal(deadline) {
+		t.Errorf("read deadline calls = %v, want one call with %v", stub.readCalls, deadline)
+	}
+	if len(stub.writeCalls) != 1 || !stub.writeCalls[0].Equal(deadline) {
+		t.Errorf("write deadline calls = %v, want one call with %v", stub.writeCalls, deadline)
+	}
+}
 
 // TestChannelSetDeadline: an expired deadline must surface as a
 // timeout from Recv instead of blocking forever, and clearing it must

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
+	"sync"
 )
 
 // MaxFrameSize bounds a single frame to protect against resource
@@ -12,42 +14,112 @@ import (
 // chunked by the application (none of the paper's workloads come close).
 const MaxFrameSize = 64 << 20
 
+// maxHelloSize bounds a handshake frame. Until the peer has attested,
+// it gets no benefit of the doubt: a legitimate hello (report + quote)
+// is well under a kilobyte, so a pre-attestation length prefix beyond
+// this is an attack on the receiver's memory, not a big message.
+const maxHelloSize = 64 << 10
+
 // frameHeaderLen is the length-prefix overhead of every frame.
 const frameHeaderLen = 4
 
+// maxScratchRetain caps how much scratch capacity a channel or the
+// frame pool retains between messages. A single oversized frame (a
+// multi-megabyte PUT) may still grow a transient buffer, but steady
+// state keeps at most this much per channel direction.
+const maxScratchRetain = 1 << 20
+
 // ErrFrameTooLarge is returned when a peer announces a frame beyond
-// MaxFrameSize.
+// the applicable size limit.
 var ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
 
-// WriteFrame writes a length-prefixed frame.
+// framePool recycles combined header+payload scratch buffers for
+// WriteFrame on writers that cannot take a vectored write. Buffers are
+// owned by WriteFrame only for the duration of one call.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// WriteFrame writes a length-prefixed frame with a single write per
+// frame: a vectored write (net.Buffers) when w is a net.Conn — the
+// kernel sees one writev — and otherwise one combined write from a
+// pooled scratch buffer, so a non-conn writer still never observes the
+// header and payload as separate writes.
+//
+// Channel.Send does not use WriteFrame: it seals the ciphertext
+// directly after a reserved header in its own scratch, which is already
+// one contiguous write with no extra copy.
 func WriteFrame(w io.Writer, payload []byte) error {
 	if len(payload) > MaxFrameSize {
 		return ErrFrameTooLarge
 	}
-	var hdr [4]byte
+	var hdr [frameHeaderLen]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("write frame header: %w", err)
+	if c, ok := w.(net.Conn); ok {
+		bufs := net.Buffers{hdr[:], payload}
+		if _, err := bufs.WriteTo(c); err != nil {
+			return fmt.Errorf("write frame: %w", err)
+		}
+		return nil
 	}
-	if _, err := w.Write(payload); err != nil {
-		return fmt.Errorf("write frame payload: %w", err)
+	bp := framePool.Get().(*[]byte)
+	buf := append((*bp)[:0], hdr[:]...)
+	buf = append(buf, payload...)
+	_, err := w.Write(buf)
+	if cap(buf) <= maxScratchRetain {
+		*bp = buf[:0]
+		framePool.Put(bp)
+	}
+	if err != nil {
+		return fmt.Errorf("write frame: %w", err)
 	}
 	return nil
 }
 
-// ReadFrame reads one length-prefixed frame.
+// ReadFrame reads one length-prefixed frame into a fresh buffer that
+// the caller owns.
 func ReadFrame(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	return readFrameLimit(r, MaxFrameSize, nil)
+}
+
+// ReadFrameInto reads one length-prefixed frame, reusing buf's backing
+// array when it is large enough and allocating a bigger one otherwise.
+// The returned slice aliases that backing array: it is valid only until
+// the caller's next ReadFrameInto with the same buffer. Pass the
+// returned slice back in (resliced to [:0] or not — only its capacity
+// matters) to amortise the allocation to zero in steady state.
+func ReadFrameInto(r io.Reader, buf []byte) ([]byte, error) {
+	return readFrameLimit(r, MaxFrameSize, buf)
+}
+
+// readFrameLimit is the frame reader core: max bounds the announced
+// payload length BEFORE any allocation, so a hostile length prefix
+// costs the receiver four bytes of reading and nothing else. The
+// header is read into the front of the scratch buffer (a stack array
+// would escape through the io.Reader interface and cost an allocation
+// per frame); the payload read then overwrites it.
+func readFrameLimit(r io.Reader, max uint32, buf []byte) ([]byte, error) {
+	if cap(buf) < frameHeaderLen {
+		buf = make([]byte, frameHeaderLen)
+	}
+	hdr := buf[:frameHeaderLen]
+	if _, err := io.ReadFull(r, hdr); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
-	if n > MaxFrameSize {
-		return nil, ErrFrameTooLarge
+	n := binary.BigEndian.Uint32(hdr)
+	if n > max {
+		return nil, fmt.Errorf("%w (%d bytes, limit %d)", ErrFrameTooLarge, n, max)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	if uint64(cap(buf)) < uint64(n) {
+		buf = make([]byte, n)
+	} else {
+		buf = buf[:n]
+	}
+	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, fmt.Errorf("read frame payload: %w", err)
 	}
-	return payload, nil
+	return buf, nil
 }

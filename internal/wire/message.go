@@ -117,8 +117,15 @@ func (PutResponse) Kind() Kind { return KindPutResponse }
 
 // Marshal serialises a message, prefixing its kind byte.
 func Marshal(m Message) []byte {
-	buf := make([]byte, 1, 64)
-	buf[0] = byte(m.Kind())
+	return AppendMarshal(make([]byte, 0, 64), m)
+}
+
+// AppendMarshal serialises a message into buf (kind byte, then body)
+// and returns the extended slice, following the append convention of
+// the standard library. Reusing one scratch buffer across calls makes
+// steady-state marshalling allocation-free.
+func AppendMarshal(buf []byte, m Message) []byte {
+	buf = append(buf, byte(m.Kind()))
 	return m.appendTo(buf)
 }
 
@@ -233,6 +240,49 @@ func decodePutResponse(b []byte) (PutResponse, error) {
 	}
 	m.Err = string(msg)
 	return m, nil
+}
+
+// OwnMessage makes a decoded message own all of its memory. Unmarshal
+// is zero-copy: decoded byte fields (the Sealed triples of GET/PUT and
+// their batch and sync variants) alias the input buffer, which for
+// Channel.Recv is the channel's receive scratch and only valid until
+// the next Recv. OwnMessage copies those fields so the message can be
+// retained indefinitely — it must be called before a decoded message
+// is stored or handed to another goroutine. Messages whose decoders
+// already copy everything (requests with fixed-size tags, responses
+// with string fields) pass through unchanged.
+func OwnMessage(m Message) Message {
+	switch v := m.(type) {
+	case GetResponse:
+		v.Sealed = v.Sealed.Clone()
+		return v
+	case PutRequest:
+		v.Sealed = v.Sealed.Clone()
+		return v
+	case BatchGetResponse:
+		results := make([]GetResult, len(v.Results))
+		for i, r := range v.Results {
+			results[i] = GetResult{Found: r.Found, Sealed: r.Sealed.Clone()}
+		}
+		v.Results = results
+		return v
+	case BatchPutRequest:
+		items := make([]PutItem, len(v.Items))
+		for i, it := range v.Items {
+			items[i] = PutItem{Tag: it.Tag, Replace: it.Replace, Sealed: it.Sealed.Clone()}
+		}
+		v.Items = items
+		return v
+	case SyncPullResponse:
+		entries := make([]SyncEntry, len(v.Entries))
+		for i, e := range v.Entries {
+			entries[i] = SyncEntry{Tag: e.Tag, Hits: e.Hits, Sealed: e.Sealed.Clone()}
+		}
+		v.Entries = entries
+		return v
+	default:
+		return m
+	}
 }
 
 func appendSealed(buf []byte, s mle.Sealed) []byte {

@@ -33,10 +33,16 @@ const envelopeHeaderLen = 8
 // request ID followed by the marshalled message. Requests and their
 // responses carry the same ID; the client mux correlates them.
 func MarshalEnvelope(id uint64, m Message) []byte {
-	body := Marshal(m)
-	buf := make([]byte, envelopeHeaderLen, envelopeHeaderLen+len(body))
-	binary.BigEndian.PutUint64(buf, id)
-	return append(buf, body...)
+	return AppendEnvelope(make([]byte, 0, envelopeHeaderLen+64), id, m)
+}
+
+// AppendEnvelope serialises a v2 message frame into buf, returning the
+// extended slice. Channel.SendEnvelope uses it with the channel's
+// marshal scratch so envelope framing allocates nothing in steady
+// state.
+func AppendEnvelope(buf []byte, id uint64, m Message) []byte {
+	buf = binary.BigEndian.AppendUint64(buf, id)
+	return AppendMarshal(buf, m)
 }
 
 // UnmarshalEnvelope parses a v2 message frame produced by
