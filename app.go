@@ -2,6 +2,7 @@ package speed
 
 import (
 	"fmt"
+	"time"
 
 	"speed/internal/dedup"
 	"speed/internal/enclave"
@@ -55,6 +56,11 @@ type AppConfig struct {
 	// registry's trace ring. 0 uses the default (64); negative disables
 	// tracing.
 	TraceSampleRate int
+	// SlowRequestThreshold logs a structured line (rate-limited to one
+	// per second) for any Execute call slower than this, carrying the
+	// call's trace ID when it was sampled so the line links straight to
+	// /debug/trace?id=. 0 disables slow-request logging.
+	SlowRequestThreshold time.Duration
 }
 
 // App is one SGX-enabled application: its enclave plus the secure
@@ -103,12 +109,13 @@ func (s *System) NewAppWithConfig(name string, code []byte, cfg AppConfig) (*App
 	}
 
 	rt, err := dedup.NewRuntime(dedup.Config{
-		Enclave:         enc,
-		Client:          client,
-		Scheme:          scheme,
-		AsyncPut:        cfg.AsyncPut,
-		Telemetry:       s.tel,
-		TraceSampleRate: cfg.TraceSampleRate,
+		Enclave:              enc,
+		Client:               client,
+		Scheme:               scheme,
+		AsyncPut:             cfg.AsyncPut,
+		Telemetry:            s.tel,
+		TraceSampleRate:      cfg.TraceSampleRate,
+		SlowRequestThreshold: cfg.SlowRequestThreshold,
 	})
 	if err != nil {
 		enc.Destroy()
@@ -124,6 +131,12 @@ func (s *System) NewAppWithConfig(name string, code []byte, cfg AppConfig) (*App
 			return nil, fmt.Errorf("speed: metrics listener: %w", err)
 		}
 		app.metrics = ms
+		// Stamp the registry with an externally-visible identity once,
+		// so spans this deployment records stay attributable in traces
+		// assembled across the fleet.
+		if s.tel.Node() == "" {
+			s.tel.SetNode(ms.Addr().String())
+		}
 	}
 	if cfg.Adaptive {
 		app.advisor = dedup.NewAdvisor(dedup.AdaptivePolicy{

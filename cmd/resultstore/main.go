@@ -54,6 +54,7 @@ func run(args []string) error {
 	writeTimeout := fs.Duration("write-timeout", 30*time.Second, "per-response write deadline (0 = unbounded)")
 	metricsAddr := fs.String("metrics", "", "serve /metrics, /debug/trace and /debug/vars on this address (empty = disabled)")
 	statsInterval := fs.Duration("stats-interval", 0, "print a stats summary line at this interval (0 = off)")
+	slowRequest := fs.Duration("slow-request", 0, "log requests slower than this, rate-limited, with their trace ID (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -116,6 +117,9 @@ func run(args []string) error {
 	if err != nil {
 		return fmt.Errorf("listen: %w", err)
 	}
+	// Spans this node records carry its wire address, so traces
+	// assembled across the fleet stay attributable.
+	reg.SetNode(ln.Addr().String())
 	srvOpts := []store.ServerOption{
 		store.WithHandshakeTimeout(*handshakeTimeout),
 		store.WithIdleTimeout(*idleTimeout),
@@ -125,9 +129,15 @@ func run(args []string) error {
 	if *maxInflight > 0 {
 		srvOpts = append(srvOpts, store.WithMaxInflight(*maxInflight))
 	}
+	if *slowRequest > 0 {
+		srvOpts = append(srvOpts, store.WithSlowRequestLog(*slowRequest))
+	}
 	srv := store.NewServer(st, ln, srvOpts...)
 	fmt.Printf("resultstore: listening on %s\n", ln.Addr())
-	fmt.Printf("resultstore: enclave measurement %x\n", storeEnc.Measurement())
+	meas := storeEnc.Measurement()
+	// Slice before %x: Measurement.String() abbreviates to 8 bytes, and
+	// fmt applies Stringer to %x too — clients need all 32 bytes to pin.
+	fmt.Printf("resultstore: enclave measurement %x\n", meas[:])
 
 	if *metricsAddr != "" {
 		ms, merr := telemetry.Serve(*metricsAddr, reg)
@@ -144,9 +154,10 @@ func run(args []string) error {
 		if s.Gets > 0 {
 			hitPct = 100 * float64(s.Hits) / float64(s.Gets)
 		}
-		fmt.Printf("resultstore: %s gets=%d hits=%d (%.1f%%) puts=%d dupes=%d denied=%d unauthorized=%d evictions=%d expired=%d entries=%d blob_bytes=%d epc_used=%d\n",
+		fmt.Printf("resultstore: %s gets=%d hits=%d (%.1f%%) puts=%d dupes=%d denied=%d unauthorized=%d auth_fails=%d auth_fail_bytes=%d evictions=%d expired=%d entries=%d blob_bytes=%d epc_used=%d\n",
 			prefix, s.Gets, s.Hits, hitPct, s.Puts, s.PutDupes, s.PutDenied,
-			s.Unauthorized, s.Evictions, s.Expired, s.Entries, s.BlobBytes,
+			s.Unauthorized, srv.AuthFailures(), srv.AuthFailBytes(),
+			s.Evictions, s.Expired, s.Entries, s.BlobBytes,
 			platform.EPCUsed())
 	}
 	if *statsInterval > 0 {

@@ -22,6 +22,7 @@
 package main
 
 import (
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -48,6 +49,10 @@ func run(args []string) error {
 	storeTimeout := fs.Duration("store-timeout", 200*time.Millisecond, "resilience: per-request store deadline")
 	storeRetries := fs.Int("store-retries", 2, "resilience: max retries per store request (negative disables)")
 	metricsOut := fs.String("metrics-out", "", "write a JSON telemetry report (per-phase p50/p95/p99, counters) to this file after the run")
+	storeAddr := fs.String("store-addr", "", "smoke: wire address of an externally-running resultstore")
+	storeMeas := fs.String("store-measurement", "", "smoke: hex store enclave measurement printed by resultstore at startup")
+	machineSeed := fs.String("machine-seed", "", "smoke: must match the store's -machine-seed (same-platform attestation)")
+	smokeCalls := fs.Int("smoke-calls", 0, "smoke: Execute calls to issue (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -86,6 +91,11 @@ func run(args []string) error {
 		},
 		"cluster": func() error {
 			return runCluster(*quick)
+		},
+		// smoke needs an external resultstore, so it is not part of
+		// "all" (see -store-addr).
+		"smoke": func() error {
+			return runSmoke(*storeAddr, *storeMeas, *machineSeed, *smokeCalls)
 		},
 	}
 	runNamed := func(names ...string) error {
@@ -391,6 +401,39 @@ func runCluster(quick bool) error {
 	}
 	clusterPhases = phases
 	fmt.Print(bench.RenderCluster(cfg.Nodes, cfg.Replicas, phases))
+	return nil
+}
+
+// runSmoke exercises a live resultstore deployment end to end with
+// every call traced, printing the distributed trace IDs so the caller
+// (CI's deployment smoke job) can assert they assemble on the store's
+// /debug/trace?id= endpoint.
+func runSmoke(storeAddr, storeMeasHex, machineSeed string, calls int) error {
+	if storeAddr == "" {
+		return fmt.Errorf("smoke requires -store-addr (a running resultstore)")
+	}
+	cfg := bench.SmokeConfig{StoreAddr: storeAddr, MachineSeed: machineSeed, Calls: calls}
+	meas, err := hex.DecodeString(strings.TrimSpace(storeMeasHex))
+	if err != nil || len(meas) != len(cfg.StoreMeasurement) {
+		return fmt.Errorf("smoke requires -store-measurement (%d hex bytes, printed by resultstore at startup)",
+			len(cfg.StoreMeasurement))
+	}
+	copy(cfg.StoreMeasurement[:], meas)
+	res, err := bench.Smoke(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("smoke: store=%s reused=%d computed=%d coalesced=%d traces=%d\n",
+		storeAddr, res.Reused, res.Computed, res.Coalesced, len(res.TraceIDs))
+	for _, id := range res.TraceIDs {
+		fmt.Printf("TRACE_ID=%s\n", id)
+	}
+	if res.Reused == 0 {
+		return fmt.Errorf("smoke: no call was served from the store (dedup broken?)")
+	}
+	if len(res.TraceIDs) == 0 {
+		return fmt.Errorf("smoke: no trace was sampled")
+	}
 	return nil
 }
 

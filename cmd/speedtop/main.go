@@ -1,0 +1,74 @@
+// Command speedtop is a live fleet console for a SPEED cluster: it
+// polls every member's telemetry endpoint (/metrics in Prometheus text
+// format plus the /debug/trace ring), assembles the sampled spans the
+// nodes recorded under shared trace IDs into cross-node distributed
+// traces, and renders a per-node health table alongside the N slowest
+// assembled traces.
+//
+// Usage:
+//
+//	speedtop -nodes 127.0.0.1:9090,127.0.0.1:9091,127.0.0.1:9092
+//	speedtop -nodes 127.0.0.1:9090 -once          # single snapshot, no screen clearing
+//	speedtop -nodes ... -interval 2s -top 5
+//
+// The addresses are telemetry (metrics) listen addresses — the ones
+// given to resultstore -metrics — not store wire addresses. Include
+// the application side's metrics endpoint too and its Execute root
+// spans complete the trees; without it the store-side spans still
+// assemble, flagged as partial.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"speed/internal/fleet"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "speedtop:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("speedtop", flag.ContinueOnError)
+	nodes := fs.String("nodes", "", "comma-separated telemetry endpoints to poll (host:port or http URLs)")
+	interval := fs.Duration("interval", 2*time.Second, "poll interval")
+	top := fs.Int("top", 5, "slowest assembled traces to show")
+	traceLimit := fs.Int("trace-limit", 64, "trace events fetched per node per poll")
+	once := fs.Bool("once", false, "poll once, print, exit (no screen clearing)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var addrs []string
+	for _, a := range strings.Split(*nodes, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		return fmt.Errorf("no nodes: pass -nodes host:port[,host:port...]")
+	}
+
+	p := &fleet.Poller{TraceLimit: *traceLimit}
+	for {
+		sts := p.Poll(addrs)
+		traces := fleet.Assemble(sts)
+		if !*once {
+			fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		fmt.Printf("speedtop  %s  %d nodes\n\n", time.Now().Format("15:04:05"), len(addrs))
+		fleet.RenderStatus(os.Stdout, sts)
+		fmt.Println()
+		fleet.RenderTraces(os.Stdout, traces, *top)
+		if *once {
+			return nil
+		}
+		time.Sleep(*interval)
+	}
+}

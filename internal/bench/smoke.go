@@ -1,0 +1,112 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"speed/internal/dedup"
+	"speed/internal/enclave"
+	"speed/internal/telemetry"
+)
+
+// Smoke drives traced Execute calls against an externally-running
+// resultstore (cmd/resultstore), for end-to-end deployment checks: CI
+// starts a store with -metrics, runs this, then asserts the trace IDs
+// printed here assemble on the store's /debug/trace?id= endpoint.
+//
+// The client platform is created from the same machine seed as the
+// store so its attestation chains to the same platform key —
+// the same-machine deployment of Section IV-B — and every call is
+// sampled (TraceSampleRate 1) so each one propagates a trace context.
+
+// SmokeConfig tunes the deployment smoke run.
+type SmokeConfig struct {
+	// StoreAddr is the resultstore's wire listen address.
+	StoreAddr string
+	// StoreMeasurement pins the store enclave identity (printed by
+	// resultstore at startup).
+	StoreMeasurement enclave.Measurement
+	// MachineSeed must match the store's -machine-seed so client
+	// attestation verifies as same-platform.
+	MachineSeed string
+	// Calls is the number of Execute calls to issue over 4 distinct
+	// inputs (duplicates exercise the dedup hit path). Default 24.
+	Calls int
+}
+
+// SmokeResult reports what the run observed.
+type SmokeResult struct {
+	// TraceIDs are the distinct distributed trace IDs the client
+	// recorded, oldest first.
+	TraceIDs []string
+	// Outcome mix across the calls.
+	Reused, Computed, Coalesced int64
+}
+
+// Smoke connects, issues the calls and collects the sampled trace IDs.
+func Smoke(cfg SmokeConfig) (*SmokeResult, error) {
+	if cfg.StoreAddr == "" {
+		return nil, fmt.Errorf("smoke: store address required")
+	}
+	if cfg.Calls <= 0 {
+		cfg.Calls = 24
+	}
+	platform := enclave.NewPlatform(enclave.Config{
+		SimulateCosts: false,
+		PlatformSeed:  []byte(cfg.MachineSeed),
+	})
+	appEnc, err := platform.Create("speed-smoke-client", []byte("speed smoke client v1"))
+	if err != nil {
+		return nil, err
+	}
+	defer appEnc.Destroy()
+
+	reg := telemetry.NewRegistry()
+	reg.SetNode("smoke-client")
+	client, err := dedup.DialConfig(cfg.StoreAddr, appEnc, cfg.StoreMeasurement,
+		dedup.RemoteConfig{Telemetry: reg, RequestTimeout: 5 * time.Second})
+	if err != nil {
+		return nil, fmt.Errorf("smoke: connect store: %w", err)
+	}
+	rt, err := dedup.NewRuntime(dedup.Config{
+		Enclave:         appEnc,
+		Client:          client,
+		Telemetry:       reg,
+		TraceSampleRate: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Close()
+	rt.Registry().RegisterLibrary("smoke", "1.0", []byte("smoke lib v1"))
+	id, err := rt.Resolve(dedup.FuncDesc{Library: "smoke", Version: "1.0", Signature: "smoke(x)"})
+	if err != nil {
+		return nil, err
+	}
+	compute := func(in []byte) ([]byte, error) {
+		out := make([]byte, len(in))
+		for i, b := range in {
+			out[i] = b ^ 0xA5
+		}
+		return out, nil
+	}
+	for i := 0; i < cfg.Calls; i++ {
+		input := []byte(fmt.Sprintf("smoke-input-%d", i%4))
+		if _, _, err := rt.Execute(id, input, compute); err != nil {
+			return nil, fmt.Errorf("smoke: call %d: %w", i, err)
+		}
+	}
+
+	res := &SmokeResult{}
+	stats := rt.Stats()
+	res.Reused, res.Computed, res.Coalesced = stats.Reused, stats.Computed, stats.Coalesced
+	seen := make(map[string]bool)
+	events := reg.Trace().Events() // newest first
+	for i := len(events) - 1; i >= 0; i-- {
+		if id := events[i].TraceID; id != "" && !seen[id] {
+			seen[id] = true
+			res.TraceIDs = append(res.TraceIDs, id)
+		}
+	}
+	return res, nil
+}

@@ -53,6 +53,12 @@ type groupResult struct {
 // primary are read-repaired in the background. The call errors only
 // when some tag runs out of reachable members.
 func (c *Client) GetBatch(tags []mle.Tag) ([]wire.GetResult, error) {
+	return c.GetBatchTraced(wire.TraceContext{}, tags)
+}
+
+// GetBatchTraced is GetBatch carrying a trace context: each per-member
+// round trip becomes a route_batch_get leg span of the sampled call.
+func (c *Client) GetBatchTraced(tc wire.TraceContext, tags []mle.Tag) ([]wire.GetResult, error) {
 	if c.closed.Load() {
 		return nil, errClientClosed
 	}
@@ -80,7 +86,7 @@ func (c *Client) GetBatch(tags []mle.Tag) ([]wire.GetResult, error) {
 			groups[ni] = append(groups[ni], idx)
 		}
 		var next []int
-		for _, gr := range c.runGets(tags, groups) {
+		for _, gr := range c.runGets(tc, tags, groups) {
 			n := c.nodes[gr.ni]
 			if gr.err != nil {
 				c.noteFailure(n, gr.err)
@@ -107,14 +113,14 @@ func (c *Client) GetBatch(tags []mle.Tag) ([]wire.GetResult, error) {
 		pending = next
 	}
 	for primary, items := range repairs {
-		c.repairAsync(primary, items)
+		c.repairAsync(primary, tc, items)
 	}
 	return results, nil
 }
 
 // runGets issues one BatchGet per group concurrently and collects the
 // answers; merging into shared state is the caller's, serially.
-func (c *Client) runGets(tags []mle.Tag, groups map[int][]int) []groupResult {
+func (c *Client) runGets(tc wire.TraceContext, tags []mle.Tag, groups map[int][]int) []groupResult {
 	out := make([]groupResult, 0, len(groups))
 	for ni, idxs := range groups {
 		out = append(out, groupResult{ni: ni, idxs: idxs})
@@ -129,11 +135,15 @@ func (c *Client) runGets(tags []mle.Tag, groups map[int][]int) []groupResult {
 			for k, idx := range gr.idxs {
 				chunk[k] = tags[idx]
 			}
-			gr.gets, gr.err = c.nodes[gr.ni].client.GetBatch(chunk)
+			start := legClock(tc)
+			fwd, leg := forwardLeg(tc)
+			gr.gets, gr.err = c.nodes[gr.ni].client.GetBatchTraced(fwd, chunk)
 			if gr.err == nil && len(gr.gets) != len(chunk) {
 				gr.err = fmt.Errorf("cluster: member %s answered %d results for %d tags",
 					c.nodes[gr.ni].addr, len(gr.gets), len(chunk))
 			}
+			c.recordLeg(tc, leg, "route_batch_get", c.nodes[gr.ni].addr, start,
+				fmt.Sprintf("%d tags", len(chunk)), gr.err)
 		}()
 	}
 	wg.Wait()
@@ -146,6 +156,12 @@ func (c *Client) runGets(tags []mle.Tag, groups map[int][]int) []groupResult {
 // failed at the transport level are re-routed in failover rounds. The
 // call errors only when some item runs out of reachable members.
 func (c *Client) PutBatch(items []wire.PutItem) ([]wire.PutResult, error) {
+	return c.PutBatchTraced(wire.TraceContext{}, items)
+}
+
+// PutBatchTraced is PutBatch carrying a trace context: each per-member
+// round trip becomes a route_batch_put leg span of the sampled call.
+func (c *Client) PutBatchTraced(tc wire.TraceContext, items []wire.PutItem) ([]wire.PutResult, error) {
 	if c.closed.Load() {
 		return nil, errClientClosed
 	}
@@ -191,7 +207,7 @@ func (c *Client) PutBatch(items []wire.PutItem) ([]wire.PutResult, error) {
 			groups[ni] = append(groups[ni], i)
 		}
 	}
-	merge(c.runPuts(items, groups))
+	merge(c.runPuts(tc, items, groups))
 
 	// Failover rounds: items with zero responses chase the next
 	// reachable member, one target per round — availability now,
@@ -211,7 +227,7 @@ func (c *Client) PutBatch(items []wire.PutItem) ([]wire.PutResult, error) {
 		if len(groups) == 0 {
 			break
 		}
-		merge(c.runPuts(items, groups))
+		merge(c.runPuts(tc, items, groups))
 	}
 
 	results := make([]wire.PutResult, len(items))
@@ -230,7 +246,7 @@ func (c *Client) PutBatch(items []wire.PutItem) ([]wire.PutResult, error) {
 
 // runPuts issues one BatchPut per group concurrently and collects the
 // answers.
-func (c *Client) runPuts(items []wire.PutItem, groups map[int][]int) []groupResult {
+func (c *Client) runPuts(tc wire.TraceContext, items []wire.PutItem, groups map[int][]int) []groupResult {
 	out := make([]groupResult, 0, len(groups))
 	for ni, idxs := range groups {
 		out = append(out, groupResult{ni: ni, idxs: idxs})
@@ -245,11 +261,15 @@ func (c *Client) runPuts(items []wire.PutItem, groups map[int][]int) []groupResu
 			for k, idx := range gr.idxs {
 				chunk[k] = items[idx]
 			}
-			gr.puts, gr.err = c.nodes[gr.ni].client.PutBatch(chunk)
+			start := legClock(tc)
+			fwd, leg := forwardLeg(tc)
+			gr.puts, gr.err = c.nodes[gr.ni].client.PutBatchTraced(fwd, chunk)
 			if gr.err == nil && len(gr.puts) != len(chunk) {
 				gr.err = fmt.Errorf("cluster: member %s answered %d results for %d items",
 					c.nodes[gr.ni].addr, len(gr.puts), len(chunk))
 			}
+			c.recordLeg(tc, leg, "route_batch_put", c.nodes[gr.ni].addr, start,
+				fmt.Sprintf("%d items", len(chunk)), gr.err)
 		}()
 	}
 	wg.Wait()

@@ -102,10 +102,17 @@ type Client struct {
 	failovers   atomic.Int64
 	readRepairs atomic.Int64
 
+	// reg is the telemetry registry (nil when unconfigured), used to
+	// record per-leg routing spans of sampled requests into the trace
+	// ring.
+	reg          *telemetry.Registry
 	readRepairsC *telemetry.Counter
 }
 
-var _ dedup.BatchClient = (*Client)(nil)
+var (
+	_ dedup.BatchClient  = (*Client)(nil)
+	_ dedup.TracedClient = (*Client)(nil)
+)
 
 // New builds the cluster client and dials its members lazily: members
 // that are down at construction are simply marked down by the first
@@ -160,6 +167,7 @@ func (c *Client) registerTelemetry(reg *telemetry.Registry) {
 	if reg == nil {
 		return
 	}
+	c.reg = reg
 	c.readRepairsC = reg.NewCounter("speed_cluster_read_repairs_total",
 		"results copied back to their primary after a failover read")
 	for _, n := range c.nodes {
@@ -254,6 +262,57 @@ func (c *Client) writeTargets(tag mle.Tag) []int {
 	return targets
 }
 
+// forwardLeg derives the context one routing leg forwards to a member:
+// the same trace, with Parent re-pointed at a fresh leg span so the
+// member's server-side span chains through this leg back to the
+// runtime's root. Unsampled contexts pass through untouched.
+func forwardLeg(tc wire.TraceContext) (wire.TraceContext, uint64) {
+	if !tc.Valid() {
+		return tc, 0
+	}
+	leg := wire.NewSpanID()
+	fwd := tc
+	fwd.Parent = leg
+	return fwd, leg
+}
+
+// recordLeg records one routing leg of a sampled request as a child
+// span in the trace ring: ParentID is the caller's span (the runtime's
+// root), ID names the member the leg targeted, and the outcome
+// distinguishes hits, misses, replica writes and failed legs (which
+// the router then fails over from). No-op when unsampled or telemetry
+// is off.
+func (c *Client) recordLeg(tc wire.TraceContext, leg uint64, op, member string, start time.Time, outcome string, err error) {
+	if c.reg == nil || !tc.Valid() {
+		return
+	}
+	ev := telemetry.TraceEvent{
+		Time:     time.Now(),
+		Name:     op,
+		ID:       member,
+		TotalNS:  time.Since(start).Nanoseconds(),
+		TraceID:  tc.TraceIDHex(),
+		SpanID:   wire.SpanIDHex(leg),
+		ParentID: wire.SpanIDHex(tc.Parent),
+		Node:     c.reg.Node(),
+	}
+	if err != nil {
+		ev.Err = err.Error()
+	} else {
+		ev.Outcome = outcome
+	}
+	c.reg.Trace().Add(ev)
+}
+
+// legClock stamps a start time only for sampled requests, so the
+// unsampled path never reads the clock.
+func legClock(tc wire.TraceContext) time.Time {
+	if !tc.Valid() {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
 // Get implements dedup.StoreClient: the tag's primary answers; on a
 // transport error the read fails over along the replica set, and a
 // result found on a successor is repaired back to the primary in the
@@ -261,6 +320,14 @@ func (c *Client) writeTargets(tag mle.Tag) []int {
 // never fail over, so a cold primary costs one recomputation, not a
 // cluster-wide search.
 func (c *Client) Get(tag mle.Tag) (mle.Sealed, bool, error) {
+	return c.GetTraced(wire.TraceContext{}, tag)
+}
+
+// GetTraced implements dedup.TracedClient: Get with each routing leg —
+// including the failover legs — recorded as a child span of the
+// caller's trace and the context forwarded to the member that served
+// it.
+func (c *Client) GetTraced(tc wire.TraceContext, tag mle.Tag) (mle.Sealed, bool, error) {
 	if c.closed.Load() {
 		return mle.Sealed{}, false, errClientClosed
 	}
@@ -268,17 +335,25 @@ func (c *Client) Get(tag mle.Tag) (mle.Sealed, bool, error) {
 	var lastErr error
 	for _, ni := range c.readOrder(tag) {
 		n := c.nodes[ni]
-		sealed, found, err := n.client.Get(tag)
+		start := legClock(tc)
+		fwd, leg := forwardLeg(tc)
+		sealed, found, err := n.client.GetTraced(fwd, tag)
 		if err != nil {
+			c.recordLeg(tc, leg, "route_get", n.addr, start, "", err)
 			c.noteFailure(n, err)
 			c.noteFailover(n, 1)
 			lastErr = err
 			continue
 		}
+		outcome := "miss"
+		if found {
+			outcome = "hit"
+		}
+		c.recordLeg(tc, leg, "route_get", n.addr, start, outcome, nil)
 		c.noteSuccess(n)
 		n.routedGet.Inc()
 		if found && ni != primary {
-			c.repairAsync(primary, []wire.PutItem{{Tag: tag, Sealed: sealed}})
+			c.repairAsync(primary, tc, []wire.PutItem{{Tag: tag, Sealed: sealed}})
 		}
 		return sealed, found, nil
 	}
@@ -290,6 +365,12 @@ func (c *Client) Get(tag mle.Tag) (mle.Sealed, bool, error) {
 // accepted it; a store-level rejection (quota, authorization) is only
 // surfaced when no replica accepted.
 func (c *Client) Put(tag mle.Tag, sealed mle.Sealed, replace bool) error {
+	return c.PutTraced(wire.TraceContext{}, tag, sealed, replace)
+}
+
+// PutTraced implements dedup.TracedClient: Put with each replica leg
+// recorded as a child span of the caller's trace.
+func (c *Client) PutTraced(tc wire.TraceContext, tag mle.Tag, sealed mle.Sealed, replace bool) error {
 	if c.closed.Load() {
 		return errClientClosed
 	}
@@ -301,7 +382,10 @@ func (c *Client) Put(tag mle.Tag, sealed mle.Sealed, replace bool) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			errs[i] = n.client.Put(tag, sealed, replace)
+			start := legClock(tc)
+			fwd, leg := forwardLeg(tc)
+			errs[i] = n.client.PutTraced(fwd, tag, sealed, replace)
+			c.recordLeg(tc, leg, "route_put", n.addr, start, "replicated", errs[i])
 			if errs[i] == nil || errors.Is(errs[i], dedup.ErrPutRejected) {
 				c.noteSuccess(n)
 				n.routedPut.Inc()
@@ -373,8 +457,10 @@ func (c *Client) Close() error {
 // repairAsync uploads items found on a replica back to their primary,
 // best-effort and off the caller's path. Repairs only run while the
 // primary is routable; a failed repair is dropped (the next failover
-// read will try again).
-func (c *Client) repairAsync(primary int, items []wire.PutItem) {
+// read will try again). A sampled read's repair leg is recorded as a
+// child span of the same trace, so the console shows the write-back a
+// failover read triggered.
+func (c *Client) repairAsync(primary int, tc wire.TraceContext, items []wire.PutItem) {
 	n := c.nodes[primary]
 	if !n.up.Load() || c.closed.Load() {
 		return
@@ -382,7 +468,11 @@ func (c *Client) repairAsync(primary int, items []wire.PutItem) {
 	c.repairWG.Add(1)
 	go func() {
 		defer c.repairWG.Done()
-		if _, err := n.client.PutBatch(items); err != nil {
+		start := legClock(tc)
+		fwd, leg := forwardLeg(tc)
+		_, err := n.client.PutBatchTraced(fwd, items)
+		c.recordLeg(tc, leg, "read_repair", n.addr, start, "repaired", err)
+		if err != nil {
 			c.noteFailure(n, err)
 			return
 		}

@@ -47,16 +47,22 @@ func (rt *Runtime) ExecuteBatch(id mle.FuncID, inputs [][]byte, compute func([]b
 
 	results := make([]BatchResult, n)
 	var span *execSpan
-	if rt.tel != nil {
+	tc, rootSpan := rt.startTrace()
+	if rt.tel != nil || rt.cfg.SlowRequestThreshold > 0 {
 		span = &execSpan{start: time.Now()}
 	}
 	err := rt.cfg.Enclave.ECall(func() error {
-		rt.executeBatchInEnclave(id, inputs, compute, span, results)
+		rt.executeBatchInEnclave(id, inputs, tc, compute, span, results)
 		return nil
 	})
 	if span != nil {
-		rt.tel.observePhases(span)
-		rt.tel.batchItems.Observe(time.Duration(n))
+		total := time.Since(span.start)
+		if rt.tel != nil {
+			rt.tel.observePhases(span)
+			rt.tel.batchItems.Observe(time.Duration(n))
+			rt.recordTrace("execute_batch", id, tc, rootSpan, span, 0, total, err)
+		}
+		rt.maybeSlowLog("execute_batch", id, tc, total, 0, err)
 	}
 	if err != nil {
 		return nil, err
@@ -66,7 +72,7 @@ func (rt *Runtime) ExecuteBatch(id mle.FuncID, inputs [][]byte, compute func([]b
 
 // executeBatchInEnclave is the body of ExecuteBatch, running inside the
 // application enclave's ECALL.
-func (rt *Runtime) executeBatchInEnclave(id mle.FuncID, inputs [][]byte, compute func([]byte) ([]byte, error), span *execSpan, results []BatchResult) {
+func (rt *Runtime) executeBatchInEnclave(id mle.FuncID, inputs [][]byte, tc wire.TraceContext, compute func([]byte) ([]byte, error), span *execSpan, results []BatchResult) {
 	n := len(inputs)
 
 	span.begin(phaseTag)
@@ -157,7 +163,7 @@ func (rt *Runtime) executeBatchInEnclave(id mle.FuncID, inputs [][]byte, compute
 		span.begin(phaseStoreGet)
 		gerr := rt.cfg.Enclave.OCall(func() error {
 			var oerr error
-			found, oerr = rt.clientGetBatch(leaderTags)
+			found, oerr = rt.clientGetBatch(tc, leaderTags)
 			return oerr
 		})
 		span.end(phaseStoreGet)
@@ -298,7 +304,7 @@ func (rt *Runtime) executeBatchInEnclave(id mle.FuncID, inputs [][]byte, compute
 	if len(computed) > 0 {
 		if rt.cfg.AsyncPut {
 			for _, i := range computed {
-				rt.enqueuePut(putJob{id: id, input: inputs[i], result: results[i].Result, tag: tags[i], replace: replace[i]})
+				rt.enqueuePut(putJob{id: id, input: inputs[i], result: results[i].Result, tag: tags[i], replace: replace[i], tc: tc})
 				resolve(i)
 			}
 		} else {
@@ -321,7 +327,7 @@ func (rt *Runtime) executeBatchInEnclave(id mle.FuncID, inputs [][]byte, compute
 				var prs []wire.PutResult
 				perr := rt.cfg.Enclave.OCall(func() error {
 					var oerr error
-					prs, oerr = rt.clientPutBatch(items)
+					prs, oerr = rt.clientPutBatch(tc, items)
 					return oerr
 				})
 				span.end(phaseStorePut)
@@ -380,9 +386,20 @@ func (rt *Runtime) executeBatchInEnclave(id mle.FuncID, inputs [][]byte, compute
 	}
 }
 
-// clientGetBatch issues one batched GET through the client, falling
-// back to a per-tag loop when the client predates BatchClient.
-func (rt *Runtime) clientGetBatch(tags []mle.Tag) ([]wire.GetResult, error) {
+// clientGetBatch issues one batched GET through the client — via the
+// traced variant when the batch is sampled and the client supports it —
+// falling back to a per-tag loop when the client predates BatchClient.
+func (rt *Runtime) clientGetBatch(tc wire.TraceContext, tags []mle.Tag) ([]wire.GetResult, error) {
+	if tc.Valid() && rt.traced != nil {
+		res, err := rt.traced.GetBatchTraced(tc, tags)
+		if err != nil {
+			return nil, err
+		}
+		if len(res) != len(tags) {
+			return nil, fmt.Errorf("dedup: batch get returned %d results for %d tags", len(res), len(tags))
+		}
+		return res, nil
+	}
 	if bc, ok := rt.cfg.Client.(BatchClient); ok {
 		res, err := bc.GetBatch(tags)
 		if err != nil {
@@ -404,9 +421,20 @@ func (rt *Runtime) clientGetBatch(tags []mle.Tag) ([]wire.GetResult, error) {
 	return res, nil
 }
 
-// clientPutBatch issues one batched PUT through the client, falling
-// back to a per-item loop when the client predates BatchClient.
-func (rt *Runtime) clientPutBatch(items []wire.PutItem) ([]wire.PutResult, error) {
+// clientPutBatch issues one batched PUT through the client — via the
+// traced variant when the batch is sampled and the client supports it —
+// falling back to a per-item loop when the client predates BatchClient.
+func (rt *Runtime) clientPutBatch(tc wire.TraceContext, items []wire.PutItem) ([]wire.PutResult, error) {
+	if tc.Valid() && rt.traced != nil {
+		res, err := rt.traced.PutBatchTraced(tc, items)
+		if err != nil {
+			return nil, err
+		}
+		if len(res) != len(items) {
+			return nil, fmt.Errorf("dedup: batch put returned %d results for %d items", len(res), len(items))
+		}
+		return res, nil
+	}
 	if bc, ok := rt.cfg.Client.(BatchClient); ok {
 		res, err := bc.PutBatch(items)
 		if err != nil {

@@ -53,6 +53,25 @@ type BatchClient interface {
 	PutBatch(items []wire.PutItem) ([]wire.PutResult, error)
 }
 
+// TracedClient is implemented by store clients that can propagate a
+// distributed-trace context with each request, so a sampled Execute's
+// trace ID reaches the store node (or nodes) that served it and their
+// spans assemble into one cross-node trace. Callers type-assert and
+// fall back to the plain StoreClient calls when the interface is
+// absent; implementations must behave identically to their untraced
+// counterparts when tc is not sampled.
+type TracedClient interface {
+	StoreClient
+	// GetTraced is Get carrying a trace context.
+	GetTraced(tc wire.TraceContext, tag mle.Tag) (mle.Sealed, bool, error)
+	// PutTraced is Put carrying a trace context.
+	PutTraced(tc wire.TraceContext, tag mle.Tag, sealed mle.Sealed, replace bool) error
+	// GetBatchTraced is BatchClient.GetBatch carrying a trace context.
+	GetBatchTraced(tc wire.TraceContext, tags []mle.Tag) ([]wire.GetResult, error)
+	// PutBatchTraced is BatchClient.PutBatch carrying a trace context.
+	PutBatchTraced(tc wire.TraceContext, items []wire.PutItem) ([]wire.PutResult, error)
+}
+
 // ErrPutRejected is returned when the store refuses a PUT, e.g. due to
 // the quota mechanism.
 var ErrPutRejected = errors.New("dedup: store rejected put")
@@ -245,7 +264,10 @@ type RemoteClient struct {
 	serialMu sync.Mutex
 }
 
-var _ BatchClient = (*RemoteClient)(nil)
+var (
+	_ BatchClient  = (*RemoteClient)(nil)
+	_ TracedClient = (*RemoteClient)(nil)
+)
 
 // Dial connects to a store server at addr on the same platform,
 // performing the attested handshake from the application enclave app
@@ -401,8 +423,10 @@ func (c *RemoteClient) dropConn(ch *wire.Channel) {
 var errClientClosed = errors.New("dedup: remote client closed")
 
 // roundTrip sends one request and waits for its reply, applying the
-// per-request deadline, retry policy and transparent reconnect.
-func (c *RemoteClient) roundTrip(req wire.Message) (wire.Message, error) {
+// per-request deadline, retry policy and transparent reconnect. A
+// sampled tc rides in the v2 envelope; the serial v1 protocol has no
+// place for it and drops it.
+func (c *RemoteClient) roundTrip(req wire.Message, tc wire.TraceContext) (wire.Message, error) {
 	attempts := 1 + c.cfg.MaxRetries
 	if attempts < 1 {
 		attempts = 1
@@ -419,7 +443,7 @@ func (c *RemoteClient) roundTrip(req wire.Message) (wire.Message, error) {
 				backoff = c.cfg.RetryMaxBackoff
 			}
 		}
-		msg, err := c.tryOnce(req)
+		msg, err := c.tryOnce(req, tc)
 		if err != nil {
 			lastErr = err
 			if !isTransient(err) {
@@ -446,8 +470,8 @@ func (c *RemoteClient) roundTrip(req wire.Message) (wire.Message, error) {
 // a loop of serial round trips). Any transport error poisons the
 // channel (its cipher counters can no longer match the peer's), so the
 // connection is dropped and the next attempt re-handshakes.
-func (c *RemoteClient) tryOnce(req wire.Message) (wire.Message, error) {
-	return c.tryRequest(req, false)
+func (c *RemoteClient) tryOnce(req wire.Message, tc wire.TraceContext) (wire.Message, error) {
+	return c.tryRequest(req, tc, false)
 }
 
 // tryRequest is tryOnce with an escape hatch: with direct true the
@@ -455,7 +479,7 @@ func (c *RemoteClient) tryOnce(req wire.Message) (wire.Message, error) {
 // batch unrolling of serialRequest. Ping depends on this — a zero-item
 // batch GET unrolls into zero round trips, which would "probe" the
 // store without touching the wire at all.
-func (c *RemoteClient) tryRequest(req wire.Message, direct bool) (wire.Message, error) {
+func (c *RemoteClient) tryRequest(req wire.Message, tc wire.TraceContext, direct bool) (wire.Message, error) {
 	ch, mux, err := c.connect()
 	if err != nil {
 		return nil, err
@@ -468,7 +492,7 @@ func (c *RemoteClient) tryRequest(req wire.Message, direct bool) (wire.Message, 
 	}()
 
 	if mux != nil {
-		msg, err := mux.roundTrip(req, c.cfg.RequestTimeout)
+		msg, err := mux.roundTrip(req, tc, c.cfg.RequestTimeout)
 		if err != nil {
 			c.dropConn(ch)
 			if c.isClosed() {
@@ -603,7 +627,12 @@ func sleepJittered(d time.Duration) {
 
 // Get implements StoreClient.
 func (c *RemoteClient) Get(tag mle.Tag) (mle.Sealed, bool, error) {
-	msg, err := c.roundTrip(wire.GetRequest{Tag: tag})
+	return c.GetTraced(wire.TraceContext{}, tag)
+}
+
+// GetTraced implements TracedClient.
+func (c *RemoteClient) GetTraced(tc wire.TraceContext, tag mle.Tag) (mle.Sealed, bool, error) {
+	msg, err := c.roundTrip(wire.GetRequest{Tag: tag}, tc)
 	if err != nil {
 		return mle.Sealed{}, false, fmt.Errorf("dedup: get: %w", err)
 	}
@@ -616,7 +645,12 @@ func (c *RemoteClient) Get(tag mle.Tag) (mle.Sealed, bool, error) {
 
 // Put implements StoreClient.
 func (c *RemoteClient) Put(tag mle.Tag, sealed mle.Sealed, replace bool) error {
-	msg, err := c.roundTrip(wire.PutRequest{Tag: tag, Sealed: sealed, Replace: replace})
+	return c.PutTraced(wire.TraceContext{}, tag, sealed, replace)
+}
+
+// PutTraced implements TracedClient.
+func (c *RemoteClient) PutTraced(tc wire.TraceContext, tag mle.Tag, sealed mle.Sealed, replace bool) error {
+	msg, err := c.roundTrip(wire.PutRequest{Tag: tag, Sealed: sealed, Replace: replace}, tc)
 	if err != nil {
 		return fmt.Errorf("dedup: put: %w", err)
 	}
@@ -634,6 +668,11 @@ func (c *RemoteClient) Put(tag mle.Tag, sealed mle.Sealed, replace bool) error {
 // wire.MaxBatchItems chunk on a v2 connection, a serial loop against a
 // v1 store.
 func (c *RemoteClient) GetBatch(tags []mle.Tag) ([]wire.GetResult, error) {
+	return c.GetBatchTraced(wire.TraceContext{}, tags)
+}
+
+// GetBatchTraced implements TracedClient.
+func (c *RemoteClient) GetBatchTraced(tc wire.TraceContext, tags []mle.Tag) ([]wire.GetResult, error) {
 	if len(tags) == 0 {
 		return nil, nil
 	}
@@ -644,7 +683,7 @@ func (c *RemoteClient) GetBatch(tags []mle.Tag) ([]wire.GetResult, error) {
 			end = len(tags)
 		}
 		chunk := tags[start:end]
-		msg, err := c.roundTrip(wire.BatchGetRequest{Tags: chunk})
+		msg, err := c.roundTrip(wire.BatchGetRequest{Tags: chunk}, tc)
 		if err != nil {
 			return nil, fmt.Errorf("dedup: batch get: %w", err)
 		}
@@ -665,6 +704,11 @@ func (c *RemoteClient) GetBatch(tags []mle.Tag) ([]wire.GetResult, error) {
 // of a batch would reorder it against concurrent batches for no
 // benefit, and the runtime already treats rejected puts as advisory.
 func (c *RemoteClient) PutBatch(items []wire.PutItem) ([]wire.PutResult, error) {
+	return c.PutBatchTraced(wire.TraceContext{}, items)
+}
+
+// PutBatchTraced implements TracedClient.
+func (c *RemoteClient) PutBatchTraced(tc wire.TraceContext, items []wire.PutItem) ([]wire.PutResult, error) {
 	if len(items) == 0 {
 		return nil, nil
 	}
@@ -675,7 +719,7 @@ func (c *RemoteClient) PutBatch(items []wire.PutItem) ([]wire.PutResult, error) 
 			end = len(items)
 		}
 		chunk := items[start:end]
-		msg, err := c.roundTrip(wire.BatchPutRequest{Items: chunk})
+		msg, err := c.roundTrip(wire.BatchPutRequest{Items: chunk}, tc)
 		if err != nil {
 			return nil, fmt.Errorf("dedup: batch put: %w", err)
 		}
@@ -700,7 +744,7 @@ func (c *RemoteClient) PutBatch(items []wire.PutItem) ([]wire.PutResult, error) 
 // single attempt without the retry schedule: a probe should report the
 // store's state now, and probers repeat on their own cadence.
 func (c *RemoteClient) Ping() error {
-	msg, err := c.tryRequest(wire.BatchGetRequest{}, true)
+	msg, err := c.tryRequest(wire.BatchGetRequest{}, wire.TraceContext{}, true)
 	if err != nil {
 		return fmt.Errorf("dedup: ping: %w", err)
 	}
@@ -725,7 +769,7 @@ func (c *RemoteClient) SyncPull(minHits int64, max int) ([]wire.SyncEntry, error
 	if max > 0 {
 		req.Max = uint32(max)
 	}
-	msg, err := c.roundTrip(req)
+	msg, err := c.roundTrip(req, wire.TraceContext{})
 	if err != nil {
 		return nil, fmt.Errorf("dedup: sync pull: %w", err)
 	}

@@ -63,7 +63,7 @@ func (m *chanMux) readLoop() {
 			m.fail(err)
 			return
 		}
-		id, msg, err := wire.UnmarshalEnvelope(payload)
+		id, _, msg, err := m.ch.ParseEnvelope(payload)
 		if err != nil {
 			m.fail(fmt.Errorf("dedup: mux: %w", err))
 			return
@@ -111,9 +111,12 @@ func (m *chanMux) broken() error {
 }
 
 // roundTrip issues one request and waits for its correlated response.
-// timeout > 0 bounds the wait; expiry kills the mux so the owning
-// client re-dials, exactly as a deadline poisons a serial channel.
-func (m *chanMux) roundTrip(req wire.Message, timeout time.Duration) (wire.Message, error) {
+// tc, when sampled, rides in the envelope header so the store can link
+// its spans to the caller's trace; on channels that did not negotiate
+// FeatureTrace it is silently dropped. timeout > 0 bounds the wait;
+// expiry kills the mux so the owning client re-dials, exactly as a
+// deadline poisons a serial channel.
+func (m *chanMux) roundTrip(req wire.Message, tc wire.TraceContext, timeout time.Duration) (wire.Message, error) {
 	id := m.nextID.Add(1)
 	w := make(chan muxResult, 1)
 	m.mu.Lock()
@@ -125,7 +128,7 @@ func (m *chanMux) roundTrip(req wire.Message, timeout time.Duration) (wire.Messa
 	m.pending[id] = w
 	m.mu.Unlock()
 
-	if err := m.ch.SendEnvelope(id, req); err != nil {
+	if err := m.ch.SendEnvelopeTrace(id, tc, req); err != nil {
 		m.fail(err)
 		return nil, err
 	}

@@ -339,7 +339,7 @@ func TestMuxCorrelatesOutOfOrderResponses(t *testing.T) {
 				if err != nil {
 					return err
 				}
-				id, msg, err := wire.UnmarshalEnvelope(frame)
+				id, _, msg, err := ch.ParseEnvelope(frame)
 				if err != nil {
 					return err
 				}
@@ -357,7 +357,7 @@ func TestMuxCorrelatesOutOfOrderResponses(t *testing.T) {
 					WrappedKey: []byte("wrapped"),
 					Blob:       []byte{reqs[i].tag[0]},
 				}}
-				if err := ch.Send(wire.MarshalEnvelope(reqs[i].id, resp)); err != nil {
+				if err := ch.SendEnvelope(reqs[i].id, resp); err != nil {
 					return err
 				}
 			}
@@ -369,7 +369,7 @@ func TestMuxCorrelatesOutOfOrderResponses(t *testing.T) {
 			if err != nil {
 				return err
 			}
-			id, _, err := wire.UnmarshalEnvelope(frame)
+			id, _, _, err := ch.ParseEnvelope(frame)
 			if err != nil {
 				return err
 			}
@@ -379,13 +379,13 @@ func TestMuxCorrelatesOutOfOrderResponses(t *testing.T) {
 				WrappedKey: []byte("wrapped"),
 				Blob:       []byte("third"),
 			}}
-			if err := ch.Send(wire.MarshalEnvelope(id^0xDEAD, bogus)); err != nil {
+			if err := ch.SendEnvelope(id^0xDEAD, bogus); err != nil {
 				return err
 			}
-			if err := ch.Send(wire.MarshalEnvelope(id, real)); err != nil {
+			if err := ch.SendEnvelope(id, real); err != nil {
 				return err
 			}
-			if err := ch.Send(wire.MarshalEnvelope(id, bogus)); err != nil {
+			if err := ch.SendEnvelope(id, bogus); err != nil {
 				return err
 			}
 			// Hold the connection open until the client is done.

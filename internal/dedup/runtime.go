@@ -12,6 +12,7 @@ import (
 	"speed/internal/enclave"
 	"speed/internal/mle"
 	"speed/internal/telemetry"
+	"speed/internal/wire"
 )
 
 // Outcome describes how a marked computation was satisfied.
@@ -103,8 +104,18 @@ type Config struct {
 	Telemetry *telemetry.Registry
 	// TraceSampleRate traces one Execute call in every N into the
 	// telemetry registry's trace ring. Zero selects the default (64);
-	// negative disables tracing while keeping the metrics.
+	// negative disables tracing while keeping the metrics. A sampled
+	// call's trace context additionally propagates over the wire to
+	// every store node it touches (when the client and channel support
+	// it), so the per-node span rings assemble into one distributed
+	// trace.
 	TraceSampleRate int
+	// SlowRequestThreshold, when positive, logs one structured line via
+	// Logf for any Execute/ExecuteBatch call slower than the threshold,
+	// rate-limited to one line per second so a latency storm cannot
+	// flood the log. The line carries the trace ID when the call was
+	// sampled, linking the log to /debug/trace?id=. Zero disables.
+	SlowRequestThreshold time.Duration
 	// Logf is the diagnostic logger; defaults to log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -178,6 +189,15 @@ type Runtime struct {
 	// pointer test.
 	tel    *rtMetrics
 	traceN atomic.Uint64
+
+	// traced is Config.Client's TracedClient view, or nil when the
+	// client cannot carry a trace context; resolved once here so the
+	// per-call path pays no type assertion.
+	traced TracedClient
+
+	// slowLogLast is the UnixNano of the last slow-request line, the
+	// rate limiter for Config.SlowRequestThreshold.
+	slowLogLast atomic.Int64
 }
 
 // flight is one in-progress computation that concurrent identical
@@ -195,6 +215,9 @@ type putJob struct {
 	result  []byte
 	tag     mle.Tag
 	replace bool
+	// tc keeps a sampled caller's trace context attached to its async
+	// upload, so the PUT leg still lands in the same distributed trace.
+	tc wire.TraceContext
 }
 
 // NewRuntime constructs a Runtime.
@@ -233,6 +256,7 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 		done:     make(chan struct{}),
 	}
 	rt.tel = newRTMetrics(cfg.Telemetry, rt, cfg.TraceSampleRate)
+	rt.traced, _ = cfg.Client.(TracedClient)
 	if cfg.AsyncPut {
 		rt.putCh = make(chan putJob, cfg.PutQueueDepth)
 		go rt.putWorker()
@@ -372,7 +396,10 @@ func (rt *Runtime) Execute(id mle.FuncID, input []byte, compute func([]byte) ([]
 		outcome Outcome
 		span    *execSpan
 	)
-	if rt.tel != nil {
+	// The sampling decision happens before any work, so a sampled call's
+	// trace context can ride to every store node it touches.
+	tc, rootSpan := rt.startTrace()
+	if rt.tel != nil || rt.cfg.SlowRequestThreshold > 0 {
 		span = &execSpan{start: time.Now()}
 	}
 	err := rt.cfg.Enclave.ECall(func() error {
@@ -381,7 +408,7 @@ func (rt *Runtime) Execute(id mle.FuncID, input []byte, compute func([]byte) ([]
 		tag := mle.ComputeTag(id, input)
 		span.end(phaseTag)
 
-		run := func() error { return rt.executeTagged(id, input, tag, compute, span, &result, &outcome) }
+		run := func() error { return rt.executeTagged(id, input, tag, tc, compute, span, &result, &outcome) }
 
 		// In-process coalescing: if the identical computation is
 		// already in flight, wait for it and share its result instead
@@ -437,8 +464,12 @@ func (rt *Runtime) Execute(id mle.FuncID, input []byte, compute func([]byte) ([]
 		return ferr
 	})
 	if span != nil {
-		total := rt.tel.record(span, outcome, err)
-		rt.maybeTrace(id, span, outcome, total, err)
+		total := time.Since(span.start)
+		if rt.tel != nil {
+			total = rt.tel.record(span, outcome, err, tc)
+			rt.recordTrace("execute", id, tc, rootSpan, span, outcome, total, err)
+		}
+		rt.maybeSlowLog("execute", id, tc, total, outcome, err)
 	}
 	if err != nil {
 		return nil, 0, err
@@ -449,7 +480,7 @@ func (rt *Runtime) Execute(id mle.FuncID, input []byte, compute func([]byte) ([]
 // executeTagged runs the store lookup / verify / compute / upload path
 // for an already-derived tag, writing the result and outcome through
 // the provided pointers. It runs inside the application enclave.
-func (rt *Runtime) executeTagged(id mle.FuncID, input []byte, tag mle.Tag, compute func([]byte) ([]byte, error), span *execSpan, resultOut *[]byte, outcomeOut *Outcome) error {
+func (rt *Runtime) executeTagged(id mle.FuncID, input []byte, tag mle.Tag, tc wire.TraceContext, compute func([]byte) ([]byte, error), span *execSpan, resultOut *[]byte, outcomeOut *Outcome) error {
 	// Graceful degradation: with the breaker open the store is known
 	// to be down, so skip GET/PUT entirely and serve compute-only —
 	// deduplication is an accelerator, not a correctness dependency.
@@ -466,7 +497,7 @@ func (rt *Runtime) executeTagged(id mle.FuncID, input []byte, tag mle.Tag, compu
 	span.begin(phaseStoreGet)
 	err := rt.cfg.Enclave.OCall(func() error {
 		var gerr error
-		sealed, found, gerr = rt.cfg.Client.Get(tag)
+		sealed, found, gerr = rt.storeGet(tc, tag)
 		return gerr
 	})
 	span.end(phaseStoreGet)
@@ -532,10 +563,10 @@ func (rt *Runtime) executeTagged(id mle.FuncID, input []byte, tag mle.Tag, compu
 	// reuse for its tag.
 	replace := hadPoisonedEntry
 	if rt.cfg.AsyncPut {
-		rt.enqueuePut(putJob{id: id, input: input, result: res, tag: tag, replace: replace})
+		rt.enqueuePut(putJob{id: id, input: input, result: res, tag: tag, replace: replace, tc: tc})
 		return nil
 	}
-	if perr := rt.sealAndPut(id, input, res, tag, replace, span); perr != nil {
+	if perr := rt.sealAndPut(id, input, res, tag, replace, tc, span); perr != nil {
 		// A failed upload only loses future reuse; the caller still
 		// gets its freshly computed result.
 		rt.notePutError(perr)
@@ -564,7 +595,7 @@ func (rt *Runtime) computeOnly(input []byte, compute func([]byte) ([]byte, error
 
 // sealAndPut encrypts the result (RCE: random key, challenge, wrap) and
 // uploads (t, r, [k], [res]) via an OCALL.
-func (rt *Runtime) sealAndPut(id mle.FuncID, input, result []byte, tag mle.Tag, replace bool, span *execSpan) error {
+func (rt *Runtime) sealAndPut(id mle.FuncID, input, result []byte, tag mle.Tag, replace bool, tc wire.TraceContext, span *execSpan) error {
 	span.begin(phaseEncrypt)
 	sealed, err := rt.cfg.Scheme.Encrypt(id, input, result)
 	span.end(phaseEncrypt)
@@ -573,10 +604,28 @@ func (rt *Runtime) sealAndPut(id mle.FuncID, input, result []byte, tag mle.Tag, 
 	}
 	span.begin(phaseStorePut)
 	err = rt.cfg.Enclave.OCall(func() error {
-		return rt.cfg.Client.Put(tag, sealed, replace)
+		return rt.storePut(tc, tag, sealed, replace)
 	})
 	span.end(phaseStorePut)
 	return err
+}
+
+// storeGet and storePut route requests through the client's traced
+// variants when the call is sampled and the client supports them, so
+// the store node serving the request records its spans under the
+// caller's trace ID. Unsampled calls take the plain path untouched.
+func (rt *Runtime) storeGet(tc wire.TraceContext, tag mle.Tag) (mle.Sealed, bool, error) {
+	if tc.Valid() && rt.traced != nil {
+		return rt.traced.GetTraced(tc, tag)
+	}
+	return rt.cfg.Client.Get(tag)
+}
+
+func (rt *Runtime) storePut(tc wire.TraceContext, tag mle.Tag, sealed mle.Sealed, replace bool) error {
+	if tc.Valid() && rt.traced != nil {
+		return rt.traced.PutTraced(tc, tag, sealed, replace)
+	}
+	return rt.cfg.Client.Put(tag, sealed, replace)
 }
 
 func (rt *Runtime) enqueuePut(job putJob) {
@@ -617,7 +666,7 @@ func (rt *Runtime) runPutJob(job putJob) {
 		span = &execSpan{start: time.Now()}
 	}
 	err := rt.cfg.Enclave.ECall(func() error {
-		return rt.sealAndPut(job.id, job.input, job.result, job.tag, job.replace, span)
+		return rt.sealAndPut(job.id, job.input, job.result, job.tag, job.replace, job.tc, span)
 	})
 	if span != nil {
 		rt.tel.observePhases(span)

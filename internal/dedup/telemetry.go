@@ -6,6 +6,7 @@ import (
 
 	"speed/internal/mle"
 	"speed/internal/telemetry"
+	"speed/internal/wire"
 )
 
 // The phases of one Execute call, in chronological order. Each phase
@@ -143,14 +144,20 @@ func newRTMetrics(reg *telemetry.Registry, rt *Runtime, sampleRate int) *rtMetri
 }
 
 // record folds a finished call's span into the histograms and returns
-// the total latency for the trace sampler.
-func (m *rtMetrics) record(span *execSpan, outcome Outcome, err error) time.Duration {
+// the total latency for the trace sampler. A sampled call's trace ID is
+// attached to its latency bucket as an exemplar, so a spike in the
+// histogram links straight to an assembled trace in /debug/trace?id=.
+func (m *rtMetrics) record(span *execSpan, outcome Outcome, err error, tc wire.TraceContext) time.Duration {
 	total := time.Since(span.start)
 	slot := errorSlot
 	if err == nil && outcome >= OutcomeComputed && outcome <= OutcomeCoalesced {
 		slot = int(outcome) - 1
 	}
-	m.execSeconds[slot].Observe(total)
+	if tc.Valid() {
+		m.execSeconds[slot].ObserveExemplar(total, tc.TraceIDHex())
+	} else {
+		m.execSeconds[slot].Observe(total)
+	}
 	m.observePhases(span)
 	return total
 }
@@ -164,24 +171,44 @@ func (m *rtMetrics) observePhases(span *execSpan) {
 	}
 }
 
-// maybeTrace samples one call in sampleEvery into the registry's trace
-// ring. The sampled path allocates; the unsampled path is one atomic
-// add and a modulo.
-func (rt *Runtime) maybeTrace(id mle.FuncID, span *execSpan, outcome Outcome, total time.Duration, err error) {
+// startTrace makes the sampling decision for one Execute/ExecuteBatch
+// call before any work happens, so a sampled call's context can
+// propagate to every store node it touches. It returns the context
+// downstream requests carry (Parent set to the root span's ID) and the
+// root span ID itself; an unsampled call gets the zero context and
+// pays one atomic add and a modulo.
+func (rt *Runtime) startTrace() (wire.TraceContext, uint64) {
 	m := rt.tel
-	if m.sampleEvery == 0 || rt.traceN.Add(1)%m.sampleEvery != 0 {
+	if m == nil || m.sampleEvery == 0 || rt.traceN.Add(1)%m.sampleEvery != 0 {
+		return wire.TraceContext{}, 0
+	}
+	root := wire.NewSpanID()
+	return wire.TraceContext{ID: wire.NewTraceID(), Parent: root, Sampled: true}, root
+}
+
+// recordTrace records a sampled call's root span into the registry's
+// trace ring: the TraceID groups it with the spans the router and
+// store nodes recorded for the same call, and the SpanID is what their
+// ParentID chains lead back to. No-op for unsampled calls.
+func (rt *Runtime) recordTrace(name string, id mle.FuncID, tc wire.TraceContext, rootSpan uint64, span *execSpan, outcome Outcome, total time.Duration, err error) {
+	m := rt.tel
+	if !tc.Valid() {
 		return
 	}
 	ev := telemetry.TraceEvent{
 		Time:    time.Now(),
 		App:     m.app,
-		Name:    "execute",
+		Name:    name,
 		ID:      hex.EncodeToString(id[:4]),
 		TotalNS: total.Nanoseconds(),
+		TraceID: tc.TraceIDHex(),
+		SpanID:  wire.SpanIDHex(rootSpan),
+		Node:    m.reg.Node(),
 	}
-	if err != nil {
+	switch {
+	case err != nil:
 		ev.Err = err.Error()
-	} else {
+	case outcome != 0:
 		ev.Outcome = outcome.String()
 	}
 	for p := execPhase(0); p < numPhases; p++ {
@@ -194,4 +221,35 @@ func (rt *Runtime) maybeTrace(id mle.FuncID, span *execSpan, outcome Outcome, to
 		}
 	}
 	m.reg.Trace().Add(ev)
+}
+
+// slowLogMinGap rate-limits slow-request logging to one line per gap
+// per runtime, so a latency storm cannot flood the log.
+const slowLogMinGap = time.Second
+
+// maybeSlowLog emits the structured slow-request line when the call
+// exceeded Config.SlowRequestThreshold and the rate limiter allows it.
+func (rt *Runtime) maybeSlowLog(op string, id mle.FuncID, tc wire.TraceContext, total time.Duration, outcome Outcome, err error) {
+	th := rt.cfg.SlowRequestThreshold
+	if th <= 0 || total < th {
+		return
+	}
+	now := time.Now().UnixNano()
+	last := rt.slowLogLast.Load()
+	if now-last < int64(slowLogMinGap) || !rt.slowLogLast.CompareAndSwap(last, now) {
+		return
+	}
+	status := "ok"
+	switch {
+	case err != nil:
+		status = "error"
+	case outcome != 0:
+		status = outcome.String()
+	}
+	trace := "-"
+	if tc.Valid() {
+		trace = tc.TraceIDHex()
+	}
+	rt.cfg.Logf("speed: slow request op=%s app=%s func=%s total=%s threshold=%s status=%s trace=%s",
+		op, rt.cfg.Enclave.Name(), hex.EncodeToString(id[:4]), total, th, status, trace)
 }

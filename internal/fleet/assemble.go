@@ -1,0 +1,151 @@
+package fleet
+
+import (
+	"sort"
+	"time"
+
+	"speed/internal/telemetry"
+)
+
+// Span is one node's trace event placed in an assembled cross-node
+// tree.
+type Span struct {
+	Event    telemetry.TraceEvent
+	Children []*Span
+}
+
+// Trace is one distributed trace assembled from the rings of several
+// nodes: a root span (recorded by the runtime that made the sampling
+// decision) with the router legs and store spans hanging beneath it.
+// Spans whose parent was not retained anywhere — evicted from a ring,
+// or a node that could not be polled — are kept under Orphans so the
+// console still shows them.
+type Trace struct {
+	ID      string
+	Root    *Span
+	Orphans []*Span
+	Spans   int
+}
+
+// Total returns the trace's end-to-end duration: the root span's when
+// there is one, otherwise the longest span retained.
+func (t *Trace) Total() time.Duration {
+	if t.Root != nil {
+		return time.Duration(t.Root.Event.TotalNS)
+	}
+	var max int64
+	for _, s := range t.Orphans {
+		if s.Event.TotalNS > max {
+			max = s.Event.TotalNS
+		}
+	}
+	return time.Duration(max)
+}
+
+// Complete reports whether the trace assembled into a single tree: a
+// root was found and no span is orphaned.
+func (t *Trace) Complete() bool { return t.Root != nil && len(t.Orphans) == 0 }
+
+// Walk visits the trace depth-first, roots first then orphans, calling
+// fn with each span's depth.
+func (t *Trace) Walk(fn func(depth int, s *Span)) {
+	var rec func(depth int, s *Span)
+	rec = func(depth int, s *Span) {
+		fn(depth, s)
+		for _, c := range s.Children {
+			rec(depth+1, c)
+		}
+	}
+	if t.Root != nil {
+		rec(0, t.Root)
+	}
+	for _, s := range t.Orphans {
+		rec(0, s)
+	}
+}
+
+// Assemble merges the trace events of every polled node into
+// parent-linked distributed traces, slowest first. Events without a
+// trace ID (locally sampled, never propagated) are ignored; duplicate
+// observations of one span — the same node polled twice — collapse.
+func Assemble(statuses []NodeStatus) []*Trace {
+	type spanKey struct{ node, span, name string }
+	byTrace := make(map[string][]*Span)
+	seen := make(map[spanKey]bool)
+	for _, st := range statuses {
+		for _, ev := range st.Events {
+			if ev.TraceID == "" || ev.SpanID == "" {
+				continue
+			}
+			k := spanKey{ev.Node, ev.SpanID, ev.Name}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			byTrace[ev.TraceID] = append(byTrace[ev.TraceID], &Span{Event: ev})
+		}
+	}
+
+	traces := make([]*Trace, 0, len(byTrace))
+	for id, spans := range byTrace {
+		traces = append(traces, link(id, spans))
+	}
+	sort.Slice(traces, func(i, j int) bool {
+		if traces[i].Total() != traces[j].Total() {
+			return traces[i].Total() > traces[j].Total()
+		}
+		return traces[i].ID < traces[j].ID
+	})
+	return traces
+}
+
+// link builds one trace's tree from its flat span list.
+func link(id string, spans []*Span) *Trace {
+	t := &Trace{ID: id, Spans: len(spans)}
+	bySpanID := make(map[string]*Span, len(spans))
+	for _, s := range spans {
+		// First writer wins; duplicates were already collapsed, so a
+		// collision means two nodes produced the same span ID — keep
+		// both in the tree via the orphan path below.
+		if _, ok := bySpanID[s.Event.SpanID]; !ok {
+			bySpanID[s.Event.SpanID] = s
+		}
+	}
+	for _, s := range spans {
+		switch {
+		case s.Event.ParentID == "":
+			if t.Root == nil {
+				t.Root = s
+			} else {
+				t.Orphans = append(t.Orphans, s)
+			}
+		default:
+			parent, ok := bySpanID[s.Event.ParentID]
+			if ok && parent != s {
+				parent.Children = append(parent.Children, s)
+			} else {
+				t.Orphans = append(t.Orphans, s)
+			}
+		}
+	}
+	sortChildren(t.Root)
+	for _, s := range t.Orphans {
+		sortChildren(s)
+	}
+	sort.Slice(t.Orphans, func(i, j int) bool {
+		return t.Orphans[i].Event.Time.Before(t.Orphans[j].Event.Time)
+	})
+	return t
+}
+
+func sortChildren(s *Span) {
+	if s == nil {
+		return
+	}
+	sort.Slice(s.Children, func(i, j int) bool {
+		return s.Children[i].Event.Time.Before(s.Children[j].Event.Time)
+	})
+	for _, c := range s.Children {
+		sortChildren(c)
+	}
+}

@@ -1,0 +1,177 @@
+// Package fleet assembles a cluster-wide view of a SPEED deployment
+// from each member's telemetry endpoints: /metrics scraped in the
+// Prometheus text exposition format and /debug/trace rings merged into
+// cross-node distributed traces. It is the library behind cmd/speedtop
+// and deliberately understands only what the console needs — sample
+// lines and cumulative le-buckets — rather than the full exposition
+// grammar.
+package fleet
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a metric family name, its raw
+// label block (the text between the braces, "" when absent) and the
+// value.
+type Sample struct {
+	Name   string
+	Labels string
+	Value  float64
+}
+
+// Metrics is every sample scraped from one /metrics endpoint, grouped
+// by family name.
+type Metrics map[string][]Sample
+
+// ParseProm parses a Prometheus text-format (0.0.4) exposition.
+// Comment and malformed lines are skipped — a scrape is a best-effort
+// snapshot, not a validation pass.
+func ParseProm(r io.Reader) (Metrics, error) {
+	m := make(Metrics)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		if s, ok := parseLine(sc.Text()); ok {
+			m[s.Name] = append(m[s.Name], s)
+		}
+	}
+	return m, sc.Err()
+}
+
+// parseLine splits one "name{labels} value" or "name value" line.
+func parseLine(line string) (Sample, bool) {
+	line = strings.TrimSpace(line)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return Sample{}, false
+	}
+	var s Sample
+	rest := line
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return Sample{}, false
+		}
+		s.Name, s.Labels, rest = line[:i], line[i+1:j], line[j+1:]
+	} else if k := strings.IndexAny(line, " \t"); k >= 0 {
+		s.Name, rest = line[:k], line[k:]
+	} else {
+		return Sample{}, false
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+	if err != nil {
+		return Sample{}, false
+	}
+	s.Value = v
+	return s, true
+}
+
+// labelValue extracts one label's (unquoted) value from a raw label
+// block.
+func labelValue(labels, key string) (string, bool) {
+	needle := key + "=\""
+	for pos := 0; pos < len(labels); {
+		idx := strings.Index(labels[pos:], needle)
+		if idx < 0 {
+			return "", false
+		}
+		start := pos + idx
+		if start > 0 && labels[start-1] != ',' && labels[start-1] != ' ' {
+			pos = start + len(needle)
+			continue
+		}
+		val := labels[start+len(needle):]
+		end := -1
+		for i := 0; i < len(val); i++ {
+			if val[i] == '\\' {
+				i++
+				continue
+			}
+			if val[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return "", false
+		}
+		if unq, err := strconv.Unquote(`"` + val[:end] + `"`); err == nil {
+			return unq, true
+		}
+		return val[:end], true
+	}
+	return "", false
+}
+
+// Sum adds a family's value across every label set (0 when the family
+// is absent). For counters this folds per-app or per-op variants into
+// one fleet-level number.
+func (m Metrics) Sum(family string) float64 {
+	var total float64
+	for _, s := range m[family] {
+		total += s.Value
+	}
+	return total
+}
+
+// Has reports whether the family appeared in the scrape at all.
+func (m Metrics) Has(family string) bool { return len(m[family]) > 0 }
+
+// Quantile estimates the q-quantile in seconds of a histogram family
+// from its cumulative _bucket samples, merged across label sets. The
+// answer is the upper bound of the bucket containing the target rank —
+// the same one-bucket resolution the exposition itself has. It returns
+// false when the family has no buckets or no observations.
+func (m Metrics) Quantile(family string, q float64) (float64, bool) {
+	cum := make(map[float64]float64)
+	for _, s := range m[family+"_bucket"] {
+		raw, ok := labelValue(s.Labels, "le")
+		if !ok {
+			continue
+		}
+		le := math.Inf(1)
+		if raw != "+Inf" {
+			v, err := strconv.ParseFloat(raw, 64)
+			if err != nil {
+				continue
+			}
+			le = v
+		}
+		cum[le] += s.Value
+	}
+	if len(cum) == 0 {
+		return 0, false
+	}
+	les := make([]float64, 0, len(cum))
+	for le := range cum {
+		les = append(les, le)
+	}
+	sort.Float64s(les)
+	total := cum[les[len(les)-1]]
+	if total == 0 {
+		return 0, false
+	}
+	target := math.Ceil(q * total)
+	if target < 1 {
+		target = 1
+	}
+	for _, le := range les {
+		if cum[le] >= target {
+			if math.IsInf(le, 1) {
+				// Everything above the last finite bucket: report that
+				// bound as a floor rather than infinity.
+				if len(les) > 1 {
+					return les[len(les)-2], true
+				}
+				return 0, false
+			}
+			return le, true
+		}
+	}
+	return les[len(les)-1], true
+}

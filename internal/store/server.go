@@ -8,6 +8,7 @@ import (
 	"net"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"speed/internal/enclave"
@@ -38,6 +39,19 @@ type Server struct {
 	maxInflight int
 	maxProtocol int
 
+	// slowThreshold, when positive, logs one structured line for any
+	// request whose dispatch exceeds it (see WithSlowRequestLog);
+	// slowLast is the rate limiter.
+	slowThreshold time.Duration
+	slowLast      atomic.Int64
+
+	// Auth-failure totals folded from every session's channel counters
+	// (deltas, like the wire-byte accounting), exported through the
+	// AuthFailures/AuthFailBytes accessors and, with telemetry, the
+	// speed_wire_auth_* counters.
+	authFails     atomic.Int64
+	authFailBytes atomic.Int64
+
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
@@ -49,14 +63,17 @@ type Server struct {
 // serverMetrics is the server's pre-registered metric set (see
 // WithTelemetry).
 type serverMetrics struct {
-	connections *telemetry.Counter
-	active      *telemetry.Gauge
-	inflight    *telemetry.Gauge
-	bytesIn     *telemetry.Counter
-	bytesOut    *telemetry.Counter
-	getSeconds  *telemetry.Histogram
-	putSeconds  *telemetry.Histogram
-	batchSize   *telemetry.Histogram
+	reg           *telemetry.Registry
+	connections   *telemetry.Counter
+	active        *telemetry.Gauge
+	inflight      *telemetry.Gauge
+	bytesIn       *telemetry.Counter
+	bytesOut      *telemetry.Counter
+	authFails     *telemetry.Counter
+	authFailBytes *telemetry.Counter
+	getSeconds    *telemetry.Histogram
+	putSeconds    *telemetry.Histogram
+	batchSize     *telemetry.Histogram
 }
 
 func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
@@ -64,6 +81,7 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 		return nil
 	}
 	return &serverMetrics{
+		reg: reg,
 		connections: reg.NewCounter("speed_server_connections_total",
 			"accepted client connections that completed the handshake"),
 		active: reg.NewGauge("speed_server_active_connections",
@@ -74,6 +92,10 @@ func newServerMetrics(reg *telemetry.Registry) *serverMetrics {
 			"wire bytes received from clients, including framing"),
 		bytesOut: reg.NewCounter("speed_server_wire_bytes_out_total",
 			"wire bytes sent to clients, including framing"),
+		authFails: reg.NewCounter("speed_wire_auth_failures_total",
+			"received frames that failed AEAD authentication"),
+		authFailBytes: reg.NewCounter("speed_wire_auth_fail_bytes_total",
+			"bytes (payload plus framing) of frames that failed AEAD authentication"),
 		getSeconds: reg.NewHistogram("speed_server_request_seconds",
 			"request service latency from dispatch to reply written",
 			telemetry.L("op", "get")),
@@ -150,11 +172,22 @@ func WithMaxProtocol(v int) ServerOption {
 	return func(s *Server) { s.maxProtocol = v }
 }
 
-// WithTelemetry registers the server's connection, wire-byte, and
-// request-latency metrics with reg. A nil registry leaves the server
+// WithTelemetry registers the server's connection, wire-byte,
+// auth-failure and request-latency metrics with reg, and records
+// server-side spans of sampled requests (queue wait plus handler
+// execution) into reg's trace ring. A nil registry leaves the server
 // uninstrumented.
 func WithTelemetry(reg *telemetry.Registry) ServerOption {
 	return func(s *Server) { s.tel = newServerMetrics(reg) }
+}
+
+// WithSlowRequestLog logs one structured line via the server's logger
+// for any request whose dispatch exceeds threshold, rate-limited to
+// one line per second so a latency storm cannot flood the log. The
+// line carries the request's trace ID when it was sampled. Zero or
+// negative disables (the default).
+func WithSlowRequestLog(threshold time.Duration) ServerOption {
+	return func(s *Server) { s.slowThreshold = threshold }
 }
 
 // NewServer wraps store with a protocol server listening on ln.
@@ -179,6 +212,14 @@ func NewServer(st *Store, ln net.Listener, opts ...ServerOption) *Server {
 
 // Addr returns the listener address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// AuthFailures reports the total received frames across all sessions
+// that failed AEAD authentication.
+func (s *Server) AuthFailures() int64 { return s.authFails.Load() }
+
+// AuthFailBytes reports the total bytes (payload plus framing) of
+// frames that failed AEAD authentication across all sessions.
+func (s *Server) AuthFailBytes() int64 { return s.authFailBytes.Load() }
 
 // Serve accepts connections until Close is called. Temporary accept
 // failures (e.g. EMFILE under file-descriptor pressure) are retried
@@ -259,21 +300,28 @@ func (s *Server) handle(conn net.Conn) {
 	_ = conn.SetDeadline(time.Time{})
 	owner := ch.Peer()
 
-	// Wire-byte accounting: fold the channel's running totals into the
-	// registry counters as deltas, so /metrics tracks live traffic
-	// rather than jumping when a connection closes.
-	var lastIn, lastOut int64
+	// Wire-byte and auth-failure accounting: fold the channel's running
+	// totals into the registry counters as deltas, so /metrics tracks
+	// live traffic rather than jumping when a connection closes.
+	var lastIn, lastOut, lastAF, lastAFB int64
 	flushBytes := func() {
 		in, out := ch.BytesReceived(), ch.BytesSent()
-		s.tel.bytesIn.Add(in - lastIn)
-		s.tel.bytesOut.Add(out - lastOut)
-		lastIn, lastOut = in, out
+		af, afb := ch.AuthFailures(), ch.AuthFailBytes()
+		s.authFails.Add(af - lastAF)
+		s.authFailBytes.Add(afb - lastAFB)
+		if s.tel != nil {
+			s.tel.bytesIn.Add(in - lastIn)
+			s.tel.bytesOut.Add(out - lastOut)
+			s.tel.authFails.Add(af - lastAF)
+			s.tel.authFailBytes.Add(afb - lastAFB)
+		}
+		lastIn, lastOut, lastAF, lastAFB = in, out, af, afb
 	}
+	defer flushBytes()
 	if s.tel != nil {
 		s.tel.connections.Inc()
 		s.tel.active.Add(1)
 		defer s.tel.active.Add(-1)
-		defer flushBytes()
 	}
 	if ch.Version() >= wire.ProtocolV2 {
 		s.handleMux(conn, ch, owner, flushBytes)
@@ -305,12 +353,18 @@ func (s *Server) handleSerial(conn net.Conn, ch *wire.Channel, owner enclave.Mea
 			case wire.PutRequest:
 				reqHist = s.tel.putSeconds
 			}
+		}
+		if s.tel != nil || s.slowThreshold > 0 {
 			reqStart = time.Now()
 		}
 		reply, err := s.Dispatch(owner, msg)
 		if err != nil {
 			s.logf("store: dispatch: %v", err)
 			return
+		}
+		if s.slowThreshold > 0 {
+			// The v1 protocol has no place for a trace context.
+			s.maybeSlowLog(opName(msg), conn.RemoteAddr(), wire.TraceContext{}, time.Since(reqStart))
 		}
 		if s.writeTimeout > 0 {
 			_ = conn.SetWriteDeadline(time.Now().Add(s.writeTimeout))
@@ -336,6 +390,12 @@ func (s *Server) handleSerial(conn net.Conn, ch *wire.Channel, owner enclave.Mea
 type envelopeJob struct {
 	id  uint64
 	msg wire.Message
+	// tc is the caller's trace context (zero when unsampled or the
+	// channel did not negotiate tracing); readAt is when the envelope
+	// was decoded, stamped only for sampled requests so the hot path
+	// skips the clock read.
+	tc     wire.TraceContext
+	readAt time.Time
 }
 
 // handleMux services a v2 session as a three-stage pipeline: this
@@ -409,9 +469,12 @@ func (s *Server) handleMux(conn net.Conn, ch *wire.Channel, owner enclave.Measur
 					}
 					continue
 				}
+				took := time.Since(start)
 				if reqHist != nil {
-					reqHist.Observe(time.Since(start))
+					reqHist.Observe(took)
 				}
+				s.recordSpan(job, start)
+				s.maybeSlowLog(opName(job.msg), conn.RemoteAddr(), job.tc, took)
 				replies <- envelopeJob{id: job.id, msg: reply}
 			}
 		}()
@@ -431,7 +494,7 @@ func (s *Server) handleMux(conn net.Conn, ch *wire.Channel, owner enclave.Measur
 			}
 			break
 		}
-		id, msg, err := wire.UnmarshalEnvelope(payload)
+		id, tc, msg, err := ch.ParseEnvelope(payload)
 		if err != nil {
 			s.logf("store: bad envelope from %v: %v", conn.RemoteAddr(), err)
 			break
@@ -440,15 +503,87 @@ func (s *Server) handleMux(conn net.Conn, ch *wire.Channel, owner enclave.Measur
 		// crosses to a worker (and a PUT's Sealed is retained by the
 		// store), so copy before the next Recv reuses the buffer.
 		msg = wire.OwnMessage(msg)
+		var readAt time.Time
+		if tc.Valid() {
+			readAt = time.Now()
+		}
 		if s.tel != nil {
 			s.tel.inflight.Add(1)
 		}
-		work <- envelopeJob{id: id, msg: msg}
+		work <- envelopeJob{id: id, msg: msg, tc: tc, readAt: readAt}
 	}
 	close(work)
 	wg.Wait()
 	close(replies)
 	<-writerDone
+}
+
+// opName labels a request message for spans and slow-request lines.
+func opName(m wire.Message) string {
+	switch m.(type) {
+	case wire.GetRequest:
+		return "store_get"
+	case wire.PutRequest:
+		return "store_put"
+	case wire.BatchGetRequest:
+		return "store_batch_get"
+	case wire.BatchPutRequest:
+		return "store_batch_put"
+	case wire.SyncPullRequest:
+		return "store_sync_pull"
+	default:
+		return "store_request"
+	}
+}
+
+// recordSpan records one sampled request's server-side span into the
+// registry's trace ring: queue_wait covers envelope decode to worker
+// dispatch, handle covers the store operation. The span links to the
+// caller's span through ParentID, so /debug/trace?id= on this node
+// contributes its part of the assembled cross-node trace.
+func (s *Server) recordSpan(job envelopeJob, start time.Time) {
+	if s.tel == nil || !job.tc.Valid() {
+		return
+	}
+	now := time.Now()
+	queue := start.Sub(job.readAt)
+	handle := now.Sub(start)
+	s.tel.reg.Trace().Add(telemetry.TraceEvent{
+		Time:     now,
+		Name:     opName(job.msg),
+		TotalNS:  now.Sub(job.readAt).Nanoseconds(),
+		TraceID:  job.tc.TraceIDHex(),
+		SpanID:   wire.SpanIDHex(wire.NewSpanID()),
+		ParentID: wire.SpanIDHex(job.tc.Parent),
+		Node:     s.tel.reg.Node(),
+		Phases: []telemetry.PhaseSpan{
+			{Name: "queue_wait", StartNS: 0, DurNS: queue.Nanoseconds()},
+			{Name: "handle", StartNS: queue.Nanoseconds(), DurNS: handle.Nanoseconds()},
+		},
+	})
+}
+
+// slowLogGap rate-limits slow-request logging to one line per gap.
+const slowLogGap = time.Second
+
+// maybeSlowLog emits the structured slow-request line when dispatch
+// exceeded the WithSlowRequestLog threshold and the rate limiter
+// allows it.
+func (s *Server) maybeSlowLog(op string, peer net.Addr, tc wire.TraceContext, took time.Duration) {
+	if s.slowThreshold <= 0 || took < s.slowThreshold {
+		return
+	}
+	now := time.Now().UnixNano()
+	last := s.slowLast.Load()
+	if now-last < int64(slowLogGap) || !s.slowLast.CompareAndSwap(last, now) {
+		return
+	}
+	trace := "-"
+	if tc.Valid() {
+		trace = tc.TraceIDHex()
+	}
+	s.logf("store: slow request op=%s peer=%v total=%s threshold=%s trace=%s",
+		op, peer, took, s.slowThreshold, trace)
 }
 
 // Dispatch handles one protocol message on behalf of the attested

@@ -21,8 +21,9 @@ const numBuckets = 40
 // for telling a 5µs dedup hit from a 5ms recomputation.
 type Histogram struct {
 	metricMeta
-	counts [numBuckets]atomic.Int64
-	sumNS  atomic.Int64
+	counts    [numBuckets]atomic.Int64
+	sumNS     atomic.Int64
+	exemplars [numBuckets]atomic.Pointer[string]
 }
 
 // Observe records one duration. Negative durations (clock steps) are
@@ -31,16 +32,40 @@ func (h *Histogram) Observe(d time.Duration) {
 	if h == nil {
 		return
 	}
+	h.counts[bucketOf(d)].Add(1)
+	h.sumNS.Add(clampNS(d))
+}
+
+// ObserveExemplar records one duration and remembers traceID as the
+// bucket's exemplar, linking the latency bucket to a concrete sampled
+// trace. Call it only on the sampled path: unlike Observe it stores a
+// pointer, so it is not allocation-free.
+func (h *Histogram) ObserveExemplar(d time.Duration, traceID string) {
+	if h == nil {
+		return
+	}
+	b := bucketOf(d)
+	h.counts[b].Add(1)
+	h.sumNS.Add(clampNS(d))
+	if traceID != "" {
+		h.exemplars[b].Store(&traceID)
+	}
+}
+
+func clampNS(d time.Duration) int64 {
 	ns := d.Nanoseconds()
 	if ns < 0 {
 		ns = 0
 	}
-	b := bits.Len64(uint64(ns))
+	return ns
+}
+
+func bucketOf(d time.Duration) int {
+	b := bits.Len64(uint64(clampNS(d)))
 	if b >= numBuckets {
 		b = numBuckets - 1
 	}
-	h.counts[b].Add(1)
-	h.sumNS.Add(ns)
+	return b
 }
 
 // bucketUpperNS is the inclusive nanosecond upper bound of bucket b
@@ -64,10 +89,14 @@ type HistogramSnapshot struct {
 }
 
 // BucketCount is one cumulative histogram bucket: the number of
-// observations at or below LE seconds (LE < 0 encodes +Inf).
+// observations at or below LE seconds (LE < 0 encodes +Inf). Exemplar,
+// when set, is the trace ID of the last sampled observation that
+// landed in this bucket (not cumulative), so a slow bucket links
+// directly to a concrete /debug/trace?id= lookup.
 type BucketCount struct {
-	LE    float64 `json:"le_seconds"`
-	Count int64   `json:"count"`
+	LE       float64 `json:"le_seconds"`
+	Count    int64   `json:"count"`
+	Exemplar string  `json:"exemplar,omitempty"`
 }
 
 // Mean returns the mean observation in seconds (0 when empty).
@@ -114,9 +143,25 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		if b == numBuckets-1 {
 			le = -1 // +Inf
 		}
-		s.Buckets = append(s.Buckets, BucketCount{LE: le, Count: cum})
+		bc := BucketCount{LE: le, Count: cum}
+		if ex := h.exemplars[b].Load(); ex != nil {
+			bc.Exemplar = *ex
+		}
+		s.Buckets = append(s.Buckets, bc)
 	}
 	return s
+}
+
+// Exemplar returns the trace ID last recorded (via ObserveExemplar)
+// for the bucket containing d, or "" when none has been recorded.
+func (h *Histogram) Exemplar(d time.Duration) string {
+	if h == nil {
+		return ""
+	}
+	if ex := h.exemplars[bucketOf(d)].Load(); ex != nil {
+		return *ex
+	}
+	return ""
 }
 
 // quantile estimates the q-quantile in seconds from a bucket-count

@@ -4,14 +4,24 @@ import (
 	"encoding/json"
 	"net"
 	"net/http"
+	"strconv"
 	"time"
 )
+
+// TraceDump is the /debug/trace response: the recording node's address
+// plus the matching events, newest first.
+type TraceDump struct {
+	Node   string       `json:"node,omitempty"`
+	Total  uint64       `json:"total"`
+	Events []TraceEvent `json:"events"`
+}
 
 // Handler returns an http.Handler exposing the registry:
 //
 //	/metrics      — Prometheus text exposition format
-//	/debug/trace  — recent sampled call traces as a JSON array,
-//	                newest first
+//	/debug/trace  — recent sampled call traces, newest first;
+//	                ?id= selects one distributed trace, ?limit=
+//	                caps the event count
 //	/debug/vars   — the full registry snapshot (counters, gauges,
 //	                histogram quantiles) as JSON
 func (r *Registry) Handler() http.Handler {
@@ -20,15 +30,25 @@ func (r *Registry) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WritePrometheus(w)
 	})
-	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		events := r.Trace().Events()
+		q := req.URL.Query()
+		limit, _ := strconv.Atoi(q.Get("limit"))
+		var events []TraceEvent
+		if id := q.Get("id"); id != "" {
+			events = r.Trace().EventsForTrace(id)
+			if limit > 0 && limit < len(events) {
+				events = events[:limit]
+			}
+		} else {
+			events = r.Trace().EventsN(limit)
+		}
 		if events == nil {
 			events = []TraceEvent{}
 		}
-		_ = enc.Encode(events)
+		_ = enc.Encode(TraceDump{Node: r.Node(), Total: r.Trace().Total(), Events: events})
 	})
 	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

@@ -192,6 +192,7 @@ type Registry struct {
 	mu      sync.Mutex
 	metrics map[string]any
 	trace   *TraceRing
+	node    string
 }
 
 // NewRegistry creates an empty registry with a trace ring of the
@@ -210,6 +211,30 @@ func (r *Registry) Trace() *TraceRing {
 		return nil
 	}
 	return r.trace
+}
+
+// SetNode records the externally-visible address of the process this
+// registry instruments (typically the store or metrics listen address).
+// It is included in /debug/trace responses so traces assembled from
+// several nodes stay attributable.
+func (r *Registry) SetNode(addr string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.node = addr
+	r.mu.Unlock()
+}
+
+// Node returns the address recorded by SetNode ("" when unset or for a
+// nil registry).
+func (r *Registry) Node() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.node
 }
 
 // register installs the metric under its full name, returning the

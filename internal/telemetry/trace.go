@@ -18,16 +18,26 @@ type PhaseSpan struct {
 }
 
 // TraceEvent is one sampled call trace: which operation ran where, how
-// it was satisfied, and where its time went phase by phase.
+// it was satisfied, and where its time went phase by phase. When the
+// call participated in a distributed trace, TraceID/SpanID/ParentID
+// carry the hex-encoded wire trace context so spans recorded on
+// different nodes assemble into one tree (ParentID links to the parent
+// span's SpanID; the root span has an empty ParentID). Node names the
+// process that recorded the span, so assembled traces stay
+// attributable after rings from several nodes are merged.
 type TraceEvent struct {
-	Time    time.Time   `json:"time"`
-	App     string      `json:"app,omitempty"`
-	Name    string      `json:"name"`
-	ID      string      `json:"id,omitempty"`
-	Outcome string      `json:"outcome,omitempty"`
-	TotalNS int64       `json:"total_ns"`
-	Err     string      `json:"err,omitempty"`
-	Phases  []PhaseSpan `json:"phases,omitempty"`
+	Time     time.Time   `json:"time"`
+	App      string      `json:"app,omitempty"`
+	Name     string      `json:"name"`
+	ID       string      `json:"id,omitempty"`
+	Outcome  string      `json:"outcome,omitempty"`
+	TotalNS  int64       `json:"total_ns"`
+	Err      string      `json:"err,omitempty"`
+	TraceID  string      `json:"trace_id,omitempty"`
+	SpanID   string      `json:"span_id,omitempty"`
+	ParentID string      `json:"parent_id,omitempty"`
+	Node     string      `json:"node,omitempty"`
+	Phases   []PhaseSpan `json:"phases,omitempty"`
 }
 
 // TraceRing is a fixed-capacity ring buffer of sampled trace events.
@@ -78,19 +88,48 @@ func (t *TraceRing) Total() uint64 {
 }
 
 // Events returns the retained events, newest first.
-func (t *TraceRing) Events() []TraceEvent {
+func (t *TraceRing) Events() []TraceEvent { return t.EventsN(0) }
+
+// EventsN returns up to limit retained events, newest first. A
+// non-positive limit returns everything retained.
+func (t *TraceRing) EventsN(limit int) []TraceEvent {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	out := make([]TraceEvent, 0, len(t.buf))
-	for i := 0; i < len(t.buf); i++ {
+	n := len(t.buf)
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	out := make([]TraceEvent, 0, n)
+	for i := 0; i < n; i++ {
 		idx := t.next - 1 - i
 		for idx < 0 {
 			idx += len(t.buf)
 		}
 		out = append(out, t.buf[idx])
+	}
+	return out
+}
+
+// EventsForTrace returns the retained events belonging to one
+// distributed trace, newest first.
+func (t *TraceRing) EventsForTrace(traceID string) []TraceEvent {
+	if t == nil || traceID == "" {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []TraceEvent
+	for i := 0; i < len(t.buf); i++ {
+		idx := t.next - 1 - i
+		for idx < 0 {
+			idx += len(t.buf)
+		}
+		if t.buf[idx].TraceID == traceID {
+			out = append(out, t.buf[idx])
+		}
 	}
 	return out
 }

@@ -68,6 +68,11 @@ type Channel struct {
 	// peer predates the version byte in the hello).
 	version int
 
+	// features is the negotiated optional-capability set (the
+	// intersection of both peers' offers; zero for peers predating the
+	// feature byte, which keeps the v2 envelope format unchanged).
+	features Feature
+
 	// rekeyEvery is rekeyInterval, overridable in tests.
 	rekeyEvery uint64
 
@@ -111,6 +116,14 @@ func (c *Channel) Peer() enclave.Measurement { return c.peer }
 // Version returns the negotiated protocol version: ProtocolV2 when both
 // peers support the multiplexed protocol, ProtocolV1 otherwise.
 func (c *Channel) Version() int { return c.version }
+
+// Features returns the negotiated optional-capability set.
+func (c *Channel) Features() Feature { return c.features }
+
+// TraceEnabled reports whether both peers negotiated the trace-context
+// envelope field. When false, envelopes use the plain v2 layout and
+// trace contexts given to SendEnvelopeTrace are silently dropped.
+func (c *Channel) TraceEnabled() bool { return c.features&FeatureTrace != 0 }
 
 // BytesSent reports the total bytes written to the transport by Send,
 // including framing overhead but excluding the handshake.
@@ -192,13 +205,39 @@ func (c *Channel) SendMessage(m Message) error {
 // SendEnvelope marshals and sends a protocol-v2 envelope (request ID +
 // message) in one sealed frame, reusing the channel's marshal scratch.
 // It is the allocation-free equivalent of Send(MarshalEnvelope(id, m)).
+// On a trace-enabled channel the envelope carries an empty trace
+// context (one extra flags byte, still allocation-free).
 func (c *Channel) SendEnvelope(id uint64, m Message) error {
+	return c.SendEnvelopeTrace(id, TraceContext{}, m)
+}
+
+// SendEnvelopeTrace is SendEnvelope carrying a distributed-trace
+// context. The context is encoded only when it is Valid and the
+// channel negotiated FeatureTrace; otherwise it is dropped and the
+// envelope is the plain v2 form the peer expects. Unsampled (zero)
+// contexts stay on the allocation-free path.
+func (c *Channel) SendEnvelopeTrace(id uint64, tc TraceContext, m Message) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
-	c.msgBuf = AppendEnvelope(c.msgBuf[:0], id, m)
+	if c.features&FeatureTrace != 0 {
+		c.msgBuf = AppendEnvelopeTrace(c.msgBuf[:0], id, tc, m)
+	} else {
+		c.msgBuf = AppendEnvelope(c.msgBuf[:0], id, m)
+	}
 	err := c.sendLocked(c.msgBuf)
 	c.msgBuf = trimScratch(c.msgBuf)
 	return err
+}
+
+// ParseEnvelope decodes an envelope payload received on this channel,
+// using the traced layout iff the channel negotiated FeatureTrace. The
+// returned message aliases the payload exactly like Unmarshal.
+func (c *Channel) ParseEnvelope(payload []byte) (uint64, TraceContext, Message, error) {
+	if c.features&FeatureTrace != 0 {
+		return UnmarshalEnvelopeTrace(payload)
+	}
+	id, m, err := UnmarshalEnvelope(payload)
+	return id, TraceContext{}, m, err
 }
 
 // sendLocked seals payload into the channel's frame scratch — length
@@ -421,12 +460,19 @@ func ClientHandshakeTrust(conn io.ReadWriteCloser, e *enclave.Enclave, peerMeasu
 // highest offered protocol version, used to pin a client to ProtocolV1
 // for compatibility testing or conservative rollouts.
 func ClientHandshakeVersion(conn io.ReadWriteCloser, e *enclave.Enclave, peerMeasurement enclave.Measurement, trust *Trust, maxVersion int) (*Channel, error) {
+	return ClientHandshakeOptions(conn, e, peerMeasurement, trust, maxVersion, DefaultFeatures)
+}
+
+// ClientHandshakeOptions is ClientHandshakeVersion with an explicit
+// optional-feature offer (zero offers nothing, reproducing a peer that
+// predates the feature byte).
+func ClientHandshakeOptions(conn io.ReadWriteCloser, e *enclave.Enclave, peerMeasurement enclave.Measurement, trust *Trust, maxVersion int, features Feature) (*Channel, error) {
 	maxVersion = clampVersion(maxVersion)
 	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
 	if err != nil {
 		return nil, fmt.Errorf("wire: keygen: %w", err)
 	}
-	clientHello, err := makeHello(e, peerMeasurement, helloData(priv, maxVersion))
+	clientHello, err := makeHello(e, peerMeasurement, helloData(priv, maxVersion, features))
 	if err != nil {
 		return nil, err
 	}
@@ -449,7 +495,8 @@ func ClientHandshakeVersion(conn io.ReadWriteCloser, e *enclave.Enclave, peerMea
 	if peerMeas != peerMeasurement {
 		return nil, ErrPeerRejected
 	}
-	return deriveChannel(conn, priv, peerMeas, peerData, true, negotiate(maxVersion, peerData))
+	version := negotiate(maxVersion, peerData)
+	return deriveChannel(conn, priv, peerMeas, peerData, true, version, negotiateFeatures(features, peerData, version))
 }
 
 // ServerHandshake accepts a channel at the enclave e from a client on
@@ -469,6 +516,13 @@ func ServerHandshakeTrust(conn io.ReadWriteCloser, e *enclave.Enclave, accept fu
 // highest offered protocol version, used to pin a server to ProtocolV1
 // for compatibility testing or conservative rollouts.
 func ServerHandshakeVersion(conn io.ReadWriteCloser, e *enclave.Enclave, accept func(enclave.Measurement) bool, trust *Trust, maxVersion int) (*Channel, error) {
+	return ServerHandshakeOptions(conn, e, accept, trust, maxVersion, DefaultFeatures)
+}
+
+// ServerHandshakeOptions is ServerHandshakeVersion with an explicit
+// optional-feature offer (zero offers nothing, reproducing a peer that
+// predates the feature byte).
+func ServerHandshakeOptions(conn io.ReadWriteCloser, e *enclave.Enclave, accept func(enclave.Measurement) bool, trust *Trust, maxVersion int, features Feature) (*Channel, error) {
 	maxVersion = clampVersion(maxVersion)
 	frame, err := readHelloFrame(conn)
 	if err != nil {
@@ -487,21 +541,23 @@ func ServerHandshakeVersion(conn io.ReadWriteCloser, e *enclave.Enclave, accept 
 	}
 
 	// Negotiate down to what both sides speak; echo the agreed version
-	// in the server hello so the client adopts the same value.
+	// and feature set in the server hello so the client adopts the same
+	// values.
 	version := negotiate(maxVersion, clientData)
+	agreed := negotiateFeatures(features, clientData, version)
 
 	priv, err := ecdh.X25519().GenerateKey(rand.Reader)
 	if err != nil {
 		return nil, fmt.Errorf("wire: keygen: %w", err)
 	}
-	serverHello, err := makeHello(e, clientMeas, helloData(priv, version))
+	serverHello, err := makeHello(e, clientMeas, helloData(priv, version, agreed))
 	if err != nil {
 		return nil, err
 	}
 	if err := WriteFrame(conn, serverHello.marshal()); err != nil {
 		return nil, fmt.Errorf("wire: send server hello: %w", err)
 	}
-	return deriveChannel(conn, priv, clientMeas, clientData, false, version)
+	return deriveChannel(conn, priv, clientMeas, clientData, false, version, agreed)
 }
 
 // clampVersion bounds a caller-requested version offer to what this
@@ -517,12 +573,15 @@ func clampVersion(v int) int {
 }
 
 // helloData builds the hello's key-exchange data: the X25519 public key
-// in bytes 0-31 and the offered protocol version in byte 32. Both are
-// covered by the attestation report MAC.
-func helloData(priv *ecdh.PrivateKey, version int) []byte {
-	data := make([]byte, 33)
+// in bytes 0-31, the offered protocol version in byte 32 and the
+// offered optional-feature bits in byte 33. All are covered by the
+// attestation report MAC, so neither the version nor the feature set
+// can be stripped by a network adversary.
+func helloData(priv *ecdh.PrivateKey, version int, features Feature) []byte {
+	data := make([]byte, 34)
 	copy(data, priv.PublicKey().Bytes())
 	data[32] = byte(version)
+	data[33] = byte(features)
 	return data
 }
 
@@ -540,7 +599,18 @@ func negotiate(ours int, peerData [64]byte) int {
 	return ours
 }
 
-func deriveChannel(conn io.ReadWriteCloser, priv *ecdh.PrivateKey, peerMeas enclave.Measurement, peerData [64]byte, isClient bool, version int) (*Channel, error) {
+// negotiateFeatures intersects our feature offer with the peer's
+// (byte 33 of the key-exchange data; zero for peers predating it).
+// Features only exist on the enveloped v2 protocol, so a v1 channel
+// never carries any.
+func negotiateFeatures(ours Feature, peerData [64]byte, version int) Feature {
+	if version < ProtocolV2 {
+		return 0
+	}
+	return ours & Feature(peerData[33])
+}
+
+func deriveChannel(conn io.ReadWriteCloser, priv *ecdh.PrivateKey, peerMeas enclave.Measurement, peerData [64]byte, isClient bool, version int, features Feature) (*Channel, error) {
 	peerPub, err := ecdh.X25519().NewPublicKey(peerData[:32])
 	if err != nil {
 		return nil, fmt.Errorf("wire: peer public key: %w", err)
@@ -564,7 +634,7 @@ func deriveChannel(conn io.ReadWriteCloser, priv *ecdh.PrivateKey, peerMeas encl
 		mle.Zeroize(s2cKey)
 		return nil, err
 	}
-	ch := &Channel{conn: conn, peer: peerMeas, rekeyEvery: rekeyInterval, version: version}
+	ch := &Channel{conn: conn, peer: peerMeas, rekeyEvery: rekeyInterval, version: version, features: features}
 	if isClient {
 		ch.send, ch.recv = c2s, s2c
 		ch.sendKey, ch.recvKey = c2sKey, s2cKey

@@ -54,7 +54,7 @@ func FuzzParseHello(f *testing.F) {
 	p := enclave.NewPlatform(enclave.Config{})
 	if e, err := p.Create("fuzz", []byte("code")); err == nil {
 		if priv, err := ecdh.X25519().GenerateKey(rand.Reader); err == nil {
-			data := helloData(priv, ProtocolV2)
+			data := helloData(priv, ProtocolV2, DefaultFeatures)
 			data[32] = 9
 			if h, err := makeHello(e, enclave.Measurement{}, data); err == nil {
 				f.Add(h.marshal())

@@ -71,7 +71,7 @@ func TestFutureVersionSettlesOnV2(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	data := helloData(priv, ProtocolV2)
+	data := helloData(priv, ProtocolV2, DefaultFeatures)
 	data[32] = 9 // a future protocol this build has never heard of
 	clientHello, err := makeHello(client, server.Measurement(), data)
 	if err != nil {
@@ -97,7 +97,9 @@ func TestFutureVersionSettlesOnV2(t *testing.T) {
 		t.Fatalf("server echoed version %d, want ProtocolV2 (%d)", got, ProtocolV2)
 	}
 
-	clientCh, err := deriveChannel(cc, priv, peerMeas, peerData, true, negotiate(9, peerData))
+	version := negotiate(9, peerData)
+	clientCh, err := deriveChannel(cc, priv, peerMeas, peerData, true, version,
+		negotiateFeatures(DefaultFeatures, peerData, version))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -263,6 +263,9 @@ func (s *System) ExpireNow() int { return s.store.ExpireNow() }
 // applications connect when their platform is in TrustedPlatforms. The
 // returned server runs until its Close method is called.
 func (s *System) Serve(ln net.Listener) *StoreServer {
+	if s.tel.Node() == "" {
+		s.tel.SetNode(ln.Addr().String())
+	}
 	opts := []store.ServerOption{store.WithTelemetry(s.tel)}
 	if len(s.trusted) > 0 {
 		opts = append(opts, store.WithTrust(&wire.Trust{PlatformKeys: s.trusted}))
