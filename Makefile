@@ -44,6 +44,7 @@ bench:
 	$(GO) run ./cmd/speedbench -quick -exp fig6 -metrics-out BENCH_fig6.json
 	$(GO) run ./cmd/speedbench -quick -exp concurrency -metrics-out BENCH_concurrency.json
 	$(GO) run ./cmd/speedbench -quick -exp cluster -metrics-out BENCH_cluster.json
+	$(GO) run ./cmd/speedbench -quick -exp persist -metrics-out BENCH_persist.json
 
 # Instrumentation overhead gate: BenchmarkExecuteHitTelemetry must stay
 # within 5% of BenchmarkExecuteHit (deployment-default SGX costs).
@@ -51,10 +52,10 @@ bench-overhead:
 	$(GO) test -run xxx -bench 'BenchmarkExecuteHit' -benchtime 1s ./internal/dedup/
 
 # Hot-path micro-benchmarks: the allocation-free wire/crypto fast path
-# (Channel round trip, marshal, frame read, mle seal/open). -count 6
-# gives the regression gate a run-to-run spread for its significance
-# test.
-BENCH_HOT_PKGS := ./internal/wire ./internal/mle
+# (Channel round trip, marshal, frame read, mle seal/open) plus the
+# log engine's memtable-hit read. -count 6 gives the regression gate a
+# run-to-run spread for its significance test.
+BENCH_HOT_PKGS := ./internal/wire ./internal/mle ./internal/store/logengine
 BENCH_HOT_PATTERN := 'BenchmarkHot|BenchmarkChannelRoundTrip'
 BENCH_HOT_COUNT ?= 6
 

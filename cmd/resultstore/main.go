@@ -6,8 +6,14 @@
 // Usage:
 //
 //	resultstore -listen 127.0.0.1:7800 [-blobdir /var/lib/speed] \
+//	            [-data-dir /var/lib/speed/store -machine-seed SEED] \
 //	            [-max-entries 100000] [-quota-bytes 1073741824] \
 //	            [-metrics 127.0.0.1:9090] [-stats-interval 30s]
+//
+// With -data-dir the dictionary runs on the persistent log-structured
+// engine (sealed WAL + segments) and survives crashes; without it the
+// store is in-memory and -snapshot provides shutdown/interval
+// durability.
 //
 // On startup it prints the store enclave's measurement, which client
 // applications pin during the attested channel handshake.
@@ -38,6 +44,12 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("resultstore", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:7800", "listen address")
 	blobDir := fs.String("blobdir", "", "directory for ciphertext blobs (default: in-memory)")
+	engine := fs.String("engine", "", "storage engine: memory or log (default: memory, or log when -data-dir is set)")
+	dataDir := fs.String("data-dir", "", "log engine data directory (sealed WAL + segments); implies -engine log")
+	fsync := fs.String("fsync", "", "log engine WAL durability: commit (default), interval or none")
+	memtableBytes := fs.Int64("memtable-bytes", 0, "log engine memtable budget before flushing a segment (0 = default)")
+	cacheBytes := fs.Int64("cache-bytes", 0, "log engine hot-entry cache budget (0 = default)")
+	compactInterval := fs.Duration("compact-interval", 0, "log engine background compaction period (0 = default, negative = disabled)")
 	maxEntries := fs.Int("max-entries", 0, "max dictionary entries before LRU eviction (0 = unlimited)")
 	maxBlobBytes := fs.Int64("max-blob-bytes", 0, "max total ciphertext bytes (0 = unlimited)")
 	shards := fs.Int("shards", 0, "dictionary shard count, rounded up to a power of two (0 = default)")
@@ -58,11 +70,18 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	persistent := *dataDir != "" || *engine == store.EngineLog
 	if *snapshotPath != "" && *machineSeed == "" {
 		return fmt.Errorf("-snapshot requires -machine-seed (sealing is machine-bound)")
 	}
-	if *snapshotInterval > 0 && *snapshotPath == "" {
-		return fmt.Errorf("-snapshot-interval requires -snapshot")
+	if *dataDir != "" && *machineSeed == "" {
+		return fmt.Errorf("-data-dir requires -machine-seed (the WAL and segments are sealed machine-bound; without a deterministic seed a restart cannot unseal them)")
+	}
+	if *snapshotInterval > 0 && *snapshotPath == "" && !persistent {
+		return fmt.Errorf("-snapshot-interval requires -snapshot (or a persistent -data-dir engine, where it becomes a checkpoint interval)")
+	}
+	if *snapshotPath != "" && persistent {
+		return fmt.Errorf("-snapshot and -data-dir are mutually exclusive: the log engine is already durable")
 	}
 
 	platform := enclave.NewPlatform(enclave.Config{
@@ -85,13 +104,22 @@ func run(args []string) error {
 	platform.RegisterTelemetry(reg)
 	storeEnc.RegisterTelemetry(reg)
 	st, err := store.New(store.Config{
-		Enclave:      storeEnc,
-		Blobs:        blobs,
-		Shards:       *shards,
-		MaxEntries:   *maxEntries,
-		MaxBlobBytes: *maxBlobBytes,
-		TTL:          *ttl,
-		Telemetry:    reg,
+		Enclave:         storeEnc,
+		Blobs:           blobs,
+		Shards:          *shards,
+		MaxEntries:      *maxEntries,
+		MaxBlobBytes:    *maxBlobBytes,
+		TTL:             *ttl,
+		Telemetry:       reg,
+		Engine:          *engine,
+		DataDir:         *dataDir,
+		MemtableBytes:   *memtableBytes,
+		CacheBytes:      *cacheBytes,
+		Fsync:           *fsync,
+		CompactInterval: *compactInterval,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("resultstore: "+format+"\n", args...)
+		},
 		Quota: store.QuotaConfig{
 			MaxBytesPerApp: *quotaBytes,
 			PutRatePerSec:  *quotaRate,
@@ -99,6 +127,15 @@ func run(args []string) error {
 	})
 	if err != nil {
 		return err
+	}
+	if st.Persistent() {
+		es := st.EngineStats()
+		fsyncName := *fsync
+		if fsyncName == "" {
+			fsyncName = "commit"
+		}
+		fmt.Printf("resultstore: log engine on %s (fsync %s): %d entries recovered (%d replayed from WAL, %d segments)\n",
+			*dataDir, fsyncName, st.Stats().Entries, es.Replayed, es.Segments)
 	}
 
 	if *snapshotPath != "" {
@@ -184,7 +221,11 @@ func run(args []string) error {
 			})
 		saver.Start()
 		defer saver.Stop()
-		fmt.Printf("resultstore: autosaving snapshot to %s every %v\n", *snapshotPath, *snapshotInterval)
+		if st.Persistent() {
+			fmt.Printf("resultstore: checkpointing (memtable flush + WAL fsync) every %v\n", *snapshotInterval)
+		} else {
+			fmt.Printf("resultstore: autosaving snapshot to %s every %v\n", *snapshotPath, *snapshotInterval)
+		}
 	}
 
 	errCh := make(chan error, 1)
@@ -209,6 +250,9 @@ func run(args []string) error {
 			fmt.Printf("resultstore: sealed %d bytes to %s\n", len(snap), *snapshotPath)
 		}
 		summary("final")
+		// Closing the store flushes the log engine's memtable and syncs
+		// its WAL, so a clean shutdown restarts without replay.
+		st.Close()
 		return nil
 	case err := <-errCh:
 		return err

@@ -12,6 +12,7 @@
 //	speedbench -exp resilience     # store-outage fault injection
 //	speedbench -exp concurrency    # mux throughput: workers x batch size
 //	speedbench -exp cluster        # 3-node ring, one member killed mid-run
+//	speedbench -exp persist        # log engine: beyond-RAM load, kill -9, recovery
 //	speedbench -quick              # reduced sizes/trials for a fast pass
 //
 // With -metrics-out FILE, the run records phase-level telemetry and
@@ -43,7 +44,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("speedbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: all, table1, fig5 (=fig5a-d), fig5a, fig5b, fig5c, fig5d, fig6, ablations, effort, resilience, concurrency, cluster")
+	exp := fs.String("exp", "all", "experiment: all, table1, fig5 (=fig5a-d), fig5a, fig5b, fig5c, fig5d, fig6, ablations, effort, resilience, concurrency, cluster, persist")
 	quick := fs.Bool("quick", false, "reduced sizes and trials")
 	trials := fs.Int("trials", 0, "override trial count (0 = default)")
 	storeTimeout := fs.Duration("store-timeout", 200*time.Millisecond, "resilience: per-request store deadline")
@@ -92,6 +93,9 @@ func run(args []string) error {
 		"cluster": func() error {
 			return runCluster(*quick)
 		},
+		"persist": func() error {
+			return runPersist(*quick)
+		},
 		// smoke needs an external resultstore, so it is not part of
 		// "all" (see -store-addr).
 		"smoke": func() error {
@@ -115,7 +119,7 @@ func run(args []string) error {
 
 	var err error
 	if *exp == "all" {
-		err = runNamed("table1", "fig5a", "fig5b", "fig5c", "fig5d", "fig6", "ablations", "effort", "resilience", "concurrency", "cluster")
+		err = runNamed("table1", "fig5a", "fig5b", "fig5c", "fig5d", "fig6", "ablations", "effort", "resilience", "concurrency", "cluster", "persist")
 	} else if fn, ok := experiments[*exp]; ok {
 		err = fn()
 	} else {
@@ -156,7 +160,10 @@ type metricsReport struct {
 	Concurrency []bench.ConcurrencyRow `json:"concurrency,omitempty"`
 	// Cluster holds the multi-node fault-injection phases when the
 	// cluster experiment ran.
-	Cluster  []bench.ClusterPhase `json:"cluster,omitempty"`
+	Cluster []bench.ClusterPhase `json:"cluster,omitempty"`
+	// Persist holds the log-engine crash-recovery measurements when the
+	// persist experiment ran.
+	Persist  *bench.PersistResult `json:"persist,omitempty"`
 	Snapshot telemetry.Snapshot   `json:"snapshot"`
 }
 
@@ -164,6 +171,7 @@ type metricsReport struct {
 // experiment into the metrics report.
 var concurrencyRows []bench.ConcurrencyRow
 var clusterPhases []bench.ClusterPhase
+var persistResult *bench.PersistResult
 
 // labelValue extracts one label's value from a rendered metric name
 // like `speed_execute_phase_seconds{app="x",phase="tag"}`.
@@ -207,6 +215,7 @@ func writeMetricsReport(path, experiment string, reg *telemetry.Registry) error 
 		Execute:     quantileRows(snap, "speed_execute_seconds", "outcome"),
 		Concurrency: concurrencyRows,
 		Cluster:     clusterPhases,
+		Persist:     persistResult,
 		Snapshot:    snap,
 	}
 	if calls > 0 {
@@ -402,6 +411,26 @@ func runCluster(quick bool) error {
 	clusterPhases = phases
 	fmt.Print(bench.RenderCluster(cfg.Nodes, cfg.Replicas, phases))
 	return nil
+}
+
+func runPersist(quick bool) error {
+	dir, err := os.MkdirTemp("", "speed-persist-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	cfg := bench.PersistConfig{Dir: dir}
+	if quick {
+		cfg.Records = 256
+		cfg.MemtableBytes = 32 << 10
+		cfg.CacheBytes = 32 << 10
+	}
+	res, err := bench.Persist(cfg)
+	if res != nil {
+		persistResult = res
+		fmt.Print(bench.RenderPersist(res))
+	}
+	return err
 }
 
 // runSmoke exercises a live resultstore deployment end to end with

@@ -1,0 +1,264 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"speed/internal/enclave"
+	"speed/internal/mle"
+	"speed/internal/store"
+)
+
+// Persist exercises the log-structured storage engine end to end: a
+// working set several times larger than the engine's in-memory budget
+// is written through the Store under fsync-on-commit, the process is
+// "kill -9"ed mid-load (Store.Crash: no flush, no sync), and the store
+// is reopened from disk. The acceptance bar is total: every PUT that
+// was acknowledged before the crash must be served after recovery.
+
+// PersistConfig tunes the persistence benchmark.
+type PersistConfig struct {
+	// Records is the working-set size; default 1024 (256 in quick runs).
+	Records int
+	// BlobBytes is the per-record ciphertext size; default 1 KiB.
+	BlobBytes int
+	// MemtableBytes / CacheBytes are the engine's in-memory budgets;
+	// defaults keep the working set >= 4x their sum.
+	MemtableBytes int64
+	CacheBytes    int64
+	// Dir is the data directory; required.
+	Dir string
+}
+
+// PersistPhase is the measured outcome of one phase.
+type PersistPhase struct {
+	Name      string  `json:"name"`
+	Records   int     `json:"records"`
+	Bytes     int64   `json:"bytes,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// Hits / Misses are set by the verify phases.
+	Hits   int `json:"hits,omitempty"`
+	Misses int `json:"misses,omitempty"`
+	// Engine counters after the phase.
+	WALBytes    int64 `json:"wal_bytes"`
+	Flushes     int64 `json:"flushes"`
+	Compactions int64 `json:"compactions"`
+	Segments    int64 `json:"segments"`
+	Replayed    int64 `json:"replayed,omitempty"`
+	TornTails   int64 `json:"torn_tails,omitempty"`
+}
+
+// PersistResult is the full benchmark outcome.
+type PersistResult struct {
+	Phases []PersistPhase `json:"phases"`
+	// WorkingSetBytes and BudgetBytes establish the beyond-RAM ratio.
+	WorkingSetBytes int64   `json:"working_set_bytes"`
+	BudgetBytes     int64   `json:"budget_bytes"`
+	BudgetRatio     float64 `json:"budget_ratio"`
+	// RecoveryMS is the reopen (segment load + WAL replay) time after
+	// the crash.
+	RecoveryMS float64 `json:"recovery_ms"`
+	// CrashHitRate is the post-crash hit rate over acknowledged PUTs.
+	CrashHitRate float64 `json:"crash_hit_rate"`
+}
+
+// Persist runs the crash-recovery benchmark and returns the
+// measurements. It fails if any acknowledged PUT is lost.
+func Persist(cfg PersistConfig) (*PersistResult, error) {
+	if cfg.Records <= 0 {
+		cfg.Records = 1024
+	}
+	if cfg.BlobBytes <= 0 {
+		cfg.BlobBytes = 1 << 10
+	}
+	if cfg.MemtableBytes <= 0 {
+		cfg.MemtableBytes = 64 << 10
+	}
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = 64 << 10
+	}
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("persist: data directory required")
+	}
+
+	// A deterministic platform seed is the simulated analogue of fused
+	// hardware keys: the reopened "machine" derives the same sealing
+	// key, exactly as a rebooted SGX host would.
+	seed := []byte("speed-persist-bench-machine")
+	open := func() (*store.Store, enclave.Measurement, error) {
+		platform := enclave.NewPlatform(enclave.Config{PlatformSeed: seed})
+		enc, err := platform.Create("persist-store", []byte("persist store code"))
+		if err != nil {
+			return nil, enclave.Measurement{}, err
+		}
+		st, err := store.New(store.Config{
+			Enclave:         enc,
+			Engine:          store.EngineLog,
+			DataDir:         cfg.Dir,
+			MemtableBytes:   cfg.MemtableBytes,
+			CacheBytes:      cfg.CacheBytes,
+			Fsync:           "commit",
+			CompactInterval: -1, // compaction is triggered explicitly below
+			Telemetry:       registry,
+		})
+		if err != nil {
+			return nil, enclave.Measurement{}, err
+		}
+		return st, enc.Measurement(), nil
+	}
+
+	st, owner, err := open()
+	if err != nil {
+		return nil, err
+	}
+	blob := make([]byte, cfg.BlobBytes)
+	for i := range blob {
+		blob[i] = byte(i)
+	}
+	tag := func(i int) mle.Tag {
+		var t mle.Tag
+		copy(t[:], fmt.Sprintf("persist-bench-tag-%08d", i))
+		return t
+	}
+	put := func(st *store.Store, i int) error {
+		sealed := mle.Sealed{
+			Challenge:  []byte(fmt.Sprintf("challenge-%06d", i)),
+			WrappedKey: []byte(fmt.Sprintf("wrapkey--%06d", i)),
+			Blob:       blob,
+		}
+		installed, err := st.Put(owner, tag(i), sealed)
+		if err != nil {
+			return fmt.Errorf("put %d: %w", i, err)
+		}
+		if !installed {
+			return fmt.Errorf("put %d: duplicate on a fresh tag", i)
+		}
+		return nil
+	}
+	phase := func(name string, st *store.Store, records int, bytes int64, elapsed time.Duration) PersistPhase {
+		es := st.EngineStats()
+		return PersistPhase{
+			Name: name, Records: records, Bytes: bytes,
+			ElapsedMS:   float64(elapsed.Microseconds()) / 1000,
+			WALBytes:    es.WALBytes,
+			Flushes:     es.Flushes,
+			Compactions: es.Compactions,
+			Segments:    int64(es.Segments),
+			Replayed:    es.Replayed,
+			TornTails:   es.TornTails,
+		}
+	}
+
+	res := &PersistResult{
+		WorkingSetBytes: int64(cfg.Records) * int64(cfg.BlobBytes),
+		BudgetBytes:     cfg.MemtableBytes + cfg.CacheBytes,
+	}
+	res.BudgetRatio = float64(res.WorkingSetBytes) / float64(res.BudgetBytes)
+
+	// Phase 1: load the first 60% under fsync-on-commit. Every one of
+	// these PUTs was acknowledged, so every one must survive the crash.
+	acked := cfg.Records * 6 / 10
+	start := time.Now()
+	for i := 0; i < acked; i++ {
+		if err := put(st, i); err != nil {
+			return nil, err
+		}
+	}
+	res.Phases = append(res.Phases,
+		phase("load (pre-crash)", st, acked, int64(acked)*int64(cfg.BlobBytes), time.Since(start)))
+
+	// Kill -9: no flush, no WAL sync beyond what commit already did.
+	st.Crash()
+
+	// Phase 2: recovery — segment load plus WAL replay of everything
+	// after the last flush.
+	start = time.Now()
+	st, _, err = open()
+	if err != nil {
+		return nil, fmt.Errorf("reopen after crash: %w", err)
+	}
+	recovery := time.Since(start)
+	res.RecoveryMS = float64(recovery.Microseconds()) / 1000
+	res.Phases = append(res.Phases, phase("recover", st, st.Len(), 0, recovery))
+
+	// Phase 3: verify every acknowledged PUT.
+	start = time.Now()
+	hits := 0
+	for i := 0; i < acked; i++ {
+		if _, found, err := st.Get(tag(i)); err != nil {
+			return nil, fmt.Errorf("post-crash get %d: %w", i, err)
+		} else if found {
+			hits++
+		}
+	}
+	vp := phase("verify (post-crash)", st, acked, 0, time.Since(start))
+	vp.Hits, vp.Misses = hits, acked-hits
+	res.Phases = append(res.Phases, vp)
+	res.CrashHitRate = float64(hits) / float64(acked)
+	if hits != acked {
+		return res, fmt.Errorf("persist: lost %d of %d acknowledged PUTs after crash", acked-hits, acked)
+	}
+
+	// Phase 4: load the rest of the working set and compact, pushing
+	// well past the in-memory budget.
+	start = time.Now()
+	for i := acked; i < cfg.Records; i++ {
+		if err := put(st, i); err != nil {
+			return nil, err
+		}
+	}
+	if err := st.Checkpoint(); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := st.Compact(); err != nil {
+		return nil, fmt.Errorf("compact: %w", err)
+	}
+	res.Phases = append(res.Phases,
+		phase("load (post-crash)", st, cfg.Records-acked, int64(cfg.Records-acked)*int64(cfg.BlobBytes), time.Since(start)))
+
+	// Phase 5: clean shutdown and reopen — no WAL replay expected —
+	// then verify the full working set from segments.
+	st.Close()
+	start = time.Now()
+	st, _, err = open()
+	if err != nil {
+		return nil, fmt.Errorf("reopen after close: %w", err)
+	}
+	defer st.Close()
+	reopen := time.Since(start)
+	res.Phases = append(res.Phases, phase("clean reopen", st, st.Len(), 0, reopen))
+
+	start = time.Now()
+	hits = 0
+	for i := 0; i < cfg.Records; i++ {
+		if _, found, err := st.Get(tag(i)); err != nil {
+			return nil, fmt.Errorf("final get %d: %w", i, err)
+		} else if found {
+			hits++
+		}
+	}
+	fp := phase("verify (full set)", st, cfg.Records, 0, time.Since(start))
+	fp.Hits, fp.Misses = hits, cfg.Records-hits
+	res.Phases = append(res.Phases, fp)
+	if hits != cfg.Records {
+		return res, fmt.Errorf("persist: clean reopen lost %d of %d records", cfg.Records-hits, cfg.Records)
+	}
+	return res, nil
+}
+
+// RenderPersist formats the phase table plus the acceptance summary.
+func RenderPersist(res *PersistResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Persistent log engine: %d KiB working set over a %d KiB in-memory budget (%.1fx), fsync-on-commit\n",
+		res.WorkingSetBytes>>10, res.BudgetBytes>>10, res.BudgetRatio)
+	fmt.Fprintf(&b, "  %-20s %8s %9s %10s %8s %8s %9s %9s\n",
+		"phase", "records", "elapsed", "wal_bytes", "flushes", "compact", "segments", "replayed")
+	for _, p := range res.Phases {
+		fmt.Fprintf(&b, "  %-20s %8d %8.1fms %10d %8d %8d %9d %9d\n",
+			p.Name, p.Records, p.ElapsedMS, p.WALBytes, p.Flushes, p.Compactions, p.Segments, p.Replayed)
+	}
+	fmt.Fprintf(&b, "  recovery after kill -9: %.1fms\n", res.RecoveryMS)
+	fmt.Fprintf(&b, "  acknowledged PUTs recovered: %.1f%% (want 100%%)\n", 100*res.CrashHitRate)
+	return b.String()
+}

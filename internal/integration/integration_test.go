@@ -279,9 +279,19 @@ func TestReplicationAcrossMachines(t *testing.T) {
 		rtB.Execute(idB, []byte(fmt.Sprintf("in-%d", i)), compute)
 	}
 
-	rep := store.NewReplicator(master.store, []*store.Store{edge1.store, edge2.store}, 1, 0)
-	if _, err := rep.SyncOnce(); err != nil {
-		t.Fatalf("SyncOnce: %v", err)
+	// Sync popular results edge → master the way cluster.Syncer does:
+	// export entries with at least one hit and install them, first
+	// version winning.
+	for _, edge := range []*store.Store{edge1.store, edge2.store} {
+		entries, err := edge.Export(1)
+		if err != nil {
+			t.Fatalf("Export: %v", err)
+		}
+		for _, e := range entries {
+			if _, err := master.store.Put(e.Owner, e.Tag, e.Sealed); err != nil {
+				t.Fatalf("sync Put: %v", err)
+			}
+		}
 	}
 	// 10 distinct inputs total; overlapping tags stored once.
 	if got := master.store.Len(); got != 10 {

@@ -25,8 +25,9 @@ import (
 //     (enclave.VerifyQuote, UnmarshalQuote, UnmarshalReport, and
 //     friends) may be called only from the wire handshake (or the
 //     enclave package itself), and the sealing primitives
-//     (Enclave.Seal/Unseal) only from the store layer — the two places
-//     the design documents as the boundary's legitimate crossings.
+//     (Enclave.Seal/Unseal) only from the store layer (package store
+//     and its storage engines, e.g. logengine) — the places the design
+//     documents as the boundary's legitimate crossings.
 //
 // Rules match package and type NAMES (not full import paths) so the
 // same checks run against the production tree and the test fixtures.
@@ -141,9 +142,10 @@ func checkECallSurface(pass *Pass) {
 				}
 				return true
 			}
-			// Sealing methods on an Enclave value: store-only.
+			// Sealing methods on an Enclave value: the store layer only
+			// (the store itself and its storage engines).
 			if (name == "Seal" || name == "Unseal") && typeIs(pkg, sel.X, "enclave", "Enclave") {
-				if caller != "store" && caller != "enclave" {
+				if caller != "store" && caller != "logengine" && caller != "enclave" {
 					pass.Reportf(call.Pos(), "sealing primitive Enclave.%s called from package %s; sealed storage is owned by the store layer", name, caller)
 				}
 			}

@@ -7,11 +7,21 @@ import (
 	"time"
 )
 
-// Autosaver periodically seals a snapshot of the store to a file, so a
-// crash (power loss, SIGKILL) costs at most one interval of dictionary
-// growth instead of the whole warm cache. Writes go through a temp file
-// and an atomic rename: a crash mid-write leaves the previous snapshot
-// intact, never a torn file.
+// Autosaver periodically makes the store durable, so a crash (power
+// loss, SIGKILL) costs at most one interval of dictionary growth
+// instead of the whole warm cache. It is engine-aware:
+//
+//   - On a volatile engine (memory), each save seals a full snapshot
+//     and writes it to the configured file through a temp file and an
+//     atomic rename — a crash mid-write leaves the previous snapshot
+//     intact, never a torn file.
+//   - On a persistent engine (log), a full snapshot would duplicate
+//     what the WAL and segments already hold, so each save is instead a
+//     checkpoint trigger: flush the memtable and fsync the WAL. This
+//     bounds recovery work (and data loss under -fsync none/interval)
+//     to one autosave interval.
+//
+// Saves() counts completed saves in both modes.
 type Autosaver struct {
 	store    *Store
 	path     string
@@ -43,8 +53,18 @@ func NewAutosaver(st *Store, path string, interval time.Duration, logf func(form
 	}
 }
 
-// SaveOnce seals one snapshot and atomically replaces the target file.
+// SaveOnce performs one save: a checkpoint on a persistent engine, a
+// sealed snapshot atomically replacing the target file otherwise.
 func (a *Autosaver) SaveOnce() error {
+	if a.store.Persistent() {
+		if err := a.store.Checkpoint(); err != nil {
+			return fmt.Errorf("autosave: checkpoint: %w", err)
+		}
+		a.mu.Lock()
+		a.saves++
+		a.mu.Unlock()
+		return nil
+	}
 	snap, err := a.store.SealSnapshot()
 	if err != nil {
 		return fmt.Errorf("autosave: seal: %w", err)

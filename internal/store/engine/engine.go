@@ -1,0 +1,170 @@
+// Package engine defines the storage-engine seam behind store.Store:
+// the pluggable backend that holds the dictionary of sealed results.
+//
+// The Store above the seam is engine-neutral policy — authorization,
+// quotas, TTL policy, oblivious-access configuration, telemetry and
+// snapshot orchestration — while an Engine owns the data: where
+// records live (RAM, disk), how they are found, and what survives a
+// crash. Two engines implement the interface:
+//
+//   - the memory engine (store.memEngine): the original lock-striped
+//     sharded map with global LRU, volatile;
+//   - the log engine (internal/store/logengine): an append-only WAL of
+//     sealed records plus immutable sorted segments, durable and
+//     larger than RAM.
+//
+// Trust model: engines may move bytes onto untrusted media, but only
+// sealed bytes (enclave-authenticated ciphertext) ever leave the trust
+// boundary. Plaintext key material (challenges, wrapped keys) exists
+// only inside enclave memory; an engine that persists it must seal it
+// first and must treat anything read back as hostile until it
+// authenticates.
+package engine
+
+import (
+	"errors"
+	"time"
+
+	"speed/internal/enclave"
+	"speed/internal/mle"
+)
+
+// ErrClosed is returned by engine operations after Close. store.Store
+// re-exports it as store.ErrClosed, so the message keeps the store
+// prefix the public API always had.
+var ErrClosed = errors.New("store: closed")
+
+// Record is the unit an engine stores per tag: the small dictionary
+// metadata (challenge r and wrapped key [k], Section IV-B) together
+// with the result ciphertext and the bookkeeping the Store's policy
+// layers need (owner for quota attribution, hits for popularity
+// export, last touch for LRU and TTL).
+type Record struct {
+	// Challenge and WrappedKey are the in-enclave dictionary fields.
+	Challenge  []byte
+	WrappedKey []byte
+	// Blob is the result ciphertext. Engines keep it outside enclave
+	// memory accounting (it is AEAD ciphertext). May be nil on records
+	// returned by Remove; BlobSize is always valid.
+	Blob []byte
+	// BlobSize is len(Blob) at insert time, kept so Remove can report
+	// the freed bytes without re-reading the value.
+	BlobSize int64
+	// Owner is the attested measurement of the application that stored
+	// the record, charged for its quota bytes.
+	Owner enclave.Measurement
+	// Hits counts positive lookups. Durable engines may persist hit
+	// counts lazily (see the logengine package doc).
+	Hits int64
+	// LastTouch is the store time of the last Put or non-oblivious hit,
+	// driving LRU eviction and TTL expiry.
+	LastTouch time.Time
+}
+
+// GetStatus reports how a lookup resolved.
+type GetStatus int
+
+const (
+	// StatusMiss: no live record for the tag.
+	StatusMiss GetStatus = iota
+	// StatusHit: the record was found and is returned.
+	StatusHit
+	// StatusExpired: a record exists but is past its TTL. The engine
+	// does not remove it; the caller decides (store.Store removes it
+	// and counts an expiry).
+	StatusExpired
+	// StatusDangling: dictionary metadata exists but the value is lost
+	// or failed authentication (untrusted storage misbehaving). The
+	// caller should remove the entry and treat the lookup as a miss.
+	StatusDangling
+)
+
+// Stats is a point-in-time snapshot of engine occupancy and activity.
+// The memory engine fills only Entries/ValueBytes; the log engine
+// fills everything.
+type Stats struct {
+	// Entries is the number of live records.
+	Entries int
+	// ValueBytes is the total ciphertext bytes of live records.
+	ValueBytes int64
+
+	// WALBytes is the current write-ahead-log length.
+	WALBytes int64
+	// WALRecords counts records appended to the WAL since open.
+	WALRecords int64
+	// Flushes counts memtable-to-segment flushes.
+	Flushes int64
+	// Compactions counts completed segment merges.
+	Compactions int64
+	// Segments is the current immutable segment count.
+	Segments int
+	// SegmentBytes is the total on-disk segment size.
+	SegmentBytes int64
+	// CacheHits / CacheMisses count lookups served from the in-memory
+	// tier (memtable or hot cache) vs lookups that had to touch disk.
+	CacheHits   int64
+	CacheMisses int64
+	// Replayed is the number of WAL records recovered at open.
+	Replayed int64
+	// TornTails counts truncated WAL tails observed at open (0 or 1
+	// per recovery, cumulative across reopens of this process).
+	TornTails int64
+}
+
+// Engine is the pluggable storage backend behind store.Store. All
+// methods must be safe for concurrent use.
+//
+// Engines own enclave memory accounting for whatever structures they
+// keep inside the trust boundary (dictionary entries, memtables,
+// indexes) via the enclave handle they are constructed with, so the
+// simulated EPC pressure tracks the engine actually in use.
+type Engine interface {
+	// Name identifies the engine ("memory", "log") for telemetry
+	// labels and operator output.
+	Name() string
+	// Durable reports whether acknowledged inserts survive a crash.
+	// The Store uses it to decide snapshot-vs-checkpoint semantics
+	// (see store.Autosaver).
+	Durable() bool
+
+	// Get looks the tag up. On StatusHit the returned Record's byte
+	// slices are owned by the caller (engines copy out). Engines
+	// configured oblivious perform access-pattern-uniform lookups over
+	// their in-enclave structures and skip recency maintenance.
+	Get(tag mle.Tag) (Record, GetStatus, error)
+	// Insert stores rec under tag if no live record exists. It returns
+	// (false, nil) when the tag is already present (first version
+	// wins, Section IV-B Remark). The engine copies what it keeps; the
+	// caller's slices are not retained.
+	Insert(tag mle.Tag, rec Record) (installed bool, err error)
+	// Remove deletes the tag's record, returning it (Blob may be nil;
+	// BlobSize and Owner are always set) so the caller can settle
+	// quota accounting.
+	Remove(tag mle.Tag) (Record, bool, error)
+
+	// Len reports the number of live records.
+	Len() int
+	// ValueBytes reports the total ciphertext bytes of live records.
+	ValueBytes() int64
+	// Iterate streams every live record to fn until fn returns false.
+	// It is a bounded iterator: engines must not materialize the whole
+	// keyspace (memory use is O(one shard) for the memory engine and
+	// O(one record + per-segment cursors) for the log engine), so
+	// hot-export and snapshots work on stores larger than RAM.
+	// Iteration order is unspecified. fn must not call back into the
+	// engine.
+	Iterate(fn func(tag mle.Tag, rec Record) bool) error
+	// Oldest reports the least-recently-touched live tag, the victim
+	// the Store's global LRU eviction removes under MaxEntries /
+	// MaxBlobBytes pressure. May be expensive on durable engines.
+	Oldest() (mle.Tag, bool)
+
+	// Stats snapshots engine occupancy and activity counters.
+	Stats() Stats
+	// Checkpoint makes every acknowledged insert durable (flush +
+	// fsync); a no-op for volatile engines.
+	Checkpoint() error
+	// Close releases the engine's resources. Operations after Close
+	// return ErrClosed. Durable engines flush before closing.
+	Close() error
+}

@@ -1,0 +1,228 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"speed/internal/enclave"
+)
+
+// persistEnclave creates a store enclave on a deterministic platform,
+// so a second call (a simulated restart) derives the same sealing key.
+func persistEnclave(t *testing.T) *enclave.Enclave {
+	t.Helper()
+	p := enclave.NewPlatform(enclave.Config{PlatformSeed: []byte("store-engine-test-seed")})
+	e, err := p.Create("store", []byte("store code"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	return e
+}
+
+func TestEngineSelection(t *testing.T) {
+	t.Run("default is memory", func(t *testing.T) {
+		s := testStore(t, Config{})
+		defer s.Close()
+		if got := s.EngineName(); got != EngineMemory {
+			t.Errorf("EngineName = %q, want %q", got, EngineMemory)
+		}
+		if s.Persistent() {
+			t.Error("memory engine reported Persistent")
+		}
+	})
+	t.Run("data dir implies log", func(t *testing.T) {
+		s := testStore(t, Config{Enclave: persistEnclave(t), DataDir: t.TempDir()})
+		defer s.Close()
+		if got := s.EngineName(); got != EngineLog {
+			t.Errorf("EngineName = %q, want %q", got, EngineLog)
+		}
+		if !s.Persistent() {
+			t.Error("log engine did not report Persistent")
+		}
+	})
+	t.Run("log requires data dir", func(t *testing.T) {
+		if _, err := New(Config{Enclave: persistEnclave(t), Engine: EngineLog}); err == nil {
+			t.Error("New accepted the log engine without a data dir")
+		}
+	})
+	t.Run("unknown engine rejected", func(t *testing.T) {
+		if _, err := New(Config{Enclave: persistEnclave(t), Engine: "flat-earth"}); err == nil {
+			t.Error("New accepted an unknown engine")
+		}
+	})
+	t.Run("bad fsync policy rejected", func(t *testing.T) {
+		if _, err := New(Config{Enclave: persistEnclave(t), DataDir: t.TempDir(), Fsync: "eventually"}); err == nil {
+			t.Error("New accepted an unknown fsync policy")
+		}
+	})
+}
+
+// TestLogEnginePersistenceRoundTrip drives persistence through the
+// Store's public API: Put, clean Close, reopen on a fresh platform with
+// the same seed (a machine restart), Get.
+func TestLogEnginePersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := testStore(t, Config{Enclave: persistEnclave(t), DataDir: dir})
+	tags := []string{"alpha", "beta", "gamma"}
+	for _, k := range tags {
+		if _, err := s.Put(ownerOf("app"), tagOf(k), sealedOf("blob-"+k)); err != nil {
+			t.Fatalf("Put(%s): %v", k, err)
+		}
+	}
+	// Replacement must persist too: the reopened store serves the new
+	// version, not the original.
+	if _, err := s.PutReplace(ownerOf("app"), tagOf("beta"), sealedOf("blob-beta-v2")); err != nil {
+		t.Fatalf("PutReplace: %v", err)
+	}
+	s.Close()
+
+	s2 := testStore(t, Config{Enclave: persistEnclave(t), DataDir: dir})
+	defer s2.Close()
+	if got := s2.Len(); got != 3 {
+		t.Fatalf("reopened Len = %d, want 3", got)
+	}
+	for _, k := range []string{"alpha", "gamma"} {
+		got, found, err := s2.Get(tagOf(k))
+		if err != nil || !found {
+			t.Fatalf("Get(%s) after reopen: found=%v err=%v", k, found, err)
+		}
+		if string(got.Blob) != "blob-"+k {
+			t.Errorf("Get(%s) blob = %q, want %q", k, got.Blob, "blob-"+k)
+		}
+	}
+	if got, found, _ := s2.Get(tagOf("beta")); !found || string(got.Blob) != "blob-beta-v2" {
+		t.Errorf("replaced entry after restart = %q found=%v, want the v2 blob", got.Blob, found)
+	}
+}
+
+// TestLogEngineExportAndSnapshot pins that the bounded iterator keeps
+// the replication surface working on the log engine: Export, the
+// hot-entry variant, and sealed snapshots.
+func TestLogEngineExportAndSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	s := testStore(t, Config{Enclave: persistEnclave(t), DataDir: dir})
+	defer s.Close()
+	for _, k := range []string{"a", "b", "c", "d"} {
+		if _, err := s.Put(ownerOf("app"), tagOf(k), sealedOf("v-"+k)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	// Make "a" hot.
+	for i := 0; i < 3; i++ {
+		if _, found, err := s.Get(tagOf("a")); err != nil || !found {
+			t.Fatalf("Get: found=%v err=%v", found, err)
+		}
+	}
+	// Force the records down into segments so the export streams from
+	// disk, not just the memtable.
+	if err := s.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+
+	all, err := s.Export(0)
+	if err != nil || len(all) != 4 {
+		t.Errorf("Export(0) = %d entries, %v; want 4", len(all), err)
+	}
+	hot, err := s.ExportHotAs(ownerOf("app"), 0, 1)
+	if err != nil || len(hot) != 1 || hot[0].Tag != tagOf("a") {
+		t.Errorf("ExportHotAs = %d entries, %v; want just the hot tag", len(hot), err)
+	}
+
+	snap, err := s.SealSnapshot()
+	if err != nil {
+		t.Fatalf("SealSnapshot: %v", err)
+	}
+	// Restore into a fresh memory-engine store on the same platform
+	// identity: snapshots stay engine-portable.
+	dst := testStore(t, Config{Enclave: persistEnclave(t)})
+	defer dst.Close()
+	n, err := dst.RestoreSnapshot(snap)
+	if err != nil || n != 4 {
+		t.Fatalf("RestoreSnapshot = %d, %v; want 4 entries", n, err)
+	}
+	if got, found, _ := dst.Get(tagOf("c")); !found || string(got.Blob) != "v-c" {
+		t.Errorf("restored Get(c) = %q found=%v", got.Blob, found)
+	}
+}
+
+// TestAutosaverBothModes pins the engine-aware save behavior: volatile
+// engines get a sealed snapshot file, persistent engines get a
+// checkpoint (memtable flush + WAL fsync) and no snapshot file.
+func TestAutosaverBothModes(t *testing.T) {
+	t.Run("memory engine writes a snapshot", func(t *testing.T) {
+		s := testStore(t, Config{Enclave: persistEnclave(t)})
+		defer s.Close()
+		if _, err := s.Put(ownerOf("app"), tagOf("k"), sealedOf("v")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		path := filepath.Join(t.TempDir(), "snap.sealed")
+		a := NewAutosaver(s, path, 0, nil)
+		if err := a.SaveOnce(); err != nil {
+			t.Fatalf("SaveOnce: %v", err)
+		}
+		if a.Saves() != 1 {
+			t.Errorf("Saves = %d, want 1", a.Saves())
+		}
+		if _, err := os.Stat(path); err != nil {
+			t.Errorf("snapshot file missing: %v", err)
+		}
+	})
+	t.Run("log engine checkpoints instead", func(t *testing.T) {
+		dir := t.TempDir()
+		s := testStore(t, Config{Enclave: persistEnclave(t), DataDir: dir, Fsync: "none"})
+		defer s.Close()
+		if _, err := s.Put(ownerOf("app"), tagOf("k"), sealedOf("v")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		if s.EngineStats().Flushes != 0 {
+			t.Fatal("memtable flushed before the checkpoint")
+		}
+		path := filepath.Join(t.TempDir(), "snap.sealed")
+		a := NewAutosaver(s, path, 0, nil)
+		if err := a.SaveOnce(); err != nil {
+			t.Fatalf("SaveOnce: %v", err)
+		}
+		if a.Saves() != 1 {
+			t.Errorf("Saves = %d, want 1", a.Saves())
+		}
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Errorf("persistent engine wrote a snapshot file (err=%v), want checkpoint only", err)
+		}
+		es := s.EngineStats()
+		if es.Flushes != 1 {
+			t.Errorf("Flushes = %d, want 1 (checkpoint flushes the memtable)", es.Flushes)
+		}
+		if es.WALBytes != 0 {
+			t.Errorf("WALBytes = %d after checkpoint, want 0 (flush resets the WAL)", es.WALBytes)
+		}
+	})
+}
+
+// TestCrashRecoveryThroughStore is the API-level kill -9 test: every
+// acknowledged Put must be served after Crash + reopen.
+func TestCrashRecoveryThroughStore(t *testing.T) {
+	dir := t.TempDir()
+	s := testStore(t, Config{Enclave: persistEnclave(t), DataDir: dir, Fsync: "commit"})
+	const n = 20
+	for i := 0; i < n; i++ {
+		if _, err := s.Put(ownerOf("app"), tagOf(string(rune('a'+i))), sealedOf("v")); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+	}
+	s.Crash()
+	if !s.Closed() {
+		t.Error("Crash did not mark the store closed")
+	}
+
+	s2 := testStore(t, Config{Enclave: persistEnclave(t), DataDir: dir})
+	defer s2.Close()
+	for i := 0; i < n; i++ {
+		if _, found, err := s2.Get(tagOf(string(rune('a' + i)))); err != nil || !found {
+			t.Fatalf("acknowledged put %d lost after crash: found=%v err=%v", i, found, err)
+		}
+	}
+	if s2.EngineStats().Replayed == 0 {
+		t.Error("recovery replayed nothing; the crash path was not exercised")
+	}
+}

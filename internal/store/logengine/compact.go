@@ -1,0 +1,115 @@
+package logengine
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	storeengine "speed/internal/store/engine"
+)
+
+// Compaction bounds read amplification and reclaims space: point
+// lookups probe segments newest-first, so many small flush segments
+// mean many sparse-index probes per miss, and shadowed versions plus
+// tombstones occupy disk forever. The compactor merges every segment
+// into one, keeping only the newest version of each tag and dropping
+// tombstones entirely (the output is the oldest segment, so there is
+// nothing older left to shadow).
+//
+// Crash safety follows the same manifest discipline as a flush: the
+// merged segment is written and fsynced first, the directory synced,
+// then the manifest atomically swaps the old list for the new one,
+// and only after that swap are the old files deleted. A crash before
+// the swap leaves an orphan output (deleted at recovery); a crash
+// after it leaves orphan inputs (deleted at recovery). At no point is
+// the manifest's segment set incomplete.
+
+// compactLocked merges all segments into one. Caller holds mu. A
+// no-op with fewer than two segments.
+func (e *Engine) compactLocked() error {
+	if e.closed {
+		return storeengine.ErrClosed
+	}
+	if len(e.segments) < 2 {
+		return nil
+	}
+
+	// Merge via cursors, newest wins. Records are re-used sealed as-is
+	// — compaction moves ciphertext, it never unseals.
+	var merged []segRecord
+	cursors := make([]*cursor, len(e.segments))
+	for i, s := range e.segments {
+		cursors[i] = s.newCursor()
+	}
+	for {
+		var (
+			best    [32]byte
+			haveAny bool
+		)
+		for _, c := range cursors {
+			if !c.valid {
+				continue
+			}
+			if !haveAny || bytes.Compare(c.tag[:], best[:]) < 0 {
+				best, haveAny = c.tag, true
+			}
+		}
+		if !haveAny {
+			break
+		}
+		resolved := false
+		var winner segRecord
+		for i := len(cursors) - 1; i >= 0; i-- { // newest first
+			c := cursors[i]
+			if c.valid && c.tag == best {
+				if !resolved {
+					winner = segRecord{tag: c.tag, dead: c.dead, blob: c.blob, sealed: c.sealed}
+					resolved = true
+				}
+				c.next()
+			}
+		}
+		if winner.dead {
+			continue // tombstone at the bottom level: drop
+		}
+		merged = append(merged, winner)
+	}
+
+	id := e.nextSegID
+	name := segmentName(id)
+	path := filepath.Join(e.cfg.Dir, name)
+	if err := writeSegment(path, merged); err != nil {
+		return err
+	}
+	if err := syncDir(e.cfg.Dir); err != nil {
+		return err
+	}
+
+	if e.compactHook != nil {
+		e.compactHook()
+	}
+
+	seg, _, err := openSegment(path, id)
+	if err != nil {
+		return err
+	}
+	old := e.segments
+	if err := writeManifest(e.cfg.Dir, []string{name}); err != nil {
+		seg.close()
+		os.Remove(path)
+		return fmt.Errorf("logengine: commit compaction: %w", err)
+	}
+	e.segments = []*segment{seg}
+	e.nextSegID = id + 1
+	e.st.Compactions++
+	for _, s := range old {
+		s.close()
+		if err := os.Remove(s.path); err != nil {
+			// Recovery will treat it as an orphan; just note it.
+			e.cfg.Logf("logengine: remove compacted segment %s: %v", filepath.Base(s.path), err)
+		}
+	}
+	e.cfg.Logf("logengine: compacted %d segments into %s (%d live records)", len(old), name, len(merged))
+	return nil
+}

@@ -1,0 +1,52 @@
+package logengine
+
+import (
+	"fmt"
+	"testing"
+
+	"speed/internal/enclave"
+	"speed/internal/mle"
+	storeengine "speed/internal/store/engine"
+)
+
+// BenchmarkHotLogMemtableGet is the log engine's hot read path: the
+// requested record is memtable-resident, so the lookup never touches a
+// segment file. This is the common case for a freshly warmed store and
+// the path `make bench-regress` pins against bench/baseline.txt.
+func BenchmarkHotLogMemtableGet(b *testing.B) {
+	p := enclave.NewPlatform(enclave.Config{})
+	enc, err := p.Create("bench-store", []byte("store code"))
+	if err != nil {
+		b.Fatalf("Create: %v", err)
+	}
+	e, err := Open(Config{
+		Dir:             b.TempDir(),
+		Enclave:         enc,
+		MemtableBytes:   64 << 20, // everything stays memtable-resident
+		Fsync:           FsyncNone,
+		CompactInterval: -1,
+	})
+	if err != nil {
+		b.Fatalf("Open: %v", err)
+	}
+	defer e.Close()
+
+	const n = 512
+	tags := make([]mle.Tag, n)
+	for i := range tags {
+		tags[i] = tagOf(fmt.Sprintf("bench-%d", i))
+		rec := recOf(fmt.Sprintf("value-%d", i))
+		if ok, err := e.Insert(tags[i], rec); err != nil || !ok {
+			b.Fatalf("Insert: %v %v", ok, err)
+		}
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, status, err := e.Get(tags[i%n])
+		if err != nil || status != storeengine.StatusHit {
+			b.Fatalf("Get = %v, %v", status, err)
+		}
+	}
+}

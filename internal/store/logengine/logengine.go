@@ -1,0 +1,1065 @@
+// Package logengine is the persistent, log-structured storage engine
+// behind store.Store: an append-only WAL of sealed records feeding an
+// in-enclave memtable, flushed as immutable sorted segments, with a
+// background compactor, a per-segment sparse index and a bounded
+// hot-entry cache. The working set can exceed RAM: only the memtable,
+// the cache, and the sparse indexes stay resident.
+//
+// Trust model: the directory lives on untrusted media. Every record is
+// sealed (enclave AEAD, bound to platform and measurement) before it
+// is written, so the disk sees ciphertext and integrity-protected
+// metadata only; anything read back is authenticated before use. CRCs
+// on WAL frames and segment bodies distinguish crash damage (expected,
+// recovered) from tampering (rejected loudly). Plaintext challenges
+// and wrapped keys exist only inside enclave memory.
+//
+// Durability: under FsyncCommit (the default) an Insert or Remove is
+// acknowledged only after the WAL frame is fsynced, so acknowledged
+// operations survive kill -9 and power loss. FsyncInterval bounds loss
+// to the sync interval; FsyncNone leaves it to the OS page cache.
+// Recovery loads the manifest's segments (CRC-verified), deletes
+// orphan segment files from interrupted flushes or compactions, then
+// replays the WAL — a torn tail is truncated, never applied.
+//
+// Known approximation: hit counts and last-touch times for
+// segment-resident records are maintained in memory (the hot cache)
+// and persisted only when a record is rewritten by a flush; a restart
+// resets them. Memtable-resident records persist both on flush.
+package logengine
+
+import (
+	"bytes"
+	"container/list"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"speed/internal/enclave"
+	"speed/internal/mle"
+	storeengine "speed/internal/store/engine"
+)
+
+// Fsync is the WAL durability policy.
+type Fsync int
+
+const (
+	// FsyncCommit syncs the WAL before acknowledging every mutation.
+	FsyncCommit Fsync = iota
+	// FsyncEvery syncs on a background interval.
+	FsyncEvery
+	// FsyncNone never syncs explicitly.
+	FsyncNone
+)
+
+// ParseFsync maps the operator-facing policy names ("commit",
+// "interval", "none"; "" defaults to commit) to a policy.
+func ParseFsync(s string) (Fsync, error) {
+	switch s {
+	case "", "commit":
+		return FsyncCommit, nil
+	case "interval":
+		return FsyncEvery, nil
+	case "none":
+		return FsyncNone, nil
+	default:
+		return 0, fmt.Errorf("logengine: unknown fsync policy %q (want commit, interval or none)", s)
+	}
+}
+
+func (f Fsync) String() string {
+	switch f {
+	case FsyncCommit:
+		return "commit"
+	case FsyncEvery:
+		return "interval"
+	case FsyncNone:
+		return "none"
+	default:
+		return "unknown"
+	}
+}
+
+// Defaults for zero Config fields.
+const (
+	DefaultMemtableBytes   = 4 << 20
+	DefaultCacheBytes      = 4 << 20
+	DefaultFsyncInterval   = 100 * time.Millisecond
+	DefaultCompactInterval = 30 * time.Second
+	// memRecOverhead approximates per-entry memtable bookkeeping
+	// beyond the variable-length fields, charged against the enclave.
+	memRecOverhead = 128
+	// cacheRecOverhead is the same for hot-cache entries.
+	cacheRecOverhead = 128
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Dir is the engine's directory on (untrusted) storage. Created if
+	// missing. Required.
+	Dir string
+	// Enclave hosts the memtable, cache and indexes, and seals
+	// everything that leaves them. Required.
+	Enclave *enclave.Enclave
+	// MemtableBytes bounds the in-enclave write buffer; reaching it
+	// triggers a flush to a sorted segment. 0 means 4 MiB.
+	MemtableBytes int64
+	// CacheBytes bounds the in-enclave hot-entry read cache in front
+	// of the segments. 0 means 4 MiB.
+	CacheBytes int64
+	// Fsync is the WAL durability policy.
+	Fsync Fsync
+	// FsyncInterval is the background sync period under FsyncEvery;
+	// 0 means 100ms.
+	FsyncInterval time.Duration
+	// CompactInterval is how often the background compactor considers
+	// merging segments; 0 means 30s, negative disables the background
+	// loop (CompactNow still works).
+	CompactInterval time.Duration
+	// Oblivious makes lookups over the in-enclave structures
+	// (memtable, cache) access-pattern uniform and disables recency
+	// and popularity maintenance. Segment reads go to untrusted disk,
+	// whose access pattern is observable regardless; see DESIGN.md.
+	Oblivious bool
+	// TTL expires records not touched within the duration; 0 disables.
+	TTL time.Duration
+	// Now is the clock; nil means time.Now.
+	Now func() time.Time
+	// Logf receives recovery and compaction diagnostics; nil discards.
+	Logf func(format string, args ...any)
+}
+
+// memRec is one memtable entry: the newest state of a tag that has not
+// yet reached a segment.
+type memRec struct {
+	dead bool
+	rec  storeengine.Record // owned copies; Blob inline
+}
+
+func (r *memRec) bytes() int64 {
+	if r.dead {
+		return 32 + memRecOverhead
+	}
+	return 32 + memRecOverhead + int64(len(r.rec.Challenge)+len(r.rec.WrappedKey)+len(r.rec.Blob))
+}
+
+// cacheRec is one hot-cache entry fronting the segments.
+type cacheRec struct {
+	tag  mle.Tag
+	rec  storeengine.Record
+	elem *list.Element
+}
+
+func (r *cacheRec) bytes() int64 {
+	return 32 + cacheRecOverhead + int64(len(r.rec.Challenge)+len(r.rec.WrappedKey)+len(r.rec.Blob))
+}
+
+// Engine is the log-structured engine. It implements
+// store/engine.Engine. A single mutex serializes mutations and
+// metadata reads; segment file reads happen under it too (v1 keeps the
+// locking simple — the bounded sparse-index scan keeps the hold time
+// short).
+type Engine struct {
+	cfg Config
+
+	mu        sync.Mutex
+	closed    bool
+	wal       *wal
+	memtable  map[mle.Tag]*memRec
+	memBytes  int64      // enclave-charged memtable footprint
+	segments  []*segment // oldest first
+	nextSegID uint64
+
+	cache      map[mle.Tag]*cacheRec
+	cacheLRU   *list.List // front = most recent
+	cacheBytes int64
+
+	entries    int64
+	valueBytes int64
+	st         storeengine.Stats // activity counters (occupancy filled on snapshot)
+
+	// compactHook, when set, runs between writing a compacted segment
+	// and committing the manifest; tests use it to simulate a crash at
+	// the most delicate point.
+	compactHook func()
+
+	stopBg chan struct{}
+	bgDone sync.WaitGroup
+}
+
+var _ storeengine.Engine = (*Engine)(nil)
+
+// Open loads (or initialises) the engine at cfg.Dir, recovering state:
+// manifest-listed segments are opened and CRC-verified, orphan segment
+// files are deleted, and the WAL is replayed into the memtable with
+// any torn tail truncated.
+func Open(cfg Config) (*Engine, error) {
+	if cfg.Enclave == nil {
+		return nil, errors.New("logengine: Config.Enclave is required")
+	}
+	if cfg.Dir == "" {
+		return nil, errors.New("logengine: Config.Dir is required")
+	}
+	if cfg.MemtableBytes <= 0 {
+		cfg.MemtableBytes = DefaultMemtableBytes
+	}
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = DefaultCacheBytes
+	}
+	if cfg.FsyncInterval <= 0 {
+		cfg.FsyncInterval = DefaultFsyncInterval
+	}
+	if cfg.CompactInterval == 0 {
+		cfg.CompactInterval = DefaultCompactInterval
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o700); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:      cfg,
+		memtable: make(map[mle.Tag]*memRec),
+		cache:    make(map[mle.Tag]*cacheRec),
+		cacheLRU: list.New(),
+		stopBg:   make(chan struct{}),
+	}
+	if err := e.recover(); err != nil {
+		return nil, err
+	}
+	e.startBackground()
+	return e, nil
+}
+
+// recover rebuilds in-memory state from the directory.
+func (e *Engine) recover() error {
+	names, err := readManifest(e.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	listed := make(map[string]bool, len(names))
+	var segKeys [][]keyHdr
+	for _, name := range names {
+		listed[name] = true
+		id, _ := parseSegmentName(name)
+		seg, keys, err := openSegment(filepath.Join(e.cfg.Dir, name), id)
+		if err != nil {
+			return err
+		}
+		e.segments = append(e.segments, seg)
+		segKeys = append(segKeys, keys)
+		if id >= e.nextSegID {
+			e.nextSegID = id + 1
+		}
+	}
+	// Remove orphan segment files: a flush or compaction that died
+	// after creating its output but before committing the manifest.
+	entriesDir, err := os.ReadDir(e.cfg.Dir)
+	if err != nil {
+		return err
+	}
+	for _, de := range entriesDir {
+		id, ok := parseSegmentName(de.Name())
+		if !ok || listed[de.Name()] {
+			continue
+		}
+		if id >= e.nextSegID {
+			e.nextSegID = id + 1 // never reuse an orphan's id
+		}
+		e.cfg.Logf("logengine: removing orphan segment %s (interrupted flush/compaction)", de.Name())
+		if err := os.Remove(filepath.Join(e.cfg.Dir, de.Name())); err != nil {
+			return err
+		}
+	}
+
+	w, err := openWAL(filepath.Join(e.cfg.Dir, walName))
+	if err != nil {
+		return err
+	}
+	e.wal = w
+	replayed, torn, err := w.replay(e.cfg.Enclave, func(op walOp) {
+		prev, had := e.memtable[op.tag]
+		var nr *memRec
+		if op.op == walOpDelete {
+			nr = &memRec{dead: true}
+		} else {
+			nr = &memRec{rec: op.rec}
+		}
+		if had {
+			e.memBytes -= prev.bytes()
+		}
+		e.memtable[op.tag] = nr
+		e.memBytes += nr.bytes()
+	})
+	if err != nil {
+		return err
+	}
+	e.st.Replayed = replayed
+	if torn {
+		e.st.TornTails++
+		e.cfg.Logf("logengine: truncated torn wal tail after %d intact records", replayed)
+	}
+	if err := e.cfg.Enclave.Alloc(e.memBytes); err != nil {
+		return fmt.Errorf("logengine: memtable allocation during recovery: %w", err)
+	}
+
+	// Compute live occupancy from the merged view: newest state wins
+	// (memtable over segments, later segments over earlier). The
+	// per-segment key lists are transient — header-only, no payloads —
+	// and dropped when this returns.
+	seen := make(map[mle.Tag]bool, len(e.memtable))
+	for tag, mr := range e.memtable {
+		seen[tag] = true
+		if !mr.dead {
+			e.entries++
+			e.valueBytes += int64(len(mr.rec.Blob))
+		}
+	}
+	for i := len(segKeys) - 1; i >= 0; i-- { // newest segment first
+		for _, k := range segKeys[i] {
+			if seen[k.tag] {
+				continue
+			}
+			seen[k.tag] = true
+			if !k.dead {
+				e.entries++
+				e.valueBytes += k.blobSize
+			}
+		}
+	}
+	if replayed > 0 || len(e.segments) > 0 {
+		e.cfg.Logf("logengine: recovered %d entries (%d segments, %d wal records replayed)",
+			e.entries, len(e.segments), replayed)
+	}
+	return nil
+}
+
+// startBackground launches the interval-fsync and compaction loops.
+func (e *Engine) startBackground() {
+	if e.cfg.Fsync == FsyncEvery {
+		e.bgDone.Add(1)
+		go func() {
+			defer e.bgDone.Done()
+			t := time.NewTicker(e.cfg.FsyncInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-e.stopBg:
+					return
+				case <-t.C:
+					e.mu.Lock()
+					if !e.closed {
+						if err := e.wal.sync(); err != nil {
+							e.cfg.Logf("logengine: interval fsync: %v", err)
+						}
+					}
+					e.mu.Unlock()
+				}
+			}
+		}()
+	}
+	if e.cfg.CompactInterval > 0 {
+		e.bgDone.Add(1)
+		go func() {
+			defer e.bgDone.Done()
+			t := time.NewTicker(e.cfg.CompactInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-e.stopBg:
+					return
+				case <-t.C:
+					if err := e.CompactNow(); err != nil && !errors.Is(err, storeengine.ErrClosed) {
+						e.cfg.Logf("logengine: compaction: %v", err)
+					}
+				}
+			}
+		}()
+	}
+}
+
+// Name implements engine.Engine.
+func (e *Engine) Name() string { return "log" }
+
+// Durable implements engine.Engine.
+func (e *Engine) Durable() bool { return true }
+
+// Get implements engine.Engine: memtable, then hot cache, then
+// segments newest-first through their sparse indexes.
+func (e *Engine) Get(tag mle.Tag) (storeengine.Record, storeengine.GetStatus, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return storeengine.Record{}, storeengine.StatusMiss, storeengine.ErrClosed
+	}
+	var (
+		rec    storeengine.Record
+		status = storeengine.StatusMiss
+	)
+	// The in-enclave tiers are consulted inside one ECALL, mirroring
+	// the memory engine's dictionary access.
+	err := e.cfg.Enclave.ECall(func() error {
+		if mr, ok := e.lookupMem(tag); ok {
+			if mr.dead {
+				return nil // deleted: definitive miss, segments are stale
+			}
+			if e.expired(mr.rec.LastTouch) {
+				status = storeengine.StatusExpired
+				return nil
+			}
+			if !e.cfg.Oblivious {
+				mr.rec.Hits++
+				mr.rec.LastTouch = e.cfg.Now()
+			}
+			rec = copyRecord(mr.rec)
+			status = storeengine.StatusHit
+			e.st.CacheHits++
+			return nil
+		}
+		if cr, ok := e.lookupCache(tag); ok {
+			if e.expired(cr.rec.LastTouch) {
+				status = storeengine.StatusExpired
+				return nil
+			}
+			if !e.cfg.Oblivious {
+				cr.rec.Hits++
+				cr.rec.LastTouch = e.cfg.Now()
+				e.cacheLRU.MoveToFront(cr.elem)
+			}
+			rec = copyRecord(cr.rec)
+			status = storeengine.StatusHit
+			e.st.CacheHits++
+			return nil
+		}
+		return nil
+	})
+	if err != nil {
+		return storeengine.Record{}, storeengine.StatusMiss, err
+	}
+	if status != storeengine.StatusMiss || e.memHasTombstone(tag) {
+		return rec, status, nil
+	}
+
+	// Miss in the in-enclave tiers: consult the segments (untrusted
+	// disk), newest first. Unsealing happens back inside the enclave.
+	e.st.CacheMisses++
+	for i := len(e.segments) - 1; i >= 0; i-- {
+		sealed, found, dead, err := e.segments[i].find(tag)
+		if err != nil {
+			return storeengine.Record{}, storeengine.StatusMiss, err
+		}
+		if !found {
+			continue
+		}
+		if dead {
+			return storeengine.Record{}, storeengine.StatusMiss, nil
+		}
+		var srec storeengine.Record
+		uerr := e.cfg.Enclave.ECall(func() error {
+			r, err := unsealRecord(e.cfg.Enclave, sealed)
+			if err != nil {
+				return err
+			}
+			srec = r
+			return nil
+		})
+		if uerr != nil {
+			// Authenticated storage failed us: surface as dangling so
+			// the policy layer drops the entry and recomputes.
+			e.cfg.Logf("logengine: record %x failed authentication: %v", tag[:8], uerr)
+			return storeengine.Record{}, storeengine.StatusDangling, nil
+		}
+		if e.expired(srec.LastTouch) {
+			return storeengine.Record{}, storeengine.StatusExpired, nil
+		}
+		if !e.cfg.Oblivious {
+			srec.Hits++
+			srec.LastTouch = e.cfg.Now()
+			e.cacheInsert(tag, srec)
+		}
+		return copyRecord(srec), storeengine.StatusHit, nil
+	}
+	return storeengine.Record{}, storeengine.StatusMiss, nil
+}
+
+// lookupMem finds a memtable entry; under Oblivious it scans every
+// entry with uniform work.
+func (e *Engine) lookupMem(tag mle.Tag) (*memRec, bool) {
+	if !e.cfg.Oblivious {
+		mr, ok := e.memtable[tag]
+		return mr, ok
+	}
+	var found *memRec
+	for k, mr := range e.memtable {
+		if constantTimeTagEq(k, tag) {
+			found = mr
+		}
+	}
+	return found, found != nil
+}
+
+// lookupCache finds a hot-cache entry; oblivious scans uniformly.
+func (e *Engine) lookupCache(tag mle.Tag) (*cacheRec, bool) {
+	if !e.cfg.Oblivious {
+		cr, ok := e.cache[tag]
+		return cr, ok
+	}
+	var found *cacheRec
+	for k, cr := range e.cache {
+		if constantTimeTagEq(k, tag) {
+			found = cr
+		}
+	}
+	return found, found != nil
+}
+
+// memHasTombstone reports whether the memtable's newest state for tag
+// is a deletion (so segment lookups must not resurrect it).
+func (e *Engine) memHasTombstone(tag mle.Tag) bool {
+	mr, ok := e.memtable[tag]
+	return ok && mr.dead
+}
+
+func (e *Engine) expired(touch time.Time) bool {
+	return e.cfg.TTL > 0 && e.cfg.Now().Sub(touch) > e.cfg.TTL
+}
+
+// cacheInsert places a record in the hot cache, evicting from the LRU
+// tail to stay within budget. Caller holds mu (inside the enclave or
+// right after a segment read).
+func (e *Engine) cacheInsert(tag mle.Tag, rec storeengine.Record) {
+	if old, ok := e.cache[tag]; ok {
+		e.cacheBytes -= old.bytes()
+		e.cfg.Enclave.Free(old.bytes())
+		e.cacheLRU.Remove(old.elem)
+		delete(e.cache, tag)
+	}
+	cr := &cacheRec{tag: tag, rec: copyRecord(rec)}
+	if cr.bytes() > e.cfg.CacheBytes {
+		return // larger than the whole budget; don't thrash
+	}
+	if err := e.cfg.Enclave.Alloc(cr.bytes()); err != nil {
+		return // enclave memory pressure: serving without caching is fine
+	}
+	cr.elem = e.cacheLRU.PushFront(cr)
+	e.cache[tag] = cr
+	e.cacheBytes += cr.bytes()
+	for e.cacheBytes > e.cfg.CacheBytes {
+		back := e.cacheLRU.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*cacheRec)
+		e.cacheLRU.Remove(back)
+		delete(e.cache, victim.tag)
+		e.cacheBytes -= victim.bytes()
+		e.cfg.Enclave.Free(victim.bytes())
+	}
+}
+
+// cacheDelete drops a tag from the hot cache.
+func (e *Engine) cacheDelete(tag mle.Tag) {
+	if cr, ok := e.cache[tag]; ok {
+		e.cacheLRU.Remove(cr.elem)
+		delete(e.cache, tag)
+		e.cacheBytes -= cr.bytes()
+		e.cfg.Enclave.Free(cr.bytes())
+	}
+}
+
+// Insert implements engine.Engine: WAL append (fsync per policy), then
+// memtable apply, then flush if over budget. First version wins.
+func (e *Engine) Insert(tag mle.Tag, rec storeengine.Record) (bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return false, storeengine.ErrClosed
+	}
+	exists, err := e.existsLocked(tag)
+	if err != nil {
+		return false, err
+	}
+	if exists {
+		return false, nil
+	}
+	stored := copyRecord(rec)
+	if err := e.wal.append(e.cfg.Enclave, walOpPut, tag, stored); err != nil {
+		return false, err
+	}
+	if e.cfg.Fsync == FsyncCommit {
+		if err := e.wal.sync(); err != nil {
+			return false, fmt.Errorf("logengine: wal fsync: %w", err)
+		}
+	}
+	e.st.WALRecords++
+	mr := &memRec{rec: stored}
+	aerr := e.cfg.Enclave.ECall(func() error {
+		if prev, had := e.memtable[tag]; had {
+			// Overwriting a tombstone left by an earlier Remove.
+			e.memBytes -= prev.bytes()
+			e.cfg.Enclave.Free(prev.bytes())
+		}
+		if err := e.cfg.Enclave.Alloc(mr.bytes()); err != nil {
+			return fmt.Errorf("metadata allocation: %w", err)
+		}
+		e.memtable[tag] = mr
+		e.memBytes += mr.bytes()
+		return nil
+	})
+	if aerr != nil {
+		// The WAL already carries the record; a replay would resurrect
+		// it. Append a compensating delete so the log and the memory
+		// state agree.
+		if derr := e.wal.append(e.cfg.Enclave, walOpDelete, tag, storeengine.Record{}); derr == nil && e.cfg.Fsync == FsyncCommit {
+			_ = e.wal.sync()
+		}
+		return false, aerr
+	}
+	e.entries++
+	e.valueBytes += stored.BlobSize
+	if e.memBytes >= e.cfg.MemtableBytes {
+		if err := e.flushLocked(); err != nil {
+			return false, fmt.Errorf("logengine: flush: %w", err)
+		}
+	}
+	return true, nil
+}
+
+// existsLocked reports whether a live record for tag exists anywhere
+// (memtable, segments), ignoring TTL — duplicate suppression is by
+// presence, as in the memory engine.
+func (e *Engine) existsLocked(tag mle.Tag) (bool, error) {
+	if mr, ok := e.memtable[tag]; ok {
+		return !mr.dead, nil
+	}
+	for i := len(e.segments) - 1; i >= 0; i-- {
+		_, found, dead, err := e.segments[i].find(tag)
+		if err != nil {
+			return false, err
+		}
+		if found {
+			return !dead, nil
+		}
+	}
+	return false, nil
+}
+
+// Remove implements engine.Engine: locate the live record (its owner
+// and size settle quota accounting), append a delete to the WAL, and
+// tombstone the memtable.
+func (e *Engine) Remove(tag mle.Tag) (storeengine.Record, bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return storeengine.Record{}, false, storeengine.ErrClosed
+	}
+	var meta storeengine.Record
+	if mr, ok := e.memtable[tag]; ok {
+		if mr.dead {
+			return storeengine.Record{}, false, nil
+		}
+		meta = storeengine.Record{
+			BlobSize:  mr.rec.BlobSize,
+			Owner:     mr.rec.Owner,
+			Hits:      mr.rec.Hits,
+			LastTouch: mr.rec.LastTouch,
+		}
+	} else {
+		found := false
+		for i := len(e.segments) - 1; i >= 0 && !found; i-- {
+			sealed, ok, dead, err := e.segments[i].find(tag)
+			if err != nil {
+				return storeengine.Record{}, false, err
+			}
+			if !ok {
+				continue
+			}
+			if dead {
+				return storeengine.Record{}, false, nil
+			}
+			rec, uerr := unsealRecord(e.cfg.Enclave, sealed)
+			if uerr != nil {
+				// Unreadable record: still tombstone it so it stops
+				// shadowing, but report unknown metadata.
+				rec = storeengine.Record{}
+			}
+			meta = storeengine.Record{
+				BlobSize:  rec.BlobSize,
+				Owner:     rec.Owner,
+				Hits:      rec.Hits,
+				LastTouch: rec.LastTouch,
+			}
+			found = true
+		}
+		if !found {
+			return storeengine.Record{}, false, nil
+		}
+	}
+	if err := e.wal.append(e.cfg.Enclave, walOpDelete, tag, storeengine.Record{}); err != nil {
+		return storeengine.Record{}, false, err
+	}
+	if e.cfg.Fsync == FsyncCommit {
+		if err := e.wal.sync(); err != nil {
+			return storeengine.Record{}, false, err
+		}
+	}
+	e.st.WALRecords++
+	nr := &memRec{dead: true}
+	_ = e.cfg.Enclave.ECall(func() error {
+		if prev, had := e.memtable[tag]; had {
+			e.memBytes -= prev.bytes()
+			e.cfg.Enclave.Free(prev.bytes())
+		}
+		if err := e.cfg.Enclave.Alloc(nr.bytes()); err == nil {
+			e.memtable[tag] = nr
+			e.memBytes += nr.bytes()
+		} else {
+			e.memtable[tag] = nr // record the tombstone regardless
+			e.memBytes += nr.bytes()
+		}
+		return nil
+	})
+	e.cacheDelete(tag)
+	e.entries--
+	e.valueBytes -= meta.BlobSize
+	return meta, true, nil
+}
+
+// flushLocked writes the memtable (live records and tombstones, sorted
+// by tag) as a new immutable segment, commits it via the manifest, and
+// truncates the WAL. Caller holds mu.
+//
+// Crash ordering: segment write + fsync → directory fsync → manifest
+// swap (tmp + rename + dir fsync) → WAL truncate. A crash before the
+// manifest swap leaves an orphan segment (deleted at recovery) and an
+// intact WAL; a crash after it leaves the segment live and a stale WAL
+// whose replay re-applies the same records idempotently.
+func (e *Engine) flushLocked() error {
+	if len(e.memtable) == 0 {
+		return nil
+	}
+	records := make([]segRecord, 0, len(e.memtable))
+	var sealErr error
+	err := e.cfg.Enclave.ECall(func() error {
+		for tag, mr := range e.memtable {
+			sr := segRecord{tag: tag, dead: mr.dead}
+			if !mr.dead {
+				sealed, err := sealRecord(e.cfg.Enclave, mr.rec)
+				if err != nil {
+					sealErr = err
+					return err
+				}
+				sr.blob = mr.rec.BlobSize
+				sr.sealed = sealed
+			}
+			records = append(records, sr)
+		}
+		return nil
+	})
+	if err != nil {
+		if sealErr != nil {
+			return sealErr
+		}
+		return err
+	}
+	sort.Slice(records, func(i, j int) bool {
+		return bytes.Compare(records[i].tag[:], records[j].tag[:]) < 0
+	})
+
+	id := e.nextSegID
+	name := segmentName(id)
+	path := filepath.Join(e.cfg.Dir, name)
+	if err := writeSegment(path, records); err != nil {
+		return err
+	}
+	if err := syncDir(e.cfg.Dir); err != nil {
+		return err
+	}
+	seg, _, err := openSegment(path, id)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(e.segments)+1)
+	for _, s := range e.segments {
+		names = append(names, filepath.Base(s.path))
+	}
+	names = append(names, name)
+	if err := writeManifest(e.cfg.Dir, names); err != nil {
+		seg.close()
+		os.Remove(path)
+		return err
+	}
+	e.segments = append(e.segments, seg)
+	e.nextSegID = id + 1
+	if err := e.wal.reset(); err != nil {
+		return err
+	}
+	e.cfg.Enclave.Free(e.memBytes)
+	e.memtable = make(map[mle.Tag]*memRec)
+	e.memBytes = 0
+	e.st.Flushes++
+	return nil
+}
+
+// copyRecord deep-copies a record so callers own what they receive and
+// the engine owns what it keeps.
+func copyRecord(rec storeengine.Record) storeengine.Record {
+	out := rec
+	out.Challenge = append([]byte(nil), rec.Challenge...)
+	out.WrappedKey = append([]byte(nil), rec.WrappedKey...)
+	out.Blob = append([]byte(nil), rec.Blob...)
+	out.BlobSize = int64(len(rec.Blob))
+	return out
+}
+
+// constantTimeTagEq compares tags with uniform work.
+func constantTimeTagEq(a, b mle.Tag) bool {
+	var diff byte
+	for i := range a {
+		diff |= a[i] ^ b[i]
+	}
+	return diff == 0
+}
+
+// Len implements engine.Engine.
+func (e *Engine) Len() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return int(e.entries)
+}
+
+// ValueBytes implements engine.Engine.
+func (e *Engine) ValueBytes() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.valueBytes
+}
+
+// Iterate implements engine.Engine: a k-way merge over the memtable
+// (sorted transiently) and every segment cursor, newest state winning,
+// tombstones skipped. Memory stays bounded by the memtable keys plus
+// one record per open cursor; segment payloads stream from disk one
+// record at a time, so iteration works on stores larger than RAM.
+//
+// The engine lock is held for the whole walk (mutations would
+// invalidate the cursors), so fn must not call back into the engine.
+func (e *Engine) Iterate(fn func(tag mle.Tag, rec storeengine.Record) bool) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.iterateLocked(fn)
+}
+
+func (e *Engine) iterateLocked(fn func(tag mle.Tag, rec storeengine.Record) bool) error {
+	memKeys := make([]mle.Tag, 0, len(e.memtable))
+	for tag := range e.memtable {
+		memKeys = append(memKeys, tag)
+	}
+	sort.Slice(memKeys, func(i, j int) bool {
+		return bytes.Compare(memKeys[i][:], memKeys[j][:]) < 0
+	})
+	cursors := make([]*cursor, len(e.segments))
+	for i, s := range e.segments {
+		cursors[i] = s.newCursor()
+	}
+	memIdx := 0
+	for {
+		// Pick the smallest tag across the memtable pointer and all
+		// cursors; on ties, the newest tier wins (memtable beats any
+		// segment; a later segment beats an earlier one).
+		var (
+			best    mle.Tag
+			haveAny bool
+		)
+		if memIdx < len(memKeys) {
+			best, haveAny = memKeys[memIdx], true
+		}
+		for _, c := range cursors {
+			if !c.valid {
+				continue
+			}
+			if !haveAny || bytes.Compare(c.tag[:], best[:]) < 0 {
+				best, haveAny = c.tag, true
+			}
+		}
+		if !haveAny {
+			return nil
+		}
+		// Resolve the winner for `best` and advance every tier at it.
+		var (
+			winnerSealed []byte
+			winnerMem    *memRec
+			dead         bool
+			resolved     bool
+		)
+		if memIdx < len(memKeys) && memKeys[memIdx] == best {
+			winnerMem = e.memtable[best]
+			dead = winnerMem.dead
+			resolved = true
+			memIdx++
+		}
+		for i := len(cursors) - 1; i >= 0; i-- { // newest segment first
+			c := cursors[i]
+			if c.valid && c.tag == best {
+				if !resolved {
+					winnerSealed = c.sealed
+					dead = c.dead
+					resolved = true
+				}
+				c.next()
+			}
+		}
+		if dead {
+			continue
+		}
+		var rec storeengine.Record
+		if winnerMem != nil {
+			rec = copyRecord(winnerMem.rec)
+		} else {
+			r, err := unsealRecord(e.cfg.Enclave, winnerSealed)
+			if err != nil {
+				// Skip unreadable records rather than abort a whole
+				// export; Get on this tag will surface dangling.
+				e.cfg.Logf("logengine: iterate: record %x failed authentication: %v", best[:8], err)
+				continue
+			}
+			rec = r
+		}
+		if e.expired(rec.LastTouch) {
+			continue
+		}
+		if !fn(best, rec) {
+			return nil
+		}
+	}
+}
+
+// Oldest implements engine.Engine by scanning the merged view for the
+// least recently touched record. O(n) over record headers and seals —
+// LRU eviction against a disk-backed store is discouraged (size caps
+// belong to the memory engine), but the semantics hold.
+func (e *Engine) Oldest() (mle.Tag, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var (
+		best  mle.Tag
+		bestT time.Time
+		found bool
+	)
+	_ = e.iterateLocked(func(tag mle.Tag, rec storeengine.Record) bool {
+		if !found || rec.LastTouch.Before(bestT) {
+			best, bestT, found = tag, rec.LastTouch, true
+		}
+		return true
+	})
+	return best, found
+}
+
+// Stats implements engine.Engine.
+func (e *Engine) Stats() storeengine.Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := e.st
+	st.Entries = int(e.entries)
+	st.ValueBytes = e.valueBytes
+	st.WALBytes = e.wal.size
+	st.Segments = len(e.segments)
+	st.SegmentBytes = 0
+	for _, s := range e.segments {
+		st.SegmentBytes += s.size
+	}
+	return st
+}
+
+// Checkpoint implements engine.Engine: flush the memtable (which
+// truncates the WAL) and fsync, so every acknowledged operation is in
+// a durable segment regardless of fsync policy.
+func (e *Engine) Checkpoint() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return storeengine.ErrClosed
+	}
+	if err := e.flushLocked(); err != nil {
+		return err
+	}
+	return e.wal.sync()
+}
+
+// CompactNow merges all segments into one, dropping shadowed versions
+// and — because the result is the oldest and only segment — all
+// tombstones. The merge runs under the engine lock (v1 trades
+// concurrency for simplicity).
+func (e *Engine) CompactNow() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.compactLocked()
+}
+
+// Close implements engine.Engine: stop background work, flush, and
+// release the files. A clean close leaves an empty WAL, so the next
+// Open replays nothing.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	flushErr := e.flushLocked()
+	if flushErr == nil {
+		flushErr = e.wal.sync()
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.stopBg)
+	e.bgDone.Wait()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.wal.close()
+	for _, s := range e.segments {
+		s.close()
+	}
+	e.releaseMemoryLocked()
+	return flushErr
+}
+
+// Crash simulates kill -9 for tests and benchmarks: file handles are
+// abandoned without flushing the memtable, syncing the WAL, or
+// committing anything. State on disk is exactly what the kernel had
+// been told so far.
+func (e *Engine) Crash() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.stopBg)
+	e.bgDone.Wait()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.wal.close()
+	for _, s := range e.segments {
+		s.close()
+	}
+	e.releaseMemoryLocked()
+}
+
+// releaseMemoryLocked returns the memtable's and cache's enclave
+// allocations. Caller holds mu with closed already set.
+func (e *Engine) releaseMemoryLocked() {
+	e.cfg.Enclave.Free(e.memBytes)
+	e.memBytes = 0
+	e.memtable = make(map[mle.Tag]*memRec)
+	e.cfg.Enclave.Free(e.cacheBytes)
+	e.cacheBytes = 0
+	e.cache = make(map[mle.Tag]*cacheRec)
+	e.cacheLRU = list.New()
+}

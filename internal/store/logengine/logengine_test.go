@@ -1,0 +1,521 @@
+package logengine
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"speed/internal/enclave"
+	"speed/internal/mle"
+	storeengine "speed/internal/store/engine"
+)
+
+// testPlatform returns a seeded platform so enclaves across "restarts"
+// share sealing keys, as the same machine would.
+func testPlatform() *enclave.Platform {
+	return enclave.NewPlatform(enclave.Config{PlatformSeed: []byte("logengine-test-seed")})
+}
+
+var enclaveSeq atomic.Int64
+
+// testEnclave creates a store enclave with a fresh name but the same
+// code, so every instance shares the measurement (and sealing key) —
+// the "same binary restarted" case.
+func testEnclave(t *testing.T, p *enclave.Platform) *enclave.Enclave {
+	t.Helper()
+	name := fmt.Sprintf("store-%d", enclaveSeq.Add(1))
+	e, err := p.Create(name, []byte("store code"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	return e
+}
+
+func testConfig(t *testing.T, p *enclave.Platform, dir string) Config {
+	t.Helper()
+	return Config{
+		Dir:             dir,
+		Enclave:         testEnclave(t, p),
+		CompactInterval: -1, // tests drive compaction explicitly
+		Logf:            t.Logf,
+	}
+}
+
+func openTest(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	e, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+func tagOf(s string) mle.Tag { return mle.Tag(sha256.Sum256([]byte(s))) }
+
+func recOf(s string) storeengine.Record {
+	return storeengine.Record{
+		Challenge:  []byte("challenge-16byte"),
+		WrappedKey: []byte("wrappedkey16byte"),
+		Blob:       []byte(s),
+		BlobSize:   int64(len(s)),
+		Owner:      enclave.Measurement(sha256.Sum256([]byte("owner"))),
+		LastTouch:  time.Unix(1000, 0),
+	}
+}
+
+func mustInsert(t *testing.T, e *Engine, key, val string) {
+	t.Helper()
+	ok, err := e.Insert(tagOf(key), recOf(val))
+	if err != nil {
+		t.Fatalf("Insert(%s): %v", key, err)
+	}
+	if !ok {
+		t.Fatalf("Insert(%s) reported duplicate", key)
+	}
+}
+
+func mustGet(t *testing.T, e *Engine, key, want string) {
+	t.Helper()
+	rec, status, err := e.Get(tagOf(key))
+	if err != nil {
+		t.Fatalf("Get(%s): %v", key, err)
+	}
+	if status != storeengine.StatusHit {
+		t.Fatalf("Get(%s) status = %v, want hit", key, status)
+	}
+	if string(rec.Blob) != want {
+		t.Fatalf("Get(%s) blob = %q, want %q", key, rec.Blob, want)
+	}
+	if string(rec.Challenge) != "challenge-16byte" || string(rec.WrappedKey) != "wrappedkey16byte" {
+		t.Fatalf("Get(%s) returned corrupted metadata", key)
+	}
+}
+
+func TestBasicInsertGetRemove(t *testing.T) {
+	p := testPlatform()
+	e := openTest(t, testConfig(t, p, t.TempDir()))
+
+	if _, status, err := e.Get(tagOf("a")); err != nil || status != storeengine.StatusMiss {
+		t.Fatalf("empty Get = %v, %v; want miss", status, err)
+	}
+	mustInsert(t, e, "a", "va")
+	mustGet(t, e, "a", "va")
+	if e.Len() != 1 {
+		t.Errorf("Len = %d, want 1", e.Len())
+	}
+	if e.ValueBytes() != 2 {
+		t.Errorf("ValueBytes = %d, want 2", e.ValueBytes())
+	}
+
+	// First version wins.
+	ok, err := e.Insert(tagOf("a"), recOf("other"))
+	if err != nil || ok {
+		t.Fatalf("duplicate Insert = %v, %v; want false, nil", ok, err)
+	}
+	mustGet(t, e, "a", "va")
+
+	rec, found, err := e.Remove(tagOf("a"))
+	if err != nil || !found {
+		t.Fatalf("Remove = %v, %v", found, err)
+	}
+	if rec.BlobSize != 2 {
+		t.Errorf("removed BlobSize = %d, want 2", rec.BlobSize)
+	}
+	if rec.Owner != enclave.Measurement(sha256.Sum256([]byte("owner"))) {
+		t.Errorf("removed Owner mismatch")
+	}
+	if _, status, _ := e.Get(tagOf("a")); status != storeengine.StatusMiss {
+		t.Errorf("post-remove Get status = %v, want miss", status)
+	}
+	if e.Len() != 0 || e.ValueBytes() != 0 {
+		t.Errorf("post-remove Len=%d ValueBytes=%d, want 0, 0", e.Len(), e.ValueBytes())
+	}
+	if _, found, _ := e.Remove(tagOf("a")); found {
+		t.Errorf("second Remove reported found")
+	}
+}
+
+func TestFlushServesFromSegments(t *testing.T) {
+	p := testPlatform()
+	cfg := testConfig(t, p, t.TempDir())
+	cfg.MemtableBytes = 2 << 10 // tiny: force flushes
+	cfg.CacheBytes = 1 << 10
+	e := openTest(t, cfg)
+
+	const n = 40
+	for i := 0; i < n; i++ {
+		mustInsert(t, e, fmt.Sprintf("k%02d", i), fmt.Sprintf("v%02d", i))
+	}
+	st := e.Stats()
+	if st.Flushes == 0 || st.Segments == 0 {
+		t.Fatalf("no flushes happened (flushes=%d segments=%d); memtable budget not enforced", st.Flushes, st.Segments)
+	}
+	for i := 0; i < n; i++ {
+		mustGet(t, e, fmt.Sprintf("k%02d", i), fmt.Sprintf("v%02d", i))
+	}
+	if e.Len() != n {
+		t.Errorf("Len = %d, want %d", e.Len(), n)
+	}
+	st = e.Stats()
+	if st.CacheMisses == 0 {
+		t.Errorf("expected segment reads, CacheMisses = 0")
+	}
+	// A re-read of a recently fetched key is served by the hot cache.
+	before := e.Stats().CacheHits
+	mustGet(t, e, fmt.Sprintf("k%02d", n-1), fmt.Sprintf("v%02d", n-1))
+	if e.Stats().CacheHits <= before {
+		t.Errorf("hot re-read did not hit the cache")
+	}
+}
+
+func TestCleanCloseReopen(t *testing.T) {
+	p := testPlatform()
+	dir := t.TempDir()
+	e := openTest(t, testConfig(t, p, dir))
+	for i := 0; i < 10; i++ {
+		mustInsert(t, e, fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i))
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	e2 := openTest(t, testConfig(t, p, dir))
+	if got := e2.Stats().Replayed; got != 0 {
+		t.Errorf("clean close still replayed %d wal records", got)
+	}
+	if e2.Len() != 10 {
+		t.Errorf("reopened Len = %d, want 10", e2.Len())
+	}
+	for i := 0; i < 10; i++ {
+		mustGet(t, e2, fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i))
+	}
+}
+
+func TestCrashRecoveryFromWAL(t *testing.T) {
+	p := testPlatform()
+	dir := t.TempDir()
+	e := openTest(t, testConfig(t, p, dir))
+	for i := 0; i < 8; i++ {
+		mustInsert(t, e, fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i))
+	}
+	if _, found, err := e.Remove(tagOf("k3")); err != nil || !found {
+		t.Fatalf("Remove: %v %v", found, err)
+	}
+	e.Crash() // no flush, no clean shutdown
+
+	e2 := openTest(t, testConfig(t, p, dir))
+	if got := e2.Stats().Replayed; got == 0 {
+		t.Fatalf("crash recovery replayed no wal records")
+	}
+	if e2.Len() != 7 {
+		t.Errorf("recovered Len = %d, want 7", e2.Len())
+	}
+	for i := 0; i < 8; i++ {
+		key := fmt.Sprintf("k%d", i)
+		_, status, err := e2.Get(tagOf(key))
+		if err != nil {
+			t.Fatalf("Get(%s): %v", key, err)
+		}
+		want := storeengine.StatusHit
+		if i == 3 {
+			want = storeengine.StatusMiss
+		}
+		if status != want {
+			t.Errorf("Get(%s) status = %v, want %v", key, status, want)
+		}
+	}
+}
+
+func TestTombstoneSurvivesFlushAndReopen(t *testing.T) {
+	p := testPlatform()
+	dir := t.TempDir()
+	e := openTest(t, testConfig(t, p, dir))
+	mustInsert(t, e, "doomed", "v")
+	if err := e.Checkpoint(); err != nil { // record now in a segment
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if _, found, err := e.Remove(tagOf("doomed")); err != nil || !found {
+		t.Fatalf("Remove: %v %v", found, err)
+	}
+	if err := e.Checkpoint(); err != nil { // tombstone now in a newer segment
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	e.Crash()
+
+	e2 := openTest(t, testConfig(t, p, dir))
+	if _, status, _ := e2.Get(tagOf("doomed")); status != storeengine.StatusMiss {
+		t.Errorf("deleted record resurrected after reopen: status %v", status)
+	}
+	if e2.Len() != 0 {
+		t.Errorf("Len = %d, want 0", e2.Len())
+	}
+}
+
+func TestCompactionMergesAndDropsTombstones(t *testing.T) {
+	p := testPlatform()
+	dir := t.TempDir()
+	e := openTest(t, testConfig(t, p, dir))
+	for i := 0; i < 10; i++ {
+		mustInsert(t, e, fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i))
+		if err := e.Checkpoint(); err != nil { // one segment per record
+			t.Fatalf("Checkpoint: %v", err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if _, found, err := e.Remove(tagOf(fmt.Sprintf("k%d", i))); err != nil || !found {
+			t.Fatalf("Remove: %v %v", found, err)
+		}
+	}
+	if err := e.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	before := e.Stats()
+	if before.Segments < 2 {
+		t.Fatalf("want several segments before compaction, got %d", before.Segments)
+	}
+	if err := e.CompactNow(); err != nil {
+		t.Fatalf("CompactNow: %v", err)
+	}
+	after := e.Stats()
+	if after.Segments != 1 {
+		t.Errorf("segments after compaction = %d, want 1", after.Segments)
+	}
+	if after.Compactions != before.Compactions+1 {
+		t.Errorf("Compactions = %d, want %d", after.Compactions, before.Compactions+1)
+	}
+	if after.SegmentBytes >= before.SegmentBytes {
+		t.Errorf("compaction did not reclaim space: %d -> %d bytes", before.SegmentBytes, after.SegmentBytes)
+	}
+	for i := 0; i < 10; i++ {
+		_, status, err := e.Get(tagOf(fmt.Sprintf("k%d", i)))
+		if err != nil {
+			t.Fatalf("Get: %v", err)
+		}
+		want := storeengine.StatusHit
+		if i < 5 {
+			want = storeengine.StatusMiss
+		}
+		if status != want {
+			t.Errorf("post-compaction Get(k%d) = %v, want %v", i, status, want)
+		}
+	}
+	// The merged state must survive a reopen.
+	e.Close()
+	e2 := openTest(t, testConfig(t, p, dir))
+	if e2.Len() != 5 {
+		t.Errorf("reopened Len = %d, want 5", e2.Len())
+	}
+}
+
+func TestWorkingSetBeyondBudgets(t *testing.T) {
+	p := testPlatform()
+	cfg := testConfig(t, p, t.TempDir())
+	cfg.MemtableBytes = 4 << 10
+	cfg.CacheBytes = 4 << 10
+	e := openTest(t, cfg)
+
+	// ~256 records x ~200 bytes ≈ 50 KiB of values: >4x the combined
+	// 8 KiB in-memory budget.
+	const n = 256
+	blob := bytes.Repeat([]byte("x"), 200)
+	var totalBytes int64
+	for i := 0; i < n; i++ {
+		rec := recOf(string(blob))
+		ok, err := e.Insert(tagOf(fmt.Sprintf("big%03d", i)), rec)
+		if err != nil || !ok {
+			t.Fatalf("Insert %d: %v %v", i, ok, err)
+		}
+		totalBytes += rec.BlobSize
+	}
+	if budget := cfg.MemtableBytes + cfg.CacheBytes; totalBytes < 4*budget {
+		t.Fatalf("working set %d not >= 4x budget %d; test misconfigured", totalBytes, budget)
+	}
+	for i := 0; i < n; i++ {
+		mustGet(t, e, fmt.Sprintf("big%03d", i), string(blob))
+	}
+	if e.Len() != n {
+		t.Errorf("Len = %d, want %d", e.Len(), n)
+	}
+}
+
+func TestIterateMergedView(t *testing.T) {
+	p := testPlatform()
+	e := openTest(t, testConfig(t, p, t.TempDir()))
+	for i := 0; i < 6; i++ {
+		mustInsert(t, e, fmt.Sprintf("k%d", i), fmt.Sprintf("v%d", i))
+	}
+	if err := e.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	// Some state newer than the segment: one delete, two fresh inserts.
+	if _, found, _ := e.Remove(tagOf("k0")); !found {
+		t.Fatal("Remove k0")
+	}
+	mustInsert(t, e, "k6", "v6")
+	mustInsert(t, e, "k7", "v7")
+
+	got := map[string]string{}
+	err := e.Iterate(func(tag mle.Tag, rec storeengine.Record) bool {
+		got[string(rec.Blob)] = string(rec.Blob)
+		return true
+	})
+	if err != nil {
+		t.Fatalf("Iterate: %v", err)
+	}
+	want := []string{"v1", "v2", "v3", "v4", "v5", "v6", "v7"}
+	if len(got) != len(want) {
+		t.Fatalf("Iterate yielded %d records, want %d (%v)", len(got), len(want), got)
+	}
+	for _, w := range want {
+		if _, ok := got[w]; !ok {
+			t.Errorf("Iterate missed %s", w)
+		}
+	}
+}
+
+func TestIterateEarlyStop(t *testing.T) {
+	p := testPlatform()
+	e := openTest(t, testConfig(t, p, t.TempDir()))
+	for i := 0; i < 10; i++ {
+		mustInsert(t, e, fmt.Sprintf("k%d", i), "v")
+	}
+	seen := 0
+	_ = e.Iterate(func(mle.Tag, storeengine.Record) bool {
+		seen++
+		return seen < 3
+	})
+	if seen != 3 {
+		t.Errorf("early-stop Iterate visited %d, want 3", seen)
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	p := testPlatform()
+	now := time.Unix(1000, 0)
+	cfg := testConfig(t, p, t.TempDir())
+	cfg.TTL = time.Minute
+	cfg.Now = func() time.Time { return now }
+	e := openTest(t, cfg)
+	rec := recOf("v")
+	rec.LastTouch = now
+	if ok, err := e.Insert(tagOf("x"), rec); err != nil || !ok {
+		t.Fatalf("Insert: %v %v", ok, err)
+	}
+	if _, status, _ := e.Get(tagOf("x")); status != storeengine.StatusHit {
+		t.Fatalf("fresh Get = %v, want hit", status)
+	}
+	now = now.Add(2 * time.Minute)
+	if _, status, _ := e.Get(tagOf("x")); status != storeengine.StatusExpired {
+		t.Errorf("stale Get = %v, want expired", status)
+	}
+}
+
+func TestObliviousGet(t *testing.T) {
+	p := testPlatform()
+	cfg := testConfig(t, p, t.TempDir())
+	cfg.Oblivious = true
+	e := openTest(t, cfg)
+	mustInsert(t, e, "a", "va")
+	mustInsert(t, e, "b", "vb")
+	mustGet(t, e, "a", "va")
+	mustGet(t, e, "b", "vb")
+	if _, status, _ := e.Get(tagOf("zzz")); status != storeengine.StatusMiss {
+		t.Errorf("oblivious miss = %v, want miss", status)
+	}
+	// Oblivious lookups must not mutate popularity state.
+	rec, status, _ := e.Get(tagOf("a"))
+	if status != storeengine.StatusHit || rec.Hits != 0 {
+		t.Errorf("oblivious Get mutated hits: %d", rec.Hits)
+	}
+}
+
+func TestOldest(t *testing.T) {
+	p := testPlatform()
+	cfg := testConfig(t, p, t.TempDir())
+	e := openTest(t, cfg)
+	for i, key := range []string{"old", "mid", "new"} {
+		rec := recOf("v")
+		rec.LastTouch = time.Unix(int64(1000+i), 0)
+		if ok, err := e.Insert(tagOf(key), rec); err != nil || !ok {
+			t.Fatalf("Insert: %v %v", ok, err)
+		}
+	}
+	tag, ok := e.Oldest()
+	if !ok || tag != tagOf("old") {
+		t.Errorf("Oldest = %x ok=%v, want tag of 'old'", tag[:4], ok)
+	}
+}
+
+func TestClosedErrors(t *testing.T) {
+	p := testPlatform()
+	e := openTest(t, testConfig(t, p, t.TempDir()))
+	mustInsert(t, e, "a", "v")
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, _, err := e.Get(tagOf("a")); err != storeengine.ErrClosed {
+		t.Errorf("Get after Close = %v, want ErrClosed", err)
+	}
+	if _, err := e.Insert(tagOf("b"), recOf("v")); err != storeengine.ErrClosed {
+		t.Errorf("Insert after Close = %v, want ErrClosed", err)
+	}
+	if _, _, err := e.Remove(tagOf("a")); err != storeengine.ErrClosed {
+		t.Errorf("Remove after Close = %v, want ErrClosed", err)
+	}
+	if err := e.Close(); err != nil {
+		t.Errorf("second Close = %v, want nil", err)
+	}
+}
+
+func TestOrphanSegmentRemovedAtOpen(t *testing.T) {
+	p := testPlatform()
+	dir := t.TempDir()
+	e := openTest(t, testConfig(t, p, dir))
+	mustInsert(t, e, "a", "v")
+	if err := e.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	e.Close()
+
+	// Simulate a flush that died before its manifest commit.
+	orphan := filepath.Join(dir, segmentName(99))
+	if err := writeSegment(orphan, nil); err != nil {
+		t.Fatalf("writeSegment: %v", err)
+	}
+
+	e2 := openTest(t, testConfig(t, p, dir))
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Errorf("orphan segment survived recovery: %v", err)
+	}
+	mustGet(t, e2, "a", "v")
+	// The orphan's id must not be reused while it could still exist.
+	if e2.nextSegID <= 99 {
+		t.Errorf("nextSegID = %d, want > 99", e2.nextSegID)
+	}
+}
+
+func TestCrossEnclaveSealRejected(t *testing.T) {
+	// Data written by one measurement must not be readable by another:
+	// the sealed records fail authentication, and open fails loudly.
+	p := testPlatform()
+	dir := t.TempDir()
+	e := openTest(t, testConfig(t, p, dir))
+	mustInsert(t, e, "a", "secret")
+	e.Crash() // leave records in the WAL
+
+	evil, err := p.Create("store", []byte("evil store code"))
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	cfg := Config{Dir: dir, Enclave: evil, CompactInterval: -1}
+	if eng, err := Open(cfg); err == nil {
+		eng.Close()
+		t.Fatal("foreign enclave opened a sealed WAL without error")
+	}
+}

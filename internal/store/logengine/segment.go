@@ -1,0 +1,374 @@
+package logengine
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"speed/internal/mle"
+)
+
+// Immutable sorted segments are the engine's durable tier. A segment
+// file is written once (by a memtable flush or a compaction), fsynced,
+// then only ever read:
+//
+//	file   := magic [8]byte ("SPSEG1\r\n") | count uint32 | body | crc uint32
+//	body   := record*                       (sorted ascending by tag)
+//	record := tag [32]byte | flag byte | blobSize uint32 | sealedLen uint32 | sealed
+//
+// flag 1 marks a tombstone (sealedLen 0): the tag was deleted after an
+// older segment recorded it. crc is CRC-32C over body; it is verified
+// when the segment is opened, so a file the untrusted disk corrupted
+// is rejected before any record is trusted. Individual records are
+// additionally sealed — the CRC is integrity against accidents, the
+// seal against an adversary.
+//
+// Readers locate a tag through an in-memory sparse index: every
+// indexInterval-th record's (tag, offset) pair. A lookup binary-
+// searches the sparse index, then scans at most indexInterval record
+// headers from the file — O(log n) memory-resident comparisons plus a
+// short bounded disk scan, no per-key in-memory state.
+
+const (
+	segMagic       = "SPSEG1\r\n"
+	segHeaderLen   = len(segMagic) + 4
+	segRecHeader   = 32 + 1 + 4 + 4
+	indexInterval  = 16
+	segFlagLive    = 0
+	segFlagDead    = 1
+	manifestName   = "MANIFEST"
+	manifestHeader = "speedlog v1"
+)
+
+// indexEntry is one sparse-index sample: the tag of the n*16th record
+// and its absolute file offset.
+type indexEntry struct {
+	tag mle.Tag
+	off int64
+}
+
+// keyHdr is a record header without its payload — what recovery and
+// merge planning need, cheap enough to hold for every key transiently.
+type keyHdr struct {
+	tag      mle.Tag
+	dead     bool
+	blobSize int64
+}
+
+// segment is an open, immutable, verified segment file.
+type segment struct {
+	path   string
+	id     uint64
+	f      *os.File
+	count  int
+	size   int64 // file size
+	sparse []indexEntry
+	minTag mle.Tag
+	maxTag mle.Tag
+}
+
+func segmentName(id uint64) string { return fmt.Sprintf("seg-%08d.seg", id) }
+
+// parseSegmentName extracts the id from a segment filename.
+func parseSegmentName(name string) (uint64, bool) {
+	var id uint64
+	if n, err := fmt.Sscanf(name, "seg-%08d.seg", &id); n == 1 && err == nil {
+		return id, true
+	}
+	return 0, false
+}
+
+// segRecord is one record staged for writing.
+type segRecord struct {
+	tag    mle.Tag
+	dead   bool
+	blob   int64
+	sealed []byte
+}
+
+// writeSegment writes records (already sorted ascending by tag) to a
+// new segment file and fsyncs it. The caller syncs the directory and
+// commits the manifest; until then the file is an orphan that recovery
+// deletes.
+func writeSegment(path string, records []segRecord) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o600)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriterSize(f, 1<<20)
+	if _, err := w.WriteString(segMagic); err != nil {
+		return err
+	}
+	var u32 [4]byte
+	binary.BigEndian.PutUint32(u32[:], uint32(len(records)))
+	if _, err := w.Write(u32[:]); err != nil {
+		return err
+	}
+	crc := crc32.New(crcTable)
+	var hdr [segRecHeader]byte
+	for _, r := range records {
+		copy(hdr[:32], r.tag[:])
+		hdr[32] = segFlagLive
+		if r.dead {
+			hdr[32] = segFlagDead
+		}
+		binary.BigEndian.PutUint32(hdr[33:37], uint32(r.blob))
+		binary.BigEndian.PutUint32(hdr[37:41], uint32(len(r.sealed)))
+		for _, chunk := range [][]byte{hdr[:], r.sealed} {
+			if _, err := w.Write(chunk); err != nil {
+				return err
+			}
+			crc.Write(chunk)
+		}
+	}
+	binary.BigEndian.PutUint32(u32[:], crc.Sum32())
+	if _, err := w.Write(u32[:]); err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// openSegment reads and verifies a segment file, building its sparse
+// index. It returns the transient full key list so the caller can
+// compute live occupancy across segments; the list is discarded after
+// open.
+func openSegment(path string, id uint64) (*segment, []keyHdr, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(data) < segHeaderLen+4 || string(data[:len(segMagic)]) != segMagic {
+		return nil, nil, fmt.Errorf("logengine: segment %s: bad header", filepath.Base(path))
+	}
+	count := int(binary.BigEndian.Uint32(data[len(segMagic):segHeaderLen]))
+	body := data[segHeaderLen : len(data)-4]
+	wantCRC := binary.BigEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body, crcTable) != wantCRC {
+		return nil, nil, fmt.Errorf("logengine: segment %s: checksum mismatch (untrusted storage corrupted it)", filepath.Base(path))
+	}
+	seg := &segment{path: path, id: id, count: count, size: int64(len(data))}
+	keys := make([]keyHdr, 0, count)
+	off := 0
+	var prev mle.Tag
+	for i := 0; i < count; i++ {
+		if len(body)-off < segRecHeader {
+			return nil, nil, fmt.Errorf("logengine: segment %s: truncated record %d", filepath.Base(path), i)
+		}
+		var tag mle.Tag
+		copy(tag[:], body[off:off+32])
+		dead := body[off+32] == segFlagDead
+		blobSize := int64(binary.BigEndian.Uint32(body[off+33 : off+37]))
+		sealedLen := int(binary.BigEndian.Uint32(body[off+37 : off+41]))
+		if len(body)-off-segRecHeader < sealedLen {
+			return nil, nil, fmt.Errorf("logengine: segment %s: truncated record %d payload", filepath.Base(path), i)
+		}
+		if i > 0 && bytes.Compare(tag[:], prev[:]) <= 0 {
+			return nil, nil, fmt.Errorf("logengine: segment %s: records out of order", filepath.Base(path))
+		}
+		prev = tag
+		if i == 0 {
+			seg.minTag = tag
+		}
+		seg.maxTag = tag
+		if i%indexInterval == 0 {
+			seg.sparse = append(seg.sparse, indexEntry{tag: tag, off: int64(segHeaderLen + off)})
+		}
+		keys = append(keys, keyHdr{tag: tag, dead: dead, blobSize: blobSize})
+		off += segRecHeader + sealedLen
+	}
+	if off != len(body) {
+		return nil, nil, fmt.Errorf("logengine: segment %s: trailing garbage", filepath.Base(path))
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	seg.f = f
+	return seg, keys, nil
+}
+
+// find locates tag in the segment, returning (sealed payload, found,
+// dead). It reads at most indexInterval record headers via the sparse
+// index.
+func (s *segment) find(tag mle.Tag) (sealed []byte, found, dead bool, err error) {
+	if s.count == 0 || bytes.Compare(tag[:], s.minTag[:]) < 0 || bytes.Compare(tag[:], s.maxTag[:]) > 0 {
+		return nil, false, false, nil
+	}
+	// Greatest sparse entry with tag <= target.
+	i := sort.Search(len(s.sparse), func(i int) bool {
+		return bytes.Compare(s.sparse[i].tag[:], tag[:]) > 0
+	}) - 1
+	if i < 0 {
+		return nil, false, false, nil
+	}
+	off := s.sparse[i].off
+	var hdr [segRecHeader]byte
+	for step := 0; step < indexInterval; step++ {
+		if off >= s.size-4 {
+			return nil, false, false, nil
+		}
+		if _, err := s.f.ReadAt(hdr[:], off); err != nil {
+			return nil, false, false, fmt.Errorf("logengine: read %s: %w", filepath.Base(s.path), err)
+		}
+		cmp := bytes.Compare(hdr[:32], tag[:])
+		sealedLen := int64(binary.BigEndian.Uint32(hdr[37:41]))
+		if cmp > 0 {
+			return nil, false, false, nil // sorted: passed the slot
+		}
+		if cmp == 0 {
+			if hdr[32] == segFlagDead {
+				return nil, true, true, nil
+			}
+			payload := make([]byte, sealedLen)
+			if _, err := s.f.ReadAt(payload, off+segRecHeader); err != nil {
+				return nil, false, false, fmt.Errorf("logengine: read %s: %w", filepath.Base(s.path), err)
+			}
+			return payload, true, false, nil
+		}
+		off += segRecHeader + sealedLen
+	}
+	return nil, false, false, nil
+}
+
+// cursor streams a segment's records in tag order for merges and
+// iteration, reading one record at a time.
+type cursor struct {
+	seg *segment
+	idx int
+	off int64
+
+	tag    mle.Tag
+	dead   bool
+	blob   int64
+	sealed []byte
+	valid  bool
+}
+
+func (s *segment) newCursor() *cursor {
+	c := &cursor{seg: s, off: int64(segHeaderLen)}
+	c.next()
+	return c
+}
+
+// next advances to the following record; valid turns false at the end.
+func (c *cursor) next() {
+	if c.idx >= c.seg.count {
+		c.valid = false
+		return
+	}
+	var hdr [segRecHeader]byte
+	if _, err := c.seg.f.ReadAt(hdr[:], c.off); err != nil {
+		c.valid = false
+		return
+	}
+	copy(c.tag[:], hdr[:32])
+	c.dead = hdr[32] == segFlagDead
+	c.blob = int64(binary.BigEndian.Uint32(hdr[33:37]))
+	sealedLen := int64(binary.BigEndian.Uint32(hdr[37:41]))
+	if sealedLen > 0 {
+		c.sealed = make([]byte, sealedLen)
+		if _, err := c.seg.f.ReadAt(c.sealed, c.off+segRecHeader); err != nil {
+			c.valid = false
+			return
+		}
+	} else {
+		c.sealed = nil
+	}
+	c.off += segRecHeader + sealedLen
+	c.idx++
+	c.valid = true
+}
+
+func (s *segment) close() error {
+	if s.f == nil {
+		return nil
+	}
+	return s.f.Close()
+}
+
+// --- MANIFEST ---
+//
+// The manifest is the atomic commit point for every segment-set
+// change (flush, compaction). It lists live segment files oldest
+// first; a segment file not listed does not exist as far as the
+// engine is concerned, so recovery deletes it. The manifest is
+// replaced by write-temp + rename + directory fsync — a crash leaves
+// either the old or the new list, never a mix.
+
+// writeManifest atomically replaces the manifest with names (oldest
+// first) and fsyncs the directory.
+func writeManifest(dir string, names []string) error {
+	var b strings.Builder
+	b.WriteString(manifestHeader)
+	b.WriteByte('\n')
+	for _, n := range names {
+		b.WriteString(n)
+		b.WriteByte('\n')
+	}
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, []byte(b.String()), 0o600); err != nil {
+		return err
+	}
+	f, err := os.Open(tmp)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	f.Close()
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// readManifest returns the listed segment names, oldest first. A
+// missing manifest is an empty store.
+func readManifest(dir string) ([]string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) == 0 || lines[0] != manifestHeader {
+		return nil, fmt.Errorf("logengine: bad manifest header")
+	}
+	var names []string
+	for _, l := range lines[1:] {
+		if l == "" {
+			continue
+		}
+		if _, ok := parseSegmentName(l); !ok {
+			return nil, fmt.Errorf("logengine: bad manifest entry %q", l)
+		}
+		names = append(names, l)
+	}
+	return names, nil
+}
+
+// syncDir fsyncs a directory so renames and creates within it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

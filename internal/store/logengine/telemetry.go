@@ -1,0 +1,36 @@
+package logengine
+
+import (
+	storeengine "speed/internal/store/engine"
+	"speed/internal/telemetry"
+)
+
+// RegisterTelemetry adds the log engine's activity and occupancy
+// series, all labeled engine="log" so dashboards distinguish them from
+// the memory engine's shard gauges. Store.registerTelemetry calls this
+// through the optional-interface hook.
+func (e *Engine) RegisterTelemetry(reg *telemetry.Registry) {
+	lbl := telemetry.L("engine", "log")
+	counter := func(name, help string, field func(storeengine.Stats) int64) {
+		reg.NewCounterFunc(name, help, func() int64 { return field(e.Stats()) }, lbl)
+	}
+	gauge := func(name, help string, field func(storeengine.Stats) float64) {
+		reg.NewGaugeFunc(name, help, func() float64 { return field(e.Stats()) }, lbl)
+	}
+	counter("speed_store_engine_wal_records_total", "records appended to the write-ahead log",
+		func(st storeengine.Stats) int64 { return st.WALRecords })
+	counter("speed_store_engine_flushes_total", "memtable flushes to sorted segments",
+		func(st storeengine.Stats) int64 { return st.Flushes })
+	counter("speed_store_engine_compactions_total", "completed segment compactions",
+		func(st storeengine.Stats) int64 { return st.Compactions })
+	counter("speed_store_engine_cache_hits_total", "lookups served by the in-enclave tier",
+		func(st storeengine.Stats) int64 { return st.CacheHits })
+	counter("speed_store_engine_cache_misses_total", "lookups that consulted segment files",
+		func(st storeengine.Stats) int64 { return st.CacheMisses })
+	gauge("speed_store_engine_wal_bytes", "current write-ahead-log length",
+		func(st storeengine.Stats) float64 { return float64(st.WALBytes) })
+	gauge("speed_store_engine_segments", "immutable segment files",
+		func(st storeengine.Stats) float64 { return float64(st.Segments) })
+	gauge("speed_store_engine_segment_bytes", "total on-disk segment size",
+		func(st storeengine.Stats) float64 { return float64(st.SegmentBytes) })
+}

@@ -1,0 +1,427 @@
+package store
+
+import (
+	"container/list"
+	"crypto/subtle"
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"speed/internal/enclave"
+	"speed/internal/mle"
+	storeengine "speed/internal/store/engine"
+	"speed/internal/telemetry"
+)
+
+// memEngine is the default storage engine: the original lock-striped
+// sharded dictionary with a global LRU, entirely in (enclave) memory
+// and volatile across restarts. Its behavior is the pre-seam Store's,
+// byte for byte: the same ECall pattern (one per GET, two per PUT),
+// the same enclave Alloc/Free charging per entry, the same oblivious
+// all-shard scan, and the same globally-least-recent eviction victim.
+type memEngine struct {
+	enclave   *enclave.Enclave
+	blobs     BlobStore
+	oblivious bool
+	ttl       time.Duration
+	now       func() time.Time
+
+	shards    []*shard
+	shardMask uint32
+
+	// Global occupancy accounting, shared by all shards: the dictionary
+	// entry count and the resident ciphertext bytes.
+	entries   atomic.Int64
+	blobTotal atomic.Int64
+
+	closed atomic.Bool
+}
+
+var _ storeengine.Engine = (*memEngine)(nil)
+
+// entry is the small in-enclave dictionary record: the challenge r, the
+// wrapped key [k], and a pointer to the out-of-enclave ciphertext
+// (Section IV-B: "the dictionary entry is designed to be small").
+type entry struct {
+	challenge  []byte
+	wrappedKey []byte
+	blobID     BlobID
+	blobSize   int64
+	owner      enclave.Measurement
+	hits       int64
+	lastTouch  time.Time
+	lruElem    *list.Element
+}
+
+func (e *entry) enclaveBytes() int64 {
+	return entryOverhead + int64(len(e.challenge)+len(e.wrappedKey))
+}
+
+// shard is one lock stripe of the dictionary: its own map and LRU
+// list, so GETs and PUTs for different tags proceed in parallel on
+// different cores.
+type shard struct {
+	mu   sync.Mutex
+	dict map[mle.Tag]*entry
+	lru  *list.List // front = most recent; values are mle.Tag
+}
+
+// newMemEngine builds the sharded in-memory engine. shards is rounded
+// up to a power of two as before.
+func newMemEngine(enc *enclave.Enclave, blobs BlobStore, shards int, oblivious bool, ttl time.Duration, now func() time.Time) *memEngine {
+	n := shards
+	if n <= 0 {
+		n = defaultShards
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	if n&(n-1) != 0 {
+		n = 1 << bits.Len(uint(n)) // round up to a power of two
+	}
+	m := &memEngine{
+		enclave:   enc,
+		blobs:     blobs,
+		oblivious: oblivious,
+		ttl:       ttl,
+		now:       now,
+		shards:    make([]*shard, n),
+		shardMask: uint32(n - 1),
+	}
+	for i := range m.shards {
+		m.shards[i] = &shard{dict: make(map[mle.Tag]*entry), lru: list.New()}
+	}
+	return m
+}
+
+func (m *memEngine) Name() string  { return "memory" }
+func (m *memEngine) Durable() bool { return false }
+
+// shardFor selects a tag's home shard. Tags are outputs of a
+// cryptographic hash, so any fixed window of bits is uniform.
+func (m *memEngine) shardFor(tag mle.Tag) *shard {
+	return m.shards[binary.BigEndian.Uint32(tag[:4])&m.shardMask]
+}
+
+// ShardCount reports the number of dictionary shards.
+func (m *memEngine) ShardCount() int { return len(m.shards) }
+
+// expiredLocked reports whether the entry is past its TTL. Caller
+// holds the entry's shard lock.
+func (m *memEngine) expiredLocked(e *entry) bool {
+	return m.ttl > 0 && m.now().Sub(e.lastTouch) > m.ttl
+}
+
+// Get implements engine.Engine. The dictionary access happens inside
+// the store enclave (one ECALL); the ciphertext is fetched from
+// untrusted storage outside.
+func (m *memEngine) Get(tag mle.Tag) (storeengine.Record, storeengine.GetStatus, error) {
+	var (
+		rec     storeengine.Record
+		found   bool
+		expired bool
+		blobID  BlobID
+	)
+	err := m.enclave.ECall(func() error {
+		if m.closed.Load() {
+			return ErrClosed
+		}
+		if m.oblivious {
+			// Scan every shard with identical per-entry work so the
+			// access pattern reveals neither the entry nor the shard.
+			home := m.shardFor(tag)
+			for _, sh := range m.shards {
+				sh.mu.Lock()
+				e := obliviousLookupLocked(sh, tag)
+				if sh == home && e != nil {
+					if m.expiredLocked(e) {
+						expired = true
+					} else {
+						found = true
+						e.hits++
+						rec = m.recordLocked(e)
+						blobID = e.blobID
+					}
+				}
+				sh.mu.Unlock()
+			}
+			return nil
+		}
+		sh := m.shardFor(tag)
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		e, ok := sh.dict[tag]
+		if !ok {
+			return nil
+		}
+		if m.expiredLocked(e) {
+			// Leave the stale entry for the caller to collect lazily.
+			expired = true
+			return nil
+		}
+		found = true
+		e.hits++
+		// LRU maintenance and freshness updates reveal which entry was
+		// touched; they only run in the non-oblivious path.
+		sh.lru.MoveToFront(e.lruElem)
+		e.lastTouch = m.now()
+		rec = m.recordLocked(e)
+		blobID = e.blobID
+		return nil
+	})
+	if err != nil {
+		return storeengine.Record{}, storeengine.StatusMiss, err
+	}
+	if expired {
+		return storeengine.Record{}, storeengine.StatusExpired, nil
+	}
+	if !found {
+		return storeengine.Record{}, storeengine.StatusMiss, nil
+	}
+	blob, err := m.blobs.Get(blobID)
+	if err != nil {
+		// The untrusted storage lost or corrupted the blob; the caller
+		// drops the dangling entry and treats the lookup as a miss (the
+		// application would reject the result at verification anyway).
+		return storeengine.Record{}, storeengine.StatusDangling, nil
+	}
+	rec.Blob = blob
+	return rec, storeengine.StatusHit, nil
+}
+
+// recordLocked copies an entry's metadata out; caller holds the shard
+// lock. The blob is fetched separately, outside the enclave.
+func (m *memEngine) recordLocked(e *entry) storeengine.Record {
+	return storeengine.Record{
+		Challenge:  append([]byte(nil), e.challenge...),
+		WrappedKey: append([]byte(nil), e.wrappedKey...),
+		BlobSize:   e.blobSize,
+		Owner:      e.owner,
+		Hits:       e.hits,
+		LastTouch:  e.lastTouch,
+	}
+}
+
+// Insert implements engine.Engine, preserving the pre-seam PUT
+// sequence: duplicate-check first under the shard lock (inside the
+// enclave); only store the blob outside if this is a fresh tag; then
+// insert under the lock again, cleaning up if a concurrent identical
+// PUT won the race.
+func (m *memEngine) Insert(tag mle.Tag, rec storeengine.Record) (bool, error) {
+	sh := m.shardFor(tag)
+	dupe := false
+	err := m.enclave.ECall(func() error {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		if m.closed.Load() {
+			return ErrClosed
+		}
+		if _, ok := sh.dict[tag]; ok {
+			dupe = true
+		}
+		return nil
+	})
+	if err != nil {
+		return false, err
+	}
+	if dupe {
+		return false, nil
+	}
+
+	blobID, err := m.blobs.Put(rec.Blob)
+	if err != nil {
+		return false, fmt.Errorf("store blob: %w", err)
+	}
+
+	e := &entry{
+		challenge:  append([]byte(nil), rec.Challenge...),
+		wrappedKey: append([]byte(nil), rec.WrappedKey...),
+		blobID:     blobID,
+		blobSize:   int64(len(rec.Blob)),
+		owner:      rec.Owner,
+		hits:       rec.Hits,
+		lastTouch:  rec.LastTouch,
+	}
+	if err := m.enclave.Alloc(e.enclaveBytes()); err != nil {
+		_ = m.blobs.Delete(blobID)
+		return false, fmt.Errorf("metadata allocation: %w", err)
+	}
+
+	err = m.enclave.ECall(func() error {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		if m.closed.Load() {
+			return ErrClosed
+		}
+		if _, ok := sh.dict[tag]; ok {
+			// Lost a race with a concurrent identical PUT.
+			dupe = true
+			return nil
+		}
+		e.lruElem = sh.lru.PushFront(tag)
+		sh.dict[tag] = e
+		m.entries.Add(1)
+		m.blobTotal.Add(e.blobSize)
+		return nil
+	})
+	if err != nil || dupe {
+		_ = m.blobs.Delete(blobID)
+		m.enclave.Free(e.enclaveBytes())
+		return false, err
+	}
+	return true, nil
+}
+
+// Remove implements engine.Engine: it deletes the entry, releasing its
+// enclave memory and blob, and returns the removed record's metadata
+// so the caller can settle quota accounting.
+func (m *memEngine) Remove(tag mle.Tag) (storeengine.Record, bool, error) {
+	sh := m.shardFor(tag)
+	sh.mu.Lock()
+	e, ok := sh.dict[tag]
+	if ok {
+		delete(sh.dict, tag)
+		sh.lru.Remove(e.lruElem)
+		m.entries.Add(-1)
+		m.blobTotal.Add(-e.blobSize)
+	}
+	sh.mu.Unlock()
+	if !ok {
+		return storeengine.Record{}, false, nil
+	}
+	m.enclave.Free(e.enclaveBytes())
+	_ = m.blobs.Delete(e.blobID)
+	return storeengine.Record{
+		BlobSize:  e.blobSize,
+		Owner:     e.owner,
+		Hits:      e.hits,
+		LastTouch: e.lastTouch,
+	}, true, nil
+}
+
+// Len implements engine.Engine.
+func (m *memEngine) Len() int { return int(m.entries.Load()) }
+
+// ValueBytes implements engine.Engine. It reports what the blob store
+// holds, as the pre-seam Stats did.
+func (m *memEngine) ValueBytes() int64 { return m.blobs.Bytes() }
+
+// Iterate implements engine.Engine. Memory stays bounded by one
+// shard's metadata plus one blob: each shard's references are copied
+// under its lock, then blobs are fetched and records yielded outside
+// the lock (an entry racing with eviction is skipped).
+func (m *memEngine) Iterate(fn func(tag mle.Tag, rec storeengine.Record) bool) error {
+	type ref struct {
+		tag mle.Tag
+		rec storeengine.Record
+		id  BlobID
+	}
+	var refs []ref // reused across shards
+	for _, sh := range m.shards {
+		refs = refs[:0]
+		err := m.enclave.ECall(func() error {
+			sh.mu.Lock()
+			defer sh.mu.Unlock()
+			for tag, e := range sh.dict {
+				refs = append(refs, ref{tag: tag, rec: m.recordLocked(e), id: e.blobID})
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		for _, r := range refs {
+			blob, err := m.blobs.Get(r.id)
+			if err != nil {
+				continue // entry raced with eviction
+			}
+			r.rec.Blob = blob
+			if !fn(r.tag, r.rec) {
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// Oldest implements engine.Engine: each shard's LRU tail is its local
+// least-recent entry, and lastTouch orders the tails globally.
+func (m *memEngine) Oldest() (mle.Tag, bool) {
+	var (
+		best  mle.Tag
+		bestT time.Time
+		found bool
+	)
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		if el := sh.lru.Back(); el != nil {
+			if tag, ok := el.Value.(mle.Tag); ok {
+				e := sh.dict[tag]
+				if e != nil && (!found || e.lastTouch.Before(bestT)) {
+					best, bestT, found = tag, e.lastTouch, true
+				}
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return best, found
+}
+
+// Stats implements engine.Engine.
+func (m *memEngine) Stats() storeengine.Stats {
+	return storeengine.Stats{
+		Entries:    m.Len(),
+		ValueBytes: m.ValueBytes(),
+	}
+}
+
+// Checkpoint implements engine.Engine; the memory engine has nothing
+// to make durable.
+func (m *memEngine) Checkpoint() error { return nil }
+
+// Close implements engine.Engine. As before the seam, closing only
+// marks the engine: Get/Insert fail with ErrClosed while Iterate and
+// Oldest keep working, so a final Export or snapshot is still
+// possible via the structures that remain in memory.
+func (m *memEngine) Close() error {
+	m.closed.Store(true)
+	return nil
+}
+
+// RegisterTelemetry adds the memory engine's per-shard occupancy
+// gauges, preserving the pre-seam speed_store_shard_entries metric.
+func (m *memEngine) RegisterTelemetry(reg *telemetry.Registry) {
+	for i := range m.shards {
+		sh := m.shards[i]
+		reg.NewGaugeFunc("speed_store_shard_entries", "dictionary entries per shard",
+			func() float64 {
+				sh.mu.Lock()
+				n := len(sh.dict)
+				sh.mu.Unlock()
+				return float64(n)
+			}, telemetry.L("shard", strconv.Itoa(i)))
+	}
+}
+
+// obliviousLookupLocked scans every entry of one shard with a
+// constant-time tag comparison, doing identical work for every entry
+// regardless of where (or whether) the tag matches. Caller holds the
+// shard lock inside the store enclave.
+func obliviousLookupLocked(sh *shard, tag mle.Tag) *entry {
+	var found *entry
+	for k := range sh.dict {
+		k := k
+		match := subtle.ConstantTimeCompare(k[:], tag[:])
+		// Branchless-ish select: always read the entry, conditionally
+		// retain it.
+		e := sh.dict[k]
+		if match == 1 {
+			found = e
+		}
+	}
+	return found
+}

@@ -72,7 +72,7 @@ func TestShardedStatsConsistent(t *testing.T) {
 	// Every shard's gauge must sum to the entry count.
 	total := 0
 	spread := 0
-	for _, sh := range s.shards {
+	for _, sh := range s.memShards() {
 		sh.mu.Lock()
 		total += len(sh.dict)
 		if len(sh.dict) > 0 {

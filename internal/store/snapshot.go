@@ -10,6 +10,7 @@ import (
 
 	"speed/internal/enclave"
 	"speed/internal/mle"
+	storeengine "speed/internal/store/engine"
 )
 
 // Snapshot persistence: a long-running ResultStore must survive
@@ -20,6 +21,11 @@ import (
 // platform-bound sealing key before leaving the enclave: only the same
 // store code on the same machine can restore it. Ciphertext blobs are
 // included verbatim — they are already AEAD-protected.
+//
+// Snapshots are engine-agnostic: they stream through the engine's
+// bounded iterator, so a snapshot of a log-engine store works without
+// materializing its keyspace twice, and a snapshot taken on one engine
+// restores into a store running another.
 
 const snapshotVersion = 1
 
@@ -30,6 +36,9 @@ var ErrBadSnapshot = errors.New("store: malformed snapshot")
 // SealSnapshot serialises the dictionary (and its blobs) and seals it
 // to the store enclave identity. The store remains usable.
 func (s *Store) SealSnapshot() ([]byte, error) {
+	if s.closed.Load() {
+		return nil, ErrClosed
+	}
 	type record struct {
 		tag    mle.Tag
 		sealed mle.Sealed
@@ -37,47 +46,32 @@ func (s *Store) SealSnapshot() ([]byte, error) {
 		hits   int64
 		touch  time.Time
 	}
-	var records []record
-	err := s.cfg.Enclave.ECall(func() error {
-		if s.closed.Load() {
-			return ErrClosed
-		}
-		// Walk each shard's LRU from least to most recent, then order
-		// records globally by lastTouch so restore rebuilds a faithful
-		// eviction order across shards. The restore target may use a
-		// different shard count — the format is shard-agnostic.
-		records = make([]record, 0, s.Len())
-		for _, sh := range s.shards {
-			sh.mu.Lock()
-			for elem := sh.lru.Back(); elem != nil; elem = elem.Prev() {
-				tag, ok := elem.Value.(mle.Tag)
-				if !ok {
-					continue
-				}
-				e := sh.dict[tag]
-				records = append(records, record{
-					tag: tag,
-					sealed: mle.Sealed{
-						Challenge:  append([]byte(nil), e.challenge...),
-						WrappedKey: append([]byte(nil), e.wrappedKey...),
-					},
-					owner: e.owner,
-					hits:  e.hits,
-					touch: e.lastTouch,
-				})
-			}
-			sh.mu.Unlock()
-		}
-		sort.SliceStable(records, func(i, j int) bool {
-			return records[i].touch.Before(records[j].touch)
+	// Records are ordered globally by lastTouch so restore rebuilds a
+	// faithful eviction order regardless of the source engine's layout
+	// (the restore target may use a different shard count or engine —
+	// the format carries no layout).
+	records := make([]record, 0, s.Len())
+	err := s.eng.Iterate(func(tag mle.Tag, rec storeengine.Record) bool {
+		records = append(records, record{
+			tag: tag,
+			sealed: mle.Sealed{
+				Challenge:  rec.Challenge,
+				WrappedKey: rec.WrappedKey,
+				Blob:       rec.Blob,
+			},
+			owner: rec.Owner,
+			hits:  rec.Hits,
+			touch: rec.LastTouch,
 		})
-		return nil
+		return true
 	})
 	if err != nil {
 		return nil, err
 	}
+	sort.SliceStable(records, func(i, j int) bool {
+		return records[i].touch.Before(records[j].touch)
+	})
 
-	// Fetch blobs outside the lock (they live outside the enclave).
 	var buf bytes.Buffer
 	buf.WriteByte(snapshotVersion)
 	var lenB [8]byte
@@ -89,38 +83,17 @@ func (s *Store) SealSnapshot() ([]byte, error) {
 		buf.Write(n[:])
 		buf.Write(b)
 	}
-	written := 0
 	for _, r := range records {
-		// Re-read the blob; an entry evicted meanwhile is skipped.
-		sh := s.shardFor(r.tag)
-		sh.mu.Lock()
-		e, ok := sh.dict[r.tag]
-		var blobID BlobID
-		if ok {
-			blobID = e.blobID
-		}
-		sh.mu.Unlock()
-		if !ok {
-			continue
-		}
-		blob, err := s.cfg.Blobs.Get(blobID)
-		if err != nil {
-			continue
-		}
 		buf.Write(r.tag[:])
 		buf.Write(r.owner[:])
 		binary.BigEndian.PutUint64(lenB[:], uint64(r.hits))
 		buf.Write(lenB[:])
 		writeBytes(r.sealed.Challenge)
 		writeBytes(r.sealed.WrappedKey)
-		writeBytes(blob)
-		written++
+		writeBytes(r.sealed.Blob)
 	}
-	// Patch the record count to what was actually written.
-	out := buf.Bytes()
-	binary.BigEndian.PutUint64(out[1:9], uint64(written))
 
-	sealed, err := s.cfg.Enclave.Seal(out)
+	sealed, err := s.cfg.Enclave.Seal(buf.Bytes())
 	if err != nil {
 		return nil, fmt.Errorf("seal snapshot: %w", err)
 	}
@@ -185,7 +158,7 @@ func (s *Store) RestoreSnapshot(sealed []byte) (int, error) {
 			Challenge:  challenge,
 			WrappedKey: wrapped,
 			Blob:       blob,
-		}, putOpts{restore: true})
+		}, putOpts{restore: true, hits: hits})
 		if err != nil {
 			// Space-quota pressure during restore is not fatal; skip
 			// the entry.
@@ -193,12 +166,6 @@ func (s *Store) RestoreSnapshot(sealed []byte) (int, error) {
 		}
 		if ok {
 			installed++
-			sh := s.shardFor(tag)
-			sh.mu.Lock()
-			if e, present := sh.dict[tag]; present {
-				e.hits = hits
-			}
-			sh.mu.Unlock()
 		}
 	}
 	if len(rd) != 0 {

@@ -1,20 +1,18 @@
 package store
 
 import (
-	"container/list"
-	"crypto/subtle"
-	"encoding/binary"
+	"container/heap"
 	"errors"
 	"fmt"
-	"math/bits"
 	"sort"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"speed/internal/enclave"
 	"speed/internal/mle"
+	storeengine "speed/internal/store/engine"
+	"speed/internal/store/logengine"
 	"speed/internal/telemetry"
 )
 
@@ -38,25 +36,59 @@ var (
 	// mechanism.
 	ErrQuota = errors.New("store: quota exceeded")
 	// ErrClosed is returned after Close.
-	ErrClosed = errors.New("store: closed")
+	ErrClosed = storeengine.ErrClosed
+)
+
+// Engine names accepted by Config.Engine.
+const (
+	// EngineMemory is the default volatile engine: the lock-striped
+	// sharded dictionary with global LRU.
+	EngineMemory = "memory"
+	// EngineLog is the persistent log-structured engine
+	// (internal/store/logengine): sealed WAL + sorted segments, crash
+	// recovery by segment load and WAL replay.
+	EngineLog = "log"
 )
 
 // Config configures a Store.
 type Config struct {
 	// Enclave hosts the metadata dictionary. Required.
 	Enclave *enclave.Enclave
-	// Blobs holds ciphertexts outside the enclave. Defaults to an
-	// in-memory store.
+	// Engine selects the storage backend behind the store: "" or
+	// "memory" for the in-RAM sharded dictionary (the default, exactly
+	// the pre-engine behavior), or "log" for the persistent
+	// log-structured engine rooted at DataDir.
+	Engine string
+	// DataDir is the log engine's on-disk directory. Required when
+	// Engine is "log"; setting it with Engine unset selects "log".
+	DataDir string
+	// MemtableBytes bounds the log engine's in-memory write buffer
+	// before it flushes a sorted segment; 0 selects the default.
+	MemtableBytes int64
+	// CacheBytes bounds the log engine's hot-entry read cache; 0
+	// selects the default.
+	CacheBytes int64
+	// Fsync selects the log engine's WAL durability policy: "commit"
+	// (fsync before acknowledging every PUT, the default), "interval"
+	// (background fsync), or "none" (leave it to the OS).
+	Fsync string
+	// CompactInterval is how often the log engine's background
+	// compactor considers merging segments; 0 selects the default.
+	CompactInterval time.Duration
+	// Blobs holds ciphertexts outside the enclave for the memory
+	// engine. Defaults to an in-memory store. The log engine keeps
+	// values in its own segments and ignores it.
 	Blobs BlobStore
-	// Shards is the number of lock-striped dictionary shards; rounded
-	// up to a power of two, defaulting to 8. Tags are uniformly
-	// distributed hashes, so striping spreads GET/PUT lock contention
-	// evenly and lets concurrent requests proceed on different cores.
+	// Shards is the number of lock-striped dictionary shards of the
+	// memory engine; rounded up to a power of two, defaulting to 8.
+	// Tags are uniformly distributed hashes, so striping spreads
+	// GET/PUT lock contention evenly and lets concurrent requests
+	// proceed on different cores.
 	Shards int
 	// MaxEntries caps the dictionary size; 0 means unlimited. When
 	// exceeded, least-recently-used entries are evicted. The cap is
 	// global: the eviction victim is the least recently used entry
-	// across all shards, not a per-shard quota.
+	// across the whole engine, not a per-shard quota.
 	MaxEntries int
 	// MaxBlobBytes caps total ciphertext bytes; 0 means unlimited.
 	MaxBlobBytes int64
@@ -66,12 +98,14 @@ type Config struct {
 	// attested measurement (controlled deduplication, Section III-D).
 	Auth Authorizer
 	// Oblivious makes dictionary lookups access-pattern oblivious: a
-	// GET touches every entry in every shard with constant-time tag
+	// GET touches every in-enclave entry with constant-time tag
 	// comparison and performs no LRU bookkeeping, so an adversary
 	// observing enclave memory accesses cannot tell which entry (if
 	// any) matched — or which shard held it. This trades throughput for
 	// side-channel resistance (the security/performance balance the
-	// paper defers to future work, Section III-D).
+	// paper defers to future work, Section III-D). With the log engine
+	// the guarantee covers the in-enclave structures (memtable, cache,
+	// segment index); see DESIGN.md "Storage engines".
 	Oblivious bool
 	// TTL expires entries that have not been stored or hit within the
 	// given duration; 0 disables expiry. Expired entries are collected
@@ -79,17 +113,21 @@ type Config struct {
 	TTL time.Duration
 	// Telemetry, when non-nil, registers the store's counters (gets,
 	// hits, puts, denials, evictions — backed by the Stats snapshot),
-	// occupancy gauges (total and per shard), and per-operation
+	// occupancy gauges (total and, for the memory engine, per shard;
+	// for the log engine, WAL/segment/cache gauges), and per-operation
 	// service-latency histograms speed_store_op_seconds{op="get"|"put"}.
 	// Nil disables.
 	Telemetry *telemetry.Registry
-	// Now is the clock used by the quota mechanism; nil means
-	// time.Now. Injectable for tests.
+	// Now is the clock used by the quota, TTL and LRU mechanisms; nil
+	// means time.Now. Injectable for tests.
 	Now func() time.Time
+	// Logf receives engine diagnostics (recovery, compaction); nil
+	// discards.
+	Logf func(format string, args ...any)
 }
 
-// Stats is a snapshot of store activity. The counters are summed over
-// all shards while every shard lock is held, so the snapshot is
+// Stats is a snapshot of store activity. The operation counters are
+// mutated and snapshotted under one lock, so the snapshot is
 // internally consistent (e.g. Hits never exceeds Gets).
 type Stats struct {
 	Gets         int64
@@ -104,63 +142,18 @@ type Stats struct {
 	BlobBytes    int64
 }
 
-// add folds another snapshot's counters into s.
-func (s *Stats) add(o Stats) {
-	s.Gets += o.Gets
-	s.Hits += o.Hits
-	s.Puts += o.Puts
-	s.PutDupes += o.PutDupes
-	s.PutDenied += o.PutDenied
-	s.Unauthorized += o.Unauthorized
-	s.Evictions += o.Evictions
-	s.Expired += o.Expired
-}
-
-// entry is the small in-enclave dictionary record: the challenge r, the
-// wrapped key [k], and a pointer to the out-of-enclave ciphertext
-// (Section IV-B: "the dictionary entry is designed to be small").
-type entry struct {
-	challenge  []byte
-	wrappedKey []byte
-	blobID     BlobID
-	blobSize   int64
-	owner      enclave.Measurement
-	hits       int64
-	lastTouch  time.Time
-	lruElem    *list.Element
-}
-
-func (e *entry) enclaveBytes() int64 {
-	return entryOverhead + int64(len(e.challenge)+len(e.wrappedKey))
-}
-
-// shard is one lock stripe of the dictionary: its own map, LRU list and
-// activity counters, so GETs and PUTs for different tags proceed in
-// parallel on different cores.
-type shard struct {
-	mu    sync.Mutex
-	dict  map[mle.Tag]*entry
-	lru   *list.List // front = most recent; values are mle.Tag
-	stats Stats      // per-shard counters; Entries/BlobBytes unused
-}
-
-// Store is the encrypted ResultStore. All methods are safe for
-// concurrent use; operations on different tags contend only on their
-// shard.
+// Store is the encrypted ResultStore: engine-neutral policy
+// (authorization, quotas, TTL, limits, telemetry, snapshots) over a
+// pluggable storage Engine. All methods are safe for concurrent use.
 type Store struct {
-	cfg       Config
-	shards    []*shard
-	shardMask uint32
+	cfg Config
+	eng storeengine.Engine
 
-	// Global occupancy accounting, shared by all shards: the dictionary
-	// entry count and the resident ciphertext bytes, against which
-	// MaxEntries/MaxBlobBytes are enforced.
-	entries   atomic.Int64
-	blobTotal atomic.Int64
-
+	quota  *quotas
 	closed atomic.Bool
 
-	quota *quotas
+	statsMu sync.Mutex
+	ops     Stats // operation counters; Entries/BlobBytes filled on snapshot
 
 	// Per-op service-latency histograms; nil (and skipped) when
 	// Config.Telemetry was nil.
@@ -168,7 +161,7 @@ type Store struct {
 	putSeconds *telemetry.Histogram
 }
 
-// New constructs a Store.
+// New constructs a Store over the configured engine.
 func New(cfg Config) (*Store, error) {
 	if cfg.Enclave == nil {
 		return nil, errors.New("store: Config.Enclave is required")
@@ -179,42 +172,87 @@ func New(cfg Config) (*Store, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	n := cfg.Shards
-	if n <= 0 {
-		n = defaultShards
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
 	}
-	if n > maxShards {
-		n = maxShards
+	engineName := cfg.Engine
+	if engineName == "" {
+		if cfg.DataDir != "" {
+			engineName = EngineLog
+		} else {
+			engineName = EngineMemory
+		}
 	}
-	if n&(n-1) != 0 {
-		n = 1 << bits.Len(uint(n)) // round up to a power of two
-	}
-	s := &Store{
-		cfg:       cfg,
-		shards:    make([]*shard, n),
-		shardMask: uint32(n - 1),
-		quota:     newQuotas(cfg.Quota, cfg.Now),
-	}
-	for i := range s.shards {
-		s.shards[i] = &shard{dict: make(map[mle.Tag]*entry), lru: list.New()}
+	s := &Store{cfg: cfg, quota: newQuotas(cfg.Quota, cfg.Now)}
+	switch engineName {
+	case EngineMemory:
+		s.eng = newMemEngine(cfg.Enclave, cfg.Blobs, cfg.Shards, cfg.Oblivious, cfg.TTL, cfg.Now)
+	case EngineLog:
+		if cfg.DataDir == "" {
+			return nil, errors.New("store: Engine \"log\" requires Config.DataDir")
+		}
+		fsync, err := logengine.ParseFsync(cfg.Fsync)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := logengine.Open(logengine.Config{
+			Dir:             cfg.DataDir,
+			Enclave:         cfg.Enclave,
+			MemtableBytes:   cfg.MemtableBytes,
+			CacheBytes:      cfg.CacheBytes,
+			Fsync:           fsync,
+			CompactInterval: cfg.CompactInterval,
+			Oblivious:       cfg.Oblivious,
+			TTL:             cfg.TTL,
+			Now:             cfg.Now,
+			Logf:            cfg.Logf,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("store: open log engine: %w", err)
+		}
+		s.eng = eng
+	default:
+		return nil, fmt.Errorf("store: unknown engine %q", cfg.Engine)
 	}
 	s.registerTelemetry(cfg.Telemetry)
 	return s, nil
 }
 
-// shardFor selects a tag's home shard. Tags are outputs of a
-// cryptographic hash, so any fixed window of bits is uniform.
-func (s *Store) shardFor(tag mle.Tag) *shard {
-	return s.shards[binary.BigEndian.Uint32(tag[:4])&s.shardMask]
+// EngineName reports the active storage engine ("memory" or "log").
+func (s *Store) EngineName() string { return s.eng.Name() }
+
+// Persistent reports whether acknowledged PUTs survive a crash (the
+// log engine). Autosaver uses it to switch from snapshot writing to
+// checkpoint triggering.
+func (s *Store) Persistent() bool { return s.eng.Durable() }
+
+// Checkpoint makes every acknowledged PUT durable (log engine: flush
+// the memtable and fsync the WAL). A no-op on the memory engine.
+func (s *Store) Checkpoint() error { return s.eng.Checkpoint() }
+
+// ShardCount reports the number of dictionary shards of the memory
+// engine; 1 for engines without shards.
+func (s *Store) ShardCount() int {
+	if sc, ok := s.eng.(interface{ ShardCount() int }); ok {
+		return sc.ShardCount()
+	}
+	return 1
 }
 
-// ShardCount reports the number of dictionary shards.
-func (s *Store) ShardCount() int { return len(s.shards) }
+// memShards exposes the memory engine's stripes to in-package tests.
+func (s *Store) memShards() []*shard {
+	if m, ok := s.eng.(*memEngine); ok {
+		return m.shards
+	}
+	return nil
+}
 
 // registerTelemetry wires the store into reg: latency histograms are
 // real metrics observed inline, while the counters and gauges read the
 // Stats snapshot on demand so there is a single source of truth (and
 // several stores sharing one registry sum, see telemetry.CounterFunc).
+// Engine-specific series (per-shard occupancy, WAL/segment/cache
+// activity) are registered by the engine itself, labeled by engine.
 func (s *Store) registerTelemetry(reg *telemetry.Registry) {
 	if reg == nil {
 		return
@@ -242,16 +280,11 @@ func (s *Store) registerTelemetry(reg *telemetry.Registry) {
 	reg.NewGaugeFunc("speed_store_entries", "current dictionary size",
 		func() float64 { return float64(s.Len()) })
 	reg.NewGaugeFunc("speed_store_blob_bytes", "resident ciphertext bytes outside the enclave",
-		func() float64 { return float64(s.cfg.Blobs.Bytes()) })
-	for i := range s.shards {
-		sh := s.shards[i]
-		reg.NewGaugeFunc("speed_store_shard_entries", "dictionary entries per shard",
-			func() float64 {
-				sh.mu.Lock()
-				n := len(sh.dict)
-				sh.mu.Unlock()
-				return float64(n)
-			}, telemetry.L("shard", strconv.Itoa(i)))
+		func() float64 { return float64(s.eng.ValueBytes()) })
+	if et, ok := s.eng.(interface {
+		RegisterTelemetry(*telemetry.Registry)
+	}); ok {
+		et.RegisterTelemetry(reg)
 	}
 }
 
@@ -263,10 +296,9 @@ func (s *Store) Enclave() *enclave.Enclave { return s.cfg.Enclave }
 func (s *Store) GetAs(app enclave.Measurement, tag mle.Tag) (mle.Sealed, bool, error) {
 	if s.cfg.Auth != nil {
 		if err := s.cfg.Auth.Authorize(app, tag, PermGet); err != nil {
-			sh := s.shardFor(tag)
-			sh.mu.Lock()
-			sh.stats.Unauthorized++
-			sh.mu.Unlock()
+			s.statsMu.Lock()
+			s.ops.Unauthorized++
+			s.statsMu.Unlock()
 			return mle.Sealed{}, false, err
 		}
 	}
@@ -274,91 +306,52 @@ func (s *Store) GetAs(app enclave.Measurement, tag mle.Tag) (mle.Sealed, bool, e
 }
 
 // Get looks up the computation tag, returning the (r, [k], [res])
-// triple when found. The dictionary access happens inside the store
-// enclave (one ECALL); the ciphertext is fetched from untrusted storage
-// outside.
+// triple when found. How the lookup is served depends on the engine:
+// the memory engine does one in-enclave dictionary access plus a blob
+// fetch; the log engine consults its memtable, hot cache and sorted
+// segments.
 func (s *Store) Get(tag mle.Tag) (mle.Sealed, bool, error) {
 	if s.getSeconds != nil {
 		start := time.Now()
 		defer func() { s.getSeconds.Observe(time.Since(start)) }()
 	}
-	var (
-		found   bool
-		expired bool
-		blobID  BlobID
-		sealed  mle.Sealed
-	)
-	err := s.cfg.Enclave.ECall(func() error {
-		if s.closed.Load() {
-			return ErrClosed
-		}
-		if s.cfg.Oblivious {
-			// Scan every shard with identical per-entry work so the
-			// access pattern reveals neither the entry nor the shard.
-			home := s.shardFor(tag)
-			for _, sh := range s.shards {
-				sh.mu.Lock()
-				e := obliviousLookupLocked(sh, tag)
-				if sh == home {
-					sh.stats.Gets++
-					if e != nil {
-						if s.expiredLocked(e) {
-							expired = true
-						} else {
-							found = true
-							sh.stats.Hits++
-							e.hits++
-							sealed.Challenge = append([]byte(nil), e.challenge...)
-							sealed.WrappedKey = append([]byte(nil), e.wrappedKey...)
-							blobID = e.blobID
-						}
-					}
-				}
-				sh.mu.Unlock()
-			}
-			return nil
-		}
-		sh := s.shardFor(tag)
-		sh.mu.Lock()
-		defer sh.mu.Unlock()
-		sh.stats.Gets++
-		e, ok := sh.dict[tag]
-		if !ok {
-			return nil
-		}
-		if s.expiredLocked(e) {
-			// Lazily collect the stale entry and report a miss.
-			expired = true
-			return nil
-		}
-		found = true
-		sh.stats.Hits++
-		e.hits++
-		// LRU maintenance and freshness updates reveal which entry was
-		// touched; they only run in the non-oblivious path.
-		sh.lru.MoveToFront(e.lruElem)
-		e.lastTouch = s.cfg.Now()
-		sealed.Challenge = append([]byte(nil), e.challenge...)
-		sealed.WrappedKey = append([]byte(nil), e.wrappedKey...)
-		blobID = e.blobID
-		return nil
-	})
-	if expired {
-		s.deleteTag(tag, reasonExpire)
-	}
-	if err != nil || !found {
+	rec, status, err := s.eng.Get(tag)
+	if err != nil {
 		return mle.Sealed{}, false, err
 	}
-	blob, err := s.cfg.Blobs.Get(blobID)
-	if err != nil {
-		// The untrusted storage lost or corrupted the blob; treat as a
-		// miss so the application recomputes (it would reject the
-		// result at verification anyway).
-		s.deleteTag(tag, reasonDangling)
+	switch status {
+	case storeengine.StatusExpired:
+		s.remove(tag, reasonExpire)
+		s.countGet(false)
+		return mle.Sealed{}, false, nil
+	case storeengine.StatusDangling:
+		// The entry was found (a hit, for accounting) but its value is
+		// gone; drop it and report a miss so the application recomputes.
+		s.countGet(true)
+		s.remove(tag, reasonDangling)
+		return mle.Sealed{}, false, nil
+	case storeengine.StatusHit:
+		s.countGet(true)
+		return mle.Sealed{
+			Challenge:  rec.Challenge,
+			WrappedKey: rec.WrappedKey,
+			Blob:       rec.Blob,
+		}, true, nil
+	default:
+		s.countGet(false)
 		return mle.Sealed{}, false, nil
 	}
-	sealed.Blob = blob
-	return sealed, true, nil
+}
+
+// countGet folds one lookup into the op counters under a single lock
+// acquisition, keeping Stats snapshots consistent (Hits <= Gets).
+func (s *Store) countGet(hit bool) {
+	s.statsMu.Lock()
+	s.ops.Gets++
+	if hit {
+		s.ops.Hits++
+	}
+	s.statsMu.Unlock()
 }
 
 // Put stores a freshly computed sealed result for the tag on behalf of
@@ -390,6 +383,8 @@ type putOpts struct {
 	restore bool
 	// replace removes any existing entry for the tag before inserting.
 	replace bool
+	// hits seeds the entry's hit counter (snapshot restore).
+	hits int64
 }
 
 func (s *Store) put(owner enclave.Measurement, tag mle.Tag, sealed mle.Sealed, opts putOpts) (installed bool, err error) {
@@ -397,21 +392,20 @@ func (s *Store) put(owner enclave.Measurement, tag mle.Tag, sealed mle.Sealed, o
 		start := time.Now()
 		defer func() { s.putSeconds.Observe(time.Since(start)) }()
 	}
-	sh := s.shardFor(tag)
 	restore := opts.restore
 	if s.cfg.Auth != nil && !restore {
 		if aerr := s.cfg.Auth.Authorize(owner, tag, PermPut); aerr != nil {
-			sh.mu.Lock()
-			sh.stats.Unauthorized++
-			sh.mu.Unlock()
+			s.statsMu.Lock()
+			s.ops.Unauthorized++
+			s.statsMu.Unlock()
 			return false, aerr
 		}
 	}
 	blobLen := int64(len(sealed.Blob))
 	if ok, reason := s.quota.allowPut(owner, blobLen, restore); !ok {
-		sh.mu.Lock()
-		sh.stats.PutDenied++
-		sh.mu.Unlock()
+		s.statsMu.Lock()
+		s.ops.PutDenied++
+		s.statsMu.Unlock()
 		return false, fmt.Errorf("%w: %s", ErrQuota, reason)
 	}
 
@@ -420,136 +414,60 @@ func (s *Store) put(owner enclave.Measurement, tag mle.Tag, sealed mle.Sealed, o
 		// the insert below: a concurrent Put can win the race, in
 		// which case this call reports a duplicate — acceptable, since
 		// any fresh version supersedes the bad one.
-		s.deleteTag(tag, reasonReplace)
+		s.remove(tag, reasonReplace)
 	}
 
-	// Duplicate-check first under the shard lock (inside the enclave);
-	// only store the blob outside if this is a fresh tag.
-	dupe := false
-	err = s.cfg.Enclave.ECall(func() error {
-		sh.mu.Lock()
-		defer sh.mu.Unlock()
-		if s.closed.Load() {
-			return ErrClosed
-		}
-		if _, ok := sh.dict[tag]; ok {
-			dupe = true
-			sh.stats.PutDupes++
-		}
-		return nil
-	})
+	rec := storeengine.Record{
+		Challenge:  append([]byte(nil), sealed.Challenge...),
+		WrappedKey: append([]byte(nil), sealed.WrappedKey...),
+		Blob:       sealed.Blob,
+		BlobSize:   blobLen,
+		Owner:      owner,
+		Hits:       opts.hits,
+		LastTouch:  s.cfg.Now(),
+	}
+	installed, err = s.eng.Insert(tag, rec)
 	if err != nil {
 		s.quota.creditBytes(owner, blobLen)
 		return false, err
 	}
-	if dupe {
+	if !installed {
+		s.statsMu.Lock()
+		s.ops.PutDupes++
+		s.statsMu.Unlock()
 		s.quota.creditBytes(owner, blobLen)
 		return false, nil
 	}
-
-	blobID, err := s.cfg.Blobs.Put(sealed.Blob)
-	if err != nil {
-		s.quota.creditBytes(owner, blobLen)
-		return false, fmt.Errorf("store blob: %w", err)
-	}
-
-	e := &entry{
-		challenge:  append([]byte(nil), sealed.Challenge...),
-		wrappedKey: append([]byte(nil), sealed.WrappedKey...),
-		blobID:     blobID,
-		blobSize:   blobLen,
-		owner:      owner,
-		lastTouch:  s.cfg.Now(),
-	}
-	if err := s.cfg.Enclave.Alloc(e.enclaveBytes()); err != nil {
-		_ = s.cfg.Blobs.Delete(blobID)
-		s.quota.creditBytes(owner, blobLen)
-		return false, fmt.Errorf("metadata allocation: %w", err)
-	}
-
-	err = s.cfg.Enclave.ECall(func() error {
-		sh.mu.Lock()
-		defer sh.mu.Unlock()
-		if s.closed.Load() {
-			return ErrClosed
-		}
-		if _, ok := sh.dict[tag]; ok {
-			// Lost a race with a concurrent identical PUT.
-			dupe = true
-			sh.stats.PutDupes++
-			return nil
-		}
-		e.lruElem = sh.lru.PushFront(tag)
-		sh.dict[tag] = e
-		s.entries.Add(1)
-		s.blobTotal.Add(e.blobSize)
-		sh.stats.Puts++
-		return nil
-	})
-	if err != nil || dupe {
-		_ = s.cfg.Blobs.Delete(blobID)
-		s.cfg.Enclave.Free(e.enclaveBytes())
-		s.quota.creditBytes(owner, blobLen)
-		return false, err
-	}
+	s.statsMu.Lock()
+	s.ops.Puts++
+	s.statsMu.Unlock()
 	s.enforceLimits()
 	return true, nil
 }
 
 // enforceLimits evicts least-recently-used entries until the global
-// MaxEntries/MaxBlobBytes caps are respected. The victim is the oldest
-// LRU tail across all shards, so eviction pressure lands on the
-// globally least recent entry regardless of which shard it lives in
-// (eviction fairness across shards).
+// MaxEntries/MaxBlobBytes caps are respected. The victim is the
+// engine's globally least-recent entry regardless of where it lives
+// (eviction fairness across shards and tiers).
 func (s *Store) enforceLimits() {
 	if s.cfg.MaxEntries <= 0 && s.cfg.MaxBlobBytes <= 0 {
 		return
 	}
 	// Bound the loop: one pass can only need to evict as many entries
 	// as exist.
-	limit := int(s.entries.Load()) + 1
+	limit := s.eng.Len() + 1
 	for i := 0; i < limit; i++ {
-		overEntries := s.cfg.MaxEntries > 0 && int(s.entries.Load()) > s.cfg.MaxEntries
-		overBytes := s.cfg.MaxBlobBytes > 0 && s.blobTotal.Load() > s.cfg.MaxBlobBytes
+		overEntries := s.cfg.MaxEntries > 0 && s.eng.Len() > s.cfg.MaxEntries
+		overBytes := s.cfg.MaxBlobBytes > 0 && s.eng.ValueBytes() > s.cfg.MaxBlobBytes
 		if !overEntries && !overBytes {
 			return
 		}
-		victim, ok := s.oldestTail()
+		victim, ok := s.eng.Oldest()
 		if !ok {
 			return
 		}
-		s.deleteTag(victim, reasonEvict)
+		s.remove(victim, reasonEvict)
 	}
-}
-
-// oldestTail returns the tag of the least recently used entry across
-// all shards: each shard's LRU tail is its local least-recent entry,
-// and lastTouch orders the tails globally.
-func (s *Store) oldestTail() (mle.Tag, bool) {
-	var (
-		best  mle.Tag
-		bestT time.Time
-		found bool
-	)
-	for _, sh := range s.shards {
-		sh.mu.Lock()
-		if el := sh.lru.Back(); el != nil {
-			if tag, ok := el.Value.(mle.Tag); ok {
-				e := sh.dict[tag]
-				if e != nil && (!found || e.lastTouch.Before(bestT)) {
-					best, bestT, found = tag, e.lastTouch, true
-				}
-			}
-		}
-		sh.mu.Unlock()
-	}
-	return best, found
-}
-
-// expiredLocked reports whether the entry is past its TTL. Caller
-// holds the entry's shard lock.
-func (s *Store) expiredLocked(e *entry) bool {
-	return s.cfg.TTL > 0 && s.cfg.Now().Sub(e.lastTouch) > s.cfg.TTL
 }
 
 // ExpireNow sweeps the dictionary, removing every entry past its TTL,
@@ -559,41 +477,19 @@ func (s *Store) ExpireNow() int {
 		return 0
 	}
 	var stale []mle.Tag
-	for _, sh := range s.shards {
-		sh.mu.Lock()
-		for tag, e := range sh.dict {
-			if s.expiredLocked(e) {
-				stale = append(stale, tag)
-			}
+	_ = s.eng.Iterate(func(tag mle.Tag, rec storeengine.Record) bool {
+		if s.cfg.Now().Sub(rec.LastTouch) > s.cfg.TTL {
+			stale = append(stale, tag)
 		}
-		sh.mu.Unlock()
-	}
+		return true
+	})
 	removed := 0
 	for _, tag := range stale {
-		if s.deleteTag(tag, reasonExpire) {
+		if s.remove(tag, reasonExpire) {
 			removed++
 		}
 	}
 	return removed
-}
-
-// obliviousLookupLocked scans every entry of one shard with a
-// constant-time tag comparison, doing identical work for every entry
-// regardless of where (or whether) the tag matches. Caller holds the
-// shard lock inside the store enclave.
-func obliviousLookupLocked(sh *shard, tag mle.Tag) *entry {
-	var found *entry
-	for k := range sh.dict {
-		k := k
-		match := subtle.ConstantTimeCompare(k[:], tag[:])
-		// Branchless-ish select: always read the entry, conditionally
-		// retain it.
-		e := sh.dict[k]
-		if match == 1 {
-			found = e
-		}
-	}
-	return found
 }
 
 // deleteReason distinguishes why an entry is removed, for accurate
@@ -607,56 +503,48 @@ const (
 	reasonReplace
 )
 
-// deleteTag removes an entry, releasing its enclave memory, blob and
-// quota accounting. It reports whether the entry existed.
-func (s *Store) deleteTag(tag mle.Tag, reason deleteReason) bool {
-	sh := s.shardFor(tag)
-	sh.mu.Lock()
-	e, ok := sh.dict[tag]
-	if ok {
-		delete(sh.dict, tag)
-		sh.lru.Remove(e.lruElem)
-		s.entries.Add(-1)
-		s.blobTotal.Add(-e.blobSize)
-		switch reason {
-		case reasonEvict:
-			sh.stats.Evictions++
-		case reasonExpire:
-			sh.stats.Expired++
-		}
-	}
-	sh.mu.Unlock()
+// remove deletes an entry through the engine and settles quota and
+// stats accounting. It reports whether the entry existed.
+func (s *Store) remove(tag mle.Tag, reason deleteReason) bool {
+	rec, ok, _ := s.eng.Remove(tag)
 	if !ok {
 		return false
 	}
-	s.cfg.Enclave.Free(e.enclaveBytes())
-	_ = s.cfg.Blobs.Delete(e.blobID)
-	s.quota.creditBytes(e.owner, e.blobSize)
+	switch reason {
+	case reasonEvict:
+		s.statsMu.Lock()
+		s.ops.Evictions++
+		s.statsMu.Unlock()
+	case reasonExpire:
+		s.statsMu.Lock()
+		s.ops.Expired++
+		s.statsMu.Unlock()
+	}
+	s.quota.creditBytes(rec.Owner, rec.BlobSize)
 	return true
 }
 
-// Stats returns a snapshot of the store's counters. All shard locks
-// are held simultaneously while the counters are summed, so the
-// snapshot is consistent across shards.
+// Stats returns a snapshot of the store's counters. The operation
+// counters are copied under their lock, so the snapshot is internally
+// consistent; occupancy comes from the engine.
 func (s *Store) Stats() Stats {
-	for _, sh := range s.shards {
-		sh.mu.Lock()
-	}
-	var st Stats
-	for _, sh := range s.shards {
-		st.add(sh.stats)
-		st.Entries += len(sh.dict)
-	}
-	for i := len(s.shards) - 1; i >= 0; i-- {
-		s.shards[i].mu.Unlock()
-	}
-	st.BlobBytes = s.cfg.Blobs.Bytes()
+	s.statsMu.Lock()
+	st := s.ops
+	s.statsMu.Unlock()
+	st.Entries = s.eng.Len()
+	st.BlobBytes = s.eng.ValueBytes()
 	return st
+}
+
+// EngineStats returns the active engine's occupancy and activity
+// snapshot (WAL/segment/cache counters are zero on the memory engine).
+func (s *Store) EngineStats() storeengine.Stats {
+	return s.eng.Stats()
 }
 
 // Len reports the number of dictionary entries.
 func (s *Store) Len() int {
-	return int(s.entries.Load())
+	return s.eng.Len()
 }
 
 // AppBytes reports the resident ciphertext bytes attributed to an
@@ -666,8 +554,32 @@ func (s *Store) AppBytes(owner enclave.Measurement) int64 {
 }
 
 // Close marks the store closed. Subsequent Get/Put return ErrClosed.
+// With the log engine, Close flushes and releases the on-disk state.
 func (s *Store) Close() {
 	s.closed.Store(true)
+	_ = s.eng.Close()
+}
+
+// Compact triggers a full segment compaction on engines that support
+// it (the log engine); a no-op otherwise.
+func (s *Store) Compact() error {
+	if c, ok := s.eng.(interface{ CompactNow() error }); ok {
+		return c.CompactNow()
+	}
+	return nil
+}
+
+// Crash abandons the store without flushing or syncing — the on-disk
+// state a kill -9 would leave behind. The persistence benchmark and
+// crash tests use it to measure recovery of acknowledged PUTs; on
+// engines without crash simulation it degrades to Close.
+func (s *Store) Crash() {
+	s.closed.Store(true)
+	if c, ok := s.eng.(interface{ Crash() }); ok {
+		c.Crash()
+		return
+	}
+	_ = s.eng.Close()
 }
 
 // Closed reports whether Close has been called.
@@ -684,6 +596,16 @@ type ExportEntry struct {
 	Owner  enclave.Measurement
 }
 
+// exportHeap is a min-heap by hits, keeping the top-max hottest
+// entries with bounded memory while the engine streams records.
+type exportHeap []ExportEntry
+
+func (h exportHeap) Len() int           { return len(h) }
+func (h exportHeap) Less(i, j int) bool { return h[i].Hits < h[j].Hits }
+func (h exportHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *exportHeap) Push(x any)        { *h = append(*h, x.(ExportEntry)) }
+func (h *exportHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
 // ExportHotAs returns up to max entries with at least minHits hits,
 // most frequently hit first, on behalf of the attested application app.
 // It backs the wire-level SYNC_PULL request (cluster.Syncer): a remote
@@ -692,68 +614,82 @@ type ExportEntry struct {
 // the entries it is authorized to read. max values outside (0,
 // wire.MaxBatchItems] are clamped by the server; a non-positive max
 // here means unlimited.
+//
+// The walk streams through the engine's bounded iterator holding at
+// most max candidate entries, so it works on log-engine stores whose
+// keyspace does not fit in memory.
 func (s *Store) ExportHotAs(app enclave.Measurement, minHits int64, max int) ([]ExportEntry, error) {
-	entries, err := s.Export(minHits)
+	var (
+		top exportHeap
+		all []ExportEntry
+	)
+	err := s.eng.Iterate(func(tag mle.Tag, rec storeengine.Record) bool {
+		if rec.Hits < minHits {
+			return true
+		}
+		if s.cfg.Auth != nil {
+			if aerr := s.cfg.Auth.Authorize(app, tag, PermGet); aerr != nil {
+				return true // deny without information, as for GET
+			}
+		}
+		e := ExportEntry{
+			Tag: tag,
+			Sealed: mle.Sealed{
+				Challenge:  rec.Challenge,
+				WrappedKey: rec.WrappedKey,
+				Blob:       rec.Blob,
+			},
+			Hits:  rec.Hits,
+			Owner: rec.Owner,
+		}
+		if max > 0 {
+			if len(top) < max {
+				heap.Push(&top, e)
+			} else if e.Hits > top[0].Hits {
+				top[0] = e
+				heap.Fix(&top, 0)
+			}
+		} else {
+			all = append(all, e)
+		}
+		return true
+	})
 	if err != nil {
 		return nil, err
 	}
-	if s.cfg.Auth != nil {
-		authorized := entries[:0]
-		for _, e := range entries {
-			if aerr := s.cfg.Auth.Authorize(app, e.Tag, PermGet); aerr != nil {
-				continue // deny without information, as for GET
-			}
-			authorized = append(authorized, e)
-		}
-		entries = authorized
+	entries := all
+	if max > 0 {
+		entries = []ExportEntry(top)
 	}
 	sort.SliceStable(entries, func(i, j int) bool {
 		return entries[i].Hits > entries[j].Hits
 	})
-	if max > 0 && len(entries) > max {
-		entries = entries[:max]
-	}
 	return entries, nil
 }
 
 // Export returns entries with at least minHits hits, used by the
-// master-store replication of Section IV-B ("periodically synchronizes
-// the popular (i.e., frequently appeared) results").
+// master-store synchronization of Section IV-B ("periodically
+// synchronizes the popular (i.e., frequently appeared) results").
 func (s *Store) Export(minHits int64) ([]ExportEntry, error) {
-	type ref struct {
-		tag   mle.Tag
-		e     *entry
-		blob  BlobID
-		hits  int64
-		owner enclave.Measurement
-	}
-	var refs []ref
-	for _, sh := range s.shards {
-		sh.mu.Lock()
-		for tag, e := range sh.dict {
-			if e.hits >= minHits {
-				refs = append(refs, ref{tag: tag, e: e, blob: e.blobID, hits: e.hits, owner: e.owner})
-			}
-		}
-		sh.mu.Unlock()
-	}
-
-	out := make([]ExportEntry, 0, len(refs))
-	for _, r := range refs {
-		blob, err := s.cfg.Blobs.Get(r.blob)
-		if err != nil {
-			continue // entry raced with eviction
+	var out []ExportEntry
+	err := s.eng.Iterate(func(tag mle.Tag, rec storeengine.Record) bool {
+		if rec.Hits < minHits {
+			return true
 		}
 		out = append(out, ExportEntry{
-			Tag: r.tag,
+			Tag: tag,
 			Sealed: mle.Sealed{
-				Challenge:  append([]byte(nil), r.e.challenge...),
-				WrappedKey: append([]byte(nil), r.e.wrappedKey...),
-				Blob:       blob,
+				Challenge:  rec.Challenge,
+				WrappedKey: rec.WrappedKey,
+				Blob:       rec.Blob,
 			},
-			Hits:  r.hits,
-			Owner: r.owner,
+			Hits:  rec.Hits,
+			Owner: rec.Owner,
 		})
+		return true
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

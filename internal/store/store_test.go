@@ -405,88 +405,3 @@ func TestExportFiltersByHits(t *testing.T) {
 		t.Errorf("Export blob = %q, want %q", entries[0].Sealed.Blob, "h")
 	}
 }
-
-func TestReplicatorSyncOnce(t *testing.T) {
-	master := testStore(t, Config{})
-	rep1 := testStore(t, Config{})
-	rep2 := testStore(t, Config{})
-	owner := ownerOf("app")
-
-	// rep1 holds a popular entry; rep2 holds the SAME tag (different
-	// ciphertext version, as happens when two machines compute the same
-	// result independently) plus an unpopular one.
-	if _, err := rep1.Put(owner, tagOf("pop"), sealedOf("version-1")); err != nil {
-		t.Fatalf("Put: %v", err)
-	}
-	if _, err := rep2.Put(owner, tagOf("pop"), sealedOf("version-2")); err != nil {
-		t.Fatalf("Put: %v", err)
-	}
-	if _, err := rep2.Put(owner, tagOf("cold"), sealedOf("x")); err != nil {
-		t.Fatalf("Put: %v", err)
-	}
-	for i := 0; i < 2; i++ {
-		rep1.Get(tagOf("pop"))
-		rep2.Get(tagOf("pop"))
-	}
-
-	r := NewReplicator(master, []*Store{rep1, rep2}, 2, time.Hour)
-	n, err := r.SyncOnce()
-	if err != nil {
-		t.Fatalf("SyncOnce: %v", err)
-	}
-	// Only the popular tag syncs, and only one version is kept at the
-	// master (no redundancy, Section IV-B Remark).
-	if n != 1 {
-		t.Errorf("SyncOnce installed %d, want 1", n)
-	}
-	if master.Len() != 1 {
-		t.Errorf("master Len = %d, want 1", master.Len())
-	}
-	got, found, err := master.Get(tagOf("pop"))
-	if err != nil || !found {
-		t.Fatalf("master Get: found=%v err=%v", found, err)
-	}
-	if string(got.Blob) != "version-1" {
-		t.Errorf("master kept %q, want first version", got.Blob)
-	}
-	if r.Synced() != 1 {
-		t.Errorf("Synced = %d, want 1", r.Synced())
-	}
-}
-
-func TestReplicatorStartStop(t *testing.T) {
-	master := testStore(t, Config{})
-	rep := testStore(t, Config{})
-	if _, err := rep.Put(ownerOf("app"), tagOf("pop"), sealedOf("v")); err != nil {
-		t.Fatalf("Put: %v", err)
-	}
-	rep.Get(tagOf("pop"))
-
-	r := NewReplicator(master, []*Store{rep}, 1, time.Millisecond)
-	r.Start()
-	deadline := time.After(2 * time.Second)
-	for master.Len() == 0 {
-		select {
-		case <-deadline:
-			t.Fatal("replicator never synced")
-		default:
-			time.Sleep(time.Millisecond)
-		}
-	}
-	r.Stop()
-	r.Stop() // idempotent
-}
-
-func TestReplicatorStopWithoutStart(t *testing.T) {
-	r := NewReplicator(testStore(t, Config{}), nil, 1, time.Hour)
-	done := make(chan struct{})
-	go func() {
-		r.Stop()
-		close(done)
-	}()
-	select {
-	case <-done:
-	case <-time.After(time.Second):
-		t.Fatal("Stop without Start blocked")
-	}
-}

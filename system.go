@@ -72,6 +72,25 @@ type SystemConfig struct {
 	// BlobDir stores ciphertext blobs on disk under this directory
 	// instead of in memory.
 	BlobDir string
+	// StoreEngine selects the dictionary storage engine: "memory"
+	// (default, lock-striped sharded map) or "log" (persistent
+	// log-structured engine). Empty with StoreDataDir set selects "log".
+	StoreEngine string
+	// StoreDataDir is the log engine's data directory (WAL + sealed
+	// segments). Required when StoreEngine is "log".
+	StoreDataDir string
+	// StoreMemtableBytes and StoreCacheBytes bound the log engine's
+	// in-memory write buffer and hot-entry read cache; 0 selects the
+	// defaults.
+	StoreMemtableBytes int64
+	StoreCacheBytes    int64
+	// StoreFsync selects the log engine's WAL durability policy:
+	// "commit" (default, fsync before acknowledging each write),
+	// "interval" (background fsync) or "none".
+	StoreFsync string
+	// StoreCompactInterval is the log engine's background compaction
+	// period; 0 selects the default, negative disables it.
+	StoreCompactInterval time.Duration
 	// DenyByDefault enables controlled deduplication: applications
 	// must be explicitly authorized with System.Authorize before the
 	// store serves them. Without it any attested application is
@@ -138,15 +157,21 @@ func NewSystemWithConfig(cfg SystemConfig) (*System, error) {
 	}
 	tel := telemetry.NewRegistry()
 	st, err := store.New(store.Config{
-		Enclave:      storeEnc,
-		Blobs:        blobs,
-		Shards:       cfg.StoreShards,
-		MaxEntries:   cfg.StoreMaxEntries,
-		MaxBlobBytes: cfg.StoreMaxBlobBytes,
-		TTL:          cfg.StoreTTL,
-		Auth:         auth,
-		Oblivious:    cfg.ObliviousLookups,
-		Telemetry:    tel,
+		Enclave:         storeEnc,
+		Blobs:           blobs,
+		Shards:          cfg.StoreShards,
+		MaxEntries:      cfg.StoreMaxEntries,
+		MaxBlobBytes:    cfg.StoreMaxBlobBytes,
+		TTL:             cfg.StoreTTL,
+		Auth:            auth,
+		Oblivious:       cfg.ObliviousLookups,
+		Telemetry:       tel,
+		Engine:          cfg.StoreEngine,
+		DataDir:         cfg.StoreDataDir,
+		MemtableBytes:   cfg.StoreMemtableBytes,
+		CacheBytes:      cfg.StoreCacheBytes,
+		Fsync:           cfg.StoreFsync,
+		CompactInterval: cfg.StoreCompactInterval,
 		Quota: store.QuotaConfig{
 			MaxBytesPerApp: cfg.QuotaMaxBytesPerApp,
 			PutRatePerSec:  cfg.QuotaPutRatePerSec,
