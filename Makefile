@@ -6,7 +6,7 @@
 GO ?= go
 GOFMT ?= gofmt
 
-.PHONY: check build fmt vet lint test race bench bench-quick bench-overhead bench-hot bench-baseline bench-regress fuzz
+.PHONY: check build fmt vet lint lint-fixtures test race bench bench-quick bench-overhead bench-hot bench-baseline bench-regress fuzz
 
 check: vet lint race
 
@@ -24,9 +24,15 @@ vet:
 	$(GO) vet ./...
 
 # SPEED-specific invariants: trust boundary, key hygiene, atomic/plain
-# mixing, unbounded network waits, wire kind/codec symmetry.
+# mixing, unbounded network waits, wire kind/codec symmetry, sealed-data
+# taint, durability ordering, goroutine shutdown edges.
 lint:
 	$(GO) run ./cmd/speedlint ./...
+
+# Just the analyzer-semantics fixture suites (the `// want` harness
+# over internal/lint/testdata/src), without the rest of the tests.
+lint-fixtures:
+	$(GO) test ./internal/lint/ -run 'TestKeyZero|TestAtomicMix|TestDeadline|TestWireSym|TestEnclaveBoundary|TestSealFlow|TestFsyncOrder|TestGoroExit|TestIgnoreDirective'
 
 test:
 	$(GO) test ./...
@@ -77,11 +83,13 @@ bench-regress:
 	$(GO) test -run '^$$' -bench $(BENCH_HOT_PATTERN) -benchmem -count $(BENCH_HOT_COUNT) $(BENCH_HOT_PKGS) | tee /tmp/speed-bench-new.txt
 	$(GO) run ./cmd/benchgate -baseline bench/baseline.txt -new /tmp/speed-bench-new.txt
 
-# Short fuzz pass over the wire codecs. Go runs one fuzz target per
-# invocation, so each target gets its own run.
+# Short fuzz pass over the wire codecs and the storage-engine WAL
+# framing. Go runs one fuzz target per invocation, so each target gets
+# its own run.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run xxx -fuzz '^FuzzUnmarshal$$' -fuzztime $(FUZZTIME) ./internal/wire/
 	$(GO) test -run xxx -fuzz '^FuzzParseHello$$' -fuzztime $(FUZZTIME) ./internal/wire/
 	$(GO) test -run xxx -fuzz '^FuzzUnmarshalEnvelope$$' -fuzztime $(FUZZTIME) ./internal/wire/
 	$(GO) test -run xxx -fuzz '^FuzzNegotiate$$' -fuzztime $(FUZZTIME) ./internal/wire/
+	$(GO) test -run xxx -fuzz '^FuzzRecord$$' -fuzztime $(FUZZTIME) ./internal/store/logengine/

@@ -1,0 +1,299 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// This file builds the one-level call-graph summary layer: for every
+// function declared in the package under analysis, a funcSummary of
+// the facts the dataflow analyzers need about its callees — "returns
+// tainted data", "propagates argument taint to its results", "sinks a
+// tainted argument to the network/disk/log", "fsyncs a file",
+// "fsyncs the directory", "renames (commits)", "never returns".
+//
+// Summaries are computed callee-first (DFS postorder over the
+// package-local call graph, cycles broken arbitrarily), so by the time
+// a caller is summarised its callees' summaries are available — one
+// level of interprocedural precision without a whole-program fixpoint.
+// Cross-package calls resolve only to the hardcoded source/sanitizer/
+// sink tables (dataflow.go); everything else is treated as opaque and
+// taint-free, which keeps the analyzers conservative-quiet rather than
+// conservative-noisy.
+
+// taintMask classifies what a value carries.
+type taintMask uint8
+
+const (
+	// taintKey marks key material: derived keys, secrets, passphrases.
+	taintKey taintMask = 1 << iota
+	// taintPlain marks enclave plaintext: unsealed record contents,
+	// dictionary fields (challenge, wrapped key) outside a seal.
+	taintPlain
+	// taintParam is the synthetic mark used while summarising: it
+	// tracks whether a function's parameters reach its results or a
+	// sink, without claiming the parameters are actually tainted.
+	taintParam
+)
+
+func (m taintMask) describe() string {
+	switch {
+	case m&taintKey != 0:
+		return "key material"
+	case m&taintPlain != 0:
+		return "enclave plaintext"
+	}
+	return "tainted data"
+}
+
+// funcSummary is the one-level abstract of a function body.
+type funcSummary struct {
+	// resultTaint[i] is the taint result i carries regardless of the
+	// arguments (the function is a source).
+	resultTaint []taintMask
+	// propagates reports that argument taint flows to the results
+	// (identity-ish transforms: encoders, copiers, formatters).
+	propagates bool
+	// sinkDesc, when non-empty, reports that an argument reaches a
+	// sink inside the function; sinkAccepts is the taint class the
+	// sink objects to.
+	sinkDesc    string
+	sinkAccepts taintMask
+	// seals reports the function passes its arguments through a
+	// sealing primitive before anything leaves (its results are
+	// ciphertext). Such calls act as sanitizers at call sites.
+	seals bool
+
+	// writesFile: the body writes file content (os.File/bufio writes,
+	// os.WriteFile) on some path.
+	writesFile bool
+	// syncs: the body fsyncs a file (f.Sync or a callee that does).
+	syncs bool
+	// syncsDir: the body fsyncs a directory (a syncDir-shaped helper
+	// or a callee that does).
+	syncsDir bool
+	// renames: the body calls os.Rename (a commit point) directly or
+	// through a callee.
+	renames bool
+
+	// neverReturns: the exit block is unreachable — the function can
+	// only leave by blocking forever or panicking.
+	neverReturns bool
+	// cfg is retained for the analyzers' own passes.
+	cfg *funcCFG
+}
+
+// funcNode is one declared function plus its summary.
+type funcNode struct {
+	decl    *ast.FuncDecl
+	obj     *types.Func
+	summary funcSummary
+}
+
+// callGraph indexes the package's declared functions and their
+// summaries.
+type callGraph struct {
+	pkg *Package
+	// byObj maps the type-checker's object to the node; byName is the
+	// fallback for fixture code with incomplete type info, keyed on
+	// the bare declaration name (ambiguous names resolve to nil).
+	byObj  map[*types.Func]*funcNode
+	byName map[string]*funcNode
+	// order is callee-first.
+	order []*funcNode
+}
+
+// buildCallGraph collects the package's function declarations and
+// computes their summaries callee-first. The summarise callback runs
+// the taint engine for the taint-related fields; the structural fields
+// (fsync/rename/never-returns) are computed here.
+func buildCallGraph(pkg *Package) *callGraph {
+	g := &callGraph{
+		pkg:    pkg,
+		byObj:  make(map[*types.Func]*funcNode),
+		byName: make(map[string]*funcNode),
+	}
+	var nodes []*funcNode
+	forEachFunc(pkg, func(_ *ast.File, fd *ast.FuncDecl) {
+		n := &funcNode{decl: fd}
+		if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+			n.obj = obj
+			g.byObj[obj] = n
+		}
+		if prev, clash := g.byName[fd.Name.Name]; clash && prev != nil {
+			g.byName[fd.Name.Name] = nil // ambiguous: methods sharing a name
+		} else if !clash {
+			g.byName[fd.Name.Name] = n
+		}
+		nodes = append(nodes, n)
+	})
+
+	// Callee-first ordering by DFS postorder over package-local edges.
+	visited := make(map[*funcNode]bool)
+	var visit func(n *funcNode)
+	visit = func(n *funcNode) {
+		if visited[n] {
+			return
+		}
+		visited[n] = true
+		ast.Inspect(n.decl.Body, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := g.resolve(call); callee != nil && callee != n {
+				visit(callee)
+			}
+			return true
+		})
+		g.order = append(g.order, n)
+	}
+	for _, n := range nodes {
+		visit(n)
+	}
+
+	for _, n := range g.order {
+		g.summariseStructure(n)
+	}
+	return g
+}
+
+// resolve maps a call expression to the package-local function it
+// invokes, or nil. Resolution goes through type info when available
+// and falls back to unique bare names (fixtures type-check with holes).
+func (g *callGraph) resolve(call *ast.CallExpr) *funcNode {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj, ok := g.pkg.Info.Uses[fn].(*types.Func); ok {
+			// Type info resolved the callee: trust it. A non-local
+			// object must not fall back to a same-named local function.
+			return g.byObj[obj]
+		}
+		return g.byName[fn.Name]
+	case *ast.SelectorExpr:
+		if obj, ok := g.pkg.Info.Uses[fn.Sel].(*types.Func); ok {
+			return g.byObj[obj]
+		}
+		// A selector only falls back by name when the qualifier is not
+		// a package (a method on a local value whose type didn't
+		// resolve — fixture packages type-check with holes).
+		if pkgPathOf(g.pkg, fn.X) == "" {
+			return g.byName[fn.Sel.Name]
+		}
+	}
+	return nil
+}
+
+// summariseStructure fills the CFG-derived summary fields: file
+// writes, fsyncs, directory fsyncs, renames and never-returns. Taint
+// fields are filled separately by summariseTaint (dataflow.go), which
+// needs the full engine.
+func (g *callGraph) summariseStructure(n *funcNode) {
+	n.summary.cfg = buildCFG(n.decl.Body)
+	reach := n.summary.cfg.reachableFrom(n.summary.cfg.entry)
+	n.summary.neverReturns = !reach.has(n.summary.cfg.exit.index)
+
+	isDirSyncName := dirSyncShaped(n.decl.Name.Name)
+	ast.Inspect(n.decl.Body, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false // closures are separate analysis units
+		}
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch {
+		case isFileWriteCall(g.pkg, call):
+			n.summary.writesFile = true
+		case isFileSyncCall(g.pkg, call):
+			if isDirSyncName {
+				n.summary.syncsDir = true
+			} else {
+				n.summary.syncs = true
+			}
+		case isRenameCall(g.pkg, call):
+			n.summary.renames = true
+		}
+		if callee := g.resolve(call); callee != nil {
+			cs := callee.summary
+			n.summary.writesFile = n.summary.writesFile || cs.writesFile
+			n.summary.syncs = n.summary.syncs || cs.syncs
+			n.summary.syncsDir = n.summary.syncsDir || cs.syncsDir
+			n.summary.renames = n.summary.renames || cs.renames
+		}
+		return true
+	})
+}
+
+// dirSyncShaped reports whether a function name announces a directory
+// fsync helper (syncDir, fsyncDir, dirSync...).
+func dirSyncShaped(name string) bool {
+	l := strings.ToLower(name)
+	return strings.Contains(l, "syncdir") || strings.Contains(l, "dirsync") ||
+		strings.Contains(l, "fsyncdir")
+}
+
+// fileWriterTypeNames are receiver type names whose Write-family
+// methods move bytes toward a file descriptor. bytes.Buffer and
+// strings.Builder are deliberately absent: they are memory.
+var fileWriterTypeNames = map[string]bool{
+	"File": true, "Writer": true, // os.File, bufio.Writer
+}
+
+// isFileWriterRecv reports whether e is a file-backed writer (os.File
+// or bufio.Writer, by package-qualified type name).
+func isFileWriterRecv(pkg *Package, e ast.Expr) bool {
+	n := namedTypeOf(pkg, e)
+	if n == nil || n.Obj() == nil {
+		return false
+	}
+	p := n.Obj().Pkg()
+	if p == nil {
+		return false
+	}
+	switch {
+	case p.Name() == "os" && n.Obj().Name() == "File":
+		return true
+	case p.Name() == "bufio" && n.Obj().Name() == "Writer":
+		return true
+	}
+	return false
+}
+
+// isFileWriteCall recognises base file-write events: Write-family
+// methods on *os.File / *bufio.Writer, and os.WriteFile.
+func isFileWriteCall(pkg *Package, call *ast.CallExpr) bool {
+	if isPkgFunc(pkg, call, "os", "WriteFile") {
+		return true
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteAt", "WriteByte":
+	default:
+		return false
+	}
+	return isFileWriterRecv(pkg, sel.X)
+}
+
+// isFileSyncCall recognises base fsync events: Sync on an *os.File.
+func isFileSyncCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Sync" {
+		return false
+	}
+	if isFileWriterRecv(pkg, sel.X) {
+		return true
+	}
+	// Fixture fallback: a Sync() method call with no resolvable type
+	// still counts — fixture packages type-check with holes.
+	return namedTypeOf(pkg, sel.X) == nil
+}
+
+// isRenameCall recognises os.Rename.
+func isRenameCall(pkg *Package, call *ast.CallExpr) bool {
+	return isPkgFunc(pkg, call, "os", "Rename")
+}

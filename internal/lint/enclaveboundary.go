@@ -16,18 +16,18 @@ import (
 //     syscall, os/exec, or the wire package. The TCB computes; it does
 //     not talk to the outside world directly, so a leak requires code
 //     outside the boundary to cooperate.
-//   - Rule B (wire sends): no package may pass a secret-named byte
-//     buffer to a send-side method (Send, SendMessage, Write,
-//     WriteFrame, SendBatch) of a Channel or net.Conn. Key material
-//     crosses the wire only inside the RCE envelope, never as a raw
-//     argument.
-//   - Rule C (ECALL surface): the attestation primitives
+//   - Rule B (ECALL surface): the attestation primitives
 //     (enclave.VerifyQuote, UnmarshalQuote, UnmarshalReport, and
 //     friends) may be called only from the wire handshake (or the
 //     enclave package itself), and the sealing primitives
 //     (Enclave.Seal/Unseal) only from the store layer (package store
 //     and its storage engines, e.g. logengine) — the places the design
 //     documents as the boundary's legitimate crossings.
+//
+// The old wire-send rule — no secret-named buffer as a raw send
+// argument — is gone: the sealflow dataflow analyzer now proves the
+// stronger property (no unsealed source-to-sink path at all) instead
+// of pattern-matching names at one call shape.
 //
 // Rules match package and type NAMES (not full import paths) so the
 // same checks run against the production tree and the test fixtures.
@@ -45,18 +45,17 @@ var attestationFuncs = map[string]bool{
 	"Quote": true, "Report": true,
 }
 
-// sendMethods are the wire-send entry points checked by rule B.
+// sendMethods are the wire-send entry points treated as conn sinks by
+// the sealflow analyzer.
 var sendMethods = map[string]bool{
 	"Send": true, "SendMessage": true, "SendBatch": true,
 	"Write": true, "WriteFrame": true,
 }
 
 func runEnclaveBoundary(pass *Pass) {
-	pkg := pass.Pkg
-	if pass.Config.Trusted(pkg) {
+	if pass.Config.Trusted(pass.Pkg) {
 		checkTrustedImports(pass)
 	}
-	checkWireSends(pass)
 	checkECallSurface(pass)
 }
 
@@ -91,35 +90,7 @@ func bannedInTrusted(path string) string {
 	return ""
 }
 
-// checkWireSends applies rule B: secret byte buffers must not be
-// arguments of conn/channel send methods.
-func checkWireSends(pass *Pass) {
-	pkg := pass.Pkg
-	forEachFunc(pkg, func(_ *ast.File, fd *ast.FuncDecl) {
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-			if !ok || !sendMethods[sel.Sel.Name] {
-				return true
-			}
-			if !isConnLike(pkg, sel.X, deadlineTargetNames) {
-				return true
-			}
-			for _, a := range call.Args {
-				if name, ok := isSecretExpr(pkg, a); ok {
-					pass.Reportf(a.Pos(), "secret %s crosses the enclave boundary via %s.%s; key material leaves the enclave only inside the RCE envelope",
-						name, exprText(sel.X), sel.Sel.Name)
-				}
-			}
-			return true
-		})
-	})
-}
-
-// checkECallSurface applies rule C to packages other than the
+// checkECallSurface applies rule B to packages other than the
 // documented callers.
 func checkECallSurface(pass *Pass) {
 	pkg := pass.Pkg

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// GoroExitAnalyzer checks goroutine-lifecycle discipline in the
+// long-running service packages (dedup, cluster, store, logengine):
+// every `go` statement must launch a body whose CFG can reach its exit
+// — a return behind a stop-channel select case, a `for range ch` that
+// ends when the channel closes, or a plain one-shot body. A goroutine
+// whose exit block is unreachable (an unconditional `for { work() }`
+// with no shutdown edge) leaks forever: it survives Close, holds
+// references, and turns graceful shutdown and tests into hangs.
+//
+// Both forms are checked: `go func() { ... }()` analyzes the literal's
+// body; `go e.loop()` resolves the method through the package call
+// graph and uses its never-returns summary.
+var GoroExitAnalyzer = &Analyzer{
+	Name: "goroexit",
+	Doc:  "goroutines in the service packages need a reachable shutdown edge",
+	Run:  runGoroExit,
+}
+
+// goroexitScope are the package names whose goroutines are checked —
+// the layers that own long-lived background work.
+var goroexitScope = map[string]bool{
+	"dedup": true, "cluster": true, "store": true, "logengine": true,
+}
+
+func runGoroExit(pass *Pass) {
+	pkg := pass.Pkg
+	if pkg.Types == nil || !goroexitScope[pkg.Types.Name()] {
+		return
+	}
+	g := buildCallGraph(pkg)
+	forEachFunc(pkg, func(_ *ast.File, fd *ast.FuncDecl) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGoroutine(pass, g, gs)
+			return true
+		})
+	})
+}
+
+func checkGoroutine(pass *Pass, g *callGraph, gs *ast.GoStmt) {
+	switch fn := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.FuncLit:
+		cfg := buildCFG(fn.Body)
+		if !cfg.reachableFrom(cfg.entry).has(cfg.exit.index) {
+			pass.Reportf(gs.Pos(), "goroutine body has no reachable shutdown edge; give its loop a stop-channel/context case that returns")
+		}
+	default:
+		if callee := g.resolve(gs.Call); callee != nil && callee.summary.neverReturns {
+			pass.Reportf(gs.Pos(), "goroutine runs %s, which has no reachable return; give its loop a stop-channel/context case that returns", callee.decl.Name.Name)
+		}
+	}
+}

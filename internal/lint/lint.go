@@ -236,6 +236,9 @@ func Analyzers() []*Analyzer {
 		AtomicMixAnalyzer,
 		DeadlineAnalyzer,
 		WireSymAnalyzer,
+		SealFlowAnalyzer,
+		FsyncOrderAnalyzer,
+		GoroExitAnalyzer,
 	}
 }
 

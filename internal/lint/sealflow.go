@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// SealFlowAnalyzer proves the central SPEED boundary invariant with
+// dataflow instead of convention: key material and enclave plaintext
+// must pass through a sealing primitive before reaching any sink that
+// leaves the process.
+//
+// Sources (what taints a value):
+//   - key-producer results (mle.KeyGen's recovered key, KeyRec,
+//     GenerateKey, HKDF-style derivations — the keyProducers table),
+//   - the in-enclave dictionary fields Record.Challenge /
+//     Record.WrappedKey and their Sealed envelope counterparts,
+//   - byte buffers whose names declare key material (isSecretName with
+//     the byte-buffer type gate).
+//
+// Sinks (where tainted values must not arrive):
+//   - conn-like sends (net.Conn / wire.Channel Send/Write family):
+//     reject key material — the RCE envelope fields legitimately cross
+//     the attested channel, raw keys never do;
+//   - file writes (os.File / bufio.Writer / os.WriteFile): reject both
+//     key material and plaintext — the untrusted disk only ever sees
+//     sealed bytes;
+//   - log/telemetry calls (Tracef/Logf/Printf family, fmt/log
+//     printers): reject both.
+//
+// Sanitizers: the seal family (Enclave.Seal, AEAD Seal, mle
+// Encrypt/EncryptResult, sealRecord) — their results are ciphertext.
+// Taint flows through assignments, slicing, struct fields, append/copy,
+// conversions, format helpers and one level of package-local calls
+// (callgraph summaries), so a helper that seals internally is
+// recognised without annotation.
+//
+// Trusted packages (the mle/enclave TCB) are exempt: they manipulate
+// plaintext by definition and are checked by enclaveboundary's import
+// rules instead.
+var SealFlowAnalyzer = &Analyzer{
+	Name: "sealflow",
+	Doc:  "key material and enclave plaintext must be sealed before any conn, disk, or log sink",
+	Run:  runSealFlow,
+}
+
+// sealerNames are callee names whose results are ciphertext regardless
+// of argument taint (crypto/cipher AEAD.Seal included by name).
+var sealerNames = map[string]bool{
+	"Seal": true, "SealBlob": true, "Encrypt": true, "EncryptResult": true,
+	"sealAESGCM": true, "sealAESGCMWithAD": true, "sealRecord": true,
+}
+
+// logPkgSinkFuncs are package-level print functions counted as
+// log/telemetry sinks ("fmt" and "log" qualifiers). fmt.Errorf is
+// deliberately absent: wrapping an error does not leave the process.
+var logPkgSinkFuncs = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fatal": true, "Fatalf": true, "Fatalln": true,
+	"Panic": true, "Panicf": true, "Panicln": true,
+}
+
+// dictFieldTypes are the named types whose Challenge/WrappedKey fields
+// carry in-enclave dictionary secrets: the store engine's Record and
+// the MLE Sealed envelope.
+func isDictValue(pkg *Package, e ast.Expr) bool {
+	return typeIs(pkg, e, "engine", "Record") || typeIs(pkg, e, "mle", "Sealed")
+}
+
+func runSealFlow(pass *Pass) {
+	pkg := pass.Pkg
+	if pass.Config.Trusted(pkg) {
+		return
+	}
+	hooks := sealflowHooks(pkg)
+	g := buildCallGraph(pkg)
+	hooks.graph = g
+	summariseTaint(hooks, g)
+
+	h := *hooks
+	h.report = func(arg ast.Expr, mask, accepts taintMask, desc string) {
+		if mask&accepts == 0 {
+			return // a taint class this sink tolerates
+		}
+		pass.Reportf(arg.Pos(), "%s reaches %s unsealed; pass it through the seal/RCE primitives first",
+			(mask & accepts).describe(), desc)
+	}
+	inlined := make(map[*ast.FuncLit]bool)
+	analyze := func(cfg *funcCFG) {
+		r := newTaintRun(&h, cfg)
+		r.inlined = inlined // shared: closures report once, at one site
+		r.fixpoint(nil)
+		r.reportPass()
+	}
+	for _, n := range g.order {
+		analyze(n.summary.cfg)
+	}
+	// Closures that were never inlined at a call site (stored in a
+	// variable, returned) are separate analysis units: captured
+	// variables start untainted, but name/field sources re-taint
+	// inside.
+	for _, n := range g.order {
+		ast.Inspect(n.decl.Body, func(x ast.Node) bool {
+			if lit, ok := x.(*ast.FuncLit); ok && !inlined[lit] {
+				analyze(buildCFG(lit.Body))
+			}
+			return true
+		})
+	}
+}
+
+// sealflowHooks builds the SPEED source/sink/sanitizer policy.
+func sealflowHooks(pkg *Package) *taintHooks {
+	return &taintHooks{
+		pkg: pkg,
+
+		sourceCall: func(call *ast.CallExpr) []taintMask {
+			_, name := calleeParts(call)
+			if name == "KeyGen" {
+				// (challenge, wrappedKey, key, err): the challenge is an
+				// in-enclave dictionary secret, the wrapped key is
+				// ciphertext, the recovered key is key material.
+				return []taintMask{taintPlain, 0, taintKey, 0}
+			}
+			if keyProducers[name] {
+				return []taintMask{taintKey, 0}
+			}
+			return nil
+		},
+
+		exprTaint: func(e ast.Expr) (taintMask, bool) {
+			switch x := e.(type) {
+			case *ast.SelectorExpr:
+				if isDictValue(pkg, x.X) {
+					switch x.Sel.Name {
+					case "Challenge", "WrappedKey":
+						return taintPlain, true
+					default:
+						// Blob is AEAD ciphertext; sizes/counters are
+						// public. A tainted Record root does not taint
+						// them.
+						return 0, true
+					}
+				}
+				if isSecretName(x.Sel.Name) && secretTyped(pkg, x.Sel) {
+					return taintKey, false
+				}
+			case *ast.Ident:
+				if isSecretName(x.Name) && secretTyped(pkg, x) {
+					return taintKey, false
+				}
+			}
+			return 0, false
+		},
+
+		sanitizer: func(call *ast.CallExpr) bool {
+			_, name := calleeParts(call)
+			return sealerNames[name]
+		},
+
+		sink: func(call *ast.CallExpr) (taintMask, string) {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				name := sel.Sel.Name
+				if path := pkgPathOf(pkg, sel.X); path != "" {
+					base := path
+					if i := strings.LastIndexByte(base, '/'); i >= 0 {
+						base = base[i+1:]
+					}
+					if (base == "fmt" || base == "log") && logPkgSinkFuncs[name] {
+						return taintKey | taintPlain, "a log/telemetry call (" + base + "." + name + ")"
+					}
+					if isFileWriteCall(pkg, call) {
+						return taintKey | taintPlain, "the untrusted disk (" + base + "." + name + ")"
+					}
+					return 0, ""
+				}
+				if sinkMethods[name] {
+					return taintKey | taintPlain, "a log/telemetry call (" + name + ")"
+				}
+				if sendMethods[name] && isConnLike(pkg, sel.X, deadlineTargetNames) {
+					return taintKey, "the wire (" + exprText(sel.X) + "." + name + ")"
+				}
+				if (name == "Write" || name == "WriteString") && typeIs(pkg, sel.X, "io", "Writer") {
+					return taintKey, "an io.Writer sink (" + exprText(sel.X) + "." + name + ")"
+				}
+			}
+			if isFileWriteCall(pkg, call) {
+				return taintKey | taintPlain, "the untrusted disk"
+			}
+			return 0, ""
+		},
+	}
+}
+
+// secretTyped applies the byte-buffer type gate of isSecretExpr to a
+// single identifier: with type info the identifier must be a byte
+// buffer; without, the name decides.
+func secretTyped(pkg *Package, id *ast.Ident) bool {
+	obj := pkg.Info.Uses[id]
+	if obj == nil {
+		obj = pkg.Info.Defs[id]
+	}
+	if obj == nil || obj.Type() == nil {
+		return true
+	}
+	return isByteBuffer(obj.Type())
+}

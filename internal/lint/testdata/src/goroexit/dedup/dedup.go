@@ -1,0 +1,62 @@
+// Package dedup exercises the goroexit analyzer: goroutines in the
+// service packages must have a reachable shutdown edge.
+package dedup
+
+type Engine struct {
+	stop chan struct{}
+	work chan int
+}
+
+func process(int) {}
+
+// spinForever launches an unconditional loop: leaks past Close.
+func (e *Engine) spinForever() {
+	go func() { // want `goroutine body has no reachable shutdown edge`
+		for {
+			process(<-e.work)
+		}
+	}()
+}
+
+// loopWithStop has a stop-channel case that returns: clean.
+func (e *Engine) loopWithStop() {
+	go func() {
+		for {
+			select {
+			case <-e.stop:
+				return
+			case v := <-e.work:
+				process(v)
+			}
+		}
+	}()
+}
+
+// drain ranges the work channel: closing it is the shutdown edge.
+func (e *Engine) drain() {
+	go func() {
+		for v := range e.work {
+			process(v)
+		}
+	}()
+}
+
+// loop is a named never-returning worker.
+func (e *Engine) loop() {
+	for {
+		process(<-e.work)
+	}
+}
+
+// startLoop launches it: flagged at the go statement via the call
+// graph's never-returns summary.
+func (e *Engine) startLoop() {
+	go e.loop() // want `goroutine runs loop, which has no reachable return`
+}
+
+// oneShot runs to completion on its own: clean.
+func (e *Engine) oneShot(v int) {
+	go func() {
+		process(v)
+	}()
+}

@@ -1,0 +1,11 @@
+// Package engine mirrors the store/engine dictionary record shape the
+// sealflow analyzer treats as a taint source: Challenge and WrappedKey
+// are in-enclave secrets, Blob is AEAD ciphertext.
+package engine
+
+type Record struct {
+	Challenge  []byte
+	WrappedKey []byte
+	Blob       []byte
+	BlobSize   int64
+}

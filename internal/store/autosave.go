@@ -3,6 +3,7 @@ package store
 import (
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 	"time"
 )
@@ -70,12 +71,15 @@ func (a *Autosaver) SaveOnce() error {
 		return fmt.Errorf("autosave: seal: %w", err)
 	}
 	tmp := a.path + ".tmp"
-	if err := os.WriteFile(tmp, snap, 0o600); err != nil {
+	if err := writeFileSync(tmp, snap, 0o600); err != nil {
 		return fmt.Errorf("autosave: write: %w", err)
 	}
 	if err := os.Rename(tmp, a.path); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("autosave: rename: %w", err)
+	}
+	if err := syncDir(filepath.Dir(a.path)); err != nil {
+		return fmt.Errorf("autosave: sync dir: %w", err)
 	}
 	a.mu.Lock()
 	a.saves++

@@ -123,7 +123,7 @@ func (s *DiskBlobStore) Put(data []byte) (BlobID, error) {
 	s.nextID++
 	id := s.nextID
 	s.mu.Unlock()
-	if err := os.WriteFile(s.path(id), data, 0o644); err != nil {
+	if err := writeFileSync(s.path(id), data, 0o644); err != nil {
 		return 0, fmt.Errorf("store: write blob: %w", err)
 	}
 	s.mu.Lock()

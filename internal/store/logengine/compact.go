@@ -96,7 +96,9 @@ func (e *Engine) compactLocked() error {
 	}
 	old := e.segments
 	if err := writeManifest(e.cfg.Dir, []string{name}); err != nil {
-		seg.close()
+		if cerr := seg.close(); cerr != nil {
+			e.cfg.Logf("logengine: close orphan segment: %v", cerr)
+		}
 		os.Remove(path)
 		return fmt.Errorf("logengine: commit compaction: %w", err)
 	}
@@ -104,7 +106,9 @@ func (e *Engine) compactLocked() error {
 	e.nextSegID = id + 1
 	e.st.Compactions++
 	for _, s := range old {
-		s.close()
+		if cerr := s.close(); cerr != nil {
+			e.cfg.Logf("logengine: close compacted segment %s: %v", filepath.Base(s.path), cerr)
+		}
 		if err := os.Remove(s.path); err != nil {
 			// Recovery will treat it as an orphan; just note it.
 			e.cfg.Logf("logengine: remove compacted segment %s: %v", filepath.Base(s.path), err)

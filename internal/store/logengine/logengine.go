@@ -792,7 +792,9 @@ func (e *Engine) flushLocked() error {
 	}
 	names = append(names, name)
 	if err := writeManifest(e.cfg.Dir, names); err != nil {
-		seg.close()
+		if cerr := seg.close(); cerr != nil {
+			e.cfg.Logf("logengine: close orphan segment: %v", cerr)
+		}
 		os.Remove(path)
 		return err
 	}
@@ -1021,12 +1023,17 @@ func (e *Engine) Close() error {
 	e.bgDone.Wait()
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.wal.close()
+	var closeErr error
+	if err := e.wal.close(); err != nil {
+		closeErr = errors.Join(closeErr, fmt.Errorf("logengine: close wal: %w", err))
+	}
 	for _, s := range e.segments {
-		s.close()
+		if err := s.close(); err != nil {
+			closeErr = errors.Join(closeErr, fmt.Errorf("logengine: close segment %s: %w", filepath.Base(s.path), err))
+		}
 	}
 	e.releaseMemoryLocked()
-	return flushErr
+	return errors.Join(flushErr, closeErr)
 }
 
 // Crash simulates kill -9 for tests and benchmarks: file handles are
@@ -1045,9 +1052,9 @@ func (e *Engine) Crash() {
 	e.bgDone.Wait()
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.wal.close()
+	_ = e.wal.close() // abandoning handles is the point of a crash
 	for _, s := range e.segments {
-		s.close()
+		_ = s.close()
 	}
 	e.releaseMemoryLocked()
 }

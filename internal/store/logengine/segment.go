@@ -96,12 +96,18 @@ type segRecord struct {
 // new segment file and fsyncs it. The caller syncs the directory and
 // commits the manifest; until then the file is an orphan that recovery
 // deletes.
-func writeSegment(path string, records []segRecord) error {
+func writeSegment(path string, records []segRecord) (err error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o600)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		// A failed close after a clean sync still means the kernel may
+		// not own the data; surface it.
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	w := bufio.NewWriterSize(f, 1<<20)
 	if _, err := w.WriteString(segMagic); err != nil {
 		return err
@@ -327,7 +333,9 @@ func writeManifest(dir string, names []string) error {
 		f.Close()
 		return err
 	}
-	f.Close()
+	if err := f.Close(); err != nil {
+		return err
+	}
 	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
 		os.Remove(tmp)
 		return err
