@@ -51,6 +51,7 @@ bench:
 	$(GO) run ./cmd/speedbench -quick -exp concurrency -metrics-out BENCH_concurrency.json
 	$(GO) run ./cmd/speedbench -quick -exp cluster -metrics-out BENCH_cluster.json
 	$(GO) run ./cmd/speedbench -quick -exp persist -metrics-out BENCH_persist.json
+	$(GO) run ./cmd/speedbench -quick -exp chunk -metrics-out BENCH_chunk.json
 
 # Instrumentation overhead gate: BenchmarkExecuteHitTelemetry must stay
 # within 5% of BenchmarkExecuteHit (deployment-default SGX costs).
@@ -58,10 +59,11 @@ bench-overhead:
 	$(GO) test -run xxx -bench 'BenchmarkExecuteHit' -benchtime 1s ./internal/dedup/
 
 # Hot-path micro-benchmarks: the allocation-free wire/crypto fast path
-# (Channel round trip, marshal, frame read, mle seal/open) plus the
-# log engine's memtable-hit read. -count 6 gives the regression gate a
-# run-to-run spread for its significance test.
-BENCH_HOT_PKGS := ./internal/wire ./internal/mle ./internal/store/logengine
+# (Channel round trip, marshal, frame read, mle seal/open), the
+# log engine's memtable-hit read, and the FastCDC chunker scan.
+# -count 6 gives the regression gate a run-to-run spread for its
+# significance test.
+BENCH_HOT_PKGS := ./internal/wire ./internal/mle ./internal/store/logengine ./internal/chunk
 BENCH_HOT_PATTERN := 'BenchmarkHot|BenchmarkChannelRoundTrip'
 BENCH_HOT_COUNT ?= 6
 
@@ -83,9 +85,10 @@ bench-regress:
 	$(GO) test -run '^$$' -bench $(BENCH_HOT_PATTERN) -benchmem -count $(BENCH_HOT_COUNT) $(BENCH_HOT_PKGS) | tee /tmp/speed-bench-new.txt
 	$(GO) run ./cmd/benchgate -baseline bench/baseline.txt -new /tmp/speed-bench-new.txt
 
-# Short fuzz pass over the wire codecs and the storage-engine WAL
-# framing. Go runs one fuzz target per invocation, so each target gets
-# its own run.
+# Short fuzz pass over the wire codecs, the storage-engine WAL
+# framing, the chunk manifest codec and the FastCDC chunker
+# invariants. Go runs one fuzz target per invocation, so each target
+# gets its own run.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run xxx -fuzz '^FuzzUnmarshal$$' -fuzztime $(FUZZTIME) ./internal/wire/
@@ -93,3 +96,5 @@ fuzz:
 	$(GO) test -run xxx -fuzz '^FuzzUnmarshalEnvelope$$' -fuzztime $(FUZZTIME) ./internal/wire/
 	$(GO) test -run xxx -fuzz '^FuzzNegotiate$$' -fuzztime $(FUZZTIME) ./internal/wire/
 	$(GO) test -run xxx -fuzz '^FuzzRecord$$' -fuzztime $(FUZZTIME) ./internal/store/logengine/
+	$(GO) test -run xxx -fuzz '^FuzzManifest$$' -fuzztime $(FUZZTIME) ./internal/chunk/
+	$(GO) test -run xxx -fuzz '^FuzzChunker$$' -fuzztime $(FUZZTIME) ./internal/chunk/

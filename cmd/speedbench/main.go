@@ -13,6 +13,7 @@
 //	speedbench -exp concurrency    # mux throughput: workers x batch size
 //	speedbench -exp cluster        # 3-node ring, one member killed mid-run
 //	speedbench -exp persist        # log engine: beyond-RAM load, kill -9, recovery
+//	speedbench -exp chunk          # chunked dedup vs whole-result on near-duplicates
 //	speedbench -quick              # reduced sizes/trials for a fast pass
 //
 // With -metrics-out FILE, the run records phase-level telemetry and
@@ -44,7 +45,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("speedbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: all, table1, fig5 (=fig5a-d), fig5a, fig5b, fig5c, fig5d, fig6, ablations, effort, resilience, concurrency, cluster, persist")
+	exp := fs.String("exp", "all", "experiment: all, table1, fig5 (=fig5a-d), fig5a, fig5b, fig5c, fig5d, fig6, ablations, effort, resilience, concurrency, cluster, persist, chunk")
 	quick := fs.Bool("quick", false, "reduced sizes and trials")
 	trials := fs.Int("trials", 0, "override trial count (0 = default)")
 	storeTimeout := fs.Duration("store-timeout", 200*time.Millisecond, "resilience: per-request store deadline")
@@ -96,6 +97,9 @@ func run(args []string) error {
 		"persist": func() error {
 			return runPersist(*quick)
 		},
+		"chunk": func() error {
+			return runChunk(*quick)
+		},
 		// smoke needs an external resultstore, so it is not part of
 		// "all" (see -store-addr).
 		"smoke": func() error {
@@ -119,7 +123,7 @@ func run(args []string) error {
 
 	var err error
 	if *exp == "all" {
-		err = runNamed("table1", "fig5a", "fig5b", "fig5c", "fig5d", "fig6", "ablations", "effort", "resilience", "concurrency", "cluster", "persist")
+		err = runNamed("table1", "fig5a", "fig5b", "fig5c", "fig5d", "fig6", "ablations", "effort", "resilience", "concurrency", "cluster", "persist", "chunk")
 	} else if fn, ok := experiments[*exp]; ok {
 		err = fn()
 	} else {
@@ -163,8 +167,11 @@ type metricsReport struct {
 	Cluster []bench.ClusterPhase `json:"cluster,omitempty"`
 	// Persist holds the log-engine crash-recovery measurements when the
 	// persist experiment ran.
-	Persist  *bench.PersistResult `json:"persist,omitempty"`
-	Snapshot telemetry.Snapshot   `json:"snapshot"`
+	Persist *bench.PersistResult `json:"persist,omitempty"`
+	// Chunk holds the chunked-dedup overlap sweep when the chunk
+	// experiment ran.
+	Chunk    []bench.ChunkRow   `json:"chunk,omitempty"`
+	Snapshot telemetry.Snapshot `json:"snapshot"`
 }
 
 // concurrencyRows / clusterPhases carry the last sweep of their
@@ -172,6 +179,7 @@ type metricsReport struct {
 var concurrencyRows []bench.ConcurrencyRow
 var clusterPhases []bench.ClusterPhase
 var persistResult *bench.PersistResult
+var chunkRows []bench.ChunkRow
 
 // labelValue extracts one label's value from a rendered metric name
 // like `speed_execute_phase_seconds{app="x",phase="tag"}`.
@@ -216,6 +224,7 @@ func writeMetricsReport(path, experiment string, reg *telemetry.Registry) error 
 		Concurrency: concurrencyRows,
 		Cluster:     clusterPhases,
 		Persist:     persistResult,
+		Chunk:       chunkRows,
 		Snapshot:    snap,
 	}
 	if calls > 0 {
@@ -429,6 +438,28 @@ func runPersist(quick bool) error {
 	if res != nil {
 		persistResult = res
 		fmt.Print(bench.RenderPersist(res))
+	}
+	return err
+}
+
+// runChunk sweeps near-duplicate workloads at controlled overlap
+// ratios, comparing whole-result dedup against FastCDC chunking on
+// stored bytes, transferred bytes, and latency. The run fails unless
+// chunking saves at least 30% on both axes at 50% overlap.
+func runChunk(quick bool) error {
+	cfg := bench.ChunkConfig{}
+	if quick {
+		// Keep full-size documents: the savings margin depends on doc
+		// size relative to the ~8 KiB average chunk (boundary resync
+		// loss is per-document, not per-byte). Cut doc count and the
+		// overlap sweep instead.
+		cfg.Docs = 6
+		cfg.Overlaps = []float64{0, 0.5}
+	}
+	rows, err := bench.Chunked(cfg)
+	if len(rows) > 0 {
+		chunkRows = rows
+		fmt.Print(bench.RenderChunked(rows))
 	}
 	return err
 }

@@ -1,0 +1,78 @@
+package chunk
+
+import (
+	"crypto/sha256"
+
+	"speed/internal/mle"
+)
+
+// Key and tag derivations for chunk-wise convergence.
+//
+// A chunk's RCE "input" cannot be the input of the call that produced
+// it — a second application reusing the chunk via a manifest has the
+// chunk's hash, not the producing call's input. Instead each chunk is
+// treated as the result of the synthetic computation
+//
+//	chunkFunc(base)(hash) = the chunk content whose Hash() is hash
+//
+// so its tag is mle.ComputeTag(ContentFuncID(base), hash[:]) and its
+// RCE encryption uses (ContentFuncID(base), hash[:]) as the (func,
+// input) pair: tag = H(func, chunk-identity) exactly as the paper
+// derives whole-result tags, with the full per-chunk random challenge
+// and wrapped key. Convergence holds chunk-wise — any application that
+// derives the same base FuncID and produces (or learns, via an
+// authenticated manifest) the same chunk hash derives the same tag and
+// can unwrap the same sealed chunk — while an application that merely
+// observes tags in the store still cannot forge queries, because the
+// secondary key binds the hash AND the derived function identity
+// (Section III-D's argument, unchanged).
+//
+// The manifest itself is sealed under a second derived identity,
+// ManifestFuncID(base), with the call's real input. Both derivations
+// are domain-separated from each other and from every base FuncID, so
+// the three dictionaries (whole results, manifests at primary tags,
+// chunks) can never collide, and a pre-chunking runtime that decrypts a
+// manifest under the base identity gets a clean ErrAuthFailed.
+
+// Hash computes a chunk's domain-separated content hash, the identity
+// under which the chunk is tagged, encrypted and verified.
+func Hash(chunk []byte) [32]byte {
+	d := sha256.New()
+	d.Write(hashDomain)
+	d.Write(chunk)
+	var out [32]byte
+	d.Sum(out[:0])
+	return out
+}
+
+var (
+	hashDomain         = []byte("speed/chunk/v1\x00")
+	contentFuncDomain  = []byte("speed/chunk/func/v1\x00")
+	manifestFuncDomain = []byte("speed/chunk/manifest/v1\x00")
+)
+
+func deriveID(domain []byte, base mle.FuncID) mle.FuncID {
+	d := sha256.New()
+	d.Write(domain)
+	d.Write(base[:])
+	var out mle.FuncID
+	d.Sum(out[:0])
+	return out
+}
+
+// ContentFuncID derives the synthetic function identity under which a
+// base function's chunks are tagged and encrypted.
+func ContentFuncID(base mle.FuncID) mle.FuncID {
+	return deriveID(contentFuncDomain, base)
+}
+
+// ManifestFuncID derives the function identity under which a chunked
+// call's manifest is sealed at the call's primary tag.
+func ManifestFuncID(base mle.FuncID) mle.FuncID {
+	return deriveID(manifestFuncDomain, base)
+}
+
+// Tag derives the storage tag of the chunk with the given content hash.
+func Tag(contentID mle.FuncID, hash [32]byte) mle.Tag {
+	return mle.ComputeTag(contentID, hash[:])
+}

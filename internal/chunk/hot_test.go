@@ -1,0 +1,31 @@
+package chunk
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkHotChunker measures the chunker's cut-point search over
+// pseudo-random data — the per-byte loop every chunked PUT and every
+// streaming emit pays. AppendSplit into a reused slice is the
+// allocation-free steady state; the regression gate (bench/baseline.txt
+// via make bench-regress) holds allocs/op at zero and watches ns/op.
+func BenchmarkHotChunker(b *testing.B) {
+	c, err := NewChunker(Config{})
+	if err != nil {
+		b.Fatalf("NewChunker: %v", err)
+	}
+	data := make([]byte, 1<<20)
+	rand.New(rand.NewSource(1)).Read(data)
+	dst := make([][]byte, 0, len(data)/DefaultAvg+1)
+
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = c.AppendSplit(dst[:0], data)
+	}
+	if len(dst) == 0 {
+		b.Fatal("no chunks")
+	}
+}

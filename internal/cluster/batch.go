@@ -1,9 +1,11 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
+	"speed/internal/dedup"
 	"speed/internal/mle"
 	"speed/internal/wire"
 )
@@ -148,6 +150,128 @@ func (c *Client) runGets(tc wire.TraceContext, tags []mle.Tag, groups map[int][]
 	}
 	wg.Wait()
 	return out
+}
+
+// HasBatch implements dedup.HasBatcher: each tag's primary member (the
+// node a routed GET would consult first) is asked whether it holds the
+// tag, in parallel per-member HAS_BATCH round trips. Answers are hints
+// in both directions — a member failure or a member too old to
+// negotiate FeatureChunking reports its tags as absent rather than
+// failing the probe, so callers just transfer bytes they might have
+// skipped. No hit counting or recency happens anywhere on this path.
+func (c *Client) HasBatch(tags []mle.Tag) ([]bool, error) {
+	if c.closed.Load() {
+		return nil, errClientClosed
+	}
+	if len(tags) == 0 {
+		return nil, nil
+	}
+	present := make([]bool, len(tags))
+	groups := make(map[int][]int)
+	for i, tag := range tags {
+		if ni, ok := c.pickRead(tag, nil); ok {
+			groups[ni] = append(groups[ni], i)
+		}
+	}
+	out := make([]groupResult, 0, len(groups))
+	for ni, idxs := range groups {
+		out = append(out, groupResult{ni: ni, idxs: idxs})
+	}
+	answers := make([][]bool, len(out))
+	var wg sync.WaitGroup
+	for i := range out {
+		gr := &out[i]
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			chunk := make([]mle.Tag, len(gr.idxs))
+			for k, idx := range gr.idxs {
+				chunk[k] = tags[idx]
+			}
+			answers[slot], gr.err = c.nodes[gr.ni].client.HasBatch(chunk)
+		}(i)
+	}
+	wg.Wait()
+	for i, gr := range out {
+		n := c.nodes[gr.ni]
+		if gr.err != nil {
+			if !errors.Is(gr.err, dedup.ErrHasBatchUnsupported) {
+				c.noteFailure(n, gr.err)
+			}
+			continue // tags stay reported absent
+		}
+		c.noteSuccess(n)
+		if len(answers[i]) != len(gr.idxs) {
+			continue
+		}
+		for k, idx := range gr.idxs {
+			present[idx] = answers[i][k]
+		}
+	}
+	return present, nil
+}
+
+// hasAtWriteTargets reports, for each tag, whether every one of its
+// current write targets (the members PutBatch would replicate to)
+// already holds it. The syncer uses this to skip shipping entries that
+// are fully placed. Like HasBatch it is a hint: a probe failure, an
+// unsupported member, or a short answer reports false, costing one
+// redundant transfer, never correctness.
+func (c *Client) hasAtWriteTargets(tags []mle.Tag) []bool {
+	present := make([]bool, len(tags))
+	if c.closed.Load() || len(tags) == 0 {
+		return present
+	}
+	groups := make(map[int][]int)
+	targets := make([]int, len(tags))
+	for i, tag := range tags {
+		for _, ni := range c.writeTargets(tag) {
+			groups[ni] = append(groups[ni], i)
+			targets[i]++
+		}
+	}
+	out := make([]groupResult, 0, len(groups))
+	for ni, idxs := range groups {
+		out = append(out, groupResult{ni: ni, idxs: idxs})
+	}
+	answers := make([][]bool, len(out))
+	var wg sync.WaitGroup
+	for i := range out {
+		gr := &out[i]
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			chunk := make([]mle.Tag, len(gr.idxs))
+			for k, idx := range gr.idxs {
+				chunk[k] = tags[idx]
+			}
+			answers[slot], gr.err = c.nodes[gr.ni].client.HasBatch(chunk)
+		}(i)
+	}
+	wg.Wait()
+	confirmed := make([]int, len(tags))
+	for i, gr := range out {
+		n := c.nodes[gr.ni]
+		if gr.err != nil {
+			if !errors.Is(gr.err, dedup.ErrHasBatchUnsupported) {
+				c.noteFailure(n, gr.err)
+			}
+			continue
+		}
+		c.noteSuccess(n)
+		if len(answers[i]) != len(gr.idxs) {
+			continue
+		}
+		for k, idx := range gr.idxs {
+			if answers[i][k] {
+				confirmed[idx]++
+			}
+		}
+	}
+	for i := range tags {
+		present[i] = targets[i] > 0 && confirmed[i] == targets[i]
+	}
+	return present
 }
 
 // PutBatch implements dedup.BatchClient: every item fans out to its

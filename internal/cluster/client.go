@@ -112,6 +112,7 @@ type Client struct {
 var (
 	_ dedup.BatchClient  = (*Client)(nil)
 	_ dedup.TracedClient = (*Client)(nil)
+	_ dedup.HasBatcher   = (*Client)(nil)
 )
 
 // New builds the cluster client and dials its members lazily: members

@@ -50,8 +50,19 @@ type Syncer struct {
 	started bool
 	seen    map[mle.Tag]bool
 	copies  int64
+	skipped int64
 
-	copiesC *telemetry.Counter
+	copiesC  *telemetry.Counter
+	skippedC *telemetry.Counter
+}
+
+// tagsOf projects a put batch onto its tags for a HAS_BATCH probe.
+func tagsOf(items []wire.PutItem) []mle.Tag {
+	tags := make([]mle.Tag, len(items))
+	for i, it := range items {
+		tags[i] = it.Tag
+	}
+	return tags
 }
 
 // NewSyncer builds a syncer over the cluster client. The client's
@@ -81,6 +92,8 @@ func NewSyncer(c *Client, cfg SyncConfig) *Syncer {
 	if cfg.Telemetry != nil {
 		s.copiesC = cfg.Telemetry.NewCounter("speed_cluster_sync_copies_total",
 			"popular results copied onto their ring owners by the syncer")
+		s.skippedC = cfg.Telemetry.NewCounter("speed_cluster_sync_skipped_total",
+			"hot entries whose transfer the syncer skipped because the owner already held them")
 	}
 	return s
 }
@@ -113,14 +126,44 @@ func (s *Syncer) SyncOnce() (int, error) {
 	}
 
 	s.mu.Lock()
-	items := make([]wire.PutItem, 0, len(best))
+	candidates := make([]wire.PutItem, 0, len(best))
 	for tag, e := range best {
 		if s.seen[tag] {
 			continue
 		}
-		items = append(items, wire.PutItem{Tag: tag, Sealed: e.Sealed})
+		candidates = append(candidates, wire.PutItem{Tag: tag, Sealed: e.Sealed})
 	}
 	s.mu.Unlock()
+	if len(candidates) == 0 {
+		return 0, pullErr
+	}
+
+	// Chunk-wise transfer: probe each candidate's write targets before
+	// shipping bytes. With chunked dedup the hot set is dominated by
+	// content-addressed chunks shared across results and members, so the
+	// owners frequently already hold an entry another member reported
+	// hot — skipping it saves the sealed payload on the wire, not just a
+	// duplicate insert at the destination. A candidate is skipped only
+	// when EVERY member PutBatch would replicate to already has it; the
+	// probe is a hint, so a false negative costs one redundant transfer,
+	// never correctness.
+	items := candidates
+	if present := s.c.hasAtWriteTargets(tagsOf(candidates)); len(present) == len(candidates) {
+		items = items[:0]
+		skipped := 0
+		s.mu.Lock()
+		for i, it := range candidates {
+			if present[i] {
+				s.seen[it.Tag] = true
+				skipped++
+				continue
+			}
+			items = append(items, it)
+		}
+		s.skipped += int64(skipped)
+		s.mu.Unlock()
+		s.skippedC.Add(int64(skipped))
+	}
 	if len(items) == 0 {
 		return 0, pullErr
 	}
@@ -149,6 +192,14 @@ func (s *Syncer) Copied() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.copies
+}
+
+// Skipped reports the cumulative number of hot entries whose transfer
+// was avoided because the owner already held them.
+func (s *Syncer) Skipped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.skipped
 }
 
 // Start launches periodic synchronization; calling it more than once is

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"testing"
 	"time"
+
+	"speed/internal/mle"
 )
 
 // TestSyncerPopularResults: a hot result computed on a member that is
@@ -65,6 +67,58 @@ func TestSyncerPopularResults(t *testing.T) {
 	}
 	if s.Copied() != 1 {
 		t.Errorf("Copied() = %d, want 1", s.Copied())
+	}
+}
+
+// TestSyncerSkipsPresentEntries: an entry that is hot on a non-owner
+// but already stored at its primary (chunked dedup's common case —
+// content-addressed chunks shared across results land everywhere) is
+// probed via HAS_BATCH and never shipped.
+func TestSyncerSkipsPresentEntries(t *testing.T) {
+	env := newTestCluster(t, 2, Config{Replicas: 1, ProbeInterval: time.Hour})
+	tag := ctag("already-there")
+	primary := env.client.ring.owners(tag, 1)[0]
+	donor := 1 - primary
+	sealed := csealed("shared chunk")
+	for _, ni := range []int{primary, donor} {
+		if _, err := env.nodes[ni].st.Put(env.app.Measurement(), tag, sealed); err != nil {
+			t.Fatalf("put on %d: %v", ni, err)
+		}
+	}
+	// Hot on the donor only; the primary never served it.
+	for i := 0; i < 3; i++ {
+		if _, found, err := env.nodes[donor].st.Get(tag); err != nil || !found {
+			t.Fatalf("donor get: (found=%v, %v)", found, err)
+		}
+	}
+
+	s := NewSyncer(env.client, SyncConfig{MinHits: 2, Logf: t.Logf})
+	copied, err := s.SyncOnce()
+	if err != nil {
+		t.Fatalf("SyncOnce: %v", err)
+	}
+	if copied != 0 {
+		t.Errorf("SyncOnce copied %d entries, want 0 (primary already holds it)", copied)
+	}
+	if s.Skipped() != 1 {
+		t.Errorf("Skipped() = %d, want 1", s.Skipped())
+	}
+}
+
+// TestClientHasBatch routes existence probes to each tag's primary.
+func TestClientHasBatch(t *testing.T) {
+	env := newTestCluster(t, 3, Config{Replicas: 1, ProbeInterval: time.Hour})
+	have := ctag("present-tag")
+	primary := env.client.ring.owners(have, 1)[0]
+	if _, err := env.nodes[primary].st.Put(env.app.Measurement(), have, csealed("v")); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+	present, err := env.client.HasBatch([]mle.Tag{have, ctag("absent-tag")})
+	if err != nil {
+		t.Fatalf("HasBatch: %v", err)
+	}
+	if len(present) != 2 || !present[0] || present[1] {
+		t.Fatalf("HasBatch = %v, want [true false]", present)
 	}
 }
 

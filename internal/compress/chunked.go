@@ -1,0 +1,51 @@
+package compress
+
+import (
+	"io"
+
+	"speed/internal/chunk"
+)
+
+// ChunkingWriter couples the streaming compressor to a content-defined
+// chunker: bytes written to it are compressed block by block and the
+// compressed stream is split into FastCDC chunks incrementally, so a
+// large result can be compressed and chunk-emitted with bounded memory
+// — neither the full plaintext nor the full compressed output is ever
+// materialized. The emitted chunks concatenate to exactly the stream a
+// plain Writer would have produced, so chunk boundaries (and therefore
+// chunk tags) are stable for identical inputs.
+type ChunkingWriter struct {
+	w  *Writer
+	cs *chunk.Stream
+}
+
+var _ io.WriteCloser = (*ChunkingWriter)(nil)
+
+// NewChunkingWriter builds a chunking compressor over emit, which
+// receives each compressed chunk as it is cut. The chunk slice is only
+// valid during the call, exactly like chunk.Stream's contract. Uses the
+// default stream block size.
+func NewChunkingWriter(c *chunk.Chunker, emit func(chunk []byte) error) *ChunkingWriter {
+	return NewChunkingWriterSize(c, emit, DefaultBlockSize)
+}
+
+// NewChunkingWriterSize is NewChunkingWriter with an explicit
+// uncompressed block size for the inner compressed stream.
+func NewChunkingWriterSize(c *chunk.Chunker, emit func(chunk []byte) error, blockSize int) *ChunkingWriter {
+	cs := c.NewStream(emit)
+	return &ChunkingWriter{w: NewWriterSize(cs, blockSize), cs: cs}
+}
+
+// Write implements io.Writer over the plaintext.
+func (cw *ChunkingWriter) Write(p []byte) (int, error) {
+	return cw.w.Write(p)
+}
+
+// Close flushes the final compressed block, the stream terminator, and
+// the final short chunk. It does not close anything underlying emit.
+func (cw *ChunkingWriter) Close() error {
+	if err := cw.w.Close(); err != nil {
+		return err
+	}
+	return cw.cs.Close()
+}

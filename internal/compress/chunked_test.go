@@ -1,0 +1,68 @@
+package compress
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"speed/internal/chunk"
+)
+
+// TestChunkingWriterMatchesWholeStream: feeding data through the
+// chunking compressor in ragged writes yields chunks that concatenate
+// to exactly the stream a plain Writer produces in one shot, and the
+// result round-trips through Reader.
+func TestChunkingWriterMatchesWholeStream(t *testing.T) {
+	ck, err := chunk.NewChunker(chunk.Config{})
+	if err != nil {
+		t.Fatalf("NewChunker: %v", err)
+	}
+	data := make([]byte, 300<<10)
+	rand.New(rand.NewSource(42)).Read(data)
+	// Compressible structure: repeat a slice a few times.
+	copy(data[100<<10:], data[:100<<10])
+
+	var whole bytes.Buffer
+	w := NewWriterSize(&whole, 32<<10)
+	if _, err := w.Write(data); err != nil {
+		t.Fatalf("whole Write: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("whole Close: %v", err)
+	}
+
+	var chunked bytes.Buffer
+	nChunks := 0
+	cw := NewChunkingWriterSize(ck, func(c []byte) error {
+		nChunks++
+		chunked.Write(c)
+		return nil
+	}, 32<<10)
+	for off := 0; off < len(data); {
+		n := 1 + (off*7919)%8192 // ragged write sizes
+		if off+n > len(data) {
+			n = len(data) - off
+		}
+		if _, err := cw.Write(data[off : off+n]); err != nil {
+			t.Fatalf("chunked Write: %v", err)
+		}
+		off += n
+	}
+	if err := cw.Close(); err != nil {
+		t.Fatalf("chunked Close: %v", err)
+	}
+
+	if !bytes.Equal(chunked.Bytes(), whole.Bytes()) {
+		t.Fatal("chunked stream differs from whole-shot stream")
+	}
+	if nChunks < 2 {
+		t.Fatalf("stream was cut into %d chunks; want several", nChunks)
+	}
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(NewReader(&chunked)); err != nil {
+		t.Fatalf("Reader: %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), data) {
+		t.Fatal("decompressed data differs from input")
+	}
+}

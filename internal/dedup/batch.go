@@ -214,6 +214,25 @@ func (rt *Runtime) executeBatchInEnclave(id mle.FuncID, inputs [][]byte, tc wire
 				resolve(i)
 				continue
 			}
+			// With chunking enabled the entry may be a sealed manifest;
+			// try reassembling from chunks before condemning it (the
+			// same fallback Execute's hit path takes).
+			if rt.chunker != nil {
+				res, merr := rt.manifestReuse(id, inputs[i], tc, r.Sealed)
+				if merr == nil {
+					results[i] = BatchResult{Result: res, Outcome: OutcomeReused}
+					rt.mu.Lock()
+					rt.stats.Reused++
+					rt.stats.ManifestReuses++
+					rt.stats.BytesReused += int64(len(res))
+					rt.mu.Unlock()
+					resolve(i)
+					continue
+				}
+				if !errors.Is(merr, errNoManifest) {
+					rt.cfg.Logf("speed: chunked reassembly for tag %x... failed: %v; recomputing", tags[i][:4], merr)
+				}
+			}
 			// ⊥: poisoned or corrupted entry; recompute and replace it.
 			rt.mu.Lock()
 			rt.stats.VerifyFailures++
@@ -308,9 +327,33 @@ func (rt *Runtime) executeBatchInEnclave(id mle.FuncID, inputs [][]byte, tc wire
 				resolve(i)
 			}
 		} else {
+			// Results at or above the chunk threshold go chunk-wise (the
+			// same routing sealAndPut applies); chunkedPut manages its own
+			// encrypt/put phases and OCALLs. The rest are sealed whole and
+			// uploaded in one batch below.
+			whole := computed
+			if rt.chunker != nil {
+				whole = make([]int, 0, len(computed))
+				for _, i := range computed {
+					if len(results[i].Result) >= rt.cfg.ChunkThreshold {
+						cerr := rt.chunkedPut(id, inputs[i], results[i].Result, tags[i], replace[i], tc, span)
+						if cerr == nil {
+							continue
+						}
+						if !errors.Is(cerr, errTooManyChunks) {
+							// A failed upload only loses future reuse; the
+							// caller still gets its freshly computed result.
+							rt.notePutError(cerr)
+							continue
+						}
+						// Too many chunks for one manifest: store it whole.
+					}
+					whole = append(whole, i)
+				}
+			}
 			span.begin(phaseEncrypt)
-			items := make([]wire.PutItem, 0, len(computed))
-			for _, i := range computed {
+			items := make([]wire.PutItem, 0, len(whole))
+			for _, i := range whole {
 				sealed, eerr := rt.cfg.Scheme.Encrypt(id, inputs[i], results[i].Result)
 				if eerr != nil {
 					// A failed upload only loses future reuse; the

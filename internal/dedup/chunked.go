@@ -1,0 +1,337 @@
+package dedup
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+
+	"speed/internal/chunk"
+	"speed/internal/enclave"
+	"speed/internal/mle"
+	"speed/internal/wire"
+)
+
+// Chunked deduplication (Config.ChunkThreshold). Large results are
+// split by a content-defined FastCDC chunker, each chunk is
+// independently RCE-encrypted under its content identity (see
+// internal/chunk), and the call's primary tag stores a small sealed
+// manifest instead of the whole result. Overlapping results — a
+// re-render of an edited document, a near-duplicate dataset — then
+// share every unchanged chunk: the store keeps one sealed copy, and a
+// producer uploads (or a consumer fetches) only the chunks the other
+// side is missing.
+//
+// The primary tag stays exactly the paper's t = H(func, input); what
+// changes is the value stored under it. A whole-result entry decrypts
+// under the base identity; a manifest decrypts only under the derived
+// ManifestFuncID, so a pre-chunking runtime that hits a manifest gets
+// a clean ErrAuthFailed and heals the entry by recompute + replace,
+// while a chunk-aware runtime tries the whole-result identity first
+// (the small-result path is byte-for-byte today's) and falls back to
+// manifest reassembly.
+
+// errNoManifest reports that the primary-tag entry did not decrypt as
+// a manifest either — it is a genuinely poisoned/foreign entry, and
+// the caller falls through to the ordinary recompute path silently.
+var errNoManifest = errors.New("dedup: stored entry carries no manifest")
+
+// errTooManyChunks reports that a result split into more chunks than
+// one manifest (and one BatchGet) can carry; the caller falls back to
+// the whole-result path.
+var errTooManyChunks = errors.New("dedup: result splits into too many chunks")
+
+// defaultChunkCacheBytes bounds the in-enclave chunk plaintext cache
+// when Config.ChunkCacheBytes is left zero.
+const defaultChunkCacheBytes = 16 << 20
+
+// chunkLRU is a byte-bounded tag -> chunk-plaintext cache. An entry
+// means "this chunk was store-resident when we last touched it", so a
+// producer can skip re-uploading it and a consumer can skip fetching
+// it. Cached bytes are charged to the application enclave (they are
+// plaintext and must stay inside the trust boundary); under EPC
+// pressure caching is skipped rather than failing the call.
+type chunkLRU struct {
+	mu    sync.Mutex
+	max   int64
+	bytes int64
+	enc   *enclave.Enclave
+	lru   *list.List // front = most recent; values are *chunkEntry
+	m     map[mle.Tag]*list.Element
+}
+
+type chunkEntry struct {
+	tag  mle.Tag
+	data []byte
+}
+
+func newChunkLRU(enc *enclave.Enclave, max int64) *chunkLRU {
+	return &chunkLRU{max: max, enc: enc, lru: list.New(), m: make(map[mle.Tag]*list.Element)}
+}
+
+// get returns the cached plaintext for tag, refreshing its recency.
+// The returned slice is shared and must be treated as read-only.
+func (c *chunkLRU) get(tag mle.Tag) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[tag]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*chunkEntry).data, true
+}
+
+// contains is get without the recency refresh, for pure skip checks.
+func (c *chunkLRU) contains(tag mle.Tag) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.m[tag]
+	return ok
+}
+
+// add caches a private copy of data under tag, evicting from the LRU
+// tail to stay within budget.
+func (c *chunkLRU) add(tag mle.Tag, data []byte) {
+	n := int64(len(data))
+	if n > c.max {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[tag]; ok {
+		c.lru.MoveToFront(el)
+		return // same tag, same content (collision-resistant hash)
+	}
+	if err := c.enc.Alloc(n); err != nil {
+		return // enclave memory pressure: caching is optional
+	}
+	e := &chunkEntry{tag: tag, data: append([]byte(nil), data...)}
+	c.m[tag] = c.lru.PushFront(e)
+	c.bytes += n
+	for c.bytes > c.max {
+		back := c.lru.Back()
+		if back == nil {
+			break
+		}
+		victim := back.Value.(*chunkEntry)
+		c.lru.Remove(back)
+		delete(c.m, victim.tag)
+		c.bytes -= int64(len(victim.data))
+		c.enc.Free(int64(len(victim.data)))
+	}
+}
+
+// clientHasBatch probes the store for the given tags through the
+// client's HasBatcher view, inside an OCALL (callers hold the
+// enclave). A client without the interface — or a store that rejected
+// the capability once — reports ErrHasBatchUnsupported and the caller
+// assumes everything is missing.
+func (rt *Runtime) clientHasBatch(tags []mle.Tag) ([]bool, error) {
+	hb, ok := rt.cfg.Client.(HasBatcher)
+	if !ok || rt.hasUnsupported.Load() {
+		return nil, ErrHasBatchUnsupported
+	}
+	var present []bool
+	err := rt.cfg.Enclave.OCall(func() error {
+		var oerr error
+		present, oerr = hb.HasBatch(tags)
+		return oerr
+	})
+	if errors.Is(err, ErrHasBatchUnsupported) {
+		rt.hasUnsupported.Store(true)
+		return nil, err
+	}
+	if err == nil && len(present) != len(tags) {
+		return nil, fmt.Errorf("dedup: has batch returned %d answers for %d tags", len(present), len(tags))
+	}
+	return present, err
+}
+
+// chunkedPut uploads a large result chunk-wise: split, probe for what
+// the store already holds, upload only the missing sealed chunks, and
+// seal the manifest at the call's primary tag. Runs inside the
+// application enclave; every client exchange happens in an OCALL.
+//
+// With replace true (the entry at the primary tag failed verification,
+// so a chunk may be tampered too) the probe and cache are bypassed and
+// every chunk is re-uploaded with Replace, healing whatever was bad.
+func (rt *Runtime) chunkedPut(id mle.FuncID, input, result []byte, tag mle.Tag, replace bool, tc wire.TraceContext, span *execSpan) error {
+	chunks := rt.chunker.Split(result)
+	if len(chunks) > chunk.MaxManifestChunks {
+		return errTooManyChunks
+	}
+	man, err := chunk.BuildManifest(chunks)
+	if err != nil {
+		return errTooManyChunks
+	}
+	cid := chunk.ContentFuncID(id)
+	ctags := make([]mle.Tag, len(chunks))
+	for i := range chunks {
+		ctags[i] = chunk.Tag(cid, man.Refs[i].Hash)
+	}
+
+	// Decide which chunks must travel. The local cache records chunks
+	// known store-resident; the HAS_BATCH probe covers the rest. Both
+	// are hints — a wrongly skipped upload surfaces later as a loud
+	// reassembly failure and a recompute, never a wrong result.
+	need := make([]bool, len(chunks))
+	if replace {
+		for i := range need {
+			need[i] = true
+		}
+	} else {
+		var unknownTags []mle.Tag
+		var unknownIdx []int
+		for i, t := range ctags {
+			if rt.chunkCache.contains(t) {
+				continue
+			}
+			need[i] = true
+			unknownTags = append(unknownTags, t)
+			unknownIdx = append(unknownIdx, i)
+		}
+		if len(unknownTags) > 0 {
+			if present, perr := rt.clientHasBatch(unknownTags); perr == nil {
+				for j, p := range present {
+					if p {
+						need[unknownIdx[j]] = false
+					}
+				}
+			}
+		}
+	}
+
+	span.begin(phaseEncrypt)
+	var items []wire.PutItem
+	skipped := 0
+	for i := range chunks {
+		if !need[i] {
+			skipped++
+			continue
+		}
+		sealed, eerr := rt.cfg.Scheme.Encrypt(cid, man.Refs[i].Hash[:], chunks[i])
+		if eerr != nil {
+			span.end(phaseEncrypt)
+			return fmt.Errorf("encrypt chunk %d: %w", i, eerr)
+		}
+		items = append(items, wire.PutItem{Tag: ctags[i], Sealed: sealed, Replace: replace})
+	}
+	mid := chunk.ManifestFuncID(id)
+	manSealed, err := rt.cfg.Scheme.Encrypt(mid, input, man.Encode())
+	span.end(phaseEncrypt)
+	if err != nil {
+		return fmt.Errorf("encrypt manifest: %w", err)
+	}
+
+	span.begin(phaseStorePut)
+	err = rt.cfg.Enclave.OCall(func() error {
+		if len(items) > 0 {
+			prs, oerr := rt.clientPutBatch(tc, items)
+			if oerr != nil {
+				return oerr
+			}
+			for _, pr := range prs {
+				if !pr.OK {
+					// A rejected chunk would leave the manifest referencing
+					// a hole; don't install it. The caller already has its
+					// result — only future reuse is lost.
+					return fmt.Errorf("%w: chunk put: %s", ErrPutRejected, pr.Err)
+				}
+			}
+		}
+		return rt.storePut(tc, tag, manSealed, replace)
+	})
+	span.end(phaseStorePut)
+	if err != nil {
+		return err
+	}
+
+	for i := range chunks {
+		rt.chunkCache.add(ctags[i], chunks[i])
+	}
+	rt.mu.Lock()
+	rt.stats.ChunkedPuts++
+	rt.stats.ChunksSkipped += int64(skipped)
+	rt.mu.Unlock()
+	return nil
+}
+
+// manifestReuse serves a hit whose primary-tag entry is a sealed
+// manifest: decrypt the manifest under the derived identity, fetch
+// only the chunks the local cache misses with one BatchGet, decrypt
+// and verify each against its manifest hash, reassemble, and verify
+// the whole-result digest. Any failure past manifest decryption means
+// the stored data is unusable and the caller recomputes loudly;
+// errNoManifest alone means the entry was never a manifest.
+func (rt *Runtime) manifestReuse(id mle.FuncID, input []byte, tc wire.TraceContext, sealed mle.Sealed) ([]byte, error) {
+	enc, err := rt.cfg.Scheme.Decrypt(chunk.ManifestFuncID(id), input, sealed)
+	if err != nil {
+		if errors.Is(err, mle.ErrAuthFailed) {
+			return nil, errNoManifest
+		}
+		return nil, fmt.Errorf("decrypt manifest: %w", err)
+	}
+	man, err := chunk.DecodeManifest(enc)
+	if err != nil {
+		return nil, fmt.Errorf("decode manifest: %w", err)
+	}
+
+	cid := chunk.ContentFuncID(id)
+	parts := make([][]byte, len(man.Refs))
+	var missingTags []mle.Tag
+	var missingIdx []int
+	cacheHits := 0
+	for i, ref := range man.Refs {
+		t := chunk.Tag(cid, ref.Hash)
+		if data, ok := rt.chunkCache.get(t); ok && len(data) == int(ref.Length) {
+			parts[i] = data
+			cacheHits++
+			continue
+		}
+		missingTags = append(missingTags, t)
+		missingIdx = append(missingIdx, i)
+	}
+
+	if len(missingTags) > 0 {
+		var got []wire.GetResult
+		gerr := rt.cfg.Enclave.OCall(func() error {
+			var oerr error
+			got, oerr = rt.clientGetBatch(tc, missingTags)
+			return oerr
+		})
+		if gerr != nil {
+			return nil, fmt.Errorf("fetch chunks: %w", gerr)
+		}
+		rt.noteStoreSuccess()
+		for j, r := range got {
+			i := missingIdx[j]
+			ref := man.Refs[i]
+			if !r.Found {
+				return nil, fmt.Errorf("chunk %d/%d missing from store", i+1, len(man.Refs))
+			}
+			data, derr := rt.cfg.Scheme.Decrypt(cid, ref.Hash[:], r.Sealed)
+			if derr != nil {
+				return nil, fmt.Errorf("decrypt chunk %d/%d: %w", i+1, len(man.Refs), derr)
+			}
+			if len(data) != int(ref.Length) || chunk.Hash(data) != ref.Hash {
+				return nil, fmt.Errorf("chunk %d/%d failed content verification", i+1, len(man.Refs))
+			}
+			parts[i] = data
+			rt.chunkCache.add(chunk.Tag(cid, ref.Hash), data)
+		}
+	}
+
+	out := make([]byte, 0, man.Total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	if uint64(len(out)) != man.Total || chunk.DigestOf(out) != man.Digest {
+		return nil, errors.New("reassembled result failed digest verification")
+	}
+	rt.mu.Lock()
+	rt.stats.ChunksFetched += int64(len(missingTags))
+	rt.stats.ChunkCacheHits += int64(cacheHits)
+	rt.mu.Unlock()
+	return out, nil
+}

@@ -1,0 +1,342 @@
+package dedup
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"speed/internal/chunk"
+	"speed/internal/enclave"
+	"speed/internal/mle"
+	"speed/internal/store"
+)
+
+// chunkTestThreshold keeps the chunked tests fast while still
+// splitting results into many chunks with the default geometry.
+const chunkTestThreshold = 32 << 10
+
+// newChunkStore builds a platform and a shared store for multi-runtime
+// chunking tests.
+func newChunkStore(t *testing.T) (*enclave.Platform, *store.Store) {
+	t.Helper()
+	p := enclave.NewPlatform(enclave.Config{})
+	storeEnc, err := p.Create("store", []byte("store code"))
+	if err != nil {
+		t.Fatalf("create store enclave: %v", err)
+	}
+	st, err := store.New(store.Config{Enclave: storeEnc})
+	if err != nil {
+		t.Fatalf("store.New: %v", err)
+	}
+	return p, st
+}
+
+// newChunkRuntime attaches a fresh runtime (own enclave, own chunk
+// cache) to the shared store. threshold 0 builds a pre-chunking
+// runtime.
+func newChunkRuntime(t *testing.T, p *enclave.Platform, st *store.Store, name string, threshold int) *Runtime {
+	t.Helper()
+	appEnc, err := p.Create(name, []byte("app code"))
+	if err != nil {
+		t.Fatalf("create %s enclave: %v", name, err)
+	}
+	rt, err := NewRuntime(Config{
+		Enclave:        appEnc,
+		Client:         NewLocalClient(st, appEnc.Measurement()),
+		ChunkThreshold: threshold,
+		Logf:           t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("NewRuntime(%s): %v", name, err)
+	}
+	t.Cleanup(func() { _ = rt.Close() })
+	rt.Registry().RegisterLibrary("zlib", "1.2.11", []byte("zlib code"))
+	return rt
+}
+
+func chunkFuncID(t *testing.T, rt *Runtime) mle.FuncID {
+	t.Helper()
+	id, err := rt.Resolve(deflateDesc)
+	if err != nil {
+		t.Fatalf("Resolve: %v", err)
+	}
+	return id
+}
+
+// chunkResult derives a deterministic pseudo-random result from a seed
+// — the stand-in for a large deterministic computation.
+func chunkResult(seed int64, n int) []byte {
+	b := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(b)
+	return b
+}
+
+// TestChunkedPutThenConvergentReuse is the tentpole property: runtime A
+// computes a large result and stores it chunk-wise; an independent
+// runtime B (fresh enclave, fresh RCE state, empty chunk cache) issuing
+// the same call reassembles it from the manifest without recomputing.
+func TestChunkedPutThenConvergentReuse(t *testing.T) {
+	p, st := newChunkStore(t)
+	a := newChunkRuntime(t, p, st, "appA", chunkTestThreshold)
+	b := newChunkRuntime(t, p, st, "appB", chunkTestThreshold)
+	id := chunkFuncID(t, a)
+
+	input := []byte("render document 1")
+	want := chunkResult(1, 200<<10)
+	compute := func([]byte) ([]byte, error) { return append([]byte(nil), want...), nil }
+
+	got, outcome, err := a.Execute(id, input, compute)
+	if err != nil {
+		t.Fatalf("A Execute: %v", err)
+	}
+	if outcome != OutcomeComputed || !bytes.Equal(got, want) {
+		t.Fatalf("A: outcome %v, equal %v", outcome, bytes.Equal(got, want))
+	}
+	if s := a.Stats(); s.ChunkedPuts != 1 {
+		t.Fatalf("A ChunkedPuts = %d, want 1", s.ChunkedPuts)
+	}
+
+	bCalls := 0
+	got, outcome, err = b.Execute(id, input, func(in []byte) ([]byte, error) {
+		bCalls++
+		return compute(in)
+	})
+	if err != nil {
+		t.Fatalf("B Execute: %v", err)
+	}
+	if outcome != OutcomeReused {
+		t.Fatalf("B outcome = %v, want reused", outcome)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("B reassembled a different result")
+	}
+	if bCalls != 0 {
+		t.Fatalf("B recomputed (%d calls) instead of reusing", bCalls)
+	}
+	s := b.Stats()
+	if s.ManifestReuses != 1 {
+		t.Fatalf("B ManifestReuses = %d, want 1", s.ManifestReuses)
+	}
+	if s.ChunksFetched == 0 {
+		t.Fatal("B fetched no chunks; manifest path not exercised")
+	}
+	if s.VerifyFailures != 0 {
+		t.Fatalf("B VerifyFailures = %d, want 0 (manifest is not a failure)", s.VerifyFailures)
+	}
+}
+
+// TestChunkedOverlapSharesChunks: two runtimes computing overlapping
+// results derive identical tags for the shared chunks, so the second
+// upload skips them (probed via HAS_BATCH against the shared store)
+// and the store keeps one sealed copy of the overlap.
+func TestChunkedOverlapSharesChunks(t *testing.T) {
+	p, st := newChunkStore(t)
+	a := newChunkRuntime(t, p, st, "appA", chunkTestThreshold)
+	b := newChunkRuntime(t, p, st, "appB", chunkTestThreshold)
+	id := chunkFuncID(t, a)
+
+	common := chunkResult(7, 128<<10)
+	res1 := append(append(chunkResult(8, 32<<10), common...), chunkResult(9, 32<<10)...)
+	res2 := append(append(chunkResult(10, 32<<10), common...), chunkResult(11, 32<<10)...)
+
+	if _, _, err := a.Execute(id, []byte("doc1"), func([]byte) ([]byte, error) {
+		return append([]byte(nil), res1...), nil
+	}); err != nil {
+		t.Fatalf("A Execute: %v", err)
+	}
+	before := st.Stats().BlobBytes
+	if _, _, err := b.Execute(id, []byte("doc2"), func([]byte) ([]byte, error) {
+		return append([]byte(nil), res2...), nil
+	}); err != nil {
+		t.Fatalf("B Execute: %v", err)
+	}
+	added := st.Stats().BlobBytes - before
+
+	if s := b.Stats(); s.ChunksSkipped == 0 {
+		t.Fatalf("B skipped no chunk uploads despite %dKiB overlap", len(common)>>10)
+	}
+	// The second result is ~192KiB but only ~64KiB of it is new; allow
+	// generous slack for boundary chunks and sealing overhead.
+	if added >= int64(len(res2)) {
+		t.Fatalf("second upload added %d bytes, no dedup against %d-byte result", added, len(res2))
+	}
+}
+
+// TestChunkThresholdKeepsSmallResultsWhole: a result below the
+// threshold takes the whole-result path — no manifest, no chunk
+// entries, and an independent runtime decrypts it directly.
+func TestChunkThresholdKeepsSmallResultsWhole(t *testing.T) {
+	p, st := newChunkStore(t)
+	a := newChunkRuntime(t, p, st, "appA", chunkTestThreshold)
+	b := newChunkRuntime(t, p, st, "appB", chunkTestThreshold)
+	id := chunkFuncID(t, a)
+
+	input := []byte("small call")
+	want := chunkResult(3, 4<<10)
+	if _, _, err := a.Execute(id, input, func([]byte) ([]byte, error) {
+		return append([]byte(nil), want...), nil
+	}); err != nil {
+		t.Fatalf("A Execute: %v", err)
+	}
+	if s := a.Stats(); s.ChunkedPuts != 0 {
+		t.Fatalf("A ChunkedPuts = %d for a below-threshold result", s.ChunkedPuts)
+	}
+	if n := st.Len(); n != 1 {
+		t.Fatalf("store holds %d entries, want 1 (whole result only)", n)
+	}
+	got, outcome, err := b.Execute(id, input, func([]byte) ([]byte, error) {
+		t.Fatal("B recomputed a stored small result")
+		return nil, nil
+	})
+	if err != nil || outcome != OutcomeReused || !bytes.Equal(got, want) {
+		t.Fatalf("B: outcome %v err %v", outcome, err)
+	}
+	if s := b.Stats(); s.ManifestReuses != 0 {
+		t.Fatalf("B ManifestReuses = %d on the whole-result path", s.ManifestReuses)
+	}
+}
+
+// TestTamperedChunkRecoversLoudly: corrupting one sealed chunk in the
+// store must fail reassembly (digest/AEAD verification), force a loud
+// recompute-and-replace, and heal the store for later readers.
+func TestTamperedChunkRecoversLoudly(t *testing.T) {
+	p, st := newChunkStore(t)
+	a := newChunkRuntime(t, p, st, "appA", chunkTestThreshold)
+	id := chunkFuncID(t, a)
+
+	input := []byte("tamper target")
+	want := chunkResult(5, 150<<10)
+	if _, _, err := a.Execute(id, input, func([]byte) ([]byte, error) {
+		return append([]byte(nil), want...), nil
+	}); err != nil {
+		t.Fatalf("A Execute: %v", err)
+	}
+
+	// Recompute the chunk tags the same way the runtime does and
+	// overwrite one chunk's sealed entry with garbage.
+	ck, err := chunk.NewChunker(chunk.Config{})
+	if err != nil {
+		t.Fatalf("NewChunker: %v", err)
+	}
+	chunks := ck.Split(want)
+	if len(chunks) < 2 {
+		t.Fatalf("result split into %d chunks; test needs several", len(chunks))
+	}
+	cid := chunk.ContentFuncID(id)
+	victim := chunk.Tag(cid, chunk.Hash(chunks[len(chunks)/2]))
+	if _, err := st.PutReplace(a.Enclave().Measurement(), victim, mle.Sealed{
+		Challenge:  []byte("rrrrrrrrrrrrrrrr"),
+		WrappedKey: []byte("kkkkkkkkkkkkkkkk"),
+		Blob:       []byte("garbage ciphertext"),
+	}); err != nil {
+		t.Fatalf("tamper PutReplace: %v", err)
+	}
+
+	// A fresh runtime (empty chunk cache) must detect the tamper,
+	// recompute, and replace the damaged entries.
+	b := newChunkRuntime(t, p, st, "appB", chunkTestThreshold)
+	bCalls := 0
+	got, outcome, err := b.Execute(id, input, func([]byte) ([]byte, error) {
+		bCalls++
+		return append([]byte(nil), want...), nil
+	})
+	if err != nil {
+		t.Fatalf("B Execute: %v", err)
+	}
+	if outcome != OutcomeRecomputed || bCalls != 1 || !bytes.Equal(got, want) {
+		t.Fatalf("B: outcome %v, calls %d", outcome, bCalls)
+	}
+	if s := b.Stats(); s.VerifyFailures != 1 {
+		t.Fatalf("B VerifyFailures = %d, want 1", s.VerifyFailures)
+	}
+
+	// The replace healed the chunk: a third fresh runtime reuses.
+	c := newChunkRuntime(t, p, st, "appC", chunkTestThreshold)
+	got, outcome, err = c.Execute(id, input, func([]byte) ([]byte, error) {
+		t.Fatal("C recomputed after the store was healed")
+		return nil, nil
+	})
+	if err != nil || outcome != OutcomeReused || !bytes.Equal(got, want) {
+		t.Fatalf("C: outcome %v err %v", outcome, err)
+	}
+}
+
+// TestLegacyRuntimeHealsManifestEntry: a pre-chunking runtime hitting a
+// manifest entry sees a clean verification failure (it cannot decrypt
+// the manifest), recomputes, and replaces the primary tag with a whole
+// result — and the chunk-aware runtime still reuses that.
+func TestLegacyRuntimeHealsManifestEntry(t *testing.T) {
+	p, st := newChunkStore(t)
+	a := newChunkRuntime(t, p, st, "appA", chunkTestThreshold)
+	legacy := newChunkRuntime(t, p, st, "appLegacy", 0)
+	id := chunkFuncID(t, a)
+
+	input := []byte("mixed fleet")
+	want := chunkResult(6, 100<<10)
+	compute := func([]byte) ([]byte, error) { return append([]byte(nil), want...), nil }
+	if _, _, err := a.Execute(id, input, compute); err != nil {
+		t.Fatalf("A Execute: %v", err)
+	}
+
+	got, outcome, err := legacy.Execute(id, input, compute)
+	if err != nil {
+		t.Fatalf("legacy Execute: %v", err)
+	}
+	if outcome != OutcomeRecomputed || !bytes.Equal(got, want) {
+		t.Fatalf("legacy: outcome %v, want recomputed", outcome)
+	}
+
+	// The primary tag now holds a whole result; the chunk-aware runtime
+	// decrypts it directly (no manifest path).
+	b := newChunkRuntime(t, p, st, "appB", chunkTestThreshold)
+	got, outcome, err = b.Execute(id, input, func([]byte) ([]byte, error) {
+		t.Fatal("B recomputed a healed whole-result entry")
+		return nil, nil
+	})
+	if err != nil || outcome != OutcomeReused || !bytes.Equal(got, want) {
+		t.Fatalf("B: outcome %v err %v", outcome, err)
+	}
+	if s := b.Stats(); s.ManifestReuses != 0 {
+		t.Fatalf("B took the manifest path (%d) for a whole-result entry", s.ManifestReuses)
+	}
+}
+
+// TestChunkedBatchReuse: ExecuteBatch's verify loop takes the same
+// manifest fallback as Execute.
+func TestChunkedBatchReuse(t *testing.T) {
+	p, st := newChunkStore(t)
+	a := newChunkRuntime(t, p, st, "appA", chunkTestThreshold)
+	b := newChunkRuntime(t, p, st, "appB", chunkTestThreshold)
+	id := chunkFuncID(t, a)
+
+	inputs := [][]byte{[]byte("batch doc 1"), []byte("batch doc 2")}
+	results := map[string][]byte{
+		"batch doc 1": chunkResult(21, 80<<10),
+		"batch doc 2": chunkResult(22, 80<<10),
+	}
+	compute := func(in []byte) ([]byte, error) {
+		return append([]byte(nil), results[string(in)]...), nil
+	}
+	if _, err := a.ExecuteBatch(id, inputs, compute); err != nil {
+		t.Fatalf("A ExecuteBatch: %v", err)
+	}
+
+	res, err := b.ExecuteBatch(id, inputs, func(in []byte) ([]byte, error) {
+		t.Fatalf("B recomputed %q", in)
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatalf("B ExecuteBatch: %v", err)
+	}
+	for i, r := range res {
+		if r.Err != nil || r.Outcome != OutcomeReused {
+			t.Fatalf("item %d: outcome %v err %v", i, r.Outcome, r.Err)
+		}
+		if !bytes.Equal(r.Result, results[string(inputs[i])]) {
+			t.Fatalf("item %d: wrong result", i)
+		}
+	}
+	if s := b.Stats(); s.ManifestReuses != 2 {
+		t.Fatalf("B ManifestReuses = %d, want 2", s.ManifestReuses)
+	}
+}

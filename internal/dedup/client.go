@@ -53,6 +53,26 @@ type BatchClient interface {
 	PutBatch(items []wire.PutItem) ([]wire.PutResult, error)
 }
 
+// ErrHasBatchUnsupported is returned by HasBatch when the store (or
+// the negotiated channel) cannot answer existence probes — a peer that
+// predates FeatureChunking, or a v1 connection. Callers fall back to
+// assuming every probed tag is missing: uploading a chunk the store
+// already holds is harmless (first version wins).
+var ErrHasBatchUnsupported = errors.New("dedup: store does not support existence probes")
+
+// HasBatcher is implemented by store clients that can probe tag
+// existence without fetching payloads, counting hits or refreshing
+// recency — the question chunked dedup asks before transferring sealed
+// chunks. Callers type-assert and treat an absent interface (or
+// ErrHasBatchUnsupported) as "all missing". Answers are hints: a
+// probed-present entry can expire before a later GET, which surfaces
+// as a loud reassembly failure and a recompute, never a wrong result.
+type HasBatcher interface {
+	StoreClient
+	// HasBatch reports, positionally, which tags are present.
+	HasBatch(tags []mle.Tag) ([]bool, error)
+}
+
 // TracedClient is implemented by store clients that can propagate a
 // distributed-trace context with each request, so a sampled Execute's
 // trace ID reaches the store node (or nodes) that served it and their
@@ -86,7 +106,10 @@ type LocalClient struct {
 	owner enclave.Measurement
 }
 
-var _ BatchClient = (*LocalClient)(nil)
+var (
+	_ BatchClient = (*LocalClient)(nil)
+	_ HasBatcher  = (*LocalClient)(nil)
+)
 
 // NewLocalClient creates a client operating on behalf of the
 // application with the given measurement.
@@ -146,6 +169,20 @@ func (c *LocalClient) PutBatch(items []wire.PutItem) ([]wire.PutResult, error) {
 		}
 	}
 	return results, nil
+}
+
+// HasBatch implements HasBatcher. The store maps authorization
+// denials to absent itself (deny without information).
+func (c *LocalClient) HasBatch(tags []mle.Tag) ([]bool, error) {
+	present := make([]bool, len(tags))
+	for i, tag := range tags {
+		p, err := c.store.HasAs(c.owner, tag)
+		if err != nil {
+			return nil, err
+		}
+		present[i] = p
+	}
+	return present, nil
 }
 
 // Ping implements StoreClient: the in-process store is "reachable"
@@ -267,6 +304,7 @@ type RemoteClient struct {
 var (
 	_ BatchClient  = (*RemoteClient)(nil)
 	_ TracedClient = (*RemoteClient)(nil)
+	_ HasBatcher   = (*RemoteClient)(nil)
 )
 
 // Dial connects to a store server at addr on the same platform,
@@ -756,6 +794,45 @@ func (c *RemoteClient) Ping() error {
 		return fmt.Errorf("dedup: ping: %d results for an empty probe", len(resp.Results))
 	}
 	return nil
+}
+
+// HasBatch implements HasBatcher: one HAS_BATCH round trip per
+// wire.MaxBatchItems chunk. The probe is gated on the negotiated
+// channel capability — a v1 connection or a peer that did not offer
+// FeatureChunking gets ErrHasBatchUnsupported without any frame sent,
+// so old stores never see a message kind they cannot parse.
+func (c *RemoteClient) HasBatch(tags []mle.Tag) ([]bool, error) {
+	ch, _, err := c.connect()
+	if err != nil {
+		return nil, fmt.Errorf("dedup: has batch: %w", err)
+	}
+	if ch.Version() < wire.ProtocolV2 || ch.Features()&wire.FeatureChunking == 0 {
+		return nil, ErrHasBatchUnsupported
+	}
+	if len(tags) == 0 {
+		return nil, nil
+	}
+	present := make([]bool, 0, len(tags))
+	for start := 0; start < len(tags); start += wire.MaxBatchItems {
+		end := start + wire.MaxBatchItems
+		if end > len(tags) {
+			end = len(tags)
+		}
+		batch := tags[start:end]
+		msg, err := c.roundTrip(wire.HasBatchRequest{Tags: batch}, wire.TraceContext{})
+		if err != nil {
+			return nil, fmt.Errorf("dedup: has batch: %w", err)
+		}
+		resp, ok := msg.(wire.HasBatchResponse)
+		if !ok {
+			return nil, fmt.Errorf("dedup: unexpected reply %v", msg.Kind())
+		}
+		if len(resp.Present) != len(batch) {
+			return nil, fmt.Errorf("dedup: has batch: %d answers for %d tags", len(resp.Present), len(batch))
+		}
+		present = append(present, resp.Present...)
+	}
+	return present, nil
 }
 
 // SyncPull fetches up to max of the store's entries with at least

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"speed/internal/chunk"
 	"speed/internal/enclave"
 	"speed/internal/mle"
 	"speed/internal/telemetry"
@@ -83,6 +84,21 @@ type Config struct {
 	// call computes concurrently. Zero selects GOMAXPROCS; 1 computes
 	// serially.
 	BatchParallelism int
+	// ChunkThreshold enables content-defined chunked deduplication:
+	// results of at least this many bytes are split with a FastCDC
+	// chunker, each chunk independently RCE-encrypted and stored under
+	// its own content-derived tag, and the call's primary tag holds a
+	// small sealed manifest instead of the whole result (see
+	// internal/chunk and DESIGN.md "Chunked dedup"). Results below the
+	// threshold take the whole-result path unchanged. Zero (the
+	// default) disables chunking entirely.
+	ChunkThreshold int
+	// ChunkCacheBytes bounds the runtime's in-enclave cache of chunk
+	// plaintexts, which turns overlapping results into partial
+	// transfers: a manifest hit fetches only the chunks the cache
+	// misses, and a chunked upload skips chunks known store-resident.
+	// Defaults to 16 MiB when chunking is enabled; ignored otherwise.
+	ChunkCacheBytes int64
 	// DegradeThreshold is the number of consecutive store transport
 	// failures after which the runtime opens its circuit breaker: it
 	// stops consulting the store entirely (compute-only mode) and
@@ -148,6 +164,21 @@ type Stats struct {
 	// (populated when the client exposes a retry counter, e.g.
 	// RemoteClient).
 	Retries int64
+	// ChunkedPuts counts results uploaded chunk-wise (manifest plus
+	// content chunks) rather than as one sealed blob.
+	ChunkedPuts int64
+	// ManifestReuses counts hits served by reassembling a chunk
+	// manifest (a subset of Reused).
+	ManifestReuses int64
+	// ChunksFetched counts sealed chunks fetched from the store during
+	// manifest reassembly.
+	ChunksFetched int64
+	// ChunkCacheHits counts manifest chunks served from the local chunk
+	// cache without touching the store.
+	ChunkCacheHits int64
+	// ChunksSkipped counts chunk uploads skipped because the chunk was
+	// already store-resident (local-cache knowledge or HAS_BATCH probe).
+	ChunksSkipped int64
 }
 
 // retryCounter is implemented by store clients that retry transient
@@ -198,6 +229,16 @@ type Runtime struct {
 	// slowLogLast is the UnixNano of the last slow-request line, the
 	// rate limiter for Config.SlowRequestThreshold.
 	slowLogLast atomic.Int64
+
+	// chunker and chunkCache are non-nil iff Config.ChunkThreshold > 0;
+	// every chunked-dedup site is guarded on chunker, so a runtime
+	// without chunking pays one nil test.
+	chunker    *chunk.Chunker
+	chunkCache *chunkLRU
+	// hasUnsupported latches after the client reports
+	// ErrHasBatchUnsupported once, so an old store is probed at most
+	// one time per runtime.
+	hasUnsupported atomic.Bool
 }
 
 // flight is one in-progress computation that concurrent identical
@@ -249,11 +290,22 @@ func NewRuntime(cfg Config) (*Runtime, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
+	if cfg.ChunkThreshold > 0 && cfg.ChunkCacheBytes <= 0 {
+		cfg.ChunkCacheBytes = defaultChunkCacheBytes
+	}
 	rt := &Runtime{
 		cfg:      cfg,
 		inflight: make(map[mle.Tag]*flight),
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
+	}
+	if cfg.ChunkThreshold > 0 {
+		ck, err := chunk.NewChunker(chunk.Config{})
+		if err != nil {
+			return nil, fmt.Errorf("dedup: chunker: %w", err)
+		}
+		rt.chunker = ck
+		rt.chunkCache = newChunkLRU(cfg.Enclave, cfg.ChunkCacheBytes)
 	}
 	rt.tel = newRTMetrics(cfg.Telemetry, rt, cfg.TraceSampleRate)
 	rt.traced, _ = cfg.Client.(TracedClient)
@@ -532,6 +584,28 @@ func (rt *Runtime) executeTagged(id mle.FuncID, input []byte, tag mle.Tag, tc wi
 		if !errors.Is(derr, mle.ErrAuthFailed) {
 			return fmt.Errorf("decrypt result: %w", derr)
 		}
+		// With chunking enabled the entry may be a sealed manifest
+		// rather than a whole result; try reassembling from chunks
+		// before condemning it.
+		if rt.chunker != nil {
+			res, merr := rt.manifestReuse(id, input, tc, sealed)
+			if merr == nil {
+				*resultOut = res
+				*outcomeOut = OutcomeReused
+				rt.mu.Lock()
+				rt.stats.Reused++
+				rt.stats.ManifestReuses++
+				rt.stats.BytesReused += int64(len(res))
+				rt.mu.Unlock()
+				return nil
+			}
+			if !errors.Is(merr, errNoManifest) {
+				// The manifest was authentic but its chunks were not
+				// servable (missing, tampered, digest mismatch): say so
+				// loudly, then recompute and replace.
+				rt.cfg.Logf("speed: chunked reassembly for tag %x... failed: %v; recomputing", tag[:4], merr)
+			}
+		}
 		// ⊥: the stored entry is poisoned/corrupted or belongs to a
 		// computation we cannot perform. Fall back to computing.
 		hadPoisonedEntry = true
@@ -594,8 +668,17 @@ func (rt *Runtime) computeOnly(input []byte, compute func([]byte) ([]byte, error
 }
 
 // sealAndPut encrypts the result (RCE: random key, challenge, wrap) and
-// uploads (t, r, [k], [res]) via an OCALL.
+// uploads (t, r, [k], [res]) via an OCALL. Results at or above the
+// chunk threshold go chunk-wise instead (manifest at the primary tag,
+// content chunks under their own tags); a result that would overflow
+// one manifest falls back to the whole-result path.
 func (rt *Runtime) sealAndPut(id mle.FuncID, input, result []byte, tag mle.Tag, replace bool, tc wire.TraceContext, span *execSpan) error {
+	if rt.chunker != nil && len(result) >= rt.cfg.ChunkThreshold {
+		err := rt.chunkedPut(id, input, result, tag, replace, tc, span)
+		if !errors.Is(err, errTooManyChunks) {
+			return err
+		}
+	}
 	span.begin(phaseEncrypt)
 	sealed, err := rt.cfg.Scheme.Encrypt(id, input, result)
 	span.end(phaseEncrypt)

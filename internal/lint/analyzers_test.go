@@ -136,7 +136,7 @@ func TestEnclaveBoundary(t *testing.T) {
 }
 
 func TestSealFlow(t *testing.T) {
-	runFixtureTest(t, lint.SealFlowAnalyzer, "sealflow", []string{"engine", "app"})
+	runFixtureTest(t, lint.SealFlowAnalyzer, "sealflow", []string{"engine", "mle", "app"})
 }
 
 func TestFsyncOrder(t *testing.T) {

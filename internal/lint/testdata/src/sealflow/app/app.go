@@ -8,6 +8,7 @@ import (
 	"os"
 
 	"fix/sealflow/engine"
+	"fix/sealflow/mle"
 )
 
 // Conn matches the wire-channel shape: Send counts as a conn sink.
@@ -76,6 +77,31 @@ func logKey() {
 func logKeyLen() {
 	key := deriveKey()
 	fmt.Printf("key bytes=%d\n", len(key))
+}
+
+// encodeManifest serialises per-chunk envelopes into a manifest body,
+// the chunked-dedup seal surface: copying WrappedKey makes the result
+// enclave plaintext; the Blob bytes alone would not.
+func encodeManifest(chunks []mle.Sealed) []byte {
+	var out []byte
+	for _, c := range chunks {
+		out = append(out, c.WrappedKey...)
+		out = append(out, c.Blob...)
+	}
+	return out
+}
+
+// spoolManifestUnsealed writes the manifest body to disk before
+// sealing it.
+func spoolManifestUnsealed(chunks []mle.Sealed) error {
+	return os.WriteFile("manifest.bin", encodeManifest(chunks), 0o600) // want `enclave plaintext reaches the untrusted disk`
+}
+
+// spoolManifestSealed is the legal chunked-dedup path: the manifest is
+// sealed under the call's function identity before leaving the
+// enclave.
+func spoolManifestSealed(chunks []mle.Sealed) error {
+	return os.WriteFile("manifest.bin", mle.Encrypt(encodeManifest(chunks)), 0o600)
 }
 
 // run invokes its callback, standing in for the Enclave.ECall idiom;

@@ -45,8 +45,46 @@ func Unmarshal(b []byte) (Message, error) {
 		return decodePut(b)
 	case KindGet:
 		return decodePut(b)
+	case KindHasBatchReq:
+		return decodeHasBatchRequest(b)
+	case KindHasBatchResp:
+		return decodeHasBatchResponse(b)
 	}
 	return nil, nil
+}
+
+// HAS_BATCH-style existence probe: a count-prefixed request/response
+// pair. The request decoder validates through readCount (clean); the
+// response decoder sizes its slice straight from the frame.
+const (
+	KindHasBatchReq  = 5
+	KindHasBatchResp = 6
+)
+
+type HasBatchRequest struct{}
+
+func (HasBatchRequest) Kind() byte                 { return KindHasBatchReq }
+func (r HasBatchRequest) appendTo(b []byte) []byte { return b }
+
+func decodeHasBatchRequest(b []byte) (Message, error) {
+	n, rest, err := readCount(b)
+	if err != nil {
+		return nil, err
+	}
+	tags := make([][]byte, 0, n)
+	_, _ = tags, rest
+	return HasBatchRequest{}, nil
+}
+
+type HasBatchResponse struct{}
+
+func (HasBatchResponse) Kind() byte                 { return KindHasBatchResp }
+func (r HasBatchResponse) appendTo(b []byte) []byte { return b }
+
+func decodeHasBatchResponse(b []byte) (Message, error) { // want `decodeHasBatchResponse decodes a batch without readCount/MaxBatchItems validation`
+	out := make([]bool, int(b[0]))
+	_ = out
+	return HasBatchResponse{}, nil
 }
 
 // decodeBatch expands a count-prefixed frame without consulting

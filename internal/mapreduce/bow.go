@@ -1,10 +1,14 @@
 package mapreduce
 
 import (
+	"bytes"
 	"encoding/binary"
 	"errors"
+	"io"
 	"sort"
 	"strings"
+
+	"speed/internal/chunk"
 )
 
 // The bag-of-words computation of Case 4: tokenize documents and count
@@ -65,18 +69,53 @@ var ErrMalformedCounts = errors.New("mapreduce: malformed counts encoding")
 // EncodeCounts serialises a word-count map deterministically (words
 // sorted ascending), the deduplicable result representation.
 func EncodeCounts(counts map[string]int) []byte {
+	var buf bytes.Buffer
+	buf.Grow(4 + 16*len(counts))
+	_ = EncodeCountsTo(&buf, counts) // a Buffer write cannot fail
+	return buf.Bytes()
+}
+
+// EncodeCountsTo streams EncodeCounts' exact byte form to w — one
+// bounded write per word instead of one materialized buffer, so a large
+// vocabulary can be piped straight into a chunk.Stream or a
+// compress.ChunkingWriter and chunked incrementally.
+func EncodeCountsTo(w io.Writer, counts map[string]int) error {
 	words := make([]string, 0, len(counts))
-	for w := range counts {
-		words = append(words, w)
+	for word := range counts {
+		words = append(words, word)
 	}
 	sort.Strings(words)
-	buf := binary.BigEndian.AppendUint32(nil, uint32(len(words)))
-	for _, w := range words {
-		buf = binary.BigEndian.AppendUint32(buf, uint32(len(w)))
-		buf = append(buf, w...)
-		buf = binary.BigEndian.AppendUint64(buf, uint64(counts[w]))
+	var scratch [12]byte
+	binary.BigEndian.PutUint32(scratch[:4], uint32(len(words)))
+	if _, err := w.Write(scratch[:4]); err != nil {
+		return err
 	}
-	return buf
+	for _, word := range words {
+		binary.BigEndian.PutUint32(scratch[:4], uint32(len(word)))
+		if _, err := w.Write(scratch[:4]); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, word); err != nil {
+			return err
+		}
+		binary.BigEndian.PutUint64(scratch[4:12], uint64(counts[word]))
+		if _, err := w.Write(scratch[4:12]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ChunkCounts streams the deterministic encoding through a
+// content-defined chunker, invoking emit per chunk as boundaries are
+// found. The chunks concatenate to exactly EncodeCounts(counts), so two
+// runtimes encoding the same counts derive identical chunk tags.
+func ChunkCounts(c *chunk.Chunker, counts map[string]int, emit func(chunk []byte) error) error {
+	cs := c.NewStream(emit)
+	if err := EncodeCountsTo(cs, counts); err != nil {
+		return err
+	}
+	return cs.Close()
 }
 
 // DecodeCounts parses the form produced by EncodeCounts.

@@ -1,0 +1,67 @@
+package mapreduce
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"speed/internal/chunk"
+)
+
+func bigCounts(n int) map[string]int {
+	counts := make(map[string]int, n)
+	for i := 0; i < n; i++ {
+		counts[fmt.Sprintf("word-%06d", i)] = i * 3
+	}
+	return counts
+}
+
+// TestEncodeCountsToMatchesEncodeCounts: the streaming encoder produces
+// byte-for-byte the materialized form (the dedup tag depends on it).
+func TestEncodeCountsToMatchesEncodeCounts(t *testing.T) {
+	counts := bigCounts(500)
+	var buf bytes.Buffer
+	if err := EncodeCountsTo(&buf, counts); err != nil {
+		t.Fatalf("EncodeCountsTo: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), EncodeCounts(counts)) {
+		t.Fatal("streamed encoding differs from EncodeCounts")
+	}
+	back, err := DecodeCounts(buf.Bytes())
+	if err != nil {
+		t.Fatalf("DecodeCounts: %v", err)
+	}
+	if len(back) != len(counts) || back["word-000100"] != 300 {
+		t.Fatal("round trip lost entries")
+	}
+}
+
+// TestChunkCountsDeterministic: incremental chunking of the encoding
+// reproduces Split over the materialized bytes — identical chunk
+// boundaries, so identical chunk tags across runtimes.
+func TestChunkCountsDeterministic(t *testing.T) {
+	ck, err := chunk.NewChunker(chunk.Config{})
+	if err != nil {
+		t.Fatalf("NewChunker: %v", err)
+	}
+	counts := bigCounts(5000)
+	var streamed [][]byte
+	if err := ChunkCounts(ck, counts, func(c []byte) error {
+		streamed = append(streamed, append([]byte(nil), c...))
+		return nil
+	}); err != nil {
+		t.Fatalf("ChunkCounts: %v", err)
+	}
+	split := ck.Split(EncodeCounts(counts))
+	if len(streamed) != len(split) {
+		t.Fatalf("streamed %d chunks, Split produced %d", len(streamed), len(split))
+	}
+	if len(streamed) < 2 {
+		t.Fatalf("encoding cut into %d chunks; want several", len(streamed))
+	}
+	for i := range split {
+		if !bytes.Equal(streamed[i], split[i]) {
+			t.Fatalf("chunk %d differs between streamed and split paths", i)
+		}
+	}
+}

@@ -132,6 +132,14 @@ type Engine interface {
 	// configured oblivious perform access-pattern-uniform lookups over
 	// their in-enclave structures and skip recency maintenance.
 	Get(tag mle.Tag) (Record, GetStatus, error)
+	// Contains reports whether a live record exists for the tag without
+	// returning it. Unlike Get it must not count a hit, refresh recency
+	// or touch LRU state — it answers existence probes (chunked dedup's
+	// missing-chunk transfer) that should leave popularity signals
+	// untouched. The answer is a hint: engines may report a TTL-stale
+	// record as present (the log engine's index ignores TTL) and callers
+	// must tolerate a later Get missing.
+	Contains(tag mle.Tag) (bool, error)
 	// Insert stores rec under tag if no live record exists. It returns
 	// (false, nil) when the tag is already present (first version
 	// wins, Section IV-B Remark). The engine copies what it keeps; the

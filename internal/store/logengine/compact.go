@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"speed/internal/mle"
 	storeengine "speed/internal/store/engine"
 )
 
@@ -36,8 +37,10 @@ func (e *Engine) compactLocked() error {
 	}
 
 	// Merge via cursors, newest wins. Records are re-used sealed as-is
-	// — compaction moves ciphertext, it never unseals.
+	// — compaction moves ciphertext and unseals only records with
+	// pending touch-overlay popularity to bake.
 	var merged []segRecord
+	var baked []mle.Tag
 	cursors := make([]*cursor, len(e.segments))
 	for i, s := range e.segments {
 		cursors[i] = s.newCursor()
@@ -73,6 +76,25 @@ func (e *Engine) compactLocked() error {
 		if winner.dead {
 			continue // tombstone at the bottom level: drop
 		}
+		// Bake touch-overlay popularity into the rewritten record so hit
+		// counts accumulated since the record last hit disk become part
+		// of its durable copy. Only touched tags pay the unseal+reseal;
+		// everything else still moves as ciphertext.
+		if tr, ok := e.touched[winner.tag]; ok {
+			rec, uerr := unsealRecord(e.cfg.Enclave, winner.sealed)
+			if uerr == nil {
+				if tr.hits > rec.Hits {
+					rec.Hits = tr.hits
+				}
+				if tr.last.After(rec.LastTouch) {
+					rec.LastTouch = tr.last
+				}
+				if sealed, serr := sealRecord(e.cfg.Enclave, rec); serr == nil {
+					winner.sealed = sealed
+					baked = append(baked, winner.tag)
+				}
+			}
+		}
 		merged = append(merged, winner)
 	}
 
@@ -105,6 +127,12 @@ func (e *Engine) compactLocked() error {
 	e.segments = []*segment{seg}
 	e.nextSegID = id + 1
 	e.st.Compactions++
+	// The baked popularity is durable in the new segment; the overlay
+	// entries (and any WAL touch frames, which replay idempotently under
+	// the overlay's max semantics) are no longer needed.
+	for _, tag := range baked {
+		e.dropTouch(tag)
+	}
 	for _, s := range old {
 		if cerr := s.close(); cerr != nil {
 			e.cfg.Logf("logengine: close compacted segment %s: %v", filepath.Base(s.path), cerr)

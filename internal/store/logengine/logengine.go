@@ -21,10 +21,15 @@
 // orphan segment files from interrupted flushes or compactions, then
 // replays the WAL — a torn tail is truncated, never applied.
 //
-// Known approximation: hit counts and last-touch times for
-// segment-resident records are maintained in memory (the hot cache)
-// and persisted only when a record is rewritten by a flush; a restart
-// resets them. Memtable-resident records persist both on flush.
+// Popularity durability: hit counts and last-touch times for
+// segment-resident records accumulate in an in-enclave touch overlay,
+// persisted as compact walOpTouch WAL frames on flush, checkpoint and
+// close, and baked into rewritten records by compaction — so hit
+// counts survive a clean restart and WAL replay. Known approximation:
+// touches since the last flush/checkpoint are lost on a crash (they
+// are popularity metadata, never payload), and under enclave memory
+// pressure a touch may be skipped, reverting a record's count to its
+// last durably baked value.
 package logengine
 
 import (
@@ -157,6 +162,17 @@ func (r *cacheRec) bytes() int64 {
 	return 32 + cacheRecOverhead + int64(len(r.rec.Challenge)+len(r.rec.WrappedKey)+len(r.rec.Blob))
 }
 
+// touchRec is one touch-overlay entry: the authoritative popularity for
+// a segment-resident record.
+type touchRec struct {
+	hits int64
+	last time.Time
+}
+
+// touchRecBytes is the enclave charge for one overlay entry (map key +
+// fields + bookkeeping).
+const touchRecBytes = 96
+
 // Engine is the log-structured engine. It implements
 // store/engine.Engine. A single mutex serializes mutations and
 // metadata reads; segment file reads happen under it too (v1 keeps the
@@ -176,6 +192,15 @@ type Engine struct {
 	cache      map[mle.Tag]*cacheRec
 	cacheLRU   *list.List // front = most recent
 	cacheBytes int64
+
+	// touched overlays popularity (hits, last touch) onto records whose
+	// newest durable copy lives in a segment: cache hits and segment
+	// reads update it instead of rewriting the record. Flush and
+	// checkpoint persist it as walOpTouch frames; compaction bakes it
+	// into the rewritten records. touchDirty marks entries changed since
+	// they last reached the WAL.
+	touched    map[mle.Tag]*touchRec
+	touchDirty map[mle.Tag]bool
 
 	entries    int64
 	valueBytes int64
@@ -225,11 +250,13 @@ func Open(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		cfg:      cfg,
-		memtable: make(map[mle.Tag]*memRec),
-		cache:    make(map[mle.Tag]*cacheRec),
-		cacheLRU: list.New(),
-		stopBg:   make(chan struct{}),
+		cfg:        cfg,
+		memtable:   make(map[mle.Tag]*memRec),
+		cache:      make(map[mle.Tag]*cacheRec),
+		cacheLRU:   list.New(),
+		touched:    make(map[mle.Tag]*touchRec),
+		touchDirty: make(map[mle.Tag]bool),
+		stopBg:     make(chan struct{}),
 	}
 	if err := e.recover(); err != nil {
 		return nil, err
@@ -285,6 +312,20 @@ func (e *Engine) recover() error {
 	}
 	e.wal = w
 	replayed, torn, err := w.replay(e.cfg.Enclave, func(op walOp) {
+		if op.op == walOpTouch {
+			// Popularity for a segment-resident record. If the tag has a
+			// newer WAL state it wins: a live memtable record carries its
+			// own counters and a tombstone makes the touch moot.
+			if mr, had := e.memtable[op.tag]; had {
+				if !mr.dead {
+					mr.rec.Hits = op.rec.Hits
+					mr.rec.LastTouch = op.rec.LastTouch
+				}
+				return
+			}
+			e.noteTouch(op.tag, op.rec.Hits, op.rec.LastTouch)
+			return
+		}
 		prev, had := e.memtable[op.tag]
 		var nr *memRec
 		if op.op == walOpDelete {
@@ -292,6 +333,7 @@ func (e *Engine) recover() error {
 		} else {
 			nr = &memRec{rec: op.rec}
 		}
+		e.dropTouch(op.tag)
 		if had {
 			e.memBytes -= prev.bytes()
 		}
@@ -432,6 +474,7 @@ func (e *Engine) Get(tag mle.Tag) (storeengine.Record, storeengine.GetStatus, er
 				cr.rec.Hits++
 				cr.rec.LastTouch = e.cfg.Now()
 				e.cacheLRU.MoveToFront(cr.elem)
+				e.noteTouch(tag, cr.rec.Hits, cr.rec.LastTouch)
 			}
 			rec = copyRecord(cr.rec)
 			status = storeengine.StatusHit
@@ -476,12 +519,14 @@ func (e *Engine) Get(tag mle.Tag) (storeengine.Record, storeengine.GetStatus, er
 			e.cfg.Logf("logengine: record %x failed authentication: %v", tag[:8], uerr)
 			return storeengine.Record{}, storeengine.StatusDangling, nil
 		}
+		e.applyTouch(tag, &srec)
 		if e.expired(srec.LastTouch) {
 			return storeengine.Record{}, storeengine.StatusExpired, nil
 		}
 		if !e.cfg.Oblivious {
 			srec.Hits++
 			srec.LastTouch = e.cfg.Now()
+			e.noteTouch(tag, srec.Hits, srec.LastTouch)
 			e.cacheInsert(tag, srec)
 		}
 		return copyRecord(srec), storeengine.StatusHit, nil
@@ -564,6 +609,82 @@ func (e *Engine) cacheInsert(tag mle.Tag, rec storeengine.Record) {
 	}
 }
 
+// noteTouch records the authoritative popularity for a segment-resident
+// record. Under enclave memory pressure a new entry is skipped — the
+// overlay is metadata, and losing a touch only reverts hits to the last
+// durably baked value. Caller holds mu; never called under Oblivious
+// (no popularity maintenance there).
+func (e *Engine) noteTouch(tag mle.Tag, hits int64, last time.Time) {
+	tr, ok := e.touched[tag]
+	if !ok {
+		if err := e.cfg.Enclave.Alloc(touchRecBytes); err != nil {
+			return
+		}
+		tr = &touchRec{}
+		e.touched[tag] = tr
+	}
+	tr.hits, tr.last = hits, last
+	e.touchDirty[tag] = true
+}
+
+// dropTouch removes a tag's overlay entry (record deleted or rewritten
+// with popularity baked in). Caller holds mu.
+func (e *Engine) dropTouch(tag mle.Tag) {
+	if _, ok := e.touched[tag]; ok {
+		delete(e.touched, tag)
+		e.cfg.Enclave.Free(touchRecBytes)
+	}
+	delete(e.touchDirty, tag)
+}
+
+// applyTouch overlays recorded popularity onto a record read from a
+// segment. Max semantics keep it monotone no matter how overlay and
+// baked copies interleave across flushes and compactions.
+func (e *Engine) applyTouch(tag mle.Tag, rec *storeengine.Record) {
+	if tr, ok := e.touched[tag]; ok {
+		if tr.hits > rec.Hits {
+			rec.Hits = tr.hits
+		}
+		if tr.last.After(rec.LastTouch) {
+			rec.LastTouch = tr.last
+		}
+	}
+}
+
+// appendTouchesLocked writes walOpTouch frames for overlay entries —
+// every entry when all is set (the WAL was just truncated), otherwise
+// only those dirty since they last reached the log. Caller holds mu and
+// applies the fsync policy.
+func (e *Engine) appendTouchesLocked(all bool) error {
+	emit := func(tag mle.Tag, tr *touchRec) error {
+		err := e.wal.append(e.cfg.Enclave, walOpTouch, tag, storeengine.Record{Hits: tr.hits, LastTouch: tr.last})
+		if err != nil {
+			return err
+		}
+		e.st.WALRecords++
+		return nil
+	}
+	if all {
+		for tag, tr := range e.touched {
+			if err := emit(tag, tr); err != nil {
+				return err
+			}
+		}
+	} else {
+		for tag := range e.touchDirty {
+			tr, ok := e.touched[tag]
+			if !ok {
+				continue
+			}
+			if err := emit(tag, tr); err != nil {
+				return err
+			}
+		}
+	}
+	e.touchDirty = make(map[mle.Tag]bool)
+	return nil
+}
+
 // cacheDelete drops a tag from the hot cache.
 func (e *Engine) cacheDelete(tag mle.Tag) {
 	if cr, ok := e.cache[tag]; ok {
@@ -624,12 +745,27 @@ func (e *Engine) Insert(tag mle.Tag, rec storeengine.Record) (bool, error) {
 	}
 	e.entries++
 	e.valueBytes += stored.BlobSize
+	e.dropTouch(tag) // a fresh record starts its popularity over
 	if e.memBytes >= e.cfg.MemtableBytes {
 		if err := e.flushLocked(); err != nil {
 			return false, fmt.Errorf("logengine: flush: %w", err)
 		}
 	}
 	return true, nil
+}
+
+// Contains implements engine.Engine: an existence probe over memtable,
+// hot cache and segment indexes with no hit counting, cache promotion
+// or recency updates. Like existsLocked it ignores TTL — the engine's
+// index has no cheap TTL view — so a stale record reports present;
+// callers treat the answer as a hint and tolerate a later Get missing.
+func (e *Engine) Contains(tag mle.Tag) (bool, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return false, storeengine.ErrClosed
+	}
+	return e.existsLocked(tag)
 }
 
 // existsLocked reports whether a live record for tag exists anywhere
@@ -696,6 +832,7 @@ func (e *Engine) Remove(tag mle.Tag) (storeengine.Record, bool, error) {
 				Hits:      rec.Hits,
 				LastTouch: rec.LastTouch,
 			}
+			e.applyTouch(tag, &meta)
 			found = true
 		}
 		if !found {
@@ -727,6 +864,7 @@ func (e *Engine) Remove(tag mle.Tag) (storeengine.Record, bool, error) {
 		return nil
 	})
 	e.cacheDelete(tag)
+	e.dropTouch(tag)
 	e.entries--
 	e.valueBytes -= meta.BlobSize
 	return meta, true, nil
@@ -807,6 +945,17 @@ func (e *Engine) flushLocked() error {
 	e.memtable = make(map[mle.Tag]*memRec)
 	e.memBytes = 0
 	e.st.Flushes++
+	// The truncate discarded any persisted touch frames; re-emit the
+	// whole overlay so segment-resident popularity still survives a
+	// restart. (Memtable popularity was just baked into the segment.)
+	if len(e.touched) > 0 {
+		if err := e.appendTouchesLocked(true); err != nil {
+			return err
+		}
+		if e.cfg.Fsync == FsyncCommit {
+			return e.wal.sync()
+		}
+	}
 	return nil
 }
 
@@ -932,6 +1081,7 @@ func (e *Engine) iterateLocked(fn func(tag mle.Tag, rec storeengine.Record) bool
 				continue
 			}
 			rec = r
+			e.applyTouch(best, &rec)
 		}
 		if e.expired(rec.LastTouch) {
 			continue
@@ -981,7 +1131,10 @@ func (e *Engine) Stats() storeengine.Stats {
 
 // Checkpoint implements engine.Engine: flush the memtable (which
 // truncates the WAL) and fsync, so every acknowledged operation is in
-// a durable segment regardless of fsync policy.
+// a durable segment regardless of fsync policy. Popularity goes with
+// it: memtable hit counts are baked into the flushed segment and any
+// still-dirty touch-overlay entries are appended as walOpTouch frames
+// before the sync, so hit counts survive a restart.
 func (e *Engine) Checkpoint() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -989,6 +1142,9 @@ func (e *Engine) Checkpoint() error {
 		return storeengine.ErrClosed
 	}
 	if err := e.flushLocked(); err != nil {
+		return err
+	}
+	if err := e.appendTouchesLocked(false); err != nil {
 		return err
 	}
 	return e.wal.sync()
@@ -1014,6 +1170,9 @@ func (e *Engine) Close() error {
 		return nil
 	}
 	flushErr := e.flushLocked()
+	if flushErr == nil {
+		flushErr = e.appendTouchesLocked(false)
+	}
 	if flushErr == nil {
 		flushErr = e.wal.sync()
 	}
@@ -1069,4 +1228,7 @@ func (e *Engine) releaseMemoryLocked() {
 	e.cacheBytes = 0
 	e.cache = make(map[mle.Tag]*cacheRec)
 	e.cacheLRU = list.New()
+	e.cfg.Enclave.Free(int64(len(e.touched)) * touchRecBytes)
+	e.touched = make(map[mle.Tag]*touchRec)
+	e.touchDirty = make(map[mle.Tag]bool)
 }

@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"time"
 
 	"speed/internal/enclave"
 	"speed/internal/mle"
@@ -21,9 +22,10 @@ import (
 // where crc is CRC-32C (Castagnoli) over the payload and payload is a
 // sealed (enclave-AEAD) operation:
 //
-//	op    byte    (1 = put, 2 = delete)
+//	op    byte    (1 = put, 2 = delete, 3 = touch)
 //	tag   [32]byte
-//	rec   encodeRecord(...)   (put only)
+//	rec   encodeRecord(...)            (put only)
+//	hits  uint64 | touch int64 nanos   (touch only)
 //
 // The CRC detects torn writes (a crash mid-append); the seal detects
 // tampering. Recovery trusts neither: a frame whose length or CRC does
@@ -38,6 +40,12 @@ const (
 	walFrameHeader = 8 // length + crc
 	walOpPut       = 1
 	walOpDelete    = 2
+	// walOpTouch persists popularity only: the current hit count and
+	// last-touch time of a record whose payload already lives in a
+	// segment. Flush and checkpoint emit these for the touch overlay so
+	// segment-resident popularity survives a restart without rewriting
+	// the records themselves.
+	walOpTouch = 3
 	// maxWALPayload bounds a frame's declared length so a corrupt
 	// header cannot drive a huge allocation during replay.
 	maxWALPayload = 1 << 30
@@ -73,12 +81,21 @@ func openWAL(path string) (*wal, error) {
 	return &wal{f: f, size: st.Size()}, nil
 }
 
-// encodeWALPayload builds the plaintext of one operation.
+// encodeWALPayload builds the plaintext of one operation. A touch
+// carries only popularity (rec.Hits, rec.LastTouch); a put carries the
+// whole record.
 func encodeWALPayload(op byte, tag mle.Tag, rec storeengine.Record) []byte {
 	if op == walOpDelete {
 		out := make([]byte, 0, 1+32)
 		out = append(out, op)
 		return append(out, tag[:]...)
+	}
+	if op == walOpTouch {
+		out := make([]byte, 0, 1+32+16)
+		out = append(out, op)
+		out = append(out, tag[:]...)
+		out = binary.BigEndian.AppendUint64(out, uint64(rec.Hits))
+		return binary.BigEndian.AppendUint64(out, uint64(rec.LastTouch.UnixNano()))
 	}
 	body := encodeRecord(rec)
 	out := make([]byte, 0, 1+32+len(body))
@@ -100,6 +117,13 @@ func decodeWALPayload(raw []byte) (walOp, error) {
 		if len(raw) != 1+32 {
 			return o, errBadRecord
 		}
+		return o, nil
+	case walOpTouch:
+		if len(raw) != 1+32+16 {
+			return o, errBadRecord
+		}
+		o.rec.Hits = int64(binary.BigEndian.Uint64(raw[33:41]))
+		o.rec.LastTouch = time.Unix(0, int64(binary.BigEndian.Uint64(raw[41:49])))
 		return o, nil
 	case walOpPut:
 		rec, err := decodeRecord(raw[33:])

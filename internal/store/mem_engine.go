@@ -193,6 +193,43 @@ func (m *memEngine) Get(tag mle.Tag) (storeengine.Record, storeengine.GetStatus,
 	return rec, storeengine.StatusHit, nil
 }
 
+// Contains implements engine.Engine: a pure existence probe with no
+// hit count, LRU or freshness side effects. It answers inside the
+// enclave like Get's dictionary access; when the engine is oblivious
+// it reuses the all-shard constant-work scan so probes are as
+// access-pattern-uniform as lookups.
+func (m *memEngine) Contains(tag mle.Tag) (bool, error) {
+	var present bool
+	err := m.enclave.ECall(func() error {
+		if m.closed.Load() {
+			return ErrClosed
+		}
+		if m.oblivious {
+			home := m.shardFor(tag)
+			for _, sh := range m.shards {
+				sh.mu.Lock()
+				e := obliviousLookupLocked(sh, tag)
+				if sh == home && e != nil && !m.expiredLocked(e) {
+					present = true
+				}
+				sh.mu.Unlock()
+			}
+			return nil
+		}
+		sh := m.shardFor(tag)
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		if e, ok := sh.dict[tag]; ok && !m.expiredLocked(e) {
+			present = true
+		}
+		return nil
+	})
+	if err != nil {
+		return false, err
+	}
+	return present, nil
+}
+
 // recordLocked copies an entry's metadata out; caller holds the shard
 // lock. The blob is fetched separately, outside the enclave.
 func (m *memEngine) recordLocked(e *entry) storeengine.Record {

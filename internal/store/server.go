@@ -531,6 +531,8 @@ func opName(m wire.Message) string {
 		return "store_batch_put"
 	case wire.SyncPullRequest:
 		return "store_sync_pull"
+	case wire.HasBatchRequest:
+		return "store_has_batch"
 	default:
 		return "store_request"
 	}
@@ -654,6 +656,21 @@ func (s *Server) Dispatch(owner enclave.Measurement, msg wire.Message) (wire.Mes
 			default:
 				resp.Results[i] = wire.PutResult{OK: true}
 			}
+		}
+		return resp, nil
+	case wire.HasBatchRequest:
+		if s.tel != nil {
+			s.tel.batchSize.Observe(time.Duration(len(m.Tags)))
+		}
+		resp := wire.HasBatchResponse{Present: make([]bool, len(m.Tags))}
+		for i, tag := range m.Tags {
+			// HasAs maps unauthorized to (false, nil) itself, so the
+			// deny-without-information property holds per tag.
+			present, err := s.store.HasAs(owner, tag)
+			if err != nil {
+				return nil, fmt.Errorf("has batch %v: %w", tag, err)
+			}
+			resp.Present[i] = present
 		}
 		return resp, nil
 	case wire.SyncPullRequest:

@@ -305,6 +305,26 @@ func (s *Store) GetAs(app enclave.Measurement, tag mle.Tag) (mle.Sealed, bool, e
 	return s.Get(tag)
 }
 
+// HasAs reports whether the tag is present, without fetching the
+// sealed value, counting a hit, or refreshing recency — the existence
+// probe behind HAS_BATCH (chunked dedup's missing-chunk transfer).
+// Authorization uses PermGet: a caller that may not read the entry
+// learns nothing (the probe reports absent rather than erroring, so
+// HAS_BATCH answers are deny-without-information). The answer is a
+// hint, not a promise; a probed-present entry can still expire or be
+// evicted before a later Get.
+func (s *Store) HasAs(app enclave.Measurement, tag mle.Tag) (bool, error) {
+	if s.cfg.Auth != nil {
+		if err := s.cfg.Auth.Authorize(app, tag, PermGet); err != nil {
+			s.statsMu.Lock()
+			s.ops.Unauthorized++
+			s.statsMu.Unlock()
+			return false, nil
+		}
+	}
+	return s.eng.Contains(tag)
+}
+
 // Get looks up the computation tag, returning the (r, [k], [res])
 // triple when found. How the lookup is served depends on the engine:
 // the memory engine does one in-enclave dictionary access plus a blob

@@ -1,0 +1,83 @@
+package wire
+
+import (
+	"fmt"
+
+	"speed/internal/mle"
+)
+
+// HAS_BATCH messages (negotiated via FeatureChunking). A has-batch
+// probes which of up to MaxBatchItems tags the store currently holds,
+// without fetching payloads or counting as hits — the question a
+// chunked PUT and the cluster syncer ask before transferring sealed
+// chunks, so that only missing chunks cross the wire. The answer is a
+// hint, not a promise: an entry can expire or be evicted between the
+// probe and a later GET, and callers must treat a stale "present" as a
+// miss discovered at reassembly time.
+
+// HasBatchRequest asks which of the given tags are present.
+type HasBatchRequest struct {
+	Tags []mle.Tag
+}
+
+// HasBatchResponse answers a HasBatchRequest; Present[i] answers
+// Tags[i].
+type HasBatchResponse struct {
+	Present []bool
+}
+
+// Kind implements Message.
+func (HasBatchRequest) Kind() Kind { return KindHasBatchRequest }
+
+// Kind implements Message.
+func (HasBatchResponse) Kind() Kind { return KindHasBatchResponse }
+
+func (m HasBatchRequest) appendTo(buf []byte) []byte {
+	buf = appendCount(buf, len(m.Tags))
+	for _, tag := range m.Tags {
+		buf = append(buf, tag[:]...)
+	}
+	return buf
+}
+
+func decodeHasBatchRequest(b []byte) (HasBatchRequest, error) {
+	var m HasBatchRequest
+	n, b, err := readCount(b, "HAS_BATCH_REQUEST")
+	if err != nil {
+		return m, err
+	}
+	if len(b) != n*mle.TagSize {
+		return m, fmt.Errorf("%w: HAS_BATCH_REQUEST body %d bytes for %d tags", ErrMalformed, len(b), n)
+	}
+	m.Tags = make([]mle.Tag, n)
+	for i := range m.Tags {
+		copy(m.Tags[i][:], b[i*mle.TagSize:])
+	}
+	return m, nil
+}
+
+func (m HasBatchResponse) appendTo(buf []byte) []byte {
+	buf = appendCount(buf, len(m.Present))
+	for _, p := range m.Present {
+		buf = appendBool(buf, p)
+	}
+	return buf
+}
+
+func decodeHasBatchResponse(b []byte) (HasBatchResponse, error) {
+	var m HasBatchResponse
+	n, b, err := readCount(b, "HAS_BATCH_RESPONSE")
+	if err != nil {
+		return m, err
+	}
+	m.Present = make([]bool, n)
+	for i := range m.Present {
+		if m.Present[i], b, err = readBool(b); err != nil {
+			return HasBatchResponse{}, err
+		}
+	}
+	if len(b) != 0 {
+		return HasBatchResponse{}, fmt.Errorf("%w: trailing bytes in HAS_BATCH_RESPONSE", ErrMalformed)
+	}
+	return m, nil
+}

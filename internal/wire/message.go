@@ -18,9 +18,12 @@ type Kind uint8
 
 // Message kinds. GET checks for and fetches a stored result by tag;
 // PUT uploads a freshly computed, encrypted result. The batch kinds
-// (protocol v2) carry many GETs or PUTs in one round trip, and the sync
+// (protocol v2) carry many GETs or PUTs in one round trip, the sync
 // kinds let a cluster syncer pull a store's popular entries for
-// re-placement on other stores (Section IV-B master synchronization).
+// re-placement on other stores (Section IV-B master synchronization),
+// and the has kinds probe tag existence without fetching (chunked
+// dedup's missing-chunk transfer; only sent on channels that
+// negotiated FeatureChunking).
 const (
 	KindGetRequest Kind = iota + 1
 	KindGetResponse
@@ -32,6 +35,8 @@ const (
 	KindBatchPutResponse
 	KindSyncPullRequest
 	KindSyncPullResponse
+	KindHasBatchRequest
+	KindHasBatchResponse
 )
 
 // String implements fmt.Stringer for diagnostics.
@@ -57,6 +62,10 @@ func (k Kind) String() string {
 		return "SYNC_PULL_REQUEST"
 	case KindSyncPullResponse:
 		return "SYNC_PULL_RESPONSE"
+	case KindHasBatchRequest:
+		return "HAS_BATCH_REQUEST"
+	case KindHasBatchResponse:
+		return "HAS_BATCH_RESPONSE"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}
@@ -156,6 +165,10 @@ func Unmarshal(b []byte) (Message, error) {
 		return decodeSyncPullRequest(body)
 	case KindSyncPullResponse:
 		return decodeSyncPullResponse(body)
+	case KindHasBatchRequest:
+		return decodeHasBatchRequest(body)
+	case KindHasBatchResponse:
+		return decodeHasBatchResponse(body)
 	default:
 		return nil, fmt.Errorf("%w: unknown kind %d", ErrMalformed, kind)
 	}

@@ -33,9 +33,15 @@ const (
 	// envelopes.
 	FeatureTrace Feature = 1 << 0
 
+	// FeatureChunking advertises chunked-dedup support: the peer
+	// understands the HAS_BATCH existence probe used for missing-chunk
+	// transfer. Manifests and sealed chunks themselves travel in the
+	// ordinary GET/PUT messages and need no capability.
+	FeatureChunking Feature = 1 << 1
+
 	// DefaultFeatures is what handshakes offer unless pinned down for
 	// compatibility testing or conservative rollouts.
-	DefaultFeatures = FeatureTrace
+	DefaultFeatures = FeatureTrace | FeatureChunking
 )
 
 // TraceContext is the wire form of one request's position in a
